@@ -1,0 +1,35 @@
+# Bench harnesses are defined from the root so ${CMAKE_BINARY_DIR}/bench
+# contains only runnable binaries (the canonical loop is
+# `for b in build/bench/*; do $b; done`).
+function(pico_bench name)
+  add_executable(${name} ${CMAKE_SOURCE_DIR}/bench/${name}.cpp)
+  target_link_libraries(${name} PRIVATE pico_core)
+  set_target_properties(${name} PROPERTIES
+    RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
+endfunction()
+
+pico_bench(bench_fig2_layer_profile)
+pico_bench(bench_fig4_redundancy)
+pico_bench(bench_fig8_vgg16_capacity)
+pico_bench(bench_fig9_yolov2_capacity)
+pico_bench(bench_fig10_vgg16_latency)
+pico_bench(bench_fig11_yolov2_latency)
+pico_bench(bench_fig12_graph_speedup)
+pico_bench(bench_table1_utilization)
+pico_bench(bench_table2_optcost)
+pico_bench(bench_fig13_bfs_compare)
+
+pico_bench(bench_micro_kernels)
+target_link_libraries(bench_micro_kernels PRIVATE benchmark::benchmark)
+
+# Ablations beyond the paper (DESIGN.md §7).
+pico_bench(bench_ablation_grid)
+pico_bench(bench_ablation_tlim)
+pico_bench(bench_ablation_bandwidth)
+pico_bench(bench_ablation_beta)
+pico_bench(bench_ablation_hetnet)
+pico_bench(bench_ablation_branch)
+pico_bench(bench_ablation_straggler)
+pico_bench(bench_zoo_overview)
+pico_bench(bench_ablation_contention)
+pico_bench(bench_ablation_localsearch)

@@ -1,0 +1,91 @@
+// Ablation (beyond the paper): sensitivity of APICO to the EWMA weight β
+// (Eq. 15) and to the control window under bursty traffic.
+//
+// The paper introduces β as "a hyper-parameter used to denote the impact of
+// the current workload" but never evaluates it.  Under a two-state bursty
+// arrival process (calm 20% / burst 120% of pipeline capacity), a small β
+// reacts too slowly to bursts (queues build before the switch to the
+// pipeline) while β ≈ 1 chases noise (one quiet window flips the scheme
+// back).  The sweep locates the useful middle and reports the switch count
+// as the chattiness measure.
+#include <cstdio>
+
+#include "adaptive/apico.hpp"
+#include "bench_util.hpp"
+#include "core/planner.hpp"
+#include "models/zoo.hpp"
+#include "sim/arrivals.hpp"
+#include "sim/pipeline_sim.hpp"
+
+int main() {
+  using namespace pico;
+  const nn::Graph graph = models::vgg16();
+  const Cluster cluster = Cluster::paper_heterogeneous();
+  const NetworkModel network = bench::paper_network();
+
+  const auto pico_cost =
+      evaluate(graph, cluster, network, plan(graph, cluster, network,
+                                             Scheme::Pico));
+  const double capacity = 1.0 / pico_cost.period;
+
+  // Shared bursty trace: calm at 20%, bursts at 120% of pipeline capacity,
+  // ~8-minute calm phases, ~4-minute bursts, one simulated hour x 3 seeds.
+  const Seconds horizon = 3600.0;
+  const Seconds window = 30.0;
+
+  bench::print_header(
+      "Ablation — APICO vs EWMA weight beta, bursty VGG16 traffic");
+  std::printf("calm 20%% / burst 120%% of pipeline capacity, window %.0fs\n",
+              window);
+  bench::print_row({"beta", "mean lat(s)", "p95 lat(s)", "switches"});
+  for (const double beta : {0.05, 0.1, 0.3, 0.5, 0.8, 1.0}) {
+    double latency_sum = 0.0, p95_sum = 0.0;
+    int switches = 0;
+    for (int seed = 0; seed < 3; ++seed) {
+      Rng rng(500 + static_cast<std::uint64_t>(seed));
+      const auto arrivals = sim::bursty_arrivals(
+          rng, 0.2 * capacity, 1.2 * capacity, 480.0, 240.0, horizon);
+      sim::ClusterSimulator simulator(graph, cluster, network);
+      auto controller = adaptive::ApicoController::make_default(
+          graph, cluster, network, {.beta = beta, .window = window});
+      controller.attach(simulator);
+      simulator.add_arrivals(arrivals);
+      const auto result = simulator.run();
+      latency_sum += result.mean_latency();
+      p95_sum += result.percentile_latency(0.95);
+      switches += result.plan_switches;
+    }
+    bench::print_row({bench::fmt(beta, 2), bench::fmt(latency_sum / 3, 2),
+                      bench::fmt(p95_sum / 3, 2),
+                      std::to_string(switches / 3)});
+  }
+
+  // Fixed-scheme baselines on the same traces.
+  bench::print_header("Fixed-scheme baselines on the same bursty traces");
+  bench::print_row({"scheme", "mean lat(s)", "p95 lat(s)"});
+  for (const Scheme scheme : {Scheme::OptimalFused, Scheme::Pico}) {
+    const auto p = plan(graph, cluster, network, scheme);
+    double latency_sum = 0.0, p95_sum = 0.0;
+    for (int seed = 0; seed < 3; ++seed) {
+      Rng rng(500 + static_cast<std::uint64_t>(seed));
+      const auto arrivals = sim::bursty_arrivals(
+          rng, 0.2 * capacity, 1.2 * capacity, 480.0, 240.0, horizon);
+      const auto result =
+          sim::simulate_plan(graph, cluster, network, p, arrivals);
+      latency_sum += result.mean_latency();
+      p95_sum += result.percentile_latency(0.95);
+    }
+    bench::print_row({scheme_name(scheme), bench::fmt(latency_sum / 3, 2),
+                      bench::fmt(p95_sum / 3, 2)});
+  }
+  std::printf(
+      "\nExpectation: mean latency is U-shaped in beta (sluggish below 0.1,\n"
+      "slightly worse again at 1.0) while the switch count rises\n"
+      "monotonically — each switch drains the pipeline, which is the cost\n"
+      "of adaptivity.  On burst-dominated traces the fixed pipeline wins\n"
+      "overall (switch drains are pure overhead there); APICO's value is\n"
+      "that it also matches the one-stage scheme at light load (Fig. 10)\n"
+      "while staying within ~20%% of fixed PICO here — and far from OFL's\n"
+      "collapse.\n");
+  return 0;
+}

@@ -1,0 +1,120 @@
+// Ablation (the paper's future work, implemented): intra-block branch
+// parallelism.
+//
+// §V-B: "the optimal model partition is more likely to exist within
+// [inception] blocks.  And PICO currently does not support such a
+// partition, which leads to a smaller speedup ratio."  We implemented that
+// partition (branches.hpp) and let the DP choose per stage between the
+// spatial split and whole-branch assignment.
+//
+// Finding (worth reporting honestly): on InceptionV3 over 50 Mbps WiFi the
+// DP never picks branch mode — correctly.  Branch mode ships the *full*
+// block input to every participating device, while a spatial strip ships
+// only 1/q plus halo; and inception branches are unbalanced, so the
+// heaviest branch bounds the makespan.  The regime where intra-block
+// partitioning genuinely wins is deep-branch blocks on small feature maps
+// (halo redundancy ~ the whole map) with a fast local network — panel 2
+// demonstrates it.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "models/zoo.hpp"
+#include "partition/pico_dp.hpp"
+#include "partition/plan.hpp"
+#include "partition/plan_cost.hpp"
+#include "partition/schemes.hpp"
+
+namespace {
+
+using namespace pico;
+using partition::StageKind;
+
+int branch_stage_count(const partition::Plan& plan) {
+  int count = 0;
+  for (const auto& stage : plan.stages) {
+    count += stage.kind == StageKind::Branch;
+  }
+  return count;
+}
+
+void row_for(const nn::Graph& graph, const Cluster& cluster,
+             const NetworkModel& network, const std::string& label) {
+  const auto spatial = partition::pico_plan(graph, cluster, network);
+  const auto branchy = partition::pico_plan(
+      graph, cluster, network, {.enable_branch_parallel = true});
+  const Seconds ps =
+      partition::plan_cost(graph, cluster, network, spatial).period;
+  const Seconds pb =
+      partition::plan_cost(graph, cluster, network, branchy).period;
+  bench::print_row({label, bench::fmt(ps * 1e3, 2) + "ms",
+                    bench::fmt(pb * 1e3, 2) + "ms",
+                    bench::fmt_pct(1.0 - pb / ps, 1),
+                    std::to_string(branch_stage_count(branchy)) + "/" +
+                        std::to_string(branchy.stage_count())},
+                   14);
+}
+
+/// Blocks of 4 branches x `depth` chained 3x3 convs on a small map — deep
+/// per-branch receptive fields make spatial halos cover nearly the whole
+/// map, the regime where whole-branch assignment wins.
+nn::Graph deep_branch_net(int input, int blocks, int depth) {
+  nn::Graph g;
+  int x = g.add_input({64, input, input});
+  for (int i = 0; i < blocks; ++i) {
+    std::vector<int> outs;
+    for (int b = 0; b < 4; ++b) {
+      int y = x;
+      for (int d = 0; d < depth; ++d) y = g.add_conv(y, 16, 3, 1, 1);
+      outs.push_back(y);
+    }
+    x = g.add_concat(outs);
+  }
+  g.finalize();
+  return g;
+}
+
+}  // namespace
+
+int main() {
+  const Cluster cluster = Cluster::paper_homogeneous(8, 1.2);
+
+  bench::print_header(
+      "Ablation 1 — InceptionV3 at the paper's settings (50 Mbps WiFi)");
+  bench::print_row({"bandwidth", "PICO", "PICO+branch", "gain", "b-stages"},
+                   14);
+  {
+    const nn::Graph graph = models::inception();
+    for (const double mbps : {50.0, 250.0}) {
+      NetworkModel network;
+      network.bandwidth = mbps * 1e6 / 8.0;
+      network.per_message_overhead = 1e-3;
+      row_for(graph, cluster, network, bench::fmt(mbps, 0) + "Mbps");
+    }
+  }
+  std::printf(
+      "\nOn real Inception over WiFi the planner (correctly) keeps the\n"
+      "spatial split: branch mode would broadcast the whole block input to\n"
+      "every device and is bounded by the heaviest (unbalanced) branch.\n");
+
+  bench::print_header(
+      "Ablation 2 — deep-branch blocks on small maps (4x3-conv branches)");
+  bench::print_row({"input/bw", "PICO", "PICO+branch", "gain", "b-stages"},
+                   14);
+  for (const int input : {7, 14}) {
+    for (const double mbps : {250.0, 1000.0}) {
+      const nn::Graph graph = deep_branch_net(input, 4, 3);
+      NetworkModel network;
+      network.bandwidth = mbps * 1e6 / 8.0;
+      network.per_message_overhead = 1e-4;
+      row_for(graph, cluster, network,
+              std::to_string(input) + "px/" + bench::fmt(mbps, 0) + "M");
+    }
+  }
+  std::printf(
+      "\nWith 3-conv-deep branches at 7x7, a spatial strip's halo spans\n"
+      "nearly the whole map (pure redundancy); whole-branch assignment\n"
+      "removes it and cuts the period by double digits once the network can\n"
+      "carry the input broadcast — quantifying exactly when the paper's\n"
+      "proposed extension pays off.\n");
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Ablation (beyond the paper): how far is PICO's two-step heuristic from a
+// local optimum?
+//
+// The homogenized DP (Alg. 1) fixes the stage structure before it ever sees
+// the real capacities; Alg. 2 then only re-balances within that structure.
+// Hill-climbing over device moves/swaps and boundary shifts measures the
+// remaining slack — and, on small instances, the exhaustive optimum anchors
+// the scale.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "core/planner.hpp"
+#include "models/zoo.hpp"
+#include "partition/bfs.hpp"
+#include "partition/local_search.hpp"
+#include "partition/plan_cost.hpp"
+
+int main() {
+  using namespace pico;
+  const NetworkModel network = bench::paper_network();
+
+  bench::print_header(
+      "Ablation — PICO vs PICO+local-search vs optimum (period, s)");
+  bench::print_row({"model", "devices", "PICO", "+search", "gain", "BFS"},
+                   12);
+  struct Case {
+    const char* name;
+    models::ModelId model;
+    int devices;
+    bool bfs_feasible;
+  };
+  const Case cases[] = {
+      {"toy", models::ModelId::ToyMnist, 6, true},
+      {"VGG16", models::ModelId::Vgg16, 8, false},
+      {"YOLOv2", models::ModelId::Yolov2, 8, false},
+      {"ResNet34", models::ModelId::Resnet34, 8, false},
+  };
+  for (const Case& c : cases) {
+    const nn::Graph graph = models::build(c.model);
+    const Cluster cluster = Cluster::paper_heterogeneous().prefix(c.devices);
+    const auto pico = plan(graph, cluster, network, Scheme::Pico);
+    const auto refined = partition::refine_plan(graph, cluster, network,
+                                                pico, {.seed = 7});
+    std::string bfs_cell = "-";
+    if (c.bfs_feasible) {
+      partition::BfsOptions options;
+      options.memoize = true;
+      options.time_budget = 60.0;
+      const auto bfs =
+          partition::bfs_optimal_plan(graph, cluster, network, options);
+      if (!bfs.timed_out) bfs_cell = bench::fmt(bfs.period, 3);
+    }
+    bench::print_row(
+        {c.name, std::to_string(c.devices),
+         bench::fmt(refined.initial_period, 3),
+         bench::fmt(refined.final_period, 3),
+         bench::fmt_pct(1.0 - refined.final_period / refined.initial_period,
+                        1),
+         bfs_cell},
+        12);
+  }
+  std::printf(
+      "\nReading: the gap local search closes is the cost of homogenizing\n"
+      "the cluster in Algorithm 1.  Single-digit percentages mean the\n"
+      "paper's 'acceptable' claim (Sec. V-C) holds beyond the toy model;\n"
+      "anything larger marks instances where the DP's structure choice was\n"
+      "wrong for the real capacities.\n");
+  return 0;
+}

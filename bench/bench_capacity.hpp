@@ -1,0 +1,63 @@
+// Shared harness for Figures 8 and 9: cluster capacity (pipeline period and
+// saturated throughput) for one model across schemes, device counts and CPU
+// frequencies.
+#pragma once
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "core/planner.hpp"
+#include "models/zoo.hpp"
+#include "partition/plan_cost.hpp"
+#include "sim/arrivals.hpp"
+#include "sim/pipeline_sim.hpp"
+
+namespace pico::bench {
+
+inline void capacity_figure(models::ModelId model, const char* figure) {
+  const nn::Graph graph = models::build(model);
+  const NetworkModel network = paper_network();
+  const std::vector<double> frequencies{0.6, 0.8, 1.2};
+  const std::vector<int> device_counts{2, 4, 6, 8};
+  const std::vector<Scheme> schemes{Scheme::LayerWise, Scheme::EarlyFused,
+                                    Scheme::OptimalFused, Scheme::Pico};
+
+  for (const double freq : frequencies) {
+    print_header(std::string(figure) + " — inference period (s), " +
+                 models::model_name(model) + " @ " + fmt(freq, 1) + " GHz");
+    std::vector<std::string> head{"devices"};
+    for (const Scheme s : schemes) head.push_back(scheme_name(s));
+    print_row(head);
+    for (const int devices : device_counts) {
+      const Cluster cluster = Cluster::paper_homogeneous(devices, freq);
+      std::vector<std::string> row{std::to_string(devices)};
+      for (const Scheme scheme : schemes) {
+        const auto p = plan(graph, cluster, network, scheme);
+        const auto cost = evaluate(graph, cluster, network, p);
+        row.push_back(fmt(cost.period, 2));
+      }
+      print_row(row);
+    }
+  }
+
+  // Last panel: tasks per minute with 8 devices (simulated, saturated).
+  print_header(std::string(figure) + " — throughput (tasks/min), " +
+               models::model_name(model) + ", 8 devices");
+  std::vector<std::string> head{"freq"};
+  for (const Scheme s : schemes) head.push_back(scheme_name(s));
+  print_row(head);
+  for (const double freq : frequencies) {
+    const Cluster cluster = Cluster::paper_homogeneous(8, freq);
+    std::vector<std::string> row{fmt(freq, 1) + "GHz"};
+    for (const Scheme scheme : schemes) {
+      const auto p = plan(graph, cluster, network, scheme);
+      const auto arrivals = sim::back_to_back_arrivals(40);
+      const auto result =
+          sim::simulate_plan(graph, cluster, network, p, arrivals);
+      row.push_back(fmt(result.throughput() * 60.0, 2));
+    }
+    print_row(row);
+  }
+}
+
+}  // namespace pico::bench

@@ -1,0 +1,19 @@
+// Figure 10: average inference latency of VGG16 under Poisson workloads
+// (40%–150% of the EFL-defined cluster capacity) on the heterogeneous
+// 8-device cluster, for EFL / OFL / PICO / APICO.
+//
+// Paper shape: latency rises with workload for every scheme; EFL degrades
+// first (longest period), OFL second; PICO stays nearly flat well past 100%
+// because its shorter period keeps the queue stable; APICO matches the
+// fused schemes at light load (it uses the whole cluster per task) and
+// switches to the pipeline as load grows.
+#include "bench_latency.hpp"
+
+int main() {
+  pico::bench::latency_figure(pico::models::ModelId::Vgg16, "Figure 10");
+  std::printf(
+      "\nShape check vs paper: EFL blows up first, then OFL; PICO stays\n"
+      "stable past 100%% of EFL-capacity; APICO tracks the best scheme at\n"
+      "both ends (one-stage at light load, pipeline at heavy load).\n");
+  return 0;
+}

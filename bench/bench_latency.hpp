@@ -1,0 +1,96 @@
+// Shared harness for Figures 10 and 11: average inference latency under
+// Poisson workloads between 40% and 150% of the cluster capacity (defined,
+// as in the paper, as the throughput of the Early-Fused-Layer scheme), on
+// the heterogeneous 8-device cluster.  Each point simulates 10 minutes of
+// traffic and averages 3 repeats with different seeds.
+#pragma once
+
+#include <cstdio>
+
+#include "adaptive/apico.hpp"
+#include "bench_util.hpp"
+#include "core/planner.hpp"
+#include "models/zoo.hpp"
+#include "sim/arrivals.hpp"
+#include "sim/pipeline_sim.hpp"
+
+namespace pico::bench {
+
+struct LatencyPoint {
+  double load = 0.0;       ///< fraction of EFL capacity
+  Seconds efl = 0.0, ofl = 0.0, pico = 0.0, apico = 0.0;
+};
+
+inline Seconds mean_over_seeds(
+    const nn::Graph& graph, const Cluster& cluster,
+    const NetworkModel& network, const partition::Plan& plan, double lambda,
+    Seconds horizon, int repeats) {
+  double sum = 0.0;
+  for (int seed = 0; seed < repeats; ++seed) {
+    Rng rng(1000 + static_cast<std::uint64_t>(seed));
+    const auto arrivals = sim::poisson_arrivals(rng, lambda, horizon);
+    if (arrivals.empty()) continue;
+    const auto result =
+        sim::simulate_plan(graph, cluster, network, plan, arrivals);
+    sum += result.mean_latency();
+  }
+  return sum / repeats;
+}
+
+inline Seconds apico_mean(const nn::Graph& graph, const Cluster& cluster,
+                          const NetworkModel& network, double lambda,
+                          Seconds horizon, Seconds window, int repeats) {
+  double sum = 0.0;
+  for (int seed = 0; seed < repeats; ++seed) {
+    Rng rng(1000 + static_cast<std::uint64_t>(seed));
+    const auto arrivals = sim::poisson_arrivals(rng, lambda, horizon);
+    if (arrivals.empty()) continue;
+    sim::ClusterSimulator simulator(graph, cluster, network);
+    auto controller = adaptive::ApicoController::make_default(
+        graph, cluster, network, {.beta = 0.3, .window = window});
+    controller.attach(simulator);
+    simulator.add_arrivals(arrivals);
+    sum += simulator.run().mean_latency();
+  }
+  return sum / repeats;
+}
+
+inline void latency_figure(models::ModelId model, const char* figure,
+                           Seconds horizon = 600.0, int repeats = 3) {
+  const nn::Graph graph = models::build(model);
+  const Cluster cluster = Cluster::paper_heterogeneous();
+  const NetworkModel network = paper_network();
+
+  const auto efl = plan(graph, cluster, network, Scheme::EarlyFused);
+  const auto ofl = plan(graph, cluster, network, Scheme::OptimalFused);
+  const auto pico = plan(graph, cluster, network, Scheme::Pico);
+  // Cluster capacity = EFL throughput (paper §V-A).
+  const double capacity =
+      1.0 / evaluate(graph, cluster, network, efl).period;
+  const Seconds window = 10.0 / capacity;
+
+  print_header(std::string(figure) + " — average inference latency (s), " +
+               models::model_name(model) +
+               ", heterogeneous 8-device cluster");
+  std::printf("cluster capacity (EFL throughput): %.3f tasks/s\n", capacity);
+  print_row({"workload", "EFL", "OFL", "PICO", "APICO"});
+  for (const double load :
+       {0.4, 0.6, 0.8, 0.9, 1.0, 1.1, 1.25, 1.5}) {
+    const double lambda = load * capacity;
+    LatencyPoint point;
+    point.load = load;
+    point.efl = mean_over_seeds(graph, cluster, network, efl, lambda,
+                                horizon, repeats);
+    point.ofl = mean_over_seeds(graph, cluster, network, ofl, lambda,
+                                horizon, repeats);
+    point.pico = mean_over_seeds(graph, cluster, network, pico, lambda,
+                                 horizon, repeats);
+    point.apico =
+        apico_mean(graph, cluster, network, lambda, horizon, window, repeats);
+    print_row({fmt_pct(point.load, 0), fmt(point.efl, 2),
+               fmt(point.ofl, 2), fmt(point.pico, 2),
+               fmt(point.apico, 2)});
+  }
+}
+
+}  // namespace pico::bench

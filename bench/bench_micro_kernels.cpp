@@ -1,0 +1,154 @@
+// Microbenchmarks (google-benchmark) for the hot paths behind the paper's
+// system: convolution kernels, overlapped split/stitch, receptive-field
+// propagation, the PICO DP planner, message serialization, and the
+// discrete-event simulator.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "cost/flops.hpp"
+#include "models/zoo.hpp"
+#include "nn/executor.hpp"
+#include "nn/receptive.hpp"
+#include "partition/pico_dp.hpp"
+#include "partition/splitter.hpp"
+#include "partition/schemes.hpp"
+#include "runtime/message.hpp"
+#include "sim/arrivals.hpp"
+#include "sim/pipeline_sim.hpp"
+#include "tensor/slice.hpp"
+
+namespace {
+
+using namespace pico;
+
+NetworkModel paper_network() {
+  NetworkModel net;
+  net.bandwidth = 50e6 / 8.0;
+  net.per_message_overhead = 1e-3;
+  return net;
+}
+
+void BM_Conv3x3(benchmark::State& state) {
+  const int size = static_cast<int>(state.range(0));
+  nn::Graph g;
+  int x = g.add_input({16, size, size});
+  g.add_conv(x, 16, 3, 1, 1);
+  g.finalize();
+  Rng rng(1);
+  g.randomize_weights(rng);
+  Tensor input(g.input_shape());
+  input.randomize(rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(nn::execute(g, input));
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["GFLOP/s"] = benchmark::Counter(
+      cost::node_flops_full(g, 1) * state.iterations() / 1e9,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_Conv3x3)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_Conv1x1(benchmark::State& state) {
+  nn::Graph g;
+  int x = g.add_input({64, 56, 56});
+  g.add_conv(x, 64, 1, 1, 0);
+  g.finalize();
+  Rng rng(2);
+  g.randomize_weights(rng);
+  Tensor input(g.input_shape());
+  input.randomize(rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(nn::execute(g, input));
+  }
+}
+BENCHMARK(BM_Conv1x1);
+
+void BM_SplitStitch(benchmark::State& state) {
+  const int parts = static_cast<int>(state.range(0));
+  Rng rng(3);
+  Tensor map({64, 112, 112});
+  map.randomize(rng);
+  const auto strips = partition::split_rows_equal(112, 112, parts);
+  for (auto _ : state) {
+    std::vector<Placed> pieces;
+    pieces.reserve(strips.size());
+    for (const Region& strip : strips) {
+      if (strip.empty()) continue;
+      // Overlapped extraction: one halo row on each side, like a 3x3 conv.
+      const Region haloed =
+          Region{strip.row_begin - 1, strip.row_end + 1, 0, 112}.clamp(112,
+                                                                       112);
+      Tensor piece = extract(map, haloed);
+      pieces.push_back({strip, extract(map, strip)});
+      benchmark::DoNotOptimize(piece);
+    }
+    benchmark::DoNotOptimize(stitch(map.shape(), pieces));
+  }
+}
+BENCHMARK(BM_SplitStitch)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_ReceptiveFieldVgg16(benchmark::State& state) {
+  const nn::Graph g = models::vgg16();
+  const Shape out = g.output_shape();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(nn::segment_input_region(
+        g, 1, g.size() - 1, Region::rows(0, out.height / 2, out.width)));
+  }
+}
+BENCHMARK(BM_ReceptiveFieldVgg16);
+
+void BM_PicoPlannerVgg16(benchmark::State& state) {
+  const nn::Graph g = models::vgg16();
+  const Cluster cluster =
+      Cluster::paper_homogeneous(static_cast<int>(state.range(0)), 1.0);
+  const NetworkModel net = paper_network();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(partition::pico_plan(g, cluster, net));
+  }
+}
+BENCHMARK(BM_PicoPlannerVgg16)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
+
+void BM_OflPlannerYolov2(benchmark::State& state) {
+  const nn::Graph g = models::yolov2();
+  const Cluster cluster = Cluster::paper_homogeneous(8, 1.0);
+  const NetworkModel net = paper_network();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(partition::ofl_plan(g, cluster, net));
+  }
+}
+BENCHMARK(BM_OflPlannerYolov2)->Unit(benchmark::kMillisecond);
+
+void BM_MessageSerialize(benchmark::State& state) {
+  runtime::Message m;
+  m.type = runtime::MessageType::WorkRequest;
+  m.tensor = Tensor({64, 56, 56});
+  Rng rng(4);
+  m.tensor.randomize(rng);
+  for (auto _ : state) {
+    const auto bytes = runtime::serialize(m);
+    benchmark::DoNotOptimize(
+        runtime::deserialize(bytes.data(), bytes.size()));
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(m.tensor.size()) * 4);
+}
+BENCHMARK(BM_MessageSerialize);
+
+void BM_SimulatorSaturated(benchmark::State& state) {
+  const nn::Graph g = models::vgg16({.input_size = 64});
+  const Cluster cluster = Cluster::paper_heterogeneous();
+  const NetworkModel net = paper_network();
+  const auto plan = partition::pico_plan(g, cluster, net);
+  const auto arrivals =
+      sim::back_to_back_arrivals(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        sim::simulate_plan(g, cluster, net, plan, arrivals));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SimulatorSaturated)->Arg(100)->Arg(1000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

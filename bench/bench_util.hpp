@@ -1,0 +1,52 @@
+// Shared helpers for the paper-reproduction bench harnesses.
+//
+// Every bench binary regenerates one table or figure from the paper's
+// evaluation (§II / §V); these helpers pin the common experimental setup —
+// the 50 Mbps WiFi model and the Raspberry-Pi cluster calibration — and
+// provide fixed-width table printing so the output reads like the paper's
+// rows/series.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+
+namespace pico::bench {
+
+/// The paper's network: one 50 Mbps WiFi access point.
+inline NetworkModel paper_network() {
+  NetworkModel net;
+  net.bandwidth = 50e6 / 8.0;
+  net.per_message_overhead = 1e-3;
+  return net;
+}
+
+inline void print_header(const std::string& title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("================================================================\n");
+}
+
+inline void print_row(const std::vector<std::string>& cells, int width = 12) {
+  for (const std::string& cell : cells) {
+    std::printf("%*s", width, cell.c_str());
+  }
+  std::printf("\n");
+}
+
+inline std::string fmt(double value, int decimals = 2) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.*f", decimals, value);
+  return buffer;
+}
+
+inline std::string fmt_pct(double fraction, int decimals = 2) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.*f%%", decimals,
+                fraction * 100.0);
+  return buffer;
+}
+
+}  // namespace pico::bench

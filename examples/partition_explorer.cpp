@@ -1,0 +1,88 @@
+// Partition explorer: a small CLI for studying how the paper's schemes
+// behave as the model, cluster and network change — the tool you would
+// reach for before deploying a model on your own edge cluster.
+//
+//   ./examples/partition_explorer [model] [devices] [freq_ghz] [mbps]
+//   ./examples/partition_explorer yolov2 6 0.8 20
+//   ./examples/partition_explorer path/to/custom.cfg 8 0 50
+//
+// `model` is a zoo name (vgg16|yolov2|resnet34|inception|toy) or a path to
+// a Darknet-style .cfg file.  Prints, for every scheme: the stage
+// structure, predicted period/latency, simulated saturated throughput,
+// per-device utilization and redundancy.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "core/planner.hpp"
+#include "models/cfg.hpp"
+#include "models/zoo.hpp"
+#include "partition/plan_cost.hpp"
+#include "sim/arrivals.hpp"
+#include "sim/pipeline_sim.hpp"
+
+namespace {
+
+using namespace pico;
+
+nn::Graph parse_model(const char* name) {
+  if (!std::strcmp(name, "vgg16")) return models::vgg16();
+  if (!std::strcmp(name, "yolov2")) return models::yolov2();
+  if (!std::strcmp(name, "resnet34")) return models::resnet34();
+  if (!std::strcmp(name, "inception")) return models::inception();
+  if (!std::strcmp(name, "toy")) return models::toy_mnist();
+  if (std::strstr(name, ".cfg") != nullptr) return models::load_cfg(name);
+  std::fprintf(stderr,
+               "unknown model '%s' (vgg16|yolov2|resnet34|inception|toy or "
+               "a .cfg path)\n",
+               name);
+  std::exit(1);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* model_name = argc > 1 ? argv[1] : "vgg16";
+  const int devices = argc > 2 ? std::atoi(argv[2]) : 8;
+  const double freq = argc > 3 ? std::atof(argv[3]) : 0.0;
+  const double mbps = argc > 4 ? std::atof(argv[4]) : 50.0;
+
+  const nn::Graph model = parse_model(model_name);
+  // freq == 0 -> the paper's heterogeneous mix truncated to `devices`.
+  const Cluster cluster =
+      freq > 0.0 ? Cluster::paper_homogeneous(devices, freq)
+                 : Cluster::paper_heterogeneous().prefix(devices);
+  NetworkModel network;
+  network.bandwidth = mbps * 1e6 / 8.0;
+
+  std::printf("model=%s  devices=%d  bandwidth=%.0fMbps\n",
+              model_name, cluster.size(), mbps);
+  for (const Device& d : cluster.devices()) {
+    std::printf("  %s: %.2f GMAC/s\n", d.name.c_str(), d.capacity / 1e9);
+  }
+
+  for (const Scheme scheme : {Scheme::LayerWise, Scheme::EarlyFused,
+                              Scheme::OptimalFused, Scheme::Pico}) {
+    const auto p = plan(model, cluster, network, scheme);
+    const auto cost = evaluate(model, cluster, network, p);
+    const auto result =
+        sim::simulate_plan(model, cluster, network, p,
+                           sim::back_to_back_arrivals(40),
+                           sim::CommModel::Overlapped);
+
+    std::printf("\n--- %s ---\n", scheme_name(scheme));
+    std::printf("%s", partition::describe_plan(model, p).c_str());
+    std::printf("predicted: period=%.2fs latency=%.2fs   simulated: %.2f "
+                "tasks/min\n",
+                cost.period, cost.latency, result.throughput() * 60.0);
+    std::printf("redundancy: %.1f%% extra FLOPs vs one clean pass\n",
+                100.0 * partition::plan_redundancy_ratio(model, p));
+    for (const auto& usage : result.devices) {
+      std::printf("  device %d: utilization %5.1f%%  redundancy %5.1f%%\n",
+                  usage.device, 100.0 * result.utilization(usage.device),
+                  100.0 * usage.redundancy_ratio());
+    }
+  }
+  return 0;
+}

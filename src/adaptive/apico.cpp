@@ -1,0 +1,51 @@
+#include "adaptive/apico.hpp"
+
+#include "common/error.hpp"
+#include "partition/pico_dp.hpp"
+#include "partition/schemes.hpp"
+
+namespace pico::adaptive {
+
+ApicoController::ApicoController(std::vector<Candidate> candidates,
+                                 ApicoOptions options)
+    : candidates_(std::move(candidates)),
+      options_(options),
+      estimator_(options.beta, options.initial_rate) {
+  PICO_CHECK(!candidates_.empty());
+}
+
+ApicoController ApicoController::make_default(const nn::Graph& graph,
+                                              const Cluster& cluster,
+                                              const NetworkModel& network,
+                                              ApicoOptions options) {
+  std::vector<Candidate> candidates;
+  candidates.push_back(make_candidate(
+      graph, cluster, network, partition::ofl_plan(graph, cluster, network)));
+  candidates.push_back(make_candidate(
+      graph, cluster, network, partition::pico_plan(graph, cluster, network)));
+  return ApicoController(std::move(candidates), options);
+}
+
+const Candidate& ApicoController::decide(int window_arrivals) {
+  PICO_CHECK(window_arrivals >= 0);
+  return decide_rate(static_cast<double>(window_arrivals) / options_.window);
+}
+
+const Candidate& ApicoController::decide_rate(double measured_rate) {
+  estimator_.observe(measured_rate);
+  current_ = select_scheme(candidates_, estimator_.rate());
+  return candidates_[current_];
+}
+
+void ApicoController::attach(sim::ClusterSimulator& simulator) {
+  simulator.set_plan(candidates_[current_].plan);
+  simulator.set_controller(
+      options_.window,
+      [this](sim::ClusterSimulator& sim, Seconds now, int window_arrivals) {
+        const Candidate& choice = decide(window_arrivals);
+        decisions_.emplace_back(now, choice.plan.scheme);
+        sim.set_plan(choice.plan);
+      });
+}
+
+}  // namespace pico::adaptive

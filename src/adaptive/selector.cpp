@@ -1,0 +1,51 @@
+#include "adaptive/selector.hpp"
+
+#include <limits>
+
+#include "common/error.hpp"
+#include "partition/plan_cost.hpp"
+#include "sim/queueing.hpp"
+
+namespace pico::adaptive {
+
+Candidate make_candidate(const nn::Graph& graph, const Cluster& cluster,
+                         const NetworkModel& network,
+                         const partition::Plan& plan) {
+  const partition::PlanCost cost =
+      partition::plan_cost(graph, cluster, network, plan);
+  return {plan, cost.period, cost.latency};
+}
+
+Seconds predicted_latency(const Candidate& candidate, double lambda) {
+  // Exact M/D/1 prediction (Wq + t).  Theorem 2's expression adds one extra
+  // bottleneck service on top of t; using the exact form keeps the selector's
+  // crossover where the simulator actually measures it (see queueing.hpp).
+  return sim::md1_sojourn_latency(candidate.period, candidate.latency,
+                                  lambda);
+}
+
+std::size_t select_scheme(std::span<const Candidate> candidates,
+                          double lambda) {
+  PICO_CHECK(!candidates.empty());
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::size_t best = 0;
+  double best_latency = kInf;
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    const double predicted = predicted_latency(candidates[i], lambda);
+    if (predicted < best_latency ||
+        (predicted == best_latency &&
+         candidates[i].period < candidates[best].period)) {
+      best = i;
+      best_latency = predicted;
+    }
+  }
+  if (best_latency == kInf) {
+    // Saturated either way: maximize throughput.
+    for (std::size_t i = 1; i < candidates.size(); ++i) {
+      if (candidates[i].period < candidates[best].period) best = i;
+    }
+  }
+  return best;
+}
+
+}  // namespace pico::adaptive

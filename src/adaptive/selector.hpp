@@ -1,0 +1,36 @@
+// Scheme selection (§IV-C): given candidate plans and the estimated arrival
+// rate λ, predict each plan's average inference latency with Theorem 2 and
+// pick the argmin.  Unstable candidates (λp ≥ 1) predict +inf; when every
+// candidate is unstable the queue grows regardless, so the plan with the
+// smallest period (highest throughput) is chosen.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "nn/graph.hpp"
+#include "partition/plan.hpp"
+
+namespace pico::adaptive {
+
+struct Candidate {
+  partition::Plan plan;
+  Seconds period = 0.0;   ///< Eq. 10
+  Seconds latency = 0.0;  ///< Eq. 11
+};
+
+/// Evaluate a plan's period/latency under the cost model.
+Candidate make_candidate(const nn::Graph& graph, const Cluster& cluster,
+                         const NetworkModel& network,
+                         const partition::Plan& plan);
+
+/// Predicted average inference latency of one candidate at rate λ
+/// (exact M/D/1 form Wq + t; see sim/queueing.hpp for Theorem 2 vs exact).
+Seconds predicted_latency(const Candidate& candidate, double lambda);
+
+/// Index of the best candidate at rate λ (see header comment for ties).
+std::size_t select_scheme(std::span<const Candidate> candidates,
+                          double lambda);
+
+}  // namespace pico::adaptive

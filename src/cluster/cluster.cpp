@@ -1,0 +1,106 @@
+#include "cluster/cluster.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/error.hpp"
+
+namespace pico {
+
+FlopsPerSec pi_capacity(double frequency_ghz) {
+  PICO_CHECK(frequency_ghz > 0.0);
+  constexpr double kSustainedMacsPerCycle = 2.0;
+  return frequency_ghz * 1e9 * kSustainedMacsPerCycle;
+}
+
+Cluster::Cluster(std::vector<Device> devices) : devices_(std::move(devices)) {
+  for (std::size_t i = 0; i < devices_.size(); ++i) {
+    devices_[i].id = static_cast<DeviceId>(i);
+    PICO_CHECK_MSG(devices_[i].capacity > 0.0,
+                   "device " << i << " has non-positive capacity");
+    if (devices_[i].name.empty()) {
+      devices_[i].name = "dev" + std::to_string(i);
+    }
+  }
+}
+
+const Device& Cluster::device(DeviceId id) const {
+  PICO_CHECK_MSG(id >= 0 && id < size(), "device id " << id
+                                                      << " out of range");
+  return devices_[static_cast<std::size_t>(id)];
+}
+
+FlopsPerSec Cluster::total_capacity() const {
+  return std::accumulate(devices_.begin(), devices_.end(), 0.0,
+                         [](double acc, const Device& d) {
+                           return acc + d.capacity;
+                         });
+}
+
+FlopsPerSec Cluster::mean_capacity() const {
+  PICO_CHECK(!devices_.empty());
+  return total_capacity() / static_cast<double>(size());
+}
+
+std::vector<DeviceId> Cluster::ids_by_capacity_desc() const {
+  std::vector<DeviceId> ids(devices_.size());
+  std::iota(ids.begin(), ids.end(), 0);
+  std::stable_sort(ids.begin(), ids.end(), [&](DeviceId a, DeviceId b) {
+    return devices_[static_cast<std::size_t>(a)].capacity >
+           devices_[static_cast<std::size_t>(b)].capacity;
+  });
+  return ids;
+}
+
+DeviceId Cluster::fastest() const {
+  PICO_CHECK(!devices_.empty());
+  return ids_by_capacity_desc().front();
+}
+
+Cluster Cluster::homogenized() const {
+  const FlopsPerSec mean = mean_capacity();
+  std::vector<Device> devices = devices_;
+  for (auto& d : devices) {
+    d.capacity = mean;
+    d.name += "-hom";
+  }
+  return Cluster(std::move(devices));
+}
+
+Cluster Cluster::prefix(int count) const {
+  PICO_CHECK(count >= 1 && count <= size());
+  return Cluster(std::vector<Device>(devices_.begin(),
+                                     devices_.begin() + count));
+}
+
+Cluster Cluster::homogeneous(int count, FlopsPerSec capacity) {
+  PICO_CHECK(count >= 1);
+  std::vector<Device> devices(static_cast<std::size_t>(count));
+  for (auto& d : devices) d.capacity = capacity;
+  return Cluster(std::move(devices));
+}
+
+Cluster Cluster::raspberry_pi(const std::vector<double>& frequencies_ghz) {
+  PICO_CHECK(!frequencies_ghz.empty());
+  std::vector<Device> devices;
+  devices.reserve(frequencies_ghz.size());
+  for (double freq : frequencies_ghz) {
+    Device d;
+    d.capacity = pi_capacity(freq);
+    d.frequency_ghz = freq;
+    d.name = "pi4b-" + std::to_string(static_cast<int>(freq * 1000)) + "MHz";
+    devices.push_back(std::move(d));
+  }
+  return Cluster(std::move(devices));
+}
+
+Cluster Cluster::paper_heterogeneous() {
+  return raspberry_pi({1.2, 1.2, 0.8, 0.8, 0.6, 0.6, 0.6, 0.6});
+}
+
+Cluster Cluster::paper_homogeneous(int count, double frequency_ghz) {
+  return raspberry_pi(std::vector<double>(static_cast<std::size_t>(count),
+                                          frequency_ghz));
+}
+
+}  // namespace pico

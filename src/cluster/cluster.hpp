@@ -1,0 +1,113 @@
+// Heterogeneous edge cluster model.
+//
+// Substitutes for the paper's testbed: 8 Raspberry-Pi 4Bs (single ARM core,
+// frequency-scaled 600 MHz – 1.5 GHz) behind one 50 Mbps WiFi access point.
+// A Device carries its sustained compute capacity θ(d_k) in FLOP/s (the
+// paper's Eq. 5, FLOPs counted as multiply-accumulates per Eq. 2) and the
+// regression coefficient α_k; the NetworkModel carries the shared uplink
+// bandwidth b used by Eq. 7.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace pico {
+
+struct Device {
+  DeviceId id = -1;
+  std::string name;
+  FlopsPerSec capacity = 0.0;  ///< θ(d_k): sustained MAC/s
+  double alpha = 1.0;          ///< α_k: measured-vs-model correction (Eq. 5)
+  double frequency_ghz = 0.0;  ///< informational (Pi calibration)
+
+  /// Modeled time to execute `flops` on this device (Eq. 5).
+  Seconds compute_time(Flops flops) const {
+    return alpha * flops / capacity;
+  }
+};
+
+/// Shared-medium network (one WiFi AP): Eq. 7 transfer time plus a small
+/// fixed per-message overhead (MAC/queueing), serialized through one link.
+///
+/// The paper assumes one bandwidth `b` for every device (§III-A).  As an
+/// extension, `device_bandwidth_scale` lets individual links degrade (a
+/// device far from the AP, a 2.4 GHz-only radio): device k's effective
+/// bandwidth is b * scale[k].  An empty vector means uniform; devices
+/// beyond the vector's length also get scale 1.
+struct NetworkModel {
+  BytesPerSec bandwidth = 50e6 / 8.0;  ///< 50 Mbps default
+  Seconds per_message_overhead = 1e-3;
+  std::vector<double> device_bandwidth_scale;
+
+  BytesPerSec device_bandwidth(DeviceId device) const {
+    if (device < 0 ||
+        device >= static_cast<DeviceId>(device_bandwidth_scale.size())) {
+      return bandwidth;
+    }
+    return bandwidth * device_bandwidth_scale[static_cast<std::size_t>(device)];
+  }
+
+  /// Transfer time over device k's link (device < 0: the nominal link).
+  Seconds transfer_time(Bytes bytes, DeviceId device = -1) const {
+    return per_message_overhead + bytes / device_bandwidth(device);
+  }
+
+  /// Copy with per-device scaling stripped — what planners that reason
+  /// about anonymous homogeneous devices (Alg. 1) should use.
+  NetworkModel uniform() const {
+    NetworkModel copy = *this;
+    copy.device_bandwidth_scale.clear();
+    return copy;
+  }
+};
+
+class Cluster {
+ public:
+  Cluster() = default;
+  explicit Cluster(std::vector<Device> devices);
+
+  int size() const { return static_cast<int>(devices_.size()); }
+  const Device& device(DeviceId id) const;
+  const std::vector<Device>& devices() const { return devices_; }
+
+  FlopsPerSec total_capacity() const;
+  FlopsPerSec mean_capacity() const;
+  /// Device ids sorted by capacity, fastest first.
+  std::vector<DeviceId> ids_by_capacity_desc() const;
+  DeviceId fastest() const;
+
+  /// Eq. 12: same device count, every capacity replaced by the mean.
+  Cluster homogenized() const;
+
+  /// First `count` devices.
+  Cluster prefix(int count) const;
+
+  // -- Factories ----------------------------------------------------------
+
+  /// n identical devices.
+  static Cluster homogeneous(int count, FlopsPerSec capacity);
+
+  /// Raspberry-Pi-4B-class devices at the given core frequencies (GHz),
+  /// using the calibrated MACs-per-cycle sustained rate.
+  static Cluster raspberry_pi(const std::vector<double>& frequencies_ghz);
+
+  /// The paper's Table I heterogeneous testbed:
+  /// 2 x 1.2 GHz, 2 x 800 MHz, 4 x 600 MHz.
+  static Cluster paper_heterogeneous();
+
+  /// 8 devices all at `frequency_ghz` (the Fig. 8/9 sweeps fix frequency).
+  static Cluster paper_homogeneous(int count, double frequency_ghz);
+
+ private:
+  std::vector<Device> devices_;
+};
+
+/// Sustained MAC/s of one Pi-4B-class core at `frequency_ghz`.
+/// Calibration: ~2 sustained MACs per cycle for NNPACK-accelerated conv on a
+/// single Cortex-A72 core (peak 8 FLOPs/cycle, realistic conv efficiency
+/// ~25%).  Only ratios across frequencies matter for the paper's figures.
+FlopsPerSec pi_capacity(double frequency_ghz);
+
+}  // namespace pico

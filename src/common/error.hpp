@@ -1,0 +1,58 @@
+// Error handling: PICO uses exceptions for contract violations and
+// unrecoverable runtime failures (CppCoreGuidelines E.2).  The PICO_CHECK
+// macro documents preconditions at API boundaries and throws with location
+// context; it is always enabled (these checks guard distributed-glue
+// invariants, not hot inner loops).
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace pico {
+
+/// Base exception for all PICO failures.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown on violated preconditions / invariants.
+class InvariantError : public Error {
+ public:
+  explicit InvariantError(const std::string& what) : Error(what) {}
+};
+
+/// Thrown on transport/socket failures in the runtime.
+class TransportError : public Error {
+ public:
+  explicit TransportError(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "PICO_CHECK failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw InvariantError(os.str());
+}
+}  // namespace detail
+
+}  // namespace pico
+
+#define PICO_CHECK(expr)                                              \
+  do {                                                                \
+    if (!(expr))                                                      \
+      ::pico::detail::check_failed(#expr, __FILE__, __LINE__, "");    \
+  } while (false)
+
+#define PICO_CHECK_MSG(expr, msg)                                     \
+  do {                                                                \
+    if (!(expr)) {                                                    \
+      std::ostringstream pico_check_os_;                              \
+      pico_check_os_ << msg;                                          \
+      ::pico::detail::check_failed(#expr, __FILE__, __LINE__,         \
+                                   pico_check_os_.str());             \
+    }                                                                 \
+  } while (false)

@@ -1,0 +1,42 @@
+#include "common/log.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+
+namespace pico::log {
+
+namespace {
+std::atomic<Level> g_level{Level::Warn};
+std::mutex g_emit_mutex;
+
+const char* tag(Level level) {
+  switch (level) {
+    case Level::Debug: return "DEBUG";
+    case Level::Info:  return "INFO ";
+    case Level::Warn:  return "WARN ";
+    case Level::Error: return "ERROR";
+    case Level::Off:   return "OFF  ";
+  }
+  return "?????";
+}
+}  // namespace
+
+void set_level(Level level) { g_level.store(level, std::memory_order_relaxed); }
+
+Level level() { return g_level.load(std::memory_order_relaxed); }
+
+void emit(Level lvl, const std::string& message) {
+  if (level() > lvl) return;
+  using namespace std::chrono;
+  const auto now = duration_cast<milliseconds>(
+                       steady_clock::now().time_since_epoch())
+                       .count();
+  std::lock_guard<std::mutex> lock(g_emit_mutex);
+  std::fprintf(stderr, "[%s %8lld.%03lld] %s\n", tag(lvl),
+               static_cast<long long>(now / 1000),
+               static_cast<long long>(now % 1000), message.c_str());
+}
+
+}  // namespace pico::log

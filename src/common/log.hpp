@@ -1,0 +1,44 @@
+// Minimal leveled logger.  Defaults to Warn so tests and benches stay quiet;
+// examples raise it to Info.  Thread-safe (single mutex around emission) —
+// the runtime logs from worker threads.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace pico::log {
+
+enum class Level { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+/// Process-wide threshold; messages below it are discarded.
+void set_level(Level level);
+Level level();
+
+/// Emit one line (appends '\n') to stderr with a level tag and timestamp.
+void emit(Level level, const std::string& message);
+
+namespace detail {
+class LineStream {
+ public:
+  explicit LineStream(Level level) : level_(level) {}
+  ~LineStream() { emit(level_, os_.str()); }
+  LineStream(const LineStream&) = delete;
+  LineStream& operator=(const LineStream&) = delete;
+
+  template <typename T>
+  LineStream& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  Level level_;
+  std::ostringstream os_;
+};
+}  // namespace detail
+
+}  // namespace pico::log
+
+#define PICO_LOG(lvl)                                   \
+  if (::pico::log::level() <= ::pico::log::Level::lvl)  \
+  ::pico::log::detail::LineStream(::pico::log::Level::lvl)

@@ -1,0 +1,45 @@
+// Deterministic pseudo-random number generation.
+//
+// Everything in this repository that needs randomness (synthetic weights,
+// inputs, Poisson arrivals, capacity perturbations) goes through Rng so that
+// every test, example, and bench run is reproducible from a seed.
+// The core generator is xoshiro256** seeded via splitmix64.
+#pragma once
+
+#include <cstdint>
+
+namespace pico {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed);
+
+  /// Uniform over all 64-bit values.
+  std::uint64_t next_u64();
+
+  /// Uniform in [0, 1).
+  double uniform();
+
+  /// Uniform in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [lo, hi] (inclusive).  Requires lo <= hi.
+  int uniform_int(int lo, int hi);
+
+  /// Standard normal via Box–Muller.
+  double normal();
+  double normal(double mean, double stddev);
+
+  /// Exponential with the given rate (mean 1/rate).  Requires rate > 0.
+  double exponential(double rate);
+
+  /// Fork a statistically independent child stream (for per-thread use).
+  Rng fork();
+
+ private:
+  std::uint64_t state_[4];
+  bool has_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+}  // namespace pico

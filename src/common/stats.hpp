@@ -1,0 +1,35 @@
+// Small statistics helpers used by the simulator and benches.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace pico {
+
+/// Online mean/variance accumulator (Welford).
+class RunningStats {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return count_; }
+  double mean() const;
+  double variance() const;  ///< sample variance; 0 when count < 2
+  double stddev() const;
+  double min() const;       ///< +inf when empty
+  double max() const;       ///< -inf when empty
+  double sum() const { return sum_; }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Percentile of a sample by linear interpolation; q in [0, 1].
+/// Sorts a copy; fine for bench-sized vectors.
+double percentile(std::vector<double> values, double q);
+
+}  // namespace pico

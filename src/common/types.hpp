@@ -1,0 +1,30 @@
+// Fundamental scalar types and unit aliases shared across all PICO modules.
+//
+// All physical quantities use double precision with documented units:
+//   Seconds  — wall-clock or simulated time
+//   Flops    — floating point operations (a count, not a rate)
+//   FlopsPerSec — compute capacity of a device
+//   Bytes    — data volume
+//   BytesPerSec — link bandwidth
+#pragma once
+
+#include <cstdint>
+
+namespace pico {
+
+using Seconds = double;
+using Flops = double;
+using FlopsPerSec = double;
+using Bytes = double;
+using BytesPerSec = double;
+
+/// Identifier of a device inside a cluster (index into Cluster::devices()).
+using DeviceId = int;
+
+/// Identifier of a layer (index into a model's topological layer order).
+using LayerId = int;
+
+/// Bytes occupied by one feature-map scalar (float32 everywhere).
+inline constexpr Bytes kBytesPerScalar = 4.0;
+
+}  // namespace pico

@@ -1,0 +1,57 @@
+#include "core/planner.hpp"
+
+#include "common/error.hpp"
+#include "partition/pico_dp.hpp"
+
+namespace pico {
+
+const char* scheme_name(Scheme scheme) {
+  switch (scheme) {
+    case Scheme::LayerWise:    return "LW";
+    case Scheme::EarlyFused:   return "EFL";
+    case Scheme::OptimalFused: return "OFL";
+    case Scheme::Pico:         return "PICO";
+    case Scheme::BfsOptimal:   return "BFS";
+  }
+  return "?";
+}
+
+partition::Plan plan(const nn::Graph& graph, const Cluster& cluster,
+                     const NetworkModel& network, Scheme scheme,
+                     const PlanOptions& options) {
+  partition::SchemeOptions scheme_options;
+  scheme_options.latency_limit = options.latency_limit;
+  scheme_options.efl_fused_units = options.efl_fused_units;
+  scheme_options.partition_mode = options.partition_mode;
+  switch (scheme) {
+    case Scheme::LayerWise:
+      return partition::lw_plan(graph, cluster, scheme_options);
+    case Scheme::EarlyFused:
+      return partition::efl_plan(graph, cluster, scheme_options);
+    case Scheme::OptimalFused:
+      return partition::ofl_plan(graph, cluster, network, scheme_options);
+    case Scheme::Pico:
+      return partition::pico_plan(graph, cluster, network, scheme_options);
+    case Scheme::BfsOptimal: {
+      partition::BfsOptions bfs_options;
+      bfs_options.latency_limit = options.latency_limit;
+      bfs_options.time_budget = options.bfs_time_budget;
+      const partition::BfsResult result =
+          partition::bfs_optimal_plan(graph, cluster, network, bfs_options);
+      PICO_CHECK_MSG(!result.plan.stages.empty(),
+                     "BFS found no feasible plan (timed out: "
+                         << result.timed_out << ")");
+      return result.plan;
+    }
+  }
+  PICO_CHECK_MSG(false, "unknown scheme");
+  return {};
+}
+
+partition::PlanCost evaluate(const nn::Graph& graph, const Cluster& cluster,
+                             const NetworkModel& network,
+                             const partition::Plan& plan) {
+  return partition::plan_cost(graph, cluster, network, plan);
+}
+
+}  // namespace pico

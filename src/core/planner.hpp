@@ -1,0 +1,51 @@
+// Public facade — the API a downstream user calls.
+//
+//   auto graph   = pico::models::vgg16();
+//   auto cluster = pico::Cluster::paper_heterogeneous();
+//   pico::NetworkModel network;                       // 50 Mbps WiFi
+//   auto plan = pico::plan(graph, cluster, network,
+//                          pico::Scheme::Pico, {.latency_limit = 10.0});
+//   auto cost = pico::evaluate(graph, cluster, network, plan);
+//   pico::runtime::PipelineRuntime runtime(graph, plan);
+//   Tensor result = runtime.infer(frame);
+#pragma once
+
+#include "adaptive/apico.hpp"
+#include "cluster/cluster.hpp"
+#include "nn/graph.hpp"
+#include "partition/bfs.hpp"
+#include "partition/plan.hpp"
+#include "partition/plan_cost.hpp"
+#include "partition/schemes.hpp"
+
+namespace pico {
+
+enum class Scheme {
+  LayerWise,     ///< LW  — MoDNN-style per-layer parallelization
+  EarlyFused,    ///< EFL — DeepThings-style early-layer fusion
+  OptimalFused,  ///< OFL — AOFL-style DP-fused one-stage scheme
+  Pico,          ///< PICO — DP pipeline + greedy heterogeneous adaptation
+  BfsOptimal,    ///< exhaustive optimal pipeline (small instances only)
+};
+
+const char* scheme_name(Scheme scheme);
+
+struct PlanOptions {
+  Seconds latency_limit = std::numeric_limits<double>::infinity();
+  int efl_fused_units = 0;      ///< 0 = auto
+  Seconds bfs_time_budget = 60.0;
+  /// Strips (paper) or DeepThings-style 2-D grid for LW/EFL/OFL stages.
+  partition::PartitionMode partition_mode = partition::PartitionMode::Strips;
+};
+
+/// Build a plan with the chosen scheme.  Throws on infeasible constraints.
+partition::Plan plan(const nn::Graph& graph, const Cluster& cluster,
+                     const NetworkModel& network, Scheme scheme,
+                     const PlanOptions& options = {});
+
+/// Model-predicted period / latency / per-stage costs of a plan (Eq. 5–11).
+partition::PlanCost evaluate(const nn::Graph& graph, const Cluster& cluster,
+                             const NetworkModel& network,
+                             const partition::Plan& plan);
+
+}  // namespace pico

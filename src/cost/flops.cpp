@@ -1,0 +1,86 @@
+#include "cost/flops.hpp"
+
+#include "common/error.hpp"
+#include "nn/receptive.hpp"
+
+namespace pico::cost {
+
+using nn::Node;
+using nn::OpKind;
+
+Flops node_flops(const nn::Graph& graph, int id, const Region& out_region) {
+  if (out_region.empty()) return 0.0;
+  const Node& node = graph.node(id);
+  const double area = static_cast<double>(out_region.area());
+  switch (node.kind) {
+    case OpKind::Conv:
+      // Eq. 2: k_h · k_w · c_{i-1} · h_i · w_i · c_i (per-group input
+      // channels for grouped/depthwise convolutions)
+      return static_cast<double>(node.win.kh) * node.win.kw *
+             (node.in_shape.channels / node.groups) * area *
+             node.out_channels;
+    case OpKind::MaxPool:
+    case OpKind::AvgPool:
+      return static_cast<double>(node.win.kh) * node.win.kw *
+             node.in_shape.channels * area;
+    case OpKind::ReLU:
+    case OpKind::BatchNorm:
+    case OpKind::Add:
+      return static_cast<double>(node.out_shape.channels) * area;
+    case OpKind::Concat:
+    case OpKind::Input:
+      return 0.0;
+    case OpKind::FullyConnected:
+      return static_cast<double>(node.in_shape.elements()) *
+             node.out_channels;
+    case OpKind::GlobalAvgPool:
+      return static_cast<double>(node.in_shape.elements());
+  }
+  return 0.0;
+}
+
+Flops node_flops_full(const nn::Graph& graph, int id) {
+  const Node& node = graph.node(id);
+  return node_flops(graph, id,
+                    Region::full(node.out_shape.height, node.out_shape.width));
+}
+
+Flops segment_flops(const nn::Graph& graph, int first, int last,
+                    const Region& out_region) {
+  if (out_region.empty()) return 0.0;
+  const std::vector<Region> demand =
+      nn::segment_demand(graph, first, last, out_region);
+  Flops total = 0.0;
+  for (int id = first; id <= last; ++id) {
+    total += node_flops(graph, id,
+                        demand[static_cast<std::size_t>(id - first)]);
+  }
+  return total;
+}
+
+Flops segment_flops_full(const nn::Graph& graph, int first, int last) {
+  PICO_CHECK(first >= 1 && first <= last && last < graph.size());
+  Flops total = 0.0;
+  for (int id = first; id <= last; ++id) {
+    total += node_flops_full(graph, id);
+  }
+  return total;
+}
+
+Flops model_flops(const nn::Graph& graph) {
+  return segment_flops_full(graph, 1, graph.size() - 1);
+}
+
+Bytes region_bytes(int channels, const Region& region) {
+  if (region.empty()) return 0.0;
+  return kBytesPerScalar * channels * static_cast<double>(region.area());
+}
+
+Bytes node_output_bytes(const nn::Graph& graph, int id) {
+  const Node& node = graph.node(id);
+  return region_bytes(
+      node.out_shape.channels,
+      Region::full(node.out_shape.height, node.out_shape.width));
+}
+
+}  // namespace pico::cost

@@ -1,0 +1,43 @@
+// FLOP accounting — the paper's Eq. 2 and Eq. 4.
+//
+// FLOPs are counted as multiply-accumulates for conv (Eq. 2:
+// k_h·k_w·c_in·h·w·c_out for an output region of h×w) and FC; pooling,
+// batch-norm, ReLU and residual adds are counted at one operation per
+// produced element (the paper drops them as negligible — keeping them makes
+// the simulator's busy-time accounting exact without changing any shape).
+// Concat and Input are free.
+#pragma once
+
+#include "common/types.hpp"
+#include "nn/graph.hpp"
+#include "tensor/region.hpp"
+
+namespace pico::cost {
+
+/// Eq. 2 (generalized): FLOPs for node `id` to produce `out_region`.
+Flops node_flops(const nn::Graph& graph, int id, const Region& out_region);
+
+/// FLOPs for node `id` producing its whole output map.
+Flops node_flops_full(const nn::Graph& graph, int id);
+
+/// Eq. 4: FLOPs one device spends producing `out_region` of node `last`'s
+/// output with the fused segment [first, last] — includes all halo
+/// (overlapped) computation via the receptive-field demand of every
+/// intermediate layer.
+Flops segment_flops(const nn::Graph& graph, int first, int last,
+                    const Region& out_region);
+
+/// FLOPs to run segment [first, last] once, producing full maps (the
+/// no-redundancy baseline used for redundancy ratios).
+Flops segment_flops_full(const nn::Graph& graph, int first, int last);
+
+/// Whole-model FLOPs (full maps).
+Flops model_flops(const nn::Graph& graph);
+
+/// Bytes of a feature-map region with `channels` channels (the paper's φ).
+Bytes region_bytes(int channels, const Region& region);
+
+/// Bytes of node `id`'s full output map.
+Bytes node_output_bytes(const nn::Graph& graph, int id);
+
+}  // namespace pico::cost

@@ -1,0 +1,272 @@
+#include "models/cfg.hpp"
+
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/log.hpp"
+
+namespace pico::models {
+
+namespace {
+
+struct Section {
+  std::string name;
+  int line = 0;  ///< 1-based line of the [header]
+  std::map<std::string, std::string> keys;
+};
+
+[[noreturn]] void fail(int line, const std::string& message) {
+  throw Error("cfg parse error (line " + std::to_string(line) + "): " +
+              message);
+}
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t' ||
+                        s.front() == '\r')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t' ||
+                        s.back() == '\r')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+std::vector<Section> tokenize(std::string_view text) {
+  std::vector<Section> sections;
+  int line_number = 0;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t eol = text.find('\n', pos);
+    std::string_view line =
+        text.substr(pos, eol == std::string_view::npos ? text.size() - pos
+                                                       : eol - pos);
+    pos = eol == std::string_view::npos ? text.size() + 1 : eol + 1;
+    ++line_number;
+
+    // Strip comments (# and ;) and whitespace.
+    if (const std::size_t hash = line.find_first_of("#;");
+        hash != std::string_view::npos) {
+      line = line.substr(0, hash);
+    }
+    line = trim(line);
+    if (line.empty()) continue;
+
+    if (line.front() == '[') {
+      if (line.back() != ']' || line.size() < 3) {
+        fail(line_number, "malformed section header");
+      }
+      Section section;
+      section.name = std::string(line.substr(1, line.size() - 2));
+      section.line = line_number;
+      sections.push_back(std::move(section));
+      continue;
+    }
+    const std::size_t eq = line.find('=');
+    if (eq == std::string_view::npos) {
+      fail(line_number, "expected key=value, got '" + std::string(line) +
+                            "'");
+    }
+    if (sections.empty()) {
+      fail(line_number, "key=value before any [section]");
+    }
+    const std::string key{trim(line.substr(0, eq))};
+    const std::string value{trim(line.substr(eq + 1))};
+    if (key.empty()) fail(line_number, "empty key");
+    sections.back().keys[key] = value;
+  }
+  return sections;
+}
+
+class SectionReader {
+ public:
+  explicit SectionReader(const Section& section) : section_(section) {}
+
+  int get_int(const std::string& key, int fallback) const {
+    const auto it = section_.keys.find(key);
+    if (it == section_.keys.end()) return fallback;
+    try {
+      std::size_t consumed = 0;
+      const int value = std::stoi(it->second, &consumed);
+      if (consumed != it->second.size()) throw std::invalid_argument("");
+      return value;
+    } catch (const std::exception&) {
+      fail(section_.line, "key '" + key + "' is not an integer: '" +
+                              it->second + "'");
+    }
+  }
+
+  int require_int(const std::string& key) const {
+    if (!has(key)) {
+      fail(section_.line,
+           "[" + section_.name + "] is missing required key '" + key + "'");
+    }
+    return get_int(key, 0);
+  }
+
+  std::string get(const std::string& key, const std::string& fallback) const {
+    const auto it = section_.keys.find(key);
+    return it == section_.keys.end() ? fallback : it->second;
+  }
+
+  bool has(const std::string& key) const {
+    return section_.keys.count(key) != 0;
+  }
+
+  /// Comma-separated integer list.
+  std::vector<int> get_int_list(const std::string& key) const {
+    const auto it = section_.keys.find(key);
+    if (it == section_.keys.end()) {
+      fail(section_.line,
+           "[" + section_.name + "] is missing required key '" + key + "'");
+    }
+    std::vector<int> out;
+    std::stringstream stream{it->second};
+    std::string item;
+    while (std::getline(stream, item, ',')) {
+      try {
+        out.push_back(std::stoi(item));
+      } catch (const std::exception&) {
+        fail(section_.line, "bad integer '" + item + "' in '" + key + "'");
+      }
+    }
+    if (out.empty()) fail(section_.line, "empty list for '" + key + "'");
+    return out;
+  }
+
+  int line() const { return section_.line; }
+  const std::string& name() const { return section_.name; }
+
+ private:
+  const Section& section_;
+};
+
+/// activation= handling shared by convolutional/shortcut.
+bool parse_relu(const SectionReader& reader) {
+  const std::string activation = reader.get("activation", "linear");
+  if (activation == "relu") return true;
+  if (activation == "linear" || activation == "none") return false;
+  if (activation == "leaky") {
+    PICO_LOG(Warn) << "cfg line " << reader.line()
+                   << ": 'leaky' mapped to relu (kernels implement relu)";
+    return true;
+  }
+  fail(reader.line(), "unsupported activation '" + activation + "'");
+}
+
+}  // namespace
+
+nn::Graph parse_cfg(std::string_view text) {
+  const std::vector<Section> sections = tokenize(text);
+  PICO_CHECK_MSG(!sections.empty(), "cfg has no sections");
+  if (sections.front().name != "net" && sections.front().name != "network") {
+    fail(sections.front().line, "first section must be [net]");
+  }
+
+  nn::Graph graph;
+  // darknet_outputs[i] = our node id producing darknet layer i's output.
+  std::vector<int> darknet_outputs;
+
+  {
+    const SectionReader net(sections.front());
+    const Shape input{net.require_int("channels"), net.require_int("height"),
+                      net.require_int("width")};
+    graph.add_input(input);
+  }
+
+  auto resolve = [&](int reference, int line) -> int {
+    // Negative = relative to the layer being built (Darknet convention).
+    const int index =
+        reference < 0 ? static_cast<int>(darknet_outputs.size()) + reference
+                      : reference;
+    if (index < 0 || index >= static_cast<int>(darknet_outputs.size())) {
+      fail(line, "layer reference " + std::to_string(reference) +
+                     " out of range");
+    }
+    return darknet_outputs[static_cast<std::size_t>(index)];
+  };
+
+  int previous = 0;  // node id feeding the next section (graph input first)
+  for (std::size_t i = 1; i < sections.size(); ++i) {
+    const SectionReader reader(sections[i]);
+    const std::string& name = reader.name();
+    int output = -1;
+
+    if (name == "convolutional" || name == "conv") {
+      nn::Window window;
+      const int size = reader.get_int("size", 1);
+      window.kh = reader.get_int("size_h", size);
+      window.kw = reader.get_int("size_w", size);
+      const int stride = reader.get_int("stride", 1);
+      window.sh = reader.get_int("stride_h", stride);
+      window.sw = reader.get_int("stride_w", stride);
+      if (reader.has("padding")) {
+        window.ph = window.pw = reader.get_int("padding", 0);
+      } else if (reader.get_int("pad", 0) != 0) {
+        window.ph = window.kh / 2;  // Darknet: pad=1 means "same"-ish
+        window.pw = window.kw / 2;
+      }
+      const bool relu = parse_relu(reader);
+      const bool batch_normalize = reader.get_int("batch_normalize", 0) != 0;
+      output = graph.add_conv_window(previous, reader.require_int("filters"),
+                                     window,
+                                     /*fused_relu=*/relu && !batch_normalize,
+                                     /*name=*/"",
+                                     reader.get_int("groups", 1));
+      if (batch_normalize) {
+        output = graph.add_batchnorm(output, /*fused_relu=*/relu);
+      }
+    } else if (name == "maxpool") {
+      output = graph.add_maxpool(previous, reader.get_int("size", 2),
+                                 reader.get_int("stride", 2),
+                                 reader.get_int("padding", 0));
+    } else if (name == "avgpool") {
+      if (reader.has("size")) {
+        output = graph.add_avgpool(previous, reader.require_int("size"),
+                                   reader.get_int("stride", 1),
+                                   reader.get_int("padding", 0));
+      } else {
+        output = graph.add_global_avgpool(previous);  // Darknet's [avgpool]
+      }
+    } else if (name == "globalavgpool") {
+      output = graph.add_global_avgpool(previous);
+    } else if (name == "connected" || name == "fc") {
+      output = graph.add_fc(previous, reader.require_int("output"));
+    } else if (name == "shortcut") {
+      const int from = resolve(reader.require_int("from"), reader.line());
+      output = graph.add_add(previous, from, parse_relu(reader));
+    } else if (name == "route") {
+      const std::vector<int> refs = reader.get_int_list("layers");
+      std::vector<int> nodes;
+      nodes.reserve(refs.size());
+      for (int ref : refs) nodes.push_back(resolve(ref, reader.line()));
+      if (nodes.size() == 1) {
+        output = nodes[0];  // plain skip, as in Darknet
+      } else {
+        output = graph.add_concat(std::move(nodes));
+      }
+    } else {
+      fail(reader.line(), "unsupported section [" + name + "]");
+    }
+
+    darknet_outputs.push_back(output);
+    previous = output;
+  }
+
+  PICO_CHECK_MSG(!darknet_outputs.empty(), "cfg defines no layers");
+  graph.finalize();
+  return graph;
+}
+
+nn::Graph load_cfg(const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  PICO_CHECK_MSG(file.good(), "cannot open cfg file: " << path);
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  return parse_cfg(buffer.str());
+}
+
+}  // namespace pico::models

@@ -1,0 +1,45 @@
+// Darknet-style .cfg model loader.
+//
+// The paper's models (YOLOv2, VGG16 ports) circulate as Darknet config
+// files; this parser builds a pico::nn::Graph from that format so users can
+// plan/partition their own networks without writing C++ builders.
+//
+// Supported sections (a practical subset of Darknet plus two extensions):
+//
+//   [net]            channels= height= width=
+//   [convolutional]  filters= size= (or size_h=/size_w=) stride=
+//                    (or stride_h=/stride_w=) pad= (1 -> size/2) or
+//                    padding= (explicit) activation=relu|linear|leaky(*)
+//                    batch_normalize=0|1
+//   [maxpool]        size= stride= padding=
+//   [avgpool]        size= stride= padding=   (without size: global)
+//   [connected]      output=
+//   [shortcut]       from=<relative or absolute layer index>
+//                    activation=relu|linear   (residual add)
+//   [route]          layers=<comma list>      (channel concat; single layer
+//                                              = plain skip)
+//   [globalavgpool]                            (extension)
+//
+// (*) leaky is mapped to relu with a warning — the partitioning problem is
+// unchanged and this repo's kernels implement relu.
+//
+// Darknet layer indices (for route/shortcut) count sections after [net],
+// starting at 0; negative values are relative to the current section, as in
+// Darknet.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "nn/graph.hpp"
+
+namespace pico::models {
+
+/// Parse config text.  Throws pico::Error with a line-numbered message on
+/// malformed input.  The returned graph is finalized (weights zeroed).
+nn::Graph parse_cfg(std::string_view text);
+
+/// Read and parse a .cfg file.
+nn::Graph load_cfg(const std::string& path);
+
+}  // namespace pico::models

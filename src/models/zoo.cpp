@@ -1,0 +1,315 @@
+#include "models/zoo.hpp"
+
+#include "common/error.hpp"
+
+namespace pico::models {
+
+using nn::Graph;
+using nn::Window;
+
+namespace {
+
+int default_size(int requested, int fallback) {
+  return requested > 0 ? requested : fallback;
+}
+
+}  // namespace
+
+Graph vgg16(const ZooOptions& options) {
+  const int size = default_size(options.input_size, 224);
+  Graph g;
+  int x = g.add_input({3, size, size});
+  const int stage_channels[5] = {64, 128, 256, 512, 512};
+  const int stage_convs[5] = {2, 2, 3, 3, 3};
+  for (int stage = 0; stage < 5; ++stage) {
+    for (int conv = 0; conv < stage_convs[stage]; ++conv) {
+      x = g.add_conv(x, stage_channels[stage], 3, 1, 1);
+    }
+    x = g.add_maxpool(x, 2, 2);
+  }
+  if (options.include_classifier) {
+    x = g.add_fc(x, 4096);
+    x = g.add_fc(x, 4096);
+    x = g.add_fc(x, 1000);
+  }
+  g.finalize();
+  return g;
+}
+
+Graph yolov2(const ZooOptions& options) {
+  const int size = default_size(options.input_size, 448);
+  Graph g;
+  int x = g.add_input({3, size, size});
+  // Darknet-19 feature extractor: 18 conv + 5 maxpool.
+  x = g.add_conv(x, 32, 3, 1, 1);
+  x = g.add_maxpool(x, 2, 2);
+  x = g.add_conv(x, 64, 3, 1, 1);
+  x = g.add_maxpool(x, 2, 2);
+  x = g.add_conv(x, 128, 3, 1, 1);
+  x = g.add_conv(x, 64, 1, 1, 0);
+  x = g.add_conv(x, 128, 3, 1, 1);
+  x = g.add_maxpool(x, 2, 2);
+  x = g.add_conv(x, 256, 3, 1, 1);
+  x = g.add_conv(x, 128, 1, 1, 0);
+  x = g.add_conv(x, 256, 3, 1, 1);
+  x = g.add_maxpool(x, 2, 2);
+  x = g.add_conv(x, 512, 3, 1, 1);
+  x = g.add_conv(x, 256, 1, 1, 0);
+  x = g.add_conv(x, 512, 3, 1, 1);
+  x = g.add_conv(x, 256, 1, 1, 0);
+  x = g.add_conv(x, 512, 3, 1, 1);
+  x = g.add_maxpool(x, 2, 2);
+  x = g.add_conv(x, 1024, 3, 1, 1);
+  x = g.add_conv(x, 512, 1, 1, 0);
+  x = g.add_conv(x, 1024, 3, 1, 1);
+  x = g.add_conv(x, 512, 1, 1, 0);
+  x = g.add_conv(x, 1024, 3, 1, 1);
+  // Detection head: 4 x 3x3 conv + final 1x1 detection conv -> 23 conv total.
+  x = g.add_conv(x, 1024, 3, 1, 1);
+  x = g.add_conv(x, 1024, 3, 1, 1);
+  x = g.add_conv(x, 1024, 3, 1, 1);
+  x = g.add_conv(x, 1024, 3, 1, 1);
+  x = g.add_conv(x, 425, 1, 1, 0, /*fused_relu=*/false);
+  g.finalize();
+  return g;
+}
+
+namespace {
+
+/// ResNet basic block: conv3x3 -> bn+relu -> conv3x3 -> bn, plus shortcut
+/// (identity, or 1x1/stride-2 projection + bn when shape changes), then
+/// add+relu.  Returns the id of the add node.
+int basic_block(Graph& g, int input, int channels, int stride,
+                bool project) {
+  int y = g.add_conv(input, channels, 3, stride, 1, /*fused_relu=*/false);
+  y = g.add_batchnorm(y, /*fused_relu=*/true);
+  y = g.add_conv(y, channels, 3, 1, 1, /*fused_relu=*/false);
+  y = g.add_batchnorm(y, /*fused_relu=*/false);
+  int shortcut = input;
+  if (project) {
+    shortcut =
+        g.add_conv(input, channels, 1, stride, 0, /*fused_relu=*/false);
+    shortcut = g.add_batchnorm(shortcut, /*fused_relu=*/false);
+  }
+  return g.add_add(y, shortcut, /*fused_relu=*/true);
+}
+
+}  // namespace
+
+Graph resnet34(const ZooOptions& options) {
+  const int size = default_size(options.input_size, 224);
+  Graph g;
+  int x = g.add_input({3, size, size});
+  x = g.add_conv(x, 64, 7, 2, 3);
+  x = g.add_maxpool(x, 3, 2, 1);
+  const int group_channels[4] = {64, 128, 256, 512};
+  const int group_blocks[4] = {3, 4, 6, 3};
+  for (int group = 0; group < 4; ++group) {
+    for (int block = 0; block < group_blocks[group]; ++block) {
+      const bool first = block == 0;
+      const int stride = (first && group > 0) ? 2 : 1;
+      const bool project = first && group > 0;
+      x = basic_block(g, x, group_channels[group], stride, project);
+    }
+  }
+  if (options.include_classifier) {
+    x = g.add_global_avgpool(x);
+    x = g.add_fc(x, 1000);
+  }
+  g.finalize();
+  return g;
+}
+
+namespace {
+
+/// Inception-A-style block: 1x1 | 1x1->5x5 | 1x1->3x3->3x3 | avgpool->1x1,
+/// concatenated.  All branches stride 1, spatial size preserved.
+int inception_a(Graph& g, int input, int b1, int b2, int b3, int b4) {
+  const int branch1 = g.add_conv(input, b1, 1, 1, 0);
+  int branch2 = g.add_conv(input, b2 / 2, 1, 1, 0);
+  branch2 = g.add_conv(branch2, b2, 5, 1, 2);
+  int branch3 = g.add_conv(input, b3 / 2, 1, 1, 0);
+  branch3 = g.add_conv(branch3, b3, 3, 1, 1);
+  branch3 = g.add_conv(branch3, b3, 3, 1, 1);
+  int branch4 = g.add_avgpool(input, 3, 1, 1);
+  branch4 = g.add_conv(branch4, b4, 1, 1, 0);
+  return g.add_concat({branch1, branch2, branch3, branch4});
+}
+
+/// Inception-B-style block with factorized 7x7: 1x1 | 1x1->1x7->7x1 |
+/// 1x1->7x1->1x7->7x1->1x7 | avgpool->1x1.
+int inception_b(Graph& g, int input, int channels) {
+  const int c = channels;
+  const int branch1 = g.add_conv(input, c, 1, 1, 0);
+  int branch2 = g.add_conv(input, c / 2, 1, 1, 0);
+  branch2 = g.add_conv_window(branch2, c / 2, Window{1, 7, 1, 1, 0, 3});
+  branch2 = g.add_conv_window(branch2, c, Window{7, 1, 1, 1, 3, 0});
+  int branch3 = g.add_conv(input, c / 2, 1, 1, 0);
+  branch3 = g.add_conv_window(branch3, c / 2, Window{7, 1, 1, 1, 3, 0});
+  branch3 = g.add_conv_window(branch3, c / 2, Window{1, 7, 1, 1, 0, 3});
+  branch3 = g.add_conv_window(branch3, c, Window{7, 1, 1, 1, 3, 0});
+  int branch4 = g.add_avgpool(input, 3, 1, 1);
+  branch4 = g.add_conv(branch4, c, 1, 1, 0);
+  return g.add_concat({branch1, branch2, branch3, branch4});
+}
+
+/// Reduction block: 3x3/2 conv | 1x1->3x3->3x3/2 | maxpool/2, concatenated.
+int reduction(Graph& g, int input, int channels) {
+  const int branch1 = g.add_conv(input, channels, 3, 2, 0);
+  int branch2 = g.add_conv(input, channels / 2, 1, 1, 0);
+  branch2 = g.add_conv(branch2, channels / 2, 3, 1, 1);
+  branch2 = g.add_conv(branch2, channels, 3, 2, 0);
+  const int branch3 = g.add_maxpool(input, 3, 2);
+  return g.add_concat({branch1, branch2, branch3});
+}
+
+}  // namespace
+
+Graph inception(const ZooOptions& options) {
+  const int size = default_size(options.input_size, 224);
+  Graph g;
+  int x = g.add_input({3, size, size});
+  // Stem (InceptionV3-style).
+  x = g.add_conv(x, 32, 3, 2, 0);
+  x = g.add_conv(x, 32, 3, 1, 0);
+  x = g.add_conv(x, 64, 3, 1, 1);
+  x = g.add_maxpool(x, 3, 2);
+  x = g.add_conv(x, 80, 1, 1, 0);
+  x = g.add_conv(x, 192, 3, 1, 0);
+  x = g.add_maxpool(x, 3, 2);
+  // Inception groups.
+  x = inception_a(g, x, 64, 64, 96, 32);
+  x = inception_a(g, x, 64, 64, 96, 64);
+  x = reduction(g, x, 192);
+  x = inception_b(g, x, 128);
+  x = inception_b(g, x, 160);
+  x = reduction(g, x, 256);
+  x = inception_a(g, x, 160, 160, 192, 96);
+  if (options.include_classifier) {
+    x = g.add_global_avgpool(x);
+    x = g.add_fc(x, 1000);
+  }
+  g.finalize();
+  return g;
+}
+
+Graph toy_mnist(const ZooOptions& options) {
+  const int size = default_size(options.input_size, 64);
+  Graph g;
+  int x = g.add_input({1, size, size});
+  x = g.add_conv(x, 16, 3, 1, 1);
+  x = g.add_conv(x, 16, 3, 1, 1);
+  x = g.add_conv(x, 32, 3, 1, 1);
+  x = g.add_conv(x, 32, 3, 1, 1);
+  x = g.add_maxpool(x, 2, 2);
+  x = g.add_conv(x, 64, 3, 1, 1);
+  x = g.add_conv(x, 64, 3, 1, 1);
+  x = g.add_maxpool(x, 2, 2);
+  x = g.add_conv(x, 64, 3, 1, 1);
+  x = g.add_conv(x, 32, 3, 1, 1);
+  if (options.include_classifier) {
+    x = g.add_fc(x, 10);
+  }
+  g.finalize();
+  return g;
+}
+
+Graph mobilenet_v1(const ZooOptions& options) {
+  const int size = default_size(options.input_size, 224);
+  Graph g;
+  int x = g.add_input({3, size, size});
+  x = g.add_conv(x, 32, 3, 2, 1);
+  // Depthwise-separable pairs: (stride, pointwise output channels).
+  const std::pair<int, int> pairs[] = {
+      {1, 64},  {2, 128}, {1, 128}, {2, 256},  {1, 256},
+      {2, 512}, {1, 512}, {1, 512}, {1, 512},  {1, 512},
+      {1, 512}, {2, 1024}, {1, 1024},
+  };
+  for (const auto& [stride, channels] : pairs) {
+    x = g.add_depthwise(x, 3, stride, 1);
+    x = g.add_conv(x, channels, 1, 1, 0);
+  }
+  if (options.include_classifier) {
+    x = g.add_global_avgpool(x);
+    x = g.add_fc(x, 1000);
+  }
+  g.finalize();
+  return g;
+}
+
+namespace {
+
+/// SqueezeNet fire block: 1x1 squeeze, then parallel 1x1 and 3x3 expands
+/// concatenated — a two-branch block in branches.hpp's sense.
+int fire(Graph& g, int input, int squeeze, int expand) {
+  const int squeezed = g.add_conv(input, squeeze, 1, 1, 0);
+  const int expand1 = g.add_conv(squeezed, expand, 1, 1, 0);
+  const int expand3 = g.add_conv(squeezed, expand, 3, 1, 1);
+  return g.add_concat({expand1, expand3});
+}
+
+}  // namespace
+
+Graph squeezenet(const ZooOptions& options) {
+  const int size = default_size(options.input_size, 224);
+  Graph g;
+  int x = g.add_input({3, size, size});
+  x = g.add_conv(x, 64, 3, 2, 0);
+  x = g.add_maxpool(x, 3, 2);
+  x = fire(g, x, 16, 64);
+  x = fire(g, x, 16, 64);
+  x = g.add_maxpool(x, 3, 2);
+  x = fire(g, x, 32, 128);
+  x = fire(g, x, 32, 128);
+  x = g.add_maxpool(x, 3, 2);
+  x = fire(g, x, 48, 192);
+  x = fire(g, x, 48, 192);
+  x = fire(g, x, 64, 256);
+  x = fire(g, x, 64, 256);
+  x = g.add_conv(x, 1000, 1, 1, 0);
+  if (options.include_classifier) {
+    x = g.add_global_avgpool(x);
+  }
+  g.finalize();
+  return g;
+}
+
+Graph synthetic_chain(int conv_layers, int input_size, int channels) {
+  PICO_CHECK(conv_layers >= 1);
+  Graph g;
+  int x = g.add_input({channels, input_size, input_size});
+  for (int i = 0; i < conv_layers; ++i) {
+    x = g.add_conv(x, channels, 3, 1, 1);
+  }
+  g.finalize();
+  return g;
+}
+
+const char* model_name(ModelId id) {
+  switch (id) {
+    case ModelId::Vgg16:       return "VGG16";
+    case ModelId::Yolov2:      return "YOLOv2";
+    case ModelId::Resnet34:    return "ResNet34";
+    case ModelId::Inception:   return "InceptionV3";
+    case ModelId::ToyMnist:    return "ToyMNIST";
+    case ModelId::MobileNetV1: return "MobileNetV1";
+    case ModelId::SqueezeNet:  return "SqueezeNet";
+  }
+  return "?";
+}
+
+Graph build(ModelId id, const ZooOptions& options) {
+  switch (id) {
+    case ModelId::Vgg16:       return vgg16(options);
+    case ModelId::Yolov2:      return yolov2(options);
+    case ModelId::Resnet34:    return resnet34(options);
+    case ModelId::Inception:   return inception(options);
+    case ModelId::ToyMnist:    return toy_mnist(options);
+    case ModelId::MobileNetV1: return mobilenet_v1(options);
+    case ModelId::SqueezeNet:  return squeezenet(options);
+  }
+  PICO_CHECK_MSG(false, "unknown model id");
+  return {};
+}
+
+}  // namespace pico::models

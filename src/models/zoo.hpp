@@ -1,0 +1,82 @@
+// Model zoo — the four networks the paper evaluates plus the toy model from
+// §V-C and a synthetic chain generator for planner stress tests (Table II).
+//
+// All builders produce the convolutional feature extractor the paper
+// partitions ("13 conv + 5 pool" for VGG16, "23 conv + 5 pool" for YOLOv2);
+// classifier tails (FC / global-pool heads) are optional because they are
+// not spatially partitionable and the paper excludes them from cooperative
+// execution.  Weights are zero until Graph::randomize_weights.
+//
+// ResNet34 and the Inception network are graph-based: residual and inception
+// blocks appear as sub-DAGs whose internal nodes cannot be stage boundaries
+// (§IV-B treats each block as a "special layer").  The Inception builder is
+// structurally representative of InceptionV3 — factorized 1x7/7x1 kernels,
+// multi-branch blocks with concat, pooling branches — with a reduced block
+// count so tests stay fast; the partitioning problem it poses is the same.
+#pragma once
+
+#include "nn/graph.hpp"
+
+namespace pico::models {
+
+struct ZooOptions {
+  /// Spatial input size (images are square).  0 = the paper's default
+  /// (224 for VGG16/ResNet/Inception, 448 for YOLOv2, 64 for the toy model).
+  int input_size = 0;
+  /// Append the classifier head (FC layers / global pool).  Planners only
+  /// partition the convolutional body, so this defaults to off.
+  bool include_classifier = false;
+};
+
+/// VGG16 [12]: 13 conv (3x3, pad 1) + 5 maxpool.  Default input 3x224x224.
+nn::Graph vgg16(const ZooOptions& options = {});
+
+/// YOLOv2 [13] backbone+head as a chain: 23 conv + 5 maxpool
+/// (Darknet-19 feature extractor plus the detection head, passthrough
+/// omitted as in the paper's layer count).  Default input 3x448x448.
+nn::Graph yolov2(const ZooOptions& options = {});
+
+/// ResNet34 [16]: 7x7/2 stem, 3-4-6-3 basic blocks with batch-norm and
+/// projection shortcuts.  Default input 3x224x224.
+nn::Graph resnet34(const ZooOptions& options = {});
+
+/// InceptionV3-style network [17]: conv stem, inception blocks with 5x5,
+/// factorized 7x7 (1x7 + 7x1) and pooling branches, reduction blocks.
+/// Default input 3x224x224.
+nn::Graph inception(const ZooOptions& options = {});
+
+/// The toy model of §V-C: 8 conv + 2 pool on 64x64 input (MNIST-sized).
+nn::Graph toy_mnist(const ZooOptions& options = {});
+
+/// MobileNetV1 [11-adjacent]: 3x3/2 stem then 13 depthwise-separable pairs
+/// (depthwise 3x3 + pointwise 1x1).  The canonical low-FLOP edge model —
+/// exercises grouped/depthwise convolution end to end.  Default input
+/// 3x224x224.
+nn::Graph mobilenet_v1(const ZooOptions& options = {});
+
+/// SqueezeNet-v1.1-style: conv stem + 8 "fire" blocks (1x1 squeeze ->
+/// {1x1, 3x3} expand -> concat).  Fire blocks are exactly the two-branch
+/// concat blocks the intra-block partitioner (branches.hpp) decomposes.
+/// Default input 3x224x224.
+nn::Graph squeezenet(const ZooOptions& options = {});
+
+/// Synthetic chain of `conv_layers` identical 3x3 convolutions (pad 1) with
+/// `channels` channels — the workload for the PICO-vs-BFS planner cost
+/// comparison (Table II).
+nn::Graph synthetic_chain(int conv_layers, int input_size = 64,
+                          int channels = 16);
+
+/// Convenience: the model names used throughout benches.
+enum class ModelId {
+  Vgg16,
+  Yolov2,
+  Resnet34,
+  Inception,
+  ToyMnist,
+  MobileNetV1,
+  SqueezeNet,
+};
+const char* model_name(ModelId id);
+nn::Graph build(ModelId id, const ZooOptions& options = {});
+
+}  // namespace pico::models

@@ -1,0 +1,34 @@
+// Graph executors.
+//
+// `execute` runs a whole graph on one device — the reference result every
+// distributed configuration is checked against.
+//
+// `execute_segment` runs a contiguous node range [first, last] on a region:
+// it back-propagates demand (receptive fields) through the segment, checks
+// that the provided input piece covers the external demand, then computes
+// each node's needed region in topological order.  This is exactly the work
+// one device performs inside a pipeline stage.
+#pragma once
+
+#include <vector>
+
+#include "nn/graph.hpp"
+#include "nn/kernels.hpp"
+#include "tensor/slice.hpp"
+
+namespace pico::nn {
+
+/// Run the full graph; returns the final node's output map.
+Tensor execute(const Graph& graph, const Tensor& input);
+
+/// Run the full graph and also return every intermediate activation
+/// (indexed by node id).  Used by tests and the stage-by-stage driver.
+std::vector<Tensor> execute_all(const Graph& graph, const Tensor& input);
+
+/// Run nodes [first, last] producing `out_region` of node `last`'s output.
+/// `input` is a piece of node (first-1)'s output map; it must cover
+/// segment_input_region(graph, first, last, out_region).
+Tensor execute_segment(const Graph& graph, int first, int last,
+                       const Placed& input, const Region& out_region);
+
+}  // namespace pico::nn

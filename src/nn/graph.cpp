@@ -1,0 +1,345 @@
+#include "nn/graph.hpp"
+
+#include <cmath>
+#include <functional>
+
+#include "common/error.hpp"
+
+namespace pico::nn {
+
+const char* op_name(OpKind kind) {
+  switch (kind) {
+    case OpKind::Input:          return "input";
+    case OpKind::Conv:           return "conv";
+    case OpKind::MaxPool:        return "maxpool";
+    case OpKind::AvgPool:        return "avgpool";
+    case OpKind::ReLU:           return "relu";
+    case OpKind::BatchNorm:      return "batchnorm";
+    case OpKind::Add:            return "add";
+    case OpKind::Concat:         return "concat";
+    case OpKind::FullyConnected: return "fc";
+    case OpKind::GlobalAvgPool:  return "gavgpool";
+  }
+  return "?";
+}
+
+int window_out_extent(int in, int kernel, int stride, int padding) {
+  PICO_CHECK(kernel >= 1 && stride >= 1 && padding >= 0);
+  const int padded = in + 2 * padding;
+  PICO_CHECK_MSG(padded >= kernel, "window larger than padded input: in="
+                                       << in << " k=" << kernel
+                                       << " p=" << padding);
+  return (padded - kernel) / stride + 1;
+}
+
+int Graph::add_node(Node node) {
+  PICO_CHECK_MSG(!finalized_, "cannot add nodes after finalize()");
+  node.id = static_cast<int>(nodes_.size());
+  for (int input : node.inputs) {
+    PICO_CHECK_MSG(input >= 0 && input < node.id,
+                   "node input " << input << " out of range for node "
+                                 << node.id);
+  }
+  if (node.name.empty()) {
+    node.name = std::string(op_name(node.kind)) + std::to_string(node.id);
+  }
+  nodes_.push_back(std::move(node));
+  return nodes_.back().id;
+}
+
+Node& Graph::mutable_node(int id) {
+  PICO_CHECK(id >= 0 && id < size());
+  return nodes_[static_cast<std::size_t>(id)];
+}
+
+const Node& Graph::node(int id) const {
+  PICO_CHECK_MSG(id >= 0 && id < size(), "node id " << id << " out of range");
+  return nodes_[static_cast<std::size_t>(id)];
+}
+
+int Graph::add_input(Shape shape) {
+  PICO_CHECK_MSG(nodes_.empty(), "input must be the first node");
+  PICO_CHECK(shape.channels > 0 && shape.height > 0 && shape.width > 0);
+  Node node;
+  node.kind = OpKind::Input;
+  node.out_shape = shape;
+  return add_node(std::move(node));
+}
+
+int Graph::add_conv(int input, int out_channels, int kernel, int stride,
+                    int padding, bool fused_relu, std::string name) {
+  return add_conv_window(input, out_channels,
+                         Window::square(kernel, stride, padding), fused_relu,
+                         std::move(name));
+}
+
+int Graph::add_conv_window(int input, int out_channels, Window window,
+                           bool fused_relu, std::string name, int groups) {
+  PICO_CHECK(out_channels > 0);
+  PICO_CHECK(groups >= 1 && out_channels % groups == 0);
+  Node node;
+  node.kind = OpKind::Conv;
+  node.win = window;
+  node.out_channels = out_channels;
+  node.groups = groups;
+  node.fused_relu = fused_relu;
+  node.inputs = {input};
+  node.name = std::move(name);
+  return add_node(std::move(node));
+}
+
+int Graph::add_conv_grouped(int input, int out_channels, int kernel,
+                            int stride, int padding, int groups,
+                            bool fused_relu, std::string name) {
+  return add_conv_window(input, out_channels,
+                         Window::square(kernel, stride, padding), fused_relu,
+                         std::move(name), groups);
+}
+
+int Graph::add_depthwise(int input, int kernel, int stride, int padding,
+                         bool fused_relu, std::string name) {
+  // Channel count before finalize(): walk producers (conv/fc fix it,
+  // concat sums it, everything else passes it through).
+  std::function<int(int)> channels_of = [&](int id) -> int {
+    const Node& node = nodes_[static_cast<std::size_t>(id)];
+    switch (node.kind) {
+      case OpKind::Input:
+        return node.out_shape.channels;
+      case OpKind::Conv:
+      case OpKind::FullyConnected:
+        return node.out_channels;
+      case OpKind::Concat: {
+        int total = 0;
+        for (const int producer : node.inputs) total += channels_of(producer);
+        return total;
+      }
+      default:
+        return channels_of(node.inputs[0]);
+    }
+  };
+  const int channels = channels_of(input);
+  PICO_CHECK(channels > 0);
+  return add_conv_grouped(input, channels, kernel, stride, padding, channels,
+                          fused_relu, std::move(name));
+}
+
+int Graph::add_maxpool(int input, int kernel, int stride, int padding,
+                       std::string name) {
+  Node node;
+  node.kind = OpKind::MaxPool;
+  node.win = Window::square(kernel, stride, padding);
+  node.inputs = {input};
+  node.name = std::move(name);
+  return add_node(std::move(node));
+}
+
+int Graph::add_avgpool(int input, int kernel, int stride, int padding,
+                       std::string name) {
+  Node node;
+  node.kind = OpKind::AvgPool;
+  node.win = Window::square(kernel, stride, padding);
+  node.inputs = {input};
+  node.name = std::move(name);
+  return add_node(std::move(node));
+}
+
+int Graph::add_relu(int input, std::string name) {
+  Node node;
+  node.kind = OpKind::ReLU;
+  node.inputs = {input};
+  node.name = std::move(name);
+  return add_node(std::move(node));
+}
+
+int Graph::add_batchnorm(int input, bool fused_relu, std::string name) {
+  Node node;
+  node.kind = OpKind::BatchNorm;
+  node.fused_relu = fused_relu;
+  node.inputs = {input};
+  node.name = std::move(name);
+  return add_node(std::move(node));
+}
+
+int Graph::add_add(int lhs, int rhs, bool fused_relu, std::string name) {
+  Node node;
+  node.kind = OpKind::Add;
+  node.fused_relu = fused_relu;
+  node.inputs = {lhs, rhs};
+  node.name = std::move(name);
+  return add_node(std::move(node));
+}
+
+int Graph::add_concat(std::vector<int> inputs, std::string name) {
+  PICO_CHECK(inputs.size() >= 2);
+  Node node;
+  node.kind = OpKind::Concat;
+  node.inputs = std::move(inputs);
+  node.name = std::move(name);
+  return add_node(std::move(node));
+}
+
+int Graph::add_fc(int input, int out_features, std::string name) {
+  PICO_CHECK(out_features > 0);
+  Node node;
+  node.kind = OpKind::FullyConnected;
+  node.out_channels = out_features;
+  node.inputs = {input};
+  node.name = std::move(name);
+  return add_node(std::move(node));
+}
+
+int Graph::add_global_avgpool(int input, std::string name) {
+  Node node;
+  node.kind = OpKind::GlobalAvgPool;
+  node.inputs = {input};
+  node.name = std::move(name);
+  return add_node(std::move(node));
+}
+
+void Graph::finalize() {
+  PICO_CHECK_MSG(!finalized_, "finalize() called twice");
+  PICO_CHECK_MSG(!nodes_.empty() && nodes_[0].kind == OpKind::Input,
+                 "graph needs an input node");
+  for (Node& node : nodes_) {
+    if (node.kind == OpKind::Input) continue;
+    const Shape in = nodes_[static_cast<std::size_t>(node.inputs[0])]
+                         .out_shape;
+    node.in_shape = in;
+    switch (node.kind) {
+      case OpKind::Conv: {
+        PICO_CHECK_MSG(in.channels % node.groups == 0 &&
+                           node.out_channels % node.groups == 0,
+                       "conv " << node.name << ": channels (" << in.channels
+                               << " -> " << node.out_channels
+                               << ") not divisible by groups "
+                               << node.groups);
+        const int oh = window_out_extent(in.height, node.win.kh, node.win.sh,
+                                         node.win.ph);
+        const int ow = window_out_extent(in.width, node.win.kw, node.win.sw,
+                                         node.win.pw);
+        node.out_shape = {node.out_channels, oh, ow};
+        node.weights.assign(static_cast<std::size_t>(node.out_channels) *
+                                (in.channels / node.groups) * node.win.kh *
+                                node.win.kw,
+                            0.0f);
+        node.bias.assign(static_cast<std::size_t>(node.out_channels), 0.0f);
+        break;
+      }
+      case OpKind::MaxPool:
+      case OpKind::AvgPool: {
+        const int oh = window_out_extent(in.height, node.win.kh, node.win.sh,
+                                         node.win.ph);
+        const int ow = window_out_extent(in.width, node.win.kw, node.win.sw,
+                                         node.win.pw);
+        node.out_shape = {in.channels, oh, ow};
+        break;
+      }
+      case OpKind::ReLU:
+        node.out_shape = in;
+        break;
+      case OpKind::BatchNorm:
+        node.out_shape = in;
+        node.bn_scale.assign(static_cast<std::size_t>(in.channels), 1.0f);
+        node.bn_shift.assign(static_cast<std::size_t>(in.channels), 0.0f);
+        break;
+      case OpKind::Add: {
+        const Shape rhs = nodes_[static_cast<std::size_t>(node.inputs[1])]
+                              .out_shape;
+        PICO_CHECK_MSG(in == rhs, "add shape mismatch at node "
+                                      << node.name << ": " << in << " vs "
+                                      << rhs);
+        node.out_shape = in;
+        break;
+      }
+      case OpKind::Concat: {
+        int channels = 0;
+        for (int input : node.inputs) {
+          const Shape s = nodes_[static_cast<std::size_t>(input)].out_shape;
+          PICO_CHECK_MSG(s.height == in.height && s.width == in.width,
+                         "concat spatial mismatch at node " << node.name);
+          channels += s.channels;
+        }
+        node.out_shape = {channels, in.height, in.width};
+        break;
+      }
+      case OpKind::FullyConnected: {
+        node.out_shape = {node.out_channels, 1, 1};
+        node.weights.assign(static_cast<std::size_t>(node.out_channels) *
+                                static_cast<std::size_t>(in.elements()),
+                            0.0f);
+        node.bias.assign(static_cast<std::size_t>(node.out_channels), 0.0f);
+        break;
+      }
+      case OpKind::GlobalAvgPool:
+        node.out_shape = {in.channels, 1, 1};
+        break;
+      case OpKind::Input:
+        break;
+    }
+  }
+  finalized_ = true;
+}
+
+void Graph::randomize_weights(Rng& rng) {
+  PICO_CHECK_MSG(finalized_, "randomize_weights requires finalize()");
+  for (Node& node : nodes_) {
+    // Small symmetric range keeps activations bounded through deep nets.
+    const float scale =
+        node.kind == OpKind::Conv
+            ? 1.0f / std::sqrt(static_cast<float>(
+                  (node.in_shape.channels / node.groups) * node.win.kh *
+                  node.win.kw))
+            : 0.05f;
+    for (auto& w : node.weights)
+      w = static_cast<float>(rng.uniform(-scale, scale));
+    for (auto& b : node.bias)
+      b = static_cast<float>(rng.uniform(-0.01, 0.01));
+    for (auto& s : node.bn_scale)
+      s = static_cast<float>(rng.uniform(0.5, 1.5));
+    for (auto& s : node.bn_shift)
+      s = static_cast<float>(rng.uniform(-0.1, 0.1));
+  }
+}
+
+Shape Graph::input_shape() const {
+  PICO_CHECK(!nodes_.empty());
+  return nodes_[0].out_shape;
+}
+
+Shape Graph::output_shape() const {
+  PICO_CHECK_MSG(finalized_, "output_shape requires finalize()");
+  return nodes_.back().out_shape;
+}
+
+bool Graph::is_chain() const {
+  for (const Node& node : nodes_) {
+    if (node.kind == OpKind::Input) continue;
+    if (node.inputs.size() != 1 || node.inputs[0] != node.id - 1) return false;
+  }
+  return true;
+}
+
+std::vector<int> Graph::consumers(int id) const {
+  std::vector<int> out;
+  for (const Node& node : nodes_) {
+    for (int input : node.inputs) {
+      if (input == id) {
+        out.push_back(node.id);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+long long Graph::parameter_count() const {
+  long long total = 0;
+  for (const Node& node : nodes_) {
+    total += static_cast<long long>(node.weights.size() + node.bias.size() +
+                                    node.bn_scale.size() +
+                                    node.bn_shift.size());
+  }
+  return total;
+}
+
+}  // namespace pico::nn

@@ -1,0 +1,144 @@
+// CNN computation graph.
+//
+// A Graph is a DAG of Nodes built in topological order (a node may only
+// consume already-added nodes), covering the operator set the paper's model
+// zoo needs: convolution (square and non-square kernels — InceptionV3 uses
+// 1x7/7x1), max/avg pooling, ReLU, inference-mode batch-norm, residual add,
+// channel concat, fully-connected, and global average pooling.
+//
+// ReLU can be fused into conv/batchnorm via `fused_relu` so model layer
+// counts match the paper's ("13 conv + 5 pool" for VGG16).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "tensor/tensor.hpp"
+
+namespace pico::nn {
+
+enum class OpKind {
+  Input,
+  Conv,
+  MaxPool,
+  AvgPool,
+  ReLU,
+  BatchNorm,
+  Add,
+  Concat,
+  FullyConnected,
+  GlobalAvgPool,
+};
+
+const char* op_name(OpKind kind);
+
+/// Spatial sliding-window geometry shared by conv and pooling.
+struct Window {
+  int kh = 1, kw = 1;  ///< kernel extent
+  int sh = 1, sw = 1;  ///< stride
+  int ph = 0, pw = 0;  ///< zero padding on each side
+
+  static Window square(int k, int s, int p) { return {k, k, s, s, p, p}; }
+};
+
+struct Node {
+  int id = -1;
+  std::string name;
+  OpKind kind = OpKind::Input;
+  Window win;            ///< conv / pool only
+  int out_channels = 0;  ///< conv / fc only
+  /// Conv only: channels are split into `groups` independent blocks
+  /// (MobileNet's depthwise conv is groups == in_channels).  Both channel
+  /// counts must divide evenly.
+  int groups = 1;
+  bool fused_relu = false;
+  std::vector<int> inputs;
+
+  // Parameters (allocated by Graph::finalize, filled by randomize_weights).
+  std::vector<float> weights;  ///< conv: oc*ic*kh*kw; fc: out*in
+  std::vector<float> bias;     ///< conv / fc: oc
+  std::vector<float> bn_scale, bn_shift;  ///< batchnorm: per channel
+
+  // Shapes (filled by Graph::finalize).
+  Shape in_shape;   ///< shape of inputs[0]'s output
+  Shape out_shape;
+
+  bool has_window() const {
+    return kind == OpKind::Conv || kind == OpKind::MaxPool ||
+           kind == OpKind::AvgPool;
+  }
+  /// True when the op's output can be computed region-by-region (spatially
+  /// partitionable).  FC and global pooling need the whole input map.
+  bool spatially_splittable() const {
+    return kind != OpKind::FullyConnected && kind != OpKind::GlobalAvgPool;
+  }
+};
+
+class Graph {
+ public:
+  /// Every graph starts with exactly one input node.
+  int add_input(Shape shape);
+
+  int add_conv(int input, int out_channels, int kernel, int stride,
+               int padding, bool fused_relu = true, std::string name = "");
+  /// Non-square variant (Inception's 1x7 / 7x1 kernels).
+  int add_conv_window(int input, int out_channels, Window window,
+                      bool fused_relu = true, std::string name = "",
+                      int groups = 1);
+  /// Grouped convolution: in/out channels split into `groups` independent
+  /// blocks (weights per output channel only span its group's inputs).
+  int add_conv_grouped(int input, int out_channels, int kernel, int stride,
+                       int padding, int groups, bool fused_relu = true,
+                       std::string name = "");
+  /// Depthwise convolution (groups == channels, one filter per channel).
+  int add_depthwise(int input, int kernel, int stride, int padding,
+                    bool fused_relu = true, std::string name = "");
+  int add_maxpool(int input, int kernel, int stride, int padding = 0,
+                  std::string name = "");
+  int add_avgpool(int input, int kernel, int stride, int padding = 0,
+                  std::string name = "");
+  int add_relu(int input, std::string name = "");
+  int add_batchnorm(int input, bool fused_relu = false, std::string name = "");
+  int add_add(int lhs, int rhs, bool fused_relu = false,
+              std::string name = "");
+  int add_concat(std::vector<int> inputs, std::string name = "");
+  int add_fc(int input, int out_features, std::string name = "");
+  int add_global_avgpool(int input, std::string name = "");
+
+  /// Run shape inference and allocate parameter storage (zeros).
+  /// Must be called once after the last add_*; graph is immutable after.
+  void finalize();
+  bool finalized() const { return finalized_; }
+
+  /// Deterministically fill all weights with small uniform values.
+  void randomize_weights(Rng& rng);
+
+  int size() const { return static_cast<int>(nodes_.size()); }
+  const Node& node(int id) const;
+  const std::vector<Node>& nodes() const { return nodes_; }
+  Shape input_shape() const;
+  /// Final node's output shape.
+  Shape output_shape() const;
+
+  /// True when every node has exactly the previous node as input.
+  bool is_chain() const;
+
+  /// ids of node `id`'s consumers.
+  std::vector<int> consumers(int id) const;
+
+  /// Total parameter count (weights + biases + bn) — for reporting.
+  long long parameter_count() const;
+
+ private:
+  int add_node(Node node);
+  Node& mutable_node(int id);
+
+  std::vector<Node> nodes_;
+  bool finalized_ = false;
+};
+
+/// Output spatial size of a sliding window over `in` (floor semantics).
+int window_out_extent(int in, int kernel, int stride, int padding);
+
+}  // namespace pico::nn

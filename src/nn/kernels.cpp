@@ -1,0 +1,363 @@
+#include "nn/kernels.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace pico::nn {
+
+namespace {
+
+void check_piece_covers(const Node& node, const Placed& piece,
+                        const Region& needed) {
+  PICO_CHECK_MSG(piece.region.contains(needed),
+                 "node " << node.name << ": input piece " << piece.region
+                         << " does not cover needed region " << needed);
+  PICO_CHECK(piece.tensor.shape().height == piece.region.height() &&
+             piece.tensor.shape().width == piece.region.width());
+}
+
+Tensor conv(const Node& node, const Placed& in, const Region& out_region) {
+  const Shape in_shape = node.in_shape;
+  const int oc_count = node.out_channels;
+  const int ic_count = in_shape.channels;
+  const int kh = node.win.kh, kw = node.win.kw;
+  const int sh = node.win.sh, sw = node.win.sw;
+  const int ph = node.win.ph, pw = node.win.pw;
+  const int icpg = ic_count / node.groups;  // input channels per group
+  const int ocpg = oc_count / node.groups;
+
+  Tensor out({oc_count, out_region.height(), out_region.width()});
+  const long long kernel_plane = static_cast<long long>(kh) * kw;
+  const long long kernel_volume = kernel_plane * icpg;
+
+  for (int oc = 0; oc < oc_count; ++oc) {
+    const int ic_base = (oc / ocpg) * icpg;  // group's first input channel
+    const float* w_oc = node.weights.data() + oc * kernel_volume;
+    const float b = node.bias[static_cast<std::size_t>(oc)];
+    for (int oy = out_region.row_begin; oy < out_region.row_end; ++oy) {
+      const int iy0 = oy * sh - ph;
+      float* out_row = &out.at(oc, oy - out_region.row_begin, 0);
+      for (int ox = out_region.col_begin; ox < out_region.col_end; ++ox) {
+        const int ix0 = ox * sw - pw;
+        float acc = 0.0f;
+        for (int local = 0; local < icpg; ++local) {
+          const int ic = ic_base + local;
+          const float* w_ic = w_oc + local * kernel_plane;
+          for (int ky = 0; ky < kh; ++ky) {
+            const int iy = iy0 + ky;
+            if (iy < 0 || iy >= in_shape.height) continue;  // zero padding
+            const float* in_row =
+                &in.tensor.at(ic, iy - in.region.row_begin, 0) -
+                in.region.col_begin;
+            const float* w_row = w_ic + ky * kw;
+            for (int kx = 0; kx < kw; ++kx) {
+              const int ix = ix0 + kx;
+              if (ix < 0 || ix >= in_shape.width) continue;
+              acc += w_row[kx] * in_row[ix];
+            }
+          }
+        }
+        acc += b;
+        if (node.fused_relu && acc < 0.0f) acc = 0.0f;
+        out_row[ox - out_region.col_begin] = acc;
+      }
+    }
+  }
+  return out;
+}
+
+/// im2col + row-streaming matrix product.
+///
+/// The output region is processed in row blocks small enough that the
+/// unrolled input patch matrix (K = ic*kh*kw rows by N = block area columns)
+/// stays cache/memory friendly.  For each block:
+///   col[k][n] = input value (or 0 in padding) of tap k for output pixel n
+///   out[oc][n] = sum_k w[oc][k] * col[k][n]   (k ascending -> same
+///                accumulation order as the direct loop, so every output
+///                scalar is identical up to the sign of zero)
+Tensor conv_im2col(const Node& node, const Placed& in,
+                   const Region& out_region) {
+  const Shape in_shape = node.in_shape;
+  const int oc_count = node.out_channels;
+  const int ic_count = in_shape.channels;
+  const int kh = node.win.kh, kw = node.win.kw;
+  const int sh = node.win.sh, sw = node.win.sw;
+  const int ph = node.win.ph, pw = node.win.pw;
+  const int icpg = ic_count / node.groups;  // channels per group
+  const int ocpg = oc_count / node.groups;
+  const long long kernel_volume = static_cast<long long>(icpg) * kh * kw;
+
+  Tensor out({oc_count, out_region.height(), out_region.width()});
+
+  // Block rows so the col matrix stays under ~8 MB.
+  constexpr long long kColBudget = 2'000'000;  // floats
+  const long long per_row = kernel_volume * out_region.width();
+  int block_rows = per_row > 0
+                       ? static_cast<int>(std::max<long long>(
+                             1, kColBudget / std::max<long long>(1, per_row)))
+                       : out_region.height();
+  std::vector<float> col;
+
+  for (int block_begin = out_region.row_begin;
+       block_begin < out_region.row_end; block_begin += block_rows) {
+    const int block_end =
+        std::min(block_begin + block_rows, out_region.row_end);
+    const int n = (block_end - block_begin) * out_region.width();
+
+    for (int group = 0; group < node.groups; ++group) {
+      col.assign(static_cast<std::size_t>(kernel_volume) * n, 0.0f);
+
+      // Fill the patch matrix, one (ic, ky, kx) tap row at a time; each tap
+      // row is a strided copy of one input row segment, so the inner loop
+      // is contiguous over output columns.
+      long long k = 0;
+      for (int local = 0; local < icpg; ++local) {
+        const int ic = group * icpg + local;
+        for (int ky = 0; ky < kh; ++ky) {
+          for (int kx = 0; kx < kw; ++kx, ++k) {
+            float* col_row = col.data() + k * n;
+            long long column = 0;
+            for (int oy = block_begin; oy < block_end; ++oy) {
+              const int iy = oy * sh - ph + ky;
+              if (iy < 0 || iy >= in_shape.height) {
+                column += out_region.width();
+                continue;
+              }
+              const float* in_row =
+                  &in.tensor.at(ic, iy - in.region.row_begin, 0) -
+                  in.region.col_begin;
+              for (int ox = out_region.col_begin; ox < out_region.col_end;
+                   ++ox, ++column) {
+                const int ix = ox * sw - pw + kx;
+                if (ix >= 0 && ix < in_shape.width) {
+                  col_row[column] = in_row[ix];
+                }
+              }
+            }
+          }
+        }
+      }
+
+      // out_block[oc][n] += w[oc][k] * col[k][n], k ascending.
+      for (int oc = group * ocpg; oc < (group + 1) * ocpg; ++oc) {
+        const float* w = node.weights.data() + oc * kernel_volume;
+        float* out_base =
+            &out.at(oc, block_begin - out_region.row_begin, 0);
+        for (long long i = 0; i < n; ++i) out_base[i] = 0.0f;
+        for (long long kk = 0; kk < kernel_volume; ++kk) {
+          const float wk = w[kk];
+          const float* col_row = col.data() + kk * n;
+          for (long long i = 0; i < n; ++i) {
+            out_base[i] += wk * col_row[i];
+          }
+        }
+        const float b = node.bias[static_cast<std::size_t>(oc)];
+        if (node.fused_relu) {
+          for (long long i = 0; i < n; ++i) {
+            const float v = out_base[i] + b;
+            out_base[i] = v > 0.0f ? v : 0.0f;
+          }
+        } else {
+          for (long long i = 0; i < n; ++i) out_base[i] += b;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Tensor pool(const Node& node, const Placed& in, const Region& out_region) {
+  const Shape in_shape = node.in_shape;
+  const bool is_max = node.kind == OpKind::MaxPool;
+  const int kh = node.win.kh, kw = node.win.kw;
+  const int sh = node.win.sh, sw = node.win.sw;
+  const int ph = node.win.ph, pw = node.win.pw;
+
+  Tensor out({in_shape.channels, out_region.height(), out_region.width()});
+  for (int c = 0; c < in_shape.channels; ++c) {
+    for (int oy = out_region.row_begin; oy < out_region.row_end; ++oy) {
+      const int iy0 = oy * sh - ph;
+      for (int ox = out_region.col_begin; ox < out_region.col_end; ++ox) {
+        const int ix0 = ox * sw - pw;
+        float best = -std::numeric_limits<float>::infinity();
+        float sum = 0.0f;
+        int taps = 0;
+        for (int ky = 0; ky < kh; ++ky) {
+          const int iy = iy0 + ky;
+          if (iy < 0 || iy >= in_shape.height) continue;
+          for (int kx = 0; kx < kw; ++kx) {
+            const int ix = ix0 + kx;
+            if (ix < 0 || ix >= in_shape.width) continue;
+            const float v = in.tensor.at(c, iy - in.region.row_begin,
+                                         ix - in.region.col_begin);
+            best = std::max(best, v);
+            sum += v;
+            ++taps;
+          }
+        }
+        PICO_CHECK_MSG(taps > 0, "pool window entirely in padding");
+        out.at(c, oy - out_region.row_begin, ox - out_region.col_begin) =
+            is_max ? best : sum / static_cast<float>(taps);
+      }
+    }
+  }
+  return out;
+}
+
+Tensor elementwise_relu(const Placed& in, const Region& out_region) {
+  Tensor out({in.tensor.shape().channels, out_region.height(),
+              out_region.width()});
+  for (int c = 0; c < out.shape().channels; ++c) {
+    for (int y = out_region.row_begin; y < out_region.row_end; ++y) {
+      for (int x = out_region.col_begin; x < out_region.col_end; ++x) {
+        const float v = in.tensor.at(c, y - in.region.row_begin,
+                                     x - in.region.col_begin);
+        out.at(c, y - out_region.row_begin, x - out_region.col_begin) =
+            v > 0.0f ? v : 0.0f;
+      }
+    }
+  }
+  return out;
+}
+
+Tensor batchnorm(const Node& node, const Placed& in,
+                 const Region& out_region) {
+  Tensor out({node.in_shape.channels, out_region.height(),
+              out_region.width()});
+  for (int c = 0; c < out.shape().channels; ++c) {
+    const float scale = node.bn_scale[static_cast<std::size_t>(c)];
+    const float shift = node.bn_shift[static_cast<std::size_t>(c)];
+    for (int y = out_region.row_begin; y < out_region.row_end; ++y) {
+      for (int x = out_region.col_begin; x < out_region.col_end; ++x) {
+        float v = scale * in.tensor.at(c, y - in.region.row_begin,
+                                       x - in.region.col_begin) +
+                  shift;
+        if (node.fused_relu && v < 0.0f) v = 0.0f;
+        out.at(c, y - out_region.row_begin, x - out_region.col_begin) = v;
+      }
+    }
+  }
+  return out;
+}
+
+Tensor add(const Node& node, const Placed& lhs, const Placed& rhs,
+           const Region& out_region) {
+  Tensor out({node.in_shape.channels, out_region.height(),
+              out_region.width()});
+  for (int c = 0; c < out.shape().channels; ++c) {
+    for (int y = out_region.row_begin; y < out_region.row_end; ++y) {
+      for (int x = out_region.col_begin; x < out_region.col_end; ++x) {
+        float v = lhs.tensor.at(c, y - lhs.region.row_begin,
+                                x - lhs.region.col_begin) +
+                  rhs.tensor.at(c, y - rhs.region.row_begin,
+                                x - rhs.region.col_begin);
+        if (node.fused_relu && v < 0.0f) v = 0.0f;
+        out.at(c, y - out_region.row_begin, x - out_region.col_begin) = v;
+      }
+    }
+  }
+  return out;
+}
+
+Tensor concat(const Node& node, std::span<const Placed> inputs,
+              const Region& out_region) {
+  Tensor out({node.out_shape.channels, out_region.height(),
+              out_region.width()});
+  int c_base = 0;
+  for (const Placed& piece : inputs) {
+    for (int c = 0; c < piece.tensor.shape().channels; ++c) {
+      for (int y = out_region.row_begin; y < out_region.row_end; ++y) {
+        for (int x = out_region.col_begin; x < out_region.col_end; ++x) {
+          out.at(c_base + c, y - out_region.row_begin,
+                 x - out_region.col_begin) =
+              piece.tensor.at(c, y - piece.region.row_begin,
+                              x - piece.region.col_begin);
+        }
+      }
+    }
+    c_base += piece.tensor.shape().channels;
+  }
+  return out;
+}
+
+Tensor fully_connected(const Node& node, const Placed& in) {
+  PICO_CHECK_MSG(in.region == Region::full(node.in_shape.height,
+                                           node.in_shape.width),
+                 "fully-connected layers need the whole input map");
+  Tensor out({node.out_channels, 1, 1});
+  const long long in_elems = node.in_shape.elements();
+  for (int o = 0; o < node.out_channels; ++o) {
+    const float* w = node.weights.data() + o * in_elems;
+    float acc = 0.0f;
+    const std::span<const float> flat = in.tensor.data();
+    for (long long i = 0; i < in_elems; ++i) acc += w[i] * flat[i];
+    out.at(o, 0, 0) = acc + node.bias[static_cast<std::size_t>(o)];
+  }
+  return out;
+}
+
+Tensor global_avgpool(const Node& node, const Placed& in) {
+  PICO_CHECK_MSG(in.region == Region::full(node.in_shape.height,
+                                           node.in_shape.width),
+                 "global average pooling needs the whole input map");
+  Tensor out({node.in_shape.channels, 1, 1});
+  const float denom =
+      static_cast<float>(node.in_shape.height) * node.in_shape.width;
+  for (int c = 0; c < node.in_shape.channels; ++c) {
+    float acc = 0.0f;
+    for (int y = 0; y < node.in_shape.height; ++y)
+      for (int x = 0; x < node.in_shape.width; ++x)
+        acc += in.tensor.at(c, y, x);
+    out.at(c, 0, 0) = acc / denom;
+  }
+  return out;
+}
+
+}  // namespace
+
+Tensor conv2d(const Node& node, const Placed& input, const Region& out_region,
+              ConvBackend backend) {
+  PICO_CHECK(node.kind == OpKind::Conv);
+  return backend == ConvBackend::Direct ? conv(node, input, out_region)
+                                        : conv_im2col(node, input, out_region);
+}
+
+Tensor compute_node(const Node& node, std::span<const Placed> inputs,
+                    const Region& out_region) {
+  PICO_CHECK_MSG(!out_region.empty(), "empty output region for node "
+                                          << node.name);
+  PICO_CHECK_MSG(inputs.size() == node.inputs.size(),
+                 "node " << node.name << " expects " << node.inputs.size()
+                         << " inputs, got " << inputs.size());
+  PICO_CHECK(Region::full(node.out_shape.height, node.out_shape.width)
+                 .contains(out_region));
+  for (const Placed& piece : inputs) check_piece_covers(node, piece, {});
+
+  switch (node.kind) {
+    case OpKind::Conv:
+      return conv_im2col(node, inputs[0], out_region);
+    case OpKind::MaxPool:
+    case OpKind::AvgPool:
+      return pool(node, inputs[0], out_region);
+    case OpKind::ReLU:
+      return elementwise_relu(inputs[0], out_region);
+    case OpKind::BatchNorm:
+      return batchnorm(node, inputs[0], out_region);
+    case OpKind::Add:
+      return add(node, inputs[0], inputs[1], out_region);
+    case OpKind::Concat:
+      return concat(node, inputs, out_region);
+    case OpKind::FullyConnected:
+      return fully_connected(node, inputs[0]);
+    case OpKind::GlobalAvgPool:
+      return global_avgpool(node, inputs[0]);
+    case OpKind::Input:
+      break;
+  }
+  PICO_CHECK_MSG(false, "compute_node on input node");
+  return {};
+}
+
+}  // namespace pico::nn

@@ -1,0 +1,37 @@
+// Region-aware operator kernels.
+//
+// Every kernel computes `out_region` (in full-output-map coordinates) of one
+// node's output, reading from input pieces that each carry their own
+// full-map region.  Zero padding is applied only at true map borders — a
+// piece in the middle of the map never sees padding, which is exactly the
+// subtlety that makes naive "pad every tile" distributed convolution wrong.
+//
+// The single-device executor is the special case out_region == full map, so
+// distributed and local inference share one arithmetic path and their
+// results agree bit-for-bit.
+#pragma once
+
+#include <span>
+
+#include "nn/graph.hpp"
+#include "tensor/slice.hpp"
+
+namespace pico::nn {
+
+/// Compute `out_region` of node `node`'s output.  `inputs[k]` is the piece of
+/// node.inputs[k]'s output map the caller holds; it must cover the region
+/// input_region(graph, node.id, out_region, k).
+/// Returns a tensor of shape {out_channels, out_region.height, width}.
+Tensor compute_node(const Node& node, std::span<const Placed> inputs,
+                    const Region& out_region);
+
+/// Convolution backends.  Both accumulate over (ic, ky, kx) in the same
+/// order, so every output scalar sees the same float-addition sequence and
+/// the results are identical (up to the sign of zero).  compute_node uses
+/// Im2col (several times faster); Direct exists as the oracle the
+/// equivalence tests compare against.
+enum class ConvBackend { Direct, Im2col };
+Tensor conv2d(const Node& node, const Placed& input, const Region& out_region,
+              ConvBackend backend);
+
+}  // namespace pico::nn

@@ -1,0 +1,118 @@
+#include "nn/receptive.hpp"
+
+#include "common/error.hpp"
+
+namespace pico::nn {
+
+namespace {
+
+/// Rows/cols of the input needed by a window op for output extent [a, b):
+/// first tap of output index a is a*s - p; last tap of b-1 is
+/// (b-1)*s - p + k - 1.  Clamped to the real input extent — padding taps
+/// need no data.
+void window_demand(int a, int b, int stride, int kernel, int padding,
+                   int in_extent, int& lo, int& hi) {
+  lo = a * stride - padding;
+  hi = (b - 1) * stride - padding + kernel;
+  if (lo < 0) lo = 0;
+  if (hi > in_extent) hi = in_extent;
+}
+
+}  // namespace
+
+Region input_region(const Graph& graph, int id, const Region& out_region,
+                    int input_index) {
+  const Node& node = graph.node(id);
+  PICO_CHECK(input_index >= 0 &&
+             input_index < static_cast<int>(node.inputs.size()));
+  if (out_region.empty()) return {};
+  const Shape in = graph.node(node.inputs[static_cast<std::size_t>(
+                                  input_index)])
+                       .out_shape;
+  switch (node.kind) {
+    case OpKind::Conv:
+    case OpKind::MaxPool:
+    case OpKind::AvgPool: {
+      Region r;
+      window_demand(out_region.row_begin, out_region.row_end, node.win.sh,
+                    node.win.kh, node.win.ph, in.height, r.row_begin,
+                    r.row_end);
+      window_demand(out_region.col_begin, out_region.col_end, node.win.sw,
+                    node.win.kw, node.win.pw, in.width, r.col_begin,
+                    r.col_end);
+      return r;
+    }
+    case OpKind::ReLU:
+    case OpKind::BatchNorm:
+    case OpKind::Add:
+    case OpKind::Concat:
+      return out_region;
+    case OpKind::FullyConnected:
+    case OpKind::GlobalAvgPool:
+      return Region::full(in.height, in.width);
+    case OpKind::Input:
+      break;
+  }
+  PICO_CHECK_MSG(false, "input_region on unsupported node kind");
+  return {};
+}
+
+std::vector<Region> segment_demand(const Graph& graph, int first, int last,
+                                   const Region& out_region) {
+  PICO_CHECK(first >= 1 && first <= last && last < graph.size());
+  std::vector<Region> demand(static_cast<std::size_t>(last - first + 1));
+  demand.back() = out_region;
+  for (int id = last; id >= first; --id) {
+    const Region need = demand[static_cast<std::size_t>(id - first)];
+    if (need.empty()) continue;
+    const Node& node = graph.node(id);
+    for (std::size_t k = 0; k < node.inputs.size(); ++k) {
+      const int producer = node.inputs[k];
+      if (producer < first) continue;  // external input, handled by caller
+      const Region r = input_region(graph, id, need, static_cast<int>(k));
+      auto& slot = demand[static_cast<std::size_t>(producer - first)];
+      slot = slot.union_bounds(r);
+    }
+  }
+  return demand;
+}
+
+Region segment_input_region(const Graph& graph, int first, int last,
+                            const Region& out_region) {
+  const std::vector<Region> demand =
+      segment_demand(graph, first, last, out_region);
+  Region external;
+  for (int id = first; id <= last; ++id) {
+    const Region need = demand[static_cast<std::size_t>(id - first)];
+    if (need.empty()) continue;
+    const Node& node = graph.node(id);
+    for (std::size_t k = 0; k < node.inputs.size(); ++k) {
+      if (node.inputs[k] >= first) continue;
+      external = external.union_bounds(
+          input_region(graph, id, need, static_cast<int>(k)));
+    }
+  }
+  return external;
+}
+
+bool is_valid_segment(const Graph& graph, int first, int last) {
+  if (first < 1 || first > last || last >= graph.size()) return false;
+  const int external_producer = first - 1;
+  for (int id = first; id <= last; ++id) {
+    const Node& node = graph.node(id);
+    if (!node.spatially_splittable()) return false;
+    for (int input : node.inputs) {
+      if (input < first && input != external_producer) return false;
+    }
+  }
+  // The segment's result must be node `last`'s output: no node other than
+  // `last` may feed consumers outside the segment.
+  for (int id = first; id < last; ++id) {
+    for (int consumer : graph.consumers(id)) {
+      if (consumer > last) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace pico::nn

@@ -1,0 +1,42 @@
+// Receptive-field (region demand) propagation.
+//
+// Implements the paper's Eq. 3 generalized to padded, strided, non-square
+// windows and to DAG segments: given the output region a device must
+// produce, compute the input region it needs.  This is the quantity that
+// determines both the halo (redundant computation) and the bytes on the wire
+// (Eq. 7).
+#pragma once
+
+#include <vector>
+
+#include "nn/graph.hpp"
+#include "tensor/region.hpp"
+
+namespace pico::nn {
+
+/// Input region node `id` needs from its `input_index`-th producer in order
+/// to compute `out_region` of its own output.  Regions are in full-map
+/// coordinates and the result is clamped to the producer's extent (taps that
+/// fall into zero padding need no real input).
+Region input_region(const Graph& graph, int id, const Region& out_region,
+                    int input_index = 0);
+
+/// Demand of every node inside the contiguous segment [first, last] when the
+/// segment must produce `out_region` of node `last`'s output.  Entry
+/// `demand[id - first]` is the union of all regions node `id` must produce.
+/// Nodes whose output is not needed get an empty region.
+std::vector<Region> segment_demand(const Graph& graph, int first, int last,
+                                   const Region& out_region);
+
+/// Region of the segment's external input (output of node `first - 1`, or
+/// the graph input when first == 1) required to produce `out_region` of node
+/// `last`.  For multi-path blocks this is the union over all paths (§IV-B).
+Region segment_input_region(const Graph& graph, int first, int last,
+                            const Region& out_region);
+
+/// True when every node in [first, last] is spatially splittable and all of
+/// the segment's external dependencies come from node `first - 1` (or the
+/// graph input).  Planners only form stages over valid segments.
+bool is_valid_segment(const Graph& graph, int first, int last);
+
+}  // namespace pico::nn

@@ -1,0 +1,139 @@
+#include "nn/weights_io.hpp"
+
+#include <cstring>
+#include <fstream>
+
+#include "common/error.hpp"
+
+namespace pico::nn {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x50494357;  // "PICW"
+constexpr std::uint32_t kVersion = 1;
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t value) {
+  const std::size_t offset = out.size();
+  out.resize(offset + 4);
+  std::memcpy(out.data() + offset, &value, 4);
+}
+
+void put_floats(std::vector<std::uint8_t>& out,
+                const std::vector<float>& values) {
+  const std::size_t offset = out.size();
+  out.resize(offset + values.size() * 4);
+  if (!values.empty()) {
+    std::memcpy(out.data() + offset, values.data(), values.size() * 4);
+  }
+}
+
+class Cursor {
+ public:
+  Cursor(const std::uint8_t* data, std::size_t size)
+      : data_(data), end_(data + size) {}
+
+  std::uint32_t u32() {
+    PICO_CHECK_MSG(data_ + 4 <= end_, "weights blob truncated");
+    std::uint32_t value;
+    std::memcpy(&value, data_, 4);
+    data_ += 4;
+    return value;
+  }
+
+  void floats(std::vector<float>& out, std::size_t count) {
+    PICO_CHECK_MSG(data_ + count * 4 <= end_, "weights blob truncated");
+    out.resize(count);
+    if (count > 0) std::memcpy(out.data(), data_, count * 4);
+    data_ += count * 4;
+  }
+
+  bool exhausted() const { return data_ == end_; }
+
+ private:
+  const std::uint8_t* data_;
+  const std::uint8_t* end_;
+};
+
+// Graph gives no mutable node access by design; weight loading is the one
+// sanctioned mutation, done through a const_cast kept local to this TU.
+Node& mutable_node(Graph& graph, int id) {
+  return const_cast<Node&>(graph.node(id));
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> serialize_weights(const Graph& graph) {
+  PICO_CHECK_MSG(graph.finalized(), "serialize_weights requires finalize()");
+  std::vector<std::uint8_t> out;
+  put_u32(out, kMagic);
+  put_u32(out, kVersion);
+  put_u32(out, static_cast<std::uint32_t>(graph.size()));
+  for (const Node& node : graph.nodes()) {
+    put_u32(out, static_cast<std::uint32_t>(node.id));
+    put_u32(out, static_cast<std::uint32_t>(node.weights.size()));
+    put_u32(out, static_cast<std::uint32_t>(node.bias.size()));
+    put_u32(out, static_cast<std::uint32_t>(node.bn_scale.size()));
+    put_u32(out, static_cast<std::uint32_t>(node.bn_shift.size()));
+    put_floats(out, node.weights);
+    put_floats(out, node.bias);
+    put_floats(out, node.bn_scale);
+    put_floats(out, node.bn_shift);
+  }
+  return out;
+}
+
+void deserialize_weights(Graph& graph, const std::uint8_t* data,
+                         std::size_t size) {
+  PICO_CHECK_MSG(graph.finalized(),
+                 "deserialize_weights requires finalize()");
+  Cursor cursor(data, size);
+  PICO_CHECK_MSG(cursor.u32() == kMagic, "not a PICO weights blob");
+  PICO_CHECK_MSG(cursor.u32() == kVersion, "unsupported weights version");
+  const std::uint32_t node_count = cursor.u32();
+  PICO_CHECK_MSG(node_count == static_cast<std::uint32_t>(graph.size()),
+                 "weights blob has " << node_count << " nodes, graph has "
+                                     << graph.size());
+  for (int id = 0; id < graph.size(); ++id) {
+    PICO_CHECK_MSG(cursor.u32() == static_cast<std::uint32_t>(id),
+                   "weights blob node order mismatch at node " << id);
+    const std::uint32_t weights = cursor.u32();
+    const std::uint32_t bias = cursor.u32();
+    const std::uint32_t bn_scale = cursor.u32();
+    const std::uint32_t bn_shift = cursor.u32();
+    Node& node = mutable_node(graph, id);
+    PICO_CHECK_MSG(weights == node.weights.size() &&
+                       bias == node.bias.size() &&
+                       bn_scale == node.bn_scale.size() &&
+                       bn_shift == node.bn_shift.size(),
+                   "parameter shape mismatch at node "
+                       << node.name << " — the blob was saved from a "
+                          "structurally different model");
+    cursor.floats(node.weights, weights);
+    cursor.floats(node.bias, bias);
+    cursor.floats(node.bn_scale, bn_scale);
+    cursor.floats(node.bn_shift, bn_shift);
+  }
+  PICO_CHECK_MSG(cursor.exhausted(), "trailing bytes in weights blob");
+}
+
+void save_weights(const Graph& graph, const std::string& path) {
+  const std::vector<std::uint8_t> blob = serialize_weights(graph);
+  std::ofstream file(path, std::ios::binary | std::ios::trunc);
+  PICO_CHECK_MSG(file.good(), "cannot open for writing: " << path);
+  file.write(reinterpret_cast<const char*>(blob.data()),
+             static_cast<std::streamsize>(blob.size()));
+  PICO_CHECK_MSG(file.good(), "write failed: " << path);
+}
+
+void load_weights(Graph& graph, const std::string& path) {
+  std::ifstream file(path, std::ios::binary | std::ios::ate);
+  PICO_CHECK_MSG(file.good(), "cannot open weights file: " << path);
+  const std::streamsize size = file.tellg();
+  file.seekg(0);
+  std::vector<std::uint8_t> blob(static_cast<std::size_t>(size));
+  file.read(reinterpret_cast<char*>(blob.data()), size);
+  PICO_CHECK_MSG(file.good(), "read failed: " << path);
+  deserialize_weights(graph, blob.data(), blob.size());
+}
+
+}  // namespace pico::nn

@@ -1,0 +1,35 @@
+// Binary weight serialization.
+//
+// A deployment needs to ship model parameters to edge devices and reload
+// them across restarts; this module defines a simple versioned container:
+//
+//   u32 magic "PICW" | u32 version | u32 node_count
+//   per node: u32 node_id | u32 sizes of {weights, bias, bn_scale, bn_shift}
+//             | the four float arrays
+//
+// load_weights validates every size against the (already finalized) graph,
+// so loading weights from a structurally different model fails loudly
+// instead of silently mis-assigning parameters.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "nn/graph.hpp"
+
+namespace pico::nn {
+
+/// Serialize all parameters of `graph` (finalized) to a byte buffer.
+std::vector<std::uint8_t> serialize_weights(const Graph& graph);
+
+/// Load parameters from a buffer produced by serialize_weights into a graph
+/// with identical structure.  Throws pico::Error on any mismatch.
+void deserialize_weights(Graph& graph, const std::uint8_t* data,
+                         std::size_t size);
+
+/// File convenience wrappers.
+void save_weights(const Graph& graph, const std::string& path);
+void load_weights(Graph& graph, const std::string& path);
+
+}  // namespace pico::nn

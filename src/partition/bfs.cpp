@@ -1,0 +1,183 @@
+#include "partition/bfs.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <unordered_map>
+
+#include "common/error.hpp"
+#include "partition/plan_cost.hpp"
+#include "partition/schemes.hpp"
+#include "partition/units.hpp"
+
+namespace pico::partition {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+class Searcher {
+ public:
+  Searcher(const nn::Graph& graph, const Cluster& cluster,
+           const NetworkModel& network, const BfsOptions& options)
+      : graph_(graph),
+        cluster_(cluster),
+        network_(network),
+        options_(options),
+        units_(partition_units(graph)),
+        unit_count_(static_cast<int>(units_.size())),
+        start_(std::chrono::steady_clock::now()) {
+    PICO_CHECK_MSG(cluster.size() <= 20, "BFS limited to 20 devices");
+  }
+
+  BfsResult run() {
+    const unsigned all = (1u << cluster_.size()) - 1u;
+    std::vector<std::pair<int, unsigned>> stack;  // (end unit, device subset)
+    search(0, all, 0.0, 0.0, stack);
+    BfsResult result;
+    result.period = best_period_;
+    result.latency = best_latency_;
+    result.timed_out = timed_out_;
+    result.states_explored = states_;
+    result.search_seconds = elapsed();
+    if (best_period_ < kInf) {
+      result.plan.scheme = "BFS";
+      result.plan.pipelined = true;
+      int start_unit = 0;
+      for (const auto& [end_unit, mask] : best_stack_) {
+        const Unit span = unit_span(units_, start_unit, end_unit);
+        result.plan.stages.push_back(make_stage(
+            graph_, cluster_, span.first, span.last, subset_devices(mask)));
+        start_unit = end_unit + 1;
+      }
+      validate_plan(graph_, cluster_, result.plan);
+    }
+    return result;
+  }
+
+ private:
+  Seconds elapsed() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+  std::vector<DeviceId> subset_devices(unsigned mask) const {
+    std::vector<DeviceId> ids;
+    for (int d = 0; d < cluster_.size(); ++d) {
+      if (mask & (1u << d)) ids.push_back(d);
+    }
+    // Fastest first so the proportional splitter gives big strips to big
+    // devices in a deterministic order.
+    std::sort(ids.begin(), ids.end(), [&](DeviceId a, DeviceId b) {
+      return cluster_.device(a).capacity > cluster_.device(b).capacity;
+    });
+    return ids;
+  }
+
+  Seconds stage_total(int first_unit, int last_unit, unsigned mask) {
+    const std::uint64_t key =
+        (static_cast<std::uint64_t>(first_unit) << 40) |
+        (static_cast<std::uint64_t>(last_unit) << 32) | mask;
+    if (const auto it = stage_cache_.find(key); it != stage_cache_.end()) {
+      return it->second;
+    }
+    const Unit span = unit_span(units_, first_unit, last_unit);
+    const Stage stage = make_stage(graph_, cluster_, span.first, span.last,
+                                   subset_devices(mask));
+    const Seconds t = stage_cost(graph_, cluster_, network_, stage).total();
+    stage_cache_.emplace(key, t);
+    return t;
+  }
+
+  /// Explore pipelines for units [next_unit, end] with `remaining` devices.
+  /// `period_so_far` / `latency_so_far` describe the committed prefix.
+  void search(int next_unit, unsigned remaining, Seconds period_so_far,
+              Seconds latency_so_far,
+              std::vector<std::pair<int, unsigned>>& stack) {
+    if (timed_out_) return;
+    if (next_unit == unit_count_) {
+      if (period_so_far < best_period_ ||
+          (period_so_far == best_period_ && latency_so_far < best_latency_)) {
+        best_period_ = period_so_far;
+        best_latency_ = latency_so_far;
+        best_stack_ = stack;
+      }
+      return;
+    }
+    if (remaining == 0) return;
+    if (options_.prune && period_so_far >= best_period_) return;
+
+    // Memoization (ablation): a revisit of the same (unit, device-set) state
+    // whose prefix is dominated — no better period AND no better latency
+    // than a previously expanded prefix — cannot lead to a better solution,
+    // because every completion available to it was available to the
+    // dominating prefix.  Sound for any latency limit.
+    if (options_.memoize) {
+      const std::uint64_t key =
+          (static_cast<std::uint64_t>(next_unit) << 32) | remaining;
+      const auto it = memo_.find(key);
+      if (it != memo_.end()) {
+        const auto& [stored_period, stored_latency] = it->second;
+        if (period_so_far >= stored_period &&
+            latency_so_far >= stored_latency) {
+          return;
+        }
+        // Replace only when the new prefix dominates the stored one, so the
+        // stored pair always corresponds to one actually-expanded prefix.
+        if (period_so_far <= stored_period &&
+            latency_so_far <= stored_latency) {
+          it->second = {period_so_far, latency_so_far};
+        }
+      } else {
+        memo_.emplace(key, std::make_pair(period_so_far, latency_so_far));
+      }
+    }
+
+    for (int end = next_unit; end < unit_count_; ++end) {
+      // Enumerate non-empty subsets of the remaining devices.
+      for (unsigned sub = remaining; sub != 0;
+           sub = (sub - 1) & remaining) {
+        if ((++states_ & 0xff) == 0 && elapsed() > options_.time_budget) {
+          timed_out_ = true;
+          return;
+        }
+        const Seconds t = stage_total(next_unit, end, sub);
+        const Seconds latency = latency_so_far + t;
+        if (latency > options_.latency_limit) continue;
+        const Seconds period = std::max(period_so_far, t);
+        if (options_.prune && period >= best_period_) continue;
+        stack.emplace_back(end, sub);
+        search(end + 1, remaining & ~sub, period, latency, stack);
+        stack.pop_back();
+        if (timed_out_) return;
+      }
+    }
+  }
+
+  const nn::Graph& graph_;
+  const Cluster& cluster_;
+  const NetworkModel& network_;
+  const BfsOptions& options_;
+  std::vector<Unit> units_;
+  int unit_count_;
+  std::chrono::steady_clock::time_point start_;
+
+  Seconds best_period_ = kInf;
+  Seconds best_latency_ = kInf;
+  std::vector<std::pair<int, unsigned>> best_stack_;
+  bool timed_out_ = false;
+  long long states_ = 0;
+  std::unordered_map<std::uint64_t, Seconds> stage_cache_;
+  std::unordered_map<std::uint64_t, std::pair<Seconds, Seconds>> memo_;
+};
+
+}  // namespace
+
+BfsResult bfs_optimal_plan(const nn::Graph& graph, const Cluster& cluster,
+                           const NetworkModel& network,
+                           const BfsOptions& options) {
+  Searcher searcher(graph, cluster, network, options);
+  return searcher.run();
+}
+
+}  // namespace pico::partition

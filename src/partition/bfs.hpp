@@ -1,0 +1,45 @@
+// Exhaustive optimal pipeline search — the paper's BFS baseline (§V-C,
+// Table II, Fig. 13).
+//
+// Enumerates every way to (a) cut the unit chain into contiguous stages and
+// (b) hand each stage a subset of the still-unused devices (output maps are
+// split capacity-proportionally within a stage).  Exact but exponential in
+// the device count — the point of Table II.  A wall-clock budget aborts the
+// search, mirroring the paper's "> 1h" rows; `memoize` enables the
+// (unit, device-mask) memo table as an ablation showing how far simple
+// memoization pushes the feasible range.
+#pragma once
+
+#include <limits>
+
+#include "cluster/cluster.hpp"
+#include "nn/graph.hpp"
+#include "partition/plan.hpp"
+
+namespace pico::partition {
+
+struct BfsOptions {
+  Seconds latency_limit = std::numeric_limits<double>::infinity();
+  /// Wall-clock search budget; exceeded → `timed_out`, best-so-far returned.
+  Seconds time_budget = std::numeric_limits<double>::infinity();
+  /// Branch-and-bound on the incumbent period.  Off = the paper's plain
+  /// exhaustive baseline (visits every stage composition); on = our
+  /// ablation.  Both return the same optimum when they finish.
+  bool prune = true;
+  bool memoize = false;
+};
+
+struct BfsResult {
+  Plan plan;
+  Seconds period = std::numeric_limits<double>::infinity();
+  Seconds latency = std::numeric_limits<double>::infinity();
+  bool timed_out = false;
+  long long states_explored = 0;
+  Seconds search_seconds = 0.0;
+};
+
+BfsResult bfs_optimal_plan(const nn::Graph& graph, const Cluster& cluster,
+                           const NetworkModel& network,
+                           const BfsOptions& options = {});
+
+}  // namespace pico::partition

@@ -1,0 +1,144 @@
+#include "partition/branches.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "common/error.hpp"
+#include "cost/flops.hpp"
+#include "nn/receptive.hpp"
+
+namespace pico::partition {
+
+std::vector<Branch> block_branches(const nn::Graph& graph, const Unit& unit) {
+  if (unit.first >= unit.last) return {};
+  const nn::Node& last = graph.node(unit.last);
+  if (last.kind != nn::OpKind::Concat) return {};
+
+  // Concat inputs must be distinct and inside the unit.
+  for (std::size_t i = 0; i < last.inputs.size(); ++i) {
+    const int input = last.inputs[i];
+    if (input < unit.first || input >= unit.last) return {};
+    for (std::size_t j = i + 1; j < last.inputs.size(); ++j) {
+      if (last.inputs[j] == input) return {};
+    }
+  }
+
+  // Branch b's range ends at concat input b.  Ranges must be contiguous and
+  // cover the block interior in order; our builders (and any topological
+  // construction of independent paths) produce exactly this layout.
+  std::vector<int> ends = last.inputs;
+  std::sort(ends.begin(), ends.end());
+
+  const int block_input = unit.first - 1;
+  std::vector<Branch> ordered_by_range;
+  int begin = unit.first;
+  for (const int end : ends) {
+    Branch branch;
+    branch.first = begin;
+    branch.last = end;
+    ordered_by_range.push_back(branch);
+    begin = end + 1;
+  }
+  if (begin != unit.last) return {};  // interior nodes not covered
+
+  // Validate independence of every range.
+  for (const Branch& branch : ordered_by_range) {
+    for (int id = branch.first; id <= branch.last; ++id) {
+      const nn::Node& node = graph.node(id);
+      if (!node.spatially_splittable()) return {};
+      for (const int input : node.inputs) {
+        if (input != block_input &&
+            (input < branch.first || input >= id)) {
+          return {};
+        }
+      }
+      for (const int consumer : graph.consumers(id)) {
+        const bool internal = consumer > id && consumer <= branch.last;
+        const bool is_join = id == branch.last && consumer == unit.last;
+        if (!internal && !is_join) return {};
+      }
+    }
+  }
+
+  // Report branches in concat-input order with channel offsets.
+  std::vector<Branch> out;
+  int channel_offset = 0;
+  for (const int end : last.inputs) {
+    Branch branch;
+    branch.last = end;
+    for (const Branch& range : ordered_by_range) {
+      if (range.last == end) branch.first = range.first;
+    }
+    branch.channel_offset = channel_offset;
+    branch.channels = graph.node(end).out_shape.channels;
+    channel_offset += branch.channels;
+    out.push_back(branch);
+  }
+  PICO_CHECK(channel_offset == last.out_shape.channels);
+  return out;
+}
+
+Flops branch_flops(const nn::Graph& graph, const Branch& branch) {
+  Flops total = 0.0;
+  for (int id = branch.first; id <= branch.last; ++id) {
+    total += cost::node_flops_full(graph, id);
+  }
+  return total;
+}
+
+Region branch_input_region(const nn::Graph& graph, const Branch& branch) {
+  const Shape out = graph.node(branch.last).out_shape;
+  // Demand through the branch for its full output; external producer is the
+  // block input by construction.
+  const std::vector<Region> demand = nn::segment_demand(
+      graph, branch.first, branch.last, Region::full(out.height, out.width));
+  Region external;
+  for (int id = branch.first; id <= branch.last; ++id) {
+    const Region need = demand[static_cast<std::size_t>(id - branch.first)];
+    if (need.empty()) continue;
+    const nn::Node& node = graph.node(id);
+    for (std::size_t k = 0; k < node.inputs.size(); ++k) {
+      if (node.inputs[k] >= branch.first) continue;
+      external = external.union_bounds(
+          nn::input_region(graph, id, need, static_cast<int>(k)));
+    }
+  }
+  return external;
+}
+
+std::vector<std::vector<int>> assign_branches(
+    const nn::Graph& graph, const std::vector<Branch>& branches,
+    const std::vector<double>& capacities) {
+  PICO_CHECK(!branches.empty() && !capacities.empty());
+  std::vector<std::size_t> order(branches.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::vector<Flops> flops(branches.size());
+  for (std::size_t b = 0; b < branches.size(); ++b) {
+    flops[b] = branch_flops(graph, branches[b]);
+  }
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a,
+                                                   std::size_t b) {
+    return flops[a] > flops[b];
+  });
+
+  std::vector<std::vector<int>> assignment(capacities.size());
+  std::vector<double> finish(capacities.size(), 0.0);
+  for (const std::size_t b : order) {
+    std::size_t best = 0;
+    double best_finish = std::numeric_limits<double>::infinity();
+    for (std::size_t d = 0; d < capacities.size(); ++d) {
+      PICO_CHECK(capacities[d] > 0.0);
+      const double candidate = finish[d] + flops[b] / capacities[d];
+      if (candidate < best_finish) {
+        best_finish = candidate;
+        best = d;
+      }
+    }
+    assignment[best].push_back(static_cast<int>(b));
+    finish[best] = best_finish;
+  }
+  return assignment;
+}
+
+}  // namespace pico::partition

@@ -1,0 +1,64 @@
+// Intra-block branch decomposition — the paper's stated future work.
+//
+// §IV-B treats a whole inception block as one "special layer", and §V-B
+// observes that this costs speedup because "the optimal model partition is
+// more likely to exist within blocks".  This module implements the missing
+// piece: a multi-branch block (a sub-DAG fanning out from the block input
+// and joining at a channel concat) can alternatively be parallelized by
+// assigning whole *branches* to devices.  Each device receives the block
+// input once, computes its branches over the full spatial map — no halo, no
+// redundant FLOPs — and the results are stacked channel-wise.
+//
+// Spatial splits and branch splits trade differently: branch work is
+// indivisible (a device gets at least one whole branch, so balance is
+// limited by the largest branch), but it carries zero redundancy and only
+// one input transfer per device.  The planner picks per stage whichever is
+// cheaper (SchemeOptions::enable_branch_parallel).
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+#include "tensor/region.hpp"
+#include "nn/graph.hpp"
+#include "partition/units.hpp"
+
+namespace pico::partition {
+
+/// One branch of a block: the contiguous node range [first, last] computing
+/// it, and where its output lands in the concat's channel stacking.
+struct Branch {
+  int first = 0;
+  int last = 0;           ///< the branch's final node (a concat input)
+  int channel_offset = 0; ///< first channel in the block output
+  int channels = 0;       ///< channels this branch contributes
+
+  friend bool operator==(const Branch&, const Branch&) = default;
+};
+
+/// Decompose `unit` into branches.  Returns an empty vector unless ALL of:
+///  - the unit's last node is a Concat whose inputs are distinct nodes,
+///  - the remaining nodes split into contiguous, disjoint ranges, one per
+///    concat input, covering [unit.first, unit.last - 1],
+///  - each range's only external input is the block input (unit.first - 1)
+///    and nothing inside a range feeds outside it (except its last node
+///    feeding the concat).
+/// Inception blocks qualify; residual blocks (joined by Add, whose operands
+/// share the input tensor) do not.
+std::vector<Branch> block_branches(const nn::Graph& graph, const Unit& unit);
+
+/// FLOPs to compute one branch over full maps (no redundancy by design).
+Flops branch_flops(const nn::Graph& graph, const Branch& branch);
+
+/// Input region of the block input that `branch` needs for its full output.
+Region branch_input_region(const nn::Graph& graph, const Branch& branch);
+
+/// Greedy LPT assignment: distribute branch indices over `capacities.size()`
+/// devices so the slowest finish time is minimized heuristically — heaviest
+/// branch first onto the device with the least (load / capacity).  Devices
+/// may end up empty when there are fewer branches than devices.
+std::vector<std::vector<int>> assign_branches(
+    const nn::Graph& graph, const std::vector<Branch>& branches,
+    const std::vector<double>& capacities);
+
+}  // namespace pico::partition

@@ -1,0 +1,107 @@
+#include "partition/greedy_adapt.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "cost/flops.hpp"
+#include "partition/branches.hpp"
+#include "partition/schemes.hpp"
+
+namespace pico::partition {
+
+Plan greedy_adapt(const nn::Graph& graph, const Cluster& cluster,
+                  const Plan& homogeneous) {
+  PICO_CHECK(!homogeneous.stages.empty());
+  const std::size_t stage_count = homogeneous.stages.size();
+
+  // Θ' per stage: total FLOPs the homogeneous stage executes (halo included),
+  // i.e. the sum over its slots of Eq. 4.
+  struct Pending {
+    Flops theta = 0.0;        ///< Θ' of the stage
+    int slots_total = 0;      ///< |D'|
+    int slots_remaining = 0;
+    std::vector<DeviceId> chosen;
+  };
+  std::vector<Pending> pending(stage_count);
+  int total_slots = 0;
+  for (std::size_t s = 0; s < stage_count; ++s) {
+    const Stage& stage = homogeneous.stages[s];
+    Pending& p = pending[s];
+    p.slots_total = p.slots_remaining = stage.device_count();
+    total_slots += stage.device_count();
+    if (stage.kind == StageKind::Branch) {
+      // Branch stages have no halo: Θ' is one clean pass over the block.
+      p.theta = cost::segment_flops_full(graph, stage.first, stage.last);
+    } else {
+      for (const DeviceSlice& slice : stage.assignments) {
+        p.theta += cost::segment_flops(graph, stage.first, stage.last,
+                                       slice.out_region);
+      }
+    }
+  }
+  PICO_CHECK_MSG(total_slots <= cluster.size(),
+                 "plan needs " << total_slots << " devices, cluster has "
+                               << cluster.size());
+
+  // Fastest devices first; each goes to the stage with the highest remaining
+  // per-slot requirement.
+  const std::vector<DeviceId> order = cluster.ids_by_capacity_desc();
+  int assigned = 0;
+  for (DeviceId device : order) {
+    if (assigned == total_slots) break;
+    std::size_t best = stage_count;
+    double best_avg = -1.0;
+    for (std::size_t s = 0; s < stage_count; ++s) {
+      const Pending& p = pending[s];
+      if (p.slots_remaining == 0) continue;
+      const double avg =
+          p.theta * (static_cast<double>(p.slots_remaining) / p.slots_total) /
+          p.slots_remaining;  // = Θ'_remaining / |D'_remaining|
+      if (avg > best_avg) {
+        best_avg = avg;
+        best = s;
+      }
+    }
+    PICO_CHECK(best < stage_count);
+    pending[best].chosen.push_back(device);
+    --pending[best].slots_remaining;
+    ++assigned;
+  }
+  PICO_CHECK(assigned == total_slots);
+
+  Plan plan;
+  plan.scheme = homogeneous.scheme;
+  plan.pipelined = homogeneous.pipelined;
+  for (std::size_t s = 0; s < stage_count; ++s) {
+    const Stage& old_stage = homogeneous.stages[s];
+    if (old_stage.kind == StageKind::Branch) {
+      // Re-balance branches over the real capacities (LPT).
+      const std::vector<Branch> branches =
+          block_branches(graph, {old_stage.first, old_stage.last});
+      std::vector<double> capacities;
+      capacities.reserve(pending[s].chosen.size());
+      for (const DeviceId id : pending[s].chosen) {
+        capacities.push_back(cluster.device(id).capacity);
+      }
+      const auto assignment = assign_branches(graph, branches, capacities);
+      Stage stage;
+      stage.first = old_stage.first;
+      stage.last = old_stage.last;
+      stage.kind = StageKind::Branch;
+      for (std::size_t d = 0; d < pending[s].chosen.size(); ++d) {
+        if (assignment[d].empty()) continue;
+        DeviceSlice slice;
+        slice.device = pending[s].chosen[d];
+        slice.branches = assignment[d];
+        stage.assignments.push_back(std::move(slice));
+      }
+      plan.stages.push_back(std::move(stage));
+    } else {
+      plan.stages.push_back(make_stage(graph, cluster, old_stage.first,
+                                       old_stage.last, pending[s].chosen));
+    }
+  }
+  return plan;
+}
+
+}  // namespace pico::partition

@@ -1,0 +1,25 @@
+// Algorithm 2: adapt a homogeneous stage set to the real heterogeneous
+// cluster.
+//
+// The homogeneous plan fixes each stage's model segment and device-slot
+// count.  Devices are sorted by capacity (fastest first) and assigned one by
+// one to the stage with the highest remaining per-slot compute requirement
+// Θ'/|D'| — so the most demanding stages get the strongest devices.  When a
+// stage's slots fill up, its output map is re-split capacity-proportionally
+// (divide & conquer), which is what keeps every device's finish time close
+// (Table I's high utilization).
+#pragma once
+
+#include "cluster/cluster.hpp"
+#include "nn/graph.hpp"
+#include "partition/plan.hpp"
+
+namespace pico::partition {
+
+/// `homogeneous` must be a valid plan (any device ids); the result keeps its
+/// stage segments and slot counts but carries real device ids and
+/// capacity-proportional output splits.
+Plan greedy_adapt(const nn::Graph& graph, const Cluster& cluster,
+                  const Plan& homogeneous);
+
+}  // namespace pico::partition

@@ -1,0 +1,158 @@
+#include "partition/local_search.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "partition/plan_cost.hpp"
+#include "partition/schemes.hpp"
+#include "partition/units.hpp"
+
+namespace pico::partition {
+
+namespace {
+
+/// Compact encoding the moves operate on: contiguous unit counts + device
+/// sets per stage.
+struct Layout {
+  std::vector<int> units_per_stage;
+  std::vector<std::vector<DeviceId>> devices_per_stage;
+
+  std::size_t stage_count() const { return units_per_stage.size(); }
+};
+
+Plan materialize(const nn::Graph& graph, const Cluster& cluster,
+                 const std::vector<Unit>& units, const Layout& layout,
+                 const std::string& scheme) {
+  Plan plan;
+  plan.scheme = scheme;
+  plan.pipelined = true;
+  int next_unit = 0;
+  for (std::size_t s = 0; s < layout.stage_count(); ++s) {
+    const Unit span = unit_span(units, next_unit,
+                                next_unit + layout.units_per_stage[s] - 1);
+    next_unit += layout.units_per_stage[s];
+    plan.stages.push_back(make_stage(graph, cluster, span.first, span.last,
+                                     layout.devices_per_stage[s]));
+  }
+  return plan;
+}
+
+}  // namespace
+
+LocalSearchResult refine_plan(const nn::Graph& graph, const Cluster& cluster,
+                              const NetworkModel& network, const Plan& plan,
+                              const LocalSearchOptions& options) {
+  PICO_CHECK_MSG(plan.pipelined, "local search refines pipelined plans");
+  const std::vector<Unit> units = partition_units(graph);
+
+  // Decode the plan into the layout; verify boundary alignment.
+  Layout layout;
+  {
+    std::size_t unit_index = 0;
+    for (const Stage& stage : plan.stages) {
+      PICO_CHECK_MSG(stage.kind == StageKind::Spatial,
+                     "local search supports spatial stages only");
+      PICO_CHECK_MSG(unit_index < units.size() &&
+                         units[unit_index].first == stage.first,
+                     "plan stage boundaries do not align with units");
+      int count = 0;
+      while (unit_index < units.size() &&
+             units[unit_index].last <= stage.last) {
+        ++count;
+        ++unit_index;
+      }
+      PICO_CHECK_MSG(count > 0 && units[unit_index - 1].last == stage.last,
+                     "plan stage boundaries do not align with units");
+      layout.units_per_stage.push_back(count);
+      std::vector<DeviceId> devices;
+      for (const DeviceSlice& slice : stage.assignments) {
+        devices.push_back(slice.device);
+      }
+      layout.devices_per_stage.push_back(std::move(devices));
+    }
+  }
+
+  const auto period_of = [&](const Layout& candidate,
+                             Plan& materialized) -> Seconds {
+    materialized =
+        materialize(graph, cluster, units, candidate, plan.scheme);
+    const PlanCost cost = plan_cost(graph, cluster, network, materialized);
+    if (cost.latency > options.latency_limit) {
+      return std::numeric_limits<double>::infinity();
+    }
+    return cost.period;
+  };
+
+  LocalSearchResult result;
+  Plan best_plan;
+  Seconds best = period_of(layout, best_plan);
+  result.initial_period = best;
+  result.plan = best_plan;
+
+  Rng rng(options.seed);
+  int since_improvement = 0;
+  const int stages = static_cast<int>(layout.stage_count());
+  while (result.moves_tried < options.max_moves &&
+         since_improvement < options.patience) {
+    ++result.moves_tried;
+    Layout candidate = layout;
+    const int move = stages >= 2 ? rng.uniform_int(0, 2) : -1;
+    if (move < 0) break;  // single stage: nothing to vary
+
+    if (move == 0) {
+      // Move one device from a donor stage (must keep >= 1) to a receiver.
+      const int from = rng.uniform_int(0, stages - 1);
+      const int to = rng.uniform_int(0, stages - 1);
+      if (from == to || candidate.devices_per_stage[from].size() <= 1) {
+        continue;
+      }
+      auto& donor = candidate.devices_per_stage[from];
+      const int pick = rng.uniform_int(0, static_cast<int>(donor.size()) - 1);
+      candidate.devices_per_stage[to].push_back(donor[pick]);
+      donor.erase(donor.begin() + pick);
+    } else if (move == 1) {
+      // Swap one device between two stages.
+      const int a = rng.uniform_int(0, stages - 1);
+      const int b = rng.uniform_int(0, stages - 1);
+      if (a == b) continue;
+      auto& da = candidate.devices_per_stage[a];
+      auto& db = candidate.devices_per_stage[b];
+      const int ia = rng.uniform_int(0, static_cast<int>(da.size()) - 1);
+      const int ib = rng.uniform_int(0, static_cast<int>(db.size()) - 1);
+      std::swap(da[ia], db[ib]);
+    } else {
+      // Shift the boundary between stage s and s+1 by one unit.
+      const int s = rng.uniform_int(0, stages - 2);
+      const bool rightward = rng.uniform() < 0.5;
+      if (rightward) {
+        if (candidate.units_per_stage[s + 1] <= 1) continue;
+        ++candidate.units_per_stage[s];
+        --candidate.units_per_stage[s + 1];
+      } else {
+        if (candidate.units_per_stage[s] <= 1) continue;
+        --candidate.units_per_stage[s];
+        ++candidate.units_per_stage[s + 1];
+      }
+    }
+
+    Plan materialized;
+    const Seconds period = period_of(candidate, materialized);
+    if (period < best) {
+      best = period;
+      best_plan = std::move(materialized);
+      layout = std::move(candidate);
+      ++result.improvements;
+      since_improvement = 0;
+    } else {
+      ++since_improvement;
+    }
+  }
+
+  result.final_period = best;
+  result.plan = std::move(best_plan);
+  validate_plan(graph, cluster, result.plan);
+  return result;
+}
+
+}  // namespace pico::partition

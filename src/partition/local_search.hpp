@@ -1,0 +1,50 @@
+// Local-search plan refinement (beyond the paper).
+//
+// PICO's two-step heuristic (homogenized DP + greedy device assignment)
+// leaves an obvious question the paper never answers: how much period is
+// lost to the homogenization?  This hill climber starts from any pipelined
+// spatial plan and applies three move types until no sampled move improves
+// the period:
+//
+//   1. move a device from one stage to another,
+//   2. swap two devices between stages,
+//   3. shift a stage boundary by one unit,
+//
+// re-splitting affected stages capacity-proportionally after each move.
+// Used by bench_ablation_localsearch to measure the PICO-to-local-optimum
+// gap, and available to users who can afford a few hundred extra cost-model
+// evaluations at planning time.
+#pragma once
+
+#include <limits>
+
+#include "cluster/cluster.hpp"
+#include "nn/graph.hpp"
+#include "partition/plan.hpp"
+
+namespace pico::partition {
+
+struct LocalSearchOptions {
+  int max_moves = 4000;      ///< sampled moves before giving up
+  int patience = 600;        ///< consecutive non-improving moves to stop
+  std::uint64_t seed = 1;
+  Seconds latency_limit = std::numeric_limits<double>::infinity();
+};
+
+struct LocalSearchResult {
+  Plan plan;
+  Seconds initial_period = 0.0;
+  Seconds final_period = 0.0;
+  int improvements = 0;
+  long long moves_tried = 0;
+};
+
+/// Refine a pipelined plan whose stages are all spatial and whose stage
+/// boundaries align with partition units (every planner in this repo
+/// produces such plans).  The result never has a longer period than the
+/// input.
+LocalSearchResult refine_plan(const nn::Graph& graph, const Cluster& cluster,
+                              const NetworkModel& network, const Plan& plan,
+                              const LocalSearchOptions& options = {});
+
+}  // namespace pico::partition

@@ -1,0 +1,241 @@
+#include "partition/pico_dp.hpp"
+
+#include <limits>
+
+#include "common/error.hpp"
+#include "partition/branches.hpp"
+#include "partition/greedy_adapt.hpp"
+#include "partition/plan_cost.hpp"
+#include "partition/splitter.hpp"
+#include "partition/units.hpp"
+
+namespace pico::partition {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Stage-cost table for the homogenized cluster: cost(i, j, q) of running
+/// units i..j (0-based, inclusive) on q equal devices.  The default is an
+/// equal spatial split (Eq. 9); with branch parallelism enabled, a
+/// single-unit multi-branch stage may instead assign whole branches
+/// (branches.hpp) when that is cheaper, and build_stage reproduces whichever
+/// choice the cached cost reflects.
+class StageCostTable {
+ public:
+  StageCostTable(const nn::Graph& graph, const Cluster& homogeneous,
+                 const NetworkModel& network, const std::vector<Unit>& units,
+                 bool enable_branch_parallel)
+      : graph_(graph),
+        cluster_(homogeneous),
+        network_(network),
+        units_(units),
+        branch_parallel_(enable_branch_parallel),
+        unit_count_(static_cast<int>(units.size())),
+        cache_(static_cast<std::size_t>(unit_count_) * unit_count_ *
+               cluster_.size()) {}
+
+  Seconds cost(int i, int j, int q) { return entry(i, j, q).cost; }
+
+  /// Best cost using at most p devices, and the best device count.
+  std::pair<Seconds, int> best_cost(int i, int j, int p) {
+    Seconds best = kInf;
+    int best_q = 1;
+    for (int q = 1; q <= p; ++q) {
+      const Seconds c = cost(i, j, q);
+      if (c < best) {
+        best = c;
+        best_q = q;
+      }
+    }
+    return {best, best_q};
+  }
+
+  /// Materialize the stage matching the cached (i, j, q) decision.
+  Stage build_stage(int i, int j, int q,
+                    const std::vector<DeviceId>& devices) {
+    PICO_CHECK(static_cast<int>(devices.size()) == q);
+    const Unit span = unit_span(units_, i, j);
+    if (entry(i, j, q).branch) {
+      return make_branch_stage(span, devices);
+    }
+    return make_stage(graph_, cluster_, span.first, span.last, devices);
+  }
+
+ private:
+  struct Entry {
+    Seconds cost = -1.0;
+    bool branch = false;
+  };
+
+  Entry& entry(int i, int j, int q) {
+    auto& slot = cache_[index(i, j, q)];
+    if (slot.cost >= 0.0) return slot;
+    const Unit span = unit_span(units_, i, j);
+    std::vector<DeviceId> devices;
+    devices.reserve(static_cast<std::size_t>(q));
+    for (int d = 0; d < q; ++d) devices.push_back(d);
+    const Stage spatial =
+        make_stage(graph_, cluster_, span.first, span.last, devices);
+    slot.cost = stage_cost(graph_, cluster_, network_, spatial).total();
+    if (branch_parallel_ && i == j && q > 1 &&
+        !block_branches(graph_, span).empty()) {
+      const Stage branch = make_branch_stage(span, devices);
+      const Seconds branch_cost =
+          stage_cost(graph_, cluster_, network_, branch).total();
+      if (branch_cost < slot.cost) {
+        slot.cost = branch_cost;
+        slot.branch = true;
+      }
+    }
+    return slot;
+  }
+
+  Stage make_branch_stage(const Unit& span,
+                          const std::vector<DeviceId>& devices) {
+    const std::vector<Branch> branches = block_branches(graph_, span);
+    PICO_CHECK(!branches.empty());
+    std::vector<double> capacities;
+    capacities.reserve(devices.size());
+    for (const DeviceId id : devices) {
+      capacities.push_back(cluster_.device(id).capacity);
+    }
+    const auto assignment = assign_branches(graph_, branches, capacities);
+    Stage stage;
+    stage.first = span.first;
+    stage.last = span.last;
+    stage.kind = StageKind::Branch;
+    for (std::size_t d = 0; d < devices.size(); ++d) {
+      if (assignment[d].empty()) continue;  // more devices than branches
+      DeviceSlice slice;
+      slice.device = devices[d];
+      slice.branches = assignment[d];
+      stage.assignments.push_back(std::move(slice));
+    }
+    return stage;
+  }
+
+  std::size_t index(int i, int j, int q) const {
+    return (static_cast<std::size_t>(i) * unit_count_ + j) *
+               static_cast<std::size_t>(cluster_.size()) +
+           static_cast<std::size_t>(q - 1);
+  }
+
+  const nn::Graph& graph_;
+  const Cluster& cluster_;
+  const NetworkModel& network_;
+  const std::vector<Unit>& units_;
+  bool branch_parallel_;
+  int unit_count_;
+  std::vector<Entry> cache_;
+};
+
+struct Cell {
+  Seconds period = kInf;
+  Seconds latency = kInf;
+  // Reconstruction: the tail stage covers units [tail_start, j] with
+  // tail_devices; the rest is the sub-pipeline for (tail_start - 1, p - p').
+  int tail_start = 0;
+  int tail_devices = 0;
+
+  bool valid() const { return period < kInf; }
+};
+
+}  // namespace
+
+Plan pico_homogeneous_plan(const nn::Graph& graph, const Cluster& cluster,
+                           const NetworkModel& network,
+                           const SchemeOptions& options) {
+  const std::vector<Unit> units = partition_units(graph);
+  const int unit_count = static_cast<int>(units.size());
+  const int device_count = cluster.size();
+  const Cluster homogeneous = cluster.homogenized();
+  // Algorithm 1 reasons about anonymous mean-capacity devices, so it must
+  // also see the nominal (uniform) link; per-device link scaling is an
+  // identity-specific property the greedy adaptation stage deals with.
+  const NetworkModel uniform_network = network.uniform();
+  StageCostTable table(graph, homogeneous, uniform_network, units,
+                       options.enable_branch_parallel);
+
+  // dp[j][p]: best pipeline over units 0..j-1 using at most p devices.
+  std::vector<std::vector<Cell>> dp(
+      static_cast<std::size_t>(unit_count) + 1,
+      std::vector<Cell>(static_cast<std::size_t>(device_count) + 1));
+
+  for (int j = 1; j <= unit_count; ++j) {
+    for (int p = 1; p <= device_count; ++p) {
+      Cell& cell = dp[static_cast<std::size_t>(j)][static_cast<std::size_t>(p)];
+      // Option A: single stage over units 0..j-1 with the best q <= p.
+      {
+        const auto [c, q] = table.best_cost(0, j - 1, p);
+        if (c <= options.latency_limit) {
+          cell = {c, c, 0, q};
+        }
+      }
+      // Option B: sub-pipeline (units 0..s-1, p - p') + tail stage
+      // (units s..j-1, p').  Both sides need at least one device.
+      for (int s = 1; s < j; ++s) {
+        for (int pp = 1; pp < p; ++pp) {
+          const Cell& sub =
+              dp[static_cast<std::size_t>(s)][static_cast<std::size_t>(p - pp)];
+          if (!sub.valid()) continue;
+          const Seconds tail = table.cost(s, j - 1, pp);
+          const Seconds latency = sub.latency + tail;
+          if (latency > options.latency_limit) continue;  // T_lim pruning
+          const Seconds period = std::max(sub.period, tail);
+          if (period < cell.period ||
+              (period == cell.period && latency < cell.latency)) {
+            cell = {period, latency, s, pp};
+          }
+        }
+      }
+    }
+  }
+
+  const Cell& root = dp[static_cast<std::size_t>(unit_count)]
+                       [static_cast<std::size_t>(device_count)];
+  PICO_CHECK_MSG(root.valid(),
+                 "no pipeline satisfies the latency limit T_lim = "
+                     << options.latency_limit);
+
+  // Reconstruct stages back-to-front (BuildStrategy).
+  struct RawStage {
+    int first_unit, last_unit, devices;
+  };
+  std::vector<RawStage> raw;
+  int j = unit_count, p = device_count;
+  while (j > 0) {
+    const Cell& cell = dp[static_cast<std::size_t>(j)][static_cast<std::size_t>(p)];
+    PICO_CHECK(cell.valid());
+    raw.push_back({cell.tail_start, j - 1, cell.tail_devices});
+    const int next_j = cell.tail_start;
+    if (next_j == 0) break;
+    p -= cell.tail_devices;
+    j = next_j;
+  }
+
+  Plan plan;
+  plan.scheme = "PICO";
+  plan.pipelined = true;
+  int next_device = 0;
+  for (auto it = raw.rbegin(); it != raw.rend(); ++it) {
+    std::vector<DeviceId> devices;
+    for (int d = 0; d < it->devices; ++d) devices.push_back(next_device++);
+    plan.stages.push_back(
+        table.build_stage(it->first_unit, it->last_unit, it->devices,
+                          devices));
+  }
+  validate_plan(graph, homogeneous, plan);
+  return plan;
+}
+
+Plan pico_plan(const nn::Graph& graph, const Cluster& cluster,
+               const NetworkModel& network, const SchemeOptions& options) {
+  const Plan homogeneous =
+      pico_homogeneous_plan(graph, cluster, network, options);
+  Plan plan = greedy_adapt(graph, cluster, homogeneous);
+  validate_plan(graph, cluster, plan);
+  return plan;
+}
+
+}  // namespace pico::partition

@@ -1,0 +1,38 @@
+// PICO's two-step heuristic (§IV-A).
+//
+// Step 1 (Algorithm 1): on the homogenized cluster (Eq. 12) the optimal
+// pipeline is found by dynamic programming over (prefix of units, device
+// budget): a pipeline over units 1..j with p devices is either a single
+// stage or an optimal sub-pipeline over 1..s followed by a tail stage over
+// s+1..j with p' devices.  Stage costs come from Eq. 9 with an equal
+// output-map split.  Configurations whose accumulated latency exceeds T_lim
+// are pruned; among equal periods the lower-latency pipeline wins.
+//
+// A stage offered p devices may use fewer (q <= p) when the extra transfer
+// time outweighs the compute win — the per-stage device count is itself
+// minimized over q, which Algorithm 1 realizes through its p' loop.
+//
+// Step 2 (Algorithm 2, greedy_adapt.hpp) maps the slot counts onto the real
+// heterogeneous devices.
+#pragma once
+
+#include "cluster/cluster.hpp"
+#include "nn/graph.hpp"
+#include "partition/plan.hpp"
+#include "partition/schemes.hpp"
+
+namespace pico::partition {
+
+/// Algorithm 1 on the homogenized cluster.  The returned plan assigns
+/// placeholder device ids 0,1,2,… in stage order (all capacities are the
+/// mean, so identity is irrelevant); feed it to greedy_adapt for the real
+/// cluster.  Throws if no pipeline satisfies the latency limit.
+Plan pico_homogeneous_plan(const nn::Graph& graph, const Cluster& cluster,
+                           const NetworkModel& network,
+                           const SchemeOptions& options = {});
+
+/// Full PICO: homogenize → Algorithm 1 → Algorithm 2.
+Plan pico_plan(const nn::Graph& graph, const Cluster& cluster,
+               const NetworkModel& network, const SchemeOptions& options = {});
+
+}  // namespace pico::partition

@@ -1,0 +1,106 @@
+#include "partition/plan.hpp"
+
+#include <set>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "nn/receptive.hpp"
+#include "partition/branches.hpp"
+
+namespace pico::partition {
+
+void validate_plan(const nn::Graph& graph, const Cluster& cluster,
+                   const Plan& plan) {
+  PICO_CHECK_MSG(!plan.stages.empty(), "plan has no stages");
+  int expected_first = 1;
+  std::set<DeviceId> devices_across_stages;
+  for (const Stage& stage : plan.stages) {
+    PICO_CHECK_MSG(stage.first == expected_first,
+                   "stage starts at node " << stage.first << ", expected "
+                                           << expected_first);
+    PICO_CHECK_MSG(nn::is_valid_segment(graph, stage.first, stage.last),
+                   "stage [" << stage.first << ", " << stage.last
+                             << "] is not a valid fused segment");
+    expected_first = stage.last + 1;
+
+    PICO_CHECK_MSG(!stage.assignments.empty(), "stage has no devices");
+    const Shape out = graph.node(stage.last).out_shape;
+    std::vector<Region> regions;
+    std::set<DeviceId> devices_in_stage;
+    std::set<int> branch_indices;
+    for (const DeviceSlice& slice : stage.assignments) {
+      PICO_CHECK_MSG(slice.device >= 0 && slice.device < cluster.size(),
+                     "bad device id " << slice.device);
+      PICO_CHECK_MSG(devices_in_stage.insert(slice.device).second,
+                     "device " << slice.device << " appears twice in stage");
+      if (plan.pipelined) {
+        PICO_CHECK_MSG(devices_across_stages.insert(slice.device).second,
+                       "device " << slice.device
+                                 << " appears in two pipelined stages");
+      }
+      if (stage.kind == StageKind::Spatial) {
+        PICO_CHECK_MSG(slice.branches.empty(),
+                       "spatial stage carries branch assignments");
+        if (!slice.out_region.empty()) regions.push_back(slice.out_region);
+      } else {
+        for (const int branch : slice.branches) {
+          PICO_CHECK_MSG(branch_indices.insert(branch).second,
+                         "branch " << branch << " assigned twice");
+        }
+      }
+    }
+    if (stage.kind == StageKind::Spatial) {
+      PICO_CHECK_MSG(
+          tiles_exactly(Region::full(out.height, out.width), regions),
+          "stage output regions do not tile the " << out << " map");
+    } else {
+      const std::vector<Branch> branches =
+          block_branches(graph, {stage.first, stage.last});
+      PICO_CHECK_MSG(!branches.empty(),
+                     "branch stage over a non-branch-decomposable segment ["
+                         << stage.first << ", " << stage.last << "]");
+      PICO_CHECK_MSG(
+          branch_indices.size() == branches.size() &&
+              *branch_indices.begin() == 0 &&
+              *branch_indices.rbegin() ==
+                  static_cast<int>(branches.size()) - 1,
+          "branch assignments do not cover all "
+              << branches.size() << " branches exactly once");
+    }
+  }
+  PICO_CHECK_MSG(expected_first == graph.size(),
+                 "plan covers nodes up to " << expected_first - 1
+                                            << " but graph has "
+                                            << graph.size() - 1);
+}
+
+std::string describe_plan(const nn::Graph& graph, const Plan& plan) {
+  std::ostringstream os;
+  os << plan.scheme << " plan, " << plan.stages.size() << " stage(s), "
+     << (plan.pipelined ? "pipelined" : "sequential") << "\n";
+  for (std::size_t s = 0; s < plan.stages.size(); ++s) {
+    const Stage& stage = plan.stages[s];
+    os << "  stage " << s << ": nodes [" << stage.first << ".." << stage.last
+       << "] (" << graph.node(stage.first).name << " .. "
+       << graph.node(stage.last).name << ")"
+       << (stage.kind == StageKind::Branch ? " [branch-parallel]" : "")
+       << "\n";
+    for (const DeviceSlice& slice : stage.assignments) {
+      if (stage.kind == StageKind::Branch) {
+        os << "    device " << slice.device << " -> branches {";
+        for (std::size_t b = 0; b < slice.branches.size(); ++b) {
+          os << (b ? "," : "") << slice.branches[b];
+        }
+        os << "}\n";
+      } else {
+        os << "    device " << slice.device << " -> "
+           << slice.out_region.height() << " rows "
+           << "[" << slice.out_region.row_begin << ","
+           << slice.out_region.row_end << ")\n";
+      }
+    }
+  }
+  return os.str();
+}
+
+}  // namespace pico::partition

@@ -1,0 +1,65 @@
+// Plan: the output of every partitioning scheme.
+//
+// A Plan is an ordered list of stages.  Stage s covers the contiguous node
+// range [first, last]; its devices each produce a disjoint region of node
+// `last`'s output map.  `pipelined` distinguishes the paper's pipeline
+// schemes (stages run concurrently on disjoint device sets; throughput is
+// bounded by the slowest stage, Eq. 10) from one-stage schemes like
+// LW/EFL/OFL (stages run back-to-back for each task and may reuse devices;
+// period equals latency).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "nn/graph.hpp"
+#include "tensor/region.hpp"
+
+namespace pico::partition {
+
+struct DeviceSlice {
+  DeviceId device = -1;
+  Region out_region;  ///< Spatial stages: the output slice this device owns
+  /// Branch stages: indices into block_branches(graph, {first, last}) this
+  /// device computes (out_region is unused/empty).
+  std::vector<int> branches;
+};
+
+/// How a stage parallelizes its segment across its devices.
+///  - Spatial: the paper's feature-map partition (overlapping halos).
+///  - Branch: intra-block branch parallelism (extension, see branches.hpp):
+///    the segment must be a single multi-branch block; devices compute whole
+///    branches and the outputs are stacked channel-wise.
+enum class StageKind { Spatial, Branch };
+
+struct Stage {
+  int first = 0;  ///< first node id of the fused segment
+  int last = 0;   ///< last node id (the stage's output map is this node's)
+  StageKind kind = StageKind::Spatial;
+  std::vector<DeviceSlice> assignments;
+
+  int device_count() const { return static_cast<int>(assignments.size()); }
+};
+
+struct Plan {
+  std::string scheme;  ///< "LW", "EFL", "OFL", "PICO", "BFS", ...
+  bool pipelined = true;
+  std::vector<Stage> stages;
+
+  int stage_count() const { return static_cast<int>(stages.size()); }
+};
+
+/// Throws InvariantError unless:
+///  - stage node ranges are contiguous and cover nodes 1..graph.size()-1,
+///  - every stage is a valid fused segment,
+///  - every stage's non-empty device regions tile its output map exactly,
+///  - device ids are valid, unique within a stage and — for pipelined
+///    plans — across stages.
+void validate_plan(const nn::Graph& graph, const Cluster& cluster,
+                   const Plan& plan);
+
+/// Human-readable multi-line description (for examples and logs).
+std::string describe_plan(const nn::Graph& graph, const Plan& plan);
+
+}  // namespace pico::partition

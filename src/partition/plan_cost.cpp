@@ -1,0 +1,181 @@
+#include "partition/plan_cost.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "common/error.hpp"
+#include "cost/flops.hpp"
+#include "nn/receptive.hpp"
+#include "partition/branches.hpp"
+
+namespace pico::partition {
+
+namespace {
+
+Flops branch_slice_flops(const nn::Graph& graph,
+                         const std::vector<Branch>& branches,
+                         const DeviceSlice& slice) {
+  Flops total = 0.0;
+  for (const int index : slice.branches) {
+    total += branch_flops(graph, branches[static_cast<std::size_t>(index)]);
+  }
+  return total;
+}
+
+}  // namespace
+
+Seconds device_compute_time(const nn::Graph& graph, const Cluster& cluster,
+                            const Stage& stage, const DeviceSlice& slice) {
+  Flops flops = 0.0;
+  if (stage.kind == StageKind::Branch) {
+    const std::vector<Branch> branches =
+        block_branches(graph, {stage.first, stage.last});
+    flops = branch_slice_flops(graph, branches, slice);
+  } else {
+    flops =
+        cost::segment_flops(graph, stage.first, stage.last, slice.out_region);
+  }
+  return cluster.device(slice.device).compute_time(flops);
+}
+
+StageCost stage_cost(const nn::Graph& graph, const Cluster& cluster,
+                     const NetworkModel& network, const Stage& stage) {
+  StageCost cost_out;
+  const int in_channels = graph.node(stage.first).in_shape.channels;
+  const int out_channels = graph.node(stage.last).out_shape.channels;
+
+  if (stage.kind == StageKind::Branch) {
+    const std::vector<Branch> branches =
+        block_branches(graph, {stage.first, stage.last});
+    PICO_CHECK(!branches.empty());
+    for (const DeviceSlice& slice : stage.assignments) {
+      if (slice.branches.empty()) continue;
+      cost_out.compute =
+          std::max(cost_out.compute,
+                   device_compute_time(graph, cluster, stage, slice));
+      Region in_region;
+      Bytes bytes_out = 0.0;
+      for (const int index : slice.branches) {
+        const Branch& branch = branches[static_cast<std::size_t>(index)];
+        in_region =
+            in_region.union_bounds(branch_input_region(graph, branch));
+        const Shape out = graph.node(branch.last).out_shape;
+        bytes_out += cost::region_bytes(
+            branch.channels, Region::full(out.height, out.width));
+      }
+      const Bytes bytes_in = cost::region_bytes(in_channels, in_region);
+      cost_out.comm += network.transfer_time(bytes_in, slice.device) +
+                       network.transfer_time(bytes_out, slice.device);
+    }
+    return cost_out;
+  }
+
+  for (const DeviceSlice& slice : stage.assignments) {
+    if (slice.out_region.empty()) continue;
+    cost_out.compute = std::max(
+        cost_out.compute, device_compute_time(graph, cluster, stage, slice));
+    const Region in_region = nn::segment_input_region(
+        graph, stage.first, stage.last, slice.out_region);
+    const Bytes bytes_in = cost::region_bytes(in_channels, in_region);
+    const Bytes bytes_out = cost::region_bytes(out_channels, slice.out_region);
+    cost_out.comm += network.transfer_time(bytes_in, slice.device) +
+                     network.transfer_time(bytes_out, slice.device);
+  }
+  return cost_out;
+}
+
+PlanCost plan_cost(const nn::Graph& graph, const Cluster& cluster,
+                   const NetworkModel& network, const Plan& plan) {
+  PlanCost out;
+  for (const Stage& stage : plan.stages) {
+    out.stages.push_back(stage_cost(graph, cluster, network, stage));
+    out.latency += out.stages.back().total();
+    out.period = std::max(out.period, out.stages.back().total());
+  }
+  if (!plan.pipelined) out.period = out.latency;
+  return out;
+}
+
+std::vector<DeviceWork> plan_device_work(const nn::Graph& graph,
+                                         const Cluster& cluster,
+                                         const Plan& plan) {
+  std::map<DeviceId, DeviceWork> work;
+  for (const Stage& stage : plan.stages) {
+    if (stage.kind == StageKind::Branch) {
+      // Branch parallelism duplicates no computation: each branch runs on
+      // exactly one device over full maps.
+      const std::vector<Branch> branches =
+          block_branches(graph, {stage.first, stage.last});
+      for (const DeviceSlice& slice : stage.assignments) {
+        const Flops flops = branch_slice_flops(graph, branches, slice);
+        DeviceWork& w = work[slice.device];
+        w.device = slice.device;
+        w.total += flops;
+        w.busy += cluster.device(slice.device).compute_time(flops);
+      }
+      continue;
+    }
+    // Demand of every node in the segment, per device.
+    std::vector<std::vector<Region>> demands;
+    demands.reserve(stage.assignments.size());
+    for (const DeviceSlice& slice : stage.assignments) {
+      demands.push_back(nn::segment_demand(graph, stage.first, stage.last,
+                                           slice.out_region));
+    }
+    for (int id = stage.first; id <= stage.last; ++id) {
+      const std::size_t offset = static_cast<std::size_t>(id - stage.first);
+      // Sum of demanded areas vs the full map: the excess is redundant.
+      double demanded_area = 0.0;
+      for (const auto& demand : demands) {
+        demanded_area += static_cast<double>(demand[offset].area());
+      }
+      const Flops full = cost::node_flops_full(graph, id);
+      const Shape shape = graph.node(id).out_shape;
+      const double full_area =
+          static_cast<double>(shape.height) * shape.width;
+      // Redundancy fraction of each demanded element at this layer.
+      const double redundant_fraction =
+          demanded_area > 0.0
+              ? std::max(0.0, demanded_area - full_area) / demanded_area
+              : 0.0;
+      (void)full;
+      for (std::size_t k = 0; k < demands.size(); ++k) {
+        const DeviceSlice& slice = stage.assignments[k];
+        const Flops flops = cost::node_flops(graph, id, demands[k][offset]);
+        DeviceWork& w = work[slice.device];
+        w.device = slice.device;
+        w.total += flops;
+        w.redundant += flops * redundant_fraction;
+        w.busy += cluster.device(slice.device).compute_time(flops);
+      }
+    }
+  }
+  std::vector<DeviceWork> out;
+  out.reserve(work.size());
+  for (auto& [id, w] : work) out.push_back(w);
+  return out;
+}
+
+double plan_redundancy_ratio(const nn::Graph& graph, const Plan& plan) {
+  Flops executed = 0.0;
+  Flops essential = 0.0;
+  for (const Stage& stage : plan.stages) {
+    if (stage.kind == StageKind::Branch) {
+      const std::vector<Branch> branches =
+          block_branches(graph, {stage.first, stage.last});
+      for (const DeviceSlice& slice : stage.assignments) {
+        executed += branch_slice_flops(graph, branches, slice);
+      }
+    } else {
+      for (const DeviceSlice& slice : stage.assignments) {
+        executed += cost::segment_flops(graph, stage.first, stage.last,
+                                        slice.out_region);
+      }
+    }
+    essential += cost::segment_flops_full(graph, stage.first, stage.last);
+  }
+  PICO_CHECK(essential > 0.0);
+  return (executed - essential) / essential;
+}
+
+}  // namespace pico::partition

@@ -1,0 +1,62 @@
+// Plan cost evaluation — the paper's Eq. 5–11 — plus the static
+// redundancy/work accounting behind Table I and Fig. 13.
+#pragma once
+
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "nn/graph.hpp"
+#include "partition/plan.hpp"
+
+namespace pico::partition {
+
+struct StageCost {
+  Seconds compute = 0.0;  ///< Eq. 6: max over the stage's devices
+  Seconds comm = 0.0;     ///< Eq. 8: sum of per-device in+out transfers
+  Seconds total() const { return compute + comm; }  ///< Eq. 9
+};
+
+struct PlanCost {
+  std::vector<StageCost> stages;
+  Seconds period = 0.0;   ///< Eq. 10 (pipelined); == latency otherwise
+  Seconds latency = 0.0;  ///< Eq. 11
+};
+
+/// Time device `slice.device` spends computing its share of `stage` (Eq. 5
+/// applied to the Eq. 4 segment FLOPs, halo included).
+Seconds device_compute_time(const nn::Graph& graph, const Cluster& cluster,
+                            const Stage& stage, const DeviceSlice& slice);
+
+StageCost stage_cost(const nn::Graph& graph, const Cluster& cluster,
+                     const NetworkModel& network, const Stage& stage);
+
+/// Evaluate the whole plan.  For pipelined plans period = max stage cost;
+/// for sequential (one-stage-scheme) plans period = latency = sum.
+PlanCost plan_cost(const nn::Graph& graph, const Cluster& cluster,
+                   const NetworkModel& network, const Plan& plan);
+
+/// Static per-device work accounting for one task flowing through the plan.
+struct DeviceWork {
+  DeviceId device = -1;
+  Flops total = 0.0;      ///< FLOPs this device executes per task
+  Flops redundant = 0.0;  ///< halo share of `total`
+  Seconds busy = 0.0;     ///< compute time per task (Eq. 5)
+
+  double redundancy_ratio() const {
+    return total > 0.0 ? redundant / total : 0.0;
+  }
+};
+
+/// Per-device work for every device that appears in the plan (one task).
+/// Redundant FLOPs at each layer are the excess of the summed per-device
+/// demand over the layer's full map, attributed to devices in proportion to
+/// their demand (exact at stage aggregate level; see DESIGN.md §5).
+std::vector<DeviceWork> plan_device_work(const nn::Graph& graph,
+                                         const Cluster& cluster,
+                                         const Plan& plan);
+
+/// Aggregate redundancy of the plan: (sum of all device FLOPs − one full
+/// model execution) / full model execution.
+double plan_redundancy_ratio(const nn::Graph& graph, const Plan& plan);
+
+}  // namespace pico::partition

@@ -1,0 +1,148 @@
+#include "partition/plan_io.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace pico::partition {
+
+std::string serialize_plan(const Plan& plan) {
+  std::ostringstream os;
+  os << "pico-plan v1\n";
+  os << "scheme " << (plan.scheme.empty() ? "?" : plan.scheme) << "\n";
+  os << "pipelined " << (plan.pipelined ? 1 : 0) << "\n";
+  for (const Stage& stage : plan.stages) {
+    os << "stage " << stage.first << ' ' << stage.last << ' '
+       << (stage.kind == StageKind::Branch ? "branch" : "spatial") << "\n";
+    for (const DeviceSlice& slice : stage.assignments) {
+      os << "device " << slice.device;
+      if (stage.kind == StageKind::Branch) {
+        os << " branches";
+        for (const int b : slice.branches) os << ' ' << b;
+      } else {
+        os << " region " << slice.out_region.row_begin << ' '
+           << slice.out_region.row_end << ' ' << slice.out_region.col_begin
+           << ' ' << slice.out_region.col_end;
+      }
+      os << "\n";
+    }
+  }
+  os << "end\n";
+  return os.str();
+}
+
+namespace {
+
+[[noreturn]] void fail(int line, const std::string& message) {
+  throw Error("plan parse error (line " + std::to_string(line) + "): " +
+              message);
+}
+
+}  // namespace
+
+Plan parse_plan(const std::string& text) {
+  std::istringstream is(text);
+  std::string line;
+  int line_number = 0;
+  const auto next_line = [&]() -> bool {
+    while (std::getline(is, line)) {
+      ++line_number;
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      if (!line.empty()) return true;
+    }
+    return false;
+  };
+
+  if (!next_line() || line != "pico-plan v1") {
+    fail(line_number, "expected header 'pico-plan v1'");
+  }
+
+  Plan plan;
+  bool saw_scheme = false, saw_pipelined = false, saw_end = false;
+  while (next_line()) {
+    std::istringstream tokens(line);
+    std::string keyword;
+    tokens >> keyword;
+    if (keyword == "scheme") {
+      tokens >> plan.scheme;
+      if (plan.scheme.empty()) fail(line_number, "scheme needs a name");
+      saw_scheme = true;
+    } else if (keyword == "pipelined") {
+      int flag = -1;
+      tokens >> flag;
+      if (flag != 0 && flag != 1) fail(line_number, "pipelined must be 0/1");
+      plan.pipelined = flag == 1;
+      saw_pipelined = true;
+    } else if (keyword == "stage") {
+      Stage stage;
+      std::string kind;
+      tokens >> stage.first >> stage.last >> kind;
+      if (tokens.fail()) fail(line_number, "stage needs: first last kind");
+      if (kind == "branch") {
+        stage.kind = StageKind::Branch;
+      } else if (kind == "spatial") {
+        stage.kind = StageKind::Spatial;
+      } else {
+        fail(line_number, "unknown stage kind '" + kind + "'");
+      }
+      plan.stages.push_back(std::move(stage));
+    } else if (keyword == "device") {
+      if (plan.stages.empty()) fail(line_number, "device before any stage");
+      Stage& stage = plan.stages.back();
+      DeviceSlice slice;
+      std::string what;
+      tokens >> slice.device >> what;
+      if (tokens.fail()) fail(line_number, "device needs: id kind ...");
+      if (what == "region") {
+        tokens >> slice.out_region.row_begin >> slice.out_region.row_end >>
+            slice.out_region.col_begin >> slice.out_region.col_end;
+        if (tokens.fail()) fail(line_number, "region needs 4 integers");
+        if (stage.kind != StageKind::Spatial) {
+          fail(line_number, "region slice in a branch stage");
+        }
+      } else if (what == "branches") {
+        int branch;
+        while (tokens >> branch) slice.branches.push_back(branch);
+        if (slice.branches.empty()) {
+          fail(line_number, "branches needs at least one index");
+        }
+        if (stage.kind != StageKind::Branch) {
+          fail(line_number, "branch slice in a spatial stage");
+        }
+      } else {
+        fail(line_number, "expected 'region' or 'branches', got '" + what +
+                              "'");
+      }
+      stage.assignments.push_back(std::move(slice));
+    } else if (keyword == "end") {
+      saw_end = true;
+      break;
+    } else {
+      fail(line_number, "unknown keyword '" + keyword + "'");
+    }
+  }
+  if (!saw_scheme || !saw_pipelined) {
+    fail(line_number, "missing scheme/pipelined header lines");
+  }
+  if (!saw_end) fail(line_number, "missing 'end'");
+  if (plan.stages.empty()) fail(line_number, "plan has no stages");
+  return plan;
+}
+
+void save_plan(const Plan& plan, const std::string& path) {
+  std::ofstream file(path, std::ios::trunc);
+  PICO_CHECK_MSG(file.good(), "cannot open for writing: " << path);
+  file << serialize_plan(plan);
+  PICO_CHECK_MSG(file.good(), "write failed: " << path);
+}
+
+Plan load_plan(const std::string& path) {
+  std::ifstream file(path);
+  PICO_CHECK_MSG(file.good(), "cannot open plan file: " << path);
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  return parse_plan(buffer.str());
+}
+
+}  // namespace pico::partition

@@ -1,0 +1,34 @@
+// Plan persistence: a deployment computes its partition once (planning
+// needs the whole model + cluster description) and ships the result to the
+// coordinator, which reloads it at boot.  The format is a small
+// line-oriented text format — diffable, greppable, versioned:
+//
+//   pico-plan v1
+//   scheme PICO
+//   pipelined 1
+//   stage 1 8 spatial
+//   device 0 region 0 5 0 16
+//   device 1 region 5 10 0 16
+//   stage 9 10 branch
+//   device 4 branches 0 1
+//   end
+//
+// parse_plan only checks structural well-formedness; validate the result
+// against the actual graph/cluster with partition::validate_plan.
+#pragma once
+
+#include <string>
+
+#include "partition/plan.hpp"
+
+namespace pico::partition {
+
+std::string serialize_plan(const Plan& plan);
+
+/// Throws pico::Error with a line number on malformed input.
+Plan parse_plan(const std::string& text);
+
+void save_plan(const Plan& plan, const std::string& path);
+Plan load_plan(const std::string& path);
+
+}  // namespace pico::partition

@@ -1,0 +1,171 @@
+#include "partition/schemes.hpp"
+
+#include <limits>
+
+#include "common/error.hpp"
+#include "partition/plan_cost.hpp"
+#include "partition/splitter.hpp"
+#include "partition/units.hpp"
+
+namespace pico::partition {
+
+Stage make_stage(const nn::Graph& graph, const Cluster& cluster, int first,
+                 int last, const std::vector<DeviceId>& devices) {
+  PICO_CHECK(!devices.empty());
+  const Shape out = graph.node(last).out_shape;
+  std::vector<double> weights;
+  weights.reserve(devices.size());
+  for (DeviceId id : devices) weights.push_back(cluster.device(id).capacity);
+  const std::vector<Region> regions =
+      split_rows_proportional(out.height, out.width, weights);
+  Stage stage;
+  stage.first = first;
+  stage.last = last;
+  for (std::size_t k = 0; k < devices.size(); ++k) {
+    stage.assignments.push_back({devices[k], regions[k], {}});
+  }
+  return stage;
+}
+
+Stage make_stage_grid(const nn::Graph& graph, int first, int last,
+                      const std::vector<DeviceId>& devices) {
+  PICO_CHECK(!devices.empty());
+  const Shape out = graph.node(last).out_shape;
+  // Most-square factorization rows x cols = device count.
+  const int count = static_cast<int>(devices.size());
+  int rows = 1;
+  for (int r = 1; r * r <= count; ++r) {
+    if (count % r == 0) rows = r;
+  }
+  const int cols = count / rows;
+  // Put the larger factor along the larger map dimension.
+  const int grid_rows = out.height >= out.width ? std::max(rows, cols)
+                                                : std::min(rows, cols);
+  const int grid_cols = count / grid_rows;
+  const std::vector<Region> tiles =
+      split_grid(out.height, out.width, grid_rows, grid_cols);
+  Stage stage;
+  stage.first = first;
+  stage.last = last;
+  for (std::size_t k = 0; k < devices.size(); ++k) {
+    stage.assignments.push_back({devices[k], tiles[k], {}});
+  }
+  return stage;
+}
+
+namespace {
+
+std::vector<DeviceId> all_devices(const Cluster& cluster) {
+  std::vector<DeviceId> ids(static_cast<std::size_t>(cluster.size()));
+  for (int i = 0; i < cluster.size(); ++i) ids[static_cast<std::size_t>(i)] = i;
+  return ids;
+}
+
+Stage build_stage(const nn::Graph& graph, const Cluster& cluster, int first,
+                  int last, const std::vector<DeviceId>& devices,
+                  PartitionMode mode) {
+  return mode == PartitionMode::Grid
+             ? make_stage_grid(graph, first, last, devices)
+             : make_stage(graph, cluster, first, last, devices);
+}
+
+}  // namespace
+
+Plan lw_plan(const nn::Graph& graph, const Cluster& cluster,
+             const SchemeOptions& options) {
+  const std::vector<Unit> units = partition_units(graph);
+  const std::vector<DeviceId> devices = all_devices(cluster);
+  Plan plan;
+  plan.scheme = "LW";
+  plan.pipelined = false;
+  for (const Unit& unit : units) {
+    plan.stages.push_back(build_stage(graph, cluster, unit.first, unit.last,
+                                      devices, options.partition_mode));
+  }
+  validate_plan(graph, cluster, plan);
+  return plan;
+}
+
+Plan efl_plan(const nn::Graph& graph, const Cluster& cluster,
+              const SchemeOptions& options) {
+  const std::vector<Unit> units = partition_units(graph);
+  const int unit_count = static_cast<int>(units.size());
+
+  int fused = options.efl_fused_units;
+  if (fused <= 0) {
+    // DeepThings fuses the "first few" layers: fuse units until the feature
+    // map has shrunk to 1/16 of the input extent (inclusive) — for YOLOv2
+    // at 448 that is the first 16 layers down to 28x28, DeepThings' actual
+    // configuration.
+    const int threshold = graph.input_shape().height / 16;
+    fused = 0;
+    for (const Unit& unit : units) {
+      ++fused;
+      if (graph.node(unit.last).out_shape.height <= threshold) break;
+    }
+  }
+  fused = std::min(fused, unit_count);
+
+  Plan plan;
+  plan.scheme = "EFL";
+  plan.pipelined = false;
+  const Unit head = unit_span(units, 0, fused - 1);
+  plan.stages.push_back(build_stage(graph, cluster, head.first, head.last,
+                                    all_devices(cluster),
+                                    options.partition_mode));
+  if (fused < unit_count) {
+    const Unit tail = unit_span(units, fused, unit_count - 1);
+    plan.stages.push_back(make_stage(graph, cluster, tail.first, tail.last,
+                                     {cluster.fastest()}));
+  }
+  validate_plan(graph, cluster, plan);
+  return plan;
+}
+
+Plan ofl_plan(const nn::Graph& graph, const Cluster& cluster,
+              const NetworkModel& network, const SchemeOptions& options) {
+  const std::vector<Unit> units = partition_units(graph);
+  const int unit_count = static_cast<int>(units.size());
+  const std::vector<DeviceId> devices = all_devices(cluster);
+
+  // best[j] = min total latency for units 0..j-1; cut[j] = start unit of the
+  // last fused block in the optimal solution for prefix j.
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> best(static_cast<std::size_t>(unit_count) + 1, kInf);
+  std::vector<int> cut(static_cast<std::size_t>(unit_count) + 1, -1);
+  best[0] = 0.0;
+  for (int j = 1; j <= unit_count; ++j) {
+    for (int i = 1; i <= j; ++i) {
+      const Unit span = unit_span(units, i - 1, j - 1);
+      const Stage stage = build_stage(graph, cluster, span.first, span.last,
+                                      devices, options.partition_mode);
+      const Seconds t =
+          stage_cost(graph, cluster, network, stage).total();
+      const double candidate = best[static_cast<std::size_t>(i - 1)] + t;
+      if (candidate < best[static_cast<std::size_t>(j)]) {
+        best[static_cast<std::size_t>(j)] = candidate;
+        cut[static_cast<std::size_t>(j)] = i - 1;
+      }
+    }
+  }
+
+  // Reconstruct fused blocks.
+  std::vector<std::pair<int, int>> blocks;  // [start unit, end unit]
+  for (int j = unit_count; j > 0;) {
+    const int i = cut[static_cast<std::size_t>(j)];
+    blocks.emplace_back(i, j - 1);
+    j = i;
+  }
+  Plan plan;
+  plan.scheme = "OFL";
+  plan.pipelined = false;
+  for (auto it = blocks.rbegin(); it != blocks.rend(); ++it) {
+    const Unit span = unit_span(units, it->first, it->second);
+    plan.stages.push_back(build_stage(graph, cluster, span.first, span.last,
+                                      devices, options.partition_mode));
+  }
+  validate_plan(graph, cluster, plan);
+  return plan;
+}
+
+}  // namespace pico::partition

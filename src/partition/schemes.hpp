@@ -1,0 +1,65 @@
+// One-stage baseline planners.
+//
+//  - LW  (layer-wise, MoDNN [6]):   every unit is its own stage over all
+//    devices; the cluster gathers and re-scatters around every layer.
+//  - EFL (early-fused-layer, DeepThings [7]): fuse the first few units over
+//    all devices, run the remainder on the fastest device.
+//  - OFL (optimal-fused-layer, AOFL [8]): dynamic program over fusion
+//    points; each fused block runs over all devices; blocks run
+//    sequentially.  Minimizes total latency (= period for one-stage
+//    schemes).
+//
+// All three return sequential (non-pipelined) plans: the whole cluster
+// serves one inference at a time, so period == latency.
+#pragma once
+
+#include <limits>
+
+#include "cluster/cluster.hpp"
+#include "nn/graph.hpp"
+#include "partition/plan.hpp"
+
+namespace pico::partition {
+
+/// How a stage's output map is divided among its devices.
+///  - Strips: horizontal strips, capacity-proportional (divide & conquer,
+///    Alg. 2) — the paper's partition.
+///  - Grid: DeepThings' 2-D grid of near-equal tiles (devices factored into
+///    the most-square grid).  Grid tiles have ~half the halo perimeter of
+///    strips for the same device count, trading heterogeneity awareness for
+///    less redundant computation — see bench_ablation_grid.
+enum class PartitionMode { Strips, Grid };
+
+struct SchemeOptions {
+  /// T_lim — pipeline latency bound (PICO); ignored by one-stage schemes.
+  Seconds latency_limit = std::numeric_limits<double>::infinity();
+  /// EFL: number of leading units to fuse; 0 = auto (fuse until the feature
+  /// map shrinks to 1/16 of the input extent, DeepThings' configuration).
+  int efl_fused_units = 0;
+  PartitionMode partition_mode = PartitionMode::Strips;
+  /// PICO extension: let the DP parallelize a single multi-branch block
+  /// stage by whole branches (zero redundancy) when that beats the spatial
+  /// split — addresses the paper's stated Inception limitation (§V-B).
+  bool enable_branch_parallel = false;
+};
+
+/// Build a stage over `span` units with the given devices, output map split
+/// capacity-proportionally (divide & conquer).
+Stage make_stage(const nn::Graph& graph, const Cluster& cluster, int first,
+                 int last, const std::vector<DeviceId>& devices);
+
+/// Grid variant: equal 2-D tiles over the most-square factorization of the
+/// device count (capacities are ignored, as in DeepThings).
+Stage make_stage_grid(const nn::Graph& graph, int first, int last,
+                      const std::vector<DeviceId>& devices);
+
+Plan lw_plan(const nn::Graph& graph, const Cluster& cluster,
+             const SchemeOptions& options = {});
+
+Plan efl_plan(const nn::Graph& graph, const Cluster& cluster,
+              const SchemeOptions& options = {});
+
+Plan ofl_plan(const nn::Graph& graph, const Cluster& cluster,
+              const NetworkModel& network, const SchemeOptions& options = {});
+
+}  // namespace pico::partition

@@ -1,0 +1,79 @@
+#include "partition/splitter.hpp"
+
+#include <cmath>
+#include <numeric>
+
+#include "common/error.hpp"
+
+namespace pico::partition {
+
+namespace {
+
+/// Recursive divide & conquer: assign rows [row_begin, row_end) to
+/// weights[lo, hi), splitting at the proportional midpoint.
+void divide(int row_begin, int row_end, int width,
+            std::span<const double> weights, std::size_t lo, std::size_t hi,
+            std::vector<Region>& out) {
+  if (lo == hi) return;
+  if (hi - lo == 1) {
+    out[lo] = Region::rows(row_begin, row_end, width);
+    return;
+  }
+  const std::size_t mid = lo + (hi - lo) / 2;
+  double left = 0.0, total = 0.0;
+  for (std::size_t i = lo; i < hi; ++i) {
+    if (i < mid) left += weights[i];
+    total += weights[i];
+  }
+  const int rows = row_end - row_begin;
+  int cut = row_begin;
+  if (total > 0.0) {
+    cut = row_begin +
+          static_cast<int>(std::llround(rows * (left / total)));
+  }
+  if (cut < row_begin) cut = row_begin;
+  if (cut > row_end) cut = row_end;
+  divide(row_begin, cut, width, weights, lo, mid, out);
+  divide(cut, row_end, width, weights, mid, hi, out);
+}
+
+}  // namespace
+
+std::vector<Region> split_rows_proportional(int height, int width,
+                                            std::span<const double> weights) {
+  PICO_CHECK(height >= 1 && width >= 1 && !weights.empty());
+  double total = 0.0;
+  for (double w : weights) {
+    PICO_CHECK_MSG(w >= 0.0, "negative split weight");
+    total += w;
+  }
+  PICO_CHECK_MSG(total > 0.0, "all split weights are zero");
+  std::vector<Region> out(weights.size());
+  divide(0, height, width, weights, 0, weights.size(), out);
+  return out;
+}
+
+std::vector<Region> split_rows_equal(int height, int width, int parts) {
+  PICO_CHECK(parts >= 1);
+  const std::vector<double> weights(static_cast<std::size_t>(parts), 1.0);
+  return split_rows_proportional(height, width, weights);
+}
+
+std::vector<Region> split_grid(int height, int width, int grid_rows,
+                               int grid_cols) {
+  PICO_CHECK(grid_rows >= 1 && grid_cols >= 1);
+  const std::vector<Region> row_strips =
+      split_rows_equal(height, /*width=*/1, grid_rows);
+  const std::vector<Region> col_strips =
+      split_rows_equal(width, /*width=*/1, grid_cols);
+  std::vector<Region> out;
+  out.reserve(static_cast<std::size_t>(grid_rows) * grid_cols);
+  for (const Region& r : row_strips) {
+    for (const Region& c : col_strips) {
+      out.push_back({r.row_begin, r.row_end, c.row_begin, c.row_end});
+    }
+  }
+  return out;
+}
+
+}  // namespace pico::partition

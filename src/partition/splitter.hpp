@@ -1,0 +1,36 @@
+// Output-map splitters.
+//
+// Feature maps are partitioned into horizontal strips (the paper's §II-B
+// partition; channels stay whole).  The proportional splitter is the
+// "Divide-And-Conquer" of Algorithm 2: it recursively halves the device list
+// and splits the row range at the weight-proportional point, so each
+// device's strip size tracks its compute capacity.  Equal split is the
+// special case of uniform weights used for the homogenized cluster.
+//
+// A 2-D grid splitter (DeepThings-style) is provided as an extension for the
+// grid-vs-strip ablation.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "tensor/region.hpp"
+
+namespace pico::partition {
+
+/// Split `height` rows into `parts` strips of near-equal height (difference
+/// at most one row).  When height < parts the surplus strips are empty.
+std::vector<Region> split_rows_equal(int height, int width, int parts);
+
+/// Divide-and-conquer proportional split: strip heights approximate
+/// height * weight_i / sum(weights).  Weights must be non-negative with a
+/// positive sum.  Strips are returned in weight order, cover the map
+/// exactly, and are pairwise disjoint; zero-weight entries get empty strips.
+std::vector<Region> split_rows_proportional(int height, int width,
+                                            std::span<const double> weights);
+
+/// 2-D grid split into rows x cols tiles (extension; DeepThings grid mode).
+std::vector<Region> split_grid(int height, int width, int grid_rows,
+                               int grid_cols);
+
+}  // namespace pico::partition

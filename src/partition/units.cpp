@@ -1,0 +1,57 @@
+#include "partition/units.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace pico::partition {
+
+std::vector<Unit> partition_units(const nn::Graph& graph) {
+  PICO_CHECK_MSG(graph.finalized(), "graph not finalized");
+  const int n = graph.size();
+  PICO_CHECK_MSG(n >= 2, "graph has no compute nodes");
+
+  // farthest_consumer[v] = max consumer id of node v (v if none).
+  std::vector<int> farthest(static_cast<std::size_t>(n));
+  for (int v = 0; v < n; ++v) farthest[static_cast<std::size_t>(v)] = v;
+  for (int v = 1; v < n; ++v) {
+    const nn::Node& node = graph.node(v);
+    PICO_CHECK_MSG(node.spatially_splittable(),
+                   "node " << node.name
+                           << " is not spatially splittable; build the model "
+                              "without its classifier head for planning");
+    for (int input : node.inputs) {
+      auto& slot = farthest[static_cast<std::size_t>(input)];
+      if (v > slot) slot = v;
+    }
+  }
+
+  // A cut may be placed after node v iff no edge (u -> w) with u < v and
+  // w > v crosses it — v feeding later nodes is fine (v's output *is* the
+  // next segment's input), but an older node reaching past v pins v inside
+  // its block.  Track the farthest consumer over all nodes before v.
+  std::vector<Unit> units;
+  int open = 1;          // first node of the unit under construction
+  int prefix_reach = 0;  // max farthest[u] for u in [0, v-1]
+  for (int v = 1; v < n; ++v) {
+    // Fold in nodes strictly before v (including the graph input).
+    prefix_reach =
+        std::max(prefix_reach, farthest[static_cast<std::size_t>(v - 1)]);
+    if (prefix_reach <= v) {
+      units.push_back({open, v});
+      open = v + 1;
+    }
+  }
+  PICO_CHECK_MSG(!units.empty() && units.back().last == n - 1,
+                 "graph output is entangled; cannot form units");
+  return units;
+}
+
+Unit unit_span(const std::vector<Unit>& units, int ui, int uj) {
+  PICO_CHECK(ui >= 0 && ui <= uj &&
+             uj < static_cast<int>(units.size()));
+  return {units[static_cast<std::size_t>(ui)].first,
+          units[static_cast<std::size_t>(uj)].last};
+}
+
+}  // namespace pico::partition

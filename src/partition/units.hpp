@@ -1,0 +1,31 @@
+// Partition units — the "layers" the planners cut between.
+//
+// For chain CNNs every node is a unit.  For graph CNNs (§IV-B) a residual or
+// inception block must stay whole: a stage boundary may only be placed at a
+// node v where *no* edge jumps across v (every consumer of any node ≤ v,
+// other than v itself, is also ≤ v).  Each maximal run between such cut
+// points becomes one unit ("special layer" in the paper's wording).
+#pragma once
+
+#include <vector>
+
+#include "nn/graph.hpp"
+
+namespace pico::partition {
+
+/// A contiguous node range [first, last] that planners treat as atomic.
+struct Unit {
+  int first = 0;
+  int last = 0;
+  friend bool operator==(const Unit&, const Unit&) = default;
+};
+
+/// Split graph nodes 1..size-1 into units at every legal cut point.
+/// Requires every node to be spatially splittable (build zoo models without
+/// classifier heads); throws otherwise.
+std::vector<Unit> partition_units(const nn::Graph& graph);
+
+/// Node range covered by units [ui, uj] (inclusive unit indices).
+Unit unit_span(const std::vector<Unit>& units, int ui, int uj);
+
+}  // namespace pico::partition

@@ -1,0 +1,98 @@
+#include "runtime/adaptive_runtime.hpp"
+
+#include "common/error.hpp"
+#include "common/log.hpp"
+
+namespace pico::runtime {
+
+namespace {
+
+adaptive::ApicoOptions controller_options(
+    const AdaptiveRuntimeOptions& options) {
+  adaptive::ApicoOptions out;
+  out.beta = options.beta;
+  out.window = options.window;
+  return out;
+}
+
+}  // namespace
+
+AdaptiveRuntime::AdaptiveRuntime(const nn::Graph& graph,
+                                 std::vector<adaptive::Candidate> candidates,
+                                 AdaptiveRuntimeOptions options)
+    : graph_(graph),
+      options_(options),
+      controller_(std::move(candidates), controller_options(options)) {
+  PICO_CHECK(options_.window > 0.0);
+  activate(0);
+  window_start_ = std::chrono::steady_clock::now();
+}
+
+AdaptiveRuntime::~AdaptiveRuntime() { shutdown(); }
+
+void AdaptiveRuntime::activate(std::size_t candidate_index) {
+  PICO_CHECK(candidate_index < controller_.candidates().size());
+  if (active_) {
+    // Drain: the PipelineRuntime destructor-less shutdown waits for every
+    // in-flight task before the workers stop, matching the simulator's
+    // drain-then-swap.
+    active_->shutdown();
+    ++switches_;
+  }
+  active_index_ = candidate_index;
+  active_ = std::make_unique<PipelineRuntime>(
+      graph_, controller_.candidates()[candidate_index].plan,
+      options_.runtime);
+  history_.push_back(
+      controller_.candidates()[candidate_index].plan.scheme);
+  PICO_LOG(Info) << "adaptive runtime now on " << history_.back();
+}
+
+void AdaptiveRuntime::maybe_reevaluate() {
+  const auto now = std::chrono::steady_clock::now();
+  const Seconds elapsed =
+      std::chrono::duration<double>(now - window_start_).count();
+  if (elapsed < options_.window) return;
+
+  // One or more whole windows elapsed.  The producer may have been blocked
+  // pushing into a full pipeline for several windows — that is sustained
+  // load, not idleness — so spread the observed arrivals uniformly over the
+  // elapsed windows and feed each as one Eq. 15 observation.
+  const int whole_windows =
+      static_cast<int>(elapsed / options_.window);
+  const double measured_rate =
+      static_cast<double>(window_arrivals_) /
+      (whole_windows * options_.window);
+  for (int w = 0; w < whole_windows; ++w) {
+    controller_.decide_rate(measured_rate);
+  }
+  window_arrivals_ = 0;
+  window_start_ = now;
+
+  const std::size_t best = adaptive::select_scheme(
+      controller_.candidates(), controller_.estimated_rate());
+  if (best != active_index_) activate(best);
+}
+
+std::future<Tensor> AdaptiveRuntime::submit(Tensor input) {
+  PICO_CHECK_MSG(!stopped_, "submit after shutdown");
+  ++window_arrivals_;
+  maybe_reevaluate();
+  return active_->submit(std::move(input));
+}
+
+Tensor AdaptiveRuntime::infer(const Tensor& input) {
+  return submit(input).get();
+}
+
+const std::string& AdaptiveRuntime::current_scheme() const {
+  return controller_.candidates()[active_index_].plan.scheme;
+}
+
+void AdaptiveRuntime::shutdown() {
+  if (stopped_) return;
+  stopped_ = true;
+  if (active_) active_->shutdown();
+}
+
+}  // namespace pico::runtime

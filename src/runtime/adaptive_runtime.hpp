@@ -1,0 +1,77 @@
+// Adaptive runtime — APICO (§IV-C) wired to the real threaded runtime.
+//
+// Holds one candidate plan per scheme (typically OFL and PICO, as in the
+// paper) and runs whichever the controller currently prefers.  Arrivals are
+// counted per wall-clock window; at each window boundary the EWMA estimate
+// λ̂ is refreshed and the predicted-average-latency winner chosen.  A switch
+// drains the in-flight tasks (model segments must be redeployed on the
+// devices), tears the current PipelineRuntime down, and builds the next —
+// the same drain-then-swap semantics the simulator models.
+//
+// Thread-safety: submit()/infer() may be called from one producer thread;
+// the switch decision runs inline on the producer's submit path (no timer
+// thread — the decision point is task admission, which is when it matters).
+#pragma once
+
+#include <chrono>
+#include <future>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "adaptive/apico.hpp"
+#include "nn/graph.hpp"
+#include "runtime/pipeline.hpp"
+
+namespace pico::runtime {
+
+struct AdaptiveRuntimeOptions {
+  double beta = 0.3;       ///< Eq. 15
+  Seconds window = 10.0;   ///< wall-clock re-evaluation interval
+  RuntimeOptions runtime;  ///< transport etc. for the inner runtimes
+};
+
+class AdaptiveRuntime {
+ public:
+  /// `candidates` as produced by adaptive::make_candidate; index 0 runs
+  /// first.  The graph must outlive the runtime.
+  AdaptiveRuntime(const nn::Graph& graph,
+                  std::vector<adaptive::Candidate> candidates,
+                  AdaptiveRuntimeOptions options = {});
+  ~AdaptiveRuntime();
+
+  AdaptiveRuntime(const AdaptiveRuntime&) = delete;
+  AdaptiveRuntime& operator=(const AdaptiveRuntime&) = delete;
+
+  /// Enqueue one inference on the currently active plan; may first perform
+  /// a due scheme re-evaluation (and a drain + switch).
+  std::future<Tensor> submit(Tensor input);
+  Tensor infer(const Tensor& input);
+
+  const std::string& current_scheme() const;
+  int switches() const { return switches_; }
+  double estimated_rate() const { return controller_.estimated_rate(); }
+  /// Scheme names in activation order (starts with the initial scheme).
+  const std::vector<std::string>& scheme_history() const {
+    return history_;
+  }
+
+  void shutdown();
+
+ private:
+  void maybe_reevaluate();
+  void activate(std::size_t candidate_index);
+
+  const nn::Graph& graph_;
+  AdaptiveRuntimeOptions options_;
+  adaptive::ApicoController controller_;
+  std::size_t active_index_ = 0;
+  std::unique_ptr<PipelineRuntime> active_;
+  std::chrono::steady_clock::time_point window_start_;
+  int window_arrivals_ = 0;
+  int switches_ = 0;
+  std::vector<std::string> history_;
+  bool stopped_ = false;
+};
+
+}  // namespace pico::runtime

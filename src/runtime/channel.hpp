@@ -1,0 +1,74 @@
+// Bounded blocking MPMC queue — the backbone of the in-process transport and
+// of the inter-stage queues in the pipeline runtime (the paper's Fig. 6
+// input/output queues).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+
+#include "common/error.hpp"
+
+namespace pico::runtime {
+
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(std::size_t capacity = kUnbounded)
+      : capacity_(capacity) {
+    PICO_CHECK(capacity >= 1);
+  }
+
+  /// Blocks while full.  Throws TransportError if the queue is closed.
+  void push(T value) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_full_.wait(lock,
+                   [&] { return closed_ || items_.size() < capacity_; });
+    if (closed_) throw TransportError("push on closed queue");
+    items_.push_back(std::move(value));
+    not_empty_.notify_one();
+  }
+
+  /// Blocks while empty.  Returns nullopt once closed and drained.
+  std::optional<T> pop() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return std::nullopt;
+    T value = std::move(items_.front());
+    items_.pop_front();
+    not_full_.notify_one();
+    return value;
+  }
+
+  /// Wake all waiters; subsequent pushes throw, pops drain then nullopt.
+  void close() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    closed_ = true;
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return closed_;
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return items_.size();
+  }
+
+  static constexpr std::size_t kUnbounded = static_cast<std::size_t>(-1);
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<T> items_;
+  std::size_t capacity_;
+  bool closed_ = false;
+};
+
+}  // namespace pico::runtime

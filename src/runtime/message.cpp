@@ -1,0 +1,97 @@
+#include "runtime/message.hpp"
+
+#include <cstring>
+
+#include "common/error.hpp"
+
+namespace pico::runtime {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x50494330;  // "PIC0"
+
+template <typename T>
+void put(std::vector<std::uint8_t>& out, T value) {
+  const auto offset = out.size();
+  out.resize(offset + sizeof(T));
+  std::memcpy(out.data() + offset, &value, sizeof(T));
+}
+
+template <typename T>
+T get(const std::uint8_t*& cursor, const std::uint8_t* end) {
+  PICO_CHECK_MSG(cursor + sizeof(T) <= end, "message truncated");
+  T value;
+  std::memcpy(&value, cursor, sizeof(T));
+  cursor += sizeof(T);
+  return value;
+}
+
+void put_region(std::vector<std::uint8_t>& out, const Region& r) {
+  put<std::int32_t>(out, r.row_begin);
+  put<std::int32_t>(out, r.row_end);
+  put<std::int32_t>(out, r.col_begin);
+  put<std::int32_t>(out, r.col_end);
+}
+
+Region get_region(const std::uint8_t*& cursor, const std::uint8_t* end) {
+  Region r;
+  r.row_begin = get<std::int32_t>(cursor, end);
+  r.row_end = get<std::int32_t>(cursor, end);
+  r.col_begin = get<std::int32_t>(cursor, end);
+  r.col_end = get<std::int32_t>(cursor, end);
+  return r;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> serialize(const Message& message) {
+  std::vector<std::uint8_t> out;
+  const Shape shape = message.tensor.shape();
+  out.reserve(64 + static_cast<std::size_t>(shape.elements()) * 4);
+  put<std::uint32_t>(out, kMagic);
+  put<std::uint32_t>(out, static_cast<std::uint32_t>(message.type));
+  put<std::int64_t>(out, message.task_id);
+  put<std::int32_t>(out, message.stage_index);
+  put<std::int32_t>(out, message.first_node);
+  put<std::int32_t>(out, message.last_node);
+  put_region(out, message.in_region);
+  put_region(out, message.out_region);
+  put<std::int32_t>(out, shape.channels);
+  put<std::int32_t>(out, shape.height);
+  put<std::int32_t>(out, shape.width);
+  const auto offset = out.size();
+  const std::size_t bytes = static_cast<std::size_t>(shape.elements()) * 4;
+  out.resize(offset + bytes);
+  if (bytes > 0) {
+    std::memcpy(out.data() + offset, message.tensor.data().data(), bytes);
+  }
+  return out;
+}
+
+Message deserialize(const std::uint8_t* data, std::size_t size) {
+  const std::uint8_t* cursor = data;
+  const std::uint8_t* end = data + size;
+  PICO_CHECK_MSG(get<std::uint32_t>(cursor, end) == kMagic,
+                 "bad message magic");
+  Message message;
+  message.type = static_cast<MessageType>(get<std::uint32_t>(cursor, end));
+  message.task_id = get<std::int64_t>(cursor, end);
+  message.stage_index = get<std::int32_t>(cursor, end);
+  message.first_node = get<std::int32_t>(cursor, end);
+  message.last_node = get<std::int32_t>(cursor, end);
+  message.in_region = get_region(cursor, end);
+  message.out_region = get_region(cursor, end);
+  Shape shape;
+  shape.channels = get<std::int32_t>(cursor, end);
+  shape.height = get<std::int32_t>(cursor, end);
+  shape.width = get<std::int32_t>(cursor, end);
+  message.tensor = Tensor(shape);
+  const std::size_t bytes = static_cast<std::size_t>(shape.elements()) * 4;
+  PICO_CHECK_MSG(cursor + bytes == end, "message payload size mismatch");
+  if (bytes > 0) {
+    std::memcpy(message.tensor.data().data(), cursor, bytes);
+  }
+  return message;
+}
+
+}  // namespace pico::runtime

@@ -1,0 +1,39 @@
+// Wire messages between stage coordinators and device workers.
+//
+// A WorkRequest carries the input piece a device needs (tensor + its region
+// in the segment-input map) and the output region it must produce; a
+// WorkResult carries the produced piece back.  serialize/deserialize give
+// the length-prefixed binary encoding used by the TCP transport (the
+// in-process transport moves Messages directly).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/region.hpp"
+#include "tensor/tensor.hpp"
+
+namespace pico::runtime {
+
+enum class MessageType : std::uint32_t {
+  WorkRequest = 1,
+  WorkResult = 2,
+  Shutdown = 3,
+};
+
+struct Message {
+  MessageType type = MessageType::Shutdown;
+  std::int64_t task_id = 0;
+  std::int32_t stage_index = 0;
+  std::int32_t first_node = 0;  ///< segment to run (WorkRequest)
+  std::int32_t last_node = 0;
+  Region in_region;   ///< where `tensor` sits in the segment-input map
+  Region out_region;  ///< region of the segment output to produce / produced
+  Tensor tensor;      ///< input piece (request) or result piece (result)
+};
+
+/// Binary encoding (no framing — the transport adds the length prefix).
+std::vector<std::uint8_t> serialize(const Message& message);
+Message deserialize(const std::uint8_t* data, std::size_t size);
+
+}  // namespace pico::runtime

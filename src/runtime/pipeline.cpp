@@ -1,0 +1,297 @@
+#include "runtime/pipeline.hpp"
+
+#include <atomic>
+#include <cstring>
+#include <map>
+#include <thread>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/log.hpp"
+#include "nn/receptive.hpp"
+#include "partition/branches.hpp"
+#include "runtime/channel.hpp"
+#include "runtime/worker.hpp"
+#include "tensor/slice.hpp"
+
+namespace pico::runtime {
+
+namespace {
+
+struct TaskItem {
+  std::int64_t id = 0;
+  Tensor tensor;
+  std::shared_ptr<std::promise<Tensor>> promise;
+};
+
+}  // namespace
+
+struct PipelineRuntime::Impl {
+  const nn::Graph& graph;
+  partition::Plan plan;
+  RuntimeOptions options;
+
+  std::map<DeviceId, std::unique_ptr<Connection>> connections;
+  std::vector<std::unique_ptr<Worker>> workers;
+
+  std::vector<std::unique_ptr<BoundedQueue<TaskItem>>> queues;
+  std::vector<std::thread> coordinators;
+
+  std::atomic<std::int64_t> next_task{0};
+  std::atomic<long long> completed{0};
+  std::atomic<bool> stopped{false};
+
+  Impl(const nn::Graph& g, const partition::Plan& p, RuntimeOptions opts)
+      : graph(g), plan(p), options(opts) {}
+
+  std::vector<DeviceId> plan_devices() const {
+    std::vector<DeviceId> device_ids;
+    for (const partition::Stage& stage : plan.stages) {
+      for (const partition::DeviceSlice& slice : stage.assignments) {
+        bool seen = false;
+        for (const DeviceId id : device_ids) seen |= id == slice.device;
+        if (!seen) device_ids.push_back(slice.device);
+      }
+    }
+    return device_ids;
+  }
+
+  /// External-transport mode: connections were supplied by the caller.
+  void start_with_connections(
+      std::map<DeviceId, std::unique_ptr<Connection>> supplied) {
+    for (const DeviceId id : plan_devices()) {
+      const auto it = supplied.find(id);
+      PICO_CHECK_MSG(it != supplied.end() && it->second != nullptr,
+                     "no connection supplied for device " << id);
+      connections.emplace(id, std::move(it->second));
+    }
+    start_coordinators();
+  }
+
+  void start() {
+    // One worker (+ dedicated connection) per distinct device in the plan.
+    std::vector<DeviceId> device_ids = plan_devices();
+    for (const DeviceId id : device_ids) connections.emplace(id, nullptr);
+
+    if (options.transport == TransportKind::InProcess) {
+      for (DeviceId id : device_ids) {
+        auto [coordinator_end, worker_end] = make_inproc_pair();
+        connections[id] = std::move(coordinator_end);
+        workers.push_back(
+            std::make_unique<Worker>(graph, std::move(worker_end)));
+        workers.back()->start();
+      }
+    } else {
+      TcpListener listener;
+      for (DeviceId id : device_ids) {
+        // Serial connect/accept keeps the device <-> socket mapping exact.
+        auto worker_end = tcp_connect(listener.port());
+        connections[id] = listener.accept();
+        workers.push_back(
+            std::make_unique<Worker>(graph, std::move(worker_end)));
+        workers.back()->start();
+      }
+    }
+
+    start_coordinators();
+  }
+
+  void start_coordinators() {
+    // Stage chain: pipelined -> one coordinator per stage; sequential ->
+    // one coordinator walking all stages.
+    const std::size_t coordinator_count =
+        plan.pipelined ? plan.stages.size() : 1;
+    for (std::size_t i = 0; i < coordinator_count; ++i) {
+      queues.push_back(
+          std::make_unique<BoundedQueue<TaskItem>>(options.queue_capacity));
+    }
+    for (std::size_t i = 0; i < coordinator_count; ++i) {
+      coordinators.emplace_back([this, i, coordinator_count] {
+        coordinate(i, coordinator_count);
+      });
+    }
+  }
+
+  /// Branch-parallel stage: ship each device its branches' input pieces,
+  /// collect full-map branch outputs, stack them channel-wise (the concat).
+  Tensor run_branch_stage(const partition::Stage& stage,
+                          const Tensor& input) {
+    const std::vector<partition::Branch> branches =
+        partition::block_branches(graph, {stage.first, stage.last});
+    PICO_CHECK(!branches.empty());
+    const Shape out_shape = graph.node(stage.last).out_shape;
+
+    struct Sent {
+      DeviceId device;
+      const partition::Branch* branch;
+    };
+    std::vector<Sent> sent;
+    for (const partition::DeviceSlice& slice : stage.assignments) {
+      for (const int index : slice.branches) {
+        const partition::Branch& branch =
+            branches[static_cast<std::size_t>(index)];
+        const Region in_region = partition::branch_input_region(graph, branch);
+        const Shape branch_out = graph.node(branch.last).out_shape;
+        Message request;
+        request.type = MessageType::WorkRequest;
+        request.first_node = branch.first;
+        request.last_node = branch.last;
+        request.in_region = in_region;
+        request.out_region =
+            Region::full(branch_out.height, branch_out.width);
+        request.tensor = extract(input, in_region);
+        connections.at(slice.device)->send(request);
+        sent.push_back({slice.device, &branch});
+      }
+    }
+
+    Tensor out(out_shape);
+    for (const Sent& entry : sent) {
+      Message result = connections.at(entry.device)->recv();
+      PICO_CHECK(result.type == MessageType::WorkResult);
+      const partition::Branch& branch = *entry.branch;
+      PICO_CHECK(result.tensor.shape().channels == branch.channels &&
+                 result.tensor.shape().height == out_shape.height &&
+                 result.tensor.shape().width == out_shape.width);
+      for (int c = 0; c < branch.channels; ++c) {
+        std::memcpy(out.channel(branch.channel_offset + c),
+                    result.tensor.channel(c),
+                    sizeof(float) * static_cast<std::size_t>(
+                                        out_shape.height) *
+                        out_shape.width);
+      }
+    }
+    return out;
+  }
+
+  /// Run one stage of the plan for one feature map (scatter/gather/stitch).
+  Tensor run_stage(const partition::Stage& stage, const Tensor& input) {
+    const Shape in_shape = graph.node(stage.first).in_shape;
+    PICO_CHECK_MSG(input.shape() == in_shape,
+                   "stage input shape " << input.shape() << " != expected "
+                                        << in_shape);
+    if (stage.kind == partition::StageKind::Branch) {
+      return run_branch_stage(stage, input);
+    }
+    const Shape out_shape = graph.node(stage.last).out_shape;
+
+    // Scatter: send each device its (haloed) input piece.
+    std::vector<const partition::DeviceSlice*> active;
+    for (const partition::DeviceSlice& slice : stage.assignments) {
+      if (slice.out_region.empty()) continue;
+      const Region in_region = nn::segment_input_region(
+          graph, stage.first, stage.last, slice.out_region);
+      Message request;
+      request.type = MessageType::WorkRequest;
+      request.first_node = stage.first;
+      request.last_node = stage.last;
+      request.in_region = in_region;
+      request.out_region = slice.out_region;
+      request.tensor = extract(input, in_region);
+      connections.at(slice.device)->send(request);
+      active.push_back(&slice);
+    }
+
+    // Gather + stitch.
+    std::vector<Placed> pieces;
+    pieces.reserve(active.size());
+    for (const partition::DeviceSlice* slice : active) {
+      Message result = connections.at(slice->device)->recv();
+      PICO_CHECK(result.type == MessageType::WorkResult);
+      PICO_CHECK(result.out_region == slice->out_region);
+      pieces.push_back({result.out_region, std::move(result.tensor)});
+    }
+    return stitch(out_shape, pieces);
+  }
+
+  void coordinate(std::size_t index, std::size_t coordinator_count) {
+    try {
+      for (;;) {
+        std::optional<TaskItem> item = queues[index]->pop();
+        if (!item) break;  // queue closed and drained
+        if (plan.pipelined) {
+          item->tensor =
+              run_stage(plan.stages[index], std::move(item->tensor));
+        } else {
+          for (const partition::Stage& stage : plan.stages) {
+            item->tensor = run_stage(stage, std::move(item->tensor));
+          }
+        }
+        if (index + 1 < coordinator_count) {
+          queues[index + 1]->push(std::move(*item));
+        } else {
+          item->promise->set_value(std::move(item->tensor));
+          completed.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    } catch (const std::exception& error) {
+      PICO_LOG(Error) << "coordinator " << index
+                      << " failed: " << error.what();
+      // Unblock downstream and any waiting futures.
+      if (index + 1 < coordinator_count) queues[index + 1]->close();
+    }
+    if (index + 1 < coordinator_count) queues[index + 1]->close();
+  }
+
+  void shutdown() {
+    if (stopped.exchange(true)) return;
+    queues.front()->close();
+    for (std::thread& t : coordinators) {
+      if (t.joinable()) t.join();
+    }
+    for (auto& [id, connection] : connections) {
+      Message bye;
+      bye.type = MessageType::Shutdown;
+      try {
+        connection->send(bye);
+      } catch (const std::exception&) {
+        // Worker already gone.
+      }
+    }
+    for (auto& worker : workers) worker->stop();
+  }
+};
+
+PipelineRuntime::PipelineRuntime(const nn::Graph& graph,
+                                 const partition::Plan& plan,
+                                 RuntimeOptions options)
+    : impl_(std::make_unique<Impl>(graph, plan, options)) {
+  PICO_CHECK_MSG(graph.finalized(), "graph not finalized");
+  PICO_CHECK_MSG(!plan.stages.empty(), "plan has no stages");
+  impl_->start();
+}
+
+PipelineRuntime::PipelineRuntime(
+    const nn::Graph& graph, const partition::Plan& plan,
+    std::map<DeviceId, std::unique_ptr<Connection>> connections,
+    RuntimeOptions options)
+    : impl_(std::make_unique<Impl>(graph, plan, options)) {
+  PICO_CHECK_MSG(graph.finalized(), "graph not finalized");
+  PICO_CHECK_MSG(!plan.stages.empty(), "plan has no stages");
+  impl_->start_with_connections(std::move(connections));
+}
+
+PipelineRuntime::~PipelineRuntime() { shutdown(); }
+
+std::future<Tensor> PipelineRuntime::submit(Tensor input) {
+  PICO_CHECK_MSG(!impl_->stopped.load(), "submit after shutdown");
+  TaskItem item;
+  item.id = impl_->next_task.fetch_add(1);
+  item.tensor = std::move(input);
+  item.promise = std::make_shared<std::promise<Tensor>>();
+  std::future<Tensor> future = item.promise->get_future();
+  impl_->queues.front()->push(std::move(item));
+  return future;
+}
+
+Tensor PipelineRuntime::infer(const Tensor& input) {
+  return submit(input).get();
+}
+
+void PipelineRuntime::shutdown() { impl_->shutdown(); }
+
+long long PipelineRuntime::tasks_completed() const {
+  return impl_->completed.load(std::memory_order_relaxed);
+}
+
+}  // namespace pico::runtime

@@ -1,0 +1,187 @@
+#include "runtime/transport.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/error.hpp"
+
+namespace pico::runtime {
+
+namespace {
+
+[[noreturn]] void throw_errno(const char* what) {
+  throw TransportError(std::string(what) + ": " + std::strerror(errno));
+}
+
+// ---------------------------------------------------------------------------
+// In-process transport
+// ---------------------------------------------------------------------------
+
+class InProcConnection : public Connection {
+ public:
+  InProcConnection(std::shared_ptr<BoundedQueue<Message>> tx,
+                   std::shared_ptr<BoundedQueue<Message>> rx)
+      : tx_(std::move(tx)), rx_(std::move(rx)) {}
+
+  ~InProcConnection() override { close(); }
+
+  void send(const Message& message) override { tx_->push(message); }
+
+  Message recv() override {
+    std::optional<Message> message = rx_->pop();
+    if (!message) throw TransportError("in-process peer closed");
+    return std::move(*message);
+  }
+
+  void close() override {
+    tx_->close();
+    rx_->close();
+  }
+
+ private:
+  std::shared_ptr<BoundedQueue<Message>> tx_;
+  std::shared_ptr<BoundedQueue<Message>> rx_;
+};
+
+// ---------------------------------------------------------------------------
+// TCP transport
+// ---------------------------------------------------------------------------
+
+void write_all(int fd, const void* data, std::size_t size) {
+  const auto* bytes = static_cast<const std::uint8_t*>(data);
+  std::size_t sent = 0;
+  while (sent < size) {
+    const ssize_t n = ::send(fd, bytes + sent, size - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("send");
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+/// Returns false on clean EOF at a frame boundary.
+bool read_all(int fd, void* data, std::size_t size) {
+  auto* bytes = static_cast<std::uint8_t*>(data);
+  std::size_t received = 0;
+  while (received < size) {
+    const ssize_t n = ::recv(fd, bytes + received, size - received, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("recv");
+    }
+    if (n == 0) {
+      if (received == 0) return false;
+      throw TransportError("peer closed mid-frame");
+    }
+    received += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+class TcpConnection : public Connection {
+ public:
+  explicit TcpConnection(int fd) : fd_(fd) {
+    const int one = 1;
+    ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  }
+
+  ~TcpConnection() override { close(); }
+
+  void send(const Message& message) override {
+    PICO_CHECK_MSG(fd_ >= 0, "send on closed connection");
+    const std::vector<std::uint8_t> payload = serialize(message);
+    const std::uint64_t length = payload.size();
+    write_all(fd_, &length, sizeof(length));
+    write_all(fd_, payload.data(), payload.size());
+  }
+
+  Message recv() override {
+    PICO_CHECK_MSG(fd_ >= 0, "recv on closed connection");
+    std::uint64_t length = 0;
+    if (!read_all(fd_, &length, sizeof(length))) {
+      throw TransportError("tcp peer closed");
+    }
+    PICO_CHECK_MSG(length <= (1ull << 32), "oversized frame");
+    std::vector<std::uint8_t> payload(static_cast<std::size_t>(length));
+    if (!read_all(fd_, payload.data(), payload.size())) {
+      throw TransportError("tcp peer closed mid-frame");
+    }
+    return deserialize(payload.data(), payload.size());
+  }
+
+  void close() override {
+    if (fd_ >= 0) {
+      ::shutdown(fd_, SHUT_RDWR);
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+
+ private:
+  int fd_;
+};
+
+}  // namespace
+
+std::pair<std::unique_ptr<Connection>, std::unique_ptr<Connection>>
+make_inproc_pair() {
+  auto a_to_b = std::make_shared<BoundedQueue<Message>>();
+  auto b_to_a = std::make_shared<BoundedQueue<Message>>();
+  return {std::make_unique<InProcConnection>(a_to_b, b_to_a),
+          std::make_unique<InProcConnection>(b_to_a, a_to_b)};
+}
+
+TcpListener::TcpListener(std::uint16_t port) {
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) throw_errno("socket");
+  const int one = 1;
+  ::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    throw_errno("bind");
+  }
+  if (::listen(fd_, 64) < 0) throw_errno("listen");
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&addr), &len) < 0) {
+    throw_errno("getsockname");
+  }
+  port_ = ntohs(addr.sin_port);
+}
+
+TcpListener::~TcpListener() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+std::unique_ptr<Connection> TcpListener::accept() {
+  const int fd = ::accept(fd_, nullptr, nullptr);
+  if (fd < 0) throw_errno("accept");
+  return std::make_unique<TcpConnection>(fd);
+}
+
+std::unique_ptr<Connection> tcp_connect(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw_errno("socket");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    const int saved = errno;
+    ::close(fd);
+    errno = saved;
+    throw_errno("connect");
+  }
+  return std::make_unique<TcpConnection>(fd);
+}
+
+}  // namespace pico::runtime

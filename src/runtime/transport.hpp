@@ -1,0 +1,58 @@
+// Transports: how coordinators talk to device workers.
+//
+//  - In-process: a pair of bounded queues moving Messages by value.  Fast,
+//    used by default in tests and examples.
+//  - TCP: real loopback sockets with length-prefixed frames — the same
+//    distributed glue the paper's Raspberry-Pi framework uses (TCP/IP
+//    sockets, §IV-D), so serialization, framing, and partial reads/writes
+//    are genuinely exercised.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+
+#include "runtime/channel.hpp"
+#include "runtime/message.hpp"
+
+namespace pico::runtime {
+
+/// Bidirectional, blocking, message-oriented connection endpoint.
+/// recv() blocks until a message arrives; throws TransportError when the
+/// peer closes.  Thread-compatible: at most one sender and one receiver
+/// thread per endpoint.
+class Connection {
+ public:
+  virtual ~Connection() = default;
+  virtual void send(const Message& message) = 0;
+  virtual Message recv() = 0;
+  virtual void close() = 0;
+};
+
+/// Two connected in-process endpoints.
+std::pair<std::unique_ptr<Connection>, std::unique_ptr<Connection>>
+make_inproc_pair();
+
+/// Listening TCP socket on 127.0.0.1 (port 0 = ephemeral).
+class TcpListener {
+ public:
+  explicit TcpListener(std::uint16_t port = 0);
+  ~TcpListener();
+  TcpListener(const TcpListener&) = delete;
+  TcpListener& operator=(const TcpListener&) = delete;
+
+  std::uint16_t port() const { return port_; }
+  /// Blocks for one inbound connection.
+  std::unique_ptr<Connection> accept();
+
+ private:
+  int fd_ = -1;
+  std::uint16_t port_ = 0;
+};
+
+/// Connect to a listener on 127.0.0.1.
+std::unique_ptr<Connection> tcp_connect(std::uint16_t port);
+
+enum class TransportKind { InProcess, Tcp };
+
+}  // namespace pico::runtime

@@ -1,0 +1,76 @@
+#include "runtime/worker.hpp"
+
+#include "common/error.hpp"
+#include "common/log.hpp"
+#include "nn/executor.hpp"
+
+namespace pico::runtime {
+
+void serve_blocking(const nn::Graph& graph, Connection& connection) {
+  try {
+    for (;;) {
+      Message request = connection.recv();
+      if (request.type == MessageType::Shutdown) break;
+      PICO_CHECK_MSG(request.type == MessageType::WorkRequest,
+                     "worker got unexpected message type");
+      Message result;
+      result.type = MessageType::WorkResult;
+      result.task_id = request.task_id;
+      result.stage_index = request.stage_index;
+      result.out_region = request.out_region;
+      result.tensor = nn::execute_segment(
+          graph, request.first_node, request.last_node,
+          {request.in_region, std::move(request.tensor)},
+          request.out_region);
+      connection.send(result);
+    }
+  } catch (const TransportError&) {
+    // Peer closed: normal shutdown path.
+  }
+}
+
+Worker::Worker(const nn::Graph& graph,
+               std::unique_ptr<Connection> connection)
+    : graph_(graph), connection_(std::move(connection)) {
+  PICO_CHECK(connection_ != nullptr);
+}
+
+Worker::~Worker() { stop(); }
+
+void Worker::start() {
+  PICO_CHECK_MSG(!thread_.joinable(), "worker already started");
+  thread_ = std::thread([this] { run(); });
+}
+
+void Worker::stop() {
+  if (connection_) connection_->close();
+  if (thread_.joinable()) thread_.join();
+}
+
+void Worker::run() {
+  try {
+    for (;;) {
+      Message request = connection_->recv();
+      if (request.type == MessageType::Shutdown) break;
+      PICO_CHECK_MSG(request.type == MessageType::WorkRequest,
+                     "worker got unexpected message type");
+      Message result;
+      result.type = MessageType::WorkResult;
+      result.task_id = request.task_id;
+      result.stage_index = request.stage_index;
+      result.out_region = request.out_region;
+      result.tensor = nn::execute_segment(
+          graph_, request.first_node, request.last_node,
+          {request.in_region, std::move(request.tensor)},
+          request.out_region);
+      connection_->send(result);
+      requests_.fetch_add(1, std::memory_order_relaxed);
+    }
+  } catch (const TransportError&) {
+    // Peer closed: normal shutdown path.
+  } catch (const Error& error) {
+    PICO_LOG(Error) << "worker failed: " << error.what();
+  }
+}
+
+}  // namespace pico::runtime

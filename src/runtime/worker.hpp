@@ -1,0 +1,49 @@
+// Device worker: one thread owning one end of a Connection, emulating one
+// edge device.  Serves WorkRequests by running the requested fused segment
+// over its input piece (real tensor arithmetic via execute_segment) and
+// returning the produced output piece.  Exits on Shutdown or peer close.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <thread>
+
+#include "nn/graph.hpp"
+#include "runtime/transport.hpp"
+
+namespace pico::runtime {
+
+/// Blocking worker loop for standalone device processes: serve WorkRequests
+/// on `connection` until Shutdown or peer close.  This is what a real edge
+/// device's main() calls after connecting to the coordinator.
+void serve_blocking(const nn::Graph& graph, Connection& connection);
+
+class Worker {
+ public:
+  /// The worker holds a reference to the (immutable, finalized) graph — in a
+  /// real deployment each device owns a copy of its model segment; sharing
+  /// the weights here changes nothing observable.
+  Worker(const nn::Graph& graph, std::unique_ptr<Connection> connection);
+  ~Worker();
+
+  Worker(const Worker&) = delete;
+  Worker& operator=(const Worker&) = delete;
+
+  void start();
+  /// Close the connection and join the thread (idempotent).
+  void stop();
+
+  long long requests_served() const {
+    return requests_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void run();
+
+  const nn::Graph& graph_;
+  std::unique_ptr<Connection> connection_;
+  std::thread thread_;
+  std::atomic<long long> requests_{0};
+};
+
+}  // namespace pico::runtime

@@ -1,0 +1,62 @@
+#include "sim/arrivals.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace pico::sim {
+
+std::vector<Seconds> poisson_arrivals(Rng& rng, double rate,
+                                      Seconds horizon) {
+  PICO_CHECK(rate > 0.0 && horizon > 0.0);
+  std::vector<Seconds> out;
+  Seconds t = rng.exponential(rate);
+  while (t < horizon) {
+    out.push_back(t);
+    t += rng.exponential(rate);
+  }
+  return out;
+}
+
+std::vector<Seconds> back_to_back_arrivals(int count) {
+  PICO_CHECK(count >= 1);
+  return std::vector<Seconds>(static_cast<std::size_t>(count), 0.0);
+}
+
+std::vector<Seconds> uniform_arrivals(double rate, Seconds horizon) {
+  PICO_CHECK(rate > 0.0 && horizon > 0.0);
+  std::vector<Seconds> out;
+  for (Seconds t = 0.0; t < horizon; t += 1.0 / rate) out.push_back(t);
+  return out;
+}
+
+std::vector<Seconds> bursty_arrivals(Rng& rng, double base_rate,
+                                     double burst_rate,
+                                     Seconds mean_calm_duration,
+                                     Seconds mean_burst_duration,
+                                     Seconds horizon) {
+  PICO_CHECK(base_rate >= 0.0 && burst_rate > 0.0);
+  PICO_CHECK(mean_calm_duration > 0.0 && mean_burst_duration > 0.0);
+  PICO_CHECK(horizon > 0.0);
+  std::vector<Seconds> out;
+  Seconds t = 0.0;
+  bool bursting = false;
+  while (t < horizon) {
+    const Seconds dwell = rng.exponential(
+        1.0 / (bursting ? mean_burst_duration : mean_calm_duration));
+    const Seconds phase_end = std::min(t + dwell, horizon);
+    const double rate = bursting ? burst_rate : base_rate;
+    if (rate > 0.0) {
+      Seconds next = t + rng.exponential(rate);
+      while (next < phase_end) {
+        out.push_back(next);
+        next += rng.exponential(rate);
+      }
+    }
+    t = phase_end;
+    bursting = !bursting;
+  }
+  return out;
+}
+
+}  // namespace pico::sim

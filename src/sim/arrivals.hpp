@@ -1,0 +1,33 @@
+// Task arrival processes (§V-A "Inference task arrival scheme").
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace pico::sim {
+
+/// Poisson process with `rate` tasks/second over [0, horizon).
+std::vector<Seconds> poisson_arrivals(Rng& rng, double rate, Seconds horizon);
+
+/// `count` tasks all available at t = 0 — each task starts as soon as the
+/// previous one clears the entry stage; measures maximum throughput.
+std::vector<Seconds> back_to_back_arrivals(int count);
+
+/// Deterministic arrivals every 1/rate seconds over [0, horizon).
+std::vector<Seconds> uniform_arrivals(double rate, Seconds horizon);
+
+/// Two-state Markov-modulated Poisson process: the source alternates between
+/// a calm state (rate `base_rate`) and a burst state (rate `burst_rate`),
+/// with exponentially distributed dwell times of the given means.  Models
+/// the paper's smart-home motivation — devices idle at work hours, busy in
+/// the evening — at time scales short enough to stress the adaptive
+/// controller's EWMA (Eq. 15).
+std::vector<Seconds> bursty_arrivals(Rng& rng, double base_rate,
+                                     double burst_rate,
+                                     Seconds mean_calm_duration,
+                                     Seconds mean_burst_duration,
+                                     Seconds horizon);
+
+}  // namespace pico::sim

@@ -1,0 +1,30 @@
+#include "sim/engine.hpp"
+
+#include "common/error.hpp"
+
+namespace pico::sim {
+
+void Engine::schedule_at(Seconds when, Callback fn) {
+  PICO_CHECK_MSG(when >= now_, "scheduling into the past: " << when << " < "
+                                                            << now_);
+  queue_.push({when, next_seq_++, std::move(fn)});
+}
+
+void Engine::schedule_in(Seconds delay, Callback fn) {
+  PICO_CHECK(delay >= 0.0);
+  schedule_at(now_ + delay, std::move(fn));
+}
+
+Seconds Engine::run(Seconds until) {
+  while (!queue_.empty()) {
+    if (queue_.top().when > until) break;
+    // Copy out before pop so the callback may schedule freely.
+    Event event = queue_.top();
+    queue_.pop();
+    now_ = event.when;
+    event.fn();
+  }
+  return now_;
+}
+
+}  // namespace pico::sim

@@ -1,0 +1,50 @@
+// Discrete-event simulation engine: a time-ordered queue of callbacks.
+// Deterministic: events at equal times fire in scheduling order.
+#pragma once
+
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace pico::sim {
+
+class Engine {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Schedule `fn` at absolute time `when` (must be >= now()).
+  void schedule_at(Seconds when, Callback fn);
+  /// Schedule `fn` `delay` seconds from now.
+  void schedule_in(Seconds delay, Callback fn);
+
+  Seconds now() const { return now_; }
+
+  /// Run until the event queue is empty or `until` is passed (events at
+  /// exactly `until` still fire).  Returns the final simulation time.
+  Seconds run(Seconds until = kForever);
+
+  bool empty() const { return queue_.empty(); }
+
+  static constexpr Seconds kForever = 1e18;
+
+ private:
+  struct Event {
+    Seconds when;
+    std::uint64_t seq;
+    Callback fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  Seconds now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+}  // namespace pico::sim

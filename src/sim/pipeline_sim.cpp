@@ -1,0 +1,402 @@
+#include "sim/pipeline_sim.hpp"
+
+#include <algorithm>
+#include <deque>
+
+#include "common/error.hpp"
+#include "common/stats.hpp"
+#include "cost/flops.hpp"
+#include "nn/receptive.hpp"
+#include "partition/plan_cost.hpp"
+
+namespace pico::sim {
+
+double SimResult::throughput() const {
+  if (tasks.empty() || makespan <= 0.0) return 0.0;
+  return static_cast<double>(tasks.size()) / makespan;
+}
+
+Seconds SimResult::mean_latency() const {
+  if (tasks.empty()) return 0.0;
+  double sum = 0.0;
+  for (const TaskRecord& t : tasks) sum += t.latency();
+  return sum / static_cast<double>(tasks.size());
+}
+
+Seconds SimResult::percentile_latency(double q) const {
+  std::vector<double> latencies;
+  latencies.reserve(tasks.size());
+  for (const TaskRecord& t : tasks) latencies.push_back(t.latency());
+  return percentile(std::move(latencies), q);
+}
+
+double SimResult::utilization(DeviceId device) const {
+  if (makespan <= 0.0) return 0.0;
+  for (const DeviceUsage& u : devices) {
+    if (u.device == device) return u.busy / makespan;
+  }
+  return 0.0;
+}
+
+namespace {
+
+/// One node of the service chain a task walks through.  Several chain nodes
+/// may share one *physical* server (SharedLink: every transfer node runs on
+/// the single AP server), which is what creates cross-stage contention.
+struct ServerSpec {
+  Seconds service = 0.0;
+  std::size_t server = 0;  ///< physical server index
+  /// Per-task contribution of this chain node to each device.
+  struct Contribution {
+    DeviceId device;
+    Seconds busy;
+    Flops total;
+    Flops redundant;
+  };
+  std::vector<Contribution> contributions;
+};
+
+struct CompiledPlan {
+  partition::Plan plan;  ///< owned copy
+  std::vector<ServerSpec> servers;  ///< the chain, in task order
+  std::size_t server_count = 0;     ///< number of physical servers
+  Seconds total_latency = 0.0;
+};
+
+CompiledPlan compile_plan(const nn::Graph& graph, const Cluster& cluster,
+                          const NetworkModel& network,
+                          const partition::Plan& plan,
+                          CommModel comm_model) {
+  partition::validate_plan(graph, cluster, plan);
+  CompiledPlan compiled;
+  compiled.plan = plan;
+
+  // Per-stage device work with redundancy attribution; reuse the static
+  // accounting from plan_cost by building single-stage sub-plans.
+  auto stage_contributions = [&](const partition::Stage& stage) {
+    partition::Plan single;
+    single.pipelined = plan.pipelined;
+    single.scheme = plan.scheme;
+    single.stages = {stage};
+    std::vector<ServerSpec::Contribution> out;
+    for (const partition::DeviceWork& w :
+         partition::plan_device_work(graph, cluster, single)) {
+      out.push_back({w.device, w.busy, w.total, w.redundant});
+    }
+    return out;
+  };
+
+  if (plan.pipelined) {
+    // SharedLink: physical server 0 is the AP; computes get 1..S.
+    std::size_t next_server =
+        comm_model == CommModel::SharedLink ? 1 : 0;
+    for (const partition::Stage& stage : plan.stages) {
+      const partition::StageCost cost =
+          partition::stage_cost(graph, cluster, network, stage);
+      if (comm_model == CommModel::Overlapped ||
+          comm_model == CommModel::SharedLink) {
+        // Transfer node (no device busy time) then compute node.
+        ServerSpec transfer;
+        transfer.service = cost.comm;
+        transfer.server =
+            comm_model == CommModel::SharedLink ? 0 : next_server++;
+        compiled.servers.push_back(std::move(transfer));
+        ServerSpec compute;
+        compute.service = cost.compute;
+        compute.server = next_server++;
+        compute.contributions = stage_contributions(stage);
+        compiled.servers.push_back(std::move(compute));
+      } else {
+        ServerSpec server;
+        server.service = cost.total();
+        server.server = next_server++;
+        server.contributions = stage_contributions(stage);
+        compiled.servers.push_back(std::move(server));
+      }
+      compiled.total_latency += cost.total();
+    }
+    compiled.server_count = next_server;
+  } else {
+    ServerSpec server;
+    std::map<DeviceId, ServerSpec::Contribution> merged;
+    for (const partition::Stage& stage : plan.stages) {
+      server.service +=
+          partition::stage_cost(graph, cluster, network, stage).total();
+      for (const auto& c : stage_contributions(stage)) {
+        auto [it, inserted] = merged.try_emplace(c.device, c);
+        if (!inserted) {
+          it->second.busy += c.busy;
+          it->second.total += c.total;
+          it->second.redundant += c.redundant;
+        }
+      }
+    }
+    for (const auto& [id, c] : merged) server.contributions.push_back(c);
+    compiled.total_latency = server.service;
+    compiled.servers.push_back(std::move(server));
+    compiled.server_count = 1;
+  }
+  return compiled;
+}
+
+}  // namespace
+
+struct ClusterSimulator::Impl {
+  const nn::Graph& graph;
+  const Cluster& cluster;
+  const NetworkModel& network;
+  CommModel comm_model = CommModel::Serialized;
+  // Set by recluster(): later compiles use the degraded environment.
+  std::optional<Cluster> cluster_override;
+  std::optional<NetworkModel> network_override;
+
+  const Cluster& effective_cluster() const {
+    return cluster_override ? *cluster_override : cluster;
+  }
+  const NetworkModel& effective_network() const {
+    return network_override ? *network_override : network;
+  }
+
+  Engine engine;
+  std::optional<CompiledPlan> active;
+  std::optional<CompiledPlan> pending;
+  int switches = 0;
+
+  struct Task {
+    long long id;
+    Seconds arrival;
+    Seconds start = 0.0;
+  };
+  std::vector<Seconds> arrivals;
+
+  // Entry queue (arrived, not yet admitted) + per-physical-server state.
+  std::deque<Task> entry_queue;
+  struct ServerState {
+    bool busy = false;
+    /// (chain position, task) pairs waiting for this physical server.
+    std::deque<std::pair<std::size_t, Task>> queue;
+  };
+  std::vector<ServerState> servers;
+  int in_flight = 0;
+
+  std::vector<TaskRecord> records;
+  std::map<DeviceId, DeviceUsage> usage;
+  Seconds makespan = 0.0;
+
+  Seconds controller_interval = 0.0;
+  Controller controller;
+  int window_arrivals = 0;
+
+  Impl(const nn::Graph& g, const Cluster& c, const NetworkModel& n)
+      : graph(g), cluster(c), network(n) {}
+
+  void install(const CompiledPlan& compiled) {
+    servers.assign(compiled.server_count, {});
+  }
+
+  void apply_pending_if_drained() {
+    if (!pending || in_flight != 0) return;
+    active = std::move(*pending);
+    pending.reset();
+    ++switches;
+    install(*active);
+    try_admit();
+  }
+
+  void account(const ServerSpec& server) {
+    for (const auto& c : server.contributions) {
+      DeviceUsage& u = usage[c.device];
+      u.device = c.device;
+      u.busy += c.busy;
+      u.total_flops += c.total;
+      u.redundant_flops += c.redundant;
+    }
+  }
+
+  void try_admit() {
+    if (pending) return;  // draining for a switch
+    if (entry_queue.empty()) return;
+    if (servers[active->servers[0].server].busy) return;
+    Task task = entry_queue.front();
+    entry_queue.pop_front();
+    task.start = engine.now();
+    ++in_flight;
+    start_service(0, task);
+    // Admission is one-at-a-time: the next task is admitted when the entry
+    // chain node's server frees up (see finish_service).
+  }
+
+  void start_service(std::size_t position, Task task) {
+    const ServerSpec& spec = active->servers[position];
+    ServerState& state = servers[spec.server];
+    PICO_CHECK(!state.busy);
+    state.busy = true;
+    engine.schedule_in(spec.service, [this, position, task] {
+      finish_service(position, task);
+    });
+  }
+
+  void finish_service(std::size_t position, Task task) {
+    const ServerSpec& spec = active->servers[position];
+    ServerState& state = servers[spec.server];
+    state.busy = false;
+    account(spec);
+
+    if (position + 1 < active->servers.size()) {
+      forward(position + 1, task);
+    } else {
+      complete(task);
+    }
+    // The physical server is free: in-flight waiters first, then (if this
+    // server also fronts the chain) new admissions.
+    if (!state.queue.empty() && !state.busy) {
+      auto [next_position, next_task] = state.queue.front();
+      state.queue.pop_front();
+      start_service(next_position, next_task);
+    }
+    if (!state.busy && spec.server == active->servers[0].server) {
+      try_admit();
+    }
+  }
+
+  void forward(std::size_t position, Task task) {
+    ServerState& state = servers[active->servers[position].server];
+    if (state.busy) {
+      state.queue.push_back({position, task});
+    } else {
+      start_service(position, task);
+    }
+  }
+
+  void complete(const Task& task) {
+    --in_flight;
+    TaskRecord record;
+    record.id = task.id;
+    record.arrival = task.arrival;
+    record.start = task.start;
+    record.completion = engine.now();
+    record.scheme = active->plan.scheme;
+    records.push_back(std::move(record));
+    makespan = std::max(makespan, engine.now());
+    apply_pending_if_drained();
+  }
+
+  void on_arrival(Task task) {
+    ++window_arrivals;
+    entry_queue.push_back(task);
+    try_admit();
+  }
+
+  void schedule_controller_tick() {
+    engine.schedule_in(controller_interval, [this] {
+      const int count = window_arrivals;
+      window_arrivals = 0;
+      ClusterSimulator* self = owner;
+      controller(*self, engine.now(), count);
+      // Keep ticking while there is anything left to do.
+      if (!engine.empty() || !entry_queue.empty() || in_flight > 0) {
+        schedule_controller_tick();
+      }
+    });
+  }
+
+  ClusterSimulator* owner = nullptr;
+};
+
+ClusterSimulator::ClusterSimulator(const nn::Graph& graph,
+                                   const Cluster& cluster,
+                                   const NetworkModel& network,
+                                   CommModel comm_model)
+    : impl_(std::make_unique<Impl>(graph, cluster, network)) {
+  impl_->comm_model = comm_model;
+  impl_->owner = this;
+}
+
+ClusterSimulator::~ClusterSimulator() = default;
+
+void ClusterSimulator::set_plan(const partition::Plan& plan) {
+  CompiledPlan compiled =
+      compile_plan(impl_->graph, impl_->effective_cluster(),
+                   impl_->effective_network(), plan, impl_->comm_model);
+  if (!impl_->active) {
+    impl_->active = std::move(compiled);
+    impl_->install(*impl_->active);
+  } else if (impl_->active->plan.scheme != plan.scheme ||
+             impl_->active->servers.size() != compiled.servers.size()) {
+    impl_->pending = std::move(compiled);
+    impl_->apply_pending_if_drained();
+  } else {
+    // Same scheme & shape: treat as a no-op (avoids pointless drains).
+  }
+}
+
+void ClusterSimulator::recluster(const Cluster& cluster,
+                                 const NetworkModel& network,
+                                 const partition::Plan& plan) {
+  impl_->cluster_override = cluster;
+  impl_->network_override = network;
+  CompiledPlan compiled = compile_plan(impl_->graph, cluster, network, plan,
+                                       impl_->comm_model);
+  if (!impl_->active) {
+    impl_->active = std::move(compiled);
+    impl_->install(*impl_->active);
+  } else {
+    // Always swap — even for the "same" plan, the service times changed.
+    impl_->pending = std::move(compiled);
+    impl_->apply_pending_if_drained();
+  }
+}
+
+void ClusterSimulator::add_arrivals(std::span<const Seconds> arrivals) {
+  for (Seconds t : arrivals) {
+    const long long id =
+        static_cast<long long>(impl_->arrivals.size());
+    impl_->arrivals.push_back(t);
+    impl_->engine.schedule_at(t, [impl = impl_.get(), id, t] {
+      impl->on_arrival({id, t});
+    });
+  }
+}
+
+void ClusterSimulator::set_controller(Seconds interval,
+                                      Controller controller) {
+  PICO_CHECK(interval > 0.0);
+  impl_->controller_interval = interval;
+  impl_->controller = std::move(controller);
+  impl_->schedule_controller_tick();
+}
+
+SimResult ClusterSimulator::run() {
+  PICO_CHECK_MSG(impl_->active, "set_plan must be called before run()");
+  impl_->engine.run();
+  PICO_CHECK_MSG(impl_->entry_queue.empty() && impl_->in_flight == 0,
+                 "simulation ended with unfinished tasks");
+  SimResult result;
+  result.tasks = std::move(impl_->records);
+  std::sort(result.tasks.begin(), result.tasks.end(),
+            [](const TaskRecord& a, const TaskRecord& b) {
+              return a.id < b.id;
+            });
+  result.makespan = impl_->makespan;
+  result.plan_switches = impl_->switches;
+  for (const auto& [id, usage] : impl_->usage) result.devices.push_back(usage);
+  return result;
+}
+
+const std::string& ClusterSimulator::current_scheme() const {
+  PICO_CHECK(impl_->active);
+  return impl_->active->plan.scheme;
+}
+
+SimResult simulate_plan(const nn::Graph& graph, const Cluster& cluster,
+                        const NetworkModel& network,
+                        const partition::Plan& plan,
+                        std::span<const Seconds> arrivals,
+                        CommModel comm_model) {
+  ClusterSimulator simulator(graph, cluster, network, comm_model);
+  simulator.set_plan(plan);
+  simulator.add_arrivals(arrivals);
+  return simulator.run();
+}
+
+}  // namespace pico::sim

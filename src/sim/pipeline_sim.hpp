@@ -1,0 +1,136 @@
+// Cluster simulator.
+//
+// Replays a Plan on the modeled cluster under an arrival process, using the
+// Eq. 5–9 stage costs as deterministic service times:
+//
+//  - pipelined plans are a tandem of stage servers (a stage serves one task
+//    at a time; disjoint device sets let stages overlap across tasks);
+//  - sequential plans (LW/EFL/OFL) are a single server whose service is the
+//    sum of stage costs (the whole cluster serves one inference at a time).
+//
+// Produces per-task latency records and per-device busy/FLOP accounting —
+// everything Figs. 8–13 and Table I report.  Plans can be switched at run
+// time (APICO): a requested switch blocks new admissions, waits for
+// in-flight tasks to drain (model segments must be redeployed), then swaps.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "nn/graph.hpp"
+#include "partition/plan.hpp"
+#include "sim/engine.hpp"
+
+namespace pico::sim {
+
+struct TaskRecord {
+  long long id = 0;
+  Seconds arrival = 0.0;
+  Seconds start = 0.0;       ///< admission into the first stage
+  Seconds completion = 0.0;
+  std::string scheme;        ///< plan that served this task
+
+  Seconds latency() const { return completion - arrival; }
+  Seconds waiting() const { return start - arrival; }
+};
+
+struct DeviceUsage {
+  DeviceId device = -1;
+  Seconds busy = 0.0;
+  Flops total_flops = 0.0;
+  Flops redundant_flops = 0.0;
+
+  double redundancy_ratio() const {
+    return total_flops > 0.0 ? redundant_flops / total_flops : 0.0;
+  }
+};
+
+struct SimResult {
+  std::vector<TaskRecord> tasks;
+  Seconds makespan = 0.0;  ///< completion time of the last task
+  std::vector<DeviceUsage> devices;
+  int plan_switches = 0;
+
+  double throughput() const;        ///< completed tasks per second
+  Seconds mean_latency() const;
+  Seconds percentile_latency(double q) const;
+  /// busy / makespan for the given device (0 when it never ran).
+  double utilization(DeviceId device) const;
+};
+
+/// How a pipelined stage treats its transfer time.
+///
+///  - Serialized: a stage serves one task at a time for comm + comp seconds
+///    (exactly Eq. 9; simulated throughput matches 1/period of the cost
+///    model).
+///  - Overlapped: the paper's runtime (Fig. 6) runs receive/send threads
+///    next to the compute thread, so while a stage computes task n it can
+///    already transfer task n±1.  Modeled as two tandem servers per stage
+///    (transfer, then compute): per-task latency stays comm + comp, but the
+///    sustainable period becomes max(comm, comp) — this is what the paper's
+///    measured device utilizations (Table I, Fig. 13) reflect.
+///  - SharedLink: like Overlapped, but ALL stages' transfers contend for
+///    one medium (the single WiFi AP): transfer jobs from every stage queue
+///    at a single link server.  Eq. 8–10 price each stage's communication
+///    independently, implicitly assuming transfers of different stages never
+///    collide; this mode measures what that assumption hides
+///    (bench_ablation_contention).
+///
+/// Sequential (one-stage-scheme) plans always serialize: they keep a single
+/// inference in flight by construction.
+enum class CommModel { Serialized, Overlapped, SharedLink };
+
+class ClusterSimulator {
+ public:
+  ClusterSimulator(const nn::Graph& graph, const Cluster& cluster,
+                   const NetworkModel& network,
+                   CommModel comm_model = CommModel::Serialized);
+  ~ClusterSimulator();
+
+  ClusterSimulator(const ClusterSimulator&) = delete;
+  ClusterSimulator& operator=(const ClusterSimulator&) = delete;
+
+  /// Must be called once before run(); later calls from a controller are
+  /// treated as switch requests (drain-then-swap).
+  void set_plan(const partition::Plan& plan);
+
+  /// Fault injection: from the moment the switch applies (drain-then-swap,
+  /// like set_plan), service times are recomputed against `cluster` — e.g.
+  /// a straggler whose capacity dropped, or a device whose link degraded
+  /// via the network model's per-device scaling.  The plan may be changed
+  /// in the same call (replanning against the degraded cluster) or kept.
+  void recluster(const Cluster& cluster, const NetworkModel& network,
+                 const partition::Plan& plan);
+
+  void add_arrivals(std::span<const Seconds> arrivals);
+
+  /// Invoked every `interval` simulated seconds with the number of arrivals
+  /// observed in the closing window; may call set_plan to switch.
+  using Controller =
+      std::function<void(ClusterSimulator&, Seconds now, int window_arrivals)>;
+  void set_controller(Seconds interval, Controller controller);
+
+  /// Run until every submitted task completes.
+  SimResult run();
+
+  const std::string& current_scheme() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// One-shot convenience: simulate `plan` under `arrivals` and return stats.
+SimResult simulate_plan(const nn::Graph& graph, const Cluster& cluster,
+                        const NetworkModel& network,
+                        const partition::Plan& plan,
+                        std::span<const Seconds> arrivals,
+                        CommModel comm_model = CommModel::Serialized);
+
+}  // namespace pico::sim

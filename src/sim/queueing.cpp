@@ -1,0 +1,35 @@
+#include "sim/queueing.hpp"
+
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace pico::sim {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}
+
+bool md1_stable(Seconds period, double lambda) {
+  PICO_CHECK(period > 0.0 && lambda >= 0.0);
+  return lambda * period < 1.0;
+}
+
+Seconds md1_waiting_time(Seconds period, double lambda) {
+  if (!md1_stable(period, lambda)) return kInf;
+  const double rho = lambda * period;
+  return lambda * period * period / (2.0 * (1.0 - rho));
+}
+
+Seconds theorem2_latency(Seconds period, Seconds latency, double lambda) {
+  if (!md1_stable(period, lambda)) return kInf;
+  const double rho = lambda * period;
+  return period * (2.0 - rho) / (2.0 * (1.0 - rho)) + latency;
+}
+
+Seconds md1_sojourn_latency(Seconds period, Seconds latency, double lambda) {
+  if (!md1_stable(period, lambda)) return kInf;
+  return md1_waiting_time(period, lambda) + latency;
+}
+
+}  // namespace pico::sim

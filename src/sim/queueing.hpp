@@ -1,0 +1,35 @@
+// Queueing-theory formulas (Theorem 2 and the underlying M/D/1 model).
+//
+// The cluster under a parallel scheme is an M/D/1 queue: Poisson arrivals at
+// rate λ, one deterministic server whose service time is the scheme's period
+// p, plus the residual pipeline latency.  Theorem 2 states the average
+// inference latency as p(2 − pλ) / (2(1 − pλ)) + t, which decomposes into
+// the bottleneck service p, the M/D/1 waiting time λp²/(2(1 − λp)), and the
+// pipeline latency t (the paper folds one service into its first term).
+#pragma once
+
+#include "common/types.hpp"
+
+namespace pico::sim {
+
+/// True iff the queue is stable (λp < 1).
+bool md1_stable(Seconds period, double lambda);
+
+/// Mean M/D/1 waiting time in queue: λp² / (2(1 − λp)).  +inf if unstable.
+Seconds md1_waiting_time(Seconds period, double lambda);
+
+/// Theorem 2, verbatim: average inference latency p(2 − pλ)/(2(1 − pλ)) + t.
+/// +inf when the queue is unstable.  Note the algebraic identity
+/// p(2 − pλ)/(2(1 − pλ)) = p + Wq: since t (Eq. 11) already contains the
+/// bottleneck stage's service time, the paper's expression counts that
+/// service twice.  See md1_sojourn_latency for the exact prediction.
+Seconds theorem2_latency(Seconds period, Seconds latency, double lambda);
+
+/// Exact M/D/1-based prediction: waiting time at the bottleneck plus one
+/// full pipeline traversal, Wq(p, λ) + t.  This is what the simulator
+/// measures; the adaptive selector uses it (the constant offset between this
+/// and Theorem 2 never flips a comparison between two pipelines with equal
+/// periods, but can for unequal ones).  +inf when unstable.
+Seconds md1_sojourn_latency(Seconds period, Seconds latency, double lambda);
+
+}  // namespace pico::sim

@@ -1,0 +1,45 @@
+#include "sim/trace.hpp"
+
+#include <fstream>
+#include <ostream>
+
+#include "common/error.hpp"
+
+namespace pico::sim {
+
+void write_task_csv(std::ostream& os, const SimResult& result) {
+  os << "id,arrival,start,completion,waiting,latency,scheme\n";
+  for (const TaskRecord& task : result.tasks) {
+    os << task.id << ',' << task.arrival << ',' << task.start << ','
+       << task.completion << ',' << task.waiting() << ',' << task.latency()
+       << ',' << task.scheme << '\n';
+  }
+}
+
+void write_task_csv_file(const std::string& path, const SimResult& result) {
+  std::ofstream file(path, std::ios::trunc);
+  PICO_CHECK_MSG(file.good(), "cannot open for writing: " << path);
+  write_task_csv(file, result);
+  PICO_CHECK_MSG(file.good(), "write failed: " << path);
+}
+
+void write_device_csv(std::ostream& os, const SimResult& result) {
+  os << "device,busy,total_flops,redundant_flops,utilization,"
+        "redundancy_ratio\n";
+  for (const DeviceUsage& usage : result.devices) {
+    os << usage.device << ',' << usage.busy << ',' << usage.total_flops
+       << ',' << usage.redundant_flops << ','
+       << result.utilization(usage.device) << ','
+       << usage.redundancy_ratio() << '\n';
+  }
+}
+
+void write_device_csv_file(const std::string& path,
+                           const SimResult& result) {
+  std::ofstream file(path, std::ios::trunc);
+  PICO_CHECK_MSG(file.good(), "cannot open for writing: " << path);
+  write_device_csv(file, result);
+  PICO_CHECK_MSG(file.good(), "write failed: " << path);
+}
+
+}  // namespace pico::sim

@@ -1,0 +1,21 @@
+// Simulation trace export: per-task records and per-device usage as CSV,
+// for plotting the paper's figures or post-processing a run externally.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "sim/pipeline_sim.hpp"
+
+namespace pico::sim {
+
+/// One row per task: id,arrival,start,completion,waiting,latency,scheme
+void write_task_csv(std::ostream& os, const SimResult& result);
+void write_task_csv_file(const std::string& path, const SimResult& result);
+
+/// One row per device: device,busy,total_flops,redundant_flops,
+/// utilization,redundancy_ratio
+void write_device_csv(std::ostream& os, const SimResult& result);
+void write_device_csv_file(const std::string& path, const SimResult& result);
+
+}  // namespace pico::sim

@@ -1,0 +1,63 @@
+#include "tensor/region.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+namespace pico {
+
+bool Region::contains(const Region& other) const {
+  if (other.empty()) return true;
+  return row_begin <= other.row_begin && other.row_end <= row_end &&
+         col_begin <= other.col_begin && other.col_end <= col_end;
+}
+
+bool Region::contains_point(int row, int col) const {
+  return row >= row_begin && row < row_end && col >= col_begin &&
+         col < col_end;
+}
+
+Region Region::intersect(const Region& other) const {
+  return {std::max(row_begin, other.row_begin),
+          std::min(row_end, other.row_end),
+          std::max(col_begin, other.col_begin),
+          std::min(col_end, other.col_end)};
+}
+
+Region Region::union_bounds(const Region& other) const {
+  if (empty()) return other;
+  if (other.empty()) return *this;
+  return {std::min(row_begin, other.row_begin),
+          std::max(row_end, other.row_end),
+          std::min(col_begin, other.col_begin),
+          std::max(col_end, other.col_end)};
+}
+
+Region Region::clamp(int height, int width) const {
+  return {std::clamp(row_begin, 0, height), std::clamp(row_end, 0, height),
+          std::clamp(col_begin, 0, width), std::clamp(col_end, 0, width)};
+}
+
+Region Region::shifted(int drow, int dcol) const {
+  return {row_begin + drow, row_end + drow, col_begin + dcol, col_end + dcol};
+}
+
+std::ostream& operator<<(std::ostream& os, const Region& r) {
+  return os << "[" << r.row_begin << "," << r.row_end << ")x[" << r.col_begin
+            << "," << r.col_end << ")";
+}
+
+bool tiles_exactly(const Region& whole, const std::vector<Region>& pieces) {
+  long long covered = 0;
+  for (std::size_t i = 0; i < pieces.size(); ++i) {
+    const Region& piece = pieces[i];
+    if (piece.empty()) continue;
+    if (!whole.contains(piece)) return false;
+    covered += piece.area();
+    for (std::size_t j = i + 1; j < pieces.size(); ++j) {
+      if (!piece.intersect(pieces[j]).empty()) return false;
+    }
+  }
+  return covered == whole.area();
+}
+
+}  // namespace pico

@@ -1,0 +1,52 @@
+// Region: a half-open 2-D window [row_begin, row_end) × [col_begin, col_end)
+// over a feature map.  Channels are never split (the paper partitions the
+// spatial extent only), so a Region plus a full channel count identifies the
+// exact sub-tensor a device owns or needs.
+#pragma once
+
+#include <iosfwd>
+#include <vector>
+
+namespace pico {
+
+struct Region {
+  int row_begin = 0;
+  int row_end = 0;  ///< exclusive
+  int col_begin = 0;
+  int col_end = 0;  ///< exclusive
+
+  static Region full(int height, int width) { return {0, height, 0, width}; }
+  /// Horizontal strip covering all columns.
+  static Region rows(int row_begin, int row_end, int width) {
+    return {row_begin, row_end, 0, width};
+  }
+
+  int height() const { return row_end - row_begin; }
+  int width() const { return col_end - col_begin; }
+  long long area() const {
+    return static_cast<long long>(height()) * width();
+  }
+  bool empty() const { return height() <= 0 || width() <= 0; }
+
+  bool contains(const Region& other) const;
+  bool contains_point(int row, int col) const;
+
+  /// Intersection; may be empty.
+  Region intersect(const Region& other) const;
+  /// Smallest region covering both (bounding box).
+  Region union_bounds(const Region& other) const;
+  /// Clamp into [0, height) × [0, width).
+  Region clamp(int height, int width) const;
+  /// Translate by (+drow, +dcol).
+  Region shifted(int drow, int dcol) const;
+
+  friend bool operator==(const Region&, const Region&) = default;
+};
+
+std::ostream& operator<<(std::ostream& os, const Region& r);
+
+/// True iff `pieces` tile `whole` exactly: pairwise disjoint and their total
+/// area equals the whole's area with every piece inside it.
+bool tiles_exactly(const Region& whole, const std::vector<Region>& pieces);
+
+}  // namespace pico

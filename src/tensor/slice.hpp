@@ -1,0 +1,37 @@
+// Overlapped feature-map split and stitch.
+//
+// The paper implements these by direct memory manipulation because framework
+// slicing was too slow (§IV-D); here they are plain row-contiguous copies.
+// `extract` copies a region (which may overlap with other devices' regions)
+// out of a full map; `stitch` reassembles disjoint output regions into the
+// full map.
+#pragma once
+
+#include <vector>
+
+#include "tensor/region.hpp"
+#include "tensor/tensor.hpp"
+
+namespace pico {
+
+/// Copy `region` (must lie inside the map) from `source` into a new tensor of
+/// shape {C, region.height, region.width}.
+Tensor extract(const Tensor& source, const Region& region);
+
+/// A piece of a larger feature map: the tensor plus where it belongs.
+struct Placed {
+  Region region;  ///< location in the full map; extents match tensor shape
+  Tensor tensor;
+};
+
+/// Assemble pieces into a map of `full_shape`.  Pieces must lie inside the
+/// map and tile it exactly (no gaps, no overlaps) — the postcondition of a
+/// correct output partition.
+Tensor stitch(const Shape& full_shape, const std::vector<Placed>& pieces);
+
+/// Like stitch but tolerates overlapping pieces (later pieces win) and gaps
+/// (left zero).  Used by diagnostics, not by the runtime hot path.
+Tensor stitch_lenient(const Shape& full_shape,
+                      const std::vector<Placed>& pieces);
+
+}  // namespace pico

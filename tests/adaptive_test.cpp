@@ -1,0 +1,167 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "adaptive/apico.hpp"
+#include "adaptive/selector.hpp"
+#include "adaptive/workload.hpp"
+#include "common/rng.hpp"
+#include "models/zoo.hpp"
+#include "partition/pico_dp.hpp"
+#include "partition/plan_cost.hpp"
+#include "partition/schemes.hpp"
+#include "sim/arrivals.hpp"
+#include "sim/queueing.hpp"
+
+namespace pico {
+namespace {
+
+using adaptive::Candidate;
+
+NetworkModel test_network() {
+  NetworkModel net;
+  net.bandwidth = 50e6 / 8.0;
+  net.per_message_overhead = 1e-3;
+  return net;
+}
+
+TEST(Ewma, MatchesEq15) {
+  adaptive::EwmaEstimator estimator(0.25, 1.0);
+  estimator.observe(5.0);
+  // λ_t = β·λ̂ + (1-β)·λ_{t-1} = 0.25·5 + 0.75·1
+  EXPECT_DOUBLE_EQ(estimator.rate(), 2.0);
+  estimator.observe(2.0);
+  EXPECT_DOUBLE_EQ(estimator.rate(), 0.25 * 2.0 + 0.75 * 2.0);
+}
+
+TEST(Ewma, ConvergesToConstantRate) {
+  adaptive::EwmaEstimator estimator(0.3, 0.0);
+  for (int i = 0; i < 60; ++i) estimator.observe(4.0);
+  EXPECT_NEAR(estimator.rate(), 4.0, 1e-6);
+}
+
+TEST(Ewma, HigherBetaReactsFaster) {
+  adaptive::EwmaEstimator slow(0.1, 0.0), fast(0.8, 0.0);
+  slow.observe(10.0);
+  fast.observe(10.0);
+  EXPECT_GT(fast.rate(), slow.rate());
+}
+
+TEST(Ewma, RejectsBadBeta) {
+  EXPECT_THROW(adaptive::EwmaEstimator(0.0), InvariantError);
+  EXPECT_THROW(adaptive::EwmaEstimator(1.5), InvariantError);
+}
+
+/// Candidates shaped like the paper's: a one-stage scheme (low latency,
+/// long period) and a pipeline (short period, higher latency).
+std::vector<Candidate> synthetic_candidates() {
+  Candidate one_stage;
+  one_stage.plan.scheme = "OFL";
+  one_stage.period = 2.0;
+  one_stage.latency = 2.0;
+  Candidate pipeline;
+  pipeline.plan.scheme = "PICO";
+  pipeline.period = 0.8;
+  pipeline.latency = 3.0;
+  return {one_stage, pipeline};
+}
+
+TEST(Selector, LightLoadPicksOneStage) {
+  const auto candidates = synthetic_candidates();
+  EXPECT_EQ(adaptive::select_scheme(candidates, 0.01), 0u);
+}
+
+TEST(Selector, HeavyLoadPicksPipeline) {
+  const auto candidates = synthetic_candidates();
+  EXPECT_EQ(adaptive::select_scheme(candidates, 0.45), 1u);
+}
+
+TEST(Selector, CrossoverMatchesPrediction) {
+  const auto candidates = synthetic_candidates();
+  // Find the analytic crossover by scanning; selector must agree on both
+  // sides of it.
+  double crossover = -1.0;
+  for (double lambda = 0.001; lambda < 0.49; lambda += 0.001) {
+    const double one = adaptive::predicted_latency(candidates[0], lambda);
+    const double pipe = adaptive::predicted_latency(candidates[1], lambda);
+    if (pipe < one) {
+      crossover = lambda;
+      break;
+    }
+  }
+  ASSERT_GT(crossover, 0.0);
+  EXPECT_EQ(adaptive::select_scheme(candidates, crossover - 0.01), 0u);
+  EXPECT_EQ(adaptive::select_scheme(candidates, crossover + 0.01), 1u);
+}
+
+TEST(Selector, SaturatedPicksSmallestPeriod) {
+  const auto candidates = synthetic_candidates();
+  // Both unstable at λ = 2.0: pipeline (smaller p) wins.
+  EXPECT_EQ(adaptive::select_scheme(candidates, 2.0), 1u);
+}
+
+TEST(Selector, RealModelCandidates) {
+  const nn::Graph g = models::vgg16({.input_size = 64});
+  const Cluster c = Cluster::paper_heterogeneous();
+  const NetworkModel net = test_network();
+  const Candidate ofl =
+      adaptive::make_candidate(g, c, net, partition::ofl_plan(g, c, net));
+  const Candidate pico =
+      adaptive::make_candidate(g, c, net, partition::pico_plan(g, c, net));
+  EXPECT_LT(pico.period, ofl.period);
+  EXPECT_DOUBLE_EQ(ofl.period, ofl.latency);  // one-stage: p == t
+  const std::vector<Candidate> candidates{ofl, pico};
+  EXPECT_EQ(adaptive::select_scheme(candidates, 1e-6), 0u);
+  EXPECT_EQ(adaptive::select_scheme(candidates, 0.99 / pico.period), 1u);
+}
+
+TEST(Apico, ControllerSwitchesUnderRisingLoad) {
+  const nn::Graph g = models::vgg16({.input_size = 64});
+  const Cluster c = Cluster::paper_heterogeneous();
+  const NetworkModel net = test_network();
+  auto controller = adaptive::ApicoController::make_default(
+      g, c, net, {.beta = 0.5, .window = 5.0});
+  const Seconds pico_period = controller.candidates()[1].period;
+
+  sim::ClusterSimulator simulator(g, c, net);
+  controller.attach(simulator);
+  EXPECT_EQ(simulator.current_scheme(), "OFL");
+
+  // Light phase then heavy phase.
+  Rng rng(31);
+  std::vector<Seconds> arrivals;
+  const double light = 0.05 / controller.candidates()[0].period;
+  const double heavy = 0.9 / pico_period;
+  for (Seconds t : sim::poisson_arrivals(rng, light, 60.0)) {
+    arrivals.push_back(t);
+  }
+  for (Seconds t : sim::poisson_arrivals(rng, heavy, 120.0)) {
+    arrivals.push_back(60.0 + t);
+  }
+  simulator.add_arrivals(arrivals);
+  const auto result = simulator.run();
+
+  // The controller must have moved to PICO during the heavy phase.
+  bool pico_used = false;
+  for (const auto& task : result.tasks) pico_used |= task.scheme == "PICO";
+  EXPECT_TRUE(pico_used);
+  EXPECT_GE(result.plan_switches, 1);
+  // Decisions were recorded.
+  EXPECT_FALSE(controller.decisions().empty());
+}
+
+TEST(Apico, DecideUpdatesEstimate) {
+  const nn::Graph g = models::vgg16({.input_size = 64});
+  const Cluster c = Cluster::paper_heterogeneous();
+  const NetworkModel net = test_network();
+  auto controller = adaptive::ApicoController::make_default(
+      g, c, net, {.beta = 1.0, .window = 10.0});
+  controller.decide(50);  // 5 tasks/s measured
+  EXPECT_DOUBLE_EQ(controller.estimated_rate(), 5.0);
+  const Candidate& choice = controller.decide(0);
+  EXPECT_DOUBLE_EQ(controller.estimated_rate(), 0.0);
+  EXPECT_EQ(choice.plan.scheme, "OFL");  // idle -> one-stage scheme
+}
+
+}  // namespace
+}  // namespace pico

@@ -1,0 +1,295 @@
+// Intra-block branch parallelism (the paper's stated future work).
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "cost/flops.hpp"
+#include "models/zoo.hpp"
+#include "nn/executor.hpp"
+#include "partition/branches.hpp"
+#include "partition/pico_dp.hpp"
+#include "partition/plan_cost.hpp"
+#include "partition/units.hpp"
+#include "runtime/pipeline.hpp"
+
+namespace pico {
+namespace {
+
+using partition::Branch;
+using partition::block_branches;
+
+NetworkModel test_network() {
+  NetworkModel net;
+  net.bandwidth = 50e6 / 8.0;
+  net.per_message_overhead = 1e-3;
+  return net;
+}
+
+/// A hand-built two-branch block: input -> {conv3x3, conv1x1} -> concat.
+nn::Graph two_branch_block() {
+  nn::Graph g;
+  const int in = g.add_input({4, 16, 16});
+  const int stem = g.add_conv(in, 8, 3, 1, 1);
+  const int a = g.add_conv(stem, 6, 3, 1, 1);
+  int b = g.add_conv(stem, 4, 1, 1, 0);
+  b = g.add_conv(b, 4, 3, 1, 1);
+  g.add_concat({a, b});
+  g.finalize();
+  return g;
+}
+
+TEST(Branches, DetectsTwoBranchBlock) {
+  const nn::Graph g = two_branch_block();
+  const auto units = partition::partition_units(g);
+  ASSERT_EQ(units.size(), 2u);  // stem conv + the block
+  const auto branches = block_branches(g, units[1]);
+  ASSERT_EQ(branches.size(), 2u);
+  EXPECT_EQ(branches[0], (Branch{2, 2, 0, 6}));
+  EXPECT_EQ(branches[1], (Branch{3, 4, 6, 4}));
+}
+
+TEST(Branches, InceptionBlocksDecompose) {
+  const nn::Graph g = models::inception({.input_size = 96});
+  const auto units = partition::partition_units(g);
+  int decomposable = 0;
+  for (const auto& unit : units) {
+    const auto branches = block_branches(g, unit);
+    if (!branches.empty()) {
+      ++decomposable;
+      // Channel offsets stack to the concat's channel count.
+      int channels = 0;
+      for (const Branch& b : branches) {
+        EXPECT_EQ(b.channel_offset, channels);
+        channels += b.channels;
+      }
+      EXPECT_EQ(channels, g.node(unit.last).out_shape.channels);
+      EXPECT_GE(branches.size(), 3u);
+    }
+  }
+  EXPECT_EQ(decomposable, 7);  // 5 inception + 2 reduction blocks
+}
+
+TEST(Branches, ResidualBlocksDoNotDecompose) {
+  const nn::Graph g = models::resnet34({.input_size = 64});
+  const auto units = partition::partition_units(g);
+  for (const auto& unit : units) {
+    EXPECT_TRUE(block_branches(g, unit).empty());
+  }
+}
+
+TEST(Branches, SingleNodeUnitsDoNotDecompose) {
+  const nn::Graph g = models::vgg16({.input_size = 64});
+  const auto units = partition::partition_units(g);
+  for (const auto& unit : units) {
+    EXPECT_TRUE(block_branches(g, unit).empty());
+  }
+}
+
+TEST(Branches, FlopsSumToBlockInterior) {
+  const nn::Graph g = two_branch_block();
+  const auto units = partition::partition_units(g);
+  const auto branches = block_branches(g, units[1]);
+  Flops total = 0.0;
+  for (const Branch& b : branches) total += partition::branch_flops(g, b);
+  EXPECT_DOUBLE_EQ(total,
+                   cost::segment_flops_full(g, units[1].first,
+                                            units[1].last));
+}
+
+TEST(Branches, InputRegionCoversHalo) {
+  const nn::Graph g = two_branch_block();
+  const auto units = partition::partition_units(g);
+  const auto branches = block_branches(g, units[1]);
+  // Branch 0 is a 3x3 conv: needs the whole map for its full output.
+  EXPECT_EQ(partition::branch_input_region(g, branches[0]),
+            Region::full(16, 16));
+  // Branch 1 starts with 1x1 then 3x3: also the whole map via the 3x3.
+  EXPECT_EQ(partition::branch_input_region(g, branches[1]),
+            Region::full(16, 16));
+}
+
+TEST(Branches, LptAssignmentCoversAll) {
+  const nn::Graph g = models::inception({.input_size = 96});
+  const auto units = partition::partition_units(g);
+  const auto branches = block_branches(g, units[7]);  // first inception block
+  ASSERT_FALSE(branches.empty());
+  const std::vector<double> capacities{2.0, 1.0};
+  const auto assignment =
+      partition::assign_branches(g, branches, capacities);
+  ASSERT_EQ(assignment.size(), 2u);
+  std::vector<bool> seen(branches.size(), false);
+  for (const auto& device : assignment) {
+    for (const int b : device) {
+      EXPECT_FALSE(seen[static_cast<std::size_t>(b)]);
+      seen[static_cast<std::size_t>(b)] = true;
+    }
+  }
+  for (const bool s : seen) EXPECT_TRUE(s);
+  // LPT balance bound: makespan <= 2x a lower bound on the optimum
+  // (total work / total capacity, or the heaviest branch on the fastest
+  // device).
+  Flops fast = 0.0, slow = 0.0, heaviest = 0.0, total = 0.0;
+  for (const Branch& b : branches) {
+    const Flops f = partition::branch_flops(g, b);
+    heaviest = std::max(heaviest, f);
+    total += f;
+  }
+  for (const int b : assignment[0]) {
+    fast += partition::branch_flops(g, branches[static_cast<std::size_t>(b)]);
+  }
+  for (const int b : assignment[1]) {
+    slow += partition::branch_flops(g, branches[static_cast<std::size_t>(b)]);
+  }
+  const double makespan = std::max(fast / 2.0, slow / 1.0);
+  const double lower_bound = std::max(total / 3.0, heaviest / 2.0);
+  EXPECT_LE(makespan, 2.0 * lower_bound + 1e-9);
+  EXPECT_GT(fast, 0.0);
+}
+
+TEST(Branches, BranchStageHasZeroRedundancy) {
+  nn::Graph g = two_branch_block();
+  const Cluster c = Cluster::homogeneous(3, 1e9);
+  const auto units = partition::partition_units(g);
+  const auto branches = block_branches(g, units[1]);
+
+  partition::Plan plan;
+  plan.scheme = "test";
+  plan.pipelined = true;
+  plan.stages.push_back(partition::make_stage(g, c, 1, 1, {0}));
+  partition::Stage branch_stage;
+  branch_stage.first = units[1].first;
+  branch_stage.last = units[1].last;
+  branch_stage.kind = partition::StageKind::Branch;
+  branch_stage.assignments.push_back({1, {}, {0}});
+  branch_stage.assignments.push_back({2, {}, {1}});
+  plan.stages.push_back(branch_stage);
+  partition::validate_plan(g, c, plan);
+  EXPECT_DOUBLE_EQ(partition::plan_redundancy_ratio(g, plan), 0.0);
+
+  const auto cost = partition::plan_cost(g, c, test_network(), plan);
+  EXPECT_GT(cost.stages[1].compute, 0.0);
+  EXPECT_GT(cost.stages[1].comm, 0.0);
+}
+
+TEST(Branches, ValidationRejectsIncompleteBranchCover) {
+  nn::Graph g = two_branch_block();
+  const Cluster c = Cluster::homogeneous(3, 1e9);
+  partition::Plan plan;
+  plan.pipelined = true;
+  plan.scheme = "bad";
+  plan.stages.push_back(partition::make_stage(g, c, 1, 1, {0}));
+  partition::Stage branch_stage;
+  branch_stage.first = 2;
+  branch_stage.last = 5;
+  branch_stage.kind = partition::StageKind::Branch;
+  branch_stage.assignments.push_back({1, {}, {0}});  // branch 1 missing
+  plan.stages.push_back(branch_stage);
+  EXPECT_THROW(partition::validate_plan(g, c, plan), InvariantError);
+}
+
+TEST(Branches, RuntimeBitExactWithBranchStage) {
+  nn::Graph g = two_branch_block();
+  Rng rng(41);
+  g.randomize_weights(rng);
+  Tensor input(g.input_shape());
+  input.randomize(rng);
+  const Tensor reference = nn::execute(g, input);
+
+  const Cluster c = Cluster::homogeneous(3, 1e9);
+  partition::Plan plan;
+  plan.scheme = "branch";
+  plan.pipelined = true;
+  plan.stages.push_back(partition::make_stage(g, c, 1, 1, {0}));
+  partition::Stage branch_stage;
+  branch_stage.first = 2;
+  branch_stage.last = 5;
+  branch_stage.kind = partition::StageKind::Branch;
+  branch_stage.assignments.push_back({1, {}, {0}});
+  branch_stage.assignments.push_back({2, {}, {1}});
+  plan.stages.push_back(branch_stage);
+  partition::validate_plan(g, c, plan);
+
+  runtime::PipelineRuntime rt(g, plan);
+  for (int i = 0; i < 3; ++i) {
+    const Tensor out = rt.infer(input);
+    ASSERT_FLOAT_EQ(Tensor::max_abs_diff(out, reference), 0.0f);
+  }
+}
+
+TEST(Branches, PlannerUsesBranchStagesWhenEnabled) {
+  const nn::Graph g = models::inception({.input_size = 224});
+  const Cluster c = Cluster::paper_heterogeneous();
+  const NetworkModel net = test_network();
+  const auto spatial = partition::pico_plan(g, c, net);
+  const auto with_branches = partition::pico_plan(
+      g, c, net, {.enable_branch_parallel = true});
+  partition::validate_plan(g, c, with_branches);
+
+  const Seconds spatial_period =
+      partition::plan_cost(g, c, net, spatial).period;
+  const Seconds branch_period =
+      partition::plan_cost(g, c, net, with_branches).period;
+  // The branch option can only help (the DP takes the min per stage).
+  EXPECT_LE(branch_period, spatial_period + 1e-9);
+}
+
+TEST(Branches, DeepBranchRegimeTriggersBranchStages) {
+  // 3-conv-deep branches at 7x7 with a fast network: spatial halos cover
+  // nearly the whole map, so whole-branch assignment must win and the DP
+  // must actually choose it.
+  nn::Graph g;
+  int x = g.add_input({64, 7, 7});
+  for (int block = 0; block < 4; ++block) {
+    std::vector<int> outs;
+    for (int b = 0; b < 4; ++b) {
+      int y = x;
+      for (int d = 0; d < 3; ++d) y = g.add_conv(y, 16, 3, 1, 1);
+      outs.push_back(y);
+    }
+    x = g.add_concat(outs);
+  }
+  g.finalize();
+
+  const Cluster c = Cluster::paper_homogeneous(8, 1.2);
+  NetworkModel net;
+  net.bandwidth = 1000e6 / 8.0;
+  net.per_message_overhead = 1e-4;
+
+  const auto spatial = partition::pico_plan(g, c, net);
+  const auto branchy =
+      partition::pico_plan(g, c, net, {.enable_branch_parallel = true});
+  partition::validate_plan(g, c, branchy);
+  int branch_stages = 0;
+  for (const auto& stage : branchy.stages) {
+    branch_stages += stage.kind == partition::StageKind::Branch;
+  }
+  EXPECT_GT(branch_stages, 0);
+  EXPECT_LT(partition::plan_cost(g, c, net, branchy).period,
+            partition::plan_cost(g, c, net, spatial).period);
+
+  // And the chosen plan still computes the exact result.
+  Rng rng(47);
+  g.randomize_weights(rng);
+  Tensor input(g.input_shape());
+  input.randomize(rng);
+  runtime::PipelineRuntime rt(g, branchy);
+  EXPECT_FLOAT_EQ(
+      Tensor::max_abs_diff(rt.infer(input), nn::execute(g, input)), 0.0f);
+}
+
+TEST(Branches, PlannerEndToEndBitExactOnInception) {
+  nn::Graph g = models::inception({.input_size = 96});
+  Rng rng(43);
+  g.randomize_weights(rng);
+  Tensor input(g.input_shape());
+  input.randomize(rng);
+  const Tensor reference = nn::execute(g, input);
+
+  const Cluster c = Cluster::paper_heterogeneous();
+  const auto plan = partition::pico_plan(
+      g, c, test_network(), {.enable_branch_parallel = true});
+  runtime::PipelineRuntime rt(g, plan);
+  EXPECT_FLOAT_EQ(Tensor::max_abs_diff(rt.infer(input), reference), 0.0f);
+}
+
+}  // namespace
+}  // namespace pico

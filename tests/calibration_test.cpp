@@ -1,0 +1,91 @@
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "cost/calibration.hpp"
+
+namespace pico {
+namespace {
+
+TEST(Calibration, FitRecoversExactSlope) {
+  // Perfect samples at 2 GFLOP/s.
+  std::vector<CalibrationSample> samples;
+  for (const double f : {1e8, 5e8, 1e9, 4e9}) {
+    samples.push_back({f, f / 2e9});
+  }
+  EXPECT_NEAR(fit_capacity(samples), 2e9, 1.0);
+  EXPECT_NEAR(fit_r_squared(samples, fit_capacity(samples)), 1.0, 1e-12);
+}
+
+TEST(Calibration, FitRobustToNoise) {
+  Rng rng(3);
+  std::vector<CalibrationSample> samples;
+  const double capacity = 3.5e9;
+  for (int i = 0; i < 200; ++i) {
+    const double f = rng.uniform(1e8, 5e9);
+    const double noise = rng.normal(1.0, 0.05);
+    samples.push_back({f, f / capacity * noise});
+  }
+  EXPECT_NEAR(fit_capacity(samples) / capacity, 1.0, 0.03);
+  EXPECT_GT(fit_r_squared(samples, fit_capacity(samples)), 0.9);
+}
+
+TEST(Calibration, AlphaCorrectsAssumedCapacity) {
+  // The device actually runs at half the assumed speed -> α ≈ 2 (Eq. 5
+  // multiplies the modeled time).
+  std::vector<CalibrationSample> samples;
+  const double real_capacity = 1e9;
+  for (const double f : {1e8, 1e9, 2e9}) {
+    samples.push_back({f, f / real_capacity});
+  }
+  EXPECT_NEAR(fit_alpha(samples, 2e9), 2.0, 1e-9);
+  EXPECT_NEAR(fit_alpha(samples, 1e9), 1.0, 1e-9);
+}
+
+TEST(Calibration, RejectsDegenerateSamples) {
+  std::vector<CalibrationSample> empty;
+  EXPECT_THROW(fit_capacity(empty), InvariantError);
+  std::vector<CalibrationSample> zeros{{0.0, 0.0}};
+  EXPECT_THROW(fit_capacity(zeros), InvariantError);
+  std::vector<CalibrationSample> ok{{1e9, 0.5}};
+  EXPECT_THROW(fit_alpha(ok, 0.0), InvariantError);
+}
+
+TEST(Calibration, ProfileHostProducesConsistentSamples) {
+  ProfileOptions options;
+  options.sizes = {12, 20, 28};
+  options.repeats = 2;
+  const auto samples = profile_host(options);
+  ASSERT_EQ(samples.size(), 6u);
+  for (const auto& s : samples) {
+    EXPECT_GT(s.flops, 0.0);
+    EXPECT_GT(s.measured, 0.0);
+  }
+  // FLOPs grow with the configured sizes.
+  EXPECT_GT(samples[2].flops, samples[0].flops);
+}
+
+TEST(Calibration, HostDevicePredictsItsOwnWorkloads) {
+  // Calibrate, then check the linear model explains an independent probe
+  // within a loose factor (wall-clock on shared machines is noisy).
+  ProfileOptions options;
+  options.sizes = {16, 24, 32};
+  options.repeats = 3;
+  const Device host = calibrated_host_device(options);
+  EXPECT_GT(host.capacity, 1e7);  // anything slower is not a computer
+
+  ProfileOptions probe;
+  probe.sizes = {40};
+  probe.repeats = 3;
+  probe.seed = 99;
+  const auto samples = profile_host(probe);
+  double measured = 0.0;
+  for (const auto& s : samples) measured += s.measured;
+  measured /= static_cast<double>(samples.size());
+  const Seconds predicted = host.compute_time(samples[0].flops);
+  EXPECT_GT(measured / predicted, 0.3);
+  EXPECT_LT(measured / predicted, 3.0);
+}
+
+}  // namespace
+}  // namespace pico

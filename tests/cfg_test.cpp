@@ -1,0 +1,284 @@
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "models/cfg.hpp"
+#include "models/zoo.hpp"
+#include "nn/executor.hpp"
+
+namespace pico {
+namespace {
+
+using models::parse_cfg;
+
+TEST(Cfg, MinimalConvNet) {
+  const nn::Graph g = parse_cfg(R"(
+[net]
+channels=3
+height=16
+width=16
+
+[convolutional]
+filters=8
+size=3
+stride=1
+pad=1
+activation=relu
+)");
+  EXPECT_EQ(g.size(), 2);
+  EXPECT_EQ(g.output_shape(), (Shape{8, 16, 16}));
+  EXPECT_TRUE(g.node(1).fused_relu);
+}
+
+TEST(Cfg, PadKeywordMeansHalfKernel) {
+  const nn::Graph g = parse_cfg(R"(
+[net]
+channels=1
+height=10
+width=10
+[convolutional]
+filters=2
+size=5
+stride=1
+pad=1
+activation=linear
+)");
+  EXPECT_EQ(g.node(1).win.ph, 2);
+  EXPECT_EQ(g.node(1).win.pw, 2);
+  EXPECT_FALSE(g.node(1).fused_relu);
+}
+
+TEST(Cfg, ExplicitPaddingOverridesPad) {
+  const nn::Graph g = parse_cfg(R"(
+[net]
+channels=1
+height=10
+width=10
+[convolutional]
+filters=2
+size=3
+stride=2
+padding=0
+activation=relu
+)");
+  EXPECT_EQ(g.node(1).win.ph, 0);
+  EXPECT_EQ(g.node(1).out_shape.height, 4);
+}
+
+TEST(Cfg, NonSquareKernel) {
+  const nn::Graph g = parse_cfg(R"(
+[net]
+channels=4
+height=9
+width=9
+[convolutional]
+filters=4
+size_h=1
+size_w=7
+padding=0
+activation=relu
+)");
+  EXPECT_EQ(g.node(1).win.kh, 1);
+  EXPECT_EQ(g.node(1).win.kw, 7);
+  // padding=0 applies to both axes -> width shrinks, height kept.
+  EXPECT_EQ(g.node(1).out_shape, (Shape{4, 9, 3}));
+}
+
+TEST(Cfg, BatchNormalizeInsertsBnNode) {
+  const nn::Graph g = parse_cfg(R"(
+[net]
+channels=1
+height=8
+width=8
+[convolutional]
+batch_normalize=1
+filters=2
+size=3
+pad=1
+activation=relu
+)");
+  EXPECT_EQ(g.size(), 3);
+  EXPECT_EQ(g.node(1).kind, nn::OpKind::Conv);
+  EXPECT_FALSE(g.node(1).fused_relu);  // relu moves after the BN
+  EXPECT_EQ(g.node(2).kind, nn::OpKind::BatchNorm);
+  EXPECT_TRUE(g.node(2).fused_relu);
+}
+
+TEST(Cfg, ShortcutBuildsResidualAdd) {
+  const nn::Graph g = parse_cfg(R"(
+[net]
+channels=2
+height=8
+width=8
+[convolutional]
+filters=4
+size=1
+activation=relu
+[convolutional]
+filters=4
+size=3
+pad=1
+activation=linear
+[shortcut]
+from=-2
+activation=relu
+)");
+  const nn::Node& add = g.node(3);
+  EXPECT_EQ(add.kind, nn::OpKind::Add);
+  EXPECT_EQ(add.inputs, (std::vector<int>{2, 1}));
+  EXPECT_TRUE(add.fused_relu);
+}
+
+TEST(Cfg, RouteConcatAndSkip) {
+  const nn::Graph g = parse_cfg(R"(
+[net]
+channels=2
+height=8
+width=8
+[convolutional]
+filters=3
+size=1
+activation=relu
+[convolutional]
+filters=5
+size=1
+activation=relu
+[route]
+layers=-1,-2
+[convolutional]
+filters=2
+size=1
+activation=relu
+)");
+  EXPECT_EQ(g.node(3).kind, nn::OpKind::Concat);
+  EXPECT_EQ(g.node(3).out_shape.channels, 8);
+  EXPECT_EQ(g.node(4).in_shape.channels, 8);
+}
+
+TEST(Cfg, AvgpoolWithoutSizeIsGlobal) {
+  const nn::Graph g = parse_cfg(R"(
+[net]
+channels=4
+height=8
+width=8
+[avgpool]
+)");
+  EXPECT_EQ(g.node(1).kind, nn::OpKind::GlobalAvgPool);
+  EXPECT_EQ(g.output_shape(), (Shape{4, 1, 1}));
+}
+
+TEST(Cfg, ConnectedLayer) {
+  const nn::Graph g = parse_cfg(R"(
+[net]
+channels=2
+height=4
+width=4
+[connected]
+output=10
+)");
+  EXPECT_EQ(g.node(1).kind, nn::OpKind::FullyConnected);
+  EXPECT_EQ(g.output_shape(), (Shape{10, 1, 1}));
+}
+
+TEST(Cfg, CommentsAndWhitespaceIgnored) {
+  const nn::Graph g = parse_cfg(
+      "# leading comment\n"
+      "[net]\n"
+      "  channels = 1  # inline comment\n"
+      "height=4\r\n"
+      "width=4\n"
+      "; semicolon comment\n"
+      "[maxpool]\n"
+      "size=2\n"
+      "stride=2\n");
+  EXPECT_EQ(g.output_shape(), (Shape{1, 2, 2}));
+}
+
+TEST(Cfg, ErrorsCarryLineNumbers) {
+  const auto expect_error = [](const char* text, const char* needle) {
+    try {
+      parse_cfg(text);
+      FAIL() << "expected parse failure for: " << text;
+    } catch (const Error& error) {
+      EXPECT_NE(std::string(error.what()).find(needle), std::string::npos)
+          << error.what();
+    }
+  };
+  expect_error("[net]\nchannels=3\nheight=x\nwidth=4\n[maxpool]\n",
+               "not an integer");
+  expect_error("channels=3\n", "before any [section]");
+  expect_error("[net\n", "malformed section header");
+  expect_error("[net]\nchannels=1\nheight=4\nwidth=4\n[warp]\n",
+               "unsupported section");
+  expect_error("[net]\nchannels=1\nheight=4\nwidth=4\n[convolutional]\n"
+               "size=3\nactivation=relu\n",
+               "missing required key 'filters'");
+  expect_error("[net]\nchannels=1\nheight=4\nwidth=4\n[convolutional]\n"
+               "filters=2\nsize=1\nactivation=swish\n",
+               "unsupported activation");
+  expect_error("[net]\nchannels=1\nheight=4\nwidth=4\n[convolutional]\n"
+               "filters=2\nsize=1\nactivation=relu\n[shortcut]\nfrom=-9\n",
+               "out of range");
+  expect_error("[maxpool]\nsize=2\n", "first section must be [net]");
+}
+
+TEST(Cfg, Vgg16FileMatchesBuilder) {
+  const nn::Graph from_cfg = models::load_cfg(std::string(PICO_REPO_DIR) + "/configs/vgg16.cfg");
+  const nn::Graph built = models::vgg16();
+  ASSERT_EQ(from_cfg.size(), built.size());
+  for (int id = 0; id < built.size(); ++id) {
+    EXPECT_EQ(from_cfg.node(id).kind, built.node(id).kind) << id;
+    EXPECT_EQ(from_cfg.node(id).out_shape, built.node(id).out_shape) << id;
+  }
+}
+
+TEST(Cfg, Yolov2FileMatchesBuilder) {
+  const nn::Graph from_cfg =
+      models::load_cfg(std::string(PICO_REPO_DIR) + "/configs/yolov2.cfg");
+  const nn::Graph built = models::yolov2();
+  ASSERT_EQ(from_cfg.size(), built.size());
+  for (int id = 0; id < built.size(); ++id) {
+    EXPECT_EQ(from_cfg.node(id).kind, built.node(id).kind) << id;
+    EXPECT_EQ(from_cfg.node(id).out_shape, built.node(id).out_shape) << id;
+    EXPECT_EQ(from_cfg.node(id).fused_relu, built.node(id).fused_relu) << id;
+  }
+}
+
+TEST(Cfg, MobileNetFileMatchesBuilder) {
+  const nn::Graph from_cfg = models::load_cfg(
+      std::string(PICO_REPO_DIR) + "/configs/mobilenet_v1.cfg");
+  const nn::Graph built = models::mobilenet_v1();
+  ASSERT_EQ(from_cfg.size(), built.size());
+  for (int id = 0; id < built.size(); ++id) {
+    EXPECT_EQ(from_cfg.node(id).kind, built.node(id).kind) << id;
+    EXPECT_EQ(from_cfg.node(id).groups, built.node(id).groups) << id;
+    EXPECT_EQ(from_cfg.node(id).out_shape, built.node(id).out_shape) << id;
+    EXPECT_EQ(from_cfg.node(id).weights.size(),
+              built.node(id).weights.size())
+        << id;
+  }
+}
+
+TEST(Cfg, ToyFileMatchesBuilder) {
+  const nn::Graph from_cfg = models::load_cfg(std::string(PICO_REPO_DIR) + "/configs/toy.cfg");
+  const nn::Graph built = models::toy_mnist();
+  ASSERT_EQ(from_cfg.size(), built.size());
+  EXPECT_EQ(from_cfg.output_shape(), built.output_shape());
+}
+
+TEST(Cfg, ResblockFileBuildsAndRuns) {
+  nn::Graph g = models::load_cfg(std::string(PICO_REPO_DIR) + "/configs/resblock.cfg");
+  EXPECT_FALSE(g.is_chain());
+  Rng rng(3);
+  g.randomize_weights(rng);
+  Tensor input(g.input_shape());
+  input.randomize(rng);
+  const Tensor out = nn::execute(g, input);
+  EXPECT_EQ(out.shape(), (Shape{8, 64, 64}));
+}
+
+TEST(Cfg, MissingFileThrows) {
+  EXPECT_THROW(models::load_cfg(std::string(PICO_REPO_DIR) + "/configs/does-not-exist.cfg"), Error);
+}
+
+}  // namespace
+}  // namespace pico

@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+
+namespace pico {
+namespace {
+
+TEST(Rng, Deterministic) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 4);
+}
+
+TEST(Rng, UniformInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    const double v = rng.uniform(-3.0, 5.0);
+    EXPECT_GE(v, -3.0);
+    EXPECT_LT(v, 5.0);
+  }
+}
+
+TEST(Rng, UniformIntInclusiveBounds) {
+  Rng rng(9);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const int v = rng.uniform_int(2, 5);
+    EXPECT_GE(v, 2);
+    EXPECT_LE(v, 5);
+    saw_lo |= v == 2;
+    saw_hi |= v == 5;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(11);
+  RunningStats stats;
+  for (int i = 0; i < 20000; ++i) stats.add(rng.normal());
+  EXPECT_NEAR(stats.mean(), 0.0, 0.05);
+  EXPECT_NEAR(stats.stddev(), 1.0, 0.05);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(13);
+  RunningStats stats;
+  const double rate = 4.0;
+  for (int i = 0; i < 20000; ++i) stats.add(rng.exponential(rate));
+  EXPECT_NEAR(stats.mean(), 1.0 / rate, 0.02);
+}
+
+TEST(Rng, ForkIndependent) {
+  Rng parent(17);
+  Rng child = parent.fork();
+  // Child stream differs from the parent's continuation.
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (parent.next_u64() == child.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 4);
+}
+
+TEST(RunningStats, Basics) {
+  RunningStats stats;
+  EXPECT_EQ(stats.count(), 0u);
+  stats.add(2.0);
+  stats.add(4.0);
+  stats.add(6.0);
+  EXPECT_EQ(stats.count(), 3u);
+  EXPECT_DOUBLE_EQ(stats.mean(), 4.0);
+  EXPECT_DOUBLE_EQ(stats.variance(), 4.0);
+  EXPECT_DOUBLE_EQ(stats.min(), 2.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 6.0);
+  EXPECT_DOUBLE_EQ(stats.sum(), 12.0);
+}
+
+TEST(RunningStats, SingleValueVarianceZero) {
+  RunningStats stats;
+  stats.add(5.0);
+  EXPECT_DOUBLE_EQ(stats.variance(), 0.0);
+}
+
+TEST(Percentile, InterpolatesAndClamps) {
+  std::vector<double> values{10.0, 20.0, 30.0, 40.0};
+  EXPECT_DOUBLE_EQ(percentile(values, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(values, 1.0), 40.0);
+  EXPECT_DOUBLE_EQ(percentile(values, 0.5), 25.0);
+}
+
+TEST(Percentile, RejectsEmptyAndBadQ) {
+  EXPECT_THROW(percentile({}, 0.5), InvariantError);
+  EXPECT_THROW(percentile({1.0}, 1.5), InvariantError);
+}
+
+TEST(Check, ThrowsWithMessage) {
+  try {
+    PICO_CHECK_MSG(1 == 2, "math broke: " << 42);
+    FAIL() << "should have thrown";
+  } catch (const InvariantError& error) {
+    EXPECT_NE(std::string(error.what()).find("math broke: 42"),
+              std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace pico

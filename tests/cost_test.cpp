@@ -1,0 +1,167 @@
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.hpp"
+#include "cost/flops.hpp"
+#include "models/zoo.hpp"
+#include "nn/graph.hpp"
+
+namespace pico {
+namespace {
+
+TEST(Flops, ConvMatchesEq2) {
+  nn::Graph g;
+  int x = g.add_input({3, 32, 32});
+  g.add_conv(x, 16, 3, 1, 1);
+  g.finalize();
+  // Eq. 2: k² · c_in · w · h · c_out = 9 · 3 · 32 · 32 · 16
+  EXPECT_DOUBLE_EQ(cost::node_flops_full(g, 1), 9.0 * 3 * 32 * 32 * 16);
+  // A half-height region costs half.
+  EXPECT_DOUBLE_EQ(cost::node_flops(g, 1, Region::rows(0, 16, 32)),
+                   9.0 * 3 * 32 * 16 * 16);
+  EXPECT_DOUBLE_EQ(cost::node_flops(g, 1, Region{0, 0, 0, 0}), 0.0);
+}
+
+TEST(Flops, ConvDominatesModelTotals) {
+  // The paper: conv layers are 99.19% of VGG16 computation and 99.59% of
+  // YOLOv2's.  Our accounting (pool/relu counted, tiny) must agree.
+  for (const auto model : {models::ModelId::Vgg16, models::ModelId::Yolov2}) {
+    const nn::Graph g = models::build(model);
+    Flops conv = 0.0, total = 0.0;
+    for (int id = 1; id < g.size(); ++id) {
+      const Flops f = cost::node_flops_full(g, id);
+      total += f;
+      if (g.node(id).kind == nn::OpKind::Conv) conv += f;
+    }
+    EXPECT_GT(conv / total, 0.99) << models::model_name(model);
+  }
+}
+
+TEST(Flops, Vgg16TotalInKnownBallpark) {
+  // VGG16 conv body at 224x224 is ~15.3 GMACs in the literature.
+  const nn::Graph g = models::vgg16();
+  const Flops total = cost::model_flops(g);
+  EXPECT_GT(total, 14e9);
+  EXPECT_LT(total, 16.5e9);
+}
+
+TEST(Flops, SegmentFlopsIncludeHalo) {
+  // Fused 3x3 convs computed over a strip need more FLOPs than the strip's
+  // area share because of halo rows.
+  nn::Graph g;
+  int x = g.add_input({8, 32, 32});
+  x = g.add_conv(x, 8, 3, 1, 1);
+  x = g.add_conv(x, 8, 3, 1, 1);
+  x = g.add_conv(x, 8, 3, 1, 1);
+  g.finalize();
+  const Flops full = cost::segment_flops_full(g, 1, 3);
+  const Flops top = cost::segment_flops(g, 1, 3, Region::rows(0, 16, 32));
+  const Flops bottom = cost::segment_flops(g, 1, 3, Region::rows(16, 32, 32));
+  EXPECT_GT(top + bottom, full);       // redundancy exists
+  EXPECT_LT(top + bottom, full * 1.5); // and is bounded
+  EXPECT_DOUBLE_EQ(cost::segment_flops(g, 1, 3, Region::full(32, 32)), full);
+}
+
+TEST(Flops, RedundancyGrowsWithFusedDepthAndParts) {
+  // §II-C / Fig. 4: fusing more layers or adding more devices grows the
+  // overlapped share.
+  nn::Graph g;
+  int x = g.add_input({8, 64, 64});
+  for (int i = 0; i < 6; ++i) x = g.add_conv(x, 8, 3, 1, 1);
+  g.finalize();
+
+  auto total_for = [&](int last, int parts) {
+    Flops sum = 0.0;
+    const Shape out = g.node(last).out_shape;
+    for (int k = 0; k < parts; ++k) {
+      const Region strip = Region::rows(out.height * k / parts,
+                                        out.height * (k + 1) / parts,
+                                        out.width);
+      sum += cost::segment_flops(g, 1, last, strip);
+    }
+    return sum / cost::segment_flops_full(g, 1, last);
+  };
+
+  EXPECT_LT(total_for(2, 4), total_for(4, 4));  // deeper fusion -> worse
+  EXPECT_LT(total_for(4, 2), total_for(4, 8));  // more devices -> worse
+  EXPECT_GT(total_for(6, 8), 1.10);
+}
+
+TEST(Flops, RegionBytes) {
+  EXPECT_DOUBLE_EQ(cost::region_bytes(16, Region::rows(0, 8, 10)),
+                   16.0 * 8 * 10 * 4);
+  EXPECT_DOUBLE_EQ(cost::region_bytes(16, Region{}), 0.0);
+  nn::Graph g;
+  int x = g.add_input({3, 4, 4});
+  g.add_conv(x, 2, 3, 1, 1);
+  g.finalize();
+  EXPECT_DOUBLE_EQ(cost::node_output_bytes(g, 1), 2.0 * 4 * 4 * 4);
+}
+
+TEST(Device, ComputeTimeEq5) {
+  Device d;
+  d.capacity = 2e9;
+  d.alpha = 1.5;
+  EXPECT_DOUBLE_EQ(d.compute_time(4e9), 3.0);
+}
+
+TEST(Network, TransferTimeEq7) {
+  NetworkModel net;
+  net.bandwidth = 6.25e6;  // 50 Mbps
+  net.per_message_overhead = 0.0;
+  EXPECT_DOUBLE_EQ(net.transfer_time(6.25e6), 1.0);
+  net.per_message_overhead = 1e-3;
+  EXPECT_DOUBLE_EQ(net.transfer_time(0.0), 1e-3);
+}
+
+TEST(Network, PerDeviceLinkScaling) {
+  NetworkModel net;
+  net.bandwidth = 1e6;
+  net.per_message_overhead = 0.0;
+  net.device_bandwidth_scale = {0.5, 1.0};
+  EXPECT_DOUBLE_EQ(net.transfer_time(1e6, 0), 2.0);  // degraded link
+  EXPECT_DOUBLE_EQ(net.transfer_time(1e6, 1), 1.0);
+  EXPECT_DOUBLE_EQ(net.transfer_time(1e6, 5), 1.0);  // beyond vector: 1.0
+  EXPECT_DOUBLE_EQ(net.transfer_time(1e6), 1.0);     // nominal
+  const NetworkModel uniform = net.uniform();
+  EXPECT_DOUBLE_EQ(uniform.transfer_time(1e6, 0), 1.0);
+}
+
+TEST(Cluster, Factories) {
+  const Cluster paper = Cluster::paper_heterogeneous();
+  EXPECT_EQ(paper.size(), 8);
+  EXPECT_DOUBLE_EQ(paper.device(0).frequency_ghz, 1.2);
+  EXPECT_DOUBLE_EQ(paper.device(7).frequency_ghz, 0.6);
+  EXPECT_GT(paper.device(0).capacity, paper.device(7).capacity);
+
+  const Cluster homogeneous = Cluster::paper_homogeneous(4, 0.8);
+  EXPECT_EQ(homogeneous.size(), 4);
+  EXPECT_DOUBLE_EQ(homogeneous.device(0).capacity,
+                   homogeneous.device(3).capacity);
+}
+
+TEST(Cluster, HomogenizedMatchesEq12) {
+  const Cluster c = Cluster::paper_heterogeneous();
+  const Cluster h = c.homogenized();
+  EXPECT_EQ(h.size(), c.size());
+  for (const Device& d : h.devices()) {
+    EXPECT_DOUBLE_EQ(d.capacity, c.mean_capacity());
+  }
+  EXPECT_DOUBLE_EQ(h.total_capacity(), c.total_capacity());
+}
+
+TEST(Cluster, SortAndFastest) {
+  const Cluster c = Cluster::raspberry_pi({0.6, 1.2, 0.8});
+  EXPECT_EQ(c.fastest(), 1);
+  const auto order = c.ids_by_capacity_desc();
+  EXPECT_EQ(order, (std::vector<DeviceId>{1, 2, 0}));
+}
+
+TEST(Cluster, Prefix) {
+  const Cluster c = Cluster::paper_heterogeneous();
+  const Cluster p = c.prefix(3);
+  EXPECT_EQ(p.size(), 3);
+  EXPECT_DOUBLE_EQ(p.device(2).capacity, c.device(2).capacity);
+}
+
+}  // namespace
+}  // namespace pico

@@ -1,0 +1,155 @@
+// Edge cases and error paths across modules — the checks that guard against
+// silent misuse of the API.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "models/zoo.hpp"
+#include "nn/executor.hpp"
+#include "partition/plan.hpp"
+#include "partition/schemes.hpp"
+#include "partition/splitter.hpp"
+#include "tensor/slice.hpp"
+
+namespace pico {
+namespace {
+
+TEST(GraphErrors, WindowLargerThanPaddedInput) {
+  nn::Graph g;
+  const int in = g.add_input({1, 4, 4});
+  g.add_conv(in, 1, 7, 1, 0);  // 7x7 kernel on 4x4, no padding
+  EXPECT_THROW(g.finalize(), InvariantError);
+}
+
+TEST(GraphErrors, SecondInputRejected) {
+  nn::Graph g;
+  g.add_input({1, 4, 4});
+  EXPECT_THROW(g.add_input({1, 4, 4}), InvariantError);
+}
+
+TEST(GraphErrors, ForwardReferenceRejected) {
+  nn::Graph g;
+  const int in = g.add_input({1, 4, 4});
+  EXPECT_THROW(g.add_add(in, 7), InvariantError);  // node 7 doesn't exist
+}
+
+TEST(GraphErrors, AddNodesAfterFinalizeRejected) {
+  nn::Graph g;
+  const int in = g.add_input({1, 4, 4});
+  g.add_relu(in);
+  g.finalize();
+  EXPECT_THROW(g.add_relu(1), InvariantError);
+  EXPECT_THROW(g.finalize(), InvariantError);  // double finalize
+}
+
+TEST(GraphErrors, OutputShapeBeforeFinalizeRejected) {
+  nn::Graph g;
+  g.add_input({1, 4, 4});
+  EXPECT_THROW(g.output_shape(), InvariantError);
+}
+
+TEST(ExecutorErrors, TwoExternalProducersRejected) {
+  // add consumes both conv2's output and the *graph input* — segment
+  // [conv2, add] has two distinct external producers and cannot execute
+  // from a single input piece.
+  nn::Graph g;
+  const int in = g.add_input({2, 8, 8});
+  const int c1 = g.add_conv(in, 2, 3, 1, 1, false);
+  const int c2 = g.add_conv(c1, 2, 3, 1, 1, false);
+  const int add = g.add_add(c2, in);
+  g.finalize();
+  Rng rng(1);
+  g.randomize_weights(rng);
+  Tensor input(g.input_shape());
+  input.randomize(rng);
+  EXPECT_THROW(nn::execute_segment(g, c2, add,
+                                   {Region::full(8, 8), input},
+                                   Region::full(8, 8)),
+               InvariantError);
+}
+
+TEST(ValidatePlanErrors, BranchIndexOutOfRange) {
+  nn::Graph g;
+  const int in = g.add_input({4, 8, 8});
+  const int stem = g.add_conv(in, 4, 3, 1, 1);
+  const int a = g.add_conv(stem, 2, 1, 1, 0);
+  const int b = g.add_conv(stem, 2, 3, 1, 1);
+  g.add_concat({a, b});
+  g.finalize();
+  const Cluster c = Cluster::homogeneous(3, 1e9);
+  partition::Plan plan;
+  plan.scheme = "bad";
+  plan.pipelined = true;
+  plan.stages.push_back(partition::make_stage(g, c, 1, 1, {0}));
+  partition::Stage branch;
+  branch.first = 2;
+  branch.last = 4;
+  branch.kind = partition::StageKind::Branch;
+  branch.assignments.push_back({1, {}, {0}});
+  branch.assignments.push_back({2, {}, {5}});  // only branches 0 and 1 exist
+  plan.stages.push_back(branch);
+  EXPECT_THROW(partition::validate_plan(g, c, plan), InvariantError);
+}
+
+TEST(SplitterErrors, InvalidArguments) {
+  EXPECT_THROW(partition::split_rows_equal(0, 4, 2), InvariantError);
+  EXPECT_THROW(partition::split_rows_equal(4, 4, 0), InvariantError);
+  const std::vector<double> negative{1.0, -1.0};
+  EXPECT_THROW(partition::split_rows_proportional(4, 4, negative),
+               InvariantError);
+  const std::vector<double> zeros{0.0, 0.0};
+  EXPECT_THROW(partition::split_rows_proportional(4, 4, zeros),
+               InvariantError);
+}
+
+TEST(ClusterErrors, BoundsChecked) {
+  const Cluster c = Cluster::homogeneous(2, 1e9);
+  EXPECT_THROW(c.device(2), InvariantError);
+  EXPECT_THROW(c.device(-1), InvariantError);
+  EXPECT_THROW(c.prefix(0), InvariantError);
+  EXPECT_THROW(c.prefix(3), InvariantError);
+  EXPECT_THROW(Cluster::homogeneous(1, 0.0), InvariantError);
+}
+
+TEST(StitchErrors, ChannelMismatchRejected) {
+  std::vector<Placed> pieces{{Region::full(2, 2), Tensor({3, 2, 2})}};
+  EXPECT_THROW(stitch({2, 2, 2}, pieces), InvariantError);
+}
+
+TEST(Rng, ForkTreeIsDeterministic) {
+  Rng a(5);
+  Rng b(5);
+  Rng child_a = a.fork();
+  Rng child_b = b.fork();
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(child_a.next_u64(), child_b.next_u64());
+  }
+}
+
+TEST(NetworkModel, UniformStripsOnlyScaling) {
+  NetworkModel net;
+  net.bandwidth = 123.0;
+  net.per_message_overhead = 0.5;
+  net.device_bandwidth_scale = {0.1};
+  const NetworkModel uniform = net.uniform();
+  EXPECT_DOUBLE_EQ(uniform.bandwidth, 123.0);
+  EXPECT_DOUBLE_EQ(uniform.per_message_overhead, 0.5);
+  EXPECT_TRUE(uniform.device_bandwidth_scale.empty());
+}
+
+TEST(Schemes, SingleDeviceClusterStillPlans) {
+  const nn::Graph g = models::toy_mnist({.input_size = 32});
+  const Cluster c = Cluster::homogeneous(1, 1e9);
+  NetworkModel net;
+  for (const auto& plan :
+       {partition::lw_plan(g, c), partition::efl_plan(g, c),
+        partition::ofl_plan(g, c, net)}) {
+    partition::validate_plan(g, c, plan);
+    for (const auto& stage : plan.stages) {
+      EXPECT_EQ(stage.device_count(), 1);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pico

@@ -1,0 +1,228 @@
+// Randomized property tests: generate random (but valid) CNNs and clusters,
+// then check stack-wide invariants — unit decomposition, plan validity and
+// cost identities for every scheme, region execution against the reference,
+// and full distributed execution through the threaded runtime.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "cost/flops.hpp"
+#include "nn/executor.hpp"
+#include "nn/receptive.hpp"
+#include "partition/pico_dp.hpp"
+#include "partition/plan_cost.hpp"
+#include "partition/schemes.hpp"
+#include "partition/units.hpp"
+#include "runtime/pipeline.hpp"
+#include "sim/arrivals.hpp"
+#include "sim/pipeline_sim.hpp"
+#include "tensor/slice.hpp"
+
+namespace pico {
+namespace {
+
+NetworkModel test_network() {
+  NetworkModel net;
+  net.bandwidth = 50e6 / 8.0;
+  net.per_message_overhead = 1e-3;
+  return net;
+}
+
+/// Random graph: a chain of conv/pool segments interleaved with residual
+/// and two-branch concat blocks, sized so every spatial dimension stays
+/// valid and tests stay fast.
+nn::Graph random_graph(Rng& rng) {
+  nn::Graph g;
+  int channels = rng.uniform_int(1, 6);
+  int size = rng.uniform_int(14, 28);
+  int x = g.add_input({channels, size, size});
+  const int pieces = rng.uniform_int(3, 7);
+  for (int piece = 0; piece < pieces; ++piece) {
+    switch (rng.uniform_int(0, 4)) {
+      case 0: {  // conv
+        const int k = rng.uniform_int(1, 3);
+        channels = rng.uniform_int(2, 10);
+        x = g.add_conv(x, channels, k, 1, rng.uniform_int(0, k / 2 + 1),
+                       rng.uniform() < 0.8);
+        break;
+      }
+      case 1: {  // strided conv or pool (only while the map is big enough)
+        if (size < 8) {
+          x = g.add_relu(x);
+          break;
+        }
+        if (rng.uniform() < 0.5) {
+          channels = rng.uniform_int(2, 10);
+          x = g.add_conv(x, channels, 3, 2, 1);
+        } else {
+          x = g.add_maxpool(x, 2, 2);
+        }
+        break;
+      }
+      case 2: {  // residual block
+        const int y = g.add_conv(x, channels, 3, 1, 1, false);
+        const int z = g.add_batchnorm(y, false);
+        x = g.add_add(z, x, true);
+        break;
+      }
+      case 3: {  // two-branch concat block
+        const int c1 = rng.uniform_int(2, 6);
+        const int c2 = rng.uniform_int(2, 6);
+        const int a = g.add_conv(x, c1, 3, 1, 1);
+        const int b = g.add_conv(x, c2, 1, 1, 0);
+        x = g.add_concat({a, b});
+        channels = c1 + c2;
+        break;
+      }
+      default: {  // elementwise
+        x = g.add_batchnorm(x, rng.uniform() < 0.5);
+        break;
+      }
+    }
+    size = g.nodes().back().out_shape.height;
+  }
+  g.finalize();
+  return g;
+}
+
+Cluster random_cluster(Rng& rng) {
+  const int devices = rng.uniform_int(2, 6);
+  std::vector<double> freqs;
+  for (int d = 0; d < devices; ++d) {
+    freqs.push_back(rng.uniform(0.4, 1.6));
+  }
+  return Cluster::raspberry_pi(freqs);
+}
+
+class FuzzCase : public ::testing::TestWithParam<int> {};
+
+TEST_P(FuzzCase, UnitsTileTheGraph) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  for (int trial = 0; trial < 6; ++trial) {
+    const nn::Graph g = random_graph(rng);
+    const auto units = partition::partition_units(g);
+    int next = 1;
+    for (const auto& unit : units) {
+      EXPECT_EQ(unit.first, next);
+      EXPECT_TRUE(nn::is_valid_segment(g, unit.first, unit.last));
+      next = unit.last + 1;
+    }
+    EXPECT_EQ(next, g.size());
+  }
+}
+
+TEST_P(FuzzCase, SchemesProduceValidCostedPlans) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) + 100);
+  const NetworkModel net = test_network();
+  for (int trial = 0; trial < 4; ++trial) {
+    const nn::Graph g = random_graph(rng);
+    const Cluster c = random_cluster(rng);
+    const std::vector<partition::Plan> plans{
+        partition::lw_plan(g, c),
+        partition::efl_plan(g, c),
+        partition::ofl_plan(g, c, net),
+        partition::pico_plan(g, c, net),
+        partition::pico_plan(g, c, net, {.enable_branch_parallel = true}),
+    };
+    for (const auto& plan : plans) {
+      partition::validate_plan(g, c, plan);
+      const auto cost = partition::plan_cost(g, c, net, plan);
+      EXPECT_GT(cost.period, 0.0) << plan.scheme;
+      EXPECT_LE(cost.period, cost.latency + 1e-12) << plan.scheme;
+
+      // Accounting identity: executed − redundant == essential work.
+      const auto work = partition::plan_device_work(g, c, plan);
+      Flops executed = 0.0, redundant = 0.0;
+      for (const auto& w : work) {
+        EXPECT_GE(w.redundant, -1e-9) << plan.scheme;
+        EXPECT_LE(w.redundant, w.total * (1.0 + 1e-9)) << plan.scheme;
+        executed += w.total;
+        redundant += w.redundant;
+      }
+      Flops essential = 0.0;
+      for (const auto& stage : plan.stages) {
+        essential += cost::segment_flops_full(g, stage.first, stage.last);
+      }
+      EXPECT_NEAR(executed - redundant, essential,
+                  essential * 1e-6 + 1e-6)
+          << plan.scheme;
+    }
+  }
+}
+
+TEST_P(FuzzCase, RandomSegmentStripsMatchReference) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) + 200);
+  for (int trial = 0; trial < 4; ++trial) {
+    nn::Graph g = random_graph(rng);
+    g.randomize_weights(rng);
+    Tensor input(g.input_shape());
+    input.randomize(rng);
+    const auto reference = nn::execute_all(g, input);
+    const auto units = partition::partition_units(g);
+
+    for (int probe = 0; probe < 4; ++probe) {
+      const int u1 = rng.uniform_int(0, static_cast<int>(units.size()) - 1);
+      const int u2 =
+          rng.uniform_int(u1, static_cast<int>(units.size()) - 1);
+      const auto span = partition::unit_span(units, u1, u2);
+      const Shape out = g.node(span.last).out_shape;
+      const int row0 = rng.uniform_int(0, out.height - 1);
+      const int row1 = rng.uniform_int(row0 + 1, out.height);
+      const Region strip = Region::rows(row0, row1, out.width);
+      const Region need =
+          nn::segment_input_region(g, span.first, span.last, strip);
+      const Tensor& segment_input =
+          reference[static_cast<std::size_t>(span.first - 1)];
+      const Tensor got = nn::execute_segment(
+          g, span.first, span.last, {need, extract(segment_input, need)},
+          strip);
+      const Tensor expected =
+          extract(reference[static_cast<std::size_t>(span.last)], strip);
+      ASSERT_FLOAT_EQ(Tensor::max_abs_diff(expected, got), 0.0f)
+          << "span [" << span.first << "," << span.last << "] strip "
+          << strip;
+    }
+  }
+}
+
+TEST_P(FuzzCase, RuntimeMatchesLocalOnRandomModels) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) + 300);
+  const NetworkModel net = test_network();
+  for (int trial = 0; trial < 2; ++trial) {
+    nn::Graph g = random_graph(rng);
+    g.randomize_weights(rng);
+    Tensor input(g.input_shape());
+    input.randomize(rng);
+    const Tensor reference = nn::execute(g, input);
+    const Cluster c = random_cluster(rng);
+    const auto plan =
+        rng.uniform() < 0.5
+            ? partition::pico_plan(g, c, net)
+            : partition::ofl_plan(g, c, net);
+    runtime::PipelineRuntime rt(g, plan);
+    ASSERT_FLOAT_EQ(Tensor::max_abs_diff(rt.infer(input), reference), 0.0f);
+  }
+}
+
+TEST_P(FuzzCase, SimulatorConservesTasks) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) + 400);
+  const NetworkModel net = test_network();
+  for (int trial = 0; trial < 3; ++trial) {
+    const nn::Graph g = random_graph(rng);
+    const Cluster c = random_cluster(rng);
+    const auto plan = partition::pico_plan(g, c, net);
+    const auto arrivals =
+        sim::poisson_arrivals(rng, rng.uniform(0.5, 5.0), 20.0);
+    if (arrivals.empty()) continue;
+    const auto result = sim::simulate_plan(g, c, net, plan, arrivals);
+    ASSERT_EQ(result.tasks.size(), arrivals.size());
+    for (const auto& task : result.tasks) {
+      EXPECT_GE(task.start, task.arrival);
+      EXPECT_GT(task.completion, task.start);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzCase, ::testing::Range(1, 6));
+
+}  // namespace
+}  // namespace pico

@@ -1,0 +1,197 @@
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "models/zoo.hpp"
+#include "nn/graph.hpp"
+#include "partition/units.hpp"
+
+namespace pico {
+namespace {
+
+using nn::Graph;
+using nn::OpKind;
+
+TEST(Graph, ConvShapeInference) {
+  Graph g;
+  const int in = g.add_input({3, 32, 32});
+  const int conv = g.add_conv(in, 16, 3, 1, 1);
+  g.finalize();
+  EXPECT_EQ(g.node(conv).out_shape, (Shape{16, 32, 32}));
+  EXPECT_EQ(g.node(conv).weights.size(), 16u * 3u * 3u * 3u);
+  EXPECT_EQ(g.node(conv).bias.size(), 16u);
+}
+
+TEST(Graph, StridedConvAndPoolShapes) {
+  Graph g;
+  int x = g.add_input({3, 224, 224});
+  x = g.add_conv(x, 64, 7, 2, 3);
+  EXPECT_EQ(x, 1);
+  x = g.add_maxpool(x, 3, 2, 1);
+  g.finalize();
+  EXPECT_EQ(g.node(1).out_shape, (Shape{64, 112, 112}));
+  EXPECT_EQ(g.node(2).out_shape, (Shape{64, 56, 56}));
+}
+
+TEST(Graph, NonSquareConvShapes) {
+  Graph g;
+  int x = g.add_input({8, 17, 17});
+  x = g.add_conv_window(x, 4, nn::Window{1, 7, 1, 1, 0, 3});
+  g.finalize();
+  EXPECT_EQ(g.output_shape(), (Shape{4, 17, 17}));
+}
+
+TEST(Graph, ConcatSumsChannels) {
+  Graph g;
+  const int in = g.add_input({4, 8, 8});
+  const int a = g.add_conv(in, 3, 1, 1, 0);
+  const int b = g.add_conv(in, 5, 1, 1, 0);
+  const int cat = g.add_concat({a, b});
+  g.finalize();
+  EXPECT_EQ(g.node(cat).out_shape, (Shape{8, 8, 8}));
+}
+
+TEST(Graph, AddRequiresMatchingShapes) {
+  Graph g;
+  const int in = g.add_input({4, 8, 8});
+  const int a = g.add_conv(in, 3, 1, 1, 0);
+  const int b = g.add_conv(in, 5, 1, 1, 0);
+  g.add_add(a, b);
+  EXPECT_THROW(g.finalize(), InvariantError);
+}
+
+TEST(Graph, FcAndGlobalPoolShapes) {
+  Graph g;
+  int x = g.add_input({4, 6, 6});
+  const int gap = g.add_global_avgpool(x);
+  const int fc = g.add_fc(gap, 10);
+  g.finalize();
+  EXPECT_EQ(g.node(gap).out_shape, (Shape{4, 1, 1}));
+  EXPECT_EQ(g.node(fc).out_shape, (Shape{10, 1, 1}));
+  EXPECT_FALSE(g.node(fc).spatially_splittable());
+}
+
+TEST(Graph, ChainDetection) {
+  EXPECT_TRUE(models::vgg16().is_chain());
+  EXPECT_TRUE(models::yolov2().is_chain());
+  EXPECT_FALSE(models::resnet34().is_chain());
+  EXPECT_FALSE(models::inception().is_chain());
+}
+
+TEST(Graph, RandomizeWeightsIsDeterministic) {
+  Graph a = models::toy_mnist();
+  Graph b = models::toy_mnist();
+  Rng ra(5), rb(5);
+  a.randomize_weights(ra);
+  b.randomize_weights(rb);
+  for (int id = 0; id < a.size(); ++id) {
+    ASSERT_EQ(a.node(id).weights, b.node(id).weights);
+  }
+}
+
+TEST(Zoo, Vgg16LayerCounts) {
+  const Graph g = models::vgg16();
+  int convs = 0, pools = 0;
+  for (const auto& node : g.nodes()) {
+    convs += node.kind == OpKind::Conv;
+    pools += node.kind == OpKind::MaxPool;
+  }
+  EXPECT_EQ(convs, 13);  // paper: 13 conv
+  EXPECT_EQ(pools, 5);   // paper: 5 pool
+  EXPECT_EQ(g.output_shape(), (Shape{512, 7, 7}));
+}
+
+TEST(Zoo, Yolov2LayerCounts) {
+  const Graph g = models::yolov2();
+  int convs = 0, pools = 0;
+  for (const auto& node : g.nodes()) {
+    convs += node.kind == OpKind::Conv;
+    pools += node.kind == OpKind::MaxPool;
+  }
+  EXPECT_EQ(convs, 23);  // paper: 23 conv
+  EXPECT_EQ(pools, 5);   // paper: 5 pool
+  EXPECT_EQ(g.input_shape(), (Shape{3, 448, 448}));
+  EXPECT_EQ(g.output_shape().channels, 425);
+}
+
+TEST(Zoo, ToyMnistLayerCounts) {
+  const Graph g = models::toy_mnist();
+  int convs = 0, pools = 0;
+  for (const auto& node : g.nodes()) {
+    convs += node.kind == OpKind::Conv;
+    pools += node.kind == OpKind::MaxPool;
+  }
+  EXPECT_EQ(convs, 8);  // paper §V-C: 8 conv
+  EXPECT_EQ(pools, 2);  // paper §V-C: 2 pool
+}
+
+TEST(Zoo, Resnet34BlockCount) {
+  const Graph g = models::resnet34();
+  int adds = 0;
+  for (const auto& node : g.nodes()) adds += node.kind == OpKind::Add;
+  EXPECT_EQ(adds, 16);  // 3 + 4 + 6 + 3 basic blocks
+  EXPECT_EQ(g.output_shape(), (Shape{512, 7, 7}));
+}
+
+TEST(Zoo, InceptionBuildsAndHasConcats) {
+  const Graph g = models::inception();
+  int concats = 0;
+  for (const auto& node : g.nodes()) concats += node.kind == OpKind::Concat;
+  EXPECT_EQ(concats, 7);  // 5 inception + 2 reduction blocks
+}
+
+TEST(Zoo, ClassifierVariants) {
+  const Graph vgg = models::vgg16({.input_size = 0, .include_classifier = true});
+  EXPECT_EQ(vgg.output_shape(), (Shape{1000, 1, 1}));
+  const Graph resnet =
+      models::resnet34({.input_size = 0, .include_classifier = true});
+  EXPECT_EQ(resnet.output_shape(), (Shape{1000, 1, 1}));
+}
+
+TEST(Zoo, SyntheticChain) {
+  const Graph g = models::synthetic_chain(12, 32, 8);
+  EXPECT_EQ(g.size(), 13);
+  EXPECT_TRUE(g.is_chain());
+  EXPECT_EQ(g.output_shape(), (Shape{8, 32, 32}));
+}
+
+TEST(Units, ChainModelHasOneUnitPerNode) {
+  const Graph g = models::vgg16();
+  const auto units = partition::partition_units(g);
+  EXPECT_EQ(static_cast<int>(units.size()), g.size() - 1);
+  for (const auto& unit : units) EXPECT_EQ(unit.first, unit.last);
+}
+
+TEST(Units, ResnetBlocksAreAtomic) {
+  const Graph g = models::resnet34();
+  const auto units = partition::partition_units(g);
+  // stem conv + stem pool + 16 residual blocks = 18 units.
+  EXPECT_EQ(units.size(), 18u);
+  // Every unit is a valid segment and units cover all nodes contiguously.
+  int next = 1;
+  for (const auto& unit : units) {
+    EXPECT_EQ(unit.first, next);
+    next = unit.last + 1;
+  }
+  EXPECT_EQ(next, g.size());
+}
+
+TEST(Units, InceptionBlocksAreAtomic) {
+  const Graph g = models::inception();
+  const auto units = partition::partition_units(g);
+  // 7 stem nodes + 7 blocks = 14 units.
+  EXPECT_EQ(units.size(), 14u);
+}
+
+TEST(Units, RejectsClassifierHeads) {
+  const Graph g = models::vgg16({.input_size = 0, .include_classifier = true});
+  EXPECT_THROW(partition::partition_units(g), InvariantError);
+}
+
+TEST(Units, UnitSpan) {
+  const std::vector<partition::Unit> units{{1, 3}, {4, 4}, {5, 9}};
+  EXPECT_EQ(partition::unit_span(units, 0, 1), (partition::Unit{1, 4}));
+  EXPECT_EQ(partition::unit_span(units, 2, 2), (partition::Unit{5, 9}));
+}
+
+}  // namespace
+}  // namespace pico

@@ -1,0 +1,238 @@
+// Region kernels vs. full-map execution: computing a region of a node's
+// output from a (haloed) input piece must agree bit-for-bit with slicing the
+// full-map result.  This is the core correctness property distributed
+// inference rests on.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "nn/executor.hpp"
+#include "nn/kernels.hpp"
+#include "nn/receptive.hpp"
+#include "tensor/slice.hpp"
+
+namespace pico {
+namespace {
+
+using nn::Graph;
+
+/// Build a single-op graph, run it fully, then recompute `out_region` from
+/// the minimal input piece and compare exactly.
+void check_region_matches(Graph& g, int node_id, const Region& out_region,
+                          std::uint64_t seed) {
+  g.finalize();
+  Rng rng(seed);
+  g.randomize_weights(rng);
+  Tensor input(g.input_shape());
+  input.randomize(rng);
+
+  const std::vector<Tensor> all = nn::execute_all(g, input);
+  const Tensor& full_out = all[static_cast<std::size_t>(node_id)];
+  const Tensor expected = extract(full_out, out_region);
+
+  const nn::Node& node = g.node(node_id);
+  std::vector<Placed> pieces;
+  for (std::size_t k = 0; k < node.inputs.size(); ++k) {
+    const Region need =
+        nn::input_region(g, node_id, out_region, static_cast<int>(k));
+    const Tensor& producer =
+        all[static_cast<std::size_t>(node.inputs[k])];
+    pieces.push_back({need, extract(producer, need)});
+  }
+  const Tensor got = nn::compute_node(node, pieces, out_region);
+  EXPECT_FLOAT_EQ(Tensor::max_abs_diff(expected, got), 0.0f)
+      << "node " << node.name << " region mismatch";
+}
+
+TEST(Kernels, ConvInteriorRegion) {
+  Graph g;
+  int x = g.add_input({3, 16, 16});
+  g.add_conv(x, 8, 3, 1, 1);
+  check_region_matches(g, 1, Region{5, 9, 3, 12}, 100);
+}
+
+TEST(Kernels, ConvBorderRegionsSeeTruePadding) {
+  for (const Region r : {Region::rows(0, 4, 16), Region::rows(12, 16, 16),
+                         Region{0, 16, 0, 3}, Region{0, 16, 13, 16}}) {
+    Graph g;
+    int x = g.add_input({2, 16, 16});
+    g.add_conv(x, 4, 3, 1, 1);
+    check_region_matches(g, 1, r, 101);
+  }
+}
+
+TEST(Kernels, ConvStride2) {
+  Graph g;
+  int x = g.add_input({3, 17, 17});
+  g.add_conv(x, 4, 3, 2, 1);
+  check_region_matches(g, 1, Region{2, 7, 1, 8}, 102);
+}
+
+TEST(Kernels, Conv1x1) {
+  Graph g;
+  int x = g.add_input({6, 9, 9});
+  g.add_conv(x, 3, 1, 1, 0);
+  check_region_matches(g, 1, Region{4, 7, 0, 9}, 103);
+}
+
+TEST(Kernels, Conv7x7Stride2Pad3) {
+  Graph g;
+  int x = g.add_input({3, 32, 32});
+  g.add_conv(x, 8, 7, 2, 3);
+  check_region_matches(g, 1, Region{0, 9, 4, 16}, 104);
+}
+
+TEST(Kernels, ConvNonSquare1x7And7x1) {
+  {
+    Graph g;
+    int x = g.add_input({2, 15, 15});
+    g.add_conv_window(x, 3, nn::Window{1, 7, 1, 1, 0, 3});
+    check_region_matches(g, 1, Region{3, 10, 0, 15}, 105);
+  }
+  {
+    Graph g;
+    int x = g.add_input({2, 15, 15});
+    g.add_conv_window(x, 3, nn::Window{7, 1, 1, 1, 3, 0});
+    check_region_matches(g, 1, Region{0, 15, 2, 9}, 106);
+  }
+}
+
+TEST(Kernels, ConvWithoutFusedRelu) {
+  Graph g;
+  int x = g.add_input({2, 8, 8});
+  g.add_conv(x, 2, 3, 1, 1, /*fused_relu=*/false);
+  g.finalize();
+  Rng rng(107);
+  g.randomize_weights(rng);
+  Tensor input(g.input_shape());
+  input.randomize(rng);
+  const Tensor out = nn::execute(g, input);
+  bool any_negative = false;
+  for (float v : out.data()) any_negative |= v < 0.0f;
+  EXPECT_TRUE(any_negative) << "unfused conv should produce negatives";
+}
+
+TEST(Kernels, FusedReluClamps) {
+  Graph g;
+  int x = g.add_input({2, 8, 8});
+  g.add_conv(x, 2, 3, 1, 1, /*fused_relu=*/true);
+  g.finalize();
+  Rng rng(107);
+  g.randomize_weights(rng);
+  Tensor input(g.input_shape());
+  input.randomize(rng);
+  const Tensor out = nn::execute(g, input);
+  for (float v : out.data()) EXPECT_GE(v, 0.0f);
+}
+
+TEST(Kernels, MaxPoolRegions) {
+  Graph g;
+  int x = g.add_input({4, 16, 16});
+  g.add_maxpool(x, 2, 2);
+  check_region_matches(g, 1, Region{1, 5, 2, 8}, 108);
+}
+
+TEST(Kernels, MaxPool3x3Stride2Pad1) {
+  Graph g;
+  int x = g.add_input({2, 17, 17});
+  g.add_maxpool(x, 3, 2, 1);
+  check_region_matches(g, 1, Region{0, 9, 0, 5}, 109);
+}
+
+TEST(Kernels, AvgPoolPaddedBorderUsesValidTapCount) {
+  Graph g;
+  int x = g.add_input({1, 8, 8});
+  g.add_avgpool(x, 3, 1, 1);
+  g.finalize();
+  Tensor input(g.input_shape(), 1.0f);
+  const Tensor out = nn::execute(g, input);
+  // Corner has 4 valid taps of value 1 -> average 1 (divide by valid count).
+  EXPECT_FLOAT_EQ(out.at(0, 0, 0), 1.0f);
+  EXPECT_FLOAT_EQ(out.at(0, 4, 4), 1.0f);
+}
+
+TEST(Kernels, AvgPoolRegionMatch) {
+  Graph g;
+  int x = g.add_input({3, 12, 12});
+  g.add_avgpool(x, 3, 1, 1);
+  check_region_matches(g, 1, Region{0, 6, 3, 12}, 110);
+}
+
+TEST(Kernels, BatchNormRegion) {
+  Graph g;
+  int x = g.add_input({5, 10, 10});
+  g.add_batchnorm(x, /*fused_relu=*/true);
+  check_region_matches(g, 1, Region{2, 8, 1, 9}, 111);
+}
+
+TEST(Kernels, AddRegionWithMismatchedPieceOffsets) {
+  // The two inputs arrive as pieces with different (larger) regions; the add
+  // must index each piece by its own offset.
+  Graph g;
+  int x = g.add_input({2, 12, 12});
+  const int a = g.add_conv(x, 2, 3, 1, 1, false);
+  const int b = g.add_conv(x, 2, 1, 1, 0, false);
+  g.add_add(a, b);
+  g.finalize();
+  Rng rng(112);
+  g.randomize_weights(rng);
+  Tensor input(g.input_shape());
+  input.randomize(rng);
+  const auto all = nn::execute_all(g, input);
+  const Region out_region{4, 8, 0, 12};
+  const Region big_a{2, 10, 0, 12}, big_b{4, 9, 0, 12};
+  std::vector<Placed> pieces{{big_a, extract(all[1], big_a)},
+                             {big_b, extract(all[2], big_b)}};
+  const Tensor got = nn::compute_node(g.node(3), pieces, out_region);
+  const Tensor expected = extract(all[3], out_region);
+  EXPECT_FLOAT_EQ(Tensor::max_abs_diff(expected, got), 0.0f);
+}
+
+TEST(Kernels, ConcatRegion) {
+  Graph g;
+  int x = g.add_input({3, 10, 10});
+  const int a = g.add_conv(x, 2, 1, 1, 0);
+  const int b = g.add_conv(x, 3, 3, 1, 1);
+  g.add_concat({a, b});
+  check_region_matches(g, 3, Region{3, 7, 2, 10}, 113);
+}
+
+TEST(Kernels, FullyConnectedMatchesManual) {
+  Graph g;
+  int x = g.add_input({2, 2, 2});
+  g.add_fc(x, 3);
+  g.finalize();
+  Rng rng(114);
+  g.randomize_weights(rng);
+  Tensor input(g.input_shape());
+  input.randomize(rng);
+  const Tensor out = nn::execute(g, input);
+  const nn::Node& fc = g.node(1);
+  for (int o = 0; o < 3; ++o) {
+    float acc = 0.0f;
+    for (int i = 0; i < 8; ++i) {
+      acc += fc.weights[static_cast<std::size_t>(o * 8 + i)] *
+             input.data()[static_cast<std::size_t>(i)];
+    }
+    acc += fc.bias[static_cast<std::size_t>(o)];
+    EXPECT_FLOAT_EQ(out.at(o, 0, 0), acc);
+  }
+}
+
+TEST(Kernels, GlobalAvgPool) {
+  Graph g;
+  int x = g.add_input({2, 4, 4});
+  g.add_global_avgpool(x);
+  g.finalize();
+  Tensor input(g.input_shape());
+  for (int y = 0; y < 4; ++y)
+    for (int xx = 0; xx < 4; ++xx) {
+      input.at(0, y, xx) = 2.0f;
+      input.at(1, y, xx) = static_cast<float>(y);
+    }
+  const Tensor out = nn::execute(g, input);
+  EXPECT_FLOAT_EQ(out.at(0, 0, 0), 2.0f);
+  EXPECT_FLOAT_EQ(out.at(1, 0, 0), 1.5f);
+}
+
+}  // namespace
+}  // namespace pico

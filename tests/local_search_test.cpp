@@ -1,0 +1,103 @@
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "models/zoo.hpp"
+#include "partition/bfs.hpp"
+#include "partition/local_search.hpp"
+#include "partition/pico_dp.hpp"
+#include "partition/plan_cost.hpp"
+#include "partition/schemes.hpp"
+#include "partition/units.hpp"
+
+namespace pico {
+namespace {
+
+NetworkModel test_network() {
+  NetworkModel net;
+  net.bandwidth = 50e6 / 8.0;
+  net.per_message_overhead = 1e-3;
+  return net;
+}
+
+TEST(LocalSearch, NeverWorsensAndStaysValid) {
+  const NetworkModel net = test_network();
+  for (const auto model :
+       {models::ModelId::Vgg16, models::ModelId::Resnet34}) {
+    const nn::Graph g = models::build(model, {.input_size = 64});
+    const Cluster c = Cluster::paper_heterogeneous();
+    const auto pico = partition::pico_plan(g, c, net);
+    const auto result = partition::refine_plan(g, c, net, pico);
+    partition::validate_plan(g, c, result.plan);
+    EXPECT_LE(result.final_period, result.initial_period + 1e-12);
+    EXPECT_DOUBLE_EQ(partition::plan_cost(g, c, net, result.plan).period,
+                     result.final_period);
+    EXPECT_GT(result.moves_tried, 0);
+  }
+}
+
+TEST(LocalSearch, CannotBeatTheExhaustiveOptimum) {
+  const nn::Graph g = models::synthetic_chain(6, 32, 8);
+  const Cluster c = Cluster::raspberry_pi({1.2, 0.8, 0.6});
+  const NetworkModel net = test_network();
+  const auto bfs = partition::bfs_optimal_plan(g, c, net, {});
+  ASSERT_FALSE(bfs.timed_out);
+  const auto pico = partition::pico_plan(g, c, net);
+  const auto refined = partition::refine_plan(g, c, net, pico, {.seed = 3});
+  EXPECT_GE(refined.final_period, bfs.period - 1e-12);
+}
+
+TEST(LocalSearch, RepairsDeliberatelyBadDeviceAssignment) {
+  // Start from a plan whose fastest device sits in the lightest stage; the
+  // climber must find a strictly better arrangement.
+  const nn::Graph g = models::vgg16({.input_size = 224});
+  const Cluster c = Cluster::raspberry_pi({1.5, 0.4, 0.4, 0.4});
+  const NetworkModel net = test_network();
+  const auto units = partition::partition_units(g);
+
+  // Two stages: heavy head (most units) on slow devices, light tail on the
+  // fastest device.
+  const auto head_span =
+      partition::unit_span(units, 0, static_cast<int>(units.size()) - 3);
+  const auto tail_span =
+      partition::unit_span(units, static_cast<int>(units.size()) - 2,
+                           static_cast<int>(units.size()) - 1);
+  partition::Plan bad;
+  bad.scheme = "bad";
+  bad.pipelined = true;
+  bad.stages.push_back(partition::make_stage(g, c, head_span.first,
+                                             head_span.last, {1, 2, 3}));
+  bad.stages.push_back(
+      partition::make_stage(g, c, tail_span.first, tail_span.last, {0}));
+  partition::validate_plan(g, c, bad);
+
+  const auto refined =
+      partition::refine_plan(g, c, net, bad, {.max_moves = 6000, .seed = 5});
+  EXPECT_LT(refined.final_period, refined.initial_period * 0.8);
+  EXPECT_GT(refined.improvements, 0);
+}
+
+TEST(LocalSearch, RespectsLatencyLimit) {
+  const nn::Graph g = models::vgg16({.input_size = 64});
+  const Cluster c = Cluster::paper_heterogeneous();
+  const NetworkModel net = test_network();
+  const auto pico = partition::pico_plan(g, c, net);
+  const Seconds limit =
+      partition::plan_cost(g, c, net, pico).latency * 1.02;
+  partition::LocalSearchOptions options;
+  options.latency_limit = limit;
+  options.seed = 11;
+  const auto refined = partition::refine_plan(g, c, net, pico, options);
+  EXPECT_LE(partition::plan_cost(g, c, net, refined.plan).latency,
+            limit + 1e-12);
+}
+
+TEST(LocalSearch, RejectsSequentialPlans) {
+  const nn::Graph g = models::toy_mnist({.input_size = 32});
+  const Cluster c = Cluster::homogeneous(2, 1e9);
+  const auto lw = partition::lw_plan(g, c);
+  EXPECT_THROW(partition::refine_plan(g, c, test_network(), lw),
+               InvariantError);
+}
+
+}  // namespace
+}  // namespace pico

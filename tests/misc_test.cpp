@@ -1,0 +1,186 @@
+// Coverage for the small supporting pieces: the logger, plan description,
+// engine edge cases, worker statistics, queue stress, and region printing.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <sstream>
+#include <thread>
+
+#include "common/log.hpp"
+#include "common/rng.hpp"
+#include "models/zoo.hpp"
+#include "partition/pico_dp.hpp"
+#include "partition/plan.hpp"
+#include "partition/schemes.hpp"
+#include "runtime/channel.hpp"
+#include "runtime/transport.hpp"
+#include "runtime/worker.hpp"
+#include "sim/engine.hpp"
+#include "tensor/region.hpp"
+
+namespace pico {
+namespace {
+
+NetworkModel test_network() {
+  NetworkModel net;
+  net.bandwidth = 50e6 / 8.0;
+  net.per_message_overhead = 1e-3;
+  return net;
+}
+
+TEST(Log, LevelGatesEmission) {
+  const log::Level saved = log::level();
+  log::set_level(log::Level::Error);
+  EXPECT_EQ(log::level(), log::Level::Error);
+  // Below-threshold macro must not evaluate its stream arguments.
+  int evaluations = 0;
+  const auto count = [&] {
+    ++evaluations;
+    return "x";
+  };
+  PICO_LOG(Debug) << count();
+  EXPECT_EQ(evaluations, 0);
+  PICO_LOG(Error) << count();
+  EXPECT_EQ(evaluations, 1);
+  log::set_level(saved);
+}
+
+TEST(Log, OffSilencesEverything) {
+  const log::Level saved = log::level();
+  log::set_level(log::Level::Off);
+  PICO_LOG(Error) << "nobody hears this";
+  log::set_level(saved);
+  SUCCEED();
+}
+
+TEST(Region, StreamOutput) {
+  std::ostringstream os;
+  os << Region{1, 4, 2, 8};
+  EXPECT_EQ(os.str(), "[1,4)x[2,8)");
+}
+
+TEST(DescribePlan, MentionsSchemeStagesAndDevices) {
+  const nn::Graph g = models::toy_mnist({.input_size = 32});
+  const Cluster c = Cluster::paper_heterogeneous();
+  const auto plan = partition::pico_plan(g, c, test_network());
+  const std::string text = partition::describe_plan(g, plan);
+  EXPECT_NE(text.find("PICO"), std::string::npos);
+  EXPECT_NE(text.find("pipelined"), std::string::npos);
+  EXPECT_NE(text.find("stage 0"), std::string::npos);
+  EXPECT_NE(text.find("device"), std::string::npos);
+}
+
+TEST(DescribePlan, MarksBranchStages) {
+  nn::Graph g;
+  const int in = g.add_input({4, 8, 8});
+  const int stem = g.add_conv(in, 4, 3, 1, 1);
+  const int a = g.add_conv(stem, 2, 1, 1, 0);
+  const int b = g.add_conv(stem, 2, 3, 1, 1);
+  g.add_concat({a, b});
+  g.finalize();
+  partition::Plan plan;
+  plan.scheme = "X";
+  plan.pipelined = true;
+  const Cluster c = Cluster::homogeneous(3, 1e9);
+  plan.stages.push_back(partition::make_stage(g, c, 1, 1, {0}));
+  partition::Stage branch;
+  branch.first = 2;
+  branch.last = 4;
+  branch.kind = partition::StageKind::Branch;
+  branch.assignments.push_back({1, {}, {0}});
+  branch.assignments.push_back({2, {}, {1}});
+  plan.stages.push_back(branch);
+  const std::string text = partition::describe_plan(g, plan);
+  EXPECT_NE(text.find("branch-parallel"), std::string::npos);
+  EXPECT_NE(text.find("branches {0}"), std::string::npos);
+}
+
+TEST(Engine, RunOnEmptyQueueReturnsNow) {
+  sim::Engine engine;
+  EXPECT_DOUBLE_EQ(engine.run(), 0.0);
+  EXPECT_TRUE(engine.empty());
+  engine.schedule_at(5.0, [] {});
+  engine.run();
+  EXPECT_DOUBLE_EQ(engine.run(), 5.0);  // idempotent once drained
+}
+
+TEST(Engine, RejectsSchedulingIntoThePast) {
+  sim::Engine engine;
+  engine.schedule_at(2.0, [] {});
+  engine.run();
+  EXPECT_THROW(engine.schedule_at(1.0, [] {}), InvariantError);
+  EXPECT_THROW(engine.schedule_in(-1.0, [] {}), InvariantError);
+}
+
+TEST(Worker, CountsServedRequests) {
+  nn::Graph g = models::toy_mnist({.input_size = 32});
+  Rng rng(2);
+  g.randomize_weights(rng);
+  auto [coordinator_end, worker_end] = runtime::make_inproc_pair();
+  runtime::Worker worker(g, std::move(worker_end));
+  worker.start();
+
+  Tensor input(g.input_shape());
+  input.randomize(rng);
+  const Shape out = g.output_shape();
+  for (int i = 0; i < 3; ++i) {
+    runtime::Message request;
+    request.type = runtime::MessageType::WorkRequest;
+    request.first_node = 1;
+    request.last_node = g.size() - 1;
+    request.in_region =
+        Region::full(g.input_shape().height, g.input_shape().width);
+    request.out_region = Region::full(out.height, out.width);
+    request.tensor = input;
+    coordinator_end->send(request);
+    const runtime::Message reply = coordinator_end->recv();
+    EXPECT_EQ(reply.type, runtime::MessageType::WorkResult);
+  }
+  worker.stop();
+  EXPECT_EQ(worker.requests_served(), 3);
+}
+
+TEST(Channel, MultiProducerMultiConsumerStress) {
+  runtime::BoundedQueue<int> queue(16);
+  constexpr int kProducers = 4, kPerProducer = 500;
+  std::atomic<long long> sum{0};
+  std::atomic<int> received{0};
+  std::vector<std::thread> threads;
+  for (int p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&queue, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        queue.push(p * kPerProducer + i);
+      }
+    });
+  }
+  for (int consumer = 0; consumer < 2; ++consumer) {
+    threads.emplace_back([&] {
+      while (auto value = queue.pop()) {
+        sum += *value;
+        ++received;
+      }
+    });
+  }
+  for (int p = 0; p < kProducers; ++p) threads[static_cast<std::size_t>(p)].join();
+  queue.close();
+  threads[4].join();
+  threads[5].join();
+  const long long n = kProducers * kPerProducer;
+  EXPECT_EQ(received.load(), n);
+  EXPECT_EQ(sum.load(), n * (n - 1) / 2);
+}
+
+TEST(Stats, ParameterCountMatchesManualSum) {
+  const nn::Graph g = models::toy_mnist({.input_size = 32});
+  long long manual = 0;
+  for (const auto& node : g.nodes()) {
+    manual += static_cast<long long>(node.weights.size() + node.bias.size() +
+                                     node.bn_scale.size() +
+                                     node.bn_shift.size());
+  }
+  EXPECT_EQ(g.parameter_count(), manual);
+  EXPECT_GT(manual, 0);
+}
+
+}  // namespace
+}  // namespace pico

@@ -1,0 +1,151 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <limits>
+
+#include "common/error.hpp"
+#include "models/zoo.hpp"
+#include "partition/pico_dp.hpp"
+#include "partition/plan_io.hpp"
+#include "partition/schemes.hpp"
+
+namespace pico {
+namespace {
+
+using partition::Plan;
+
+NetworkModel test_network() {
+  NetworkModel net;
+  net.bandwidth = 50e6 / 8.0;
+  net.per_message_overhead = 1e-3;
+  return net;
+}
+
+void expect_plans_equal(const Plan& a, const Plan& b) {
+  EXPECT_EQ(a.scheme, b.scheme);
+  EXPECT_EQ(a.pipelined, b.pipelined);
+  ASSERT_EQ(a.stages.size(), b.stages.size());
+  for (std::size_t s = 0; s < a.stages.size(); ++s) {
+    EXPECT_EQ(a.stages[s].first, b.stages[s].first);
+    EXPECT_EQ(a.stages[s].last, b.stages[s].last);
+    EXPECT_EQ(a.stages[s].kind, b.stages[s].kind);
+    ASSERT_EQ(a.stages[s].assignments.size(),
+              b.stages[s].assignments.size());
+    for (std::size_t d = 0; d < a.stages[s].assignments.size(); ++d) {
+      EXPECT_EQ(a.stages[s].assignments[d].device,
+                b.stages[s].assignments[d].device);
+      EXPECT_EQ(a.stages[s].assignments[d].out_region,
+                b.stages[s].assignments[d].out_region);
+      EXPECT_EQ(a.stages[s].assignments[d].branches,
+                b.stages[s].assignments[d].branches);
+    }
+  }
+}
+
+TEST(PlanIo, RoundTripEverySchemeAndValidateAgainstGraph) {
+  const nn::Graph g = models::vgg16({.input_size = 64});
+  const Cluster c = Cluster::paper_heterogeneous();
+  const NetworkModel net = test_network();
+  for (const Plan& plan :
+       {partition::lw_plan(g, c), partition::efl_plan(g, c),
+        partition::ofl_plan(g, c, net), partition::pico_plan(g, c, net)}) {
+    const Plan restored = partition::parse_plan(
+        partition::serialize_plan(plan));
+    expect_plans_equal(plan, restored);
+    partition::validate_plan(g, c, restored);
+  }
+}
+
+TEST(PlanIo, RoundTripBranchStages) {
+  // Deep-branch regime so the planner emits a branch stage (see
+  // branches_test).
+  nn::Graph g;
+  int x = g.add_input({64, 7, 7});
+  for (int block = 0; block < 2; ++block) {
+    std::vector<int> outs;
+    for (int b = 0; b < 4; ++b) {
+      int y = x;
+      for (int d = 0; d < 3; ++d) y = g.add_conv(y, 16, 3, 1, 1);
+      outs.push_back(y);
+    }
+    x = g.add_concat(outs);
+  }
+  g.finalize();
+  const Cluster c = Cluster::paper_homogeneous(8, 1.2);
+  NetworkModel net;
+  net.bandwidth = 1000e6 / 8.0;
+  net.per_message_overhead = 1e-4;
+  const Plan plan =
+      partition::pico_plan(g, c, net, {.enable_branch_parallel = true});
+  int branch_stages = 0;
+  for (const auto& stage : plan.stages) {
+    branch_stages += stage.kind == partition::StageKind::Branch;
+  }
+  ASSERT_GT(branch_stages, 0);
+
+  const Plan restored =
+      partition::parse_plan(partition::serialize_plan(plan));
+  expect_plans_equal(plan, restored);
+  partition::validate_plan(g, c, restored);
+}
+
+TEST(PlanIo, RoundTripGridPlans) {
+  const nn::Graph g = models::vgg16({.input_size = 64});
+  const Cluster c = Cluster::paper_homogeneous(8, 1.0);
+  const partition::SchemeOptions grid{
+      .latency_limit = std::numeric_limits<double>::infinity(),
+      .efl_fused_units = 0,
+      .partition_mode = partition::PartitionMode::Grid,
+      .enable_branch_parallel = false};
+  const Plan plan = partition::efl_plan(g, c, grid);
+  const Plan restored =
+      partition::parse_plan(partition::serialize_plan(plan));
+  expect_plans_equal(plan, restored);
+  partition::validate_plan(g, c, restored);
+}
+
+TEST(PlanIo, FileRoundTrip) {
+  const nn::Graph g = models::toy_mnist({.input_size = 32});
+  const Cluster c = Cluster::paper_heterogeneous();
+  const Plan plan = partition::pico_plan(g, c, test_network());
+  const std::string path = ::testing::TempDir() + "/pico_plan_test.plan";
+  partition::save_plan(plan, path);
+  const Plan restored = partition::load_plan(path);
+  expect_plans_equal(plan, restored);
+  std::remove(path.c_str());
+}
+
+TEST(PlanIo, ParseErrorsCarryLineNumbers) {
+  const auto expect_error = [](const std::string& text, const char* needle) {
+    try {
+      partition::parse_plan(text);
+      FAIL() << "expected parse failure";
+    } catch (const Error& error) {
+      EXPECT_NE(std::string(error.what()).find(needle), std::string::npos)
+          << error.what();
+    }
+  };
+  expect_error("nonsense\n", "expected header");
+  expect_error("pico-plan v1\nscheme X\npipelined 2\n", "pipelined must be");
+  expect_error("pico-plan v1\nscheme X\npipelined 1\nwarp 1\n",
+               "unknown keyword");
+  expect_error("pico-plan v1\nscheme X\npipelined 1\ndevice 0 region 0 1 0 1\n",
+               "device before any stage");
+  expect_error(
+      "pico-plan v1\nscheme X\npipelined 1\nstage 1 2 spatial\n"
+      "device 0 branches 0\nend\n",
+      "branch slice in a spatial stage");
+  expect_error("pico-plan v1\nscheme X\npipelined 1\nstage 1 2 spatial\n",
+               "missing 'end'");
+  expect_error("pico-plan v1\npipelined 1\nstage 1 2 spatial\nend\n",
+               "missing scheme");
+  expect_error("pico-plan v1\nscheme X\npipelined 1\nstage 1 2 warp\nend\n",
+               "unknown stage kind");
+}
+
+TEST(PlanIo, LoadMissingFileThrows) {
+  EXPECT_THROW(partition::load_plan("/nonexistent/plan.txt"), Error);
+}
+
+}  // namespace
+}  // namespace pico

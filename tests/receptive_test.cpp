@@ -1,0 +1,137 @@
+#include <gtest/gtest.h>
+
+#include "models/zoo.hpp"
+#include "nn/receptive.hpp"
+
+namespace pico {
+namespace {
+
+using nn::Graph;
+
+TEST(Receptive, Conv3x3Pad1NeedsOneRowHalo) {
+  Graph g;
+  int x = g.add_input({1, 16, 16});
+  x = g.add_conv(x, 1, 3, 1, 1);
+  g.finalize();
+  // Middle strip [4, 8): needs rows [3, 9) of the input.
+  EXPECT_EQ(nn::input_region(g, 1, Region::rows(4, 8, 16)),
+            (Region{3, 9, 0, 16}));
+  // Border strips clamp to the map (padding needs no real input).
+  EXPECT_EQ(nn::input_region(g, 1, Region::rows(0, 4, 16)),
+            (Region{0, 5, 0, 16}));
+  EXPECT_EQ(nn::input_region(g, 1, Region::rows(12, 16, 16)),
+            (Region{11, 16, 0, 16}));
+}
+
+TEST(Receptive, UnpaddedConvMatchesEq3) {
+  // Eq. 3: h_i = (h_{i+1} - 1)·s + k for unpadded full maps.
+  Graph g;
+  int x = g.add_input({1, 31, 31});
+  x = g.add_conv(x, 1, 5, 2, 0);
+  g.finalize();
+  const Shape out = g.output_shape();
+  EXPECT_EQ(out.height, 14);
+  const Region need = nn::input_region(
+      g, 1, Region::full(out.height, out.width));
+  EXPECT_EQ(need.height(), (out.height - 1) * 2 + 5);  // Eq. 3
+}
+
+TEST(Receptive, PoolStride2SplitsCleanly) {
+  Graph g;
+  int x = g.add_input({1, 16, 16});
+  x = g.add_maxpool(x, 2, 2);
+  g.finalize();
+  // Output rows [2, 4) need input rows [4, 8): no overlap across strips.
+  EXPECT_EQ(nn::input_region(g, 1, Region::rows(2, 4, 8)),
+            (Region{4, 8, 0, 16}));
+}
+
+TEST(Receptive, NonSquareKernelAsymmetricHalo) {
+  Graph g;
+  int x = g.add_input({1, 17, 17});
+  x = g.add_conv_window(x, 1, nn::Window{7, 1, 1, 1, 3, 0});  // 7x1 kernel
+  g.finalize();
+  const Region need = nn::input_region(g, 1, Region{8, 9, 8, 9});
+  EXPECT_EQ(need, (Region{5, 12, 8, 9}));  // 3-row halo up/down, none sideways
+}
+
+TEST(Receptive, ElementwisePassthrough) {
+  Graph g;
+  int x = g.add_input({2, 8, 8});
+  const int relu = g.add_relu(x);
+  const int bn = g.add_batchnorm(relu);
+  g.finalize();
+  const Region r{1, 3, 2, 5};
+  EXPECT_EQ(nn::input_region(g, relu, r), r);
+  EXPECT_EQ(nn::input_region(g, bn, r), r);
+}
+
+TEST(Receptive, SegmentDemandGrowsThroughFusedConvs) {
+  // Three fused 3x3 convs: halo grows by one row per layer.
+  Graph g;
+  int x = g.add_input({1, 32, 32});
+  x = g.add_conv(x, 1, 3, 1, 1);
+  x = g.add_conv(x, 1, 3, 1, 1);
+  x = g.add_conv(x, 1, 3, 1, 1);
+  g.finalize();
+  const Region out = Region::rows(10, 20, 32);
+  EXPECT_EQ(nn::segment_input_region(g, 1, 3, out), (Region{7, 23, 0, 32}));
+  const auto demand = nn::segment_demand(g, 1, 3, out);
+  EXPECT_EQ(demand[2], out);
+  EXPECT_EQ(demand[1], (Region{9, 21, 0, 32}));
+  EXPECT_EQ(demand[0], (Region{8, 22, 0, 32}));
+}
+
+TEST(Receptive, ResidualBlockUnionsBothPaths) {
+  // conv(3x3) -> add with identity shortcut: the add needs the region from
+  // both the conv path (haloed) and the shortcut (exact), so the external
+  // demand is the union = the haloed one.
+  Graph g;
+  int x = g.add_input({4, 16, 16});
+  const int conv = g.add_conv(x, 4, 3, 1, 1, false);
+  const int add = g.add_add(conv, x, true);
+  g.finalize();
+  const Region out = Region::rows(6, 10, 16);
+  EXPECT_EQ(nn::segment_input_region(g, conv, add, out),
+            (Region{5, 11, 0, 16}));
+}
+
+TEST(Receptive, SegmentInputRegionOnGraphModels) {
+  const nn::Graph g = models::resnet34({.input_size = 64});
+  // A residual block as a whole: demand must cover its internal halo.
+  // Nodes 3..8 are the first basic block (conv,bn,conv,bn,add after stem).
+  const Shape out = g.node(8).out_shape;
+  const Region need = nn::segment_input_region(
+      g, 3, 8, Region::rows(0, out.height / 2, out.width));
+  EXPECT_GE(need.height(), out.height / 2);
+  EXPECT_LE(need.row_begin, 0);
+}
+
+TEST(Receptive, ValidSegments) {
+  Graph g;
+  int x = g.add_input({4, 16, 16});
+  const int c1 = g.add_conv(x, 4, 3, 1, 1, false);
+  const int add = g.add_add(c1, x, true);
+  const int c2 = g.add_conv(add, 8, 3, 1, 1);
+  g.finalize();
+  EXPECT_TRUE(nn::is_valid_segment(g, c1, add));   // whole block
+  EXPECT_TRUE(nn::is_valid_segment(g, c1, c2));    // block + conv
+  EXPECT_FALSE(nn::is_valid_segment(g, add, c2));  // needs x AND c1: invalid
+  // [c1, c1] is a well-formed segment in isolation (its only external input
+  // is the graph input), even though no stage can legally *follow* it —
+  // which is exactly what the previous expectation shows.
+  EXPECT_TRUE(nn::is_valid_segment(g, c1, c1));
+  EXPECT_TRUE(nn::is_valid_segment(g, c2, c2));
+  EXPECT_FALSE(nn::is_valid_segment(g, 0, c1));    // includes input node
+}
+
+TEST(Receptive, FcSegmentsInvalid) {
+  Graph g;
+  int x = g.add_input({2, 4, 4});
+  const int fc = g.add_fc(x, 7);
+  g.finalize();
+  EXPECT_FALSE(nn::is_valid_segment(g, fc, fc));
+}
+
+}  // namespace
+}  // namespace pico

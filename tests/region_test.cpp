@@ -1,0 +1,95 @@
+#include <gtest/gtest.h>
+
+#include "tensor/region.hpp"
+
+namespace pico {
+namespace {
+
+TEST(Region, Basics) {
+  const Region r{2, 5, 1, 4};
+  EXPECT_EQ(r.height(), 3);
+  EXPECT_EQ(r.width(), 3);
+  EXPECT_EQ(r.area(), 9);
+  EXPECT_FALSE(r.empty());
+  EXPECT_TRUE((Region{2, 2, 0, 4}).empty());
+  EXPECT_TRUE((Region{3, 2, 0, 4}).empty());
+}
+
+TEST(Region, FullAndRows) {
+  EXPECT_EQ(Region::full(4, 6), (Region{0, 4, 0, 6}));
+  EXPECT_EQ(Region::rows(1, 3, 6), (Region{1, 3, 0, 6}));
+}
+
+TEST(Region, Contains) {
+  const Region outer{0, 10, 0, 10};
+  EXPECT_TRUE(outer.contains({2, 5, 3, 7}));
+  EXPECT_TRUE(outer.contains(outer));
+  EXPECT_FALSE(outer.contains({2, 11, 3, 7}));
+  // Empty regions are contained everywhere.
+  EXPECT_TRUE(outer.contains({5, 5, 5, 5}));
+  EXPECT_TRUE(outer.contains_point(0, 0));
+  EXPECT_FALSE(outer.contains_point(10, 0));
+}
+
+TEST(Region, Intersect) {
+  const Region a{0, 5, 0, 5};
+  const Region b{3, 8, 2, 4};
+  EXPECT_EQ(a.intersect(b), (Region{3, 5, 2, 4}));
+  EXPECT_TRUE(a.intersect({6, 8, 0, 5}).empty());
+}
+
+TEST(Region, UnionBounds) {
+  const Region a{0, 2, 0, 2};
+  const Region b{4, 6, 3, 5};
+  EXPECT_EQ(a.union_bounds(b), (Region{0, 6, 0, 5}));
+  // Union with empty returns the other operand.
+  const Region empty{};
+  EXPECT_EQ(empty.union_bounds(b), b);
+  EXPECT_EQ(b.union_bounds(empty), b);
+}
+
+TEST(Region, ClampAndShift) {
+  const Region r{-2, 12, -1, 5};
+  EXPECT_EQ(r.clamp(10, 4), (Region{0, 10, 0, 4}));
+  EXPECT_EQ(r.shifted(2, 1), (Region{0, 14, 0, 6}));
+}
+
+TEST(TilesExactly, AcceptsPerfectTiling) {
+  const Region whole = Region::full(10, 4);
+  EXPECT_TRUE(tiles_exactly(whole, {Region::rows(0, 3, 4),
+                                    Region::rows(3, 7, 4),
+                                    Region::rows(7, 10, 4)}));
+}
+
+TEST(TilesExactly, SkipsEmptyPieces) {
+  const Region whole = Region::full(4, 4);
+  EXPECT_TRUE(tiles_exactly(whole, {Region::rows(0, 4, 4),
+                                    Region{2, 2, 0, 4}}));
+}
+
+TEST(TilesExactly, RejectsGap) {
+  const Region whole = Region::full(10, 4);
+  EXPECT_FALSE(tiles_exactly(whole, {Region::rows(0, 3, 4),
+                                     Region::rows(4, 10, 4)}));
+}
+
+TEST(TilesExactly, RejectsOverlap) {
+  const Region whole = Region::full(10, 4);
+  EXPECT_FALSE(tiles_exactly(whole, {Region::rows(0, 5, 4),
+                                     Region::rows(4, 10, 4)}));
+}
+
+TEST(TilesExactly, RejectsOutOfBounds) {
+  const Region whole = Region::full(10, 4);
+  EXPECT_FALSE(tiles_exactly(whole, {Region::rows(0, 11, 4)}));
+}
+
+TEST(TilesExactly, Rejects2DOverlapWithMatchingArea) {
+  // Two overlapping tiles whose total area equals the whole: must still be
+  // rejected (area bookkeeping alone is not enough).
+  const Region whole = Region::full(4, 4);
+  EXPECT_FALSE(tiles_exactly(whole, {Region{0, 2, 0, 4}, Region{0, 4, 0, 2}}));
+}
+
+}  // namespace
+}  // namespace pico

@@ -1,0 +1,395 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "models/zoo.hpp"
+#include "partition/pico_dp.hpp"
+#include "partition/plan_cost.hpp"
+#include "partition/schemes.hpp"
+#include "sim/arrivals.hpp"
+#include "sim/engine.hpp"
+#include "sim/pipeline_sim.hpp"
+#include "sim/queueing.hpp"
+#include "sim/trace.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace pico {
+namespace {
+
+NetworkModel test_network() {
+  NetworkModel net;
+  net.bandwidth = 50e6 / 8.0;
+  net.per_message_overhead = 1e-3;
+  return net;
+}
+
+TEST(Engine, FiresInTimeOrder) {
+  sim::Engine engine;
+  std::vector<int> order;
+  engine.schedule_at(2.0, [&] { order.push_back(2); });
+  engine.schedule_at(1.0, [&] { order.push_back(1); });
+  engine.schedule_at(3.0, [&] { order.push_back(3); });
+  engine.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(engine.now(), 3.0);
+}
+
+TEST(Engine, EqualTimesFifo) {
+  sim::Engine engine;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    engine.schedule_at(1.0, [&order, i] { order.push_back(i); });
+  }
+  engine.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Engine, CallbacksCanSchedule) {
+  sim::Engine engine;
+  int fired = 0;
+  std::function<void()> tick = [&] {
+    if (++fired < 5) engine.schedule_in(1.0, tick);
+  };
+  engine.schedule_at(0.0, tick);
+  engine.run();
+  EXPECT_EQ(fired, 5);
+  EXPECT_DOUBLE_EQ(engine.now(), 4.0);
+}
+
+TEST(Engine, RunUntilStopsEarly) {
+  sim::Engine engine;
+  int fired = 0;
+  engine.schedule_at(1.0, [&] { ++fired; });
+  engine.schedule_at(5.0, [&] { ++fired; });
+  engine.run(2.0);
+  EXPECT_EQ(fired, 1);
+  engine.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Arrivals, PoissonMeanRate) {
+  Rng rng(3);
+  const auto arrivals = sim::poisson_arrivals(rng, 5.0, 2000.0);
+  EXPECT_NEAR(static_cast<double>(arrivals.size()) / 2000.0, 5.0, 0.2);
+  for (std::size_t i = 1; i < arrivals.size(); ++i) {
+    EXPECT_GT(arrivals[i], arrivals[i - 1]);
+  }
+}
+
+TEST(Arrivals, BurstyRateBetweenPhases) {
+  Rng rng(9);
+  const double base = 1.0, burst = 20.0;
+  const auto arrivals =
+      sim::bursty_arrivals(rng, base, burst, 50.0, 50.0, 20000.0);
+  const double rate = static_cast<double>(arrivals.size()) / 20000.0;
+  // Long-run rate ~ average of the two phases (equal dwell means).
+  EXPECT_GT(rate, base);
+  EXPECT_LT(rate, burst);
+  EXPECT_NEAR(rate, (base + burst) / 2.0, 2.0);
+  for (std::size_t i = 1; i < arrivals.size(); ++i) {
+    EXPECT_GT(arrivals[i], arrivals[i - 1]);
+  }
+}
+
+TEST(Arrivals, BurstyIsBurstierThanPoisson) {
+  // Coefficient of variation of inter-arrival times: MMPP > Poisson (=1).
+  Rng rng(11);
+  const auto arrivals =
+      sim::bursty_arrivals(rng, 0.5, 25.0, 100.0, 30.0, 30000.0);
+  RunningStats gaps;
+  for (std::size_t i = 1; i < arrivals.size(); ++i) {
+    gaps.add(arrivals[i] - arrivals[i - 1]);
+  }
+  EXPECT_GT(gaps.stddev() / gaps.mean(), 1.3);
+}
+
+TEST(Arrivals, BurstyZeroBaseRateAllowed) {
+  Rng rng(13);
+  const auto arrivals =
+      sim::bursty_arrivals(rng, 0.0, 10.0, 50.0, 50.0, 5000.0);
+  EXPECT_FALSE(arrivals.empty());
+}
+
+TEST(Arrivals, BackToBackAllZero) {
+  const auto arrivals = sim::back_to_back_arrivals(10);
+  EXPECT_EQ(arrivals.size(), 10u);
+  for (Seconds t : arrivals) EXPECT_DOUBLE_EQ(t, 0.0);
+}
+
+TEST(Queueing, StabilityBoundary) {
+  EXPECT_TRUE(sim::md1_stable(1.0, 0.5));
+  EXPECT_FALSE(sim::md1_stable(1.0, 1.0));
+  EXPECT_TRUE(std::isinf(sim::md1_waiting_time(1.0, 1.1)));
+}
+
+TEST(Queueing, Theorem2Decomposition) {
+  // p(2 - pλ)/(2(1 - pλ)) == p + Wq for the M/D/1 queue.
+  const Seconds p = 0.4;
+  const double lambda = 1.2;
+  const Seconds t = 1.0;
+  EXPECT_NEAR(sim::theorem2_latency(p, t, lambda),
+              p + sim::md1_waiting_time(p, lambda) + t, 1e-12);
+}
+
+TEST(Queueing, LatencyGrowsWithLoad) {
+  Seconds previous = 0.0;
+  for (double lambda = 0.1; lambda < 0.95; lambda += 0.1) {
+    const Seconds latency = sim::theorem2_latency(1.0, 2.0, lambda);
+    EXPECT_GT(latency, previous);
+    previous = latency;
+  }
+}
+
+class SimFixture : public ::testing::Test {
+ protected:
+  SimFixture()
+      : graph_(models::vgg16({.input_size = 64})),
+        cluster_(Cluster::paper_heterogeneous()),
+        network_(test_network()) {}
+
+  nn::Graph graph_;
+  Cluster cluster_;
+  NetworkModel network_;
+};
+
+TEST_F(SimFixture, SaturatedThroughputMatchesPeriod) {
+  const auto plan = partition::pico_plan(graph_, cluster_, network_);
+  const auto cost = partition::plan_cost(graph_, cluster_, network_, plan);
+  const auto arrivals = sim::back_to_back_arrivals(200);
+  const auto result =
+      sim::simulate_plan(graph_, cluster_, network_, plan, arrivals);
+  ASSERT_EQ(result.tasks.size(), 200u);
+  // Steady-state throughput -> 1 / period (pipeline fill is amortized).
+  EXPECT_NEAR(result.throughput() * cost.period, 1.0, 0.05);
+}
+
+TEST_F(SimFixture, SequentialThroughputMatchesLatency) {
+  const auto plan = partition::ofl_plan(graph_, cluster_, network_);
+  const auto cost = partition::plan_cost(graph_, cluster_, network_, plan);
+  const auto arrivals = sim::back_to_back_arrivals(50);
+  const auto result =
+      sim::simulate_plan(graph_, cluster_, network_, plan, arrivals);
+  EXPECT_NEAR(result.throughput() * cost.latency, 1.0, 0.05);
+}
+
+TEST_F(SimFixture, LightLoadLatencyEqualsPipelineLatency) {
+  const auto plan = partition::pico_plan(graph_, cluster_, network_);
+  const auto cost = partition::plan_cost(graph_, cluster_, network_, plan);
+  // Arrivals far apart: no queueing, latency == pipeline traversal.
+  std::vector<Seconds> arrivals;
+  for (int i = 0; i < 10; ++i) arrivals.push_back(i * cost.latency * 10.0);
+  const auto result =
+      sim::simulate_plan(graph_, cluster_, network_, plan, arrivals);
+  for (const auto& task : result.tasks) {
+    EXPECT_NEAR(task.latency(), cost.latency, cost.latency * 1e-9);
+    EXPECT_DOUBLE_EQ(task.waiting(), 0.0);
+  }
+}
+
+TEST_F(SimFixture, PoissonLatencyTracksQueueingPrediction) {
+  const auto plan = partition::pico_plan(graph_, cluster_, network_);
+  const auto cost = partition::plan_cost(graph_, cluster_, network_, plan);
+  const double lambda = 0.5 / cost.period;  // 50% load
+  Rng rng(17);
+  const auto arrivals = sim::poisson_arrivals(rng, lambda, 4000.0 * cost.period);
+  const auto result =
+      sim::simulate_plan(graph_, cluster_, network_, plan, arrivals);
+  // Exact prediction Wq + t tracks the tandem-queue simulation closely; the
+  // paper's Theorem-2 expression adds one extra bottleneck service, so it
+  // upper-bounds the measurement.
+  const Seconds exact =
+      sim::md1_sojourn_latency(cost.period, cost.latency, lambda);
+  const Seconds theorem2 =
+      sim::theorem2_latency(cost.period, cost.latency, lambda);
+  EXPECT_NEAR(result.mean_latency() / exact, 1.0, 0.15);
+  EXPECT_LT(result.mean_latency(), theorem2 * 1.05);
+}
+
+TEST_F(SimFixture, UtilizationBoundedAndBottleneckBusy) {
+  const auto plan = partition::pico_plan(graph_, cluster_, network_);
+  const auto arrivals = sim::back_to_back_arrivals(200);
+  const auto result =
+      sim::simulate_plan(graph_, cluster_, network_, plan, arrivals);
+  double best = 0.0;
+  for (const auto& usage : result.devices) {
+    const double u = result.utilization(usage.device);
+    EXPECT_GE(u, 0.0);
+    EXPECT_LE(u, 1.0 + 1e-9);
+    best = std::max(best, u);
+  }
+  EXPECT_GT(best, 0.5);  // the bottleneck stage keeps its devices busy
+}
+
+TEST_F(SimFixture, UnstableLoadQueueGrows) {
+  const auto plan = partition::ofl_plan(graph_, cluster_, network_);
+  const auto cost = partition::plan_cost(graph_, cluster_, network_, plan);
+  const double lambda = 1.5 / cost.period;  // 150% load
+  Rng rng(23);
+  const auto arrivals =
+      sim::poisson_arrivals(rng, lambda, 200.0 * cost.period);
+  const auto result =
+      sim::simulate_plan(graph_, cluster_, network_, plan, arrivals);
+  // Mean latency far above the no-queue latency.
+  EXPECT_GT(result.mean_latency(), 5.0 * cost.latency);
+  // Later tasks wait longer (queue keeps growing).
+  EXPECT_GT(result.tasks.back().waiting(), result.tasks.front().waiting());
+}
+
+TEST_F(SimFixture, PlanSwitchDrainsThenApplies) {
+  const auto pico = partition::pico_plan(graph_, cluster_, network_);
+  const auto ofl = partition::ofl_plan(graph_, cluster_, network_);
+  sim::ClusterSimulator simulator(graph_, cluster_, network_);
+  simulator.set_plan(ofl);
+  std::vector<Seconds> arrivals;
+  for (int i = 0; i < 40; ++i) arrivals.push_back(0.01 * i);
+  simulator.add_arrivals(arrivals);
+  bool switched = false;
+  simulator.set_controller(
+      1.0, [&](sim::ClusterSimulator& s, Seconds, int) {
+        if (!switched) {
+          s.set_plan(pico);
+          switched = true;
+        }
+      });
+  const auto result = simulator.run();
+  EXPECT_EQ(result.plan_switches, 1);
+  ASSERT_EQ(result.tasks.size(), 40u);
+  bool saw_ofl = false, saw_pico = false;
+  for (const auto& task : result.tasks) {
+    saw_ofl |= task.scheme == "OFL";
+    saw_pico |= task.scheme == "PICO";
+  }
+  EXPECT_TRUE(saw_ofl);
+  EXPECT_TRUE(saw_pico);
+}
+
+TEST_F(SimFixture, SharedLinkNeverBeatsIndependentLinks) {
+  const auto plan = partition::pico_plan(graph_, cluster_, network_);
+  const auto arrivals = sim::back_to_back_arrivals(80);
+  const auto independent =
+      sim::simulate_plan(graph_, cluster_, network_, plan, arrivals,
+                         sim::CommModel::Overlapped);
+  const auto contended =
+      sim::simulate_plan(graph_, cluster_, network_, plan, arrivals,
+                         sim::CommModel::SharedLink);
+  EXPECT_LE(contended.throughput(), independent.throughput() * (1.0 + 1e-9));
+
+  // The AP itself bounds throughput: at most one task can cross the link
+  // per sum-of-stage-comm seconds.
+  Seconds total_comm = 0.0;
+  const auto cost = partition::plan_cost(graph_, cluster_, network_, plan);
+  for (const auto& stage : cost.stages) total_comm += stage.comm;
+  EXPECT_LE(contended.throughput(), 1.0 / total_comm * (1.0 + 0.05));
+}
+
+TEST_F(SimFixture, SharedLinkMatchesOverlappedForSingleStage) {
+  // With one pipelined stage there is nothing to contend with: shared-link
+  // throughput equals the overlapped model's.
+  std::vector<DeviceId> ids;
+  for (int i = 0; i < cluster_.size(); ++i) ids.push_back(i);
+  partition::Plan single;
+  single.scheme = "single";
+  single.pipelined = true;
+  single.stages.push_back(
+      partition::make_stage(graph_, cluster_, 1, graph_.size() - 1, ids));
+  const auto arrivals = sim::back_to_back_arrivals(40);
+  const auto a = sim::simulate_plan(graph_, cluster_, network_, single,
+                                    arrivals, sim::CommModel::Overlapped);
+  const auto b = sim::simulate_plan(graph_, cluster_, network_, single,
+                                    arrivals, sim::CommModel::SharedLink);
+  EXPECT_NEAR(a.throughput(), b.throughput(), a.throughput() * 1e-9);
+}
+
+TEST_F(SimFixture, ReclusterSlowsServiceAfterDrain) {
+  const auto plan = partition::pico_plan(graph_, cluster_, network_);
+  // Degrade every device 4x halfway through a saturated run.
+  std::vector<Device> devices = cluster_.devices();
+  for (auto& d : devices) d.capacity *= 0.25;
+  const Cluster degraded(devices);
+
+  sim::ClusterSimulator simulator(graph_, cluster_, network_);
+  simulator.set_plan(plan);
+  simulator.add_arrivals(sim::back_to_back_arrivals(40));
+  const auto healthy_cost =
+      partition::plan_cost(graph_, cluster_, network_, plan);
+  bool reacted = false;
+  simulator.set_controller(
+      10.0 * healthy_cost.period,
+      [&](sim::ClusterSimulator& s, Seconds, int) {
+        if (reacted) return;
+        reacted = true;
+        s.recluster(degraded, network_, plan);
+      });
+  const auto result = simulator.run();
+  ASSERT_TRUE(reacted);
+  ASSERT_EQ(result.tasks.size(), 40u);
+  EXPECT_EQ(result.plan_switches, 1);
+  // Early tasks complete at the healthy cadence; late tasks are much
+  // slower than early ones (capacity fell 4x -> compute stretches 4x).
+  const Seconds early_gap =
+      result.tasks[8].completion - result.tasks[7].completion;
+  const Seconds late_gap =
+      result.tasks[39].completion - result.tasks[38].completion;
+  EXPECT_GT(late_gap, early_gap * 2.0);
+}
+
+TEST_F(SimFixture, TasksCompleteInOrderWithinScheme) {
+  const auto plan = partition::pico_plan(graph_, cluster_, network_);
+  Rng rng(5);
+  const auto arrivals = sim::poisson_arrivals(rng, 0.1, 100.0);
+  const auto result =
+      sim::simulate_plan(graph_, cluster_, network_, plan, arrivals);
+  for (std::size_t i = 1; i < result.tasks.size(); ++i) {
+    EXPECT_LE(result.tasks[i - 1].completion, result.tasks[i].completion);
+  }
+}
+
+TEST_F(SimFixture, TraceCsvRoundTrip) {
+  const auto plan = partition::pico_plan(graph_, cluster_, network_);
+  Rng rng(3);
+  const auto arrivals = sim::poisson_arrivals(rng, 0.2, 50.0);
+  const auto result =
+      sim::simulate_plan(graph_, cluster_, network_, plan, arrivals);
+
+  std::ostringstream tasks;
+  sim::write_task_csv(tasks, result);
+  const std::string task_csv = tasks.str();
+  // Header + one line per task.
+  EXPECT_EQ(static_cast<std::size_t>(
+                std::count(task_csv.begin(), task_csv.end(), '\n')),
+            result.tasks.size() + 1);
+  EXPECT_NE(task_csv.find("id,arrival,start,completion"), std::string::npos);
+  EXPECT_NE(task_csv.find("PICO"), std::string::npos);
+
+  std::ostringstream devices;
+  sim::write_device_csv(devices, result);
+  const std::string device_csv = devices.str();
+  EXPECT_EQ(static_cast<std::size_t>(
+                std::count(device_csv.begin(), device_csv.end(), '\n')),
+            result.devices.size() + 1);
+
+  const std::string path = ::testing::TempDir() + "/pico_trace_test.csv";
+  sim::write_task_csv_file(path, result);
+  std::ifstream file(path);
+  ASSERT_TRUE(file.good());
+  std::string header;
+  std::getline(file, header);
+  EXPECT_EQ(header, "id,arrival,start,completion,waiting,latency,scheme");
+  std::remove(path.c_str());
+}
+
+TEST(TraceCsv, RejectsUnwritablePath) {
+  sim::SimResult empty;
+  EXPECT_THROW(sim::write_task_csv_file("/nonexistent/dir/trace.csv", empty),
+               Error);
+}
+
+}  // namespace
+}  // namespace pico

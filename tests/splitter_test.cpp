@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "partition/splitter.hpp"
+
+namespace pico {
+namespace {
+
+using partition::split_grid;
+using partition::split_rows_equal;
+using partition::split_rows_proportional;
+
+void expect_tiling(int height, int width, const std::vector<Region>& strips) {
+  EXPECT_TRUE(tiles_exactly(Region::full(height, width), strips));
+}
+
+TEST(Splitter, EqualSplitBalanced) {
+  const auto strips = split_rows_equal(10, 4, 3);
+  ASSERT_EQ(strips.size(), 3u);
+  expect_tiling(10, 4, strips);
+  for (const Region& r : strips) {
+    EXPECT_GE(r.height(), 3);
+    EXPECT_LE(r.height(), 4);
+    EXPECT_EQ(r.width(), 4);
+  }
+}
+
+TEST(Splitter, EqualSplitMorePartsThanRows) {
+  const auto strips = split_rows_equal(2, 5, 4);
+  ASSERT_EQ(strips.size(), 4u);
+  expect_tiling(2, 5, strips);
+  int empty = 0;
+  for (const Region& r : strips) empty += r.empty();
+  EXPECT_EQ(empty, 2);
+}
+
+TEST(Splitter, SinglePart) {
+  const auto strips = split_rows_equal(7, 3, 1);
+  ASSERT_EQ(strips.size(), 1u);
+  EXPECT_EQ(strips[0], Region::full(7, 3));
+}
+
+TEST(Splitter, ProportionalTracksWeights) {
+  const std::vector<double> weights{3.0, 1.0};
+  const auto strips = split_rows_proportional(100, 8, weights);
+  expect_tiling(100, 8, strips);
+  EXPECT_EQ(strips[0].height(), 75);
+  EXPECT_EQ(strips[1].height(), 25);
+}
+
+TEST(Splitter, ZeroWeightGetsEmptyStrip) {
+  const std::vector<double> weights{1.0, 0.0, 1.0};
+  const auto strips = split_rows_proportional(10, 2, weights);
+  expect_tiling(10, 2, strips);
+  EXPECT_TRUE(strips[1].empty());
+  EXPECT_EQ(strips[0].height(), 5);
+  EXPECT_EQ(strips[2].height(), 5);
+}
+
+// Property sweep: random weights always produce an exact, ordered tiling.
+class ProportionalSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(ProportionalSweep, AlwaysTilesExactly) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  for (int trial = 0; trial < 50; ++trial) {
+    const int height = rng.uniform_int(1, 300);
+    const int parts = rng.uniform_int(1, 12);
+    std::vector<double> weights(static_cast<std::size_t>(parts));
+    for (auto& w : weights) w = rng.uniform(0.1, 10.0);
+    const auto strips = split_rows_proportional(height, 3, weights);
+    ASSERT_EQ(static_cast<int>(strips.size()), parts);
+    expect_tiling(height, 3, strips);
+    // Strips appear in order.
+    int cursor = 0;
+    for (const Region& r : strips) {
+      if (r.empty()) continue;
+      EXPECT_EQ(r.row_begin, cursor);
+      cursor = r.row_end;
+    }
+    EXPECT_EQ(cursor, height);
+  }
+}
+
+TEST_P(ProportionalSweep, ErrorBoundedVsIdeal) {
+  // Divide & conquer rounding error per strip is O(log parts) rows.
+  Rng rng(static_cast<std::uint64_t>(GetParam()) + 999);
+  for (int trial = 0; trial < 20; ++trial) {
+    const int height = rng.uniform_int(64, 512);
+    const int parts = rng.uniform_int(2, 8);
+    std::vector<double> weights(static_cast<std::size_t>(parts));
+    double total = 0.0;
+    for (auto& w : weights) {
+      w = rng.uniform(0.5, 4.0);
+      total += w;
+    }
+    const auto strips = split_rows_proportional(height, 1, weights);
+    for (int k = 0; k < parts; ++k) {
+      const double ideal =
+          height * weights[static_cast<std::size_t>(k)] / total;
+      EXPECT_NEAR(strips[static_cast<std::size_t>(k)].height(), ideal,
+                  4.0 + 1e-9);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ProportionalSweep,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(Splitter, GridTilesExactly) {
+  const auto tiles = split_grid(10, 9, 3, 2);
+  ASSERT_EQ(tiles.size(), 6u);
+  expect_tiling(10, 9, tiles);
+}
+
+TEST(Splitter, GridSingleCell) {
+  const auto tiles = split_grid(5, 5, 1, 1);
+  ASSERT_EQ(tiles.size(), 1u);
+  EXPECT_EQ(tiles[0], Region::full(5, 5));
+}
+
+}  // namespace
+}  // namespace pico

@@ -1,0 +1,102 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "models/zoo.hpp"
+#include "nn/executor.hpp"
+#include "nn/weights_io.hpp"
+
+namespace pico {
+namespace {
+
+TEST(WeightsIo, BufferRoundTripPreservesEveryParameter) {
+  nn::Graph original = models::resnet34({.input_size = 64});
+  Rng rng(12);
+  original.randomize_weights(rng);
+
+  const auto blob = nn::serialize_weights(original);
+  nn::Graph restored = models::resnet34({.input_size = 64});
+  nn::deserialize_weights(restored, blob.data(), blob.size());
+
+  for (int id = 0; id < original.size(); ++id) {
+    ASSERT_EQ(original.node(id).weights, restored.node(id).weights) << id;
+    ASSERT_EQ(original.node(id).bias, restored.node(id).bias) << id;
+    ASSERT_EQ(original.node(id).bn_scale, restored.node(id).bn_scale) << id;
+    ASSERT_EQ(original.node(id).bn_shift, restored.node(id).bn_shift) << id;
+  }
+}
+
+TEST(WeightsIo, RestoredModelComputesIdenticalOutputs) {
+  nn::Graph original = models::toy_mnist({.input_size = 32});
+  Rng rng(13);
+  original.randomize_weights(rng);
+  Tensor input(original.input_shape());
+  input.randomize(rng);
+  const Tensor expected = nn::execute(original, input);
+
+  const auto blob = nn::serialize_weights(original);
+  nn::Graph restored = models::toy_mnist({.input_size = 32});
+  nn::deserialize_weights(restored, blob.data(), blob.size());
+  EXPECT_FLOAT_EQ(
+      Tensor::max_abs_diff(nn::execute(restored, input), expected), 0.0f);
+}
+
+TEST(WeightsIo, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/pico_weights_test.bin";
+  nn::Graph original = models::vgg16({.input_size = 32});
+  Rng rng(14);
+  original.randomize_weights(rng);
+  nn::save_weights(original, path);
+
+  nn::Graph restored = models::vgg16({.input_size = 32});
+  nn::load_weights(restored, path);
+  for (int id = 0; id < original.size(); ++id) {
+    ASSERT_EQ(original.node(id).weights, restored.node(id).weights) << id;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(WeightsIo, RejectsStructurallyDifferentModel) {
+  nn::Graph source = models::toy_mnist({.input_size = 32});
+  Rng rng(15);
+  source.randomize_weights(rng);
+  const auto blob = nn::serialize_weights(source);
+
+  nn::Graph other_model = models::vgg16({.input_size = 32});
+  EXPECT_THROW(
+      nn::deserialize_weights(other_model, blob.data(), blob.size()), Error);
+}
+
+TEST(WeightsIo, RejectsCorruptBlobs) {
+  nn::Graph g = models::toy_mnist({.input_size = 32});
+  auto blob = nn::serialize_weights(g);
+
+  // Truncated.
+  EXPECT_THROW(nn::deserialize_weights(g, blob.data(), blob.size() / 2),
+               Error);
+  // Trailing garbage.
+  auto padded = blob;
+  padded.push_back(0);
+  EXPECT_THROW(nn::deserialize_weights(g, padded.data(), padded.size()),
+               Error);
+  // Bad magic.
+  auto bad = blob;
+  bad[0] ^= 0xff;
+  EXPECT_THROW(nn::deserialize_weights(g, bad.data(), bad.size()), Error);
+  // Bad version.
+  auto bad_version = blob;
+  bad_version[4] ^= 0xff;
+  EXPECT_THROW(
+      nn::deserialize_weights(g, bad_version.data(), bad_version.size()),
+      Error);
+}
+
+TEST(WeightsIo, MissingFileThrows) {
+  nn::Graph g = models::toy_mnist({.input_size = 32});
+  EXPECT_THROW(nn::load_weights(g, "/nonexistent/pico.bin"), Error);
+}
+
+}  // namespace
+}  // namespace pico
