@@ -1,0 +1,117 @@
+// Static plan auditor — deeper invariants than partition::validate_plan.
+//
+// validate_plan answers "is this plan structurally well-formed" and throws
+// at the first violation.  The auditor answers "will this plan compute the
+// right thing within its resource envelope" and reports *everything* it
+// finds, machine-readably, so CI can diff reports across commits:
+//
+//  - structure: the validate_plan invariants, re-derived independently and
+//    reported per violation instead of first-failure;
+//  - halo: per-slice input regions re-derived from the receptive-field
+//    recursion (Eq. 3) and cross-checked two ways (segment_input_region vs
+//    a node-by-node fold on chain segments), plus containment in the
+//    producer map and output-region fixpoint of segment_demand;
+//  - flops: redundant-work accounting vs Eq. 2 — executed >= essential per
+//    stage and the plan-wide identity executed - redundant == essential;
+//  - memory: a static per-device footprint bound (resident weights + peak
+//    live activations) checked against an optional per-device budget;
+//  - devices: pipelined-stage device-disjointness and idle-device warnings;
+//  - cost: Eq. 9-11 summary and the optional T_lim latency bound.
+//
+// The auditor never throws on a bad plan — a broken plan is a *finding*,
+// not an exception — so tooling can audit untrusted plan files directly.
+#pragma once
+
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "nn/graph.hpp"
+#include "partition/plan.hpp"
+
+namespace pico::analysis {
+
+enum class Severity { Info, Warning, Error };
+const char* severity_name(Severity severity);
+
+struct Finding {
+  Severity severity = Severity::Error;
+  /// Check family: "structure", "halo", "flops", "memory", "devices", "cost".
+  std::string check;
+  int stage = -1;        ///< stage index; -1 = plan-wide
+  DeviceId device = -1;  ///< -1 = not device-specific
+  std::string message;
+};
+
+/// Static memory bound for one device: parameters it must keep resident
+/// plus the worst-case simultaneously-live activation set of its slices.
+struct DeviceFootprint {
+  DeviceId device = -1;
+  Bytes weights = 0.0;
+  Bytes peak_activations = 0.0;
+  Bytes total() const { return weights + peak_activations; }
+};
+
+struct StageAudit {
+  int index = -1;
+  int first = 0;
+  int last = 0;
+  bool branch_parallel = false;
+  int active_devices = 0;
+  Flops essential = 0.0;  ///< Eq. 2 over full maps, halo-free
+  Flops executed = 0.0;   ///< sum of per-device work, halo included
+  int overlap_rows = 0;   ///< summed input-strip overlap beyond the full map
+  Seconds compute = 0.0;  ///< Eq. 6
+  Seconds comm = 0.0;     ///< Eq. 8
+
+  double redundancy() const {
+    return essential > 0.0 ? (executed - essential) / essential : 0.0;
+  }
+};
+
+struct AuditOptions {
+  /// Per-device memory budget in bytes; 0 disables the check.  (A Pi 4B
+  /// worker process realistically gets ~512 MB of the 2 GB board.)
+  Bytes device_memory_limit = 0.0;
+  /// Pipeline latency bound T_lim; infinite disables the check.
+  Seconds latency_limit = std::numeric_limits<double>::infinity();
+  /// Stage redundancy ratio above which a Warning is emitted.
+  double redundancy_warning = 0.75;
+};
+
+struct AuditReport {
+  std::string scheme;
+  bool pipelined = false;
+  int graph_nodes = 0;
+  bool structure_ok = true;  ///< deeper checks are gated on this
+  std::vector<StageAudit> stages;
+  std::vector<DeviceFootprint> footprints;
+  std::vector<Finding> findings;
+  Flops essential = 0.0;
+  Flops executed = 0.0;
+  Seconds period = 0.0;   ///< Eq. 10
+  Seconds latency = 0.0;  ///< Eq. 11
+
+  int count(Severity severity) const;
+  int errors() const { return count(Severity::Error); }
+  int warnings() const { return count(Severity::Warning); }
+  /// A plan passes the audit iff it produced no Error findings.
+  bool ok() const { return errors() == 0; }
+};
+
+/// Audit `plan` against `graph` + `cluster` + `network`.  Never throws on a
+/// bad plan; precondition violations of the *inputs* (unfinalized graph)
+/// still throw InvariantError.
+AuditReport audit_plan(const nn::Graph& graph, const Cluster& cluster,
+                       const NetworkModel& network,
+                       const partition::Plan& plan,
+                       const AuditOptions& options = {});
+
+/// Multi-line human-readable report.
+std::string to_text(const AuditReport& report);
+
+/// Machine-readable JSON document (stable key order, suitable for diffing).
+std::string to_json(const AuditReport& report);
+
+}  // namespace pico::analysis

@@ -1,0 +1,63 @@
+// Annotated mutex / condition-variable wrappers.
+//
+// std::mutex is not a thread-safety "capability" type under libstdc++, so
+// PICO_GUARDED_BY(std_mutex_member) cannot be statically enforced.  These
+// thin wrappers carry the capability attributes (the Abseil pattern) while
+// delegating to the standard primitives, so clang's -Wthread-safety checks
+// locking discipline at compile time and the code is unchanged elsewhere.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+#include "common/thread_annotations.hpp"
+
+namespace pico {
+
+class PICO_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() PICO_ACQUIRE() { mutex_.lock(); }
+  void unlock() PICO_RELEASE() { mutex_.unlock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex mutex_;
+};
+
+/// RAII lock with scope-based capability tracking (std::lock_guard shape).
+class PICO_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mutex) PICO_ACQUIRE(mutex) : mutex_(mutex) {
+    mutex_.lock();
+  }
+  ~MutexLock() PICO_RELEASE() { mutex_.unlock(); }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mutex_;
+};
+
+/// Condition variable bound to an annotated Mutex.  wait() must be called
+/// with the mutex held (enforced via PICO_REQUIRES) and holds it again on
+/// return, exactly like std::condition_variable::wait.
+class CondVar {
+ public:
+  void wait(Mutex& mutex) PICO_REQUIRES(mutex) {
+    std::unique_lock<std::mutex> lock(mutex.mutex_, std::adopt_lock);
+    cv_.wait(lock);
+    lock.release();  // caller still owns the mutex
+  }
+
+  void notify_one() { cv_.notify_one(); }
+  void notify_all() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace pico

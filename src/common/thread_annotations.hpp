@@ -1,0 +1,29 @@
+// Clang thread-safety annotations (enforced by -Wthread-safety, which the
+// top-level CMakeLists enables whenever the compiler supports it).  On other
+// compilers the macros expand to nothing, so annotated code stays portable.
+//
+// Usage follows the Abseil convention: data members guarded by a mutex carry
+// PICO_GUARDED_BY(mutex_); functions that must run under a lock carry
+// PICO_REQUIRES(mutex_); a mutex passed by reference is named with
+// PICO_ACQUIRE/PICO_RELEASE on the lock/unlock wrappers.
+#pragma once
+
+#if defined(__clang__) && (!defined(SWIG))
+#define PICO_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define PICO_THREAD_ANNOTATION(x)
+#endif
+
+#define PICO_CAPABILITY(x) PICO_THREAD_ANNOTATION(capability(x))
+#define PICO_GUARDED_BY(x) PICO_THREAD_ANNOTATION(guarded_by(x))
+#define PICO_PT_GUARDED_BY(x) PICO_THREAD_ANNOTATION(pt_guarded_by(x))
+#define PICO_REQUIRES(...) \
+  PICO_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define PICO_ACQUIRE(...) \
+  PICO_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define PICO_RELEASE(...) \
+  PICO_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define PICO_EXCLUDES(...) PICO_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+#define PICO_SCOPED_CAPABILITY PICO_THREAD_ANNOTATION(scoped_lockable)
+#define PICO_NO_THREAD_SAFETY_ANALYSIS \
+  PICO_THREAD_ANNOTATION(no_thread_safety_analysis)

@@ -102,7 +102,7 @@ Plan parse_plan(const std::string& text) {
           fail(line_number, "region slice in a branch stage");
         }
       } else if (what == "branches") {
-        int branch;
+        int branch = 0;
         while (tokens >> branch) slice.branches.push_back(branch);
         if (slice.branches.empty()) {
           fail(line_number, "branches needs at least one index");

@@ -1,15 +1,19 @@
 // Bounded blocking MPMC queue — the backbone of the in-process transport and
 // of the inter-stage queues in the pipeline runtime (the paper's Fig. 6
 // input/output queues).
+//
+// Locking discipline is statically enforced: every mutable member is
+// PICO_GUARDED_BY(mutex_), so a clang build with -Wthread-safety rejects
+// any access outside a MutexLock scope (ROADMAP keeps the runtime
+// TSan-clean; this catches the same class of bug at compile time).
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
-#include <mutex>
 #include <optional>
 
 #include "common/error.hpp"
+#include "common/mutex.hpp"
 
 namespace pico::runtime {
 
@@ -23,9 +27,8 @@ class BoundedQueue {
 
   /// Blocks while full.  Throws TransportError if the queue is closed.
   void push(T value) {
-    std::unique_lock<std::mutex> lock(mutex_);
-    not_full_.wait(lock,
-                   [&] { return closed_ || items_.size() < capacity_; });
+    MutexLock lock(mutex_);
+    while (!closed_ && items_.size() >= capacity_) not_full_.wait(mutex_);
     if (closed_) throw TransportError("push on closed queue");
     items_.push_back(std::move(value));
     not_empty_.notify_one();
@@ -33,8 +36,8 @@ class BoundedQueue {
 
   /// Blocks while empty.  Returns nullopt once closed and drained.
   std::optional<T> pop() {
-    std::unique_lock<std::mutex> lock(mutex_);
-    not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    MutexLock lock(mutex_);
+    while (!closed_ && items_.empty()) not_empty_.wait(mutex_);
     if (items_.empty()) return std::nullopt;
     T value = std::move(items_.front());
     items_.pop_front();
@@ -44,31 +47,31 @@ class BoundedQueue {
 
   /// Wake all waiters; subsequent pushes throw, pops drain then nullopt.
   void close() {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     closed_ = true;
     not_empty_.notify_all();
     not_full_.notify_all();
   }
 
   bool closed() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     return closed_;
   }
 
   std::size_t size() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     return items_.size();
   }
 
   static constexpr std::size_t kUnbounded = static_cast<std::size_t>(-1);
 
  private:
-  mutable std::mutex mutex_;
-  std::condition_variable not_empty_;
-  std::condition_variable not_full_;
-  std::deque<T> items_;
-  std::size_t capacity_;
-  bool closed_ = false;
+  mutable Mutex mutex_;
+  CondVar not_empty_;
+  CondVar not_full_;
+  std::deque<T> items_ PICO_GUARDED_BY(mutex_);
+  const std::size_t capacity_;
+  bool closed_ PICO_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace pico::runtime

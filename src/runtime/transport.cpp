@@ -6,6 +6,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <cerrno>
 #include <cstring>
 
@@ -89,13 +90,19 @@ class TcpConnection : public Connection {
  public:
   explicit TcpConnection(int fd) : fd_(fd) {
     const int one = 1;
-    ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
   }
 
-  ~TcpConnection() override { close(); }
+  ~TcpConnection() override {
+    close();
+    // By destruction time every thread using this connection has been
+    // joined, so releasing the descriptor cannot race with a blocked recv.
+    ::close(fd_);
+  }
 
   void send(const Message& message) override {
-    PICO_CHECK_MSG(fd_ >= 0, "send on closed connection");
+    PICO_CHECK_MSG(!closed_.load(std::memory_order_acquire),
+                   "send on closed connection");
     const std::vector<std::uint8_t> payload = serialize(message);
     const std::uint64_t length = payload.size();
     write_all(fd_, &length, sizeof(length));
@@ -103,7 +110,8 @@ class TcpConnection : public Connection {
   }
 
   Message recv() override {
-    PICO_CHECK_MSG(fd_ >= 0, "recv on closed connection");
+    PICO_CHECK_MSG(!closed_.load(std::memory_order_acquire),
+                   "recv on closed connection");
     std::uint64_t length = 0;
     if (!read_all(fd_, &length, sizeof(length))) {
       throw TransportError("tcp peer closed");
@@ -116,16 +124,22 @@ class TcpConnection : public Connection {
     return deserialize(payload.data(), payload.size());
   }
 
+  // close() races with a recv() blocked on the socket in another thread by
+  // design (Worker::stop unblocks the worker this way), so it must not
+  // release the descriptor: a concurrent ::close() both races on the fd and
+  // could hand a recycled descriptor to the blocked reader.  shutdown() only
+  // wakes the peer (recv returns 0 -> clean-EOF TransportError); the fd is
+  // released in the destructor, after joins.  exchange() makes repeated
+  // close() calls harmless.
   void close() override {
-    if (fd_ >= 0) {
+    if (!closed_.exchange(true, std::memory_order_acq_rel)) {
       ::shutdown(fd_, SHUT_RDWR);
-      ::close(fd_);
-      fd_ = -1;
     }
   }
 
  private:
-  int fd_;
+  const int fd_;
+  std::atomic<bool> closed_{false};
 };
 
 }  // namespace

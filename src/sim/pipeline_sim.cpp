@@ -163,8 +163,8 @@ struct ClusterSimulator::Impl {
   int switches = 0;
 
   struct Task {
-    long long id;
-    Seconds arrival;
+    long long id = 0;
+    Seconds arrival = 0.0;
     Seconds start = 0.0;
   };
   std::vector<Seconds> arrivals;
@@ -237,24 +237,34 @@ struct ClusterSimulator::Impl {
   }
 
   void finish_service(std::size_t position, Task task) {
-    const ServerSpec& spec = active->servers[position];
-    ServerState& state = servers[spec.server];
-    state.busy = false;
-    account(spec);
+    // complete() may apply a pending plan switch, which replaces `active`
+    // and reinstalls `servers` — no reference into either may be held
+    // across it, so work with indices and re-check afterwards.
+    const std::size_t server_id = active->servers[position].server;
+    const bool fronts_chain = server_id == active->servers[0].server;
+    servers[server_id].busy = false;
+    account(active->servers[position]);
 
+    const int switches_before = switches;
     if (position + 1 < active->servers.size()) {
       forward(position + 1, task);
     } else {
       complete(task);
     }
+    if (switches != switches_before) {
+      // A plan switch drained and reinstalled the servers; the old queues
+      // are gone and admission has already been restarted.
+      return;
+    }
     // The physical server is free: in-flight waiters first, then (if this
     // server also fronts the chain) new admissions.
+    ServerState& state = servers[server_id];
     if (!state.queue.empty() && !state.busy) {
       auto [next_position, next_task] = state.queue.front();
       state.queue.pop_front();
       start_service(next_position, next_task);
     }
-    if (!state.busy && spec.server == active->servers[0].server) {
+    if (!state.busy && fronts_chain) {
       try_admit();
     }
   }

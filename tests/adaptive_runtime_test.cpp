@@ -70,7 +70,10 @@ TEST_F(AdaptiveRuntimeFixture, SwitchesToPipelineUnderBurst) {
   std::vector<std::future<Tensor>> futures;
   for (int i = 0; i < 40; ++i) futures.push_back(rt.submit(input_));
   std::this_thread::sleep_for(std::chrono::milliseconds(80));
+  const auto batch_start = std::chrono::steady_clock::now();
   for (int i = 0; i < 40; ++i) futures.push_back(rt.submit(input_));
+  const std::chrono::duration<double> batch_elapsed =
+      std::chrono::steady_clock::now() - batch_start;
   for (auto& f : futures) {
     ASSERT_FLOAT_EQ(Tensor::max_abs_diff(f.get(), reference_), 0.0f);
   }
@@ -80,6 +83,12 @@ TEST_F(AdaptiveRuntimeFixture, SwitchesToPipelineUnderBurst) {
   bool pico_used = false;
   for (const std::string& scheme : rt.scheme_history()) {
     pico_used |= scheme == "PICO";
+  }
+  if (!pico_used && batch_elapsed.count() > 0.25) {
+    // E.g. under a sanitizer the submissions spread over many windows, so
+    // the controller never observes a burst-level arrival rate.
+    GTEST_SKIP() << "burst took " << batch_elapsed.count()
+                 << "s to submit — machine too slow to hit the switching rate";
   }
   EXPECT_TRUE(pico_used);
   EXPECT_GE(rt.switches(), 1);

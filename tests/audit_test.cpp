@@ -1,0 +1,271 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <limits>
+#include <string>
+
+#include "analysis/audit.hpp"
+#include "common/error.hpp"
+#include "models/cfg.hpp"
+#include "models/zoo.hpp"
+#include "partition/pico_dp.hpp"
+#include "partition/plan.hpp"
+#include "partition/schemes.hpp"
+
+namespace pico {
+namespace {
+
+using analysis::AuditOptions;
+using analysis::AuditReport;
+using analysis::Finding;
+using analysis::Severity;
+using partition::Plan;
+using partition::Stage;
+
+NetworkModel test_network() {
+  NetworkModel net;
+  net.bandwidth = 50e6 / 8.0;
+  net.per_message_overhead = 1e-3;
+  return net;
+}
+
+bool has_error(const AuditReport& report, const std::string& check) {
+  for (const Finding& finding : report.findings) {
+    if (finding.severity == Severity::Error && finding.check == check) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string config_path(const std::string& name) {
+  return std::string(PICO_REPO_DIR) + "/configs/" + name;
+}
+
+// -- validate_plan failure modes ------------------------------------------
+
+TEST(ValidatePlanFailures, OverlappingDeviceRegions) {
+  const nn::Graph g = models::toy_mnist({.input_size = 32});
+  const Cluster c = Cluster::homogeneous(2, 1e9);
+  Plan plan = partition::efl_plan(g, c, {.efl_fused_units = 6});
+  ASSERT_GE(plan.stages[0].assignments.size(), 2u);
+  // Grow device 0's strip one row into device 1's: overlap, not a tile.
+  plan.stages[0].assignments[0].out_region.row_end += 1;
+  EXPECT_THROW(partition::validate_plan(g, c, plan), InvariantError);
+}
+
+TEST(ValidatePlanFailures, NonContiguousStageRanges) {
+  const nn::Graph g = models::toy_mnist({.input_size = 32});
+  const Cluster c = Cluster::homogeneous(2, 1e9);
+  Plan plan = partition::lw_plan(g, c);
+  plan.stages[1].first += 1;  // gap between stage 0 and stage 1
+  EXPECT_THROW(partition::validate_plan(g, c, plan), InvariantError);
+}
+
+TEST(ValidatePlanFailures, DuplicateDeviceAcrossPipelinedStages) {
+  const nn::Graph g = models::toy_mnist({.input_size = 32});
+  const Cluster c = Cluster::homogeneous(3, 1e9);
+  Plan plan;
+  plan.scheme = "bad";
+  plan.pipelined = true;
+  plan.stages.push_back(partition::make_stage(g, c, 1, 5, {0, 1}));
+  plan.stages.push_back(
+      partition::make_stage(g, c, 6, g.size() - 1, {1, 2}));
+  EXPECT_THROW(partition::validate_plan(g, c, plan), InvariantError);
+}
+
+TEST(ValidatePlanFailures, DeviceIdOutsideCluster) {
+  const nn::Graph g = models::toy_mnist({.input_size = 32});
+  const Cluster c = Cluster::homogeneous(2, 1e9);
+  Plan plan = partition::lw_plan(g, c);
+  plan.stages[0].assignments[1].device = 7;
+  EXPECT_THROW(partition::validate_plan(g, c, plan), InvariantError);
+}
+
+// -- auditor: accepts real plans ------------------------------------------
+
+TEST(Audit, AcceptsVgg16PicoPlanFromConfig) {
+  const nn::Graph g = models::load_cfg(config_path("vgg16.cfg"));
+  const Cluster c = Cluster::paper_heterogeneous();
+  const NetworkModel net = test_network();
+  const Plan plan = partition::pico_plan(g, c, net);
+  const AuditReport report = analysis::audit_plan(g, c, net, plan);
+  EXPECT_TRUE(report.ok()) << analysis::to_text(report);
+  EXPECT_TRUE(report.structure_ok);
+  EXPECT_GT(report.essential, 0.0);
+  EXPECT_GE(report.executed, report.essential);
+}
+
+TEST(Audit, AcceptsYolov2PicoPlanFromConfig) {
+  const nn::Graph g = models::load_cfg(config_path("yolov2.cfg"));
+  const Cluster c = Cluster::paper_heterogeneous();
+  const NetworkModel net = test_network();
+  const Plan plan = partition::pico_plan(g, c, net);
+  const AuditReport report = analysis::audit_plan(g, c, net, plan);
+  EXPECT_TRUE(report.ok()) << analysis::to_text(report);
+  EXPECT_GT(report.period, 0.0);
+  EXPECT_GE(report.latency, report.period);
+}
+
+TEST(Audit, AcceptsAllBaselineSchemes) {
+  const nn::Graph g = models::toy_mnist({.input_size = 32});
+  const Cluster c = Cluster::paper_homogeneous(4, 1.0);
+  const NetworkModel net = test_network();
+  for (const Plan& plan :
+       {partition::lw_plan(g, c), partition::efl_plan(g, c),
+        partition::ofl_plan(g, c, net), partition::pico_plan(g, c, net)}) {
+    const AuditReport report = analysis::audit_plan(g, c, net, plan);
+    EXPECT_TRUE(report.ok()) << plan.scheme << "\n"
+                             << analysis::to_text(report);
+  }
+}
+
+// -- auditor: rejects hand-broken plans -----------------------------------
+
+TEST(Audit, RejectsOverlappingRegions) {
+  const nn::Graph g = models::toy_mnist({.input_size = 32});
+  const Cluster c = Cluster::homogeneous(2, 1e9);
+  const NetworkModel net = test_network();
+  Plan plan = partition::efl_plan(g, c, {.efl_fused_units = 6});
+  plan.stages[0].assignments[0].out_region.row_end += 1;
+  const AuditReport report = analysis::audit_plan(g, c, net, plan);
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(has_error(report, "structure")) << analysis::to_text(report);
+}
+
+TEST(Audit, RejectsCoverageGap) {
+  const nn::Graph g = models::toy_mnist({.input_size = 32});
+  const Cluster c = Cluster::homogeneous(2, 1e9);
+  const NetworkModel net = test_network();
+  Plan plan = partition::lw_plan(g, c);
+  plan.stages.pop_back();  // last unit no longer covered
+  const AuditReport report = analysis::audit_plan(g, c, net, plan);
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(has_error(report, "structure"));
+}
+
+TEST(Audit, RejectsPipelinedDeviceReuse) {
+  const nn::Graph g = models::toy_mnist({.input_size = 32});
+  const Cluster c = Cluster::homogeneous(3, 1e9);
+  const NetworkModel net = test_network();
+  Plan plan;
+  plan.scheme = "bad";
+  plan.pipelined = true;
+  plan.stages.push_back(partition::make_stage(g, c, 1, 5, {0, 1}));
+  plan.stages.push_back(
+      partition::make_stage(g, c, 6, g.size() - 1, {1, 2}));
+  const AuditReport report = analysis::audit_plan(g, c, net, plan);
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(has_error(report, "devices")) << analysis::to_text(report);
+  // The same plan run sequentially may reuse devices: no disjointness error.
+  plan.pipelined = false;
+  EXPECT_TRUE(analysis::audit_plan(g, c, net, plan).ok());
+}
+
+TEST(Audit, RejectsBadDeviceId) {
+  const nn::Graph g = models::toy_mnist({.input_size = 32});
+  const Cluster c = Cluster::homogeneous(2, 1e9);
+  const NetworkModel net = test_network();
+  Plan plan = partition::lw_plan(g, c);
+  plan.stages[0].assignments[1].device = 42;
+  const AuditReport report = analysis::audit_plan(g, c, net, plan);
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(has_error(report, "structure"));
+}
+
+TEST(Audit, RejectsPlanOverMemoryBudget) {
+  const nn::Graph g = models::toy_mnist({.input_size = 64});
+  const Cluster c = Cluster::homogeneous(2, 1e9);
+  const NetworkModel net = test_network();
+  const Plan plan = partition::efl_plan(g, c);
+  AuditOptions options;
+  options.device_memory_limit = 1024.0;  // 1 KB: nothing real fits
+  const AuditReport report =
+      analysis::audit_plan(g, c, net, plan, options);
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(has_error(report, "memory")) << analysis::to_text(report);
+  // A roomy budget passes.
+  options.device_memory_limit = 512.0 * 1024 * 1024;
+  EXPECT_TRUE(analysis::audit_plan(g, c, net, plan, options).ok());
+}
+
+TEST(Audit, RejectsPlanOverLatencyLimit) {
+  const nn::Graph g = models::toy_mnist({.input_size = 64});
+  const Cluster c = Cluster::paper_homogeneous(4, 1.0);
+  const NetworkModel net = test_network();
+  const Plan plan = partition::pico_plan(g, c, net);
+  AuditOptions options;
+  options.latency_limit = 1e-9;
+  const AuditReport report =
+      analysis::audit_plan(g, c, net, plan, options);
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(has_error(report, "cost"));
+}
+
+// -- auditor: halo + accounting detail ------------------------------------
+
+TEST(Audit, FusedStagesShowOverlapAndRedundancy) {
+  const nn::Graph g = models::vgg16({.input_size = 224});
+  const Cluster c = Cluster::paper_heterogeneous();
+  const NetworkModel net = test_network();
+  const AuditReport efl =
+      analysis::audit_plan(g, c, net, partition::efl_plan(g, c));
+  ASSERT_FALSE(efl.stages.empty());
+  EXPECT_GT(efl.stages[0].overlap_rows, 0);
+  EXPECT_GT(efl.stages[0].redundancy(), 0.0);
+
+  // Layer-wise plans still ship overlapping *input* rows (each 3x3 conv
+  // needs one halo row per neighbor) but recompute nothing: per-stage
+  // redundancy is exactly zero even where overlap_rows > 0.
+  const AuditReport lw =
+      analysis::audit_plan(g, c, net, partition::lw_plan(g, c));
+  for (const analysis::StageAudit& stage : lw.stages) {
+    EXPECT_NEAR(stage.redundancy(), 0.0, 1e-9) << "stage " << stage.index;
+  }
+  // Fusing 10+ layers into one stage multiplies the halo: the EFL head's
+  // input overlap must dominate any single-layer stage's.
+  int lw_max_overlap = 0;
+  for (const analysis::StageAudit& stage : lw.stages) {
+    lw_max_overlap = std::max(lw_max_overlap, stage.overlap_rows);
+  }
+  EXPECT_GT(efl.stages[0].overlap_rows, lw_max_overlap);
+}
+
+TEST(Audit, FootprintsCoverEveryActiveDevice) {
+  const nn::Graph g = models::toy_mnist({.input_size = 64});
+  const Cluster c = Cluster::paper_heterogeneous();
+  const NetworkModel net = test_network();
+  const Plan plan = partition::pico_plan(g, c, net);
+  const AuditReport report = analysis::audit_plan(g, c, net, plan);
+  ASSERT_TRUE(report.ok());
+  EXPECT_FALSE(report.footprints.empty());
+  for (const analysis::DeviceFootprint& fp : report.footprints) {
+    EXPECT_GE(fp.weights, 0.0);
+    EXPECT_GT(fp.peak_activations, 0.0) << "device " << fp.device;
+  }
+}
+
+// -- report rendering ------------------------------------------------------
+
+TEST(AuditReportRendering, TextAndJson) {
+  const nn::Graph g = models::toy_mnist({.input_size = 32});
+  const Cluster c = Cluster::homogeneous(2, 1e9);
+  const NetworkModel net = test_network();
+  const AuditReport good =
+      analysis::audit_plan(g, c, net, partition::lw_plan(g, c));
+  const std::string text = analysis::to_text(good);
+  EXPECT_NE(text.find("PASS"), std::string::npos);
+  const std::string json = analysis::to_json(good);
+  EXPECT_NE(json.find("\"ok\":true"), std::string::npos);
+  EXPECT_NE(json.find("\"stages\":["), std::string::npos);
+  EXPECT_NE(json.find("\"device_footprints\":["), std::string::npos);
+
+  Plan broken = partition::lw_plan(g, c);
+  broken.stages[0].assignments[1].device = 42;
+  const AuditReport bad = analysis::audit_plan(g, c, net, broken);
+  EXPECT_NE(analysis::to_text(bad).find("FAIL"), std::string::npos);
+  EXPECT_NE(analysis::to_json(bad).find("\"ok\":false"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pico

@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# clang-format gate: verifies (never rewrites) formatting of every C++ file
+# under src/, tests/, bench/, examples/ and tools/.
+#
+# usage: tools/check_format.sh [--fix]
+#
+# Without --fix runs clang-format --dry-run --Werror (CI mode); with --fix
+# rewrites files in place.  SKIPs cleanly when clang-format is unavailable
+# (the GCC-only container), mirroring tools/run_tidy.sh.
+set -u -o pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+format_bin="${CLANG_FORMAT:-clang-format}"
+mode="--dry-run --Werror"
+[ "${1:-}" = "--fix" ] && mode="-i"
+
+if ! command -v "$format_bin" >/dev/null 2>&1; then
+  echo "check_format: $format_bin not found — SKIP (install clang-format to enable)"
+  exit 0
+fi
+
+mapfile -t files < <(find "$repo_root/src" "$repo_root/tests" \
+  "$repo_root/bench" "$repo_root/examples" "$repo_root/tools" \
+  \( -name '*.cpp' -o -name '*.hpp' \) | sort)
+
+echo "check_format: ${#files[@]} file(s)"
+# shellcheck disable=SC2086  # $mode is intentionally word-split
+"$format_bin" --style=file --fallback-style=Google $mode "${files[@]}"

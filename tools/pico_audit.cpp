@@ -1,0 +1,205 @@
+// pico_audit — static plan/graph auditor CLI.
+//
+// Loads a model (.cfg), a cluster description and a partition plan (from a
+// pico-plan file or freshly planned with a named scheme), runs the
+// analysis::audit_plan checks and prints a text or JSON report.  Exit code:
+//   0  audit passed (no error findings)
+//   1  usage / input error
+//   2  audit found at least one error
+//
+// Examples:
+//   pico_audit --cfg configs/vgg16.cfg --scheme PICO
+//   pico_audit --cfg configs/yolov2.cfg --plan deploy/yolo.plan --json
+//   pico_audit --cfg configs/vgg16.cfg --scheme EFL --cluster homog:4x1.2
+//              --memory-limit-mb 512
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/audit.hpp"
+#include "models/cfg.hpp"
+#include "partition/pico_dp.hpp"
+#include "partition/plan_io.hpp"
+#include "partition/schemes.hpp"
+
+namespace {
+
+constexpr const char* kUsage = R"(usage: pico_audit --cfg <model.cfg> [options]
+
+plan source (default: --scheme PICO):
+  --plan <file>          audit a saved pico-plan file
+  --scheme <name>        plan with a scheme: PICO, LW, EFL or OFL
+
+cluster (default: the paper's 8-Pi heterogeneous testbed):
+  --cluster paper        2x1.2GHz + 2x0.8GHz + 4x0.6GHz Raspberry Pis
+  --cluster homog:<n>x<ghz>   n identical Pi-class devices
+  --cluster pi:<f1,f2,...>    Pi-class devices at the given GHz
+
+checks / model:
+  --bandwidth-mbps <b>   shared uplink bandwidth (default 50)
+  --tlim <seconds>       pipeline latency bound T_lim (default: none)
+  --memory-limit-mb <m>  per-device memory budget (default: none)
+  --redundancy-warn <r>  stage redundancy warning threshold (default 0.75)
+
+output:
+  --json                 emit the JSON report instead of text
+  --output <file>        write the report to a file instead of stdout
+)";
+
+struct Args {
+  std::string cfg;
+  std::string plan_file;
+  std::string scheme = "PICO";
+  std::string cluster = "paper";
+  double bandwidth_mbps = 50.0;
+  double tlim = 0.0;           // 0 = unset
+  double memory_limit_mb = 0.0;
+  double redundancy_warn = 0.75;
+  bool json = false;
+  std::string output;
+};
+
+[[noreturn]] void fail(const std::string& message) {
+  std::cerr << "pico_audit: " << message << "\n";
+  std::exit(1);
+}
+
+double parse_double(const std::string& text, const std::string& flag) {
+  try {
+    std::size_t used = 0;
+    const double value = std::stod(text, &used);
+    if (used != text.size()) throw std::invalid_argument(text);
+    return value;
+  } catch (const std::exception&) {
+    fail("bad numeric value '" + text + "' for " + flag);
+  }
+}
+
+Args parse_args(int argc, char** argv) {
+  Args args;
+  std::vector<std::string> tokens(argv + 1, argv + argc);
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    const std::string& flag = tokens[i];
+    auto value = [&]() -> const std::string& {
+      if (i + 1 >= tokens.size()) fail("missing value for " + flag);
+      return tokens[++i];
+    };
+    if (flag == "--cfg") {
+      args.cfg = value();
+    } else if (flag == "--plan") {
+      args.plan_file = value();
+    } else if (flag == "--scheme") {
+      args.scheme = value();
+    } else if (flag == "--cluster") {
+      args.cluster = value();
+    } else if (flag == "--bandwidth-mbps") {
+      args.bandwidth_mbps = parse_double(value(), flag);
+    } else if (flag == "--tlim") {
+      args.tlim = parse_double(value(), flag);
+    } else if (flag == "--memory-limit-mb") {
+      args.memory_limit_mb = parse_double(value(), flag);
+    } else if (flag == "--redundancy-warn") {
+      args.redundancy_warn = parse_double(value(), flag);
+    } else if (flag == "--json") {
+      args.json = true;
+    } else if (flag == "--output") {
+      args.output = value();
+    } else if (flag == "--help" || flag == "-h") {
+      std::cout << kUsage;
+      std::exit(0);
+    } else {
+      fail("unknown flag '" + flag + "'\n" + kUsage);
+    }
+  }
+  if (args.cfg.empty()) fail(std::string("--cfg is required\n") + kUsage);
+  return args;
+}
+
+pico::Cluster parse_cluster(const std::string& spec) {
+  using pico::Cluster;
+  if (spec == "paper") return Cluster::paper_heterogeneous();
+  if (spec.rfind("homog:", 0) == 0) {
+    const std::string body = spec.substr(6);
+    const std::size_t x = body.find('x');
+    if (x == std::string::npos) fail("--cluster homog:<n>x<ghz>");
+    const int count = static_cast<int>(
+        parse_double(body.substr(0, x), "--cluster"));
+    const double ghz = parse_double(body.substr(x + 1), "--cluster");
+    if (count < 1) fail("cluster needs at least one device");
+    return Cluster::paper_homogeneous(count, ghz);
+  }
+  if (spec.rfind("pi:", 0) == 0) {
+    std::vector<double> freqs;
+    std::stringstream body(spec.substr(3));
+    std::string item;
+    while (std::getline(body, item, ',')) {
+      freqs.push_back(parse_double(item, "--cluster"));
+    }
+    if (freqs.empty()) fail("--cluster pi:<f1,f2,...>");
+    return Cluster::raspberry_pi(freqs);
+  }
+  fail("unknown cluster spec '" + spec + "'");
+}
+
+pico::partition::Plan make_plan(const Args& args, const pico::nn::Graph& graph,
+                                const pico::Cluster& cluster,
+                                const pico::NetworkModel& network) {
+  namespace partition = pico::partition;
+  if (!args.plan_file.empty()) return partition::load_plan(args.plan_file);
+  partition::SchemeOptions options;
+  if (args.tlim > 0.0) options.latency_limit = args.tlim;
+  if (args.scheme == "PICO") {
+    return partition::pico_plan(graph, cluster, network, options);
+  }
+  if (args.scheme == "LW") return partition::lw_plan(graph, cluster, options);
+  if (args.scheme == "EFL") {
+    return partition::efl_plan(graph, cluster, options);
+  }
+  if (args.scheme == "OFL") {
+    return partition::ofl_plan(graph, cluster, network, options);
+  }
+  fail("unknown scheme '" + args.scheme + "' (PICO, LW, EFL, OFL)");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args = parse_args(argc, argv);
+  try {
+    const pico::nn::Graph graph = pico::models::load_cfg(args.cfg);
+    const pico::Cluster cluster = parse_cluster(args.cluster);
+    pico::NetworkModel network;
+    network.bandwidth = args.bandwidth_mbps * 1e6 / 8.0;
+    const pico::partition::Plan plan =
+        make_plan(args, graph, cluster, network);
+
+    pico::analysis::AuditOptions options;
+    if (args.memory_limit_mb > 0.0) {
+      options.device_memory_limit = args.memory_limit_mb * 1024.0 * 1024.0;
+    }
+    if (args.tlim > 0.0) options.latency_limit = args.tlim;
+    options.redundancy_warning = args.redundancy_warn;
+
+    const pico::analysis::AuditReport report =
+        pico::analysis::audit_plan(graph, cluster, network, plan, options);
+    const std::string rendered = args.json
+                                     ? pico::analysis::to_json(report)
+                                     : pico::analysis::to_text(report);
+    if (args.output.empty()) {
+      std::cout << rendered;
+      if (args.json) std::cout << "\n";
+    } else {
+      std::ofstream out(args.output);
+      if (!out) fail("cannot write " + args.output);
+      out << rendered;
+      if (args.json) out << "\n";
+    }
+    return report.ok() ? 0 : 2;
+  } catch (const std::exception& error) {
+    std::cerr << "pico_audit: " << error.what() << "\n";
+    return 1;
+  }
+}

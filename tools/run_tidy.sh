@@ -1,0 +1,51 @@
+#!/usr/bin/env bash
+# Run clang-tidy (config: .clang-tidy at the repo root) over the library and
+# tool sources using the compile database of an existing build directory.
+#
+# usage: tools/run_tidy.sh [build-dir] [-- extra clang-tidy args]
+#
+#   tools/run_tidy.sh               # uses ./build
+#   tools/run_tidy.sh build-asan
+#   tools/run_tidy.sh build -- --fix
+#
+# Exits non-zero if clang-tidy reports any diagnostic, so CI can gate on it.
+# The container/toolchain may lack clang-tidy (the repo builds with GCC
+# alone); in that case this script reports SKIP and exits 0 so local runs
+# and non-clang CI legs are not broken.
+set -u -o pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-$repo_root/build}"
+shift || true
+[ "${1:-}" = "--" ] && shift
+
+tidy_bin="${CLANG_TIDY:-clang-tidy}"
+if ! command -v "$tidy_bin" >/dev/null 2>&1; then
+  echo "run_tidy: $tidy_bin not found — SKIP (install clang-tidy to enable)"
+  exit 0
+fi
+
+db="$build_dir/compile_commands.json"
+if [ ! -f "$db" ]; then
+  echo "run_tidy: no compile database at $db" >&2
+  echo "          configure first: cmake -B $build_dir -S $repo_root" >&2
+  exit 1
+fi
+
+# Library, analysis and tool translation units; tests and benches follow the
+# same config but are linted only when LINT_TESTS=1 (they are gtest/benchmark
+# macro-heavy and slower to process).
+mapfile -t sources < <(find "$repo_root/src" "$repo_root/tools" -name '*.cpp' | sort)
+if [ "${LINT_TESTS:-0}" = "1" ]; then
+  mapfile -t test_sources < <(find "$repo_root/tests" "$repo_root/bench" -name '*.cpp' | sort)
+  sources+=("${test_sources[@]}")
+fi
+
+echo "run_tidy: ${#sources[@]} file(s), database $db"
+status=0
+for source in "${sources[@]}"; do
+  if ! "$tidy_bin" -p "$build_dir" --quiet "$@" "$source"; then
+    status=1
+  fi
+done
+exit $status
