@@ -22,6 +22,10 @@ inline void capacity_figure(models::ModelId model, const char* figure) {
   const std::vector<Scheme> schemes{Scheme::LayerWise, Scheme::EarlyFused,
                                     Scheme::OptimalFused, Scheme::Pico};
 
+  BenchJson json(std::string(figure) + "_" + models::model_name(model) +
+                 "_capacity");
+  json.param("model", models::model_name(model));
+
   for (const double freq : frequencies) {
     print_header(std::string(figure) + " — inference period (s), " +
                  models::model_name(model) + " @ " + fmt(freq, 1) + " GHz");
@@ -34,6 +38,8 @@ inline void capacity_figure(models::ModelId model, const char* figure) {
       for (const Scheme scheme : schemes) {
         const auto p = plan(graph, cluster, network, scheme);
         const auto cost = evaluate(graph, cluster, network, p);
+        json.sample(std::string(scheme_name(scheme)) + "_period_s",
+                    cost.period);
         row.push_back(fmt(cost.period, 2));
       }
       print_row(row);
@@ -54,6 +60,8 @@ inline void capacity_figure(models::ModelId model, const char* figure) {
       const auto arrivals = sim::back_to_back_arrivals(40);
       const auto result =
           sim::simulate_plan(graph, cluster, network, p, arrivals);
+      json.sample(std::string(scheme_name(scheme)) + "_tasks_per_min",
+                  result.throughput() * 60.0);
       row.push_back(fmt(result.throughput() * 60.0, 2));
     }
     print_row(row);

@@ -17,6 +17,9 @@ using namespace pico;
 
 void profile(models::ModelId id) {
   const nn::Graph g = models::build(id);
+  bench::BenchJson json(std::string("fig2_") + models::model_name(id) +
+                        "_layer_profile");
+  json.param("model", models::model_name(id));
   Flops total_flops = 0.0, conv_flops = 0.0;
   Bytes total_bytes = 0.0;
   for (int node = 1; node < g.size(); ++node) {
@@ -30,6 +33,10 @@ void profile(models::ModelId id) {
                       models::model_name(id));
   bench::print_row({"layer", "type", "out shape", "comp%", "comm%"}, 14);
   for (int node = 1; node < g.size(); ++node) {
+    json.sample("comp_share",
+                cost::node_flops_full(g, node) / total_flops);
+    json.sample("comm_share",
+                cost::node_output_bytes(g, node) / total_bytes);
     const nn::Node& n = g.node(node);
     char shape[32];
     std::snprintf(shape, sizeof(shape), "%dx%dx%d", n.out_shape.channels,
@@ -40,6 +47,7 @@ void profile(models::ModelId id) {
          bench::fmt_pct(cost::node_output_bytes(g, node) / total_bytes)},
         14);
   }
+  json.param("conv_comp_share", conv_flops / total_flops);
   std::printf("\nconv share of computation: %s (paper: %s)\n",
               bench::fmt_pct(conv_flops / total_flops).c_str(),
               id == models::ModelId::Vgg16 ? "99.19%" : "99.59%");

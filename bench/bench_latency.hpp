@@ -24,7 +24,8 @@ struct LatencyPoint {
 inline Seconds mean_over_seeds(
     const nn::Graph& graph, const Cluster& cluster,
     const NetworkModel& network, const partition::Plan& plan, double lambda,
-    Seconds horizon, int repeats) {
+    Seconds horizon, int repeats, BenchJson& json,
+    const std::string& series) {
   double sum = 0.0;
   for (int seed = 0; seed < repeats; ++seed) {
     Rng rng(1000 + static_cast<std::uint64_t>(seed));
@@ -32,6 +33,7 @@ inline Seconds mean_over_seeds(
     if (arrivals.empty()) continue;
     const auto result =
         sim::simulate_plan(graph, cluster, network, plan, arrivals);
+    json.sample(series, result.mean_latency());
     sum += result.mean_latency();
   }
   return sum / repeats;
@@ -39,7 +41,8 @@ inline Seconds mean_over_seeds(
 
 inline Seconds apico_mean(const nn::Graph& graph, const Cluster& cluster,
                           const NetworkModel& network, double lambda,
-                          Seconds horizon, Seconds window, int repeats) {
+                          Seconds horizon, Seconds window, int repeats,
+                          BenchJson& json, const std::string& series) {
   double sum = 0.0;
   for (int seed = 0; seed < repeats; ++seed) {
     Rng rng(1000 + static_cast<std::uint64_t>(seed));
@@ -50,7 +53,9 @@ inline Seconds apico_mean(const nn::Graph& graph, const Cluster& cluster,
         graph, cluster, network, {.beta = 0.3, .window = window});
     controller.attach(simulator);
     simulator.add_arrivals(arrivals);
-    sum += simulator.run().mean_latency();
+    const auto result = simulator.run();
+    json.sample(series, result.mean_latency());
+    sum += result.mean_latency();
   }
   return sum / repeats;
 }
@@ -69,6 +74,13 @@ inline void latency_figure(models::ModelId model, const char* figure,
       1.0 / evaluate(graph, cluster, network, efl).period;
   const Seconds window = 10.0 / capacity;
 
+  BenchJson json(std::string(figure) + "_" + models::model_name(model) +
+                 "_latency");
+  json.param("model", models::model_name(model));
+  json.param("horizon_s", horizon);
+  json.param("repeats", static_cast<double>(repeats));
+  json.param("capacity_tasks_per_s", capacity);
+
   print_header(std::string(figure) + " — average inference latency (s), " +
                models::model_name(model) +
                ", heterogeneous 8-device cluster");
@@ -77,16 +89,17 @@ inline void latency_figure(models::ModelId model, const char* figure,
   for (const double load :
        {0.4, 0.6, 0.8, 0.9, 1.0, 1.1, 1.25, 1.5}) {
     const double lambda = load * capacity;
+    const std::string at = "@" + fmt_pct(load, 0);
     LatencyPoint point;
     point.load = load;
     point.efl = mean_over_seeds(graph, cluster, network, efl, lambda,
-                                horizon, repeats);
+                                horizon, repeats, json, "EFL" + at);
     point.ofl = mean_over_seeds(graph, cluster, network, ofl, lambda,
-                                horizon, repeats);
+                                horizon, repeats, json, "OFL" + at);
     point.pico = mean_over_seeds(graph, cluster, network, pico, lambda,
-                                 horizon, repeats);
-    point.apico =
-        apico_mean(graph, cluster, network, lambda, horizon, window, repeats);
+                                 horizon, repeats, json, "PICO" + at);
+    point.apico = apico_mean(graph, cluster, network, lambda, horizon,
+                             window, repeats, json, "APICO" + at);
     print_row({fmt_pct(point.load, 0), fmt(point.efl, 2),
                fmt(point.ofl, 2), fmt(point.pico, 2),
                fmt(point.apico, 2)});

@@ -25,6 +25,11 @@ void table_for(models::ModelId model) {
   const Cluster cluster = Cluster::paper_heterogeneous();
   const NetworkModel network = bench::paper_network();
 
+  bench::BenchJson json(std::string("table1_") + models::model_name(model) +
+                        "_utilization");
+  json.param("model", models::model_name(model));
+  json.param("devices", static_cast<double>(cluster.size()));
+
   bench::print_header(std::string("Table I — ") + models::model_name(model) +
                       " on 2x1.2GHz + 2x800MHz + 4x600MHz");
   std::vector<std::string> head{"scheme", "metric"};
@@ -49,6 +54,7 @@ void table_for(models::ModelId model) {
     for (const Device& d : cluster.devices()) {
       const double util = result.utilization(d.id);
       util_sum += util;
+      json.sample(std::string(scheme_name(scheme)) + "_utilization", util);
       util_row.push_back(bench::fmt_pct(util, 1));
       double redu = 0.0;
       bool found = false;
@@ -61,6 +67,7 @@ void table_for(models::ModelId model) {
       }
       redu_row.push_back(found ? bench::fmt_pct(redu, 1) : "idle");
       if (found) {
+        json.sample(std::string(scheme_name(scheme)) + "_redundancy", redu);
         redu_sum += redu;
         ++redu_count;
       }

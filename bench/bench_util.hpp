@@ -7,11 +7,16 @@
 // rows/series.
 #pragma once
 
+#include <cctype>
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
 #include <string>
 #include <vector>
 
 #include "cluster/cluster.hpp"
+#include "common/stats.hpp"
 
 namespace pico::bench {
 
@@ -48,5 +53,95 @@ inline std::string fmt_pct(double fraction, int decimals = 2) {
                 fraction * 100.0);
   return buffer;
 }
+
+/// Machine-readable companion to the printed tables: accumulates named
+/// sample series and writes `BENCH_<name>.json` on destruction — into
+/// $PICO_BENCH_JSON_DIR when set, else the working directory — with
+/// count/mean/p50/p99 per series so CI can diff bench results across runs.
+class BenchJson {
+ public:
+  explicit BenchJson(std::string name) : name_(std::move(name)) {}
+
+  BenchJson(const BenchJson&) = delete;
+  BenchJson& operator=(const BenchJson&) = delete;
+
+  ~BenchJson() {
+    // Best effort: a bench must never fail because its JSON sidecar can't
+    // be written.
+    try {
+      write();
+    } catch (...) {
+    }
+  }
+
+  void param(const std::string& key, const std::string& value) {
+    params_[key] = "\"" + escape(value) + "\"";
+  }
+  void param(const std::string& key, double value) {
+    params_[key] = number(value);
+  }
+
+  void sample(const std::string& series, double value) {
+    series_[series].push_back(value);
+  }
+
+  void write() const {
+    const char* dir = std::getenv("PICO_BENCH_JSON_DIR");
+    std::string file_stem;
+    for (const char c : name_) {
+      file_stem.push_back(std::isalnum(static_cast<unsigned char>(c))
+                              ? c
+                              : '_');
+    }
+    const std::string path = (dir && *dir ? std::string(dir) + "/" : "") +
+                             "BENCH_" + file_stem + ".json";
+    std::ofstream file(path, std::ios::trunc);
+    if (!file.good()) return;
+    file << "{\n  \"name\": \"" << escape(name_) << "\",\n  \"params\": {";
+    bool first = true;
+    for (const auto& [key, value] : params_) {
+      file << (first ? "" : ",") << "\n    \"" << escape(key)
+           << "\": " << value;
+      first = false;
+    }
+    file << (params_.empty() ? "" : "\n  ") << "},\n  \"series\": {";
+    first = true;
+    for (const auto& [key, values] : series_) {
+      double sum = 0.0;
+      for (const double v : values) sum += v;
+      const double mean =
+          values.empty() ? 0.0 : sum / static_cast<double>(values.size());
+      file << (first ? "" : ",") << "\n    \"" << escape(key)
+           << "\": {\"count\": " << values.size()
+           << ", \"mean\": " << number(mean)
+           << ", \"p50\": " << number(percentile(values, 0.5))
+           << ", \"p99\": " << number(percentile(values, 0.99)) << "}";
+      first = false;
+    }
+    file << (series_.empty() ? "" : "\n  ") << "}\n}\n";
+  }
+
+ private:
+  static std::string escape(const std::string& text) {
+    std::string out;
+    for (const char c : text) {
+      if (c == '"' || c == '\\') out.push_back('\\');
+      out.push_back(c);
+    }
+    return out;
+  }
+
+  /// JSON has no inf/nan literals; clamp to null.
+  static std::string number(double value) {
+    if (!(value == value) || value > 1e308 || value < -1e308) return "null";
+    char buffer[64];
+    std::snprintf(buffer, sizeof(buffer), "%.9g", value);
+    return buffer;
+  }
+
+  std::string name_;
+  std::map<std::string, std::string> params_;
+  std::map<std::string, std::vector<double>> series_;
+};
 
 }  // namespace pico::bench

@@ -21,6 +21,7 @@
 #include "models/cfg.hpp"
 #include "nn/executor.hpp"
 #include "nn/weights_io.hpp"
+#include "obs/metrics.hpp"
 #include "runtime/adaptive_runtime.hpp"
 
 int main(int argc, char** argv) {
@@ -92,5 +93,13 @@ int main(int argc, char** argv) {
   }
   std::printf("  (%d switches, final rate estimate %.1f frames/s)\n",
               rt.switches(), rt.estimated_rate());
+
+  // The runtime kept metrics the whole time (always-on; see src/obs/).
+  obs::Registry& metrics = obs::Registry::global();
+  const obs::Histogram& latency =
+      metrics.histogram("pico_task_latency_seconds");
+  std::printf("task latency p50 %.0f ms, p99 %.0f ms; drain on switch %.0f ms\n",
+              latency.percentile(0.5) * 1e3, latency.percentile(0.99) * 1e3,
+              metrics.histogram("pico_adaptive_drain_seconds").mean() * 1e3);
   return exact == total ? 0 : 1;
 }

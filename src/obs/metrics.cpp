@@ -1,0 +1,234 @@
+#include "obs/metrics.hpp"
+
+#include <cmath>
+#include <limits>
+#include <ostream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace pico::obs {
+
+namespace {
+
+void atomic_add(std::atomic<double>& target, double delta) {
+  double current = target.load(std::memory_order_relaxed);
+  while (!target.compare_exchange_weak(current, current + delta,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_min(std::atomic<double>& target, double value) {
+  double current = target.load(std::memory_order_relaxed);
+  while (value < current && !target.compare_exchange_weak(
+                                current, value, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_max(std::atomic<double>& target, double value) {
+  double current = target.load(std::memory_order_relaxed);
+  while (value > current && !target.compare_exchange_weak(
+                                current, value, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+void Histogram::observe(double value) {
+  buckets_[bucket_index(value)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  atomic_add(sum_, value);
+  atomic_min(min_, value);
+  atomic_max(max_, value);
+}
+
+double Histogram::mean() const {
+  const std::int64_t n = count();
+  return n > 0 ? sum() / static_cast<double>(n) : 0.0;
+}
+
+double Histogram::min() const { return min_.load(std::memory_order_relaxed); }
+
+double Histogram::max() const { return max_.load(std::memory_order_relaxed); }
+
+int Histogram::bucket_index(double value) {
+  if (!(value > kMinValue)) return 0;  // also catches NaN and negatives
+  const double position = std::log2(value / kMinValue) * kBucketsPerOctave;
+  // Compare before casting: value / kMinValue can overflow to inf, and
+  // casting an out-of-range double to int is UB.
+  if (position >= kBucketCount - 2) return kBucketCount - 1;
+  return 1 + static_cast<int>(position);
+}
+
+double Histogram::bucket_lower(int index) {
+  if (index <= 0) return 0.0;
+  return kMinValue *
+         std::exp2(static_cast<double>(index - 1) / kBucketsPerOctave);
+}
+
+double Histogram::bucket_upper(int index) {
+  if (index >= kBucketCount - 1) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return bucket_lower(index + 1);
+}
+
+double Histogram::percentile(double q) const {
+  const std::int64_t total = count();
+  if (total <= 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Rank of the target observation (1-based), then walk the buckets.
+  const double rank = q * static_cast<double>(total - 1) + 1.0;
+  double cumulative = 0.0;
+  for (int i = 0; i < kBucketCount; ++i) {
+    const auto in_bucket = static_cast<double>(
+        buckets_[i].load(std::memory_order_relaxed));
+    if (in_bucket <= 0.0) continue;
+    if (cumulative + in_bucket >= rank) {
+      const double fraction = (rank - cumulative) / in_bucket;
+      const double lower = bucket_lower(i);
+      const double upper = i >= kBucketCount - 1
+                               ? max_.load(std::memory_order_relaxed)
+                               : bucket_upper(i);
+      return lower + (upper - lower) * fraction;
+    }
+    cumulative += in_bucket;
+  }
+  return max_.load(std::memory_order_relaxed);
+}
+
+void Histogram::reset() {
+  for (auto& bucket : buckets_) bucket.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  min_.store(std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+  max_.store(-std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+namespace {
+
+std::string render_labels(const std::vector<Label>& labels) {
+  if (labels.empty()) return {};
+  std::string out = "{";
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (i > 0) out += ',';
+    out += labels[i].key;
+    out += "=\"";
+    out += labels[i].value;
+    out += '"';
+  }
+  out += '}';
+  return out;
+}
+
+}  // namespace
+
+Registry& Registry::global() {
+  static Registry* instance = new Registry();  // never destroyed: metric
+  return *instance;  // pointers must outlive static-teardown users
+}
+
+Registry::Slot& Registry::slot(const std::string& name,
+                               const std::vector<Label>& labels) {
+  const std::string labels_text = render_labels(labels);
+  auto [it, inserted] = slots_.try_emplace(name + labels_text);
+  if (inserted) {
+    it->second = std::make_unique<Slot>();
+    it->second->name = name;
+    it->second->labels_text = labels_text;
+  }
+  return *it->second;
+}
+
+Counter& Registry::counter(const std::string& name,
+                           const std::vector<Label>& labels) {
+  MutexLock lock(mutex_);
+  Slot& s = slot(name, labels);
+  PICO_CHECK_MSG(!s.gauge && !s.histogram,
+                 "metric " << name << " already registered with another kind");
+  if (!s.counter) s.counter = std::make_unique<Counter>();
+  return *s.counter;
+}
+
+Gauge& Registry::gauge(const std::string& name,
+                       const std::vector<Label>& labels) {
+  MutexLock lock(mutex_);
+  Slot& s = slot(name, labels);
+  PICO_CHECK_MSG(!s.counter && !s.histogram,
+                 "metric " << name << " already registered with another kind");
+  if (!s.gauge) s.gauge = std::make_unique<Gauge>();
+  return *s.gauge;
+}
+
+Histogram& Registry::histogram(const std::string& name,
+                               const std::vector<Label>& labels) {
+  MutexLock lock(mutex_);
+  Slot& s = slot(name, labels);
+  PICO_CHECK_MSG(!s.counter && !s.gauge,
+                 "metric " << name << " already registered with another kind");
+  if (!s.histogram) s.histogram = std::make_unique<Histogram>();
+  return *s.histogram;
+}
+
+void Registry::write_prometheus(std::ostream& os) const {
+  MutexLock lock(mutex_);
+  std::string last_name;
+  for (const auto& [key, slot] : slots_) {
+    if (slot->name != last_name) {
+      const char* type = slot->counter ? "counter"
+                        : slot->gauge  ? "gauge"
+                                       : "summary";
+      os << "# TYPE " << slot->name << ' ' << type << '\n';
+      last_name = slot->name;
+    }
+    if (slot->counter) {
+      os << slot->name << slot->labels_text << ' ' << slot->counter->value()
+         << '\n';
+    } else if (slot->gauge) {
+      os << slot->name << slot->labels_text << ' ' << slot->gauge->value()
+         << '\n';
+    } else if (slot->histogram) {
+      const Histogram& h = *slot->histogram;
+      // Summary exposition: {quantile="..."} series share the label set.
+      for (const double q : {0.5, 0.95, 0.99}) {
+        std::string labels = slot->labels_text;
+        std::ostringstream quantile;
+        quantile << "quantile=\"" << q << '"';
+        if (labels.empty()) {
+          labels = "{" + quantile.str() + "}";
+        } else {
+          labels.insert(labels.size() - 1, "," + quantile.str());
+        }
+        os << slot->name << labels << ' ' << h.percentile(q) << '\n';
+      }
+      os << slot->name << "_count" << slot->labels_text << ' ' << h.count()
+         << '\n';
+      os << slot->name << "_sum" << slot->labels_text << ' ' << h.sum()
+         << '\n';
+    }
+  }
+}
+
+std::string Registry::prometheus_text() const {
+  std::ostringstream os;
+  write_prometheus(os);
+  return os.str();
+}
+
+void Registry::reset_values() {
+  MutexLock lock(mutex_);
+  for (auto& [key, slot] : slots_) {
+    if (slot->counter) slot->counter->reset();
+    if (slot->gauge) slot->gauge->reset();
+    if (slot->histogram) slot->histogram->reset();
+  }
+}
+
+}  // namespace pico::obs

@@ -1,0 +1,140 @@
+// Runtime metrics: lock-free counters, gauges and log-bucketed latency
+// histograms, collected in a process-wide registry.
+//
+// The hot path (Counter::add, Gauge::set, Histogram::observe) is a handful
+// of relaxed atomic operations — safe to leave always-on in the threaded
+// runtime (ROADMAP: TSan-clean, no bare shared state).  Registration and the
+// Prometheus-style text dump take the registry mutex; callers on hot paths
+// cache the returned metric pointers, which stay valid for the registry's
+// lifetime (reset_values() zeroes metrics in place instead of destroying
+// them).
+//
+// Naming follows the Prometheus convention: `pico_<subsystem>_<unit>` with
+// `{key="value"}` labels, e.g. pico_stage_compute_seconds{stage="2",
+// device="5"}.  Histograms are dumped summary-style (quantiles + _count +
+// _sum) rather than as 300-odd cumulative buckets.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <limits>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/mutex.hpp"
+
+namespace pico::obs {
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void add(std::int64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+/// Last-write-wins instantaneous value (λ̂ snapshots, queue depths, ...).
+class Gauge {
+ public:
+  void set(double v) { value_.store(v, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Lock-free histogram over non-negative values with geometrically spaced
+/// buckets: kBucketsPerOctave buckets per power of two, spanning
+/// [kMinValue, kMinValue * 2^kOctaves) — 1 ns to ~73 minutes when observing
+/// seconds.  Quantile estimates interpolate inside the landing bucket, so
+/// the relative error is bounded by the bucket width (2^(1/8) − 1 ≈ 9%).
+class Histogram {
+ public:
+  static constexpr int kBucketsPerOctave = 8;
+  static constexpr int kOctaves = 42;
+  static constexpr double kMinValue = 1e-9;
+  /// Bucket 0 catches v <= kMinValue (incl. zero); the last bucket catches
+  /// overflow.
+  static constexpr int kBucketCount = kOctaves * kBucketsPerOctave + 2;
+
+  void observe(double value);
+
+  std::int64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  double mean() const;
+  double min() const;  ///< +inf when empty
+  double max() const;  ///< -inf when empty
+  /// Quantile estimate, q in [0, 1]; 0 when empty.
+  double percentile(double q) const;
+
+  void reset();
+
+  /// Bucket index a value lands in, and the half-open [lower, upper) value
+  /// range of a bucket (exposed for tests).
+  static int bucket_index(double value);
+  static double bucket_lower(int index);
+  static double bucket_upper(int index);
+
+ private:
+  std::atomic<std::int64_t> buckets_[kBucketCount] = {};
+  std::atomic<std::int64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  // ±inf sentinels make the CAS min/max loops correct without a racy
+  // first-observation special case.
+  std::atomic<double> min_{std::numeric_limits<double>::infinity()};
+  std::atomic<double> max_{-std::numeric_limits<double>::infinity()};
+};
+
+struct Label {
+  std::string key;
+  std::string value;
+};
+
+/// Process-wide metric registry.  get-or-create accessors return references
+/// that stay valid for the registry's lifetime; a name+labels key is pinned
+/// to one metric kind (mixing kinds throws InvariantError).
+class Registry {
+ public:
+  static Registry& global();
+
+  Counter& counter(const std::string& name, const std::vector<Label>& labels = {});
+  Gauge& gauge(const std::string& name, const std::vector<Label>& labels = {});
+  Histogram& histogram(const std::string& name,
+                       const std::vector<Label>& labels = {});
+
+  /// Prometheus-ish text exposition (histograms summary-style).
+  void write_prometheus(std::ostream& os) const;
+  std::string prometheus_text() const;
+
+  /// Zero every registered metric in place.  Pointers handed out earlier
+  /// remain valid — this is how tools isolate consecutive runs.
+  void reset_values();
+
+ private:
+  struct Slot {
+    std::string name;
+    std::string labels_text;  ///< rendered `{k="v",...}` or empty
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  Slot& slot(const std::string& name, const std::vector<Label>& labels)
+      PICO_REQUIRES(mutex_);
+
+  mutable Mutex mutex_;
+  // Keyed by name + rendered labels; std::map keeps the dump sorted so all
+  // series of one metric family are adjacent.
+  std::map<std::string, std::unique_ptr<Slot>> slots_ PICO_GUARDED_BY(mutex_);
+};
+
+}  // namespace pico::obs

@@ -1,0 +1,128 @@
+// Span-based tracing of the task lifecycle, exportable as Chrome
+// about://tracing JSON (trace-event format).
+//
+// Producers record SpanRecords into per-thread buffers owned by the global
+// Tracer; snapshot() merges every thread's spans for export.  Tracing is off
+// by default: the disabled fast path is a single relaxed atomic load (the
+// RAII Span does no allocation, no clock read and no formatting when
+// disabled), so instrumentation can stay compiled into the hot runtime.
+// Enable programmatically (Tracer::global().set_enabled(true)) or by setting
+// the PICO_TRACE environment variable to anything non-empty before launch.
+//
+// Tracks (Chrome's "tid" rows) group spans for visualization: one row for
+// whole tasks, one per pipeline stage, one per device, plus net/adaptive
+// rows — see the *_track helpers.  The encoder in write_chrome_trace is
+// shared by the threaded runtime and the discrete-event simulator (one
+// exporter, two producers; see sim/trace.hpp).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/mutex.hpp"
+
+namespace pico::obs {
+
+struct SpanRecord {
+  std::string name;      ///< e.g. "scatter", "compute", "task"
+  std::string category;  ///< e.g. "stage", "queue", "net", "adaptive"
+  std::int64_t track = 0;       ///< Chrome tid (visualization row)
+  std::int64_t start_ns = 0;    ///< Tracer::now_ns() timebase
+  std::int64_t duration_ns = 0;
+  std::int64_t task_id = -1;    ///< -1 = not task-scoped
+  std::vector<std::pair<std::string, std::string>> args;
+};
+
+/// Visualization rows.  Task row 0; stages from 1; devices from 1001;
+/// net/adaptive rows sit far above so they never collide with stages.
+inline std::int64_t task_track() { return 0; }
+inline std::int64_t stage_track(int stage) { return 1 + stage; }
+inline std::int64_t device_track(int device) { return 1001 + device; }
+inline std::int64_t net_track() { return 2001; }
+inline std::int64_t adaptive_track() { return 3001; }
+
+class Tracer {
+ public:
+  /// Process-wide tracer; reads PICO_TRACE once at first use.
+  static Tracer& global();
+
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  void set_enabled(bool enabled) {
+    enabled_.store(enabled, std::memory_order_relaxed);
+  }
+
+  /// Append one span to the calling thread's buffer.  No-op when disabled.
+  /// Buffers are capped (kMaxSpansPerThread); beyond that spans are counted
+  /// as dropped instead of recorded.
+  void record(SpanRecord span);
+
+  /// Merged copy of every thread's spans, sorted by start time.
+  std::vector<SpanRecord> snapshot() const;
+
+  /// Drop all recorded spans (buffers stay registered).
+  void clear();
+
+  std::int64_t dropped() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+
+  /// Monotonic nanoseconds since process start (shared span timebase).
+  static std::int64_t now_ns();
+
+  static constexpr std::size_t kMaxSpansPerThread = 1u << 20;
+
+ private:
+  struct ThreadBuffer {
+    Mutex mutex;
+    std::vector<SpanRecord> spans PICO_GUARDED_BY(mutex);
+  };
+
+  ThreadBuffer& local_buffer();
+
+  mutable Mutex mutex_;
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers_ PICO_GUARDED_BY(mutex_);
+  std::atomic<bool> enabled_{false};
+  std::atomic<std::int64_t> dropped_{0};
+};
+
+/// RAII span: captures the start time at construction and records [start,
+/// now) into the global tracer at destruction.  `name` and `category` must
+/// be string literals (or otherwise outlive the Span) — they are not copied
+/// until the span is recorded, keeping the disabled path free.
+class Span {
+ public:
+  Span(const char* name, const char* category, std::int64_t track = 0,
+       std::int64_t task_id = -1);
+  ~Span();
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  /// Attach a key/value argument (shown in the Chrome trace viewer).
+  void arg(std::string key, std::string value);
+
+ private:
+  bool active_;
+  const char* name_;
+  const char* category_;
+  std::int64_t track_;
+  std::int64_t task_id_;
+  std::int64_t start_ns_ = 0;
+  std::vector<std::pair<std::string, std::string>> args_;
+};
+
+/// Chrome trace-event JSON ("X" complete events; ts/dur in microseconds).
+/// `track_names` labels rows via thread_name metadata events.
+void write_chrome_trace(
+    std::ostream& os, const std::vector<SpanRecord>& spans,
+    const std::map<std::int64_t, std::string>& track_names = {});
+void write_chrome_trace_file(
+    const std::string& path, const std::vector<SpanRecord>& spans,
+    const std::map<std::int64_t, std::string>& track_names = {});
+
+}  // namespace pico::obs

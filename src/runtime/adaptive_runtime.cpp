@@ -2,6 +2,8 @@
 
 #include "common/error.hpp"
 #include "common/log.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace pico::runtime {
 
@@ -32,19 +34,38 @@ AdaptiveRuntime::~AdaptiveRuntime() { shutdown(); }
 
 void AdaptiveRuntime::activate(std::size_t candidate_index) {
   PICO_CHECK(candidate_index < controller_.candidates().size());
+  const std::string& next_scheme =
+      controller_.candidates()[candidate_index].plan.scheme;
   if (active_) {
     // Drain: the PipelineRuntime destructor-less shutdown waits for every
     // in-flight task before the workers stop, matching the simulator's
     // drain-then-swap.
+    const std::string from_scheme = current_scheme();
+    const std::int64_t drain_start = obs::Tracer::now_ns();
     active_->shutdown();
+    const std::int64_t drain_end = obs::Tracer::now_ns();
     ++switches_;
+    obs::Registry& registry = obs::Registry::global();
+    registry.counter("pico_adaptive_switches_total").add(1);
+    registry.histogram("pico_adaptive_drain_seconds")
+        .observe(static_cast<double>(drain_end - drain_start) / 1e9);
+    obs::Tracer& tracer = obs::Tracer::global();
+    if (tracer.enabled()) {
+      obs::SpanRecord span;
+      span.name = "switch";
+      span.category = "adaptive";
+      span.track = obs::adaptive_track();
+      span.start_ns = drain_start;
+      span.duration_ns = drain_end - drain_start;
+      span.args = {{"from", from_scheme}, {"to", next_scheme}};
+      tracer.record(std::move(span));
+    }
   }
   active_index_ = candidate_index;
   active_ = std::make_unique<PipelineRuntime>(
       graph_, controller_.candidates()[candidate_index].plan,
       options_.runtime);
-  history_.push_back(
-      controller_.candidates()[candidate_index].plan.scheme);
+  history_.push_back(next_scheme);
   PICO_LOG(Info) << "adaptive runtime now on " << history_.back();
 }
 
@@ -68,6 +89,9 @@ void AdaptiveRuntime::maybe_reevaluate() {
   }
   window_arrivals_ = 0;
   window_start_ = now;
+  obs::Registry::global()
+      .gauge("pico_adaptive_lambda_hat")
+      .set(controller_.estimated_rate());
 
   const std::size_t best = adaptive::select_scheme(
       controller_.candidates(), controller_.estimated_rate());

@@ -8,7 +8,7 @@ namespace pico::runtime {
 
 namespace {
 
-constexpr std::uint32_t kMagic = 0x50494330;  // "PIC0"
+constexpr std::uint32_t kMagic = 0x50494331;  // "PIC1" (v1: compute_seconds)
 
 template <typename T>
 void put(std::vector<std::uint8_t>& out, T value) {
@@ -54,6 +54,7 @@ std::vector<std::uint8_t> serialize(const Message& message) {
   put<std::int32_t>(out, message.stage_index);
   put<std::int32_t>(out, message.first_node);
   put<std::int32_t>(out, message.last_node);
+  put<double>(out, message.compute_seconds);
   put_region(out, message.in_region);
   put_region(out, message.out_region);
   put<std::int32_t>(out, shape.channels);
@@ -79,6 +80,7 @@ Message deserialize(const std::uint8_t* data, std::size_t size) {
   message.stage_index = get<std::int32_t>(cursor, end);
   message.first_node = get<std::int32_t>(cursor, end);
   message.last_node = get<std::int32_t>(cursor, end);
+  message.compute_seconds = get<double>(cursor, end);
   message.in_region = get_region(cursor, end);
   message.out_region = get_region(cursor, end);
   Shape shape;

@@ -27,6 +27,10 @@ struct Message {
   std::int32_t stage_index = 0;
   std::int32_t first_node = 0;  ///< segment to run (WorkRequest)
   std::int32_t last_node = 0;
+  /// WorkResult: wall-clock seconds the device spent in execute_segment,
+  /// timed worker-side and carried back so the coordinator can attribute
+  /// compute time per device (the paper's Eq. 5/6 measured counterpart).
+  double compute_seconds = 0.0;
   Region in_region;   ///< where `tensor` sits in the segment-input map
   Region out_region;  ///< region of the segment output to produce / produced
   Tensor tensor;      ///< input piece (request) or result piece (result)

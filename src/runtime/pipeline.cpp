@@ -3,12 +3,15 @@
 #include <atomic>
 #include <cstring>
 #include <map>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "common/error.hpp"
 #include "common/log.hpp"
 #include "nn/receptive.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "partition/branches.hpp"
 #include "runtime/channel.hpp"
 #include "runtime/worker.hpp"
@@ -22,7 +25,34 @@ struct TaskItem {
   std::int64_t id = 0;
   Tensor tensor;
   std::shared_ptr<std::promise<Tensor>> promise;
+  std::int64_t submit_ns = 0;   ///< when submit() accepted the task
+  std::int64_t enqueue_ns = 0;  ///< when it entered its current queue
 };
+
+double to_seconds(std::int64_t ns) { return static_cast<double>(ns) / 1e9; }
+
+std::vector<obs::Label> stage_labels(std::size_t stage) {
+  return {{"stage", std::to_string(stage)}};
+}
+
+/// Re-create a span from a duration measured elsewhere (worker-side compute,
+/// queue waits): position it as ending now / at the given instant.
+void record_interval(obs::Tracer& tracer, const char* name,
+                     const char* category, std::int64_t track,
+                     std::int64_t task_id, std::int64_t start_ns,
+                     std::int64_t end_ns,
+                     std::vector<std::pair<std::string, std::string>> args =
+                         {}) {
+  obs::SpanRecord span;
+  span.name = name;
+  span.category = category;
+  span.track = track;
+  span.task_id = task_id;
+  span.start_ns = start_ns;
+  span.duration_ns = end_ns - start_ns;
+  span.args = std::move(args);
+  tracer.record(std::move(span));
+}
 
 }  // namespace
 
@@ -41,6 +71,26 @@ struct PipelineRuntime::Impl {
   std::atomic<long long> completed{0};
   std::atomic<bool> stopped{false};
 
+  // Per-stage / per-queue metric handles, resolved once against the global
+  // registry before the coordinator threads start (read-only afterwards, so
+  // no synchronization is needed on the vectors themselves; the metrics are
+  // internally atomic).
+  struct StageMetrics {
+    obs::Histogram* scatter = nullptr;
+    obs::Histogram* gather = nullptr;
+    obs::Histogram* service = nullptr;
+    obs::Histogram* compute_critical = nullptr;
+    std::map<DeviceId, obs::Histogram*> device_compute;
+  };
+  struct QueueMetrics {
+    obs::Histogram* wait = nullptr;
+    obs::Histogram* handoff = nullptr;
+  };
+  std::vector<StageMetrics> stage_metrics;
+  std::vector<QueueMetrics> queue_metrics;
+  obs::Histogram* task_latency = nullptr;
+  obs::Counter* tasks_total = nullptr;
+
   Impl(const nn::Graph& g, const partition::Plan& p, RuntimeOptions opts)
       : graph(g), plan(p), options(opts) {}
 
@@ -54,6 +104,38 @@ struct PipelineRuntime::Impl {
       }
     }
     return device_ids;
+  }
+
+  void init_metrics(std::size_t coordinator_count) {
+    obs::Registry& registry = obs::Registry::global();
+    for (std::size_t s = 0; s < plan.stages.size(); ++s) {
+      StageMetrics metrics;
+      metrics.scatter =
+          &registry.histogram("pico_stage_scatter_seconds", stage_labels(s));
+      metrics.gather =
+          &registry.histogram("pico_stage_gather_seconds", stage_labels(s));
+      metrics.service =
+          &registry.histogram("pico_stage_service_seconds", stage_labels(s));
+      metrics.compute_critical = &registry.histogram(
+          "pico_stage_compute_critical_seconds", stage_labels(s));
+      for (const partition::DeviceSlice& slice : plan.stages[s].assignments) {
+        metrics.device_compute[slice.device] = &registry.histogram(
+            "pico_stage_compute_seconds",
+            {{"stage", std::to_string(s)},
+             {"device", std::to_string(slice.device)}});
+      }
+      stage_metrics.push_back(std::move(metrics));
+    }
+    for (std::size_t q = 0; q < coordinator_count; ++q) {
+      QueueMetrics metrics;
+      metrics.wait = &registry.histogram("pico_stage_queue_wait_seconds",
+                                         {{"queue", std::to_string(q)}});
+      metrics.handoff = &registry.histogram("pico_stage_handoff_seconds",
+                                            {{"queue", std::to_string(q)}});
+      queue_metrics.push_back(metrics);
+    }
+    task_latency = &registry.histogram("pico_task_latency_seconds");
+    tasks_total = &registry.counter("pico_tasks_completed_total");
   }
 
   /// External-transport mode: connections were supplied by the caller.
@@ -78,7 +160,7 @@ struct PipelineRuntime::Impl {
         auto [coordinator_end, worker_end] = make_inproc_pair();
         connections[id] = std::move(coordinator_end);
         workers.push_back(
-            std::make_unique<Worker>(graph, std::move(worker_end)));
+            std::make_unique<Worker>(graph, std::move(worker_end), id));
         workers.back()->start();
       }
     } else {
@@ -88,7 +170,7 @@ struct PipelineRuntime::Impl {
         auto worker_end = tcp_connect(listener.port());
         connections[id] = listener.accept();
         workers.push_back(
-            std::make_unique<Worker>(graph, std::move(worker_end)));
+            std::make_unique<Worker>(graph, std::move(worker_end), id));
         workers.back()->start();
       }
     }
@@ -101,6 +183,7 @@ struct PipelineRuntime::Impl {
     // one coordinator walking all stages.
     const std::size_t coordinator_count =
         plan.pipelined ? plan.stages.size() : 1;
+    init_metrics(coordinator_count);
     for (std::size_t i = 0; i < coordinator_count; ++i) {
       queues.push_back(
           std::make_unique<BoundedQueue<TaskItem>>(options.queue_capacity));
@@ -112,14 +195,39 @@ struct PipelineRuntime::Impl {
     }
   }
 
+  /// Observe one device's WorkResult compute time (hist + span).
+  void observe_compute(std::size_t stage_index, DeviceId device,
+                       std::int64_t task_id, double compute_seconds) {
+    auto it = stage_metrics[stage_index].device_compute.find(device);
+    if (it != stage_metrics[stage_index].device_compute.end()) {
+      it->second->observe(compute_seconds);
+    }
+    obs::Tracer& tracer = obs::Tracer::global();
+    if (tracer.enabled()) {
+      // The worker only reports a duration (clocks are not assumed to be
+      // synchronized across hosts); anchor the span so it ends at the
+      // moment the result arrived.
+      const std::int64_t end_ns = obs::Tracer::now_ns();
+      const auto duration_ns =
+          static_cast<std::int64_t>(compute_seconds * 1e9);
+      record_interval(tracer, "compute", "compute", obs::device_track(device),
+                      task_id, end_ns - duration_ns, end_ns,
+                      {{"stage", std::to_string(stage_index)},
+                       {"device", std::to_string(device)}});
+    }
+  }
+
   /// Branch-parallel stage: ship each device its branches' input pieces,
   /// collect full-map branch outputs, stack them channel-wise (the concat).
-  Tensor run_branch_stage(const partition::Stage& stage,
-                          const Tensor& input) {
+  Tensor run_branch_stage(std::size_t stage_index,
+                          const partition::Stage& stage, const Tensor& input,
+                          std::int64_t task_id) {
     const std::vector<partition::Branch> branches =
         partition::block_branches(graph, {stage.first, stage.last});
     PICO_CHECK(!branches.empty());
     const Shape out_shape = graph.node(stage.last).out_shape;
+    StageMetrics& metrics = stage_metrics[stage_index];
+    const std::int64_t scatter_start = obs::Tracer::now_ns();
 
     struct Sent {
       DeviceId device;
@@ -134,6 +242,8 @@ struct PipelineRuntime::Impl {
         const Shape branch_out = graph.node(branch.last).out_shape;
         Message request;
         request.type = MessageType::WorkRequest;
+        request.task_id = task_id;
+        request.stage_index = static_cast<std::int32_t>(stage_index);
         request.first_node = branch.first;
         request.last_node = branch.last;
         request.in_region = in_region;
@@ -144,11 +254,17 @@ struct PipelineRuntime::Impl {
         sent.push_back({slice.device, &branch});
       }
     }
+    const std::int64_t gather_start = obs::Tracer::now_ns();
+    metrics.scatter->observe(to_seconds(gather_start - scatter_start));
 
+    // A device may serve several branches; its compute time per task is the
+    // sum of its branch executions.
+    std::map<DeviceId, double> device_seconds;
     Tensor out(out_shape);
     for (const Sent& entry : sent) {
       Message result = connections.at(entry.device)->recv();
       PICO_CHECK(result.type == MessageType::WorkResult);
+      device_seconds[entry.device] += result.compute_seconds;
       const partition::Branch& branch = *entry.branch;
       PICO_CHECK(result.tensor.shape().channels == branch.channels &&
                  result.tensor.shape().height == out_shape.height &&
@@ -161,21 +277,27 @@ struct PipelineRuntime::Impl {
                         out_shape.width);
       }
     }
+    double critical = 0.0;
+    for (const auto& [device, seconds] : device_seconds) {
+      observe_compute(stage_index, device, task_id, seconds);
+      critical = std::max(critical, seconds);
+    }
+    metrics.compute_critical->observe(critical);
+    metrics.gather->observe(
+        to_seconds(obs::Tracer::now_ns() - gather_start));
     return out;
   }
 
-  /// Run one stage of the plan for one feature map (scatter/gather/stitch).
-  Tensor run_stage(const partition::Stage& stage, const Tensor& input) {
-    const Shape in_shape = graph.node(stage.first).in_shape;
-    PICO_CHECK_MSG(input.shape() == in_shape,
-                   "stage input shape " << input.shape() << " != expected "
-                                        << in_shape);
-    if (stage.kind == partition::StageKind::Branch) {
-      return run_branch_stage(stage, input);
-    }
+  /// Spatial stage: scatter (haloed) input pieces, gather and stitch.
+  Tensor run_spatial_stage(std::size_t stage_index,
+                           const partition::Stage& stage, const Tensor& input,
+                           std::int64_t task_id) {
     const Shape out_shape = graph.node(stage.last).out_shape;
+    StageMetrics& metrics = stage_metrics[stage_index];
+    obs::Tracer& tracer = obs::Tracer::global();
 
     // Scatter: send each device its (haloed) input piece.
+    const std::int64_t scatter_start = obs::Tracer::now_ns();
     std::vector<const partition::DeviceSlice*> active;
     for (const partition::DeviceSlice& slice : stage.assignments) {
       if (slice.out_region.empty()) continue;
@@ -183,6 +305,8 @@ struct PipelineRuntime::Impl {
           graph, stage.first, stage.last, slice.out_region);
       Message request;
       request.type = MessageType::WorkRequest;
+      request.task_id = task_id;
+      request.stage_index = static_cast<std::int32_t>(stage_index);
       request.first_node = stage.first;
       request.last_node = stage.last;
       request.in_region = in_region;
@@ -191,35 +315,109 @@ struct PipelineRuntime::Impl {
       connections.at(slice.device)->send(request);
       active.push_back(&slice);
     }
+    const std::int64_t gather_start = obs::Tracer::now_ns();
+    metrics.scatter->observe(to_seconds(gather_start - scatter_start));
+    if (tracer.enabled()) {
+      record_interval(tracer, "scatter", "phase",
+                      obs::stage_track(static_cast<int>(stage_index)),
+                      task_id, scatter_start, gather_start);
+    }
 
     // Gather + stitch.
+    double critical = 0.0;
     std::vector<Placed> pieces;
     pieces.reserve(active.size());
     for (const partition::DeviceSlice* slice : active) {
       Message result = connections.at(slice->device)->recv();
       PICO_CHECK(result.type == MessageType::WorkResult);
       PICO_CHECK(result.out_region == slice->out_region);
+      observe_compute(stage_index, slice->device, task_id,
+                      result.compute_seconds);
+      critical = std::max(critical, result.compute_seconds);
       pieces.push_back({result.out_region, std::move(result.tensor)});
     }
-    return stitch(out_shape, pieces);
+    Tensor out = stitch(out_shape, pieces);
+    metrics.compute_critical->observe(critical);
+    const std::int64_t gather_end = obs::Tracer::now_ns();
+    metrics.gather->observe(to_seconds(gather_end - gather_start));
+    if (tracer.enabled()) {
+      record_interval(tracer, "gather", "phase",
+                      obs::stage_track(static_cast<int>(stage_index)),
+                      task_id, gather_start, gather_end);
+    }
+    return out;
+  }
+
+  /// Run one stage of the plan for one feature map (scatter/gather/stitch).
+  Tensor run_stage(std::size_t stage_index, const partition::Stage& stage,
+                   const Tensor& input, std::int64_t task_id) {
+    const Shape in_shape = graph.node(stage.first).in_shape;
+    PICO_CHECK_MSG(input.shape() == in_shape,
+                   "stage input shape " << input.shape() << " != expected "
+                                        << in_shape);
+    const std::int64_t service_start = obs::Tracer::now_ns();
+    Tensor out = stage.kind == partition::StageKind::Branch
+                     ? run_branch_stage(stage_index, stage, input, task_id)
+                     : run_spatial_stage(stage_index, stage, input, task_id);
+    const std::int64_t service_end = obs::Tracer::now_ns();
+    stage_metrics[stage_index].service->observe(
+        to_seconds(service_end - service_start));
+    obs::Tracer& tracer = obs::Tracer::global();
+    if (tracer.enabled()) {
+      record_interval(tracer, "stage", "stage",
+                      obs::stage_track(static_cast<int>(stage_index)),
+                      task_id, service_start, service_end,
+                      {{"stage", std::to_string(stage_index)}});
+    }
+    return out;
   }
 
   void coordinate(std::size_t index, std::size_t coordinator_count) {
+    obs::Tracer& tracer = obs::Tracer::global();
     try {
       for (;;) {
         std::optional<TaskItem> item = queues[index]->pop();
         if (!item) break;  // queue closed and drained
+        const std::int64_t popped_ns = obs::Tracer::now_ns();
+        queue_metrics[index].wait->observe(
+            to_seconds(popped_ns - item->enqueue_ns));
+        if (tracer.enabled()) {
+          record_interval(tracer, "queue_wait", "queue",
+                          obs::stage_track(static_cast<int>(index)),
+                          item->id, item->enqueue_ns, popped_ns);
+        }
         if (plan.pipelined) {
-          item->tensor =
-              run_stage(plan.stages[index], std::move(item->tensor));
+          item->tensor = run_stage(index, plan.stages[index],
+                                   std::move(item->tensor), item->id);
         } else {
-          for (const partition::Stage& stage : plan.stages) {
-            item->tensor = run_stage(stage, std::move(item->tensor));
+          for (std::size_t s = 0; s < plan.stages.size(); ++s) {
+            item->tensor = run_stage(s, plan.stages[s],
+                                     std::move(item->tensor), item->id);
           }
         }
         if (index + 1 < coordinator_count) {
+          // Inter-stage transfer: the push blocks while the downstream
+          // queue is full, so its duration is the back-pressure stall.
+          const std::int64_t handoff_start = obs::Tracer::now_ns();
+          item->enqueue_ns = handoff_start;
+          const std::int64_t task_id = item->id;
           queues[index + 1]->push(std::move(*item));
+          const std::int64_t handoff_end = obs::Tracer::now_ns();
+          queue_metrics[index].handoff->observe(
+              to_seconds(handoff_end - handoff_start));
+          if (tracer.enabled()) {
+            record_interval(tracer, "handoff", "phase",
+                            obs::stage_track(static_cast<int>(index)),
+                            task_id, handoff_start, handoff_end);
+          }
         } else {
+          const std::int64_t done_ns = obs::Tracer::now_ns();
+          task_latency->observe(to_seconds(done_ns - item->submit_ns));
+          tasks_total->add(1);
+          if (tracer.enabled()) {
+            record_interval(tracer, "task", "task", obs::task_track(),
+                            item->id, item->submit_ns, done_ns);
+          }
           item->promise->set_value(std::move(item->tensor));
           completed.fetch_add(1, std::memory_order_relaxed);
         }
@@ -231,6 +429,38 @@ struct PipelineRuntime::Impl {
       if (index + 1 < coordinator_count) queues[index + 1]->close();
     }
     if (index + 1 < coordinator_count) queues[index + 1]->close();
+  }
+
+  /// Fold per-worker request counts and per-connection transfer totals into
+  /// the global registry (labelled by device).  Called once, after every
+  /// coordinator and worker thread has been joined.
+  void publish_device_totals() {
+    obs::Registry& registry = obs::Registry::global();
+    for (const auto& worker : workers) {
+      if (worker->device() < 0) continue;
+      registry
+          .counter("pico_device_requests_total",
+                   {{"device", std::to_string(worker->device())}})
+          .add(worker->requests_served());
+    }
+    for (const auto& [device, connection] : connections) {
+      const ConnectionStats stats = connection->stats();
+      const std::vector<obs::Label> labels{
+          {"device", std::to_string(device)}};
+      // Coordinator-side view: "sent" flows coordinator -> device.
+      registry.counter("pico_net_bytes_sent_total", labels)
+          .add(stats.bytes_sent);
+      registry.counter("pico_net_bytes_received_total", labels)
+          .add(stats.bytes_received);
+      registry.counter("pico_net_frames_sent_total", labels)
+          .add(stats.frames_sent);
+      registry.counter("pico_net_frames_received_total", labels)
+          .add(stats.frames_received);
+      registry.gauge("pico_net_send_seconds", labels)
+          .set(stats.send_seconds);
+      registry.gauge("pico_net_recv_seconds", labels)
+          .set(stats.recv_seconds);
+    }
   }
 
   void shutdown() {
@@ -249,6 +479,7 @@ struct PipelineRuntime::Impl {
       }
     }
     for (auto& worker : workers) worker->stop();
+    publish_device_totals();
   }
 };
 
@@ -279,6 +510,8 @@ std::future<Tensor> PipelineRuntime::submit(Tensor input) {
   item.id = impl_->next_task.fetch_add(1);
   item.tensor = std::move(input);
   item.promise = std::make_shared<std::promise<Tensor>>();
+  item.submit_ns = obs::Tracer::now_ns();
+  item.enqueue_ns = item.submit_ns;
   std::future<Tensor> future = item.promise->get_future();
   impl_->queues.front()->push(std::move(item));
   return future;

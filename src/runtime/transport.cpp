@@ -11,6 +11,7 @@
 #include <cstring>
 
 #include "common/error.hpp"
+#include "obs/trace.hpp"
 
 namespace pico::runtime {
 
@@ -18,6 +19,22 @@ namespace {
 
 [[noreturn]] void throw_errno(const char* what) {
   throw TransportError(std::string(what) + ": " + std::strerror(errno));
+}
+
+void atomic_add_seconds(std::atomic<double>& target, double delta) {
+  double current = target.load(std::memory_order_relaxed);
+  while (!target.compare_exchange_weak(current, current + delta,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+/// Serialized size of a message without actually serializing it (used by the
+/// in-process transport, which moves Messages by value).
+std::int64_t wire_size(const Message& message) {
+  // Mirrors serialize(): fixed header + region/shape fields + payload.
+  constexpr std::int64_t kHeader = 4 + 4 + 8 + 4 + 4 + 4 + 8 + 32 + 12;
+  return kHeader +
+         static_cast<std::int64_t>(message.tensor.shape().elements()) * 4;
 }
 
 // ---------------------------------------------------------------------------
@@ -32,11 +49,18 @@ class InProcConnection : public Connection {
 
   ~InProcConnection() override { close(); }
 
-  void send(const Message& message) override { tx_->push(message); }
+  void send(const Message& message) override {
+    frames_sent_.fetch_add(1, std::memory_order_relaxed);
+    bytes_sent_.fetch_add(wire_size(message), std::memory_order_relaxed);
+    tx_->push(message);
+  }
 
   Message recv() override {
     std::optional<Message> message = rx_->pop();
     if (!message) throw TransportError("in-process peer closed");
+    frames_received_.fetch_add(1, std::memory_order_relaxed);
+    bytes_received_.fetch_add(wire_size(*message),
+                              std::memory_order_relaxed);
     return std::move(*message);
   }
 
@@ -45,9 +69,22 @@ class InProcConnection : public Connection {
     rx_->close();
   }
 
+  ConnectionStats stats() const override {
+    ConnectionStats out;
+    out.frames_sent = frames_sent_.load(std::memory_order_relaxed);
+    out.frames_received = frames_received_.load(std::memory_order_relaxed);
+    out.bytes_sent = bytes_sent_.load(std::memory_order_relaxed);
+    out.bytes_received = bytes_received_.load(std::memory_order_relaxed);
+    return out;
+  }
+
  private:
   std::shared_ptr<BoundedQueue<Message>> tx_;
   std::shared_ptr<BoundedQueue<Message>> rx_;
+  std::atomic<std::int64_t> frames_sent_{0};
+  std::atomic<std::int64_t> frames_received_{0};
+  std::atomic<std::int64_t> bytes_sent_{0};
+  std::atomic<std::int64_t> bytes_received_{0};
 };
 
 // ---------------------------------------------------------------------------
@@ -101,17 +138,32 @@ class TcpConnection : public Connection {
   }
 
   void send(const Message& message) override {
-    PICO_CHECK_MSG(!closed_.load(std::memory_order_acquire),
-                   "send on closed connection");
+    // A connection closed mid-shutdown is a transport condition (the normal
+    // stop() / Shutdown-message race), not a programming error.
+    if (closed_.load(std::memory_order_acquire)) {
+      throw TransportError("send on closed connection");
+    }
+    obs::Span span("send", "net", obs::net_track(), message.task_id);
+    const std::int64_t start_ns = obs::Tracer::now_ns();
     const std::vector<std::uint8_t> payload = serialize(message);
     const std::uint64_t length = payload.size();
     write_all(fd_, &length, sizeof(length));
     write_all(fd_, payload.data(), payload.size());
+    const std::int64_t frame_bytes =
+        static_cast<std::int64_t>(sizeof(length) + payload.size());
+    frames_sent_.fetch_add(1, std::memory_order_relaxed);
+    bytes_sent_.fetch_add(frame_bytes, std::memory_order_relaxed);
+    atomic_add_seconds(
+        send_seconds_,
+        static_cast<double>(obs::Tracer::now_ns() - start_ns) / 1e9);
+    span.arg("bytes", std::to_string(frame_bytes));
   }
 
   Message recv() override {
-    PICO_CHECK_MSG(!closed_.load(std::memory_order_acquire),
-                   "recv on closed connection");
+    if (closed_.load(std::memory_order_acquire)) {
+      throw TransportError("recv on closed connection");
+    }
+    const std::int64_t start_ns = obs::Tracer::now_ns();
     std::uint64_t length = 0;
     if (!read_all(fd_, &length, sizeof(length))) {
       throw TransportError("tcp peer closed");
@@ -121,6 +173,13 @@ class TcpConnection : public Connection {
     if (!read_all(fd_, payload.data(), payload.size())) {
       throw TransportError("tcp peer closed mid-frame");
     }
+    frames_received_.fetch_add(1, std::memory_order_relaxed);
+    bytes_received_.fetch_add(
+        static_cast<std::int64_t>(sizeof(length) + payload.size()),
+        std::memory_order_relaxed);
+    atomic_add_seconds(
+        recv_seconds_,
+        static_cast<double>(obs::Tracer::now_ns() - start_ns) / 1e9);
     return deserialize(payload.data(), payload.size());
   }
 
@@ -137,9 +196,26 @@ class TcpConnection : public Connection {
     }
   }
 
+  ConnectionStats stats() const override {
+    ConnectionStats out;
+    out.frames_sent = frames_sent_.load(std::memory_order_relaxed);
+    out.frames_received = frames_received_.load(std::memory_order_relaxed);
+    out.bytes_sent = bytes_sent_.load(std::memory_order_relaxed);
+    out.bytes_received = bytes_received_.load(std::memory_order_relaxed);
+    out.send_seconds = send_seconds_.load(std::memory_order_relaxed);
+    out.recv_seconds = recv_seconds_.load(std::memory_order_relaxed);
+    return out;
+  }
+
  private:
   const int fd_;
   std::atomic<bool> closed_{false};
+  std::atomic<std::int64_t> frames_sent_{0};
+  std::atomic<std::int64_t> frames_received_{0};
+  std::atomic<std::int64_t> bytes_sent_{0};
+  std::atomic<std::int64_t> bytes_received_{0};
+  std::atomic<double> send_seconds_{0.0};
+  std::atomic<double> recv_seconds_{0.0};
 };
 
 }  // namespace

@@ -17,6 +17,20 @@
 
 namespace pico::runtime {
 
+/// Cumulative per-connection transfer accounting.  `*_seconds` is wall time
+/// spent inside send()/recv() — for recv that includes time blocked waiting
+/// for the peer, which on a coordinator endpoint is the gather wait and on a
+/// worker endpoint is idle time.  In-process connections count frames and
+/// (serialized-equivalent) bytes but do not time their queue operations.
+struct ConnectionStats {
+  std::int64_t frames_sent = 0;
+  std::int64_t frames_received = 0;
+  std::int64_t bytes_sent = 0;
+  std::int64_t bytes_received = 0;
+  double send_seconds = 0.0;
+  double recv_seconds = 0.0;
+};
+
 /// Bidirectional, blocking, message-oriented connection endpoint.
 /// recv() blocks until a message arrives; throws TransportError when the
 /// peer closes.  Thread-compatible: at most one sender and one receiver
@@ -27,6 +41,8 @@ class Connection {
   virtual void send(const Message& message) = 0;
   virtual Message recv() = 0;
   virtual void close() = 0;
+  /// Transfer totals so far; safe to call concurrently with send/recv.
+  virtual ConnectionStats stats() const { return {}; }
 };
 
 /// Two connected in-process endpoints.

@@ -3,8 +3,33 @@
 #include "common/error.hpp"
 #include "common/log.hpp"
 #include "nn/executor.hpp"
+#include "obs/trace.hpp"
 
 namespace pico::runtime {
+
+namespace {
+
+/// Serve one WorkRequest: run the segment, time it, and fill the result.
+/// The measured compute time rides back in the WorkResult so the
+/// coordinator can attribute per-device compute without trusting clocks to
+/// be synchronized across hosts (only durations cross the wire).
+Message serve_request(const nn::Graph& graph, Message request) {
+  Message result;
+  result.type = MessageType::WorkResult;
+  result.task_id = request.task_id;
+  result.stage_index = request.stage_index;
+  result.out_region = request.out_region;
+  const std::int64_t start_ns = obs::Tracer::now_ns();
+  result.tensor =
+      nn::execute_segment(graph, request.first_node, request.last_node,
+                          {request.in_region, std::move(request.tensor)},
+                          request.out_region);
+  result.compute_seconds =
+      static_cast<double>(obs::Tracer::now_ns() - start_ns) / 1e9;
+  return result;
+}
+
+}  // namespace
 
 void serve_blocking(const nn::Graph& graph, Connection& connection) {
   try {
@@ -13,16 +38,7 @@ void serve_blocking(const nn::Graph& graph, Connection& connection) {
       if (request.type == MessageType::Shutdown) break;
       PICO_CHECK_MSG(request.type == MessageType::WorkRequest,
                      "worker got unexpected message type");
-      Message result;
-      result.type = MessageType::WorkResult;
-      result.task_id = request.task_id;
-      result.stage_index = request.stage_index;
-      result.out_region = request.out_region;
-      result.tensor = nn::execute_segment(
-          graph, request.first_node, request.last_node,
-          {request.in_region, std::move(request.tensor)},
-          request.out_region);
-      connection.send(result);
+      connection.send(serve_request(graph, std::move(request)));
     }
   } catch (const TransportError&) {
     // Peer closed: normal shutdown path.
@@ -30,8 +46,8 @@ void serve_blocking(const nn::Graph& graph, Connection& connection) {
 }
 
 Worker::Worker(const nn::Graph& graph,
-               std::unique_ptr<Connection> connection)
-    : graph_(graph), connection_(std::move(connection)) {
+               std::unique_ptr<Connection> connection, DeviceId device)
+    : graph_(graph), connection_(std::move(connection)), device_(device) {
   PICO_CHECK(connection_ != nullptr);
 }
 
@@ -54,16 +70,7 @@ void Worker::run() {
       if (request.type == MessageType::Shutdown) break;
       PICO_CHECK_MSG(request.type == MessageType::WorkRequest,
                      "worker got unexpected message type");
-      Message result;
-      result.type = MessageType::WorkResult;
-      result.task_id = request.task_id;
-      result.stage_index = request.stage_index;
-      result.out_region = request.out_region;
-      result.tensor = nn::execute_segment(
-          graph_, request.first_node, request.last_node,
-          {request.in_region, std::move(request.tensor)},
-          request.out_region);
-      connection_->send(result);
+      connection_->send(serve_request(graph_, std::move(request)));
       requests_.fetch_add(1, std::memory_order_relaxed);
     }
   } catch (const TransportError&) {

@@ -8,6 +8,7 @@
 #include <memory>
 #include <thread>
 
+#include "common/types.hpp"
 #include "nn/graph.hpp"
 #include "runtime/transport.hpp"
 
@@ -22,8 +23,10 @@ class Worker {
  public:
   /// The worker holds a reference to the (immutable, finalized) graph — in a
   /// real deployment each device owns a copy of its model segment; sharing
-  /// the weights here changes nothing observable.
-  Worker(const nn::Graph& graph, std::unique_ptr<Connection> connection);
+  /// the weights here changes nothing observable.  `device` is an optional
+  /// label the owner uses to attribute this worker's counters (-1 = none).
+  Worker(const nn::Graph& graph, std::unique_ptr<Connection> connection,
+         DeviceId device = -1);
   ~Worker();
 
   Worker(const Worker&) = delete;
@@ -37,11 +40,14 @@ class Worker {
     return requests_.load(std::memory_order_relaxed);
   }
 
+  DeviceId device() const { return device_; }
+
  private:
   void run();
 
   const nn::Graph& graph_;
   std::unique_ptr<Connection> connection_;
+  DeviceId device_ = -1;
   std::thread thread_;
   std::atomic<long long> requests_{0};
 };

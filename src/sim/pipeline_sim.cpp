@@ -11,6 +11,15 @@
 
 namespace pico::sim {
 
+const char* to_string(StagePhase phase) {
+  switch (phase) {
+    case StagePhase::Service: return "service";
+    case StagePhase::Transfer: return "transfer";
+    case StagePhase::Compute: return "compute";
+  }
+  return "?";
+}
+
 double SimResult::throughput() const {
   if (tasks.empty() || makespan <= 0.0) return 0.0;
   return static_cast<double>(tasks.size()) / makespan;
@@ -46,6 +55,8 @@ namespace {
 struct ServerSpec {
   Seconds service = 0.0;
   std::size_t server = 0;  ///< physical server index
+  int stage = -1;          ///< plan stage index (-1: sequential whole net)
+  StagePhase phase = StagePhase::Service;
   /// Per-task contribution of this chain node to each device.
   struct Contribution {
     DeviceId device;
@@ -90,6 +101,7 @@ CompiledPlan compile_plan(const nn::Graph& graph, const Cluster& cluster,
     // SharedLink: physical server 0 is the AP; computes get 1..S.
     std::size_t next_server =
         comm_model == CommModel::SharedLink ? 1 : 0;
+    int stage_index = 0;
     for (const partition::Stage& stage : plan.stages) {
       const partition::StageCost cost =
           partition::stage_cost(graph, cluster, network, stage);
@@ -100,20 +112,26 @@ CompiledPlan compile_plan(const nn::Graph& graph, const Cluster& cluster,
         transfer.service = cost.comm;
         transfer.server =
             comm_model == CommModel::SharedLink ? 0 : next_server++;
+        transfer.stage = stage_index;
+        transfer.phase = StagePhase::Transfer;
         compiled.servers.push_back(std::move(transfer));
         ServerSpec compute;
         compute.service = cost.compute;
         compute.server = next_server++;
+        compute.stage = stage_index;
+        compute.phase = StagePhase::Compute;
         compute.contributions = stage_contributions(stage);
         compiled.servers.push_back(std::move(compute));
       } else {
         ServerSpec server;
         server.service = cost.total();
         server.server = next_server++;
+        server.stage = stage_index;
         server.contributions = stage_contributions(stage);
         compiled.servers.push_back(std::move(server));
       }
       compiled.total_latency += cost.total();
+      ++stage_index;
     }
     compiled.server_count = next_server;
   } else {
@@ -166,6 +184,10 @@ struct ClusterSimulator::Impl {
     long long id = 0;
     Seconds arrival = 0.0;
     Seconds start = 0.0;
+    // Per-chain-node timestamps (the task is copied node to node, so these
+    // always describe the node currently serving it).
+    Seconds node_enqueue = 0.0;
+    Seconds node_start = 0.0;
   };
   std::vector<Seconds> arrivals;
 
@@ -180,6 +202,7 @@ struct ClusterSimulator::Impl {
   int in_flight = 0;
 
   std::vector<TaskRecord> records;
+  std::vector<StageRecord> stage_records;
   std::map<DeviceId, DeviceUsage> usage;
   Seconds makespan = 0.0;
 
@@ -220,6 +243,9 @@ struct ClusterSimulator::Impl {
     Task task = entry_queue.front();
     entry_queue.pop_front();
     task.start = engine.now();
+    // The entry-queue wait belongs to the first chain node: its server is
+    // free by construction here, so the node's own wait would always be 0.
+    task.node_enqueue = task.arrival;
     ++in_flight;
     start_service(0, task);
     // Admission is one-at-a-time: the next task is admitted when the entry
@@ -231,6 +257,7 @@ struct ClusterSimulator::Impl {
     ServerState& state = servers[spec.server];
     PICO_CHECK(!state.busy);
     state.busy = true;
+    task.node_start = engine.now();
     engine.schedule_in(spec.service, [this, position, task] {
       finish_service(position, task);
     });
@@ -244,6 +271,10 @@ struct ClusterSimulator::Impl {
     const bool fronts_chain = server_id == active->servers[0].server;
     servers[server_id].busy = false;
     account(active->servers[position]);
+    stage_records.push_back({task.id, active->servers[position].stage,
+                             active->servers[position].phase,
+                             task.node_enqueue, task.node_start,
+                             engine.now()});
 
     const int switches_before = switches;
     if (position + 1 < active->servers.size()) {
@@ -270,6 +301,7 @@ struct ClusterSimulator::Impl {
   }
 
   void forward(std::size_t position, Task task) {
+    task.node_enqueue = engine.now();
     ServerState& state = servers[active->servers[position].server];
     if (state.busy) {
       state.queue.push_back({position, task});
@@ -386,6 +418,11 @@ SimResult ClusterSimulator::run() {
   std::sort(result.tasks.begin(), result.tasks.end(),
             [](const TaskRecord& a, const TaskRecord& b) {
               return a.id < b.id;
+            });
+  result.stage_records = std::move(impl_->stage_records);
+  std::sort(result.stage_records.begin(), result.stage_records.end(),
+            [](const StageRecord& a, const StageRecord& b) {
+              return a.task != b.task ? a.task < b.task : a.start < b.start;
             });
   result.makespan = impl_->makespan;
   result.plan_switches = impl_->switches;

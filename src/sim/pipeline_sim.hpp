@@ -40,6 +40,27 @@ struct TaskRecord {
   Seconds waiting() const { return start - arrival; }
 };
 
+/// Which part of a stage's service a chain node models (see CommModel):
+/// Service = whole stage (serialized), Transfer/Compute = the split nodes of
+/// the overlapped/shared-link models.
+enum class StagePhase { Service, Transfer, Compute };
+
+const char* to_string(StagePhase phase);
+
+/// One task's passage through one chain node — the per-stage queueing
+/// breakdown behind TaskRecord's end-to-end times.
+struct StageRecord {
+  long long task = 0;
+  int stage = -1;  ///< plan stage index; -1 for sequential (whole-net) plans
+  StagePhase phase = StagePhase::Service;
+  Seconds enqueue = 0.0;  ///< arrival at this chain node
+  Seconds start = 0.0;    ///< service start
+  Seconds completion = 0.0;
+
+  Seconds wait() const { return start - enqueue; }
+  Seconds service() const { return completion - start; }
+};
+
 struct DeviceUsage {
   DeviceId device = -1;
   Seconds busy = 0.0;
@@ -53,6 +74,8 @@ struct DeviceUsage {
 
 struct SimResult {
   std::vector<TaskRecord> tasks;
+  /// Per-(task, chain node) records, sorted by (task, start).
+  std::vector<StageRecord> stage_records;
   Seconds makespan = 0.0;  ///< completion time of the last task
   std::vector<DeviceUsage> devices;
   int plan_switches = 0;

@@ -1,18 +1,37 @@
 #include "sim/trace.hpp"
 
 #include <fstream>
+#include <map>
 #include <ostream>
 
 #include "common/error.hpp"
 
 namespace pico::sim {
 
+namespace {
+
+std::int64_t to_ns(Seconds s) { return static_cast<std::int64_t>(s * 1e9); }
+
+/// Total queued time per task across all chain nodes.
+std::map<long long, Seconds> queue_wait_by_task(const SimResult& result) {
+  std::map<long long, Seconds> out;
+  for (const StageRecord& record : result.stage_records) {
+    out[record.task] += record.wait();
+  }
+  return out;
+}
+
+}  // namespace
+
 void write_task_csv(std::ostream& os, const SimResult& result) {
-  os << "id,arrival,start,completion,waiting,latency,scheme\n";
+  const std::map<long long, Seconds> waits = queue_wait_by_task(result);
+  os << "id,arrival,start,completion,waiting,queue_wait,latency,scheme\n";
   for (const TaskRecord& task : result.tasks) {
+    const auto it = waits.find(task.id);
+    const Seconds queue_wait = it == waits.end() ? 0.0 : it->second;
     os << task.id << ',' << task.arrival << ',' << task.start << ','
-       << task.completion << ',' << task.waiting() << ',' << task.latency()
-       << ',' << task.scheme << '\n';
+       << task.completion << ',' << task.waiting() << ',' << queue_wait
+       << ',' << task.latency() << ',' << task.scheme << '\n';
   }
 }
 
@@ -20,6 +39,23 @@ void write_task_csv_file(const std::string& path, const SimResult& result) {
   std::ofstream file(path, std::ios::trunc);
   PICO_CHECK_MSG(file.good(), "cannot open for writing: " << path);
   write_task_csv(file, result);
+  PICO_CHECK_MSG(file.good(), "write failed: " << path);
+}
+
+void write_stage_csv(std::ostream& os, const SimResult& result) {
+  os << "task,stage,phase,enqueue,start,completion,wait,service\n";
+  for (const StageRecord& record : result.stage_records) {
+    os << record.task << ',' << record.stage << ','
+       << to_string(record.phase) << ',' << record.enqueue << ','
+       << record.start << ',' << record.completion << ',' << record.wait()
+       << ',' << record.service() << '\n';
+  }
+}
+
+void write_stage_csv_file(const std::string& path, const SimResult& result) {
+  std::ofstream file(path, std::ios::trunc);
+  PICO_CHECK_MSG(file.good(), "cannot open for writing: " << path);
+  write_stage_csv(file, result);
   PICO_CHECK_MSG(file.good(), "write failed: " << path);
 }
 
@@ -39,6 +75,66 @@ void write_device_csv_file(const std::string& path,
   std::ofstream file(path, std::ios::trunc);
   PICO_CHECK_MSG(file.good(), "cannot open for writing: " << path);
   write_device_csv(file, result);
+  PICO_CHECK_MSG(file.good(), "write failed: " << path);
+}
+
+std::vector<obs::SpanRecord> to_spans(const SimResult& result) {
+  std::vector<obs::SpanRecord> spans;
+  spans.reserve(result.tasks.size() + 2 * result.stage_records.size());
+  for (const TaskRecord& task : result.tasks) {
+    obs::SpanRecord span;
+    span.name = "task";
+    span.category = "task";
+    span.track = obs::task_track();
+    span.task_id = task.id;
+    span.start_ns = to_ns(task.arrival);
+    span.duration_ns = to_ns(task.completion) - to_ns(task.arrival);
+    span.args = {{"scheme", task.scheme}};
+    spans.push_back(std::move(span));
+  }
+  for (const StageRecord& record : result.stage_records) {
+    // Sequential plans (stage -1) render on the stage-0 row.
+    const std::int64_t track =
+        obs::stage_track(record.stage < 0 ? 0 : record.stage);
+    if (record.wait() > 0.0) {
+      obs::SpanRecord wait;
+      wait.name = "queue_wait";
+      wait.category = "queue";
+      wait.track = track;
+      wait.task_id = record.task;
+      wait.start_ns = to_ns(record.enqueue);
+      wait.duration_ns = to_ns(record.start) - to_ns(record.enqueue);
+      spans.push_back(std::move(wait));
+    }
+    obs::SpanRecord span;
+    span.name = to_string(record.phase);
+    span.category = "stage";
+    span.track = track;
+    span.task_id = record.task;
+    span.start_ns = to_ns(record.start);
+    span.duration_ns = to_ns(record.completion) - to_ns(record.start);
+    span.args = {{"stage", std::to_string(record.stage)}};
+    spans.push_back(std::move(span));
+  }
+  return spans;
+}
+
+void write_chrome_trace(std::ostream& os, const SimResult& result) {
+  std::map<std::int64_t, std::string> track_names;
+  track_names[obs::task_track()] = "tasks";
+  for (const StageRecord& record : result.stage_records) {
+    const int stage = record.stage < 0 ? 0 : record.stage;
+    track_names[obs::stage_track(stage)] =
+        "stage " + std::to_string(stage);
+  }
+  obs::write_chrome_trace(os, to_spans(result), track_names);
+}
+
+void write_chrome_trace_file(const std::string& path,
+                             const SimResult& result) {
+  std::ofstream file(path, std::ios::trunc);
+  PICO_CHECK_MSG(file.good(), "cannot open for writing: " << path);
+  write_chrome_trace(file, result);
   PICO_CHECK_MSG(file.good(), "write failed: " << path);
 }
 

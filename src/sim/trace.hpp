@@ -1,21 +1,42 @@
-// Simulation trace export: per-task records and per-device usage as CSV,
-// for plotting the paper's figures or post-processing a run externally.
+// Simulation trace export: per-task and per-stage records and per-device
+// usage as CSV, for plotting the paper's figures or post-processing a run
+// externally — plus Chrome about://tracing JSON via the shared obs encoder
+// (one exporter, two producers: this simulator and the threaded runtime).
 #pragma once
 
 #include <iosfwd>
 #include <string>
+#include <vector>
 
+#include "obs/trace.hpp"
 #include "sim/pipeline_sim.hpp"
 
 namespace pico::sim {
 
-/// One row per task: id,arrival,start,completion,waiting,latency,scheme
+/// One row per task:
+/// id,arrival,start,completion,waiting,queue_wait,latency,scheme
+/// `waiting` is the entry-queue wait (start - arrival); `queue_wait` is the
+/// total time spent queued at chain nodes (summed StageRecord waits).
 void write_task_csv(std::ostream& os, const SimResult& result);
 void write_task_csv_file(const std::string& path, const SimResult& result);
+
+/// One row per (task, chain node):
+/// task,stage,phase,enqueue,start,completion,wait,service
+void write_stage_csv(std::ostream& os, const SimResult& result);
+void write_stage_csv_file(const std::string& path, const SimResult& result);
 
 /// One row per device: device,busy,total_flops,redundant_flops,
 /// utilization,redundancy_ratio
 void write_device_csv(std::ostream& os, const SimResult& result);
 void write_device_csv_file(const std::string& path, const SimResult& result);
+
+/// Convert a simulation result to obs spans (simulated seconds -> ns on the
+/// same track scheme the runtime tracer uses): one "task" span per task plus
+/// one span per StageRecord (and a "queue_wait" span where a task waited).
+std::vector<obs::SpanRecord> to_spans(const SimResult& result);
+
+/// Chrome trace-event JSON of the whole run (to_spans + obs encoder).
+void write_chrome_trace(std::ostream& os, const SimResult& result);
+void write_chrome_trace_file(const std::string& path, const SimResult& result);
 
 }  // namespace pico::sim

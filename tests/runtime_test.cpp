@@ -73,6 +73,7 @@ Message sample_message() {
   m.last_node = 9;
   m.in_region = {1, 7, 0, 16};
   m.out_region = {2, 5, 0, 16};
+  m.compute_seconds = 0.125;
   m.tensor = Tensor({2, 6, 16});
   Rng rng(3);
   m.tensor.randomize(rng);
@@ -90,6 +91,7 @@ TEST(Message, SerializeRoundTrip) {
   EXPECT_EQ(decoded.last_node, original.last_node);
   EXPECT_EQ(decoded.in_region, original.in_region);
   EXPECT_EQ(decoded.out_region, original.out_region);
+  EXPECT_EQ(decoded.compute_seconds, original.compute_seconds);
   EXPECT_FLOAT_EQ(Tensor::max_abs_diff(decoded.tensor, original.tensor),
                   0.0f);
 }

@@ -381,7 +381,8 @@ TEST_F(SimFixture, TraceCsvRoundTrip) {
   ASSERT_TRUE(file.good());
   std::string header;
   std::getline(file, header);
-  EXPECT_EQ(header, "id,arrival,start,completion,waiting,latency,scheme");
+  EXPECT_EQ(header,
+            "id,arrival,start,completion,waiting,queue_wait,latency,scheme");
   std::remove(path.c_str());
 }
 

@@ -1,0 +1,506 @@
+// pico_report — run a plan on the real threaded runtime and compare the
+// paper's cost model (Eq. 5–11) against observed behaviour.
+//
+// Loads a model (.cfg), plans it with a named scheme, runs N inferences
+// through PipelineRuntime with metrics + tracing on, then prints a
+// per-stage predicted-vs-measured table (stage compute Eq. 6 / comm Eq. 8 /
+// total Eq. 9 vs the runtime's histograms) and the headline period (Eq. 10)
+// vs achieved inter-completion gap.  Also writes the run's span trace as
+// Chrome about://tracing JSON and, optionally, a Prometheus-style metrics
+// dump.
+//
+// Measured/predicted ratios far from 1 are expected on a development host:
+// the cost model is calibrated for the paper's Raspberry-Pi cluster, while
+// the runtime executes on whatever machine runs this tool.  The *relative*
+// shape across stages is what validates the model.
+//
+// Examples:
+//   pico_report --model configs/vgg16.cfg --scheme pico
+//   pico_report --model configs/vgg16.cfg --scheme pico --input-size 64
+//       --tasks 8 --transport tcp --json  (one command line)
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "models/cfg.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "partition/pico_dp.hpp"
+#include "partition/plan_cost.hpp"
+#include "partition/schemes.hpp"
+#include "runtime/pipeline.hpp"
+
+namespace {
+
+constexpr const char* kUsage =
+    R"(usage: pico_report --model <model.cfg> [options]
+
+plan:
+  --scheme <name>        PICO (default), LW, EFL or OFL (case-insensitive)
+  --tlim <seconds>       pipeline latency bound T_lim (default: none)
+
+cluster (default: the paper's 8-Pi heterogeneous testbed):
+  --cluster paper        2x1.2GHz + 2x0.8GHz + 4x0.6GHz Raspberry Pis
+  --cluster homog:<n>x<ghz>   n identical Pi-class devices
+  --cluster pi:<f1,f2,...>    Pi-class devices at the given GHz
+  --bandwidth-mbps <b>   shared uplink bandwidth (default 50)
+
+run:
+  --tasks <n>            inferences to run (default 4)
+  --input-size <n>       override the [net] height/width (toy inputs for CI)
+  --transport <kind>     inproc (default) or tcp
+
+output:
+  --json                 emit a JSON report instead of the text table
+  --no-trace             disable span tracing (no trace file)
+  --trace-out <file>     Chrome trace path (default pico_trace.json)
+  --metrics-out <file>   also dump Prometheus-style metrics text
+)";
+
+struct Args {
+  std::string model;
+  std::string scheme = "PICO";
+  std::string cluster = "paper";
+  double bandwidth_mbps = 50.0;
+  double tlim = 0.0;  // 0 = unset
+  int tasks = 4;
+  int input_size = 0;  // 0 = keep the cfg's native size
+  std::string transport = "inproc";
+  bool json = false;
+  bool trace = true;
+  std::string trace_out = "pico_trace.json";
+  std::string metrics_out;
+};
+
+[[noreturn]] void fail(const std::string& message) {
+  std::cerr << "pico_report: " << message << "\n";
+  std::exit(1);
+}
+
+double parse_double(const std::string& text, const std::string& flag) {
+  try {
+    std::size_t used = 0;
+    const double value = std::stod(text, &used);
+    if (used != text.size()) throw std::invalid_argument(text);
+    return value;
+  } catch (const std::exception&) {
+    fail("bad numeric value '" + text + "' for " + flag);
+  }
+}
+
+Args parse_args(int argc, char** argv) {
+  Args args;
+  std::vector<std::string> tokens(argv + 1, argv + argc);
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    const std::string& flag = tokens[i];
+    auto value = [&]() -> const std::string& {
+      if (i + 1 >= tokens.size()) fail("missing value for " + flag);
+      return tokens[++i];
+    };
+    if (flag == "--model" || flag == "--cfg") {
+      args.model = value();
+    } else if (flag == "--scheme") {
+      args.scheme = value();
+      for (char& c : args.scheme) {
+        c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+      }
+    } else if (flag == "--cluster") {
+      args.cluster = value();
+    } else if (flag == "--bandwidth-mbps") {
+      args.bandwidth_mbps = parse_double(value(), flag);
+    } else if (flag == "--tlim") {
+      args.tlim = parse_double(value(), flag);
+    } else if (flag == "--tasks") {
+      args.tasks = static_cast<int>(parse_double(value(), flag));
+      if (args.tasks < 1) fail("--tasks must be >= 1");
+    } else if (flag == "--input-size") {
+      args.input_size = static_cast<int>(parse_double(value(), flag));
+      if (args.input_size < 1) fail("--input-size must be >= 1");
+    } else if (flag == "--transport") {
+      args.transport = value();
+      if (args.transport != "inproc" && args.transport != "tcp") {
+        fail("--transport must be inproc or tcp");
+      }
+    } else if (flag == "--json") {
+      args.json = true;
+    } else if (flag == "--no-trace") {
+      args.trace = false;
+    } else if (flag == "--trace-out") {
+      args.trace_out = value();
+    } else if (flag == "--metrics-out") {
+      args.metrics_out = value();
+    } else if (flag == "--help" || flag == "-h") {
+      std::cout << kUsage;
+      std::exit(0);
+    } else {
+      fail("unknown flag '" + flag + "'\n" + kUsage);
+    }
+  }
+  if (args.model.empty()) {
+    fail(std::string("--model is required\n") + kUsage);
+  }
+  return args;
+}
+
+pico::Cluster parse_cluster(const std::string& spec) {
+  using pico::Cluster;
+  if (spec == "paper") return Cluster::paper_heterogeneous();
+  if (spec.rfind("homog:", 0) == 0) {
+    const std::string body = spec.substr(6);
+    const std::size_t x = body.find('x');
+    if (x == std::string::npos) fail("--cluster homog:<n>x<ghz>");
+    const int count =
+        static_cast<int>(parse_double(body.substr(0, x), "--cluster"));
+    const double ghz = parse_double(body.substr(x + 1), "--cluster");
+    if (count < 1) fail("cluster needs at least one device");
+    return Cluster::paper_homogeneous(count, ghz);
+  }
+  if (spec.rfind("pi:", 0) == 0) {
+    std::vector<double> freqs;
+    std::stringstream body(spec.substr(3));
+    std::string item;
+    while (std::getline(body, item, ',')) {
+      freqs.push_back(parse_double(item, "--cluster"));
+    }
+    if (freqs.empty()) fail("--cluster pi:<f1,f2,...>");
+    return Cluster::raspberry_pi(freqs);
+  }
+  fail("unknown cluster spec '" + spec + "'");
+}
+
+/// Load the cfg, optionally rewriting the [net] height/width so CI can run
+/// the full pipeline on a toy input without a separate config file.
+pico::nn::Graph load_model(const std::string& path, int input_size) {
+  std::ifstream file(path);
+  if (!file.good()) fail("cannot read " + path);
+  std::stringstream buffer;
+  buffer << file.rdbuf();
+  std::string text = buffer.str();
+  if (input_size > 0) {
+    std::istringstream in(text);
+    std::ostringstream out;
+    std::string line;
+    bool in_net = false;
+    while (std::getline(in, line)) {
+      if (!line.empty() && line.front() == '[') {
+        in_net = line.rfind("[net]", 0) == 0;
+      }
+      if (in_net && (line.rfind("height=", 0) == 0 ||
+                     line.rfind("width=", 0) == 0)) {
+        out << line.substr(0, line.find('=') + 1) << input_size << '\n';
+      } else {
+        out << line << '\n';
+      }
+    }
+    text = out.str();
+  }
+  return pico::models::parse_cfg(text);
+}
+
+pico::partition::Plan make_plan(const Args& args,
+                                const pico::nn::Graph& graph,
+                                const pico::Cluster& cluster,
+                                const pico::NetworkModel& network) {
+  namespace partition = pico::partition;
+  partition::SchemeOptions options;
+  if (args.tlim > 0.0) options.latency_limit = args.tlim;
+  if (args.scheme == "PICO") {
+    return partition::pico_plan(graph, cluster, network, options);
+  }
+  if (args.scheme == "LW") return partition::lw_plan(graph, cluster, options);
+  if (args.scheme == "EFL") {
+    return partition::efl_plan(graph, cluster, options);
+  }
+  if (args.scheme == "OFL") {
+    return partition::ofl_plan(graph, cluster, network, options);
+  }
+  fail("unknown scheme '" + args.scheme + "' (PICO, LW, EFL, OFL)");
+}
+
+std::string num(double value) {
+  if (!(value == value) || value > 1e308 || value < -1e308) return "null";
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.9g", value);
+  return buffer;
+}
+
+std::string fmt(double value, int decimals = 4) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.*f", decimals, value);
+  return buffer;
+}
+
+struct StageRow {
+  std::size_t stage = 0;
+  int devices = 0;
+  double pred_compute = 0.0, pred_comm = 0.0, pred_total = 0.0;
+  double meas_compute = 0.0;   ///< mean critical-path device compute
+  double meas_transfer = 0.0;  ///< mean scatter + gather
+  double meas_service = 0.0;   ///< mean end-to-end stage service
+};
+
+struct DeviceRow {
+  pico::DeviceId device = -1;
+  long long requests = 0;
+  long long bytes_sent = 0, bytes_received = 0;
+};
+
+struct Report {
+  std::string model, scheme, cluster, transport;
+  int tasks = 0;
+  double pred_period = 0.0, pred_latency = 0.0;
+  double meas_period = 0.0;
+  double meas_latency_mean = 0.0, meas_latency_p95 = 0.0,
+         meas_latency_p99 = 0.0;
+  std::vector<StageRow> stages;
+  std::vector<DeviceRow> devices;
+  std::string trace_file;  ///< empty when tracing is off
+  long long spans = 0;
+};
+
+void print_text(const Report& report) {
+  std::printf("pico_report: %s, scheme %s, cluster %s, %d tasks (%s)\n",
+              report.model.c_str(), report.scheme.c_str(),
+              report.cluster.c_str(), report.tasks,
+              report.transport.c_str());
+  std::printf(
+      "\npredicted (paper cost model, Pi-calibrated) vs measured (this "
+      "host):\n");
+  std::printf("%6s %5s | %12s %12s %12s | %12s %12s %12s | %8s\n", "stage",
+              "devs", "pred comp", "pred comm", "pred total", "meas comp",
+              "meas comm", "meas total", "ratio");
+  for (const StageRow& row : report.stages) {
+    const double ratio =
+        row.pred_total > 0.0 ? row.meas_service / row.pred_total : 0.0;
+    std::printf(
+        "%6zu %5d | %12s %12s %12s | %12s %12s %12s | %8s\n", row.stage,
+        row.devices, fmt(row.pred_compute).c_str(),
+        fmt(row.pred_comm).c_str(), fmt(row.pred_total).c_str(),
+        fmt(row.meas_compute).c_str(), fmt(row.meas_transfer).c_str(),
+        fmt(row.meas_service).c_str(), fmt(ratio, 3).c_str());
+  }
+  std::printf("\n%-34s %12s %12s\n", "", "predicted", "measured");
+  std::printf("%-34s %12s %12s\n", "period (s/task, Eq. 10)",
+              fmt(report.pred_period).c_str(),
+              fmt(report.meas_period).c_str());
+  std::printf("%-34s %12s %12s\n", "latency (s, Eq. 11 vs mean)",
+              fmt(report.pred_latency).c_str(),
+              fmt(report.meas_latency_mean).c_str());
+  std::printf("%-34s %12s %12s\n", "latency p95 / p99 (s)",
+              fmt(report.meas_latency_p95).c_str(),
+              fmt(report.meas_latency_p99).c_str());
+
+  std::printf("\nper-device totals (coordinator-side):\n");
+  std::printf("%8s %10s %14s %14s\n", "device", "requests", "bytes sent",
+              "bytes recvd");
+  for (const DeviceRow& row : report.devices) {
+    std::printf("%8d %10lld %14lld %14lld\n", row.device, row.requests,
+                row.bytes_sent, row.bytes_received);
+  }
+  if (!report.trace_file.empty()) {
+    std::printf("\nwrote %lld spans to %s\n", report.spans,
+                report.trace_file.c_str());
+  }
+}
+
+void print_json(std::ostream& os, const Report& report) {
+  os << "{\n";
+  os << "  \"model\": \"" << report.model << "\",\n";
+  os << "  \"scheme\": \"" << report.scheme << "\",\n";
+  os << "  \"cluster\": \"" << report.cluster << "\",\n";
+  os << "  \"transport\": \"" << report.transport << "\",\n";
+  os << "  \"tasks\": " << report.tasks << ",\n";
+  os << "  \"predicted\": {\"period_s\": " << num(report.pred_period)
+     << ", \"latency_s\": " << num(report.pred_latency) << "},\n";
+  os << "  \"measured\": {\"period_s\": " << num(report.meas_period)
+     << ", \"latency_mean_s\": " << num(report.meas_latency_mean)
+     << ", \"latency_p95_s\": " << num(report.meas_latency_p95)
+     << ", \"latency_p99_s\": " << num(report.meas_latency_p99) << "},\n";
+  os << "  \"stages\": [";
+  for (std::size_t i = 0; i < report.stages.size(); ++i) {
+    const StageRow& row = report.stages[i];
+    os << (i ? "," : "") << "\n    {\"stage\": " << row.stage
+       << ", \"devices\": " << row.devices
+       << ", \"predicted_compute_s\": " << num(row.pred_compute)
+       << ", \"predicted_comm_s\": " << num(row.pred_comm)
+       << ", \"predicted_total_s\": " << num(row.pred_total)
+       << ", \"measured_compute_s\": " << num(row.meas_compute)
+       << ", \"measured_transfer_s\": " << num(row.meas_transfer)
+       << ", \"measured_total_s\": " << num(row.meas_service) << "}";
+  }
+  os << "\n  ],\n  \"devices\": [";
+  for (std::size_t i = 0; i < report.devices.size(); ++i) {
+    const DeviceRow& row = report.devices[i];
+    os << (i ? "," : "") << "\n    {\"device\": " << row.device
+       << ", \"requests\": " << row.requests
+       << ", \"bytes_sent\": " << row.bytes_sent
+       << ", \"bytes_received\": " << row.bytes_received << "}";
+  }
+  os << "\n  ],\n";
+  os << "  \"trace\": "
+     << (report.trace_file.empty() ? "null"
+                                   : "\"" + report.trace_file + "\"")
+     << ",\n";
+  os << "  \"spans\": " << report.spans << "\n}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args = parse_args(argc, argv);
+  try {
+    namespace obs = pico::obs;
+    namespace runtime = pico::runtime;
+
+    const pico::nn::Graph graph = load_model(args.model, args.input_size);
+    const pico::Cluster cluster = parse_cluster(args.cluster);
+    pico::NetworkModel network;
+    network.bandwidth = args.bandwidth_mbps * 1e6 / 8.0;
+    const pico::partition::Plan plan =
+        make_plan(args, graph, cluster, network);
+    const pico::partition::PlanCost predicted =
+        pico::partition::plan_cost(graph, cluster, network, plan);
+
+    // Fresh observability state for this run.
+    obs::Registry& registry = obs::Registry::global();
+    registry.reset_values();
+    obs::Tracer& tracer = obs::Tracer::global();
+    tracer.clear();
+    if (args.trace) tracer.set_enabled(true);
+
+    runtime::RuntimeOptions options;
+    options.transport = args.transport == "tcp"
+                            ? runtime::TransportKind::Tcp
+                            : runtime::TransportKind::InProcess;
+
+    const pico::Shape in_shape =
+        graph.node(plan.stages.front().first).in_shape;
+    pico::Tensor input(in_shape);
+    pico::Rng rng(7);
+    input.randomize(rng);
+
+    std::vector<double> completion_s(static_cast<std::size_t>(args.tasks));
+    {
+      runtime::PipelineRuntime rt(graph, plan, options);
+      std::vector<std::future<pico::Tensor>> futures;
+      futures.reserve(static_cast<std::size_t>(args.tasks));
+      for (int i = 0; i < args.tasks; ++i) futures.push_back(rt.submit(input));
+      const auto epoch = std::chrono::steady_clock::now();
+      for (int i = 0; i < args.tasks; ++i) {
+        futures[static_cast<std::size_t>(i)].get();
+        completion_s[static_cast<std::size_t>(i)] =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          epoch)
+                .count();
+      }
+      rt.shutdown();  // publishes per-device totals into the registry
+    }
+
+    Report report;
+    report.model = args.model;
+    report.scheme = plan.scheme;
+    report.cluster = args.cluster;
+    report.transport = args.transport;
+    report.tasks = args.tasks;
+    report.pred_period = predicted.period;
+    report.pred_latency = predicted.latency;
+    report.meas_period =
+        args.tasks > 1
+            ? (completion_s.back() - completion_s.front()) / (args.tasks - 1)
+            : completion_s.back();
+
+    const obs::Histogram& latency =
+        registry.histogram("pico_task_latency_seconds");
+    report.meas_latency_mean = latency.mean();
+    report.meas_latency_p95 = latency.percentile(0.95);
+    report.meas_latency_p99 = latency.percentile(0.99);
+
+    for (std::size_t s = 0; s < plan.stages.size(); ++s) {
+      StageRow row;
+      row.stage = s;
+      for (const pico::partition::DeviceSlice& slice :
+           plan.stages[s].assignments) {
+        if (slice.out_region.empty() && slice.branches.empty()) continue;
+        ++row.devices;
+      }
+      const pico::partition::StageCost cost = predicted.stages[s];
+      row.pred_compute = cost.compute;
+      row.pred_comm = cost.comm;
+      row.pred_total = cost.total();
+      const std::vector<obs::Label> labels{
+          {"stage", std::to_string(s)}};
+      row.meas_compute =
+          registry.histogram("pico_stage_compute_critical_seconds", labels)
+              .mean();
+      row.meas_service =
+          registry.histogram("pico_stage_service_seconds", labels).mean();
+      // The coordinator's gather wait is dominated by remote compute, so
+      // measured comm/overhead is what's left of the service time after
+      // the critical-path compute — the same decomposition as Eq. 9.
+      row.meas_transfer =
+          std::max(0.0, row.meas_service - row.meas_compute);
+      report.stages.push_back(row);
+    }
+
+    std::vector<pico::DeviceId> devices;
+    for (const pico::partition::Stage& stage : plan.stages) {
+      for (const pico::partition::DeviceSlice& slice : stage.assignments) {
+        bool seen = false;
+        for (const pico::DeviceId id : devices) seen |= id == slice.device;
+        if (!seen) devices.push_back(slice.device);
+      }
+    }
+    std::sort(devices.begin(), devices.end());
+    for (const pico::DeviceId id : devices) {
+      DeviceRow row;
+      row.device = id;
+      const std::vector<obs::Label> labels{
+          {"device", std::to_string(id)}};
+      row.requests =
+          registry.counter("pico_device_requests_total", labels).value();
+      row.bytes_sent =
+          registry.counter("pico_net_bytes_sent_total", labels).value();
+      row.bytes_received =
+          registry.counter("pico_net_bytes_received_total", labels).value();
+      report.devices.push_back(row);
+    }
+
+    if (args.trace) {
+      const std::vector<obs::SpanRecord> spans = tracer.snapshot();
+      report.spans = static_cast<long long>(spans.size());
+      report.trace_file = args.trace_out;
+      std::map<std::int64_t, std::string> track_names;
+      track_names[obs::task_track()] = "tasks";
+      for (std::size_t s = 0; s < plan.stages.size(); ++s) {
+        track_names[obs::stage_track(static_cast<int>(s))] =
+            "stage " + std::to_string(s);
+      }
+      for (const pico::DeviceId id : devices) {
+        track_names[obs::device_track(id)] =
+            "device " + std::to_string(id);
+      }
+      track_names[obs::net_track()] = "net";
+      obs::write_chrome_trace_file(args.trace_out, spans, track_names);
+    }
+    if (!args.metrics_out.empty()) {
+      std::ofstream out(args.metrics_out, std::ios::trunc);
+      if (!out.good()) fail("cannot write " + args.metrics_out);
+      registry.write_prometheus(out);
+    }
+
+    if (args.json) {
+      print_json(std::cout, report);
+    } else {
+      print_text(report);
+    }
+    return 0;
+  } catch (const std::exception& error) {
+    std::cerr << "pico_report: " << error.what() << "\n";
+    return 1;
+  }
+}
