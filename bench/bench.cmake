@@ -22,6 +22,10 @@ pico_bench(bench_fig13_bfs_compare)
 pico_bench(bench_micro_kernels)
 target_link_libraries(bench_micro_kernels PRIVATE benchmark::benchmark)
 
+# Intra-device thread-pool scaling (writes BENCH_kernels.json; CI gates on
+# the recorded conv speedup at 4 threads).
+pico_bench(bench_kernels)
+
 # Ablations beyond the paper (DESIGN.md §7).
 pico_bench(bench_ablation_grid)
 pico_bench(bench_ablation_tlim)

@@ -1,0 +1,123 @@
+#include "common/thread_pool.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "common/error.hpp"
+
+namespace pico {
+
+ThreadPool::ThreadPool(int parallelism) {
+  PICO_CHECK_MSG(parallelism >= 1 && parallelism <= kMaxThreads,
+                 "thread pool parallelism " << parallelism
+                                            << " out of [1, " << kMaxThreads
+                                            << "]");
+  workers_.reserve(static_cast<std::size_t>(parallelism - 1));
+  for (int i = 1; i < parallelism; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    MutexLock lock(mutex_);
+    stop_ = true;
+    work_cv_.notify_all();
+  }
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::run_one(int index, const std::function<void(int)>& fn,
+                         const std::shared_ptr<Sync>& sync) {
+  std::exception_ptr error;
+  try {
+    fn(index);
+  } catch (...) {
+    error = std::current_exception();
+  }
+  MutexLock lock(sync->mutex);
+  if (error != nullptr && sync->error == nullptr) sync->error = error;
+  if (--sync->remaining == 0) sync->done.notify_all();
+}
+
+void ThreadPool::parallel_for(int count, const std::function<void(int)>& fn) {
+  if (count <= 0) return;
+  if (workers_.empty() || count == 1) {
+    for (int i = 0; i < count; ++i) fn(i);
+    return;
+  }
+
+  auto sync = std::make_shared<Sync>();
+  {
+    MutexLock lock(sync->mutex);
+    sync->remaining = count;
+  }
+  {
+    MutexLock lock(mutex_);
+    PICO_CHECK_MSG(!stop_, "parallel_for on a stopping thread pool");
+    // The closures capture fn by reference: the submitting caller never
+    // returns before every task has run, so the reference stays valid.
+    for (int i = 0; i < count; ++i) {
+      tasks_.push_back([i, &fn, sync] { run_one(i, fn, sync); });
+    }
+    work_cv_.notify_all();
+  }
+
+  // The caller is one of the pool's lanes: drain tasks (its own or a
+  // concurrent job's — work conservation either way) until nothing is
+  // queued, then sleep until this job's last task signals completion.
+  for (;;) {
+    std::function<void()> task;
+    {
+      MutexLock lock(mutex_);
+      if (!tasks_.empty()) {
+        task = std::move(tasks_.front());
+        tasks_.pop_front();
+      }
+    }
+    if (task) {
+      task();
+      continue;
+    }
+    MutexLock lock(sync->mutex);
+    while (sync->remaining > 0) sync->done.wait(sync->mutex);
+    if (sync->error != nullptr) std::rethrow_exception(sync->error);
+    return;
+  }
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      MutexLock lock(mutex_);
+      while (!stop_ && tasks_.empty()) work_cv_.wait(mutex_);
+      if (tasks_.empty()) return;  // stopping and drained
+      task = std::move(tasks_.front());
+      tasks_.pop_front();
+    }
+    task();
+  }
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool(default_parallelism());
+  return pool;
+}
+
+int ThreadPool::default_parallelism() {
+  if (const char* env = std::getenv("PICO_THREADS");
+      env != nullptr && *env != '\0') {
+    char* end = nullptr;
+    const long parsed = std::strtol(env, &end, 10);
+    if (end != nullptr && *end == '\0') {
+      return static_cast<int>(
+          std::clamp<long>(parsed, 1, ThreadPool::kMaxThreads));
+    }
+  }
+  const unsigned hardware = std::thread::hardware_concurrency();
+  return hardware == 0 ? 1 : static_cast<int>(
+                                 std::min<unsigned>(hardware, kMaxThreads));
+}
+
+}  // namespace pico

@@ -1,0 +1,84 @@
+// Shared fixed-size thread pool for intra-device parallelism.
+//
+// PICO's evaluation hardware (quad-core Raspberry Pi 4Bs, paper §V) runs
+// every kernel on all cores; the Eq. 5 capacity term ϑ(d_k) only matches a
+// real device if the kernels actually saturate it.  This pool is the one
+// place the process spawns compute threads: kernels submit coarse
+// independent tasks (one per output strip) via parallel_for and the caller
+// participates in draining the queue, so a pool of parallelism P runs P
+// tasks concurrently with P-1 resident worker threads.
+//
+// Concurrency discipline follows the ROADMAP standing requirement: every
+// mutable member is PICO_GUARDED_BY(mutex_) (clang -Wthread-safety checks
+// the locking statically) and the implementation is TSan-clean.  Multiple
+// threads may call parallel_for on the same pool concurrently — jobs share
+// the queue — and a task may itself call parallel_for (the nested caller
+// drains tasks itself, so progress never depends on a free worker).
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "common/mutex.hpp"
+
+namespace pico {
+
+class ThreadPool {
+ public:
+  /// A pool of total parallelism `parallelism` (>= 1): the caller of
+  /// parallel_for counts as one lane, so `parallelism - 1` worker threads
+  /// are spawned.  ThreadPool(1) runs everything inline on the caller.
+  explicit ThreadPool(int parallelism);
+
+  /// Joins the workers after draining any queued tasks.  Destroying the
+  /// pool while a parallel_for is still blocked in another thread is a
+  /// caller bug.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Worker threads + the calling lane.
+  int parallelism() const { return static_cast<int>(workers_.size()) + 1; }
+
+  /// Run fn(0) ... fn(count - 1), distributing indices over the workers and
+  /// the calling thread, and return once all have finished.  Tasks must be
+  /// independent: the pool guarantees nothing about execution order.  If
+  /// any invocation throws, the first exception is rethrown here after the
+  /// remaining tasks complete.  Writes done by fn happen-before the return.
+  void parallel_for(int count, const std::function<void(int)>& fn);
+
+  /// Process-wide pool, sized by default_parallelism() at first use.
+  static ThreadPool& global();
+
+  /// PICO_THREADS env (clamped to [1, kMaxThreads]) when set and numeric,
+  /// else std::thread::hardware_concurrency(), else 1.
+  static int default_parallelism();
+
+  static constexpr int kMaxThreads = 256;
+
+ private:
+  /// Per-parallel_for completion state, shared by the queued task closures
+  /// (which may outlive nothing — the submitting caller always waits).
+  struct Sync {
+    Mutex mutex;
+    CondVar done;
+    int remaining PICO_GUARDED_BY(mutex) = 0;
+    std::exception_ptr error PICO_GUARDED_BY(mutex);
+  };
+
+  static void run_one(int index, const std::function<void(int)>& fn,
+                      const std::shared_ptr<Sync>& sync);
+  void worker_loop();
+
+  mutable Mutex mutex_;
+  CondVar work_cv_;
+  std::deque<std::function<void()>> tasks_ PICO_GUARDED_BY(mutex_);
+  bool stop_ PICO_GUARDED_BY(mutex_) = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace pico

@@ -58,12 +58,13 @@ std::vector<CalibrationSample> profile_host(const ProfileOptions& options) {
     Tensor input(g.input_shape());
     input.randomize(rng);
     const Flops flops = cost::model_flops(g);
+    const nn::ExecOptions exec{.threads = options.threads};
 
-    // Warm-up once (page faults, caches), then timed repeats.
-    (void)nn::execute(g, input);
+    // Warm-up once (page faults, caches, pool threads), then timed repeats.
+    (void)nn::execute(g, input, exec);
     for (int repeat = 0; repeat < options.repeats; ++repeat) {
       const auto start = std::chrono::steady_clock::now();
-      const Tensor out = nn::execute(g, input);
+      const Tensor out = nn::execute(g, input, exec);
       const Seconds elapsed = std::chrono::duration<double>(
                                   std::chrono::steady_clock::now() - start)
                                   .count();

@@ -47,6 +47,12 @@ struct ProfileOptions {
   std::vector<int> sizes{16, 24, 32, 48, 64};
   int repeats = 3;
   std::uint64_t seed = 1;
+  /// Intra-device threads the profiled kernels use (0 = process default,
+  /// i.e. PICO_THREADS or hardware concurrency).  Must match what the
+  /// runtime will use, or the fitted capacity ϑ(d_k) feeding Eq. 5 won't
+  /// describe the device: a quad-core Pi profiled single-threaded looks 3-4x
+  /// slower than the device the planner actually schedules onto.
+  int threads = 0;
 };
 
 /// Time real convolutions on this machine and return (flops, seconds)

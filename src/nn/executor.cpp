@@ -5,7 +5,8 @@
 
 namespace pico::nn {
 
-std::vector<Tensor> execute_all(const Graph& graph, const Tensor& input) {
+std::vector<Tensor> execute_all(const Graph& graph, const Tensor& input,
+                                const ExecOptions& options) {
   PICO_CHECK_MSG(graph.finalized(), "graph not finalized");
   PICO_CHECK_MSG(input.shape() == graph.input_shape(),
                  "input shape " << input.shape() << " != graph input "
@@ -23,17 +24,19 @@ std::vector<Tensor> execute_all(const Graph& graph, const Tensor& input) {
     }
     values[static_cast<std::size_t>(id)] = compute_node(
         node, pieces,
-        Region::full(node.out_shape.height, node.out_shape.width));
+        Region::full(node.out_shape.height, node.out_shape.width), options);
   }
   return values;
 }
 
-Tensor execute(const Graph& graph, const Tensor& input) {
-  return execute_all(graph, input).back();
+Tensor execute(const Graph& graph, const Tensor& input,
+               const ExecOptions& options) {
+  return execute_all(graph, input, options).back();
 }
 
 Tensor execute_segment(const Graph& graph, int first, int last,
-                       const Placed& input, const Region& out_region) {
+                       const Placed& input, const Region& out_region,
+                       const ExecOptions& options) {
   // Execution is more permissive than planning (is_valid_segment): any
   // contiguous range of splittable nodes whose external inputs all come
   // from ONE producer can run.  Planners guarantee that producer is
@@ -78,7 +81,7 @@ Tensor execute_segment(const Graph& graph, int first, int last,
       }
     }
     values[static_cast<std::size_t>(id - first)] = {
-        need, compute_node(node, pieces, need)};
+        need, compute_node(node, pieces, need, options)};
   }
   return std::move(values.back().tensor);
 }

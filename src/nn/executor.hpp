@@ -18,17 +18,22 @@
 
 namespace pico::nn {
 
-/// Run the full graph; returns the final node's output map.
-Tensor execute(const Graph& graph, const Tensor& input);
+/// Run the full graph; returns the final node's output map.  `options`
+/// bounds the intra-device threads each kernel may use (see ExecOptions);
+/// results are bit-identical for every thread count.
+Tensor execute(const Graph& graph, const Tensor& input,
+               const ExecOptions& options = {});
 
 /// Run the full graph and also return every intermediate activation
 /// (indexed by node id).  Used by tests and the stage-by-stage driver.
-std::vector<Tensor> execute_all(const Graph& graph, const Tensor& input);
+std::vector<Tensor> execute_all(const Graph& graph, const Tensor& input,
+                                const ExecOptions& options = {});
 
 /// Run nodes [first, last] producing `out_region` of node `last`'s output.
 /// `input` is a piece of node (first-1)'s output map; it must cover
 /// segment_input_region(graph, first, last, out_region).
 Tensor execute_segment(const Graph& graph, int first, int last,
-                       const Placed& input, const Region& out_region);
+                       const Placed& input, const Region& out_region,
+                       const ExecOptions& options = {});
 
 }  // namespace pico::nn

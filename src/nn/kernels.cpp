@@ -1,9 +1,13 @@
 #include "nn/kernels.hpp"
 
 #include <algorithm>
+#include <functional>
 #include <limits>
+#include <vector>
 
 #include "common/error.hpp"
+#include "common/thread_pool.hpp"
+#include "obs/trace.hpp"
 
 namespace pico::nn {
 
@@ -18,7 +22,45 @@ void check_piece_covers(const Node& node, const Placed& piece,
              piece.tensor.shape().width == piece.region.width());
 }
 
-Tensor conv(const Node& node, const Placed& in, const Region& out_region) {
+int resolve_threads(const ExecOptions& options) {
+  if (options.threads > 0) {
+    return std::min(options.threads, ThreadPool::kMaxThreads);
+  }
+  return ThreadPool::global().parallelism();
+}
+
+/// Run `body` over `out_region` split into at most resolve_threads(options)
+/// equal-height horizontal strips on the shared pool.  Each strip computes
+/// disjoint output rows and every scalar keeps the serial accumulation
+/// order, so the result is bit-identical for any strip count.  Each strip
+/// is traced as one `span_name` span (category "kernel") when tracing is on.
+void parallel_strips(const Region& out_region, const ExecOptions& options,
+                     const char* span_name,
+                     const std::function<void(const Region&)>& body) {
+  const int rows = out_region.height();
+  const int strips = std::max(1, std::min(resolve_threads(options), rows));
+  if (strips <= 1) {
+    obs::Span span(span_name, "kernel", obs::kernel_track(0));
+    body(out_region);
+    return;
+  }
+  const int base = rows / strips, extra = rows % strips;
+  std::vector<Region> regions(static_cast<std::size_t>(strips));
+  int row = out_region.row_begin;
+  for (int s = 0; s < strips; ++s) {
+    const int height = base + (s < extra ? 1 : 0);
+    regions[static_cast<std::size_t>(s)] =
+        Region{row, row + height, out_region.col_begin, out_region.col_end};
+    row += height;
+  }
+  ThreadPool::global().parallel_for(strips, [&](int s) {
+    obs::Span span(span_name, "kernel", obs::kernel_track(s));
+    body(regions[static_cast<std::size_t>(s)]);
+  });
+}
+
+Tensor conv(const Node& node, const Placed& in, const Region& out_region,
+            const ExecOptions& options) {
   const Shape in_shape = node.in_shape;
   const int oc_count = node.out_channels;
   const int ic_count = in_shape.channels;
@@ -32,53 +74,59 @@ Tensor conv(const Node& node, const Placed& in, const Region& out_region) {
   const long long kernel_plane = static_cast<long long>(kh) * kw;
   const long long kernel_volume = kernel_plane * icpg;
 
-  for (int oc = 0; oc < oc_count; ++oc) {
-    const int ic_base = (oc / ocpg) * icpg;  // group's first input channel
-    const float* w_oc = node.weights.data() + oc * kernel_volume;
-    const float b = node.bias[static_cast<std::size_t>(oc)];
-    for (int oy = out_region.row_begin; oy < out_region.row_end; ++oy) {
-      const int iy0 = oy * sh - ph;
-      float* out_row = &out.at(oc, oy - out_region.row_begin, 0);
-      for (int ox = out_region.col_begin; ox < out_region.col_end; ++ox) {
-        const int ix0 = ox * sw - pw;
-        float acc = 0.0f;
-        for (int local = 0; local < icpg; ++local) {
-          const int ic = ic_base + local;
-          const float* w_ic = w_oc + local * kernel_plane;
-          for (int ky = 0; ky < kh; ++ky) {
-            const int iy = iy0 + ky;
-            if (iy < 0 || iy >= in_shape.height) continue;  // zero padding
-            const float* in_row =
-                &in.tensor.at(ic, iy - in.region.row_begin, 0) -
-                in.region.col_begin;
-            const float* w_row = w_ic + ky * kw;
-            for (int kx = 0; kx < kw; ++kx) {
-              const int ix = ix0 + kx;
-              if (ix < 0 || ix >= in_shape.width) continue;
-              acc += w_row[kx] * in_row[ix];
+  parallel_strips(out_region, options, "conv_direct", [&](const Region& strip) {
+    for (int oc = 0; oc < oc_count; ++oc) {
+      const int ic_base = (oc / ocpg) * icpg;  // group's first input channel
+      const float* w_oc = node.weights.data() + oc * kernel_volume;
+      const float b = node.bias[static_cast<std::size_t>(oc)];
+      for (int oy = strip.row_begin; oy < strip.row_end; ++oy) {
+        const int iy0 = oy * sh - ph;
+        float* out_row = &out.at(oc, oy - out_region.row_begin, 0);
+        for (int ox = strip.col_begin; ox < strip.col_end; ++ox) {
+          const int ix0 = ox * sw - pw;
+          float acc = 0.0f;
+          for (int local = 0; local < icpg; ++local) {
+            const int ic = ic_base + local;
+            const float* w_ic = w_oc + local * kernel_plane;
+            for (int ky = 0; ky < kh; ++ky) {
+              const int iy = iy0 + ky;
+              if (iy < 0 || iy >= in_shape.height) continue;  // zero padding
+              const float* in_row =
+                  &in.tensor.at(ic, iy - in.region.row_begin, 0) -
+                  in.region.col_begin;
+              const float* w_row = w_ic + ky * kw;
+              for (int kx = 0; kx < kw; ++kx) {
+                const int ix = ix0 + kx;
+                if (ix < 0 || ix >= in_shape.width) continue;
+                acc += w_row[kx] * in_row[ix];
+              }
             }
           }
+          acc += b;
+          if (node.fused_relu && acc < 0.0f) acc = 0.0f;
+          out_row[ox - out_region.col_begin] = acc;
         }
-        acc += b;
-        if (node.fused_relu && acc < 0.0f) acc = 0.0f;
-        out_row[ox - out_region.col_begin] = acc;
       }
     }
-  }
+  });
   return out;
 }
 
 /// im2col + row-streaming matrix product.
 ///
-/// The output region is processed in row blocks small enough that the
+/// Each parallel strip processes its rows in blocks small enough that the
 /// unrolled input patch matrix (K = ic*kh*kw rows by N = block area columns)
 /// stays cache/memory friendly.  For each block:
 ///   col[k][n] = input value (or 0 in padding) of tap k for output pixel n
 ///   out[oc][n] = sum_k w[oc][k] * col[k][n]   (k ascending -> same
 ///                accumulation order as the direct loop, so every output
 ///                scalar is identical up to the sign of zero)
+///
+/// The col buffer is sized once per strip for the widest block (no per-group
+/// reallocation churn) and all patch-matrix extents are 64-bit: a single-row
+/// region can legally be wide enough that kernel_volume * n overflows int.
 Tensor conv_im2col(const Node& node, const Placed& in,
-                   const Region& out_region) {
+                   const Region& out_region, const ExecOptions& options) {
   const Shape in_shape = node.in_shape;
   const int oc_count = node.out_channels;
   const int ic_count = in_shape.channels;
@@ -91,84 +139,93 @@ Tensor conv_im2col(const Node& node, const Placed& in,
 
   Tensor out({oc_count, out_region.height(), out_region.width()});
 
-  // Block rows so the col matrix stays under ~8 MB.
-  constexpr long long kColBudget = 2'000'000;  // floats
-  const long long per_row = kernel_volume * out_region.width();
-  int block_rows = per_row > 0
-                       ? static_cast<int>(std::max<long long>(
-                             1, kColBudget / std::max<long long>(1, per_row)))
-                       : out_region.height();
-  std::vector<float> col;
+  parallel_strips(out_region, options, "conv_im2col", [&](
+                                                          const Region& strip) {
+    // Block rows so the col matrix stays under ~8 MB.
+    constexpr long long kColBudget = 2'000'000;  // floats
+    const long long width = strip.width();
+    const long long per_row = kernel_volume * width;
+    const int block_rows =
+        per_row > 0 ? static_cast<int>(std::max<long long>(
+                          1, kColBudget / std::max<long long>(1, per_row)))
+                    : strip.height();
+    // One allocation per strip, sized for the widest block; later blocks
+    // only zero-fill the prefix they use.
+    const long long max_n =
+        std::min<long long>(block_rows, strip.height()) * width;
+    std::vector<float> col(static_cast<std::size_t>(kernel_volume * max_n));
 
-  for (int block_begin = out_region.row_begin;
-       block_begin < out_region.row_end; block_begin += block_rows) {
-    const int block_end =
-        std::min(block_begin + block_rows, out_region.row_end);
-    const int n = (block_end - block_begin) * out_region.width();
+    for (int block_begin = strip.row_begin; block_begin < strip.row_end;
+         block_begin += block_rows) {
+      const int block_end = std::min(block_begin + block_rows, strip.row_end);
+      const long long n = (block_end - block_begin) * width;
 
-    for (int group = 0; group < node.groups; ++group) {
-      col.assign(static_cast<std::size_t>(kernel_volume) * n, 0.0f);
+      for (int group = 0; group < node.groups; ++group) {
+        std::fill_n(col.begin(),
+                    static_cast<std::size_t>(kernel_volume * n), 0.0f);
 
-      // Fill the patch matrix, one (ic, ky, kx) tap row at a time; each tap
-      // row is a strided copy of one input row segment, so the inner loop
-      // is contiguous over output columns.
-      long long k = 0;
-      for (int local = 0; local < icpg; ++local) {
-        const int ic = group * icpg + local;
-        for (int ky = 0; ky < kh; ++ky) {
-          for (int kx = 0; kx < kw; ++kx, ++k) {
-            float* col_row = col.data() + k * n;
-            long long column = 0;
-            for (int oy = block_begin; oy < block_end; ++oy) {
-              const int iy = oy * sh - ph + ky;
-              if (iy < 0 || iy >= in_shape.height) {
-                column += out_region.width();
-                continue;
-              }
-              const float* in_row =
-                  &in.tensor.at(ic, iy - in.region.row_begin, 0) -
-                  in.region.col_begin;
-              for (int ox = out_region.col_begin; ox < out_region.col_end;
-                   ++ox, ++column) {
-                const int ix = ox * sw - pw + kx;
-                if (ix >= 0 && ix < in_shape.width) {
-                  col_row[column] = in_row[ix];
+        // Fill the patch matrix, one (ic, ky, kx) tap row at a time; each
+        // tap row is a strided copy of one input row segment, so the inner
+        // loop is contiguous over output columns.
+        long long k = 0;
+        for (int local = 0; local < icpg; ++local) {
+          const int ic = group * icpg + local;
+          for (int ky = 0; ky < kh; ++ky) {
+            for (int kx = 0; kx < kw; ++kx, ++k) {
+              float* col_row = col.data() + k * n;
+              long long column = 0;
+              for (int oy = block_begin; oy < block_end; ++oy) {
+                const int iy = oy * sh - ph + ky;
+                if (iy < 0 || iy >= in_shape.height) {
+                  column += width;
+                  continue;
+                }
+                const float* in_row =
+                    &in.tensor.at(ic, iy - in.region.row_begin, 0) -
+                    in.region.col_begin;
+                for (int ox = strip.col_begin; ox < strip.col_end;
+                     ++ox, ++column) {
+                  const int ix = ox * sw - pw + kx;
+                  if (ix >= 0 && ix < in_shape.width) {
+                    col_row[column] = in_row[ix];
+                  }
                 }
               }
             }
           }
         }
-      }
 
-      // out_block[oc][n] += w[oc][k] * col[k][n], k ascending.
-      for (int oc = group * ocpg; oc < (group + 1) * ocpg; ++oc) {
-        const float* w = node.weights.data() + oc * kernel_volume;
-        float* out_base =
-            &out.at(oc, block_begin - out_region.row_begin, 0);
-        for (long long i = 0; i < n; ++i) out_base[i] = 0.0f;
-        for (long long kk = 0; kk < kernel_volume; ++kk) {
-          const float wk = w[kk];
-          const float* col_row = col.data() + kk * n;
-          for (long long i = 0; i < n; ++i) {
-            out_base[i] += wk * col_row[i];
+        // out_block[oc][n] += w[oc][k] * col[k][n], k ascending.
+        for (int oc = group * ocpg; oc < (group + 1) * ocpg; ++oc) {
+          const float* w = node.weights.data() + oc * kernel_volume;
+          float* out_base =
+              &out.at(oc, block_begin - out_region.row_begin, 0);
+          for (long long i = 0; i < n; ++i) out_base[i] = 0.0f;
+          for (long long kk = 0; kk < kernel_volume; ++kk) {
+            const float wk = w[kk];
+            const float* col_row = col.data() + kk * n;
+            for (long long i = 0; i < n; ++i) {
+              out_base[i] += wk * col_row[i];
+            }
           }
-        }
-        const float b = node.bias[static_cast<std::size_t>(oc)];
-        if (node.fused_relu) {
-          for (long long i = 0; i < n; ++i) {
-            const float v = out_base[i] + b;
-            out_base[i] = v > 0.0f ? v : 0.0f;
+          const float b = node.bias[static_cast<std::size_t>(oc)];
+          if (node.fused_relu) {
+            for (long long i = 0; i < n; ++i) {
+              const float v = out_base[i] + b;
+              out_base[i] = v > 0.0f ? v : 0.0f;
+            }
+          } else {
+            for (long long i = 0; i < n; ++i) out_base[i] += b;
           }
-        } else {
-          for (long long i = 0; i < n; ++i) out_base[i] += b;
         }
       }
     }
-  }
+  });
   return out;
 }
 
-Tensor pool(const Node& node, const Placed& in, const Region& out_region) {
+Tensor pool(const Node& node, const Placed& in, const Region& out_region,
+            const ExecOptions& options) {
   const Shape in_shape = node.in_shape;
   const bool is_max = node.kind == OpKind::MaxPool;
   const int kh = node.win.kh, kw = node.win.kw;
@@ -176,88 +233,97 @@ Tensor pool(const Node& node, const Placed& in, const Region& out_region) {
   const int ph = node.win.ph, pw = node.win.pw;
 
   Tensor out({in_shape.channels, out_region.height(), out_region.width()});
-  for (int c = 0; c < in_shape.channels; ++c) {
-    for (int oy = out_region.row_begin; oy < out_region.row_end; ++oy) {
-      const int iy0 = oy * sh - ph;
-      for (int ox = out_region.col_begin; ox < out_region.col_end; ++ox) {
-        const int ix0 = ox * sw - pw;
-        float best = -std::numeric_limits<float>::infinity();
-        float sum = 0.0f;
-        int taps = 0;
-        for (int ky = 0; ky < kh; ++ky) {
-          const int iy = iy0 + ky;
-          if (iy < 0 || iy >= in_shape.height) continue;
-          for (int kx = 0; kx < kw; ++kx) {
-            const int ix = ix0 + kx;
-            if (ix < 0 || ix >= in_shape.width) continue;
-            const float v = in.tensor.at(c, iy - in.region.row_begin,
-                                         ix - in.region.col_begin);
-            best = std::max(best, v);
-            sum += v;
-            ++taps;
+  parallel_strips(out_region, options, "pool", [&](const Region& strip) {
+    for (int c = 0; c < in_shape.channels; ++c) {
+      for (int oy = strip.row_begin; oy < strip.row_end; ++oy) {
+        const int iy0 = oy * sh - ph;
+        for (int ox = strip.col_begin; ox < strip.col_end; ++ox) {
+          const int ix0 = ox * sw - pw;
+          float best = -std::numeric_limits<float>::infinity();
+          float sum = 0.0f;
+          int taps = 0;
+          for (int ky = 0; ky < kh; ++ky) {
+            const int iy = iy0 + ky;
+            if (iy < 0 || iy >= in_shape.height) continue;
+            for (int kx = 0; kx < kw; ++kx) {
+              const int ix = ix0 + kx;
+              if (ix < 0 || ix >= in_shape.width) continue;
+              const float v = in.tensor.at(c, iy - in.region.row_begin,
+                                           ix - in.region.col_begin);
+              best = std::max(best, v);
+              sum += v;
+              ++taps;
+            }
           }
+          PICO_CHECK_MSG(taps > 0, "pool window entirely in padding");
+          out.at(c, oy - out_region.row_begin, ox - out_region.col_begin) =
+              is_max ? best : sum / static_cast<float>(taps);
         }
-        PICO_CHECK_MSG(taps > 0, "pool window entirely in padding");
-        out.at(c, oy - out_region.row_begin, ox - out_region.col_begin) =
-            is_max ? best : sum / static_cast<float>(taps);
       }
     }
-  }
+  });
   return out;
 }
 
-Tensor elementwise_relu(const Placed& in, const Region& out_region) {
+Tensor elementwise_relu(const Placed& in, const Region& out_region,
+                        const ExecOptions& options) {
   Tensor out({in.tensor.shape().channels, out_region.height(),
               out_region.width()});
-  for (int c = 0; c < out.shape().channels; ++c) {
-    for (int y = out_region.row_begin; y < out_region.row_end; ++y) {
-      for (int x = out_region.col_begin; x < out_region.col_end; ++x) {
-        const float v = in.tensor.at(c, y - in.region.row_begin,
-                                     x - in.region.col_begin);
-        out.at(c, y - out_region.row_begin, x - out_region.col_begin) =
-            v > 0.0f ? v : 0.0f;
+  parallel_strips(out_region, options, "relu", [&](const Region& strip) {
+    for (int c = 0; c < out.shape().channels; ++c) {
+      for (int y = strip.row_begin; y < strip.row_end; ++y) {
+        for (int x = strip.col_begin; x < strip.col_end; ++x) {
+          const float v = in.tensor.at(c, y - in.region.row_begin,
+                                       x - in.region.col_begin);
+          out.at(c, y - out_region.row_begin, x - out_region.col_begin) =
+              v > 0.0f ? v : 0.0f;
+        }
       }
     }
-  }
+  });
   return out;
 }
 
-Tensor batchnorm(const Node& node, const Placed& in,
-                 const Region& out_region) {
+Tensor batchnorm(const Node& node, const Placed& in, const Region& out_region,
+                 const ExecOptions& options) {
   Tensor out({node.in_shape.channels, out_region.height(),
               out_region.width()});
-  for (int c = 0; c < out.shape().channels; ++c) {
-    const float scale = node.bn_scale[static_cast<std::size_t>(c)];
-    const float shift = node.bn_shift[static_cast<std::size_t>(c)];
-    for (int y = out_region.row_begin; y < out_region.row_end; ++y) {
-      for (int x = out_region.col_begin; x < out_region.col_end; ++x) {
-        float v = scale * in.tensor.at(c, y - in.region.row_begin,
-                                       x - in.region.col_begin) +
-                  shift;
-        if (node.fused_relu && v < 0.0f) v = 0.0f;
-        out.at(c, y - out_region.row_begin, x - out_region.col_begin) = v;
+  parallel_strips(out_region, options, "batchnorm", [&](const Region& strip) {
+    for (int c = 0; c < out.shape().channels; ++c) {
+      const float scale = node.bn_scale[static_cast<std::size_t>(c)];
+      const float shift = node.bn_shift[static_cast<std::size_t>(c)];
+      for (int y = strip.row_begin; y < strip.row_end; ++y) {
+        for (int x = strip.col_begin; x < strip.col_end; ++x) {
+          float v = scale * in.tensor.at(c, y - in.region.row_begin,
+                                         x - in.region.col_begin) +
+                    shift;
+          if (node.fused_relu && v < 0.0f) v = 0.0f;
+          out.at(c, y - out_region.row_begin, x - out_region.col_begin) = v;
+        }
       }
     }
-  }
+  });
   return out;
 }
 
 Tensor add(const Node& node, const Placed& lhs, const Placed& rhs,
-           const Region& out_region) {
+           const Region& out_region, const ExecOptions& options) {
   Tensor out({node.in_shape.channels, out_region.height(),
               out_region.width()});
-  for (int c = 0; c < out.shape().channels; ++c) {
-    for (int y = out_region.row_begin; y < out_region.row_end; ++y) {
-      for (int x = out_region.col_begin; x < out_region.col_end; ++x) {
-        float v = lhs.tensor.at(c, y - lhs.region.row_begin,
-                                x - lhs.region.col_begin) +
-                  rhs.tensor.at(c, y - rhs.region.row_begin,
-                                x - rhs.region.col_begin);
-        if (node.fused_relu && v < 0.0f) v = 0.0f;
-        out.at(c, y - out_region.row_begin, x - out_region.col_begin) = v;
+  parallel_strips(out_region, options, "add", [&](const Region& strip) {
+    for (int c = 0; c < out.shape().channels; ++c) {
+      for (int y = strip.row_begin; y < strip.row_end; ++y) {
+        for (int x = strip.col_begin; x < strip.col_end; ++x) {
+          float v = lhs.tensor.at(c, y - lhs.region.row_begin,
+                                  x - lhs.region.col_begin) +
+                    rhs.tensor.at(c, y - rhs.region.row_begin,
+                                  x - rhs.region.col_begin);
+          if (node.fused_relu && v < 0.0f) v = 0.0f;
+          out.at(c, y - out_region.row_begin, x - out_region.col_begin) = v;
+        }
       }
     }
-  }
+  });
   return out;
 }
 
@@ -318,14 +384,15 @@ Tensor global_avgpool(const Node& node, const Placed& in) {
 }  // namespace
 
 Tensor conv2d(const Node& node, const Placed& input, const Region& out_region,
-              ConvBackend backend) {
+              ConvBackend backend, const ExecOptions& options) {
   PICO_CHECK(node.kind == OpKind::Conv);
-  return backend == ConvBackend::Direct ? conv(node, input, out_region)
-                                        : conv_im2col(node, input, out_region);
+  return backend == ConvBackend::Direct
+             ? conv(node, input, out_region, options)
+             : conv_im2col(node, input, out_region, options);
 }
 
 Tensor compute_node(const Node& node, std::span<const Placed> inputs,
-                    const Region& out_region) {
+                    const Region& out_region, const ExecOptions& options) {
   PICO_CHECK_MSG(!out_region.empty(), "empty output region for node "
                                           << node.name);
   PICO_CHECK_MSG(inputs.size() == node.inputs.size(),
@@ -337,16 +404,16 @@ Tensor compute_node(const Node& node, std::span<const Placed> inputs,
 
   switch (node.kind) {
     case OpKind::Conv:
-      return conv_im2col(node, inputs[0], out_region);
+      return conv_im2col(node, inputs[0], out_region, options);
     case OpKind::MaxPool:
     case OpKind::AvgPool:
-      return pool(node, inputs[0], out_region);
+      return pool(node, inputs[0], out_region, options);
     case OpKind::ReLU:
-      return elementwise_relu(inputs[0], out_region);
+      return elementwise_relu(inputs[0], out_region, options);
     case OpKind::BatchNorm:
-      return batchnorm(node, inputs[0], out_region);
+      return batchnorm(node, inputs[0], out_region, options);
     case OpKind::Add:
-      return add(node, inputs[0], inputs[1], out_region);
+      return add(node, inputs[0], inputs[1], out_region, options);
     case OpKind::Concat:
       return concat(node, inputs, out_region);
     case OpKind::FullyConnected:

@@ -9,6 +9,13 @@
 // The single-device executor is the special case out_region == full map, so
 // distributed and local inference share one arithmetic path and their
 // results agree bit-for-bit.
+//
+// Intra-device parallelism: conv, pool and the elementwise kernels split
+// `out_region` into horizontal strips executed on the shared ThreadPool
+// (common/thread_pool.hpp).  Every output scalar is produced by exactly one
+// strip with the same fixed accumulation order the serial loop uses, so
+// results are bit-identical for every thread count — parallelism changes
+// wall time, never arithmetic.
 #pragma once
 
 #include <span>
@@ -18,12 +25,23 @@
 
 namespace pico::nn {
 
+/// Per-invocation execution knobs, threaded from the runtime worker /
+/// executor down into the kernels.
+struct ExecOptions {
+  /// Upper bound on intra-device threads for one kernel invocation.
+  /// 0 = process default (the PICO_THREADS environment variable when set,
+  /// else hardware concurrency); 1 = fully serial.  Results are identical
+  /// for every value.
+  int threads = 0;
+};
+
 /// Compute `out_region` of node `node`'s output.  `inputs[k]` is the piece of
 /// node.inputs[k]'s output map the caller holds; it must cover the region
 /// input_region(graph, node.id, out_region, k).
 /// Returns a tensor of shape {out_channels, out_region.height, width}.
 Tensor compute_node(const Node& node, std::span<const Placed> inputs,
-                    const Region& out_region);
+                    const Region& out_region,
+                    const ExecOptions& options = {});
 
 /// Convolution backends.  Both accumulate over (ic, ky, kx) in the same
 /// order, so every output scalar sees the same float-addition sequence and
@@ -32,6 +50,6 @@ Tensor compute_node(const Node& node, std::span<const Placed> inputs,
 /// equivalence tests compare against.
 enum class ConvBackend { Direct, Im2col };
 Tensor conv2d(const Node& node, const Placed& input, const Region& out_region,
-              ConvBackend backend);
+              ConvBackend backend, const ExecOptions& options = {});
 
 }  // namespace pico::nn

@@ -40,12 +40,14 @@ struct SpanRecord {
 };
 
 /// Visualization rows.  Task row 0; stages from 1; devices from 1001;
-/// net/adaptive rows sit far above so they never collide with stages.
+/// net/adaptive rows sit far above so they never collide with stages;
+/// kernel rows (one per intra-device strip index) sit above those.
 inline std::int64_t task_track() { return 0; }
 inline std::int64_t stage_track(int stage) { return 1 + stage; }
 inline std::int64_t device_track(int device) { return 1001 + device; }
 inline std::int64_t net_track() { return 2001; }
 inline std::int64_t adaptive_track() { return 3001; }
+inline std::int64_t kernel_track(int strip) { return 4001 + strip; }
 
 class Tracer {
  public:

@@ -1,8 +1,11 @@
 #include "runtime/worker.hpp"
 
+#include <string>
+
 #include "common/error.hpp"
 #include "common/log.hpp"
 #include "nn/executor.hpp"
+#include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
 namespace pico::runtime {
@@ -13,7 +16,8 @@ namespace {
 /// The measured compute time rides back in the WorkResult so the
 /// coordinator can attribute per-device compute without trusting clocks to
 /// be synchronized across hosts (only durations cross the wire).
-Message serve_request(const nn::Graph& graph, Message request) {
+Message serve_request(const nn::Graph& graph, Message request,
+                      const nn::ExecOptions& options) {
   Message result;
   result.type = MessageType::WorkResult;
   result.task_id = request.task_id;
@@ -23,31 +27,56 @@ Message serve_request(const nn::Graph& graph, Message request) {
   result.tensor =
       nn::execute_segment(graph, request.first_node, request.last_node,
                           {request.in_region, std::move(request.tensor)},
-                          request.out_region);
+                          request.out_region, options);
   result.compute_seconds =
       static_cast<double>(obs::Tracer::now_ns() - start_ns) / 1e9;
   return result;
 }
 
-}  // namespace
-
-void serve_blocking(const nn::Graph& graph, Connection& connection) {
+/// The one serve loop both Worker::run and serve_blocking use.  Requests
+/// are counted (registry + optional owner-visible atomic) at serve time,
+/// after the segment is computed but before the reply is sent: work the
+/// device performed stays visible even when the reply leg fails.
+void serve_loop(const nn::Graph& graph, Connection& connection,
+                DeviceId device, const nn::ExecOptions& options,
+                std::atomic<long long>* served) {
+  obs::Counter& requests = obs::Registry::global().counter(
+      "pico_worker_requests_total", {{"device", std::to_string(device)}});
   try {
     for (;;) {
       Message request = connection.recv();
       if (request.type == MessageType::Shutdown) break;
       PICO_CHECK_MSG(request.type == MessageType::WorkRequest,
                      "worker got unexpected message type");
-      connection.send(serve_request(graph, std::move(request)));
+      Message result = serve_request(graph, std::move(request), options);
+      requests.add();
+      if (served != nullptr) {
+        served->fetch_add(1, std::memory_order_relaxed);
+      }
+      connection.send(std::move(result));
     }
   } catch (const TransportError&) {
     // Peer closed: normal shutdown path.
+  } catch (const Error& error) {
+    PICO_LOG(Error) << "worker (device " << device
+                    << ") failed: " << error.what();
   }
 }
 
+}  // namespace
+
+void serve_blocking(const nn::Graph& graph, Connection& connection,
+                    DeviceId device, const nn::ExecOptions& options) {
+  serve_loop(graph, connection, device, options, nullptr);
+}
+
 Worker::Worker(const nn::Graph& graph,
-               std::unique_ptr<Connection> connection, DeviceId device)
-    : graph_(graph), connection_(std::move(connection)), device_(device) {
+               std::unique_ptr<Connection> connection, DeviceId device,
+               const nn::ExecOptions& options)
+    : graph_(graph),
+      connection_(std::move(connection)),
+      device_(device),
+      options_(options) {
   PICO_CHECK(connection_ != nullptr);
 }
 
@@ -64,20 +93,7 @@ void Worker::stop() {
 }
 
 void Worker::run() {
-  try {
-    for (;;) {
-      Message request = connection_->recv();
-      if (request.type == MessageType::Shutdown) break;
-      PICO_CHECK_MSG(request.type == MessageType::WorkRequest,
-                     "worker got unexpected message type");
-      connection_->send(serve_request(graph_, std::move(request)));
-      requests_.fetch_add(1, std::memory_order_relaxed);
-    }
-  } catch (const TransportError&) {
-    // Peer closed: normal shutdown path.
-  } catch (const Error& error) {
-    PICO_LOG(Error) << "worker failed: " << error.what();
-  }
+  serve_loop(graph_, *connection_, device_, options_, &requests_);
 }
 
 }  // namespace pico::runtime

@@ -2,6 +2,13 @@
 // edge device.  Serves WorkRequests by running the requested fused segment
 // over its input piece (real tensor arithmetic via execute_segment) and
 // returning the produced output piece.  Exits on Shutdown or peer close.
+//
+// Both entry points (the in-process Worker thread and the standalone
+// serve_blocking loop a real device's main() calls) share one serve loop
+// with identical error handling: TransportError means the peer closed
+// (normal shutdown) and any other pico::Error — e.g. a malformed request —
+// is logged and ends the loop cleanly instead of unwinding into the caller
+// or taking down a standalone worker process.
 #pragma once
 
 #include <atomic>
@@ -10,14 +17,20 @@
 
 #include "common/types.hpp"
 #include "nn/graph.hpp"
+#include "nn/kernels.hpp"
 #include "runtime/transport.hpp"
 
 namespace pico::runtime {
 
 /// Blocking worker loop for standalone device processes: serve WorkRequests
-/// on `connection` until Shutdown or peer close.  This is what a real edge
-/// device's main() calls after connecting to the coordinator.
-void serve_blocking(const nn::Graph& graph, Connection& connection);
+/// on `connection` until Shutdown, peer close, or a malformed request (which
+/// is logged, never thrown).  This is what a real edge device's main() calls
+/// after connecting to the coordinator.  `device` labels this worker's
+/// pico_worker_requests_total metric series; `options` bounds the
+/// intra-device threads execute_segment may use.
+void serve_blocking(const nn::Graph& graph, Connection& connection,
+                    DeviceId device = -1,
+                    const nn::ExecOptions& options = {});
 
 class Worker {
  public:
@@ -26,7 +39,7 @@ class Worker {
   /// the weights here changes nothing observable.  `device` is an optional
   /// label the owner uses to attribute this worker's counters (-1 = none).
   Worker(const nn::Graph& graph, std::unique_ptr<Connection> connection,
-         DeviceId device = -1);
+         DeviceId device = -1, const nn::ExecOptions& options = {});
   ~Worker();
 
   Worker(const Worker&) = delete;
@@ -36,6 +49,9 @@ class Worker {
   /// Close the connection and join the thread (idempotent).
   void stop();
 
+  /// Requests this worker computed, counted at serve time: a request whose
+  /// reply leg fails is still served work and still shows up here (and in
+  /// the pico_worker_requests_total metric).
   long long requests_served() const {
     return requests_.load(std::memory_order_relaxed);
   }
@@ -48,6 +64,7 @@ class Worker {
   const nn::Graph& graph_;
   std::unique_ptr<Connection> connection_;
   DeviceId device_ = -1;
+  nn::ExecOptions options_;
   std::thread thread_;
   std::atomic<long long> requests_{0};
 };

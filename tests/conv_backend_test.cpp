@@ -105,6 +105,52 @@ TEST(ConvBackends, BlockedPathCoversMultipleRowBlocks) {
   EXPECT_FLOAT_EQ(Tensor::max_abs_diff(d, f), 0.0f);
 }
 
+TEST(ConvBackends, ExtremeAspectRatioRegions) {
+  // Degenerate block sizing: a single-row output region wide enough that
+  // the patch matrix extent kernel_volume * n must be computed in 64 bits,
+  // and a many-block tall-thin map.  Regression for the int-overflow /
+  // per-group buffer-churn audit of conv_im2col.
+  {
+    nn::Graph g;
+    const int in = g.add_input({8, 3, 4096});
+    g.add_conv(in, 4, 3, 1, 1);
+    g.finalize();
+    Rng rng(91);
+    g.randomize_weights(rng);
+    Tensor input(g.input_shape());
+    input.randomize(rng);
+    const nn::Node& node = g.node(1);
+    const Placed whole{Region::full(3, 4096), input};
+    for (const Region region :
+         {Region::rows(1, 2, 4096), Region::full(3, 4096)}) {
+      const Tensor d =
+          nn::conv2d(node, whole, region, nn::ConvBackend::Direct);
+      const Tensor f =
+          nn::conv2d(node, whole, region, nn::ConvBackend::Im2col);
+      ASSERT_FLOAT_EQ(Tensor::max_abs_diff(d, f), 0.0f)
+          << "wide region " << region;
+    }
+  }
+  {
+    // Tall and one column wide: per-row patch extent is tiny, so the block
+    // loop covers thousands of rows per block.
+    nn::Graph g;
+    const int in = g.add_input({2, 4096, 3});
+    g.add_conv(in, 3, 3, 1, 1);
+    g.finalize();
+    Rng rng(92);
+    g.randomize_weights(rng);
+    Tensor input(g.input_shape());
+    input.randomize(rng);
+    const nn::Node& node = g.node(1);
+    const Placed whole{Region::full(4096, 3), input};
+    const Region region{0, 4096, 1, 2};
+    const Tensor d = nn::conv2d(node, whole, region, nn::ConvBackend::Direct);
+    const Tensor f = nn::conv2d(node, whole, region, nn::ConvBackend::Im2col);
+    ASSERT_FLOAT_EQ(Tensor::max_abs_diff(d, f), 0.0f);
+  }
+}
+
 TEST(ConvBackends, RandomizedSweep) {
   Rng rng(31337);
   for (int trial = 0; trial < 12; ++trial) {

@@ -6,6 +6,7 @@
 #include "common/rng.hpp"
 #include "models/zoo.hpp"
 #include "nn/executor.hpp"
+#include "obs/metrics.hpp"
 #include "partition/pico_dp.hpp"
 #include "partition/schemes.hpp"
 #include "runtime/channel.hpp"
@@ -285,6 +286,77 @@ TEST_F(RuntimeFixture, ByoTransportRejectsMissingConnection) {
   std::map<DeviceId, std::unique_ptr<runtime::Connection>> empty;
   EXPECT_THROW(runtime::PipelineRuntime(graph_, plan, std::move(empty)),
                InvariantError);
+}
+
+TEST_F(RuntimeFixture, ServeBlockingSurvivesMalformedRequest) {
+  // A malformed request (wrong message type) used to escape serve_blocking
+  // as an InvariantError — in a standalone worker process that unwinds out
+  // of main (or terminates the serving thread).  The unified serve loop
+  // logs it and returns cleanly, exactly like Worker::run always did.
+  auto [coordinator_end, worker_end] = runtime::make_inproc_pair();
+  Message malformed;
+  malformed.type = MessageType::WorkResult;
+  coordinator_end->send(malformed);
+  EXPECT_NO_THROW(runtime::serve_blocking(graph_, *worker_end, /*device=*/42));
+}
+
+TEST_F(RuntimeFixture, ServeBlockingCountsRequestsInMetricsRegistry) {
+  // Standalone workers used to be invisible to the PR 2 metrics: requests
+  // were only counted in Worker::run, and only after send() succeeded.  The
+  // unified loop counts every computed request at serve time, labelled by
+  // device.
+  obs::Counter& counter = obs::Registry::global().counter(
+      "pico_worker_requests_total", {{"device", "7"}});
+  const long long before = counter.value();
+
+  auto [coordinator_end, worker_end] = runtime::make_inproc_pair();
+  std::thread server([this, worker = worker_end.get()] {
+    runtime::serve_blocking(graph_, *worker, /*device=*/7);
+  });
+
+  Message request;
+  request.type = MessageType::WorkRequest;
+  request.first_node = 1;
+  request.last_node = graph_.size() - 1;
+  request.in_region =
+      Region::full(graph_.input_shape().height, graph_.input_shape().width);
+  request.out_region =
+      Region::full(graph_.output_shape().height, graph_.output_shape().width);
+  request.tensor = input_;
+  coordinator_end->send(request);
+  const Message reply = coordinator_end->recv();
+  EXPECT_EQ(reply.type, MessageType::WorkResult);
+  EXPECT_FLOAT_EQ(Tensor::max_abs_diff(reply.tensor, reference_), 0.0f);
+
+  Message shutdown;
+  shutdown.type = MessageType::Shutdown;
+  coordinator_end->send(shutdown);
+  server.join();
+  EXPECT_EQ(counter.value(), before + 1);
+}
+
+TEST_F(RuntimeFixture, WorkerHonorsExecOptionsThreadCap) {
+  // A worker pinned to one intra-device thread must still produce the
+  // bit-exact reference (determinism across thread counts).
+  auto [coordinator_end, worker_end] = runtime::make_inproc_pair();
+  runtime::Worker worker(graph_, std::move(worker_end), /*device=*/3,
+                         nn::ExecOptions{.threads = 1});
+  worker.start();
+
+  Message request;
+  request.type = MessageType::WorkRequest;
+  request.first_node = 1;
+  request.last_node = graph_.size() - 1;
+  request.in_region =
+      Region::full(graph_.input_shape().height, graph_.input_shape().width);
+  request.out_region =
+      Region::full(graph_.output_shape().height, graph_.output_shape().width);
+  request.tensor = input_;
+  coordinator_end->send(request);
+  const Message reply = coordinator_end->recv();
+  EXPECT_FLOAT_EQ(Tensor::max_abs_diff(reply.tensor, reference_), 0.0f);
+  worker.stop();
+  EXPECT_EQ(worker.requests_served(), 1);
 }
 
 TEST_F(RuntimeFixture, ExplicitShutdownIdempotent) {

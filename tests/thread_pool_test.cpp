@@ -1,0 +1,142 @@
+// ThreadPool: index coverage, caller participation, exception propagation,
+// concurrent and nested parallel_for, and the PICO_THREADS default.  Runs
+// under the tsan preset, which is what keeps the ROADMAP's "runtime stays
+// TSan-clean" requirement honest for the pool.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <set>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/thread_pool.hpp"
+
+namespace pico {
+namespace {
+
+TEST(ThreadPool, RunsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.parallelism(), 4);
+  constexpr int kCount = 1000;
+  std::vector<std::atomic<int>> hits(kCount);
+  pool.parallel_for(kCount, [&](int i) {
+    hits[static_cast<std::size_t>(i)].fetch_add(1,
+                                                std::memory_order_relaxed);
+  });
+  for (int i = 0; i < kCount; ++i) {
+    EXPECT_EQ(hits[static_cast<std::size_t>(i)].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPool, WritesHappenBeforeReturn) {
+  // Plain (non-atomic) writes by tasks must be visible to the caller after
+  // parallel_for returns — the guarantee the kernels rely on when strips
+  // write into one shared output tensor.
+  ThreadPool pool(3);
+  std::vector<int> values(64, 0);
+  pool.parallel_for(64, [&](int i) {
+    values[static_cast<std::size_t>(i)] = i * i;
+  });
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_EQ(values[static_cast<std::size_t>(i)], i * i);
+  }
+}
+
+TEST(ThreadPool, SingleLanePoolRunsInline) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.parallelism(), 1);
+  const std::thread::id caller = std::this_thread::get_id();
+  std::set<std::thread::id> seen;
+  pool.parallel_for(8, [&](int) { seen.insert(std::this_thread::get_id()); });
+  ASSERT_EQ(seen.size(), 1u);
+  EXPECT_EQ(*seen.begin(), caller);
+}
+
+TEST(ThreadPool, ZeroOrNegativeCountIsANoop) {
+  ThreadPool pool(2);
+  int calls = 0;
+  pool.parallel_for(0, [&](int) { ++calls; });
+  pool.parallel_for(-3, [&](int) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ThreadPool, FirstExceptionPropagatesAndPoolSurvives) {
+  ThreadPool pool(4);
+  std::atomic<int> completed{0};
+  EXPECT_THROW(
+      pool.parallel_for(16,
+                        [&](int i) {
+                          if (i == 7) throw std::runtime_error("strip 7");
+                          completed.fetch_add(1, std::memory_order_relaxed);
+                        }),
+      std::runtime_error);
+  EXPECT_EQ(completed.load(), 15);  // no cancellation: other tasks finish
+  // The pool stays usable after a throwing job.
+  std::atomic<int> after{0};
+  pool.parallel_for(
+      8, [&](int) { after.fetch_add(1, std::memory_order_relaxed); });
+  EXPECT_EQ(after.load(), 8);
+}
+
+TEST(ThreadPool, ConcurrentCallersShareThePool) {
+  // Several threads using one pool at once — the runtime shape: every
+  // Worker thread fans its strips out on the shared global pool.
+  ThreadPool pool(4);
+  constexpr int kCallers = 4, kCount = 200;
+  std::vector<std::atomic<long long>> sums(kCallers);
+  std::vector<std::thread> callers;
+  for (int c = 0; c < kCallers; ++c) {
+    callers.emplace_back([&pool, &sums, c] {
+      pool.parallel_for(kCount, [&sums, c](int i) {
+        sums[static_cast<std::size_t>(c)].fetch_add(
+            i, std::memory_order_relaxed);
+      });
+    });
+  }
+  for (std::thread& caller : callers) caller.join();
+  for (int c = 0; c < kCallers; ++c) {
+    EXPECT_EQ(sums[static_cast<std::size_t>(c)].load(),
+              kCount * (kCount - 1) / 2);
+  }
+}
+
+TEST(ThreadPool, NestedParallelForMakesProgress) {
+  ThreadPool pool(2);
+  std::atomic<int> leaves{0};
+  pool.parallel_for(4, [&](int) {
+    pool.parallel_for(
+        4, [&](int) { leaves.fetch_add(1, std::memory_order_relaxed); });
+  });
+  EXPECT_EQ(leaves.load(), 16);
+}
+
+TEST(ThreadPool, RejectsInvalidParallelism) {
+  EXPECT_THROW(ThreadPool(0), InvariantError);
+  EXPECT_THROW(ThreadPool(ThreadPool::kMaxThreads + 1), InvariantError);
+}
+
+TEST(ThreadPool, DefaultParallelismReadsPicoThreadsEnv) {
+  const char* saved = std::getenv("PICO_THREADS");
+  const std::string restore = saved != nullptr ? saved : "";
+
+  ASSERT_EQ(setenv("PICO_THREADS", "3", 1), 0);
+  EXPECT_EQ(ThreadPool::default_parallelism(), 3);
+  ASSERT_EQ(setenv("PICO_THREADS", "0", 1), 0);  // clamped up to 1
+  EXPECT_EQ(ThreadPool::default_parallelism(), 1);
+  ASSERT_EQ(setenv("PICO_THREADS", "99999", 1), 0);  // clamped down
+  EXPECT_EQ(ThreadPool::default_parallelism(), ThreadPool::kMaxThreads);
+  ASSERT_EQ(setenv("PICO_THREADS", "not-a-number", 1), 0);  // ignored
+  EXPECT_GE(ThreadPool::default_parallelism(), 1);
+
+  if (saved != nullptr) {
+    setenv("PICO_THREADS", restore.c_str(), 1);
+  } else {
+    unsetenv("PICO_THREADS");
+  }
+}
+
+}  // namespace
+}  // namespace pico
