@@ -1,0 +1,117 @@
+// Clock-offset estimation between the coordinator and a remote device.
+//
+// Tracer::now_ns() is a *per-process* monotonic timebase (nanoseconds since
+// first use), so timestamps taken on different hosts — or even different
+// processes on one host — are mutually meaningless.  To place worker-side
+// spans on the coordinator timeline, each request/response round trip yields
+// an NTP-style timestamp quadruple
+//
+//   t1 = coordinator clock at request send
+//   t2 = worker clock at request receipt
+//   t3 = worker clock at reply send
+//   t4 = coordinator clock at reply receipt
+//
+// from which  offset = ((t2 - t1) + (t3 - t4)) / 2  estimates how far the
+// worker clock runs ahead of the coordinator clock, and
+// rtt = (t4 - t1) - (t3 - t2) is the pure wire round trip (worker service
+// time excluded).  The estimation error is bounded by the one-way-delay
+// asymmetry, which is at most rtt / 2 — so low-RTT samples are the accurate
+// ones.  ClockOffsetEstimator keeps the minimum observed RTT, feeds only
+// samples whose RTT is within a gate of that minimum into an EWMA (jittery
+// samples are filtered out, they only refresh the RTT statistics), and
+// reports an error bound of min_rtt / 2.
+//
+// Samples arrive from two producers: every WorkResult piggybacks a
+// quadruple (big payloads, asymmetric — kept in check by the RTT gate), and
+// lightweight Ping/Pong control messages provide tight symmetric probes
+// (the harvest path sends a burst of them before pulling dumps).
+#pragma once
+
+#include <cstdint>
+
+#include "common/mutex.hpp"
+
+namespace pico::obs {
+
+/// One NTP-style round-trip observation (all Tracer::now_ns() timebases;
+/// t1/t4 on the local clock, t2/t3 on the remote clock).
+struct ClockSample {
+  std::int64_t t1_ns = 0;
+  std::int64_t t2_ns = 0;
+  std::int64_t t3_ns = 0;
+  std::int64_t t4_ns = 0;
+
+  /// Remote-minus-local clock offset implied by this sample.
+  std::int64_t offset_ns() const {
+    return ((t2_ns - t1_ns) + (t3_ns - t4_ns)) / 2;
+  }
+  /// Wire round trip with the remote's service time subtracted out.
+  std::int64_t rtt_ns() const {
+    return (t4_ns - t1_ns) - (t3_ns - t2_ns);
+  }
+  /// A usable sample moves forward on both clocks.
+  bool plausible() const { return t4_ns >= t1_ns && t3_ns >= t2_ns; }
+};
+
+/// EWMA offset estimator with a minimum-RTT acceptance gate.  Thread-safe:
+/// results for one device may arrive from several coordinator threads (a
+/// sequential plan reuses devices across stages).
+class ClockOffsetEstimator {
+ public:
+  struct Options {
+    double alpha = 0.25;     ///< EWMA weight of an accepted sample
+    double rtt_gate = 2.0;   ///< accept samples with rtt <= gate * min_rtt
+  };
+
+  ClockOffsetEstimator() : ClockOffsetEstimator(Options{}) {}
+  explicit ClockOffsetEstimator(Options options) : options_(options) {}
+
+  /// Feed one quadruple; implausible samples (clock went backwards) are
+  /// counted but otherwise ignored.
+  void update(const ClockSample& sample);
+
+  /// True once at least one sample passed the gate.
+  bool valid() const;
+
+  /// Smoothed remote-minus-local offset (0 until valid()).
+  std::int64_t offset_ns() const;
+  /// Smoothed accepted-sample RTT (0 until valid()).
+  std::int64_t rtt_ns() const;
+  /// Best (minimum) RTT seen; the tightest sample the estimate leans on.
+  std::int64_t min_rtt_ns() const;
+  /// Worst-case estimation error: half the best round trip observed.
+  std::int64_t error_bound_ns() const;
+
+  int samples() const;   ///< quadruples offered
+  int accepted() const;  ///< quadruples that passed the RTT gate
+
+  /// Map a remote-clock instant onto the local timeline.
+  std::int64_t rebase(std::int64_t remote_ns) const {
+    return remote_ns - offset_ns();
+  }
+
+ private:
+  const Options options_;
+  mutable Mutex mutex_;
+  int samples_ PICO_GUARDED_BY(mutex_) = 0;
+  int accepted_ PICO_GUARDED_BY(mutex_) = 0;
+  double offset_ns_ PICO_GUARDED_BY(mutex_) = 0.0;
+  double rtt_ns_ PICO_GUARDED_BY(mutex_) = 0.0;
+  std::int64_t min_rtt_ns_ PICO_GUARDED_BY(mutex_) = 0;
+};
+
+/// Test hook simulating an unsynchronized device clock: worker-side
+/// timestamping (worker_now_ns) reads Tracer::now_ns() shifted by this
+/// constant.  Default 0; only tests set it.  In-process workers share the
+/// coordinator's clock, so without this hook loopback tests would exercise
+/// the estimator only around a trivial zero offset.
+void set_debug_clock_skew_ns(std::int64_t skew_ns);
+std::int64_t debug_clock_skew_ns();
+
+/// The worker-side clock: Tracer::now_ns() plus the debug skew.  Every
+/// timestamp a worker puts on the wire (t2/t3, compute start/end) and into
+/// its local span buffer uses this, so the rebase path is exercised
+/// end to end when a test injects skew.
+std::int64_t worker_now_ns();
+
+}  // namespace pico::obs

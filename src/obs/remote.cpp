@@ -1,0 +1,197 @@
+#include "obs/remote.hpp"
+
+#include <cstring>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace pico::obs {
+
+void SpanBuffer::flush_to_tracer() {
+  std::vector<SpanRecord> spans = drain();
+  Tracer& tracer = Tracer::global();
+  for (SpanRecord& span : spans) tracer.record(std::move(span));
+}
+
+// ---------------------------------------------------------------------------
+// Span wire codec (TraceDump payload)
+// ---------------------------------------------------------------------------
+
+namespace {
+
+constexpr std::uint32_t kSpanMagic = 0x50535031;  // "PSP1"
+
+template <typename T>
+void put(std::vector<std::uint8_t>& out, T value) {
+  const auto offset = out.size();
+  out.resize(offset + sizeof(T));
+  std::memcpy(out.data() + offset, &value, sizeof(T));
+}
+
+void put_string(std::vector<std::uint8_t>& out, const std::string& text) {
+  put<std::uint32_t>(out, static_cast<std::uint32_t>(text.size()));
+  const auto offset = out.size();
+  out.resize(offset + text.size());
+  if (!text.empty()) std::memcpy(out.data() + offset, text.data(), text.size());
+}
+
+template <typename T>
+T take(const std::uint8_t*& cursor, const std::uint8_t* end) {
+  if (cursor + sizeof(T) > end) {
+    throw TransportError("span buffer truncated");
+  }
+  T value;
+  std::memcpy(&value, cursor, sizeof(T));
+  cursor += sizeof(T);
+  return value;
+}
+
+std::string take_string(const std::uint8_t*& cursor, const std::uint8_t* end) {
+  const auto size = take<std::uint32_t>(cursor, end);
+  if (cursor + size > end) throw TransportError("span buffer truncated");
+  std::string text(reinterpret_cast<const char*>(cursor), size);
+  cursor += size;
+  return text;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_spans(const std::vector<SpanRecord>& spans) {
+  std::vector<std::uint8_t> out;
+  put<std::uint32_t>(out, kSpanMagic);
+  put<std::uint64_t>(out, spans.size());
+  for (const SpanRecord& span : spans) {
+    put_string(out, span.name);
+    put_string(out, span.category);
+    put<std::int64_t>(out, span.track);
+    put<std::int64_t>(out, span.start_ns);
+    put<std::int64_t>(out, span.duration_ns);
+    put<std::int64_t>(out, span.task_id);
+    put<std::uint32_t>(out, static_cast<std::uint32_t>(span.args.size()));
+    for (const auto& [key, value] : span.args) {
+      put_string(out, key);
+      put_string(out, value);
+    }
+  }
+  return out;
+}
+
+std::vector<SpanRecord> decode_spans(const std::uint8_t* data,
+                                     std::size_t size) {
+  const std::uint8_t* cursor = data;
+  const std::uint8_t* end = data + size;
+  if (take<std::uint32_t>(cursor, end) != kSpanMagic) {
+    throw TransportError("bad span buffer magic");
+  }
+  const auto count = take<std::uint64_t>(cursor, end);
+  // Each span costs at least the fixed fields; cheap sanity bound so a
+  // corrupt count cannot drive a huge allocation.
+  if (count > size) throw TransportError("span buffer count implausible");
+  std::vector<SpanRecord> spans;
+  spans.reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t i = 0; i < count; ++i) {
+    SpanRecord span;
+    span.name = take_string(cursor, end);
+    span.category = take_string(cursor, end);
+    span.track = take<std::int64_t>(cursor, end);
+    span.start_ns = take<std::int64_t>(cursor, end);
+    span.duration_ns = take<std::int64_t>(cursor, end);
+    span.task_id = take<std::int64_t>(cursor, end);
+    const auto args = take<std::uint32_t>(cursor, end);
+    span.args.reserve(args);
+    for (std::uint32_t a = 0; a < args; ++a) {
+      std::string key = take_string(cursor, end);
+      std::string value = take_string(cursor, end);
+      span.args.emplace_back(std::move(key), std::move(value));
+    }
+    spans.push_back(std::move(span));
+  }
+  if (cursor != end) throw TransportError("span buffer trailing bytes");
+  return spans;
+}
+
+// ---------------------------------------------------------------------------
+// Harvest
+// ---------------------------------------------------------------------------
+
+WorkerTelemetry harvest_worker(const HarvestEndpoint& endpoint,
+                               int clock_pings) {
+  WorkerTelemetry out;
+  out.device = endpoint.device;
+  ClockOffsetEstimator local_clock;
+  ClockOffsetEstimator* clock =
+      endpoint.clock != nullptr ? endpoint.clock : &local_clock;
+  try {
+    if (endpoint.ping) {
+      for (int i = 0; i < clock_pings; ++i) clock->update(endpoint.ping());
+    }
+    if (endpoint.fetch_metrics) out.metrics_text = endpoint.fetch_metrics();
+    if (endpoint.fetch_trace) out.spans = endpoint.fetch_trace();
+    out.reachable = true;
+  } catch (const Error&) {
+    // Worker gone mid-harvest: report what we have, flagged unreachable.
+    out.reachable = false;
+  }
+  out.offset_ns = clock->valid() ? clock->offset_ns() : 0;
+  out.rtt_ns = clock->rtt_ns();
+  out.error_bound_ns = clock->error_bound_ns();
+  out.clock_samples = clock->accepted();
+  for (SpanRecord& span : out.spans) {
+    span.start_ns -= out.offset_ns;  // durations need no correction
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// ClusterTelemetry
+// ---------------------------------------------------------------------------
+
+void ClusterTelemetry::add(WorkerTelemetry telemetry) {
+  MutexLock lock(mutex_);
+  workers_.push_back(std::move(telemetry));
+}
+
+void ClusterTelemetry::merge_from(ClusterTelemetry&& other) {
+  std::vector<WorkerTelemetry> theirs;
+  {
+    MutexLock lock(other.mutex_);
+    theirs.swap(other.workers_);
+  }
+  MutexLock lock(mutex_);
+  for (WorkerTelemetry& w : theirs) workers_.push_back(std::move(w));
+}
+
+std::vector<WorkerTelemetry> ClusterTelemetry::workers() const {
+  MutexLock lock(mutex_);
+  return workers_;
+}
+
+std::vector<SpanRecord> ClusterTelemetry::worker_spans() const {
+  MutexLock lock(mutex_);
+  std::vector<SpanRecord> out;
+  for (const WorkerTelemetry& worker : workers_) {
+    out.insert(out.end(), worker.spans.begin(), worker.spans.end());
+  }
+  return out;
+}
+
+std::string ClusterTelemetry::merged_prometheus(
+    const std::string& local_text) const {
+  MutexLock lock(mutex_);
+  std::ostringstream os;
+  os << "# ---- coordinator ----\n" << local_text;
+  for (const WorkerTelemetry& worker : workers_) {
+    os << "# ---- worker device=" << worker.device
+       << " reachable=" << (worker.reachable ? 1 : 0)
+       << " clock_offset_ns=" << worker.offset_ns
+       << " clock_rtt_ns=" << worker.rtt_ns
+       << " clock_samples=" << worker.clock_samples << " ----\n"
+       << worker.metrics_text;
+    if (!worker.metrics_text.empty() && worker.metrics_text.back() != '\n') {
+      os << '\n';
+    }
+  }
+  return os.str();
+}
+
+}  // namespace pico::obs

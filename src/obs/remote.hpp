@@ -1,0 +1,130 @@
+// Remote telemetry harvest: pull worker-side metrics and trace buffers over
+// the transport and merge them — clock-offset corrected — into one
+// cluster-wide view.
+//
+// The transport itself lives above this module (runtime depends on obs, not
+// the reverse), so the harvester talks through three closures per worker
+// endpoint: `ping` performs one lightweight round trip and returns the
+// timestamp quadruple, `fetch_metrics` pulls the worker's Prometheus text
+// (MetricsDump), and `fetch_trace` drains the worker's span buffer
+// (TraceDump).  harvest_worker() sends a burst of pings to converge the
+// ClockOffsetEstimator, pulls both dumps, and rebases every harvested span
+// onto the local (coordinator) timeline.  ClusterTelemetry accumulates the
+// per-worker results and produces the merged artifacts: one aggregated
+// Prometheus dump and one Chrome-trace span list in which worker compute
+// sits — monotonic and correctly nested — under the coordinator's task
+// spans.
+//
+// SpanBuffer is the worker-side half: a small mutex-guarded span store the
+// serve loop records into, drains into a TraceDump reply, and flushes into
+// the process-global Tracer on graceful shutdown so telemetry from
+// short-lived runs is never silently lost.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/mutex.hpp"
+#include "obs/clock.hpp"
+#include "obs/trace.hpp"
+
+namespace pico::obs {
+
+/// Worker-side span store.  record() is called by the serve thread;
+/// drain() by the same thread when answering a TraceDump — but the
+/// annotation-enforced locking keeps it safe if a future worker grows
+/// internal parallelism (ROADMAP: no bare shared state in the runtime).
+class SpanBuffer {
+ public:
+  void record(SpanRecord span) {
+    MutexLock lock(mutex_);
+    spans_.push_back(std::move(span));
+  }
+
+  /// Move out everything recorded so far (the TraceDump reply payload).
+  std::vector<SpanRecord> drain() {
+    MutexLock lock(mutex_);
+    std::vector<SpanRecord> out;
+    out.swap(spans_);
+    return out;
+  }
+
+  std::size_t size() const {
+    MutexLock lock(mutex_);
+    return spans_.size();
+  }
+
+  /// Graceful-shutdown drain: move any unharvested spans into the global
+  /// Tracer so they survive the serve loop (correct timebase whenever the
+  /// worker shares the coordinator's process/clock; a remote process keeps
+  /// them visible in its own tracer for local dumping).
+  void flush_to_tracer();
+
+ private:
+  mutable Mutex mutex_;
+  std::vector<SpanRecord> spans_ PICO_GUARDED_BY(mutex_);
+};
+
+/// Binary encoding of a span list — the TraceDump wire payload.
+/// decode_spans throws TransportError on a malformed buffer.
+std::vector<std::uint8_t> encode_spans(const std::vector<SpanRecord>& spans);
+std::vector<SpanRecord> decode_spans(const std::uint8_t* data,
+                                     std::size_t size);
+
+/// Everything harvested from one worker, spans already rebased onto the
+/// local timeline (span.start_ns -= estimated offset).
+struct WorkerTelemetry {
+  int device = -1;
+  bool reachable = false;       ///< harvest round trips succeeded
+  std::int64_t offset_ns = 0;   ///< remote-minus-local clock offset
+  std::int64_t rtt_ns = 0;      ///< smoothed ping RTT
+  std::int64_t error_bound_ns = 0;
+  int clock_samples = 0;        ///< accepted quadruples behind offset_ns
+  std::string metrics_text;     ///< worker registry, Prometheus exposition
+  std::vector<SpanRecord> spans;  ///< rebased worker spans
+};
+
+/// One worker endpoint, expressed transport-agnostically.  Any closure may
+/// throw (e.g. TransportError when the worker died); harvest_worker then
+/// returns a WorkerTelemetry with reachable = false.
+struct HarvestEndpoint {
+  int device = -1;
+  std::function<ClockSample()> ping;
+  std::function<std::string()> fetch_metrics;
+  std::function<std::vector<SpanRecord>()> fetch_trace;
+  /// Estimator to refine and use for rebasing.  Usually pre-warmed by the
+  /// piggybacked quadruples of ordinary WorkResults; null = local-only.
+  ClockOffsetEstimator* clock = nullptr;
+};
+
+/// Ping `clock_pings` times, pull both dumps, rebase the spans.
+WorkerTelemetry harvest_worker(const HarvestEndpoint& endpoint,
+                               int clock_pings = 4);
+
+/// Accumulates WorkerTelemetry across workers (and, for the adaptive
+/// runtime, across plan switches).  Guarded: teardown harvests while other
+/// threads may still read a previous snapshot.
+class ClusterTelemetry {
+ public:
+  void add(WorkerTelemetry telemetry);
+  void merge_from(ClusterTelemetry&& other);
+
+  std::vector<WorkerTelemetry> workers() const;
+
+  /// Harvested worker spans (already rebased) from every worker.
+  std::vector<SpanRecord> worker_spans() const;
+
+  /// One cluster-wide Prometheus dump: the local (coordinator) exposition
+  /// followed by each worker's, delimited by comment headers carrying the
+  /// device id and the offset used for rebasing.
+  std::string merged_prometheus(const std::string& local_text) const;
+
+ private:
+  mutable Mutex mutex_;
+  std::vector<WorkerTelemetry> workers_ PICO_GUARDED_BY(mutex_);
+};
+
+}  // namespace pico::obs

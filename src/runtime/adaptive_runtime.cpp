@@ -44,6 +44,10 @@ void AdaptiveRuntime::activate(std::size_t candidate_index) {
     const std::int64_t drain_start = obs::Tracer::now_ns();
     active_->shutdown();
     const std::int64_t drain_end = obs::Tracer::now_ns();
+    for (obs::WorkerTelemetry& worker :
+         active_->cluster_telemetry().workers()) {
+      telemetry_.add(std::move(worker));
+    }
     ++switches_;
     obs::Registry& registry = obs::Registry::global();
     registry.counter("pico_adaptive_switches_total").add(1);
@@ -116,7 +120,13 @@ const std::string& AdaptiveRuntime::current_scheme() const {
 void AdaptiveRuntime::shutdown() {
   if (stopped_) return;
   stopped_ = true;
-  if (active_) active_->shutdown();
+  if (active_) {
+    active_->shutdown();
+    for (obs::WorkerTelemetry& worker :
+         active_->cluster_telemetry().workers()) {
+      telemetry_.add(std::move(worker));
+    }
+  }
 }
 
 }  // namespace pico::runtime

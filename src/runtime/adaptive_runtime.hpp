@@ -49,6 +49,14 @@ class AdaptiveRuntime {
   Tensor infer(const Tensor& input);
 
   const std::string& current_scheme() const;
+
+  /// Worker telemetry accumulated across every plan epoch: each drained
+  /// PipelineRuntime's shutdown harvest is folded in here before the next
+  /// plan activates, so one report covers the whole adaptive run.
+  const obs::ClusterTelemetry& cluster_telemetry() const {
+    return telemetry_;
+  }
+
   int switches() const { return switches_; }
   double estimated_rate() const { return controller_.estimated_rate(); }
   /// Scheme names in activation order (starts with the initial scheme).
@@ -71,6 +79,7 @@ class AdaptiveRuntime {
   int window_arrivals_ = 0;
   int switches_ = 0;
   std::vector<std::string> history_;
+  obs::ClusterTelemetry telemetry_;
   bool stopped_ = false;
 };
 

@@ -1,6 +1,9 @@
 #include "runtime/message.hpp"
 
+#include <cctype>
+#include <cstdio>
 #include <cstring>
+#include <string>
 
 #include "common/error.hpp"
 
@@ -8,7 +11,26 @@ namespace pico::runtime {
 
 namespace {
 
-constexpr std::uint32_t kMagic = 0x50494331;  // "PIC1" (v1: compute_seconds)
+constexpr std::uint32_t kMagicV1 = 0x50494331;  // "PIC1" (compute_seconds)
+constexpr std::uint32_t kMagicV2 = 0x50494332;  // "PIC2" (trace ctx + clocks)
+
+/// Render a magic word the way it appears as ASCII on the wire
+/// (little-endian byte order), falling back to hex for unprintable bytes.
+std::string magic_name(std::uint32_t magic) {
+  // Most-significant byte first: 0x50494332 reads back as "PIC2".
+  char chars[5] = {};
+  for (int i = 0; i < 4; ++i) {
+    chars[i] = static_cast<char>((magic >> (8 * (3 - i))) & 0xff);
+  }
+  bool printable = true;
+  for (int i = 0; i < 4; ++i) {
+    printable &= std::isprint(static_cast<unsigned char>(chars[i])) != 0;
+  }
+  if (printable) return std::string(chars, 4);
+  char hex[16];
+  std::snprintf(hex, sizeof(hex), "0x%08x", magic);
+  return hex;
+}
 
 template <typename T>
 void put(std::vector<std::uint8_t>& out, T value) {
@@ -47,16 +69,31 @@ Region get_region(const std::uint8_t*& cursor, const std::uint8_t* end) {
 std::vector<std::uint8_t> serialize(const Message& message) {
   std::vector<std::uint8_t> out;
   const Shape shape = message.tensor.shape();
-  out.reserve(64 + static_cast<std::size_t>(shape.elements()) * 4);
-  put<std::uint32_t>(out, kMagic);
+  out.reserve(128 + message.blob.size() +
+              static_cast<std::size_t>(shape.elements()) * 4);
+  put<std::uint32_t>(out, kMagicV2);
   put<std::uint32_t>(out, static_cast<std::uint32_t>(message.type));
   put<std::int64_t>(out, message.task_id);
   put<std::int32_t>(out, message.stage_index);
   put<std::int32_t>(out, message.first_node);
   put<std::int32_t>(out, message.last_node);
   put<double>(out, message.compute_seconds);
+  put<std::uint64_t>(out, message.trace_id);
+  put<std::uint64_t>(out, message.parent_span);
+  put<std::int64_t>(out, message.t_origin_ns);
+  put<std::int64_t>(out, message.t_recv_ns);
+  put<std::int64_t>(out, message.t_send_ns);
+  put<std::int64_t>(out, message.t_compute_start_ns);
+  put<std::int64_t>(out, message.t_compute_end_ns);
   put_region(out, message.in_region);
   put_region(out, message.out_region);
+  put<std::uint64_t>(out, message.blob.size());
+  if (!message.blob.empty()) {
+    const auto offset = out.size();
+    out.resize(offset + message.blob.size());
+    std::memcpy(out.data() + offset, message.blob.data(),
+                message.blob.size());
+  }
   put<std::int32_t>(out, shape.channels);
   put<std::int32_t>(out, shape.height);
   put<std::int32_t>(out, shape.width);
@@ -72,8 +109,16 @@ std::vector<std::uint8_t> serialize(const Message& message) {
 Message deserialize(const std::uint8_t* data, std::size_t size) {
   const std::uint8_t* cursor = data;
   const std::uint8_t* end = data + size;
-  PICO_CHECK_MSG(get<std::uint32_t>(cursor, end) == kMagic,
-                 "bad message magic");
+  const auto magic = get<std::uint32_t>(cursor, end);
+  if (magic != kMagicV2) {
+    // Version skew (e.g. a "PIC1" build on the other end) is a transport
+    // condition the serve loop handles gracefully, not a fatal invariant.
+    const char* hint = magic == kMagicV1 ? " (v1 peer?)" : "";
+    throw TransportError("unsupported message version \"" +
+                         magic_name(magic) + "\"" + hint +
+                         "; this build speaks \"" + magic_name(kMagicV2) +
+                         "\"");
+  }
   Message message;
   message.type = static_cast<MessageType>(get<std::uint32_t>(cursor, end));
   message.task_id = get<std::int64_t>(cursor, end);
@@ -81,8 +126,20 @@ Message deserialize(const std::uint8_t* data, std::size_t size) {
   message.first_node = get<std::int32_t>(cursor, end);
   message.last_node = get<std::int32_t>(cursor, end);
   message.compute_seconds = get<double>(cursor, end);
+  message.trace_id = get<std::uint64_t>(cursor, end);
+  message.parent_span = get<std::uint64_t>(cursor, end);
+  message.t_origin_ns = get<std::int64_t>(cursor, end);
+  message.t_recv_ns = get<std::int64_t>(cursor, end);
+  message.t_send_ns = get<std::int64_t>(cursor, end);
+  message.t_compute_start_ns = get<std::int64_t>(cursor, end);
+  message.t_compute_end_ns = get<std::int64_t>(cursor, end);
   message.in_region = get_region(cursor, end);
   message.out_region = get_region(cursor, end);
+  const auto blob_size = get<std::uint64_t>(cursor, end);
+  PICO_CHECK_MSG(blob_size <= static_cast<std::uint64_t>(end - cursor),
+                 "message blob truncated");
+  message.blob.assign(cursor, cursor + blob_size);
+  cursor += blob_size;
   Shape shape;
   shape.channels = get<std::int32_t>(cursor, end);
   shape.height = get<std::int32_t>(cursor, end);

@@ -5,6 +5,18 @@
 // WorkResult carries the produced piece back.  serialize/deserialize give
 // the length-prefixed binary encoding used by the TCP transport (the
 // in-process transport moves Messages directly).
+//
+// Wire format "PIC2" (v2).  v2 extends the v1 frame with distributed
+// observability fields: a propagated trace context (trace_id + parent span)
+// so workers can open real spans under the coordinator's trace, four
+// NTP-style timestamps (t1..t3 on the wire, t4 taken by the receiver) so
+// per-device clock offsets can be estimated from ordinary request/response
+// traffic, worker-side compute start/end instants, and an opaque blob used
+// by the control-plane messages (MetricsDump / TraceDump payloads).  The
+// decoder is version-gated: any frame whose magic is not PIC2 — including a
+// v1 "PIC1" frame from an older build — is rejected with a TransportError
+// naming both the received and the supported version, so a version-skewed
+// peer ends a serve loop gracefully instead of tearing the process down.
 #pragma once
 
 #include <cstdint>
@@ -19,6 +31,12 @@ enum class MessageType : std::uint32_t {
   WorkRequest = 1,
   WorkResult = 2,
   Shutdown = 3,
+  // Control plane (v2).  Each *Dump type doubles as request (empty blob,
+  // coordinator -> worker) and reply (filled blob, worker -> coordinator).
+  Ping = 4,         ///< clock probe: carries t1 (sender clock)
+  Pong = 5,         ///< clock reply: echoes t1, adds t2/t3 (worker clock)
+  MetricsDump = 6,  ///< reply blob: worker registry, Prometheus text
+  TraceDump = 7,    ///< reply blob: worker span buffer (encode_spans)
 };
 
 struct Message {
@@ -30,7 +48,34 @@ struct Message {
   /// WorkResult: wall-clock seconds the device spent in execute_segment,
   /// timed worker-side and carried back so the coordinator can attribute
   /// compute time per device (the paper's Eq. 5/6 measured counterpart).
+  /// A duration, not an instant — meaningful without any clock sync.
   double compute_seconds = 0.0;
+
+  // --- distributed trace context (v2) --------------------------------------
+  /// 0 = no trace context (tracing disabled at the sender).  Nonzero on a
+  /// WorkRequest asks the worker to record real spans under this trace.
+  std::uint64_t trace_id = 0;
+  /// Span id of the coordinator-side stage span this request runs under
+  /// (see pipeline.cpp: derived from task id + stage).  Echoed in replies.
+  std::uint64_t parent_span = 0;
+
+  // --- clock-offset timestamps (v2) ----------------------------------------
+  // NTP-style quadruple: t1 = origin send instant (origin clock), t2 = peer
+  // receive instant, t3 = peer reply-send instant (both peer clock); the
+  // origin takes t4 locally when the reply lands.  Requests carry t1;
+  // replies echo t1 and fill t2/t3.  All obs::Tracer::now_ns() timebases.
+  std::int64_t t_origin_ns = 0;  ///< t1 (echoed back in the reply)
+  std::int64_t t_recv_ns = 0;    ///< t2: worker clock at request receipt
+  std::int64_t t_send_ns = 0;    ///< t3: worker clock just before reply send
+  /// Worker-side compute window (worker clock) for WorkResults; the
+  /// coordinator rebases these onto its own timeline via obs::rebase.
+  std::int64_t t_compute_start_ns = 0;
+  std::int64_t t_compute_end_ns = 0;
+
+  /// Control-plane payload (MetricsDump: Prometheus text bytes; TraceDump:
+  /// obs::encode_spans bytes).  Empty for data-plane messages.
+  std::vector<std::uint8_t> blob;
+
   Region in_region;   ///< where `tensor` sits in the segment-input map
   Region out_region;  ///< region of the segment output to produce / produced
   Tensor tensor;      ///< input piece (request) or result piece (result)
@@ -38,6 +83,8 @@ struct Message {
 
 /// Binary encoding (no framing — the transport adds the length prefix).
 std::vector<std::uint8_t> serialize(const Message& message);
+/// Decodes a PIC2 frame.  Throws TransportError for any other version magic
+/// (e.g. a v1 "PIC1" peer) and InvariantError for a truncated/corrupt frame.
 Message deserialize(const std::uint8_t* data, std::size_t size);
 
 }  // namespace pico::runtime

@@ -10,7 +10,9 @@
 #include "common/error.hpp"
 #include "common/log.hpp"
 #include "nn/receptive.hpp"
+#include "obs/clock.hpp"
 #include "obs/metrics.hpp"
+#include "obs/remote.hpp"
 #include "obs/trace.hpp"
 #include "partition/branches.hpp"
 #include "runtime/channel.hpp"
@@ -54,6 +56,37 @@ void record_interval(obs::Tracer& tracer, const char* name,
   tracer.record(std::move(span));
 }
 
+/// Nonzero trace id for one runtime instance (distinguishes the traces of
+/// successive runtimes — e.g. across adaptive plan switches — in one dump).
+std::uint64_t make_trace_id() {
+  static std::atomic<std::uint64_t> counter{0};
+  const auto id =
+      (static_cast<std::uint64_t>(obs::Tracer::now_ns()) << 8) ^
+      counter.fetch_add(1, std::memory_order_relaxed);
+  return id | 1;
+}
+
+/// Span id of the coordinator-side stage-service span a WorkRequest runs
+/// under; workers echo it so harvested spans name their parent.
+std::uint64_t stage_span_id(std::int64_t task_id, std::size_t stage_index) {
+  return (static_cast<std::uint64_t>(task_id + 1) << 16) |
+         static_cast<std::uint64_t>(stage_index + 1);
+}
+
+/// recv() skipping any stale data-plane messages (a coordinator that died
+/// mid-task can leave WorkResults queued); throws if `want` never shows up
+/// within a few frames.
+Message expect_reply(Connection& connection, MessageType want) {
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    Message reply = connection.recv();
+    if (reply.type == want) return reply;
+    PICO_CHECK_MSG(reply.type == MessageType::WorkResult,
+                   "unexpected control-plane reply type "
+                       << static_cast<std::uint32_t>(reply.type));
+  }
+  throw TransportError("control-plane reply never arrived");
+}
+
 }  // namespace
 
 struct PipelineRuntime::Impl {
@@ -81,6 +114,12 @@ struct PipelineRuntime::Impl {
     obs::Histogram* service = nullptr;
     obs::Histogram* compute_critical = nullptr;
     std::map<DeviceId, obs::Histogram*> device_compute;
+    // Timestamp-derived splits (v2): request/reply wire time (rebased
+    // worker clocks vs coordinator clocks) and worker-side queueing
+    // (request receipt -> compute start, a pure worker-clock duration).
+    std::map<DeviceId, obs::Histogram*> device_wire_request;
+    std::map<DeviceId, obs::Histogram*> device_wire_reply;
+    std::map<DeviceId, obs::Histogram*> device_worker_queue;
   };
   struct QueueMetrics {
     obs::Histogram* wait = nullptr;
@@ -90,6 +129,19 @@ struct PipelineRuntime::Impl {
   std::vector<QueueMetrics> queue_metrics;
   obs::Histogram* task_latency = nullptr;
   obs::Counter* tasks_total = nullptr;
+
+  // Per-device clock-offset estimators, fed by the quadruple piggybacked on
+  // every WorkResult and by the shutdown Ping burst.  The map is built
+  // before any coordinator starts and const afterwards; the estimators are
+  // internally locked (several coordinators may serve one device in
+  // sequential plans).
+  std::map<DeviceId, std::shared_ptr<obs::ClockOffsetEstimator>> clocks;
+  /// Trace context propagated in every WorkRequest (0 when tracing is off
+  /// at start; workers then skip span recording).
+  const std::uint64_t trace_id =
+      obs::Tracer::global().enabled() ? make_trace_id() : 0;
+  /// Worker telemetry pulled during shutdown (see harvest_all).
+  obs::ClusterTelemetry telemetry;
 
   Impl(const nn::Graph& g, const partition::Plan& p, RuntimeOptions opts)
       : graph(g), plan(p), options(opts) {}
@@ -119,10 +171,17 @@ struct PipelineRuntime::Impl {
       metrics.compute_critical = &registry.histogram(
           "pico_stage_compute_critical_seconds", stage_labels(s));
       for (const partition::DeviceSlice& slice : plan.stages[s].assignments) {
-        metrics.device_compute[slice.device] = &registry.histogram(
-            "pico_stage_compute_seconds",
-            {{"stage", std::to_string(s)},
-             {"device", std::to_string(slice.device)}});
+        const std::vector<obs::Label> labels{
+            {"stage", std::to_string(s)},
+            {"device", std::to_string(slice.device)}};
+        metrics.device_compute[slice.device] =
+            &registry.histogram("pico_stage_compute_seconds", labels);
+        metrics.device_wire_request[slice.device] =
+            &registry.histogram("pico_wire_request_seconds", labels);
+        metrics.device_wire_reply[slice.device] =
+            &registry.histogram("pico_wire_reply_seconds", labels);
+        metrics.device_worker_queue[slice.device] =
+            &registry.histogram("pico_worker_queue_seconds", labels);
       }
       stage_metrics.push_back(std::move(metrics));
     }
@@ -179,6 +238,9 @@ struct PipelineRuntime::Impl {
   }
 
   void start_coordinators() {
+    for (const auto& [device, connection] : connections) {
+      clocks.emplace(device, std::make_shared<obs::ClockOffsetEstimator>());
+    }
     // Stage chain: pipelined -> one coordinator per stage; sequential ->
     // one coordinator walking all stages.
     const std::size_t coordinator_count =
@@ -195,18 +257,80 @@ struct PipelineRuntime::Impl {
     }
   }
 
-  /// Observe one device's WorkResult compute time (hist + span).
+  /// Stamp the v2 trace context + NTP t1 on an outgoing WorkRequest.  Must
+  /// run immediately before send() so t1 sits tight against the wire.
+  void stamp_request(Message& request, std::int64_t task_id,
+                     std::size_t stage_index) {
+    request.trace_id = trace_id;
+    request.parent_span = stage_span_id(task_id, stage_index);
+    request.t_origin_ns = obs::Tracer::now_ns();
+  }
+
+  /// Per-WorkResult bookkeeping: feed the device's clock-offset estimator
+  /// with the piggybacked quadruple, then attribute the timestamp-derived
+  /// splits — request/reply wire time (rebased) and worker-side queueing.
+  /// The compute span itself is recorded by the *worker* under the
+  /// propagated trace context and harvested at shutdown; the coordinator no
+  /// longer synthesizes it (it only falls back to the anchored-duration
+  /// guess for a result without timestamps).
+  void observe_result(std::size_t stage_index, DeviceId device,
+                      const Message& result, std::int64_t t4_ns) {
+    if (result.t_send_ns == 0) return;  // no v2 timestamps: nothing to do
+    const auto clock_it = clocks.find(device);
+    if (clock_it == clocks.end()) return;
+    obs::ClockOffsetEstimator& clock = *clock_it->second;
+    clock.update({result.t_origin_ns, result.t_recv_ns, result.t_send_ns,
+                  t4_ns});
+    if (!clock.valid()) return;
+    StageMetrics& metrics = stage_metrics[stage_index];
+    const std::int64_t t2_local = clock.rebase(result.t_recv_ns);
+    const std::int64_t t3_local = clock.rebase(result.t_send_ns);
+    // Offset error can push a short wire leg slightly negative; clamp.
+    const double wire_request = std::max(
+        0.0, to_seconds(t2_local - result.t_origin_ns));
+    const double wire_reply = std::max(0.0, to_seconds(t4_ns - t3_local));
+    const double worker_queue = std::max(
+        0.0, to_seconds(result.t_compute_start_ns - result.t_recv_ns));
+    if (auto it = metrics.device_wire_request.find(device);
+        it != metrics.device_wire_request.end()) {
+      it->second->observe(wire_request);
+    }
+    if (auto it = metrics.device_wire_reply.find(device);
+        it != metrics.device_wire_reply.end()) {
+      it->second->observe(wire_reply);
+    }
+    if (auto it = metrics.device_worker_queue.find(device);
+        it != metrics.device_worker_queue.end()) {
+      it->second->observe(worker_queue);
+    }
+    obs::Tracer& tracer = obs::Tracer::global();
+    if (tracer.enabled()) {
+      const std::vector<std::pair<std::string, std::string>> args{
+          {"stage", std::to_string(stage_index)},
+          {"device", std::to_string(device)}};
+      record_interval(tracer, "wire_req", "net", obs::net_track(),
+                      result.task_id, result.t_origin_ns,
+                      std::max(result.t_origin_ns, t2_local), args);
+      record_interval(tracer, "wire_rep", "net", obs::net_track(),
+                      result.task_id, std::min(t3_local, t4_ns), t4_ns,
+                      args);
+    }
+  }
+
+  /// Observe one device's per-task compute time (histogram; `fallback_span`
+  /// re-creates the old coordinator-synthesized span for results that
+  /// carried no worker timestamps).
   void observe_compute(std::size_t stage_index, DeviceId device,
-                       std::int64_t task_id, double compute_seconds) {
+                       std::int64_t task_id, double compute_seconds,
+                       bool fallback_span) {
     auto it = stage_metrics[stage_index].device_compute.find(device);
     if (it != stage_metrics[stage_index].device_compute.end()) {
       it->second->observe(compute_seconds);
     }
     obs::Tracer& tracer = obs::Tracer::global();
-    if (tracer.enabled()) {
-      // The worker only reports a duration (clocks are not assumed to be
-      // synchronized across hosts); anchor the span so it ends at the
-      // moment the result arrived.
+    if (fallback_span && tracer.enabled()) {
+      // The worker only reported a duration; anchor the span so it ends at
+      // the moment the result arrived.
       const std::int64_t end_ns = obs::Tracer::now_ns();
       const auto duration_ns =
           static_cast<std::int64_t>(compute_seconds * 1e9);
@@ -250,6 +374,7 @@ struct PipelineRuntime::Impl {
         request.out_region =
             Region::full(branch_out.height, branch_out.width);
         request.tensor = extract(input, in_region);
+        stamp_request(request, task_id, stage_index);
         connections.at(slice.device)->send(request);
         sent.push_back({slice.device, &branch});
       }
@@ -260,11 +385,15 @@ struct PipelineRuntime::Impl {
     // A device may serve several branches; its compute time per task is the
     // sum of its branch executions.
     std::map<DeviceId, double> device_seconds;
+    std::map<DeviceId, bool> device_timestamped;
     Tensor out(out_shape);
     for (const Sent& entry : sent) {
       Message result = connections.at(entry.device)->recv();
+      const std::int64_t t4 = obs::Tracer::now_ns();
       PICO_CHECK(result.type == MessageType::WorkResult);
+      observe_result(stage_index, entry.device, result, t4);
       device_seconds[entry.device] += result.compute_seconds;
+      device_timestamped[entry.device] |= result.t_compute_end_ns != 0;
       const partition::Branch& branch = *entry.branch;
       PICO_CHECK(result.tensor.shape().channels == branch.channels &&
                  result.tensor.shape().height == out_shape.height &&
@@ -279,7 +408,8 @@ struct PipelineRuntime::Impl {
     }
     double critical = 0.0;
     for (const auto& [device, seconds] : device_seconds) {
-      observe_compute(stage_index, device, task_id, seconds);
+      observe_compute(stage_index, device, task_id, seconds,
+                      /*fallback_span=*/!device_timestamped[device]);
       critical = std::max(critical, seconds);
     }
     metrics.compute_critical->observe(critical);
@@ -312,6 +442,7 @@ struct PipelineRuntime::Impl {
       request.in_region = in_region;
       request.out_region = slice.out_region;
       request.tensor = extract(input, in_region);
+      stamp_request(request, task_id, stage_index);
       connections.at(slice.device)->send(request);
       active.push_back(&slice);
     }
@@ -329,10 +460,13 @@ struct PipelineRuntime::Impl {
     pieces.reserve(active.size());
     for (const partition::DeviceSlice* slice : active) {
       Message result = connections.at(slice->device)->recv();
+      const std::int64_t t4 = obs::Tracer::now_ns();
       PICO_CHECK(result.type == MessageType::WorkResult);
       PICO_CHECK(result.out_region == slice->out_region);
+      observe_result(stage_index, slice->device, result, t4);
       observe_compute(stage_index, slice->device, task_id,
-                      result.compute_seconds);
+                      result.compute_seconds,
+                      /*fallback_span=*/result.t_compute_end_ns == 0);
       critical = std::max(critical, result.compute_seconds);
       pieces.push_back({result.out_region, std::move(result.tensor)});
     }
@@ -463,12 +597,71 @@ struct PipelineRuntime::Impl {
     }
   }
 
+  /// Pull metrics + trace buffers from every worker over the transport.
+  /// Runs on the shutdown thread after all coordinators have been joined —
+  /// each connection then has exactly one user, so plain request/response
+  /// round trips are race-free.  Harvested spans (already rebased by
+  /// harvest_worker) are injected into the global tracer: a subsequent
+  /// Tracer::snapshot() is the merged cluster-wide trace.
+  void harvest_all() {
+    obs::Registry& registry = obs::Registry::global();
+    obs::Tracer& tracer = obs::Tracer::global();
+    for (auto& [device, connection] : connections) {
+      Connection* conn = connection.get();
+      obs::HarvestEndpoint endpoint;
+      endpoint.device = device;
+      endpoint.clock = clocks.at(device).get();
+      endpoint.ping = [conn] {
+        Message ping;
+        ping.type = MessageType::Ping;
+        ping.t_origin_ns = obs::Tracer::now_ns();
+        conn->send(ping);
+        Message pong = expect_reply(*conn, MessageType::Pong);
+        return obs::ClockSample{pong.t_origin_ns, pong.t_recv_ns,
+                                pong.t_send_ns, obs::Tracer::now_ns()};
+      };
+      endpoint.fetch_metrics = [conn] {
+        Message request;
+        request.type = MessageType::MetricsDump;
+        conn->send(request);
+        Message reply = expect_reply(*conn, MessageType::MetricsDump);
+        return std::string(reply.blob.begin(), reply.blob.end());
+      };
+      endpoint.fetch_trace = [conn] {
+        Message request;
+        request.type = MessageType::TraceDump;
+        conn->send(request);
+        Message reply = expect_reply(*conn, MessageType::TraceDump);
+        return obs::decode_spans(reply.blob.data(), reply.blob.size());
+      };
+      obs::WorkerTelemetry harvested =
+          obs::harvest_worker(endpoint, options.harvest_pings);
+      const std::vector<obs::Label> labels{
+          {"device", std::to_string(device)}};
+      registry.gauge("pico_clock_offset_ns", labels)
+          .set(static_cast<double>(harvested.offset_ns));
+      registry.gauge("pico_clock_rtt_ns", labels)
+          .set(static_cast<double>(harvested.rtt_ns));
+      registry.gauge("pico_clock_error_bound_ns", labels)
+          .set(static_cast<double>(harvested.error_bound_ns));
+      registry.gauge("pico_clock_samples", labels)
+          .set(static_cast<double>(harvested.clock_samples));
+      if (tracer.enabled()) {
+        for (const obs::SpanRecord& span : harvested.spans) {
+          tracer.record(span);
+        }
+      }
+      telemetry.add(std::move(harvested));
+    }
+  }
+
   void shutdown() {
     if (stopped.exchange(true)) return;
     queues.front()->close();
     for (std::thread& t : coordinators) {
       if (t.joinable()) t.join();
     }
+    if (options.harvest_telemetry) harvest_all();
     for (auto& [id, connection] : connections) {
       Message bye;
       bye.type = MessageType::Shutdown;
@@ -522,6 +715,10 @@ Tensor PipelineRuntime::infer(const Tensor& input) {
 }
 
 void PipelineRuntime::shutdown() { impl_->shutdown(); }
+
+const obs::ClusterTelemetry& PipelineRuntime::cluster_telemetry() const {
+  return impl_->telemetry;
+}
 
 long long PipelineRuntime::tasks_completed() const {
   return impl_->completed.load(std::memory_order_relaxed);

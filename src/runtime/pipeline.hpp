@@ -19,6 +19,7 @@
 
 #include "common/types.hpp"
 #include "nn/graph.hpp"
+#include "obs/remote.hpp"
 #include "partition/plan.hpp"
 #include "runtime/transport.hpp"
 #include "tensor/tensor.hpp"
@@ -29,6 +30,13 @@ struct RuntimeOptions {
   TransportKind transport = TransportKind::InProcess;
   /// Inter-stage queue capacity (back-pressure).
   std::size_t queue_capacity = 8;
+  /// Pull worker metrics/trace buffers (MetricsDump/TraceDump, preceded by
+  /// a Ping burst that refreshes the per-device clock offset) during
+  /// shutdown, before the Shutdown message — see cluster_telemetry().
+  bool harvest_telemetry = true;
+  /// Pings per worker in the shutdown harvest (tight clock probes on top of
+  /// the quadruples piggybacked on every WorkResult).
+  int harvest_pings = 4;
 };
 
 class PipelineRuntime {
@@ -56,7 +64,15 @@ class PipelineRuntime {
   Tensor infer(const Tensor& input);
 
   /// Drain and stop all threads (idempotent; also run by the destructor).
+  /// With harvest_telemetry on, first pulls every worker's metrics and span
+  /// buffer over the transport; harvested spans are rebased onto the
+  /// coordinator clock and injected into the global tracer, so a subsequent
+  /// Tracer::snapshot() is the merged cluster-wide trace.
   void shutdown();
+
+  /// Telemetry harvested from the workers at shutdown (empty before
+  /// shutdown, or when harvest_telemetry is off).
+  const obs::ClusterTelemetry& cluster_telemetry() const;
 
   long long tasks_completed() const;
 

@@ -31,9 +31,12 @@ void atomic_add_seconds(std::atomic<double>& target, double delta) {
 /// Serialized size of a message without actually serializing it (used by the
 /// in-process transport, which moves Messages by value).
 std::int64_t wire_size(const Message& message) {
-  // Mirrors serialize(): fixed header + region/shape fields + payload.
-  constexpr std::int64_t kHeader = 4 + 4 + 8 + 4 + 4 + 4 + 8 + 32 + 12;
-  return kHeader +
+  // Mirrors serialize() (PIC2): fixed header (magic, type, ids, compute
+  // seconds, trace context, five timestamps), regions, blob length + blob,
+  // shape, tensor payload.
+  constexpr std::int64_t kHeader =
+      4 + 4 + 8 + 4 + 4 + 4 + 8 + (8 + 8) + 5 * 8 + 32 + 8 + 12;
+  return kHeader + static_cast<std::int64_t>(message.blob.size()) +
          static_cast<std::int64_t>(message.tensor.shape().elements()) * 4;
 }
 

@@ -1,11 +1,14 @@
 #include "runtime/worker.hpp"
 
 #include <string>
+#include <utility>
 
 #include "common/error.hpp"
 #include "common/log.hpp"
 #include "nn/executor.hpp"
+#include "obs/clock.hpp"
 #include "obs/metrics.hpp"
+#include "obs/remote.hpp"
 #include "obs/trace.hpp"
 
 namespace pico::runtime {
@@ -13,23 +16,67 @@ namespace pico::runtime {
 namespace {
 
 /// Serve one WorkRequest: run the segment, time it, and fill the result.
-/// The measured compute time rides back in the WorkResult so the
-/// coordinator can attribute per-device compute without trusting clocks to
-/// be synchronized across hosts (only durations cross the wire).
+/// The measured compute time rides back in the WorkResult both as a
+/// duration (compute_seconds — meaningful with no clock sync at all) and as
+/// worker-clock start/end instants the coordinator can rebase onto its own
+/// timeline once the per-device clock offset is estimated.  When the
+/// request carries a trace context (trace_id != 0) the worker also records
+/// real spans — the propagated-context replacement for the spans the
+/// coordinator used to synthesize — into `spans`, to be harvested via
+/// TraceDump or flushed on shutdown.
 Message serve_request(const nn::Graph& graph, Message request,
-                      const nn::ExecOptions& options) {
+                      DeviceId device, const nn::ExecOptions& options,
+                      std::int64_t recv_ns, obs::SpanBuffer& spans) {
   Message result;
   result.type = MessageType::WorkResult;
   result.task_id = request.task_id;
   result.stage_index = request.stage_index;
   result.out_region = request.out_region;
-  const std::int64_t start_ns = obs::Tracer::now_ns();
+  result.trace_id = request.trace_id;
+  result.parent_span = request.parent_span;
+  result.t_origin_ns = request.t_origin_ns;
+  result.t_recv_ns = recv_ns;
+  const std::int64_t start_ns = obs::worker_now_ns();
   result.tensor =
       nn::execute_segment(graph, request.first_node, request.last_node,
                           {request.in_region, std::move(request.tensor)},
                           request.out_region, options);
-  result.compute_seconds =
-      static_cast<double>(obs::Tracer::now_ns() - start_ns) / 1e9;
+  const std::int64_t end_ns = obs::worker_now_ns();
+  result.t_compute_start_ns = start_ns;
+  result.t_compute_end_ns = end_ns;
+  result.compute_seconds = static_cast<double>(end_ns - start_ns) / 1e9;
+
+  if (request.trace_id != 0) {
+    const std::string stage = std::to_string(request.stage_index);
+    const std::string trace = std::to_string(request.trace_id);
+    const std::string parent = std::to_string(request.parent_span);
+    // Category "compute" matches the span the coordinator used to
+    // synthesize, so existing consumers (reports, tests) see the same event
+    // — now with a real worker-measured interval instead of a guess.
+    obs::SpanRecord compute;
+    compute.name = "compute";
+    compute.category = "compute";
+    compute.track = obs::device_track(device);
+    compute.task_id = request.task_id;
+    compute.start_ns = start_ns;
+    compute.duration_ns = end_ns - start_ns;
+    compute.args = {{"stage", stage},
+                    {"device", std::to_string(device)},
+                    {"trace", trace},
+                    {"parent", parent}};
+    // The serve span wraps deserialize-to-reply-build (its end is taken
+    // here, just before the reply hits the wire), so compute nests inside.
+    obs::SpanRecord serve;
+    serve.name = "serve";
+    serve.category = "worker";
+    serve.track = obs::device_track(device);
+    serve.task_id = request.task_id;
+    serve.start_ns = recv_ns;
+    serve.duration_ns = obs::worker_now_ns() - recv_ns;
+    serve.args = {{"stage", stage}, {"trace", trace}, {"parent", parent}};
+    spans.record(std::move(compute));
+    spans.record(std::move(serve));
+  }
   return result;
 }
 
@@ -37,29 +84,74 @@ Message serve_request(const nn::Graph& graph, Message request,
 /// are counted (registry + optional owner-visible atomic) at serve time,
 /// after the segment is computed but before the reply is sent: work the
 /// device performed stays visible even when the reply leg fails.
+///
+/// Control plane: Ping answers with the NTP t2/t3 pair, MetricsDump with
+/// the registry's Prometheus text, TraceDump with (and draining) the local
+/// span buffer.  On a graceful Shutdown the remaining spans are flushed
+/// into the process-global tracer so a run that never harvested still keeps
+/// its worker telemetry.
 void serve_loop(const nn::Graph& graph, Connection& connection,
                 DeviceId device, const nn::ExecOptions& options,
                 std::atomic<long long>* served) {
   obs::Counter& requests = obs::Registry::global().counter(
       "pico_worker_requests_total", {{"device", std::to_string(device)}});
+  obs::SpanBuffer spans;
   try {
     for (;;) {
       Message request = connection.recv();
-      if (request.type == MessageType::Shutdown) break;
+      const std::int64_t recv_ns = obs::worker_now_ns();
+      if (request.type == MessageType::Shutdown) {
+        spans.flush_to_tracer();
+        break;
+      }
+      if (request.type == MessageType::Ping) {
+        Message pong;
+        pong.type = MessageType::Pong;
+        pong.task_id = request.task_id;
+        pong.t_origin_ns = request.t_origin_ns;
+        pong.t_recv_ns = recv_ns;
+        pong.t_send_ns = obs::worker_now_ns();
+        connection.send(pong);
+        continue;
+      }
+      if (request.type == MessageType::MetricsDump) {
+        Message reply;
+        reply.type = MessageType::MetricsDump;
+        reply.t_recv_ns = recv_ns;
+        const std::string text = obs::Registry::global().prometheus_text();
+        reply.blob.assign(text.begin(), text.end());
+        reply.t_send_ns = obs::worker_now_ns();
+        connection.send(reply);
+        continue;
+      }
+      if (request.type == MessageType::TraceDump) {
+        Message reply;
+        reply.type = MessageType::TraceDump;
+        reply.t_recv_ns = recv_ns;
+        reply.blob = obs::encode_spans(spans.drain());
+        reply.t_send_ns = obs::worker_now_ns();
+        connection.send(reply);
+        continue;
+      }
       PICO_CHECK_MSG(request.type == MessageType::WorkRequest,
                      "worker got unexpected message type");
-      Message result = serve_request(graph, std::move(request), options);
+      Message result = serve_request(graph, std::move(request), device,
+                                     options, recv_ns, spans);
       requests.add();
       if (served != nullptr) {
         served->fetch_add(1, std::memory_order_relaxed);
       }
+      result.t_send_ns = obs::worker_now_ns();
       connection.send(std::move(result));
     }
   } catch (const TransportError&) {
-    // Peer closed: normal shutdown path.
+    // Peer closed (or spoke another protocol version): normal shutdown
+    // path.  Keep whatever telemetry was recorded.
+    spans.flush_to_tracer();
   } catch (const Error& error) {
     PICO_LOG(Error) << "worker (device " << device
                     << ") failed: " << error.what();
+    spans.flush_to_tracer();
   }
 }
 

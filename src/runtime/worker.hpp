@@ -3,12 +3,22 @@
 // over its input piece (real tensor arithmetic via execute_segment) and
 // returning the produced output piece.  Exits on Shutdown or peer close.
 //
+// Besides the data plane, the serve loop answers the PIC2 control plane:
+// Ping (clock-offset probe: replies with the worker-clock t2/t3 pair),
+// MetricsDump (ships the worker's metrics registry as Prometheus text) and
+// TraceDump (drains the worker-side span buffer).  WorkRequests carrying a
+// trace context make the worker record real compute/serve spans under that
+// context — harvested over the transport by obs::harvest_worker, or flushed
+// into the process-global tracer on graceful shutdown so short-lived runs
+// don't lose worker telemetry.
+//
 // Both entry points (the in-process Worker thread and the standalone
 // serve_blocking loop a real device's main() calls) share one serve loop
-// with identical error handling: TransportError means the peer closed
-// (normal shutdown) and any other pico::Error — e.g. a malformed request —
-// is logged and ends the loop cleanly instead of unwinding into the caller
-// or taking down a standalone worker process.
+// with identical error handling: TransportError means the peer closed or
+// spoke an unsupported protocol version (both end the loop cleanly) and any
+// other pico::Error — e.g. a malformed request — is logged and ends the
+// loop cleanly instead of unwinding into the caller or taking down a
+// standalone worker process.
 #pragma once
 
 #include <atomic>

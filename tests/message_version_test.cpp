@@ -1,0 +1,166 @@
+// Wire-protocol version negotiation (PIC2).
+//
+// The decoder is version-gated on the leading magic: anything that is not
+// this build's "PIC2" — most importantly a "PIC1" frame from an older build
+// — must be rejected with a TransportError naming both the received and the
+// supported version.  TransportError is the serve loop's graceful-exit
+// signal, so a version-skewed peer ends the session cleanly instead of the
+// worker dying on a garbled frame mid-decode.  Truncation of an otherwise
+// well-versioned frame stays an InvariantError (corruption, not skew).
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "models/zoo.hpp"
+#include "runtime/message.hpp"
+#include "runtime/transport.hpp"
+#include "runtime/worker.hpp"
+
+namespace pico {
+namespace {
+
+using runtime::Message;
+using runtime::MessageType;
+
+Message sample_request() {
+  Message m;
+  m.type = MessageType::WorkRequest;
+  m.task_id = 7;
+  m.stage_index = 1;
+  m.first_node = 1;
+  m.last_node = 2;
+  m.in_region = {0, 4, 0, 8};
+  m.out_region = {0, 4, 0, 8};
+  m.trace_id = 0xabcdef0123456789ull;
+  m.parent_span = 0x42ull;
+  m.t_origin_ns = 111;
+  m.t_recv_ns = 222;
+  m.t_send_ns = 333;
+  m.t_compute_start_ns = 444;
+  m.t_compute_end_ns = 555;
+  m.blob = {1, 2, 3, 250, 251, 252};
+  m.tensor = Tensor({1, 4, 8});
+  Rng rng(5);
+  m.tensor.randomize(rng);
+  return m;
+}
+
+/// Serialize, then overwrite the little-endian magic with another value.
+std::vector<std::uint8_t> with_magic(const Message& message,
+                                     std::uint32_t magic) {
+  std::vector<std::uint8_t> bytes = runtime::serialize(message);
+  EXPECT_GE(bytes.size(), 4u);
+  std::memcpy(bytes.data(), &magic, sizeof(magic));
+  return bytes;
+}
+
+TEST(MessageVersion, RoundTripPreservesV2Fields) {
+  const Message original = sample_request();
+  const auto bytes = runtime::serialize(original);
+  const Message decoded = runtime::deserialize(bytes.data(), bytes.size());
+  EXPECT_EQ(decoded.trace_id, original.trace_id);
+  EXPECT_EQ(decoded.parent_span, original.parent_span);
+  EXPECT_EQ(decoded.t_origin_ns, original.t_origin_ns);
+  EXPECT_EQ(decoded.t_recv_ns, original.t_recv_ns);
+  EXPECT_EQ(decoded.t_send_ns, original.t_send_ns);
+  EXPECT_EQ(decoded.t_compute_start_ns, original.t_compute_start_ns);
+  EXPECT_EQ(decoded.t_compute_end_ns, original.t_compute_end_ns);
+  EXPECT_EQ(decoded.blob, original.blob);
+  EXPECT_FLOAT_EQ(Tensor::max_abs_diff(decoded.tensor, original.tensor),
+                  0.0f);
+}
+
+TEST(MessageVersion, Pic1FrameRejectedNamingBothVersions) {
+  // 'P','I','C','1' little-endian: the magic an old v1 build would send.
+  const auto bytes = with_magic(sample_request(), 0x50494331u);
+  try {
+    runtime::deserialize(bytes.data(), bytes.size());
+    FAIL() << "PIC1 frame was accepted";
+  } catch (const TransportError& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("PIC1"), std::string::npos) << what;
+    EXPECT_NE(what.find("PIC2"), std::string::npos) << what;
+  }
+}
+
+TEST(MessageVersion, ForeignMagicRejectedAsTransportError) {
+  // Non-printable magic renders as hex, and is still a graceful
+  // TransportError — never an invariant failure or a crash.
+  const auto bytes = with_magic(sample_request(), 0xdeadbeefu);
+  try {
+    runtime::deserialize(bytes.data(), bytes.size());
+    FAIL() << "foreign frame was accepted";
+  } catch (const TransportError& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("0x"), std::string::npos) << what;
+    EXPECT_NE(what.find("PIC2"), std::string::npos) << what;
+  }
+}
+
+TEST(MessageVersion, TruncationIsCorruptionNotVersionSkew) {
+  const auto bytes = runtime::serialize(sample_request());
+  EXPECT_THROW(runtime::deserialize(bytes.data(), bytes.size() - 1),
+               InvariantError);
+  // Shorter than the magic itself: cannot even version-check.
+  EXPECT_THROW(runtime::deserialize(bytes.data(), 3), InvariantError);
+}
+
+TEST(MessageVersion, BlobLengthIsBoundsChecked) {
+  // A frame whose blob length field points past the buffer must be caught
+  // by the decoder, not read out of bounds.
+  auto bytes = runtime::serialize(sample_request());
+  // Chop the frame right after the fixed header; the encoded blob length
+  // then exceeds the remaining bytes.
+  bytes.resize(bytes.size() - 8);
+  EXPECT_THROW(runtime::deserialize(bytes.data(), bytes.size()),
+               InvariantError);
+}
+
+// End to end over a real socket: a "v1 peer" writes a PIC1 frame into a
+// serving worker.  The worker's serve loop must exit cleanly (TransportError
+// path), not crash or hang.
+TEST(MessageVersion, ServeLoopEndsGracefullyOnVersionSkew) {
+  nn::Graph graph = models::toy_mnist({.input_size = 16});
+  Rng rng(3);
+  graph.randomize_weights(rng);
+
+  runtime::TcpListener listener;
+  std::thread server([&] {
+    auto connection = listener.accept();
+    runtime::serve_blocking(graph, *connection, /*device=*/0);
+  });
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(listener.port());
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  ASSERT_EQ(
+      ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+
+  // The transport frames messages as a host-endian u64 length + payload.
+  const auto payload = with_magic(sample_request(), 0x50494331u);
+  const std::uint64_t length = payload.size();
+  ASSERT_EQ(::write(fd, &length, sizeof(length)),
+            static_cast<ssize_t>(sizeof(length)));
+  ASSERT_EQ(::write(fd, payload.data(), payload.size()),
+            static_cast<ssize_t>(payload.size()));
+
+  // A graceful serve-loop exit closes the connection; join proves no hang.
+  server.join();
+  ::close(fd);
+}
+
+}  // namespace
+}  // namespace pico

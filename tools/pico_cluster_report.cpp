@@ -1,0 +1,508 @@
+// pico_cluster_report — run a plan on the threaded runtime and report the
+// *cluster-wide* observability view: per-device clock offsets estimated over
+// the transport, true worker compute (worker-clock measured, harvested via
+// TraceDump and rebased onto the coordinator timeline), true wire time
+// (request and reply legs split apart using the estimated offset) and
+// worker-side queueing (request receipt -> compute start).
+//
+// The run's merged Chrome trace — coordinator spans plus the harvested,
+// offset-corrected worker spans — and the merged Prometheus dump
+// (coordinator exposition followed by each worker's, harvested via
+// MetricsDump) are written as artifacts.
+//
+// --skew-ns injects an artificial worker-clock offset (obs debug hook), so a
+// loopback run on one host still exercises the estimator and the rebasing
+// path end to end; --check then turns the report into a CI gate: exit
+// nonzero unless every device was reachable, contributed worker compute
+// spans, and every harvested span lands (rebased) inside the local run
+// window and nests under its serve span.
+//
+// Examples:
+//   pico_cluster_report --model configs/vgg16.cfg --input-size 64 --tasks 8
+//   pico_cluster_report --model configs/vgg16.cfg --input-size 64
+//       --transport tcp --skew-ns 50000000 --check --json
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "models/cfg.hpp"
+#include "obs/clock.hpp"
+#include "obs/metrics.hpp"
+#include "obs/remote.hpp"
+#include "obs/trace.hpp"
+#include "partition/pico_dp.hpp"
+#include "partition/schemes.hpp"
+#include "runtime/pipeline.hpp"
+
+namespace {
+
+constexpr const char* kUsage =
+    R"(usage: pico_cluster_report --model <model.cfg> [options]
+
+plan:
+  --scheme <name>        PICO (default), LW, EFL or OFL (case-insensitive)
+  --cluster paper        the paper's 8-Pi heterogeneous testbed (default)
+  --cluster homog:<n>x<ghz>   n identical Pi-class devices
+  --bandwidth-mbps <b>   shared uplink bandwidth (default 50)
+
+run:
+  --tasks <n>            inferences to run (default 4)
+  --input-size <n>       override the [net] height/width (toy inputs for CI)
+  --transport <kind>     inproc (default) or tcp
+  --skew-ns <ns>         inject an artificial worker-clock offset (debug
+                         hook; proves the rebasing path on a loopback host)
+  --pings <n>            clock probes per worker at harvest (default 4)
+
+output:
+  --json                 emit a JSON report instead of the text tables
+  --trace-out <file>     merged Chrome trace (default pico_cluster_trace.json)
+  --metrics-out <file>   merged Prometheus dump (default empty = skip)
+  --check                CI gate: exit 1 unless every device is reachable,
+                         produced worker spans, and all harvested spans are
+                         rebased into the run window and nest under "serve"
+)";
+
+struct Args {
+  std::string model;
+  std::string scheme = "PICO";
+  std::string cluster = "paper";
+  double bandwidth_mbps = 50.0;
+  int tasks = 4;
+  int input_size = 0;
+  std::string transport = "inproc";
+  long long skew_ns = 0;
+  int pings = 4;
+  bool json = false;
+  bool check = false;
+  std::string trace_out = "pico_cluster_trace.json";
+  std::string metrics_out;
+};
+
+[[noreturn]] void fail(const std::string& message) {
+  std::cerr << "pico_cluster_report: " << message << "\n";
+  std::exit(1);
+}
+
+double parse_double(const std::string& text, const std::string& flag) {
+  try {
+    std::size_t used = 0;
+    const double value = std::stod(text, &used);
+    if (used != text.size()) throw std::invalid_argument(text);
+    return value;
+  } catch (const std::exception&) {
+    fail("bad numeric value '" + text + "' for " + flag);
+  }
+}
+
+Args parse_args(int argc, char** argv) {
+  Args args;
+  std::vector<std::string> tokens(argv + 1, argv + argc);
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    const std::string& flag = tokens[i];
+    auto value = [&]() -> const std::string& {
+      if (i + 1 >= tokens.size()) fail("missing value for " + flag);
+      return tokens[++i];
+    };
+    if (flag == "--model" || flag == "--cfg") {
+      args.model = value();
+    } else if (flag == "--scheme") {
+      args.scheme = value();
+      for (char& c : args.scheme) {
+        c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+      }
+    } else if (flag == "--cluster") {
+      args.cluster = value();
+    } else if (flag == "--bandwidth-mbps") {
+      args.bandwidth_mbps = parse_double(value(), flag);
+    } else if (flag == "--tasks") {
+      args.tasks = static_cast<int>(parse_double(value(), flag));
+      if (args.tasks < 1) fail("--tasks must be >= 1");
+    } else if (flag == "--input-size") {
+      args.input_size = static_cast<int>(parse_double(value(), flag));
+      if (args.input_size < 1) fail("--input-size must be >= 1");
+    } else if (flag == "--transport") {
+      args.transport = value();
+      if (args.transport != "inproc" && args.transport != "tcp") {
+        fail("--transport must be inproc or tcp");
+      }
+    } else if (flag == "--skew-ns") {
+      args.skew_ns = static_cast<long long>(parse_double(value(), flag));
+    } else if (flag == "--pings") {
+      args.pings = static_cast<int>(parse_double(value(), flag));
+      if (args.pings < 1) fail("--pings must be >= 1");
+    } else if (flag == "--json") {
+      args.json = true;
+    } else if (flag == "--check") {
+      args.check = true;
+    } else if (flag == "--trace-out") {
+      args.trace_out = value();
+    } else if (flag == "--metrics-out") {
+      args.metrics_out = value();
+    } else if (flag == "--help" || flag == "-h") {
+      std::cout << kUsage;
+      std::exit(0);
+    } else {
+      fail("unknown flag '" + flag + "'\n" + kUsage);
+    }
+  }
+  if (args.model.empty()) {
+    fail(std::string("--model is required\n") + kUsage);
+  }
+  return args;
+}
+
+pico::Cluster parse_cluster(const std::string& spec) {
+  using pico::Cluster;
+  if (spec == "paper") return Cluster::paper_heterogeneous();
+  if (spec.rfind("homog:", 0) == 0) {
+    const std::string body = spec.substr(6);
+    const std::size_t x = body.find('x');
+    if (x == std::string::npos) fail("--cluster homog:<n>x<ghz>");
+    const int count =
+        static_cast<int>(parse_double(body.substr(0, x), "--cluster"));
+    const double ghz = parse_double(body.substr(x + 1), "--cluster");
+    if (count < 1) fail("cluster needs at least one device");
+    return Cluster::paper_homogeneous(count, ghz);
+  }
+  fail("unknown cluster spec '" + spec + "'");
+}
+
+pico::nn::Graph load_model(const std::string& path, int input_size) {
+  std::ifstream file(path);
+  if (!file.good()) fail("cannot read " + path);
+  std::stringstream buffer;
+  buffer << file.rdbuf();
+  std::string text = buffer.str();
+  if (input_size > 0) {
+    std::istringstream in(text);
+    std::ostringstream out;
+    std::string line;
+    bool in_net = false;
+    while (std::getline(in, line)) {
+      if (!line.empty() && line.front() == '[') {
+        in_net = line.rfind("[net]", 0) == 0;
+      }
+      if (in_net && (line.rfind("height=", 0) == 0 ||
+                     line.rfind("width=", 0) == 0)) {
+        out << line.substr(0, line.find('=') + 1) << input_size << '\n';
+      } else {
+        out << line << '\n';
+      }
+    }
+    text = out.str();
+  }
+  return pico::models::parse_cfg(text);
+}
+
+pico::partition::Plan make_plan(const Args& args,
+                                const pico::nn::Graph& graph,
+                                const pico::Cluster& cluster,
+                                const pico::NetworkModel& network) {
+  namespace partition = pico::partition;
+  partition::SchemeOptions options;
+  if (args.scheme == "PICO") {
+    return partition::pico_plan(graph, cluster, network, options);
+  }
+  if (args.scheme == "LW") return partition::lw_plan(graph, cluster, options);
+  if (args.scheme == "EFL") {
+    return partition::efl_plan(graph, cluster, options);
+  }
+  if (args.scheme == "OFL") {
+    return partition::ofl_plan(graph, cluster, network, options);
+  }
+  fail("unknown scheme '" + args.scheme + "' (PICO, LW, EFL, OFL)");
+}
+
+std::string num(double value) {
+  if (!(value == value) || value > 1e308 || value < -1e308) return "null";
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.9g", value);
+  return buffer;
+}
+
+std::string fmt_us(double seconds) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.1f", seconds * 1e6);
+  return buffer;
+}
+
+/// Count + mean of one histogram series summed over every stage the device
+/// appears in (weighted by per-stage observation counts).
+struct SeriesStat {
+  long long count = 0;
+  double mean = 0.0;
+};
+
+SeriesStat device_series(const pico::partition::Plan& plan,
+                         const std::string& name, pico::DeviceId device) {
+  pico::obs::Registry& registry = pico::obs::Registry::global();
+  long long count = 0;
+  double sum = 0.0;
+  for (std::size_t s = 0; s < plan.stages.size(); ++s) {
+    bool present = false;
+    for (const pico::partition::DeviceSlice& slice :
+         plan.stages[s].assignments) {
+      present |= slice.device == device;
+    }
+    if (!present) continue;
+    const pico::obs::Histogram& hist = registry.histogram(
+        name, {{"stage", std::to_string(s)},
+               {"device", std::to_string(device)}});
+    count += hist.count();
+    sum += hist.sum();
+  }
+  return {count, count > 0 ? sum / static_cast<double>(count) : 0.0};
+}
+
+struct DeviceReport {
+  pico::DeviceId device = -1;
+  bool reachable = false;
+  long long offset_ns = 0;
+  long long rtt_ns = 0;
+  long long error_bound_ns = 0;
+  int clock_samples = 0;
+  long long requests = 0;
+  long long worker_spans = 0;  ///< harvested (rebased) spans from this device
+  SeriesStat compute;          ///< true worker compute (worker clock)
+  SeriesStat wire_request;     ///< coordinator send -> worker recv, rebased
+  SeriesStat wire_reply;       ///< worker send -> coordinator recv, rebased
+  SeriesStat worker_queue;     ///< worker recv -> compute start
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args = parse_args(argc, argv);
+  try {
+    namespace obs = pico::obs;
+    namespace runtime = pico::runtime;
+
+    const pico::nn::Graph graph = load_model(args.model, args.input_size);
+    const pico::Cluster cluster = parse_cluster(args.cluster);
+    pico::NetworkModel network;
+    network.bandwidth = args.bandwidth_mbps * 1e6 / 8.0;
+    const pico::partition::Plan plan =
+        make_plan(args, graph, cluster, network);
+
+    obs::Registry& registry = obs::Registry::global();
+    registry.reset_values();
+    obs::Tracer& tracer = obs::Tracer::global();
+    tracer.clear();
+    tracer.set_enabled(true);
+    obs::set_debug_clock_skew_ns(args.skew_ns);
+
+    runtime::RuntimeOptions options;
+    options.transport = args.transport == "tcp"
+                            ? runtime::TransportKind::Tcp
+                            : runtime::TransportKind::InProcess;
+    options.harvest_pings = args.pings;
+
+    const pico::Shape in_shape =
+        graph.node(plan.stages.front().first).in_shape;
+    pico::Tensor input(in_shape);
+    pico::Rng rng(7);
+    input.randomize(rng);
+
+    const std::int64_t run_start_ns = obs::Tracer::now_ns();
+    std::vector<obs::WorkerTelemetry> workers;
+    {
+      runtime::PipelineRuntime rt(graph, plan, options);
+      std::vector<std::future<pico::Tensor>> futures;
+      futures.reserve(static_cast<std::size_t>(args.tasks));
+      for (int i = 0; i < args.tasks; ++i) futures.push_back(rt.submit(input));
+      for (auto& f : futures) f.get();
+      rt.shutdown();  // harvests worker telemetry over the transport
+      workers = rt.cluster_telemetry().workers();
+    }
+    const std::int64_t run_end_ns = obs::Tracer::now_ns();
+
+    std::vector<pico::DeviceId> devices;
+    for (const pico::partition::Stage& stage : plan.stages) {
+      for (const pico::partition::DeviceSlice& slice : stage.assignments) {
+        bool seen = false;
+        for (const pico::DeviceId id : devices) seen |= id == slice.device;
+        if (!seen) devices.push_back(slice.device);
+      }
+    }
+    std::sort(devices.begin(), devices.end());
+
+    std::vector<DeviceReport> report;
+    for (const pico::DeviceId id : devices) {
+      DeviceReport row;
+      row.device = id;
+      for (const obs::WorkerTelemetry& worker : workers) {
+        if (worker.device != id) continue;
+        row.reachable = worker.reachable;
+        row.offset_ns = worker.offset_ns;
+        row.rtt_ns = worker.rtt_ns;
+        row.error_bound_ns = worker.error_bound_ns;
+        row.clock_samples = worker.clock_samples;
+        row.worker_spans = static_cast<long long>(worker.spans.size());
+      }
+      row.requests =
+          registry
+              .counter("pico_device_requests_total",
+                       {{"device", std::to_string(id)}})
+              .value();
+      row.compute = device_series(plan, "pico_stage_compute_seconds", id);
+      row.wire_request = device_series(plan, "pico_wire_request_seconds", id);
+      row.wire_reply = device_series(plan, "pico_wire_reply_seconds", id);
+      row.worker_queue = device_series(plan, "pico_worker_queue_seconds", id);
+      report.push_back(row);
+    }
+
+    // Artifacts: merged Chrome trace (the global tracer already contains
+    // the harvested, rebased worker spans) + merged Prometheus dump.
+    const std::vector<obs::SpanRecord> spans = tracer.snapshot();
+    std::map<std::int64_t, std::string> track_names;
+    track_names[obs::task_track()] = "tasks";
+    for (std::size_t s = 0; s < plan.stages.size(); ++s) {
+      track_names[obs::stage_track(static_cast<int>(s))] =
+          "stage " + std::to_string(s);
+    }
+    for (const pico::DeviceId id : devices) {
+      track_names[obs::device_track(id)] = "device " + std::to_string(id);
+    }
+    track_names[obs::net_track()] = "net";
+    obs::write_chrome_trace_file(args.trace_out, spans, track_names);
+    if (!args.metrics_out.empty()) {
+      obs::ClusterTelemetry merged;
+      for (obs::WorkerTelemetry worker : workers) {
+        merged.add(std::move(worker));
+      }
+      std::ofstream out(args.metrics_out, std::ios::trunc);
+      if (!out.good()) fail("cannot write " + args.metrics_out);
+      out << merged.merged_prometheus(registry.prometheus_text());
+    }
+
+    if (args.json) {
+      std::cout << "{\n  \"model\": \"" << args.model << "\",\n";
+      std::cout << "  \"scheme\": \"" << plan.scheme << "\",\n";
+      std::cout << "  \"transport\": \"" << args.transport << "\",\n";
+      std::cout << "  \"tasks\": " << args.tasks << ",\n";
+      std::cout << "  \"injected_skew_ns\": " << args.skew_ns << ",\n";
+      std::cout << "  \"devices\": [";
+      for (std::size_t i = 0; i < report.size(); ++i) {
+        const DeviceReport& row = report[i];
+        std::cout << (i ? "," : "") << "\n    {\"device\": " << row.device
+                  << ", \"reachable\": "
+                  << (row.reachable ? "true" : "false")
+                  << ", \"clock_offset_ns\": " << row.offset_ns
+                  << ", \"clock_rtt_ns\": " << row.rtt_ns
+                  << ", \"clock_error_bound_ns\": " << row.error_bound_ns
+                  << ", \"clock_samples\": " << row.clock_samples
+                  << ", \"requests\": " << row.requests
+                  << ", \"worker_spans\": " << row.worker_spans
+                  << ", \"compute_mean_s\": " << num(row.compute.mean)
+                  << ", \"wire_request_mean_s\": "
+                  << num(row.wire_request.mean)
+                  << ", \"wire_reply_mean_s\": " << num(row.wire_reply.mean)
+                  << ", \"worker_queue_mean_s\": "
+                  << num(row.worker_queue.mean) << "}";
+      }
+      std::cout << "\n  ],\n  \"spans\": " << spans.size() << ",\n";
+      std::cout << "  \"trace\": \"" << args.trace_out << "\"\n}\n";
+    } else {
+      std::printf(
+          "pico_cluster_report: %s, scheme %s, %d tasks (%s transport",
+          args.model.c_str(), plan.scheme.c_str(), args.tasks,
+          args.transport.c_str());
+      if (args.skew_ns != 0) {
+        std::printf(", injected skew %lld ns", args.skew_ns);
+      }
+      std::printf(")\n\nper-device clock sync (estimated over the wire):\n");
+      std::printf("%8s %6s %14s %12s %12s %8s\n", "device", "reach",
+                  "offset_ns", "rtt_ns", "err_bound", "samples");
+      for (const DeviceReport& row : report) {
+        std::printf("%8d %6s %14lld %12lld %12lld %8d\n", row.device,
+                    row.reachable ? "yes" : "NO", row.offset_ns, row.rtt_ns,
+                    row.error_bound_ns, row.clock_samples);
+      }
+      std::printf(
+          "\nper-device time split, means in microseconds (true worker "
+          "compute vs wire vs queueing):\n");
+      std::printf("%8s %9s %7s | %12s %12s %12s %12s\n", "device",
+                  "requests", "spans", "compute_us", "wire_req_us",
+                  "wire_rep_us", "queue_us");
+      for (const DeviceReport& row : report) {
+        std::printf("%8d %9lld %7lld | %12s %12s %12s %12s\n", row.device,
+                    row.requests, row.worker_spans,
+                    fmt_us(row.compute.mean).c_str(),
+                    fmt_us(row.wire_request.mean).c_str(),
+                    fmt_us(row.wire_reply.mean).c_str(),
+                    fmt_us(row.worker_queue.mean).c_str());
+      }
+      std::printf("\nwrote %zu spans (merged cluster trace) to %s\n",
+                  spans.size(), args.trace_out.c_str());
+      if (!args.metrics_out.empty()) {
+        std::printf("wrote merged metrics dump to %s\n",
+                    args.metrics_out.c_str());
+      }
+    }
+
+    if (args.check) {
+      int failures = 0;
+      auto check = [&failures](bool ok, const std::string& what) {
+        if (!ok) {
+          std::cerr << "pico_cluster_report: CHECK FAILED: " << what << "\n";
+          ++failures;
+        }
+      };
+      for (const DeviceReport& row : report) {
+        const std::string dev = "device " + std::to_string(row.device);
+        check(row.reachable, dev + " unreachable at harvest");
+        check(row.worker_spans > 0, dev + " produced no worker spans");
+        check(row.clock_samples > 0, dev + " has no accepted clock samples");
+      }
+      // Every harvested worker span must have been rebased into the local
+      // run window (an unrebased span under injected skew lands far
+      // outside) and every compute span must nest inside a serve span.
+      const std::int64_t slack_ns =
+          std::max<std::int64_t>(5'000'000, std::llabs(args.skew_ns) / 4);
+      std::vector<const obs::SpanRecord*> serves;
+      for (const obs::WorkerTelemetry& worker : workers) {
+        for (const obs::SpanRecord& span : worker.spans) {
+          if (span.name == "serve") serves.push_back(&span);
+        }
+      }
+      for (const obs::WorkerTelemetry& worker : workers) {
+        for (const obs::SpanRecord& span : worker.spans) {
+          const std::string what = "span '" + span.name + "' of device " +
+                                   std::to_string(worker.device);
+          check(span.start_ns >= run_start_ns - slack_ns &&
+                    span.start_ns + span.duration_ns <=
+                        run_end_ns + slack_ns,
+                what + " not rebased into the run window");
+          check(span.duration_ns >= 0, what + " has negative duration");
+          if (span.name == "compute") {
+            bool nested = false;
+            for (const obs::SpanRecord* serve : serves) {
+              nested |= serve->track == span.track &&
+                        serve->task_id == span.task_id &&
+                        serve->start_ns <= span.start_ns &&
+                        span.start_ns + span.duration_ns <=
+                            serve->start_ns + serve->duration_ns;
+            }
+            check(nested, what + " does not nest inside its serve span");
+          }
+        }
+      }
+      if (failures > 0) {
+        std::cerr << "pico_cluster_report: " << failures
+                  << " check(s) failed\n";
+        return 1;
+      }
+      // stderr: --json callers own stdout for the report itself.
+      std::cerr << "all cluster-observability checks passed\n";
+    }
+    return 0;
+  } catch (const std::exception& error) {
+    std::cerr << "pico_cluster_report: " << error.what() << "\n";
+    return 1;
+  }
+}
