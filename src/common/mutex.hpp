@@ -5,12 +5,23 @@
 // thin wrappers carry the capability attributes (the Abseil pattern) while
 // delegating to the standard primitives, so clang's -Wthread-safety checks
 // locking discipline at compile time and the code is unchanged elsewhere.
+//
+// Under PICO_SCHED (test-only preset) every operation first offers itself
+// to the schedule explorer: on a managed thread inside sched::explore the
+// operation is *modeled* (the real primitive is never touched and the
+// explorer decides who runs next); on ordinary threads the hook falls
+// through to the real primitive, with lock/unlock additionally feeding the
+// process-global lockdep graph.  Without PICO_SCHED the wrappers compile
+// to exactly the code below — zero overhead.
 #pragma once
 
 #include <condition_variable>
 #include <mutex>
 
 #include "common/thread_annotations.hpp"
+#ifdef PICO_SCHED
+#include "sched/explorer.hpp"
+#endif
 
 namespace pico {
 
@@ -20,8 +31,19 @@ class PICO_CAPABILITY("mutex") Mutex {
   Mutex(const Mutex&) = delete;
   Mutex& operator=(const Mutex&) = delete;
 
-  void lock() PICO_ACQUIRE() { mutex_.lock(); }
-  void unlock() PICO_RELEASE() { mutex_.unlock(); }
+  void lock() PICO_ACQUIRE() {
+#ifdef PICO_SCHED
+    if (sched::hook::mutex_lock(this)) return;
+#endif
+    mutex_.lock();
+  }
+
+  void unlock() PICO_RELEASE() {
+#ifdef PICO_SCHED
+    if (sched::hook::mutex_unlock(this)) return;
+#endif
+    mutex_.unlock();
+  }
 
  private:
   friend class CondVar;
@@ -48,13 +70,27 @@ class PICO_SCOPED_CAPABILITY MutexLock {
 class CondVar {
  public:
   void wait(Mutex& mutex) PICO_REQUIRES(mutex) {
+#ifdef PICO_SCHED
+    if (sched::hook::cond_wait(this, &mutex)) return;
+#endif
     std::unique_lock<std::mutex> lock(mutex.mutex_, std::adopt_lock);
     cv_.wait(lock);
     lock.release();  // caller still owns the mutex
   }
 
-  void notify_one() { cv_.notify_one(); }
-  void notify_all() { cv_.notify_all(); }
+  void notify_one() {
+#ifdef PICO_SCHED
+    if (sched::hook::cond_notify(this, /*notify_all=*/false)) return;
+#endif
+    cv_.notify_one();
+  }
+
+  void notify_all() {
+#ifdef PICO_SCHED
+    if (sched::hook::cond_notify(this, /*notify_all=*/true)) return;
+#endif
+    cv_.notify_all();
+  }
 
  private:
   std::condition_variable cv_;

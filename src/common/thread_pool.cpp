@@ -24,7 +24,7 @@ ThreadPool::~ThreadPool() {
     stop_ = true;
     work_cv_.notify_all();
   }
-  for (std::thread& worker : workers_) worker.join();
+  for (SchedThread& worker : workers_) worker.join();
 }
 
 void ThreadPool::run_one(int index, const std::function<void(int)>& fn,

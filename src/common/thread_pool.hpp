@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "common/mutex.hpp"
+#include "sched/hooks.hpp"
 
 namespace pico {
 
@@ -78,7 +79,9 @@ class ThreadPool {
   CondVar work_cv_;
   std::deque<std::function<void()>> tasks_ PICO_GUARDED_BY(mutex_);
   bool stop_ PICO_GUARDED_BY(mutex_) = false;
-  std::vector<std::thread> workers_;
+  // sched-exempt: written only by the constructor, joined by the
+  // destructor; never touched while workers run.
+  std::vector<SchedThread> workers_;
 };
 
 }  // namespace pico

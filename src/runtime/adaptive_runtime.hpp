@@ -71,6 +71,10 @@ class AdaptiveRuntime {
   void activate(std::size_t candidate_index);
 
   const nn::Graph& graph_;
+  // sched-exempt-begin: single-producer by contract (see class comment) —
+  // every member below is touched only from the one thread that calls
+  // submit()/infer()/shutdown(); the inner PipelineRuntime owns all
+  // cross-thread state.
   AdaptiveRuntimeOptions options_;
   adaptive::ApicoController controller_;
   std::size_t active_index_ = 0;
@@ -81,6 +85,7 @@ class AdaptiveRuntime {
   std::vector<std::string> history_;
   obs::ClusterTelemetry telemetry_;
   bool stopped_ = false;
+  // sched-exempt-end
 };
 
 }  // namespace pico::runtime

@@ -14,6 +14,7 @@
 
 #include "common/error.hpp"
 #include "common/mutex.hpp"
+#include "sched/hooks.hpp"
 
 namespace pico::runtime {
 
@@ -27,6 +28,7 @@ class BoundedQueue {
 
   /// Blocks while full.  Throws TransportError if the queue is closed.
   void push(T value) {
+    PICO_SCHED_OP("BoundedQueue::push");
     MutexLock lock(mutex_);
     while (!closed_ && items_.size() >= capacity_) not_full_.wait(mutex_);
     if (closed_) throw TransportError("push on closed queue");
@@ -36,6 +38,7 @@ class BoundedQueue {
 
   /// Blocks while empty.  Returns nullopt once closed and drained.
   std::optional<T> pop() {
+    PICO_SCHED_OP("BoundedQueue::pop");
     MutexLock lock(mutex_);
     while (!closed_ && items_.empty()) not_empty_.wait(mutex_);
     if (items_.empty()) return std::nullopt;
@@ -47,6 +50,7 @@ class BoundedQueue {
 
   /// Wake all waiters; subsequent pushes throw, pops drain then nullopt.
   void close() {
+    PICO_SCHED_OP("BoundedQueue::close");
     MutexLock lock(mutex_);
     closed_ = true;
     not_empty_.notify_all();

@@ -17,6 +17,7 @@
 #include "partition/branches.hpp"
 #include "runtime/channel.hpp"
 #include "runtime/worker.hpp"
+#include "sched/hooks.hpp"
 #include "tensor/slice.hpp"
 
 namespace pico::runtime {
@@ -98,7 +99,7 @@ struct PipelineRuntime::Impl {
   std::vector<std::unique_ptr<Worker>> workers;
 
   std::vector<std::unique_ptr<BoundedQueue<TaskItem>>> queues;
-  std::vector<std::thread> coordinators;
+  std::vector<SchedThread> coordinators;
 
   std::atomic<std::int64_t> next_task{0};
   std::atomic<long long> completed{0};
@@ -658,7 +659,7 @@ struct PipelineRuntime::Impl {
   void shutdown() {
     if (stopped.exchange(true)) return;
     queues.front()->close();
-    for (std::thread& t : coordinators) {
+    for (SchedThread& t : coordinators) {
       if (t.joinable()) t.join();
     }
     if (options.harvest_telemetry) harvest_all();

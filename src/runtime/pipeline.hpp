@@ -78,6 +78,8 @@ class PipelineRuntime {
 
  private:
   struct Impl;
+  // sched-exempt: set once by the constructor; the pointer itself is never
+  // reseated.  Impl's own mutable state is guarded internally (pipeline.cpp).
   std::unique_ptr<Impl> impl_;
 };
 

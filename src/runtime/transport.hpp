@@ -62,7 +62,10 @@ class TcpListener {
   std::unique_ptr<Connection> accept();
 
  private:
+  // sched-exempt: set by the constructor, read by accept()/port(), closed
+  // by the destructor — a listener is owned and driven by one thread.
   int fd_ = -1;
+  // sched-exempt: immutable after construction.
   std::uint16_t port_ = 0;
 };
 

@@ -176,7 +176,7 @@ Worker::~Worker() { stop(); }
 
 void Worker::start() {
   PICO_CHECK_MSG(!thread_.joinable(), "worker already started");
-  thread_ = std::thread([this] { run(); });
+  thread_ = SchedThread([this] { run(); });
 }
 
 void Worker::stop() {

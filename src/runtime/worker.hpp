@@ -29,6 +29,7 @@
 #include "nn/graph.hpp"
 #include "nn/kernels.hpp"
 #include "runtime/transport.hpp"
+#include "sched/hooks.hpp"
 
 namespace pico::runtime {
 
@@ -72,10 +73,16 @@ class Worker {
   void run();
 
   const nn::Graph& graph_;
+  // sched-exempt: set in the constructor; afterwards close() (the only
+  // mutation) is itself thread-safe on every Connection.
   std::unique_ptr<Connection> connection_;
+  // sched-exempt: immutable after construction.
   DeviceId device_ = -1;
+  // sched-exempt: immutable after construction.
   nn::ExecOptions options_;
-  std::thread thread_;
+  // sched-exempt: written by start(), joined by stop(); the owner
+  // serializes both (documented single-owner API).
+  SchedThread thread_;
   std::atomic<long long> requests_{0};
 };
 

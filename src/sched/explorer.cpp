@@ -1,0 +1,904 @@
+#include "sched/explorer.hpp"
+
+#include <algorithm>
+#include <condition_variable>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <sstream>
+#include <stdexcept>
+#include <type_traits>
+
+namespace pico::sched {
+
+namespace {
+
+constexpr int kNoOwner = -1;
+
+/// splitmix64: decorrelates (base seed, schedule index) into a per-schedule
+/// rng stream.
+std::uint64_t mix(std::uint64_t a, std::uint64_t b) {
+  std::uint64_t z = a + 0x9e3779b97f4a7c15ULL * (b + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+struct Rng {
+  std::uint64_t state;
+  std::uint64_t next() {
+    state = mix(state, 0x2545f4914f6cdd1dULL);
+    return state;
+  }
+};
+
+struct ThreadRec {
+  enum class State {
+    Runnable,
+    Running,
+    BlockedMutex,
+    BlockedCond,
+    BlockedJoin,
+    Finished,
+    Parked,
+  };
+
+  int tid = 0;
+  State state = State::Runnable;
+  std::condition_variable cv;
+  bool granted = false;
+  const void* wait_object = nullptr;  // mutex / condvar / joined ThreadRec
+  bool notified = false;              // condvar wakeup delivered
+  std::vector<const void*> held;      // model-held mutexes
+  const char* label = "";             // last PICO_SCHED_OP annotation
+  std::int64_t priority = 0;          // random (PCT) mode
+};
+
+/// One scheduler choice.  `order` lists the candidate values (thread ids,
+/// or waiter ids for a notify decision) in enumeration order — the default
+/// pick first — so DFS backtracking is `chosen_pos + 1`.
+struct DecisionRec {
+  std::vector<int> order;
+  int chosen_pos = 0;
+  /// True at yield points: order[0] is the running thread, every other
+  /// choice costs one preemption against the bound.
+  bool switch_costs = false;
+  int preemptions_before = 0;
+};
+
+struct Outcome {
+  Verdict verdict = Verdict::Ok;
+  std::string detail;
+  std::vector<DecisionRec> decisions;
+  std::vector<std::string> steps;
+  std::size_t step_count = 0;
+  std::size_t prescribed_consumed = 0;
+};
+
+}  // namespace
+
+/// One schedule's worth of scheduler state.  All managed threads of the
+/// schedule synchronize on mu_; exactly one is ever granted (running user
+/// code) at a time.  On failure the schedule is *abandoned*: every thread
+/// parks forever on its cv (holding a shared_ptr to this object), which
+/// intentionally leaks the schedule's threads instead of unwinding through
+/// noexcept destructors.
+class Exploration : public std::enable_shared_from_this<Exploration> {
+ public:
+  /// `step_hint` is the expected schedule length (in scheduler steps) the
+  /// PCT priority-change points are sampled over — typically the previous
+  /// schedule's measured length.  Sampling over the real length is what
+  /// makes a change point likely to land *inside* the run; a fixed large
+  /// range would make short models effectively change-point-free.
+  Exploration(const ExploreOptions& options, LockGraph* graph,
+              std::vector<int> prescribed, bool random, std::uint64_t seed,
+              std::size_t step_hint)
+      : options_(options),
+        graph_(graph),
+        prescribed_(std::move(prescribed)),
+        random_(random),
+        rng_{seed} {
+    if (random_) {
+      const std::uint64_t range = std::max<std::size_t>(step_hint, 4);
+      for (int i = 0; i < options_.priority_change_points; ++i) {
+        priority_change_steps_.push_back(
+            static_cast<std::size_t>(1 + rng_.next() % range));
+      }
+    }
+  }
+
+  ThreadRec* register_thread() {
+    std::unique_lock<std::mutex> lk(mu_);
+    auto rec = std::make_unique<ThreadRec>();
+    rec->tid = static_cast<int>(threads_.size());
+    rec->priority =
+        random_ ? static_cast<std::int64_t>(rng_.next() >> 1) : 0;
+    threads_.push_back(std::move(rec));
+    return threads_.back().get();
+  }
+
+  void start() {
+    std::unique_lock<std::mutex> lk(mu_);
+    grant(threads_[0].get());
+  }
+
+  /// Main-thread wait; true = schedule ran to completion (join the root),
+  /// false = abandoned (detach it).
+  bool wait_finished() {
+    std::unique_lock<std::mutex> lk(mu_);
+    main_cv_.wait(lk, [&] { return done_ || abandoned_; });
+    return done_;
+  }
+
+  Outcome outcome() {
+    std::unique_lock<std::mutex> lk(mu_);
+    Outcome out;
+    out.verdict = verdict_;
+    out.detail = detail_;
+    out.decisions = decisions_;
+    out.steps = step_log_;
+    out.step_count = steps_;
+    out.prescribed_consumed =
+        std::min(decisions_.size(), prescribed_.size());
+    return out;
+  }
+
+  // --- called from managed threads -------------------------------------
+
+  void thread_begin(ThreadRec* rec) {
+    std::unique_lock<std::mutex> lk(mu_);
+    wait_for_grant(rec, lk);
+  }
+
+  void thread_end(ThreadRec* rec) {
+    std::unique_lock<std::mutex> lk(mu_);
+    rec->state = ThreadRec::State::Finished;
+    for (const std::unique_ptr<ThreadRec>& other : threads_) {
+      if (other->state == ThreadRec::State::BlockedJoin &&
+          other->wait_object == rec) {
+        other->state = ThreadRec::State::Runnable;
+      }
+    }
+    schedule_from(lk, rec);
+  }
+
+  void spawn_point(ThreadRec* parent) {
+    std::unique_lock<std::mutex> lk(mu_);
+    yield_point(lk, parent);
+  }
+
+  void model_join(ThreadRec* rec, ThreadRec* target) {
+    std::unique_lock<std::mutex> lk(mu_);
+    while (target->state != ThreadRec::State::Finished) {
+      rec->state = ThreadRec::State::BlockedJoin;
+      rec->wait_object = target;
+      schedule_from(lk, rec);
+    }
+  }
+
+  void model_lock(ThreadRec* rec, const void* mutex) {
+    std::unique_lock<std::mutex> lk(mu_);
+    yield_point(lk, rec);  // pre-acquire scheduling point
+    acquire(lk, rec, mutex);
+  }
+
+  void model_unlock(ThreadRec* rec, const void* mutex) {
+    std::unique_lock<std::mutex> lk(mu_);
+    release(rec, mutex);
+  }
+
+  void model_cond_wait(ThreadRec* rec, const void* condvar,
+                       const void* mutex) {
+    std::unique_lock<std::mutex> lk(mu_);
+    release(rec, mutex);
+    rec->state = ThreadRec::State::BlockedCond;
+    rec->wait_object = condvar;
+    rec->notified = false;
+    schedule_from(lk, rec);  // returns once notified and granted
+    acquire(lk, rec, mutex);
+  }
+
+  void model_cond_notify(ThreadRec* rec, const void* condvar, bool all) {
+    std::unique_lock<std::mutex> lk(mu_);
+    std::vector<int> waiters;
+    for (const std::unique_ptr<ThreadRec>& other : threads_) {
+      if (other->state == ThreadRec::State::BlockedCond &&
+          other->wait_object == condvar) {
+        waiters.push_back(other->tid);
+      }
+    }
+    if (waiters.empty()) return;
+    if (all) {
+      for (int tid : waiters) wake_waiter(tid);
+      return;
+    }
+    // notify_one with several waiters: which one wakes is a decision.
+    int chosen = waiters[0];
+    if (waiters.size() > 1) {
+      chosen = pick(lk, rec, waiters, /*switch_costs=*/false);
+    }
+    wake_waiter(chosen);
+  }
+
+  void model_yield(ThreadRec* rec, const char* label) {
+    std::unique_lock<std::mutex> lk(mu_);
+    rec->label = label;
+    yield_point(lk, rec);
+  }
+
+  void fail_check(ThreadRec* rec, const char* message) {
+    std::unique_lock<std::mutex> lk(mu_);
+    abandon(lk, Verdict::CheckFailed,
+            std::string("sched::check failed: ") + message, rec);
+  }
+
+  void fail_exception(ThreadRec* rec, const char* what) {
+    std::unique_lock<std::mutex> lk(mu_);
+    abandon(lk, Verdict::Exception,
+            std::string("exception escaped t") + std::to_string(rec->tid) +
+                ": " + what,
+            rec);
+  }
+
+ private:
+  void grant(ThreadRec* rec) {
+    rec->granted = true;
+    rec->state = ThreadRec::State::Running;
+    rec->cv.notify_all();
+  }
+
+  void wait_for_grant(ThreadRec* rec, std::unique_lock<std::mutex>& lk) {
+    rec->cv.wait(lk, [&] { return rec->granted || abandoned_; });
+    if (abandoned_) park(rec, lk);  // never returns
+    rec->granted = false;
+    rec->state = ThreadRec::State::Running;
+    rec->wait_object = nullptr;
+  }
+
+  void park(ThreadRec* rec, std::unique_lock<std::mutex>& lk) {
+    rec->state = ThreadRec::State::Parked;
+    for (;;) rec->cv.wait(lk);
+  }
+
+  /// Record the schedule's failure and park every thread.  `rec` is the
+  /// reporting thread (parked here, so this never returns), or nullptr
+  /// when the reporter already finished.
+  void abandon(std::unique_lock<std::mutex>& lk, Verdict verdict,
+               std::string detail, ThreadRec* rec) {
+    if (!abandoned_ && !done_) {
+      abandoned_ = true;
+      verdict_ = verdict;
+      detail_ = std::move(detail);
+      for (const std::unique_ptr<ThreadRec>& other : threads_) {
+        other->cv.notify_all();
+      }
+      main_cv_.notify_all();
+    }
+    if (rec != nullptr) park(rec, lk);
+  }
+
+  void wake_waiter(int tid) {
+    ThreadRec* rec = threads_[static_cast<std::size_t>(tid)].get();
+    rec->state = ThreadRec::State::Runnable;
+    rec->notified = true;
+  }
+
+  void acquire(std::unique_lock<std::mutex>& lk, ThreadRec* rec,
+               const void* mutex) {
+    for (const void* held : rec->held) graph_->add_edge(held, mutex);
+    while (owner_of(mutex) != kNoOwner) {
+      rec->state = ThreadRec::State::BlockedMutex;
+      rec->wait_object = mutex;
+      schedule_from(lk, rec);
+    }
+    owners_[mutex] = rec->tid;
+    rec->held.push_back(mutex);
+  }
+
+  void release(ThreadRec* rec, const void* mutex) {
+    owners_[mutex] = kNoOwner;
+    rec->held.erase(std::find(rec->held.begin(), rec->held.end(), mutex));
+    for (const std::unique_ptr<ThreadRec>& other : threads_) {
+      if (other->state == ThreadRec::State::BlockedMutex &&
+          other->wait_object == mutex) {
+        other->state = ThreadRec::State::Runnable;
+      }
+    }
+  }
+
+  int owner_of(const void* mutex) const {
+    auto it = owners_.find(mutex);
+    return it == owners_.end() ? kNoOwner : it->second;
+  }
+
+  /// Per-scheduling-point accounting; abandons runaway schedules.  Parks
+  /// (never returns) when `rec` is still live and the budget is blown.
+  void count_step(std::unique_lock<std::mutex>& lk, ThreadRec* rec) {
+    if (++steps_ <= options_.max_steps) return;
+    abandon(lk, Verdict::StepLimit,
+            "schedule exceeded " + std::to_string(options_.max_steps) +
+                " scheduling points",
+            rec->state == ThreadRec::State::Finished ? nullptr : rec);
+  }
+
+  /// Scheduling point for a still-runnable thread: maybe switch away
+  /// (costs one preemption), return once this thread is granted again.
+  void yield_point(std::unique_lock<std::mutex>& lk, ThreadRec* rec) {
+    count_step(lk, rec);
+    rec->state = ThreadRec::State::Runnable;
+    std::vector<int> candidates = runnable_tids();
+    int chosen = candidates[0];
+    if (candidates.size() > 1) {
+      chosen = pick(lk, rec, candidates, /*switch_costs=*/true);
+    }
+    if (chosen == rec->tid) {
+      rec->state = ThreadRec::State::Running;
+      log_step(rec->tid, rec->label);
+      return;
+    }
+    ++preemptions_;
+    ThreadRec* next = threads_[static_cast<std::size_t>(chosen)].get();
+    log_step(chosen, next->label);
+    grant(next);
+    wait_for_grant(rec, lk);
+  }
+
+  /// Scheduling point for a thread that just blocked or finished: hand the
+  /// token to some runnable thread.  For a blocked `rec`, returns once it
+  /// is woken and granted again; for a finished `rec`, returns
+  /// immediately after the handoff (or declares completion/quiescence).
+  void schedule_from(std::unique_lock<std::mutex>& lk, ThreadRec* rec) {
+    count_step(lk, rec);
+    const bool finished = rec->state == ThreadRec::State::Finished;
+    std::vector<int> candidates = runnable_tids();
+    if (candidates.empty()) {
+      quiescence(lk, rec);
+      return;  // reached only when the schedule completed cleanly
+    }
+    int chosen = candidates[0];
+    if (candidates.size() > 1) {
+      chosen = pick(lk, rec, candidates, /*switch_costs=*/false);
+    }
+    ThreadRec* next = threads_[static_cast<std::size_t>(chosen)].get();
+    log_step(chosen, next->label);
+    grant(next);
+    if (!finished) wait_for_grant(rec, lk);
+  }
+
+  /// No runnable thread: either every thread finished (schedule complete)
+  /// or the live ones are all blocked (deadlock / lost wakeup).
+  void quiescence(std::unique_lock<std::mutex>& lk, ThreadRec* rec) {
+    bool any_live = false;
+    bool any_cond = false;
+    std::string blocked;
+    for (const std::unique_ptr<ThreadRec>& other : threads_) {
+      const char* how = nullptr;
+      switch (other->state) {
+        case ThreadRec::State::BlockedMutex:
+          how = "blocked acquiring ";
+          break;
+        case ThreadRec::State::BlockedCond:
+          how = "waiting on ";
+          any_cond = true;
+          break;
+        case ThreadRec::State::BlockedJoin:
+          how = "joining ";
+          break;
+        default:
+          break;
+      }
+      if (how == nullptr) continue;
+      any_live = true;
+      if (!blocked.empty()) blocked += "; ";
+      blocked += "t" + std::to_string(other->tid) + " " + how;
+      if (other->state == ThreadRec::State::BlockedJoin) {
+        blocked +=
+            "t" + std::to_string(
+                      static_cast<const ThreadRec*>(other->wait_object)->tid);
+      } else {
+        blocked += object_name(other->wait_object);
+      }
+      if (other->label != nullptr && other->label[0] != '\0') {
+        blocked += std::string(" [") + other->label + "]";
+      }
+    }
+    if (!any_live) {
+      done_ = true;
+      main_cv_.notify_all();
+      return;
+    }
+    const Verdict verdict =
+        any_cond ? Verdict::LostWakeup : Verdict::Deadlock;
+    abandon(lk, verdict, blocked,
+            rec->state == ThreadRec::State::Finished ? nullptr : rec);
+  }
+
+  std::vector<int> runnable_tids() const {
+    std::vector<int> tids;
+    for (const std::unique_ptr<ThreadRec>& rec : threads_) {
+      if (rec->state == ThreadRec::State::Runnable) tids.push_back(rec->tid);
+    }
+    return tids;
+  }
+
+  /// Choose among `candidates` (sorted thread/waiter ids): prescribed
+  /// prefix first, then PCT priorities (random mode) or the default
+  /// current-thread-first policy (exhaustive mode).  Records a DecisionRec
+  /// whenever there was a real choice.
+  int pick(std::unique_lock<std::mutex>& lk, ThreadRec* rec,
+           const std::vector<int>& candidates, bool switch_costs) {
+    std::vector<int> order;
+    if (switch_costs &&
+        std::find(candidates.begin(), candidates.end(), rec->tid) !=
+            candidates.end()) {
+      order.push_back(rec->tid);
+      for (int tid : candidates) {
+        if (tid != rec->tid) order.push_back(tid);
+      }
+    } else {
+      order = candidates;
+    }
+
+    int pos = 0;
+    if (decisions_.size() < prescribed_.size()) {
+      const int want = prescribed_[decisions_.size()];
+      auto it = std::find(order.begin(), order.end(), want);
+      if (it == order.end()) {
+        abandon(lk, Verdict::Divergence,
+                "prescribed decision " + std::to_string(want) +
+                    " impossible at step " +
+                    std::to_string(decisions_.size()) +
+                    " — the model is nondeterministic",
+                rec->state == ThreadRec::State::Finished ? nullptr : rec);
+      }
+      pos = static_cast<int>(it - order.begin());
+    } else if (random_) {
+      if (std::find(priority_change_steps_.begin(),
+                    priority_change_steps_.end(),
+                    steps_) != priority_change_steps_.end()) {
+        // PCT priority-change point: demote the current thread below all.
+        rec->priority = low_priority_--;
+      }
+      pos = 0;
+      for (std::size_t i = 1; i < order.size(); ++i) {
+        const std::int64_t best =
+            threads_[static_cast<std::size_t>(
+                         order[static_cast<std::size_t>(pos)])]
+                ->priority;
+        if (threads_[static_cast<std::size_t>(order[i])]->priority > best) {
+          pos = static_cast<int>(i);
+        }
+      }
+    }
+    decisions_.push_back(
+        {order, pos, switch_costs, preemptions_});
+    return order[static_cast<std::size_t>(pos)];
+  }
+
+  void log_step(int tid, const char* label) {
+    if (steps_logged_ >= kMaxLoggedSteps) return;
+    ++steps_logged_;
+    std::string entry = "t" + std::to_string(tid);
+    if (label != nullptr && label[0] != '\0') {
+      entry += std::string(" [") + label + "]";
+    }
+    step_log_.push_back(std::move(entry));
+  }
+
+  static constexpr std::size_t kMaxLoggedSteps = 2000;
+
+  const ExploreOptions options_;
+  LockGraph* graph_;
+  const std::vector<int> prescribed_;
+  const bool random_;
+  Rng rng_;
+  std::vector<std::size_t> priority_change_steps_;
+
+  std::mutex mu_;
+  std::condition_variable main_cv_;
+  std::vector<std::unique_ptr<ThreadRec>> threads_;
+  std::map<const void*, int> owners_;
+  std::vector<DecisionRec> decisions_;
+  std::vector<std::string> step_log_;
+  std::size_t steps_logged_ = 0;
+  std::size_t steps_ = 0;
+  int preemptions_ = 0;
+  std::int64_t low_priority_ = -1;
+  bool done_ = false;
+  bool abandoned_ = false;
+  Verdict verdict_ = Verdict::Ok;
+  std::string detail_;
+};
+
+namespace {
+
+// Per-thread scheduler state.  MUST stay trivially destructible: the
+// pass-through hooks run from *static destructors* (e.g. the global
+// ThreadPool locking its Mutex during exit()), and glibc destroys TLS
+// objects before static destructors run.  A nontrivial member (vector,
+// shared_ptr) would register a TLS destructor, and any hook firing after
+// it is a use-after-free.  Ownership of the Exploration lives in the
+// thread trampolines (which capture a shared_ptr for the thread's whole
+// life); the TLS keeps only a raw pointer.
+struct TlsState {
+  Exploration* exploration = nullptr;
+  ThreadRec* rec = nullptr;
+  // Pass-through lockdep stack.  Fixed-size so the struct stays trivial;
+  // deeper nesting stops recording edges (never UB, never wrong edges).
+  static constexpr int kMaxHeld = 64;
+  const void* held[kMaxHeld];
+  int held_count = 0;
+};
+static_assert(std::is_trivially_destructible_v<TlsState>,
+              "TLS hooks run during static destruction; see comment");
+
+TlsState& tls() {
+  static thread_local TlsState state;
+  return state;
+}
+
+std::string decisions_to_string(const std::vector<DecisionRec>& decisions) {
+  std::string out;
+  for (const DecisionRec& d : decisions) {
+    if (!out.empty()) out += ",";
+    out += std::to_string(d.order[static_cast<std::size_t>(d.chosen_pos)]);
+  }
+  return out;
+}
+
+std::vector<int> parse_decisions(const std::string& text) {
+  std::vector<int> out;
+  std::stringstream stream(text);
+  std::string item;
+  while (std::getline(stream, item, ',')) {
+    if (item.empty()) continue;
+    out.push_back(std::stoi(item));
+  }
+  return out;
+}
+
+Outcome run_schedule(const ExploreOptions& options, LockGraph* graph,
+                     const std::vector<int>& prescribed, bool random,
+                     std::uint64_t seed, const std::function<void()>& body,
+                     std::size_t step_hint = 64) {
+  auto exploration = std::make_shared<Exploration>(
+      options, graph, prescribed, random, seed, step_hint);
+  ThreadRec* root = exploration->register_thread();
+  std::thread sys([exploration, root, &body] {
+    TlsState& state = tls();
+    state.exploration = exploration.get();
+    state.rec = root;
+    exploration->thread_begin(root);
+    try {
+      body();
+    } catch (const std::exception& error) {
+      exploration->fail_exception(root, error.what());
+    } catch (...) {
+      exploration->fail_exception(root, "non-std exception");
+    }
+    exploration->thread_end(root);
+  });
+  exploration->start();
+  const bool finished = exploration->wait_finished();
+  if (finished) {
+    sys.join();
+  } else {
+    sys.detach();  // parked forever; intentionally leaked
+  }
+  Outcome out = exploration->outcome();
+  if (out.verdict == Verdict::Ok &&
+      out.prescribed_consumed < prescribed.size()) {
+    out.verdict = Verdict::Divergence;
+    out.detail = "schedule completed after " +
+                 std::to_string(out.decisions.size()) +
+                 " decisions, before consuming the prescribed " +
+                 std::to_string(prescribed.size());
+  }
+  return out;
+}
+
+ScheduleFailure make_failure(const Outcome& out, std::size_t index,
+                             std::uint64_t seed) {
+  ScheduleFailure failure;
+  failure.verdict = out.verdict;
+  failure.detail = out.detail;
+  failure.decisions = decisions_to_string(out.decisions);
+  failure.seed = seed;
+  failure.schedule_index = index;
+  failure.steps = out.steps;
+  return failure;
+}
+
+/// DFS backtracking: mutate `prefix` to the next unexplored schedule.
+/// Returns false when the bounded frontier is exhausted.
+bool advance_prefix(const ExploreOptions& options,
+                    const std::vector<DecisionRec>& decisions,
+                    std::vector<int>* prefix) {
+  for (int i = static_cast<int>(decisions.size()) - 1; i >= 0; --i) {
+    const DecisionRec& d = decisions[static_cast<std::size_t>(i)];
+    for (int next = d.chosen_pos + 1;
+         next < static_cast<int>(d.order.size()); ++next) {
+      const int cost = d.switch_costs && next > 0 ? 1 : 0;
+      if (d.preemptions_before + cost > options.preemption_bound) continue;
+      prefix->clear();
+      for (int j = 0; j < i; ++j) {
+        const DecisionRec& earlier = decisions[static_cast<std::size_t>(j)];
+        prefix->push_back(
+            earlier.order[static_cast<std::size_t>(earlier.chosen_pos)]);
+      }
+      prefix->push_back(d.order[static_cast<std::size_t>(next)]);
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+const char* verdict_name(Verdict verdict) {
+  switch (verdict) {
+    case Verdict::Ok:
+      return "ok";
+    case Verdict::Deadlock:
+      return "deadlock";
+    case Verdict::LostWakeup:
+      return "lost-wakeup";
+    case Verdict::CheckFailed:
+      return "check-failed";
+    case Verdict::Exception:
+      return "exception";
+    case Verdict::StepLimit:
+      return "step-limit";
+    case Verdict::Divergence:
+      return "divergence";
+  }
+  return "unknown";
+}
+
+std::string ScheduleFailure::to_string() const {
+  std::string out = std::string("verdict: ") + verdict_name(verdict) + "\n";
+  out += "detail: " + detail + "\n";
+  out += "schedule: " + std::to_string(schedule_index) + "\n";
+  out += "seed: " + std::to_string(seed) + "\n";
+  out += "decisions: " + (decisions.empty() ? "<none>" : decisions) + "\n";
+  out += "steps:";
+  for (const std::string& step : steps) out += " " + step;
+  out += "\n";
+  return out;
+}
+
+std::string ExploreResult::summary() const {
+  std::string out = std::to_string(schedules_run) + " schedule(s), " +
+                    (complete ? "frontier complete" : "frontier bounded") +
+                    ", " + std::to_string(failures.size()) + " failure(s), " +
+                    std::to_string(lock_cycles.size()) + " lock cycle(s)";
+  for (const ScheduleFailure& failure : failures) {
+    out += "\n--- failure ---\n" + failure.to_string();
+  }
+  for (const std::string& cycle : lock_cycles) {
+    out += "\nlock-order cycle: " + cycle;
+  }
+  return out;
+}
+
+ExploreResult explore(const ExploreOptions& options,
+                      const std::function<void()>& body) {
+  if (tls().rec != nullptr) {
+    throw std::logic_error("sched::explore may not be nested");
+  }
+  LockGraph graph;
+  ExploreResult result;
+
+  if (options.mode == Mode::Exhaustive) {
+    std::vector<int> prefix;
+    for (;;) {
+      Outcome out = run_schedule(options, &graph, prefix, false, 0, body);
+      ++result.schedules_run;
+      if (options.keep_schedules) {
+        result.schedule_decisions.push_back(
+            decisions_to_string(out.decisions));
+      }
+      if (out.verdict != Verdict::Ok) {
+        result.failures.push_back(
+            make_failure(out, result.schedules_run - 1, 0));
+        // A divergence makes DFS replay unsound; stop either way.
+        if (out.verdict == Verdict::Divergence ||
+            options.stop_on_first_failure) {
+          break;
+        }
+      }
+      if (!advance_prefix(options, out.decisions, &prefix)) {
+        result.complete = true;
+        break;
+      }
+      if (result.schedules_run >= options.max_schedules) break;
+    }
+  } else {
+    // The PCT change-point range adapts to the measured schedule length:
+    // schedule k samples its change points over schedule k-1's step count.
+    std::size_t step_hint = 64;
+    for (std::size_t k = 0; k < options.random_schedules; ++k) {
+      const std::uint64_t seed = mix(options.seed, k);
+      Outcome out =
+          run_schedule(options, &graph, {}, true, seed, body, step_hint);
+      step_hint = std::max<std::size_t>(out.step_count, 4);
+      ++result.schedules_run;
+      if (options.keep_schedules) {
+        result.schedule_decisions.push_back(
+            decisions_to_string(out.decisions));
+      }
+      if (out.verdict != Verdict::Ok) {
+        result.failures.push_back(make_failure(out, k, seed));
+        if (options.stop_on_first_failure) break;
+      }
+    }
+  }
+
+  result.lock_cycles = graph.cycle_strings();
+  return result;
+}
+
+ScheduleFailure replay(const std::string& decisions,
+                       const std::function<void()>& body) {
+  if (tls().rec != nullptr) {
+    throw std::logic_error("sched::replay may not be nested");
+  }
+  ExploreOptions options;
+  LockGraph graph;
+  Outcome out =
+      run_schedule(options, &graph, parse_decisions(decisions), false, 0,
+                   body);
+  return make_failure(out, 0, 0);
+}
+
+bool under_exploration() { return tls().rec != nullptr; }
+
+bool check(bool condition, const char* message) {
+  TlsState& state = tls();
+  if (!condition && state.rec != nullptr && state.exploration != nullptr) {
+    state.exploration->fail_check(state.rec, message);  // parks; no return
+  }
+  return condition;
+}
+
+void yield(const char* label) {
+  TlsState& state = tls();
+  if (state.rec != nullptr && state.exploration != nullptr) {
+    state.exploration->model_yield(state.rec, label);
+  }
+}
+
+int write_failure_artifacts(const ExploreResult& result,
+                            const std::string& name) {
+  const char* dir = std::getenv("PICO_SCHED_ARTIFACT_DIR");
+  if (dir == nullptr || dir[0] == '\0' || result.ok()) return 0;
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) return 0;
+  int written = 0;
+  for (std::size_t i = 0; i < result.failures.size(); ++i) {
+    const std::filesystem::path path =
+        std::filesystem::path(dir) /
+        (name + "-" + std::to_string(i) + ".txt");
+    std::ofstream file(path);
+    if (!file) continue;
+    file << result.failures[i].to_string();
+    ++written;
+  }
+  if (!result.lock_cycles.empty()) {
+    const std::filesystem::path path =
+        std::filesystem::path(dir) / (name + "-lockdep.txt");
+    std::ofstream file(path);
+    if (file) {
+      for (const std::string& cycle : result.lock_cycles) {
+        file << cycle << "\n";
+      }
+      ++written;
+    }
+  }
+  return written;
+}
+
+std::vector<std::string> global_lock_cycles() {
+  return LockGraph::global().cycle_strings();
+}
+
+ManagedThread::ManagedThread(std::function<void()> fn) {
+  TlsState& state = tls();
+  if (state.rec != nullptr && state.exploration != nullptr) {
+    exploration_ = state.exploration->shared_from_this();
+    ThreadRec* rec = exploration_->register_thread();
+    record_ = rec;
+    std::shared_ptr<Exploration> exploration = exploration_;
+    thread_ = std::thread([exploration, rec, fn = std::move(fn)] {
+      TlsState& child = tls();
+      child.exploration = exploration.get();
+      child.rec = rec;
+      exploration->thread_begin(rec);
+      try {
+        fn();
+      } catch (const std::exception& error) {
+        exploration->fail_exception(rec, error.what());
+      } catch (...) {
+        exploration->fail_exception(rec, "non-std exception");
+      }
+      exploration->thread_end(rec);
+    });
+    exploration_->spawn_point(state.rec);
+  } else {
+    thread_ = std::thread(std::move(fn));
+  }
+}
+
+void ManagedThread::join() {
+  TlsState& state = tls();
+  if (exploration_ != nullptr && state.rec != nullptr &&
+      state.exploration == exploration_.get()) {
+    exploration_->model_join(state.rec,
+                             static_cast<ThreadRec*>(record_));
+  }
+  thread_.join();
+}
+
+namespace hook {
+
+bool mutex_lock(void* mutex) {
+  TlsState& state = tls();
+  if (state.rec != nullptr && state.exploration != nullptr) {
+    state.exploration->model_lock(state.rec, mutex);
+    return true;
+  }
+  for (int i = 0; i < state.held_count; ++i) {
+    LockGraph::global().add_edge(state.held[i], mutex);
+  }
+  if (state.held_count < TlsState::kMaxHeld) {
+    state.held[state.held_count++] = mutex;
+  }
+  return false;
+}
+
+bool mutex_unlock(void* mutex) {
+  TlsState& state = tls();
+  if (state.rec != nullptr && state.exploration != nullptr) {
+    state.exploration->model_unlock(state.rec, mutex);
+    return true;
+  }
+  for (int i = state.held_count - 1; i >= 0; --i) {
+    if (state.held[i] != mutex) continue;
+    for (int j = i + 1; j < state.held_count; ++j) {
+      state.held[j - 1] = state.held[j];
+    }
+    --state.held_count;
+    break;
+  }
+  return false;
+}
+
+bool cond_wait(void* condvar, void* mutex) {
+  TlsState& state = tls();
+  if (state.rec != nullptr && state.exploration != nullptr) {
+    state.exploration->model_cond_wait(state.rec, condvar, mutex);
+    return true;
+  }
+  return false;
+}
+
+bool cond_notify(void* condvar, bool notify_all) {
+  TlsState& state = tls();
+  if (state.rec != nullptr && state.exploration != nullptr) {
+    state.exploration->model_cond_notify(state.rec, condvar, notify_all);
+    return true;
+  }
+  return false;
+}
+
+void op_label(const char* label) {
+  TlsState& state = tls();
+  if (state.rec != nullptr) state.rec->label = label;
+}
+
+}  // namespace hook
+
+}  // namespace pico::sched

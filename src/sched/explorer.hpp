@@ -1,0 +1,200 @@
+// Deterministic concurrency model checker (CHESS / loom style).
+//
+// explore(options, body) runs `body` many times.  Each run is one
+// *schedule*: the managed threads the body spawns (sched::ManagedThread,
+// i.e. pico::SchedThread under PICO_SCHED) are serialized — exactly one
+// runs at a time — and at every scheduling point (mutex acquire, condvar
+// wait/notify, thread spawn/join/end, explicit sched::yield) the explorer
+// decides who runs next.  Two drivers:
+//
+//   - Exhaustive: depth-first enumeration of every schedule whose number
+//     of *preemptions* (switching away from a runnable thread) stays
+//     within `preemption_bound` — the CHESS result is that almost all
+//     concurrency bugs show up within a bound of 2.
+//   - Random: seeded PCT-style exploration (random thread priorities plus
+//     a few random priority-change points) for models too large to
+//     enumerate.
+//
+// Detected per schedule: deadlock (every live thread blocked on a mutex or
+// join), lost wakeup (quiescence with a condvar waiter — somebody missed a
+// notify), sched::check failures, exceptions escaping a managed thread,
+// and runaway schedules (step limit).  Every failure carries a *decision
+// string* — the comma-joined list of choices the scheduler made — which
+// replay() consumes to reproduce the exact interleaving, so a failing
+// schedule printed in CI can be pinned as a regression test.
+//
+// A failing schedule is abandoned, never unwound: its threads are parked
+// forever and their resources intentionally leaked (unwinding would throw
+// through noexcept destructors like ~ThreadPool).  gtest runs each test in
+// this process, so keep at most a handful of failing explorations per
+// binary.
+//
+// Rules for model bodies:
+//   - All threads must be ManagedThread / SchedThread, spawned inside the
+//     body (closed world): a model-held Mutex provides no exclusion
+//     against a plain std::thread.  Run runtime models with PICO_THREADS=1
+//     so ThreadPool::global() spawns no real workers.
+//   - Never block on an uninstrumented primitive while holding the
+//     schedule token (e.g. no future.get() before the runtime shutdown
+//     that fulfills it) — the exploration would hang for real.
+//   - Catch exceptions the model itself expects (e.g. TransportError from
+//     a push racing a close); an escaping exception is a verdict.
+//
+// The explorer itself uses raw std primitives so its own machinery never
+// re-enters the hooks.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "sched/lockdep.hpp"
+
+namespace pico::sched {
+
+class Exploration;
+
+enum class Verdict {
+  Ok,
+  Deadlock,     // quiescent, every live thread blocked on mutex/join
+  LostWakeup,   // quiescent with at least one condvar waiter
+  CheckFailed,  // sched::check(false, ...)
+  Exception,    // exception escaped a managed thread
+  StepLimit,    // schedule exceeded max_steps scheduling points
+  Divergence,   // prescribed decision impossible: body is nondeterministic
+};
+
+const char* verdict_name(Verdict verdict);
+
+/// One failing (or, from replay(), possibly passing) schedule.
+struct ScheduleFailure {
+  Verdict verdict = Verdict::Ok;
+  std::string detail;      // human-readable description
+  std::string decisions;   // replayable decision string, e.g. "0,1,1,0"
+  std::uint64_t seed = 0;  // random-mode seed that produced the schedule
+  std::size_t schedule_index = 0;
+  std::vector<std::string> steps;  // annotated step log
+
+  std::string to_string() const;
+};
+
+enum class Mode { Exhaustive, Random };
+
+struct ExploreOptions {
+  Mode mode = Mode::Exhaustive;
+  /// Exhaustive: max forced preemptions per schedule (CHESS bound).
+  int preemption_bound = 2;
+  /// Exhaustive: hard ceiling on schedules (complete=false when hit).
+  std::size_t max_schedules = 50000;
+  /// Random: number of seeded schedules to run.
+  std::size_t random_schedules = 200;
+  /// Random: base seed; schedule k uses mix(seed, k).
+  std::uint64_t seed = 1;
+  /// Per-schedule scheduling-point budget (StepLimit verdict beyond).
+  std::size_t max_steps = 20000;
+  /// Random: PCT priority-change points per schedule.
+  int priority_change_points = 2;
+  bool stop_on_first_failure = true;
+  /// Record every schedule's decision string into
+  /// ExploreResult::schedule_decisions (for pinning schedules).
+  bool keep_schedules = false;
+};
+
+struct ExploreResult {
+  std::size_t schedules_run = 0;
+  /// Exhaustive mode: the bounded frontier was fully enumerated.
+  bool complete = false;
+  std::vector<ScheduleFailure> failures;
+  /// Lock-order cycles accumulated across all schedules (lockdep): these
+  /// fire even when no explored schedule deadlocked.
+  std::vector<std::string> lock_cycles;
+  /// Decision string per executed schedule (keep_schedules only).
+  std::vector<std::string> schedule_decisions;
+
+  bool ok() const { return failures.empty() && lock_cycles.empty(); }
+  std::string summary() const;
+};
+
+/// Run `body` under systematic schedule exploration.  Must not be nested.
+ExploreResult explore(const ExploreOptions& options,
+                      const std::function<void()>& body);
+
+/// Re-run `body` once under a prescribed decision string (as printed in a
+/// ScheduleFailure).  Returns the schedule's record: verdict Ok means the
+/// pinned interleaving passes; `decisions` echoes the choices actually
+/// made (equal to `decisions` argument when the replay tracked it
+/// exactly); verdict Divergence means the body no longer takes the pinned
+/// path.
+ScheduleFailure replay(const std::string& decisions,
+                       const std::function<void()>& body);
+
+/// True on a managed thread inside an active exploration.
+bool under_exploration();
+
+/// Model assertion: under exploration a failure records a CheckFailed
+/// verdict and abandons the schedule (the calling thread parks and never
+/// returns).  Outside exploration, returns `condition` so callers may
+/// still assert on it.
+bool check(bool condition, const char* message);
+
+/// Explicit scheduling point (models a racy plain-memory access in toy
+/// models).  No-op outside exploration.
+void yield(const char* label = "yield");
+
+/// Write `result`'s failures as text files under $PICO_SCHED_ARTIFACT_DIR
+/// (one per failure, named <name>-<k>.txt) so CI can upload them.  No-op
+/// when the env var is unset or the result is clean.  Returns the number
+/// of files written.
+int write_failure_artifacts(const ExploreResult& result,
+                            const std::string& name);
+
+/// Lock-order cycles seen by *pass-through* (non-explored) lock
+/// operations since process start — the whole-binary lockdep check.
+std::vector<std::string> global_lock_cycles();
+
+/// Drop-in std::thread replacement that registers with the active
+/// exploration when constructed on a managed thread; otherwise behaves
+/// exactly like std::thread.  pico::SchedThread aliases this under
+/// PICO_SCHED.
+class ManagedThread {
+ public:
+  ManagedThread() = default;
+  explicit ManagedThread(std::function<void()> fn);
+  ManagedThread(ManagedThread&&) noexcept = default;
+  ManagedThread& operator=(ManagedThread&&) = default;
+  ManagedThread(const ManagedThread&) = delete;
+  ManagedThread& operator=(const ManagedThread&) = delete;
+  /// Like std::thread: terminates if still joinable.
+  ~ManagedThread() = default;
+
+  bool joinable() const { return thread_.joinable(); }
+  void join();
+
+ private:
+  std::thread thread_;
+  std::shared_ptr<Exploration> exploration_;
+  void* record_ = nullptr;
+};
+
+namespace hook {
+
+/// Instrumentation entry points called by the pico::Mutex / CondVar
+/// wrappers (see common/mutex.hpp).  Each returns true when the operation
+/// was *modeled* (managed thread inside an exploration) and the real
+/// primitive must be skipped; false means pass through.  Pass-through
+/// lock/unlock still feed the global lockdep graph.
+bool mutex_lock(void* mutex);
+bool mutex_unlock(void* mutex);
+bool cond_wait(void* condvar, void* mutex);
+bool cond_notify(void* condvar, bool notify_all);
+
+/// Label the current thread's next scheduling points (PICO_SCHED_OP): pure
+/// annotation for step logs, never a scheduling point itself.
+void op_label(const char* label);
+
+}  // namespace hook
+
+}  // namespace pico::sched

@@ -1,0 +1,35 @@
+// PICO_SCHED seam: always includable, zero overhead when the flag is off.
+//
+//  - pico::SchedThread — std::thread normally; sched::ManagedThread under
+//    PICO_SCHED, so every thread the runtime spawns (pool workers, device
+//    workers, stage coordinators) registers with an active schedule
+//    exploration and is serialized by the explorer.
+//  - PICO_SCHED_OP("label") — annotates the current thread's next
+//    scheduling points for the explorer's step log; compiles to nothing
+//    without PICO_SCHED.  Never itself a scheduling point.
+//
+// The Mutex/CondVar wrappers in common/mutex.hpp call sched::hook::*
+// directly (guarded by #ifdef PICO_SCHED) rather than through this header.
+#pragma once
+
+#ifdef PICO_SCHED
+
+#include "sched/explorer.hpp"
+
+namespace pico {
+using SchedThread = ::pico::sched::ManagedThread;
+}  // namespace pico
+
+#define PICO_SCHED_OP(label) ::pico::sched::hook::op_label(label)
+
+#else  // !PICO_SCHED
+
+#include <thread>
+
+namespace pico {
+using SchedThread = ::std::thread;
+}  // namespace pico
+
+#define PICO_SCHED_OP(label) ((void)0)
+
+#endif  // PICO_SCHED

@@ -1,0 +1,176 @@
+#include "sched/lockdep.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <functional>
+
+namespace pico::sched {
+
+namespace {
+
+struct NameRegistry {
+  std::mutex mutex;
+  std::map<const void*, std::string> names;
+
+  static NameRegistry& instance() {
+    static NameRegistry* registry = new NameRegistry;
+    return *registry;
+  }
+};
+
+}  // namespace
+
+void name_object(const void* object, std::string name) {
+  NameRegistry& registry = NameRegistry::instance();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  registry.names[object] = std::move(name);
+}
+
+std::string object_name(const void* object) {
+  NameRegistry& registry = NameRegistry::instance();
+  {
+    std::lock_guard<std::mutex> lock(registry.mutex);
+    auto it = registry.names.find(object);
+    if (it != registry.names.end()) return it->second;
+  }
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "Mutex@%p", object);
+  return buffer;
+}
+
+void LockGraph::add_edge(const void* held, const void* acquired) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  edges_[held].insert(acquired);
+}
+
+void LockGraph::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  edges_.clear();
+}
+
+std::size_t LockGraph::edge_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t count = 0;
+  for (const auto& [node, successors] : edges_) count += successors.size();
+  return count;
+}
+
+std::vector<std::vector<const void*>> LockGraph::cycles() const {
+  std::map<const void*, std::set<const void*>> edges;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    edges = edges_;
+  }
+
+  // Tarjan SCC over the (small) graph.  Any SCC with more than one node
+  // contains a cycle; a self-loop is a one-node cycle.
+  struct NodeInfo {
+    int index = -1;
+    int lowlink = -1;
+    bool on_stack = false;
+  };
+  std::map<const void*, NodeInfo> info;
+  std::vector<const void*> stack;
+  std::vector<std::vector<const void*>> components;
+  int next_index = 0;
+
+  std::function<void(const void*)> strongconnect =
+      [&](const void* node) {
+        NodeInfo& me = info[node];
+        me.index = me.lowlink = next_index++;
+        me.on_stack = true;
+        stack.push_back(node);
+        auto it = edges.find(node);
+        if (it != edges.end()) {
+          for (const void* next : it->second) {
+            NodeInfo& other = info[next];
+            if (other.index < 0) {
+              strongconnect(next);
+              me.lowlink = std::min(me.lowlink, info[next].lowlink);
+            } else if (other.on_stack) {
+              me.lowlink = std::min(me.lowlink, other.index);
+            }
+          }
+        }
+        if (me.lowlink == me.index) {
+          std::vector<const void*> component;
+          for (;;) {
+            const void* popped = stack.back();
+            stack.pop_back();
+            info[popped].on_stack = false;
+            component.push_back(popped);
+            if (popped == node) break;
+          }
+          components.push_back(std::move(component));
+        }
+      };
+
+  for (const auto& [node, successors] : edges) {
+    if (info[node].index < 0) strongconnect(node);
+    for (const void* next : successors) {
+      if (info[next].index < 0) strongconnect(next);
+    }
+  }
+
+  std::vector<std::vector<const void*>> result;
+  for (std::vector<const void*>& component : components) {
+    const bool self_loop =
+        component.size() == 1 && edges[component[0]].count(component[0]) > 0;
+    if (component.size() < 2 && !self_loop) continue;
+    std::sort(component.begin(), component.end());
+    // Walk an actual cycle inside the component, starting from its
+    // smallest node, always stepping to the smallest in-component
+    // successor not yet visited (falling back to the start to close).
+    const void* start = component[0];
+    std::set<const void*> in_component(component.begin(), component.end());
+    std::vector<const void*> path{start};
+    std::set<const void*> visited{start};
+    const void* current = start;
+    while (true) {
+      const void* next = nullptr;
+      for (const void* candidate : edges[current]) {
+        if (candidate == start && path.size() > 1) {
+          next = start;
+          break;
+        }
+        if (in_component.count(candidate) > 0 &&
+            visited.count(candidate) == 0) {
+          next = candidate;
+          break;
+        }
+        if (candidate == start && self_loop) {
+          next = start;
+          break;
+        }
+      }
+      if (next == nullptr) break;  // defensive: dense SCC shortcut missed
+      path.push_back(next);
+      if (next == start) break;
+      visited.insert(next);
+      current = next;
+    }
+    if (path.back() != start) path.push_back(start);
+    result.push_back(std::move(path));
+  }
+  return result;
+}
+
+std::vector<std::string> LockGraph::cycle_strings() const {
+  std::vector<std::string> result;
+  for (const std::vector<const void*>& cycle : cycles()) {
+    std::string text;
+    for (std::size_t i = 0; i < cycle.size(); ++i) {
+      if (i > 0) text += " -> ";
+      text += object_name(cycle[i]);
+    }
+    result.push_back(std::move(text));
+  }
+  return result;
+}
+
+LockGraph& LockGraph::global() {
+  static LockGraph* graph = new LockGraph;
+  return *graph;
+}
+
+}  // namespace pico::sched

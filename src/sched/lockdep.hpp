@@ -1,0 +1,58 @@
+// Lockdep-style lock-order verification.
+//
+// Every Mutex acquisition records "acquired while holding" edges into a
+// LockGraph; a cycle in that graph (A taken while holding B on one path, B
+// taken while holding A on another) is a potential deadlock even if no
+// explored schedule actually deadlocked — the two paths only have to
+// overlap in time once in production.  The explorer feeds one graph per
+// explore() call (managed threads); the instrumented wrappers additionally
+// feed a process-global graph from ordinary threads, so a whole test binary
+// accumulates its real lock order for a final check.
+//
+// Implementation note: this layer uses raw std primitives on purpose — it
+// is called from inside the pico::Mutex hooks and must not recurse into
+// them.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace pico::sched {
+
+/// Human-readable name for a lock (or any sync object) address.  Unnamed
+/// objects format as "Mutex@0x...".
+void name_object(const void* object, std::string name);
+std::string object_name(const void* object);
+
+/// Directed graph over lock addresses: edge held -> acquired means
+/// `acquired` was taken while `held` was held.  Internally synchronized;
+/// safe to feed from concurrent (unmanaged) threads.
+class LockGraph {
+ public:
+  void add_edge(const void* held, const void* acquired);
+  void clear();
+
+  std::size_t edge_count() const;
+
+  /// Every elementary cycle family, one representative per strongly
+  /// connected component with >= 2 nodes (plus self-loops).  Nodes are
+  /// listed in a deterministic order with the closing node repeated, e.g.
+  /// {A, B, A}.
+  std::vector<std::vector<const void*>> cycles() const;
+
+  /// cycles() rendered with object_name(): "A -> B -> A".
+  std::vector<std::string> cycle_strings() const;
+
+  /// Graph fed by non-explored (pass-through) lock operations.
+  static LockGraph& global();
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<const void*, std::set<const void*>> edges_;
+};
+
+}  // namespace pico::sched

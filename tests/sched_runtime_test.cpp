@@ -1,0 +1,378 @@
+// Systematic exploration of the real runtime's concurrency: BoundedQueue
+// producer/consumer/close races (exhaustively, with a preemption bound),
+// ThreadPool nested self-drain and exception propagation, Worker shutdown
+// racing a control-plane harvester, and the pipeline/adaptive runtimes
+// under randomized (PCT) schedules.  Pinned decision strings at the bottom
+// keep the nastiest interleavings we found as replayable regressions.
+// Only built under the PICO_SCHED preset.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <optional>
+#include <stdexcept>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "common/thread_pool.hpp"
+#include "core/planner.hpp"
+#include "models/zoo.hpp"
+#include "nn/executor.hpp"
+#include "runtime/adaptive_runtime.hpp"
+#include "runtime/channel.hpp"
+#include "runtime/message.hpp"
+#include "runtime/pipeline.hpp"
+#include "runtime/transport.hpp"
+#include "runtime/worker.hpp"
+#include "sched/explorer.hpp"
+#include "sched/hooks.hpp"
+
+namespace pico {
+namespace {
+
+using runtime::BoundedQueue;
+using runtime::Message;
+using runtime::MessageType;
+
+// The explorer serializes the managed threads, so real parallelism inside
+// a schedule only adds uninstrumented blocking.  Force every inner
+// ThreadPool to be inline before any test allocates the global pool.
+const bool kForceSingleThread = [] {
+  setenv("PICO_THREADS", "1", 1);
+  return true;
+}();
+
+void expect_clean(const sched::ExploreResult& result, const char* name) {
+  if (!result.ok()) sched::write_failure_artifacts(result, name);
+  EXPECT_TRUE(result.ok()) << result.summary();
+}
+
+// --- BoundedQueue ------------------------------------------------------
+
+// Two threads, capacity 1: the producer fills past capacity (so push
+// blocks), then closes; the consumer drains to nullopt.  Small enough to
+// explore exhaustively.
+void queue_two_thread_body() {
+  auto* queue = new BoundedQueue<int>(1);  // leaked if a schedule fails
+  sched::name_object(queue, "queue");
+  SchedThread producer([queue] {
+    queue->push(1);
+    queue->push(2);
+    queue->close();
+  });
+  SchedThread consumer([queue] {
+    std::vector<int> got;
+    while (std::optional<int> value = queue->pop()) got.push_back(*value);
+    sched::check(got == std::vector<int>({1, 2}),
+                 "consumer must see exactly 1,2 in order");
+    sched::check(queue->pop() == std::nullopt,
+                 "pop after drained close must stay nullopt");
+  });
+  producer.join();
+  consumer.join();
+  delete queue;
+}
+
+TEST(SchedRuntime, BoundedQueueTwoThreadsExhaustive) {
+  sched::ExploreOptions options;
+  options.mode = sched::Mode::Exhaustive;
+  options.preemption_bound = 2;
+  sched::ExploreResult result =
+      sched::explore(options, queue_two_thread_body);
+  EXPECT_TRUE(result.complete)
+      << "exploration did not finish: " << result.summary();
+  expect_clean(result, "queue-two-threads");
+}
+
+// Three threads racing push/pop/close: close arrives from a third thread
+// at an arbitrary point, so pushes may throw TransportError and the
+// consumer may see any prefix of 1,2 — but never a reordering, and never
+// a value after nullopt.
+void queue_close_race_body() {
+  auto* queue = new BoundedQueue<int>(1);  // leaked if a schedule fails
+  SchedThread producer([queue] {
+    try {
+      queue->push(1);
+      queue->push(2);
+    } catch (const TransportError&) {
+      // Racing close won; expected.
+    }
+  });
+  SchedThread closer([queue] { queue->close(); });
+  SchedThread consumer([queue] {
+    std::vector<int> got;
+    while (std::optional<int> value = queue->pop()) got.push_back(*value);
+    const bool prefix = got.empty() || got == std::vector<int>({1}) ||
+                        got == std::vector<int>({1, 2});
+    sched::check(prefix, "consumer must see a prefix of 1,2");
+  });
+  producer.join();
+  closer.join();
+  consumer.join();
+  delete queue;
+}
+
+TEST(SchedRuntime, BoundedQueueCloseRaceExhaustive) {
+  sched::ExploreOptions options;
+  options.mode = sched::Mode::Exhaustive;
+  options.preemption_bound = 2;
+  options.keep_schedules = true;
+  sched::ExploreResult result =
+      sched::explore(options, queue_close_race_body);
+  EXPECT_TRUE(result.complete)
+      << "exploration did not finish: " << result.summary();
+  expect_clean(result, "queue-close-race");
+  if (getenv("PICO_SCHED_PRINT_SCHEDULES") != nullptr) {
+    // Dev aid for refreshing PinnedCloseRaceSchedules: dump the deepest
+    // decision strings this exhaustive run produced.
+    std::vector<std::string> all = result.schedule_decisions;
+    std::sort(all.begin(), all.end(),
+              [](const std::string& a, const std::string& b) {
+                return a.size() > b.size();
+              });
+    for (std::size_t i = 0; i < all.size() && i < 5; ++i) {
+      std::fprintf(stderr, "schedule[%zu] = \"%s\"\n", i, all[i].c_str());
+    }
+  }
+}
+
+// --- ThreadPool --------------------------------------------------------
+
+// A pool task that itself calls parallel_for (the nested caller drains the
+// queue, so progress must not depend on a free worker), plus the exception
+// path: the first thrown error must come out of the submitting call after
+// every task has finished.
+void thread_pool_body() {
+  auto* pool = new ThreadPool(2);  // leaked if a schedule fails
+  auto* outer = new int(0);
+  auto* inner = new int(0);
+  pool->parallel_for(2, [&](int index) {
+    if (index == 0) {
+      pool->parallel_for(2, [&](int) { ++*inner; });
+    }
+    ++*outer;
+  });
+  sched::check(*outer == 2 && *inner == 2,
+               "nested parallel_for must run every task exactly once");
+  bool threw = false;
+  try {
+    pool->parallel_for(2, [](int index) {
+      if (index == 1) throw std::runtime_error("task failure");
+    });
+  } catch (const std::runtime_error&) {
+    threw = true;
+  }
+  sched::check(threw, "parallel_for must rethrow a task exception");
+  delete outer;
+  delete inner;
+  delete pool;  // drains + joins the worker
+}
+
+TEST(SchedRuntime, ThreadPoolNestedAndExceptionRandom) {
+  sched::ExploreOptions options;
+  options.mode = sched::Mode::Random;
+  options.random_schedules = 60;
+  options.seed = 7;
+  sched::ExploreResult result = sched::explore(options, thread_pool_body);
+  expect_clean(result, "thread-pool");
+}
+
+// --- Worker shutdown vs control-plane harvest --------------------------
+
+const nn::Graph& worker_graph() {
+  static const nn::Graph* graph = [] {
+    auto* g = new nn::Graph(models::toy_mnist({.input_size = 16}));
+    Rng rng(5);
+    g->randomize_weights(rng);
+    return g;
+  }();
+  return *graph;
+}
+
+// A harvester thread runs the Ping + TraceDump control plane while the
+// owner stops the worker.  Every message op may lose the race to the
+// close; TransportError is the documented clean outcome on both sides.
+void worker_shutdown_body() {
+  auto [coordinator_end, worker_end] = runtime::make_inproc_pair();
+  auto* worker = new runtime::Worker(worker_graph(),
+                                     std::move(worker_end), 0);
+  auto* harvester_end =
+      new std::unique_ptr<runtime::Connection>(std::move(coordinator_end));
+  worker->start();
+  SchedThread harvester([harvester_end] {
+    try {
+      Message ping;
+      ping.type = MessageType::Ping;
+      ping.t_origin_ns = 1;
+      (*harvester_end)->send(ping);
+      Message pong = (*harvester_end)->recv();
+      sched::check(pong.type == MessageType::Pong,
+                   "Ping must be answered by Pong");
+      sched::check(pong.t_origin_ns == 1, "Pong must echo t1");
+      Message dump;
+      dump.type = MessageType::TraceDump;
+      (*harvester_end)->send(dump);
+      Message spans = (*harvester_end)->recv();
+      sched::check(spans.type == MessageType::TraceDump,
+                   "TraceDump must be answered in kind");
+    } catch (const TransportError&) {
+      // The worker shut down mid-harvest; expected.
+    }
+  });
+  worker->stop();  // close + join races against the harvest
+  harvester.join();
+  delete worker;
+  delete harvester_end;
+}
+
+TEST(SchedRuntime, WorkerShutdownVsHarvestRandom) {
+  sched::ExploreOptions options;
+  options.mode = sched::Mode::Random;
+  options.random_schedules = 40;
+  options.seed = 11;
+  options.max_steps = 100000;
+  sched::ExploreResult result = sched::explore(options,
+                                               worker_shutdown_body);
+  expect_clean(result, "worker-shutdown");
+}
+
+// --- Pipeline / adaptive runtime ---------------------------------------
+
+NetworkModel test_network() {
+  NetworkModel net;
+  net.bandwidth = 50e6 / 8.0;
+  net.per_message_overhead = 1e-3;
+  return net;
+}
+
+struct RuntimeModel {
+  nn::Graph graph;
+  Cluster cluster;
+  Tensor input;
+  Tensor reference;
+  std::vector<adaptive::Candidate> candidates;
+
+  RuntimeModel()
+      : graph(models::toy_mnist({.input_size = 16})),
+        cluster(Cluster::paper_heterogeneous()) {
+    Rng rng(91);
+    graph.randomize_weights(rng);
+    input = Tensor(graph.input_shape());
+    input.randomize(rng);
+    reference = nn::execute(graph, input);
+    const NetworkModel net = test_network();
+    candidates = {
+        adaptive::make_candidate(graph, cluster, net,
+                                 plan(graph, cluster, net,
+                                      Scheme::OptimalFused)),
+        adaptive::make_candidate(graph, cluster, net,
+                                 plan(graph, cluster, net, Scheme::Pico)),
+    };
+  }
+
+  static const RuntimeModel& get() {
+    static const RuntimeModel* model = new RuntimeModel;
+    return *model;
+  }
+};
+
+// Real inferences racing the drain: submit, shutdown (which joins every
+// coordinator and worker under the model), then collect the futures —
+// collecting only after shutdown keeps the root thread off uninstrumented
+// std::future waits.  Randomized: the runtime reads wall clocks, so its
+// branch structure is not schedule-deterministic.
+void pipeline_body() {
+  const RuntimeModel& model = RuntimeModel::get();
+  auto* rt = new runtime::PipelineRuntime(
+      model.graph, model.candidates[1].plan,
+      runtime::RuntimeOptions{.harvest_pings = 1});
+  auto futures = new std::vector<std::future<Tensor>>;
+  futures->push_back(rt->submit(model.input));
+  futures->push_back(rt->submit(model.input));
+  rt->shutdown();
+  for (std::future<Tensor>& f : *futures) {
+    sched::check(
+        Tensor::max_abs_diff(f.get(), model.reference) == 0.0f,
+        "pipeline output must stay bit-exact under every schedule");
+  }
+  sched::check(rt->tasks_completed() == 2, "both tasks must complete");
+  delete futures;
+  delete rt;
+}
+
+TEST(SchedRuntime, PipelineSubmitVsShutdownRandom) {
+  sched::ExploreOptions options;
+  options.mode = sched::Mode::Random;
+  options.random_schedules = 8;
+  options.seed = 23;
+  options.max_steps = 2000000;
+  sched::ExploreResult result = sched::explore(options, pipeline_body);
+  expect_clean(result, "pipeline");
+}
+
+// Plan switching vs in-flight tasks: a nanosecond window forces a
+// re-evaluation on practically every submit, so the drain-then-swap path
+// races the tasks still inside the active PipelineRuntime.
+void adaptive_body() {
+  const RuntimeModel& model = RuntimeModel::get();
+  auto* rt = new runtime::AdaptiveRuntime(
+      model.graph, model.candidates,
+      {.beta = 1.0,
+       .window = 1e-9,
+       .runtime = runtime::RuntimeOptions{.harvest_pings = 1}});
+  auto futures = new std::vector<std::future<Tensor>>;
+  for (int i = 0; i < 3; ++i) futures->push_back(rt->submit(model.input));
+  rt->shutdown();
+  for (std::future<Tensor>& f : *futures) {
+    sched::check(
+        Tensor::max_abs_diff(f.get(), model.reference) == 0.0f,
+        "adaptive output must stay bit-exact across plan switches");
+  }
+  delete futures;
+  delete rt;
+}
+
+TEST(SchedRuntime, AdaptiveSwitchVsInFlightRandom) {
+  sched::ExploreOptions options;
+  options.mode = sched::Mode::Random;
+  options.random_schedules = 6;
+  options.seed = 29;
+  options.max_steps = 2000000;
+  sched::ExploreResult result = sched::explore(options, adaptive_body);
+  expect_clean(result, "adaptive");
+}
+
+// --- pinned schedules --------------------------------------------------
+
+// The three nastiest passing interleavings the exhaustive close-race run
+// produced (most context switches / deepest decision strings), pinned as
+// replayable regressions.  If a future change makes any of them fail or
+// diverge, the replay prints the full step trace.
+TEST(SchedRuntime, PinnedCloseRaceSchedules) {
+  const char* pinned[] = {
+      "0,0,3,3,2,0,1,1,1,3,3,1,3,3,2,3",
+      "0,0,3,3,1,1,1,0,3,3,1,0,2,2,3,3",
+      "0,0,3,3,1,1,1,0,2,3,3,1,3,3,2,3",
+  };
+  for (const char* decisions : pinned) {
+    sched::ScheduleFailure outcome =
+        sched::replay(decisions, queue_close_race_body);
+    EXPECT_EQ(outcome.verdict, sched::Verdict::Ok)
+        << "pinned schedule [" << decisions
+        << "] no longer passes:\n" << outcome.to_string();
+  }
+}
+
+// Runs last: across everything above, the pass-through lockdep hooks (the
+// ones live even outside explore()) must never have observed a lock-order
+// cycle in the real runtime.
+TEST(SchedRuntime, ZGlobalLockOrderGraphIsAcyclic) {
+  const std::vector<std::string> cycles = sched::global_lock_cycles();
+  EXPECT_TRUE(cycles.empty()) << cycles.front();
+}
+
+}  // namespace
+}  // namespace pico

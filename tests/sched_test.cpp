@@ -1,0 +1,273 @@
+// Explorer self-test: seeded toy bugs the checker must catch (textbook
+// lock-order deadlock, missed notify, lost update on a bare flag), the
+// lockdep cycle report, replay determinism, and divergence detection.
+// Only built under the PICO_SCHED preset.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "common/mutex.hpp"
+#include "sched/explorer.hpp"
+#include "sched/hooks.hpp"
+
+namespace pico {
+namespace {
+
+sched::ExploreOptions exhaustive() {
+  sched::ExploreOptions options;
+  options.mode = sched::Mode::Exhaustive;
+  options.preemption_bound = 2;
+  return options;
+}
+
+bool has_verdict(const sched::ExploreResult& result,
+                 sched::Verdict verdict) {
+  for (const sched::ScheduleFailure& failure : result.failures) {
+    if (failure.verdict == verdict) return true;
+  }
+  return false;
+}
+
+// --- toy 1: AB/BA deadlock ---------------------------------------------
+
+struct TwoLocks {
+  Mutex a;
+  Mutex b;
+};
+
+void deadlock_toy_body() {
+  // Leaked on purpose: a failing schedule parks its threads forever, and
+  // they still hold pointers into the model's state.
+  auto* locks = new TwoLocks;
+  sched::name_object(&locks->a, "A");
+  sched::name_object(&locks->b, "B");
+  SchedThread first([locks] {
+    MutexLock hold_a(locks->a);
+    MutexLock hold_b(locks->b);
+  });
+  SchedThread second([locks] {
+    MutexLock hold_b(locks->b);
+    MutexLock hold_a(locks->a);
+  });
+  first.join();
+  second.join();
+}
+
+TEST(SchedExplorer, CatchesTextbookDeadlock) {
+  sched::ExploreResult result = sched::explore(exhaustive(),
+                                               deadlock_toy_body);
+  ASSERT_FALSE(result.failures.empty()) << result.summary();
+  EXPECT_TRUE(has_verdict(result, sched::Verdict::Deadlock))
+      << result.summary();
+  // The failing schedule must be replayable from its decision string.
+  const sched::ScheduleFailure& failure = result.failures.front();
+  ASSERT_FALSE(failure.decisions.empty());
+  sched::ScheduleFailure again =
+      sched::replay(failure.decisions, deadlock_toy_body);
+  EXPECT_EQ(again.verdict, sched::Verdict::Deadlock) << again.to_string();
+}
+
+TEST(SchedExplorer, LockdepReportsAbBaCycle) {
+  sched::ExploreResult result = sched::explore(exhaustive(),
+                                               deadlock_toy_body);
+  ASSERT_FALSE(result.lock_cycles.empty()) << result.summary();
+  const std::string& cycle = result.lock_cycles.front();
+  EXPECT_NE(cycle.find("A"), std::string::npos) << cycle;
+  EXPECT_NE(cycle.find("B"), std::string::npos) << cycle;
+}
+
+TEST(SchedExplorer, ConsistentLockOrderIsClean) {
+  sched::ExploreResult result = sched::explore(exhaustive(), [] {
+    auto* locks = new TwoLocks;
+    SchedThread first([locks] {
+      MutexLock hold_a(locks->a);
+      MutexLock hold_b(locks->b);
+    });
+    SchedThread second([locks] {
+      MutexLock hold_a(locks->a);
+      MutexLock hold_b(locks->b);
+    });
+    first.join();
+    second.join();
+    delete locks;
+  });
+  EXPECT_TRUE(result.complete) << result.summary();
+  EXPECT_TRUE(result.ok()) << result.summary();
+}
+
+TEST(SchedExplorer, LockdepFiresOnNonDeadlockingSchedule) {
+  // Single-threaded: no schedule can deadlock, but the acquisition orders
+  // A-then-B and B-then-A both happen, so the cycle is still a report.
+  sched::ExploreResult result = sched::explore(exhaustive(), [] {
+    TwoLocks locks;
+    sched::name_object(&locks.a, "A");
+    sched::name_object(&locks.b, "B");
+    {
+      MutexLock hold_a(locks.a);
+      MutexLock hold_b(locks.b);
+    }
+    {
+      MutexLock hold_b(locks.b);
+      MutexLock hold_a(locks.a);
+    }
+  });
+  EXPECT_TRUE(result.failures.empty()) << result.summary();
+  EXPECT_FALSE(result.lock_cycles.empty()) << result.summary();
+  EXPECT_FALSE(result.ok());
+}
+
+// --- toy 2: missed notify ----------------------------------------------
+
+struct NotifyToy {
+  Mutex m;
+  CondVar cv;
+  bool flag = false;
+  bool waiter = false;
+};
+
+void missed_notify_body() {
+  auto* toy = new NotifyToy;  // leaked on purpose (see deadlock toy)
+  sched::name_object(&toy->cv, "flag_cv");
+  SchedThread waiter([toy] {
+    MutexLock lock(toy->m);
+    toy->waiter = true;
+    while (!toy->flag) toy->cv.wait(toy->m);
+  });
+  SchedThread setter([toy] {
+    // BUG: reads `waiter` without the lock, so it can observe "nobody
+    // waiting" while the waiter is committing to its wait.
+    const bool someone = toy->waiter;
+    {
+      MutexLock lock(toy->m);
+      toy->flag = true;
+    }
+    if (someone) toy->cv.notify_one();
+  });
+  waiter.join();
+  setter.join();
+}
+
+TEST(SchedExplorer, CatchesMissedNotify) {
+  sched::ExploreResult result = sched::explore(exhaustive(),
+                                               missed_notify_body);
+  ASSERT_FALSE(result.failures.empty()) << result.summary();
+  EXPECT_TRUE(has_verdict(result, sched::Verdict::LostWakeup))
+      << result.summary();
+  const sched::ScheduleFailure& failure = result.failures.front();
+  sched::ScheduleFailure again =
+      sched::replay(failure.decisions, missed_notify_body);
+  EXPECT_EQ(again.verdict, sched::Verdict::LostWakeup) << again.to_string();
+}
+
+TEST(SchedExplorer, UnconditionalNotifyIsClean) {
+  sched::ExploreResult result = sched::explore(exhaustive(), [] {
+    NotifyToy toy;
+    SchedThread waiter([&toy] {
+      MutexLock lock(toy.m);
+      while (!toy.flag) toy.cv.wait(toy.m);
+    });
+    SchedThread setter([&toy] {
+      {
+        MutexLock lock(toy.m);
+        toy.flag = true;
+      }
+      toy.cv.notify_one();
+    });
+    waiter.join();
+    setter.join();
+  });
+  EXPECT_TRUE(result.complete) << result.summary();
+  EXPECT_TRUE(result.ok()) << result.summary();
+}
+
+// --- toy 3: lost update on a bare flag ---------------------------------
+
+void flag_race_body() {
+  auto* counter = new int(0);  // leaked on purpose (see deadlock toy)
+  auto bump = [counter] {
+    const int seen = *counter;
+    sched::yield("between read and write");
+    *counter = seen + 1;
+  };
+  SchedThread first(bump);
+  SchedThread second(bump);
+  first.join();
+  second.join();
+  sched::check(*counter == 2, "increment lost");
+  delete counter;
+}
+
+TEST(SchedExplorer, CatchesLostUpdateOnBareFlag) {
+  sched::ExploreResult result = sched::explore(exhaustive(),
+                                               flag_race_body);
+  ASSERT_FALSE(result.failures.empty()) << result.summary();
+  EXPECT_TRUE(has_verdict(result, sched::Verdict::CheckFailed))
+      << result.summary();
+  const sched::ScheduleFailure& failure = result.failures.front();
+  sched::ScheduleFailure again =
+      sched::replay(failure.decisions, flag_race_body);
+  EXPECT_EQ(again.verdict, sched::Verdict::CheckFailed)
+      << again.to_string();
+}
+
+// --- replay / determinism ----------------------------------------------
+
+TEST(SchedExplorer, SameSeedSameSchedulesSameVerdict) {
+  sched::ExploreOptions options;
+  options.mode = sched::Mode::Random;
+  options.random_schedules = 40;
+  options.seed = 12345;
+  sched::ExploreResult first = sched::explore(options, flag_race_body);
+  sched::ExploreResult second = sched::explore(options, flag_race_body);
+  ASSERT_EQ(first.failures.size(), second.failures.size());
+  ASSERT_FALSE(first.failures.empty()) << first.summary();
+  EXPECT_EQ(first.failures[0].verdict, second.failures[0].verdict);
+  EXPECT_EQ(first.failures[0].decisions, second.failures[0].decisions);
+  EXPECT_EQ(first.failures[0].schedule_index,
+            second.failures[0].schedule_index);
+  EXPECT_EQ(first.failures[0].seed, second.failures[0].seed);
+}
+
+TEST(SchedExplorer, ImpossiblePrescriptionIsDivergence) {
+  sched::ScheduleFailure failure = sched::replay("99,99", flag_race_body);
+  EXPECT_EQ(failure.verdict, sched::Verdict::Divergence)
+      << failure.to_string();
+}
+
+TEST(SchedExplorer, ReplayOfCleanModelPasses) {
+  sched::ScheduleFailure failure = sched::replay("", [] {
+    Mutex m;
+    int value = 0;
+    SchedThread worker([&] {
+      MutexLock lock(m);
+      value = 1;
+    });
+    worker.join();
+    MutexLock lock(m);
+    sched::check(value == 1, "write visible after join");
+  });
+  EXPECT_EQ(failure.verdict, sched::Verdict::Ok) << failure.to_string();
+}
+
+// --- failure artifacts --------------------------------------------------
+
+TEST(SchedExplorer, WritesFailureArtifacts) {
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() / "pico-sched-artifacts";
+  std::filesystem::remove_all(dir);
+  setenv("PICO_SCHED_ARTIFACT_DIR", dir.c_str(), 1);
+  sched::ExploreResult result = sched::explore(exhaustive(),
+                                               deadlock_toy_body);
+  const int written = sched::write_failure_artifacts(result, "toy");
+  unsetenv("PICO_SCHED_ARTIFACT_DIR");
+  ASSERT_FALSE(result.failures.empty());
+  EXPECT_GE(written, 1);
+  EXPECT_TRUE(std::filesystem::exists(dir / "toy-0.txt"));
+}
+
+}  // namespace
+}  // namespace pico

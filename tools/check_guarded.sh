@@ -1,0 +1,78 @@
+#!/usr/bin/env bash
+# Guarded-state lint: every mutable data member of the concurrent runtime
+# classes must carry an explicit concurrency discipline.  A member
+# declaration (trailing-underscore name) in the scanned headers passes iff
+# the line
+#
+#   - is annotated PICO_GUARDED_BY(...) (clang -Wthread-safety checks it), or
+#   - is a std::atomic, or
+#   - is const / static / a Mutex / a CondVar (synchronization primitives
+#     and immutable state need no guard), or
+#   - carries `// sched-exempt: <reason>` on the same or preceding line, or
+#   - sits inside a `// sched-exempt-begin: <reason>` ... `// sched-exempt-end`
+#     block (for classes whose whole private section shares one discipline).
+#
+# Anything else is an unguarded mutable member — the class of state the
+# PICO_SCHED explorer exists to catch races on — and fails the lint.
+#
+# Pure bash + awk (no clang needed), so unlike the format/tidy gates this
+# one never SKIPs.
+#
+# usage: tools/check_guarded.sh
+set -u -o pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+
+files=("$repo_root"/src/runtime/*.hpp "$repo_root"/src/common/thread_pool.hpp)
+
+echo "check_guarded: ${#files[@]} file(s)"
+
+fail=0
+for file in "${files[@]}"; do
+  out="$(awk '
+    # Track sched-exempt block scopes.
+    /\/\/ *sched-exempt-begin:/ { in_block = 1 }
+    /\/\/ *sched-exempt-end/    { in_block = 0 }
+
+    {
+      line = $0
+      # A sched-exempt comment covers the next code line, carrying across
+      # the rest of a multi-line comment.
+      if (line ~ /^[ \t]*\/\//) {
+        if (line ~ /\/\/ *sched-exempt:/) pending = 1
+        prev_exempt = 0
+      } else {
+        prev_exempt = pending
+        pending = 0
+      }
+    }
+
+    # A member declaration: optional indentation, a type, then an
+    # identifier ending in `_` followed by an initializer, annotation, or
+    # semicolon.  Locals never have trailing underscores in this codebase
+    # (Google style), so headers only match real members.
+    /^[ \t]+[A-Za-z_][A-Za-z0-9_:<>,&* \t()]*[ \t][A-Za-z_][A-Za-z0-9_]*_[ \t]*([;={]|PICO_GUARDED_BY)/ {
+      if (in_block) next
+      if (prev_exempt) next
+      if (line ~ /\/\/ *sched-exempt:/) next
+      if (line ~ /PICO_GUARDED_BY/) next
+      if (line ~ /std::atomic/) next
+      if (line ~ /^[ \t]*(static|const)[ \t]/) next
+      if (line ~ /^[ \t]*(mutable[ \t]+)?(pico::)?(Mutex|CondVar)[ \t]/) next
+      if (line ~ /^[ \t]*(using|typedef|return|throw|delete|new)[ \t]/) next
+      printf "%s:%d: unguarded mutable member: %s\n", FILENAME, FNR, line
+    }
+  ' "$file")"
+  if [ -n "$out" ]; then
+    echo "$out"
+    fail=1
+  fi
+done
+
+if [ "$fail" -ne 0 ]; then
+  echo "check_guarded: FAIL — annotate with PICO_GUARDED_BY(...), make the"
+  echo "member std::atomic/const, or document why it needs neither with"
+  echo "'// sched-exempt: <reason>'."
+  exit 1
+fi
+echo "check_guarded: OK"
