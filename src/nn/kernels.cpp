@@ -1,6 +1,7 @@
 #include "nn/kernels.hpp"
 
 #include <algorithm>
+#include <cstddef>
 #include <functional>
 #include <limits>
 #include <vector>
@@ -94,7 +95,8 @@ Tensor conv(const Node& node, const Placed& in, const Region& out_region,
               const float* in_row =
                   &in.tensor.at(ic, iy - in.region.row_begin, 0) -
                   in.region.col_begin;
-              const float* w_row = w_ic + ky * kw;
+              const float* w_row =
+                  w_ic + static_cast<std::ptrdiff_t>(ky) * kw;
               for (int kx = 0; kx < kw; ++kx) {
                 const int ix = ix0 + kx;
                 if (ix < 0 || ix >= in_shape.width) continue;

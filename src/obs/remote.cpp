@@ -98,6 +98,11 @@ std::vector<SpanRecord> decode_spans(const std::uint8_t* data,
     span.duration_ns = take<std::int64_t>(cursor, end);
     span.task_id = take<std::int64_t>(cursor, end);
     const auto args = take<std::uint32_t>(cursor, end);
+    // Decoded count: each arg costs at least two length-prefixed strings
+    // (8 bytes), so bound it by the bytes actually left in the buffer.
+    if (args > static_cast<std::size_t>(end - cursor) / 8) {
+      throw TransportError("span arg count implausible");
+    }
     span.args.reserve(args);
     for (std::uint32_t a = 0; a < args; ++a) {
       std::string key = take_string(cursor, end);

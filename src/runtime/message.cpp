@@ -144,9 +144,24 @@ Message deserialize(const std::uint8_t* data, std::size_t size) {
   shape.channels = get<std::int32_t>(cursor, end);
   shape.height = get<std::int32_t>(cursor, end);
   shape.width = get<std::int32_t>(cursor, end);
+  // The shape is wire-controlled: reject negative extents and prove the
+  // payload carries exactly elements()*4 bytes BEFORE allocating, so a
+  // corrupt or malicious frame cannot drive a bogus extent into Tensor()
+  // (elements() itself can overflow 64 bits for adversarial extents, so the
+  // size identity is checked with division, which cannot wrap).
+  PICO_CHECK_MSG(shape.channels >= 0 && shape.height >= 0 && shape.width >= 0,
+                 "message tensor shape negative");
+  const auto payload = static_cast<std::uint64_t>(end - cursor);
+  const auto plane = static_cast<std::uint64_t>(shape.channels) *
+                     static_cast<std::uint64_t>(shape.height);
+  const auto width = static_cast<std::uint64_t>(shape.width);
+  const bool size_ok =
+      payload % 4 == 0 &&
+      (width == 0 ? payload == 0
+                  : plane == payload / 4 / width && (payload / 4) % width == 0);
+  PICO_CHECK_MSG(size_ok, "message payload size mismatch");
   message.tensor = Tensor(shape);
-  const std::size_t bytes = static_cast<std::size_t>(shape.elements()) * 4;
-  PICO_CHECK_MSG(cursor + bytes == end, "message payload size mismatch");
+  const auto bytes = static_cast<std::size_t>(payload);
   if (bytes > 0) {
     std::memcpy(message.tensor.data().data(), cursor, bytes);
   }

@@ -6,6 +6,7 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -198,6 +199,21 @@ TEST(SpanCodec, MalformedBuffersThrowTransportError) {
   auto patched = bytes;
   patched[0] ^= 0xff;
   EXPECT_THROW(obs::decode_spans(patched.data(), patched.size()),
+               TransportError);
+}
+
+TEST(SpanCodec, ImplausibleArgCountRejectedBeforeAllocation) {
+  // One span with zero args: the per-span arg-count u32 is the last field
+  // in the buffer.  A corrupt count must be rejected by the plausibility
+  // bound (each arg costs >= 8 bytes of string prefixes), not drive a
+  // 4-billion-entry reserve().
+  obs::SpanRecord span = sample_span("x", 1);
+  span.args.clear();
+  auto bytes = obs::encode_spans({span});
+  const std::uint32_t huge = 0xffffffffu;
+  std::memcpy(bytes.data() + bytes.size() - sizeof(huge), &huge,
+              sizeof(huge));
+  EXPECT_THROW(obs::decode_spans(bytes.data(), bytes.size()),
                TransportError);
 }
 

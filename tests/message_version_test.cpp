@@ -126,6 +126,40 @@ TEST(MessageVersion, BlobLengthIsBoundsChecked) {
                InvariantError);
 }
 
+// The tensor shape is the last wire-controlled allocation driver in the
+// frame: three int32 extents followed by elements()*4 payload bytes at the
+// tail.  Both corruptions below must be rejected BEFORE Tensor() allocates
+// — a negative extent is UB in Shape::elements(), and extreme extents
+// (2^31-1 each) would demand a multi-exabyte allocation whose byte count
+// also overflows 64-bit arithmetic if computed naively.
+std::size_t shape_offset(const std::vector<std::uint8_t>& bytes) {
+  const std::size_t payload =
+      static_cast<std::size_t>(sample_request().tensor.shape().elements()) * 4;
+  return bytes.size() - payload - 12;  // 3 × int32 extents before payload
+}
+
+void put_u32(std::vector<std::uint8_t>& bytes, std::size_t at,
+             std::uint32_t value) {
+  std::memcpy(bytes.data() + at, &value, sizeof(value));
+}
+
+TEST(MessageVersion, NegativeShapeExtentRejectedBeforeAllocation) {
+  auto bytes = runtime::serialize(sample_request());
+  put_u32(bytes, shape_offset(bytes), 0x80000001u);  // channels = INT_MIN+1
+  EXPECT_THROW(runtime::deserialize(bytes.data(), bytes.size()),
+               InvariantError);
+}
+
+TEST(MessageVersion, ExtremeShapeExtentsRejectedBeforeAllocation) {
+  auto bytes = runtime::serialize(sample_request());
+  const std::size_t at = shape_offset(bytes);
+  put_u32(bytes, at, 0x7fffffffu);      // channels
+  put_u32(bytes, at + 4, 0x7fffffffu);  // height
+  put_u32(bytes, at + 8, 0x7fffffffu);  // width: elements() ≈ 2^93
+  EXPECT_THROW(runtime::deserialize(bytes.data(), bytes.size()),
+               InvariantError);
+}
+
 // End to end over a real socket: a "v1 peer" writes a PIC1 frame into a
 // serving worker.  The worker's serve loop must exit cleanly (TransportError
 // path), not crash or hang.

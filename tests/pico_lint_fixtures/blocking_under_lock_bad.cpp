@@ -1,0 +1,49 @@
+// Fixture: blocking-under-lock MUST fire.  Lint-only — never compiled.
+// pico-lint: allow-file(unguarded-member)
+namespace fixture {
+
+struct Mutex {
+  void lock();
+  void unlock();
+};
+struct MutexLock {
+  explicit MutexLock(Mutex& m);
+};
+struct Connection {
+  void send(int payload);
+  int recv();
+};
+struct Worker {
+  void join();
+};
+
+struct Runtime {
+  Mutex mutex_;
+  Connection peer_;
+  Worker worker_;
+  int state_ = 0;
+
+  void broadcast(int payload) {
+    MutexLock lock(mutex_);
+    state_ = payload;
+    // VIOLATION: network send while holding the runtime mutex serializes
+    // every other thread behind this peer.
+    peer_.send(payload);
+  }
+
+  int drain() {
+    mutex_.lock();
+    // VIOLATION: blocking recv inside a manual lock()/unlock() scope.
+    const int value = peer_.recv();
+    mutex_.unlock();
+    return value;
+  }
+
+  void stop() {
+    MutexLock lock(mutex_);
+    // VIOLATION: join while holding the lock the worker itself takes.
+    worker_.join();
+  }
+};
+
+}  // namespace fixture

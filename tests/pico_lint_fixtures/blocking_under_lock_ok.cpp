@@ -1,0 +1,61 @@
+// Fixture: compliant twin of blocking_under_lock_bad.cpp — MUST stay quiet.
+// pico-lint: allow-file(unguarded-member)
+namespace fixture {
+
+struct Mutex {
+  void lock();
+  void unlock();
+};
+struct MutexLock {
+  explicit MutexLock(Mutex& m);
+};
+struct CondVar {
+  void wait(MutexLock& lock);
+};
+struct Connection {
+  void send(int payload);
+  int recv();
+};
+struct Worker {
+  void join();
+};
+
+struct Runtime {
+  Mutex mutex_;
+  CondVar cv_;
+  Connection peer_;
+  Worker worker_;
+  int state_ = 0;
+
+  void broadcast(int payload) {
+    {
+      MutexLock lock(mutex_);
+      state_ = payload;
+    }
+    // Blocking call after the critical section closed.
+    peer_.send(payload);
+  }
+
+  int drain() {
+    mutex_.lock();
+    const int snapshot = state_;
+    mutex_.unlock();
+    // Manual unlock before the blocking call.
+    return peer_.recv() + snapshot;
+  }
+
+  void park() {
+    MutexLock lock(mutex_);
+    // CondVar::wait releases the lock while blocked: allowed.
+    cv_.wait(lock);
+  }
+
+  void stop() {
+    MutexLock lock(mutex_);
+    // pico-lint: allow(blocking-under-lock): worker never takes mutex_;
+    // join under the lock is deliberate here
+    worker_.join();
+  }
+};
+
+}  // namespace fixture

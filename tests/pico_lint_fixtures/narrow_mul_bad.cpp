@@ -1,0 +1,29 @@
+// Fixture: narrow-mul MUST fire.  Lint-only — never compiled.
+#include <cstdint>
+#include <vector>
+
+namespace fixture {
+
+float sum_patch(const std::vector<float>& data, int channels, int height,
+                int width) {
+  // VIOLATION: int*int product initialized into a 64-bit total — the
+  // multiply wraps at 2^31 before the widening happens.
+  const std::int64_t plane = height * width;
+  float acc = 0.0f;
+  for (std::int64_t i = 0; i < plane * channels; ++i) {
+    acc += data[static_cast<std::size_t>(i)];
+  }
+  return acc;
+}
+
+void build_buffer(std::vector<float>& out, int rows, int cols) {
+  // VIOLATION: 32-bit product as an allocation size.
+  out.resize(rows * cols);
+}
+
+float* offset_into(float* base, int row, int stride) {
+  // VIOLATION: 32-bit product added to a pointer.
+  return base + row * stride;
+}
+
+}  // namespace fixture

@@ -1,0 +1,33 @@
+// Fixture: compliant twin of narrow_mul_bad.cpp — MUST stay quiet.
+#include <cstdint>
+#include <vector>
+
+namespace fixture {
+
+float sum_patch(const std::vector<float>& data, int channels, int height,
+                int width) {
+  // Widened before the multiply: the product is computed in 64 bits.
+  const std::int64_t plane =
+      static_cast<std::int64_t>(height) * width;
+  float acc = 0.0f;
+  for (std::int64_t i = 0; i < plane * channels; ++i) {
+    acc += data[static_cast<std::size_t>(i)];
+  }
+  return acc;
+}
+
+void build_buffer(std::vector<float>& out, int rows, int cols) {
+  out.resize(static_cast<std::size_t>(rows) * cols);
+}
+
+float* offset_into(float* base, int row, int stride) {
+  return base + static_cast<std::ptrdiff_t>(row) * stride;
+}
+
+int coordinate(int oy, int sh, int ph) {
+  // Narrow product kept in a narrow context (coordinate math): not flagged.
+  int iy = oy * sh - ph;
+  return iy;
+}
+
+}  // namespace fixture

@@ -1,0 +1,19 @@
+// Fixture: unchecked-status MUST fire.  Lint-only — never compiled.
+namespace fixture {
+
+struct Error {
+  int code;
+};
+
+Error flush_metrics(int fd);
+
+void teardown(int fd) {
+  // VIOLATION: POSIX errno-style result dropped on the floor.
+  ::shutdown(fd, 2);
+  // VIOLATION: repo Error-returning function result discarded.
+  flush_metrics(fd);
+  // VIOLATION: ::close can report lost writes on some filesystems.
+  ::close(fd);
+}
+
+}  // namespace fixture

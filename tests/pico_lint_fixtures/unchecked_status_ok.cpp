@@ -1,0 +1,35 @@
+// Fixture: compliant twin of unchecked_status_bad.cpp — MUST stay quiet.
+namespace fixture {
+
+struct Error {
+  int code;
+};
+
+Error flush_metrics(int fd);
+void log_errno(const char* what);
+
+void teardown(int fd) {
+  // Handled result.
+  if (::shutdown(fd, 2) != 0) {
+    log_errno("shutdown");
+  }
+  const Error err = flush_metrics(fd);
+  if (err.code != 0) {
+    log_errno("flush_metrics");
+  }
+  // Annotated best-effort discard.
+  // pico-lint: allow(unchecked-status): descriptor release in teardown;
+  // nothing useful can be done with the error here
+  ::close(fd);
+}
+
+class Wrapper {
+ public:
+  void close();
+  ~Wrapper() {
+    // Unqualified call resolves to the void member above, not POSIX close.
+    close();
+  }
+};
+
+}  // namespace fixture

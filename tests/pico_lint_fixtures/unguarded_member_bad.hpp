@@ -1,0 +1,25 @@
+// Fixture: unguarded-member MUST fire.  Lint-only — never compiled.
+#pragma once
+
+namespace fixture {
+
+struct Mutex {};
+template <typename T>
+struct atomic {
+  T value;
+};
+
+class StageQueue {
+ public:
+  void push(int v);
+
+ private:
+  Mutex mutex_;
+  // VIOLATION: mutable state in a concurrent class with no discipline.
+  int pending_count_ = 0;
+  // VIOLATION: multi-line declaration, still a bare mutable member.
+  long long
+      last_sequence_ = 0;
+};
+
+}  // namespace fixture

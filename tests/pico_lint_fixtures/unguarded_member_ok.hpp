@@ -1,0 +1,32 @@
+// Fixture: compliant twin of unguarded_member_bad.hpp — MUST stay quiet.
+#pragma once
+
+#define PICO_GUARDED_BY(x)
+
+namespace fixture {
+
+struct Mutex {};
+namespace std_like {
+template <typename T>
+struct atomic {
+  T value;
+};
+}  // namespace std_like
+
+class StageQueue {
+ public:
+  void push(int v);
+
+ private:
+  Mutex mutex_;
+  int pending_count_ PICO_GUARDED_BY(mutex_) = 0;
+  std::atomic<long long> last_sequence_{0};
+  const int capacity_ = 64;
+  static int instance_count_;
+  // sched-exempt: written once before threads start, read-only after
+  int config_version_ = 0;
+  // pico-lint: allow(unguarded-member): owned by the consumer thread only
+  int consumer_cursor_ = 0;
+};
+
+}  // namespace fixture

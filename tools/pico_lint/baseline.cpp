@@ -1,0 +1,87 @@
+#include "baseline.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+namespace pico::lint {
+
+namespace {
+
+std::uint64_t fnv1a(const std::string& s) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+std::string hex16(std::uint64_t v) {
+  static const char* kDigits = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = kDigits[v & 0xf];
+    v >>= 4;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string fingerprint(const Finding& f) {
+  return f.check + "|" + f.relpath + "|" + hex16(fnv1a(f.excerpt));
+}
+
+std::set<std::string> load_baseline(const std::string& path, bool& ok) {
+  std::set<std::string> out;
+  std::ifstream in(path);
+  ok = in.good();
+  if (!ok) return out;
+  std::string line;
+  while (std::getline(in, line)) {
+    // Strip trailing CR and surrounding whitespace.
+    while (!line.empty() &&
+           (line.back() == '\r' || line.back() == ' ' || line.back() == '\t')) {
+      line.pop_back();
+    }
+    std::size_t start = line.find_first_not_of(" \t");
+    if (start == std::string::npos) continue;
+    if (line[start] == '#') continue;
+    std::string entry = line.substr(start);
+    // Inline context comments: `fingerprint  # relpath:line excerpt`.
+    const std::size_t hash = entry.find('#');
+    if (hash != std::string::npos) entry.resize(hash);
+    while (!entry.empty() &&
+           (entry.back() == ' ' || entry.back() == '\t')) {
+      entry.pop_back();
+    }
+    if (!entry.empty()) out.insert(entry);
+  }
+  return out;
+}
+
+std::string render_baseline(const std::vector<Finding>& findings) {
+  // fingerprint -> one representative context comment
+  std::map<std::string, std::string> entries;
+  for (const Finding& f : findings) {
+    std::ostringstream ctx;
+    ctx << f.relpath << ":" << f.line << " " << f.excerpt;
+    entries.emplace(fingerprint(f), ctx.str());
+  }
+  std::ostringstream out;
+  out << "# pico_lint baseline — accepted pre-existing findings.\n"
+      << "# One fingerprint per line: check|relpath|hash(normalized line).\n"
+      << "# Regenerate with: pico_lint --src-root <repo> --write-baseline "
+         "<this file>\n"
+      << "# Entries are line-number independent; fix the code and rerun\n"
+      << "# --write-baseline to retire an entry.\n";
+  for (const auto& [fp, ctx] : entries) {
+    out << fp << "  # " << ctx << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace pico::lint

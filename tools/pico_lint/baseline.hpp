@@ -1,0 +1,29 @@
+// Baseline: committed fingerprints of accepted pre-existing findings.
+//
+// A fingerprint is `check|relpath|fnv1a(excerpt)` — the excerpt is the
+// whitespace-normalized source line, so fingerprints survive unrelated
+// edits that shift line numbers.  `pico_lint --write-baseline` regenerates
+// the file; the default run exits non-zero only on findings NOT in the
+// baseline (new debt), printing known-but-unfixed counts separately.
+#pragma once
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "checks.hpp"
+
+namespace pico::lint {
+
+/// Stable fingerprint for one finding (line-number independent).
+std::string fingerprint(const Finding& f);
+
+/// Parse a baseline file: one fingerprint per line, `#` comments and blank
+/// lines ignored.  Missing file yields an empty set (with ok=false).
+std::set<std::string> load_baseline(const std::string& path, bool& ok);
+
+/// Serialize findings into baseline format (sorted, deduplicated, with a
+/// header comment and one trailing `# context:` comment per entry).
+std::string render_baseline(const std::vector<Finding>& findings);
+
+}  // namespace pico::lint

@@ -1,0 +1,43 @@
+// unguarded-member: every mutable data member of a concurrent runtime class
+// must carry an explicit concurrency discipline.
+//
+// This is the AST promotion of tools/check_guarded.sh (which stays as the
+// no-clang fallback in CI): same policy, but resolved over declarations
+// instead of line regexes — multi-line declarations, brace initializers and
+// template types are classified by their parsed type, not by what happens
+// to share a line.  A member passes iff it is PICO_GUARDED_BY-annotated,
+// std::atomic, const, static, a synchronization primitive itself, or
+// carries a `// sched-exempt: <reason>` / `pico-lint: allow(...)` exemption
+// (block form `sched-exempt-begin/end` also honored).
+#include "checks.hpp"
+
+namespace pico::lint {
+
+void check_guarded(const LexedFile& file, const FileModel& model,
+                   const Suppressions& sup, const std::string& relpath,
+                   std::vector<Finding>& out) {
+  (void)relpath;
+  for (const ClassInfo& cls : model.classes) {
+    const std::vector<MemberDecl> members = class_members(file, cls);
+    for (const MemberDecl& m : members) {
+      if (m.has_guard || m.is_static || m.is_const || m.is_atomic ||
+          m.is_mutex_like) {
+        continue;
+      }
+      if (sup.allows("unguarded-member", m.line)) continue;
+
+      Finding f;
+      f.check = "unguarded-member";
+      f.line = m.line;
+      f.message = "mutable member '" + m.name + "' of " +
+                  (cls.name.empty() ? "anonymous class" : "class " + cls.name) +
+                  " (type: " + m.type_text + ") has no concurrency discipline";
+      f.hint =
+          "annotate PICO_GUARDED_BY(<mutex>), make it std::atomic or const, "
+          "or document why it needs neither with `// sched-exempt: <reason>`";
+      out.push_back(std::move(f));
+    }
+  }
+}
+
+}  // namespace pico::lint

@@ -1,0 +1,147 @@
+// blocking-under-lock: socket/thread/sleep blocking calls inside a lock
+// scope.
+//
+// Motivating class: the runtime's close/recv races and shutdown deadlocks —
+// a blocking transport call made while holding a pico::Mutex serializes the
+// whole runtime behind one peer (and can deadlock with the peer's own lock
+// order).  The sched explorer (DESIGN §11) finds these dynamically when a
+// model covers the path; this check rejects them statically everywhere.
+//
+// A lock scope starts at a guard declaration (MutexLock, std::lock_guard,
+// std::unique_lock, std::scoped_lock, std::shared_lock) or a manual
+// `x.lock()` call and ends at the enclosing block's close brace (or the
+// matching `x.unlock()`).  CondVar::wait is allowed — it releases the lock.
+#include "checks.hpp"
+
+namespace pico::lint {
+
+namespace {
+
+const std::set<std::string>& guard_types() {
+  static const std::set<std::string> kGuards = {
+      "MutexLock", "lock_guard", "unique_lock", "scoped_lock", "shared_lock",
+  };
+  return kGuards;
+}
+
+const std::set<std::string>& blocking_calls() {
+  static const std::set<std::string> kBlocking = {
+      "send",     "recv",       "recvfrom",  "sendto",     "accept",
+      "connect",  "join",       "sleep_for", "sleep_until", "usleep",
+      "nanosleep", "sleep",     "poll",      "select",     "epoll_wait",
+      "getaddrinfo", "system",  "popen",     "flock",
+  };
+  return kBlocking;
+}
+
+struct LockScope {
+  std::string guard;      // guard variable / mutex expression text
+  int line = 0;           // acquisition line
+  std::size_t scope_end;  // token index of the block's closing brace
+};
+
+}  // namespace
+
+void check_locking(const LexedFile& file, const FileModel& model,
+                   const Suppressions& sup, const std::string& relpath,
+                   std::vector<Finding>& out) {
+  (void)relpath;
+  const std::vector<Token>& tokens = file.tokens;
+
+  for (const FunctionInfo& fn : model.functions) {
+    std::vector<std::size_t> brace_close;  // enclosing blocks' close indices
+    brace_close.push_back(fn.body_end);
+    std::vector<LockScope> locks;
+
+    for (std::size_t i = fn.body_begin + 1; i < fn.body_end; ++i) {
+      const Token& tok = tokens[i];
+      if (tok.text == "{") {
+        brace_close.push_back(match_forward(tokens, i));
+        continue;
+      }
+      if (tok.text == "}") {
+        if (brace_close.size() > 1) brace_close.pop_back();
+        while (!locks.empty() && locks.back().scope_end <= i) {
+          locks.pop_back();
+        }
+        continue;
+      }
+      if (!tok.ident()) continue;
+
+      // Guard declaration: `MutexLock lock(mutex_);` / std::lock_guard<...>
+      if (guard_types().count(tok.text) &&
+          (tokens[i + 1].ident() || tokens[i + 1].is("<"))) {
+        // Find the declared guard name: next identifier followed by '('
+        // or '{' or ';'.
+        std::size_t j = i + 1;
+        if (tokens[j].is("<")) {
+          while (j < fn.body_end && !tokens[j].is(">")) ++j;
+          ++j;
+        }
+        if (j < fn.body_end && tokens[j].ident()) {
+          LockScope ls;
+          ls.guard = tokens[j].text;
+          ls.line = tok.line;
+          ls.scope_end = brace_close.back();
+          locks.push_back(std::move(ls));
+        }
+        continue;
+      }
+      // Manual lock: `x.lock();` — active until `x.unlock()` or scope end.
+      if (tok.is("lock") && i >= 2 && tokens[i + 1].is("(") &&
+          (tokens[i - 1].is(".") || tokens[i - 1].is("->")) &&
+          tokens[i - 2].ident()) {
+        LockScope ls;
+        ls.guard = tokens[i - 2].text;
+        ls.line = tok.line;
+        ls.scope_end = brace_close.back();
+        locks.push_back(std::move(ls));
+        continue;
+      }
+      if (tok.is("unlock") && i >= 2 && tokens[i + 1].is("(") &&
+          (tokens[i - 1].is(".") || tokens[i - 1].is("->")) &&
+          tokens[i - 2].ident()) {
+        const std::string owner = tokens[i - 2].text;
+        for (std::size_t k = locks.size(); k-- > 0;) {
+          if (locks[k].guard == owner) {
+            locks.erase(locks.begin() + static_cast<std::ptrdiff_t>(k));
+            break;
+          }
+        }
+        continue;
+      }
+
+      if (locks.empty()) continue;
+
+      // Blocking call while a lock is active?
+      if (!blocking_calls().count(tok.text)) continue;
+      if (!tokens[i + 1].is("(")) continue;
+      // CondVar::wait and wrapper-internal operations are fine; also skip
+      // declarations (`int send(...)`) — require a call position: previous
+      // token is a statement boundary, `.`, `->`, `::`, `=`, `(`, `,`, or
+      // an operator.
+      const std::string& prev = tokens[i - 1].text;
+      const bool call_position =
+          prev == ";" || prev == "{" || prev == "}" || prev == "." ||
+          prev == "->" || prev == "::" || prev == "=" || prev == "(" ||
+          prev == "," || prev == "return" || prev == "&&" || prev == "||" ||
+          prev == "!";
+      if (!call_position) continue;
+      if (sup.allows("blocking-under-lock", tok.line)) continue;
+
+      Finding f;
+      f.check = "blocking-under-lock";
+      f.line = tok.line;
+      f.message = "blocking call '" + tok.text + "' while holding lock '" +
+                  locks.back().guard + "' (acquired line " +
+                  std::to_string(locks.back().line) + ")";
+      f.hint =
+          "move the blocking call outside the critical section (copy the "
+          "state out under the lock), or annotate with "
+          "`// pico-lint: allow(blocking-under-lock): <reason>`";
+      out.push_back(std::move(f));
+    }
+  }
+}
+
+}  // namespace pico::lint

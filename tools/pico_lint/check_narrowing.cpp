@@ -1,0 +1,208 @@
+// narrow-mul: int×int multiplies over extents/strides that feed a wide
+// context must be computed in 64 bits.
+//
+// Motivating bugs: the obs bucket_index int-overflow UB (PR 2) and the
+// im2col patch-matrix extent overflow (PR 3) — both were a 32-bit multiply
+// whose *result* was used as a 64-bit offset/size, so the product wrapped
+// before the widening happened.  The check flags `a * b` where both
+// operands are declared 32-bit integers (or literals) and the product is
+//   (a) assigned/initialized into a 64-bit variable,
+//   (b) added to a pointer,
+//   (c) used as an array subscript, or
+//   (d) passed to an allocation/copy-length call
+//       (resize/reserve/memcpy/memset/malloc/calloc/assign).
+// Products kept in narrow contexts (coordinate math like `oy * sh - ph`
+// bounded by tensor dims) are intentionally not flagged.
+#include "checks.hpp"
+
+namespace pico::lint {
+
+namespace {
+
+const std::set<std::string>& alloc_callees() {
+  static const std::set<std::string> kAlloc = {
+      "resize", "reserve", "memcpy",  "memmove", "memset",
+      "malloc", "calloc",  "realloc", "assign",  "alloca",
+  };
+  return kAlloc;
+}
+
+const std::set<std::string>& wide_words() {
+  static const std::set<std::string> kWide = {
+      "long",    "int64_t", "uint64_t",  "size_t",   "ptrdiff_t",
+      "ssize_t", "intptr_t", "uintptr_t", "streamsize",
+  };
+  return kWide;
+}
+
+struct Group {
+  char open;           // '(' or '['
+  std::string callee;  // identifier before '(' if any
+};
+
+bool is_stmt_boundary(const std::string& t) {
+  return t == ";" || t == "{" || t == "}";
+}
+
+}  // namespace
+
+void check_narrowing(const LexedFile& file, const FileModel& model,
+                     const Suppressions& sup, const std::string& relpath,
+                     std::vector<Finding>& out) {
+  (void)relpath;
+  const std::vector<Token>& tokens = file.tokens;
+
+  for (const FunctionInfo& fn : model.functions) {
+    const std::vector<VarDecl> decls = collect_decls(file, fn);
+    std::vector<Group> groups;
+
+    for (std::size_t i = fn.body_begin + 1; i < fn.body_end; ++i) {
+      const Token& tok = tokens[i];
+      if (tok.text == "(" || tok.text == "[") {
+        Group g;
+        g.open = tok.text[0];
+        if (tok.text == "(" && i > 0 && tokens[i - 1].ident()) {
+          g.callee = tokens[i - 1].text;
+        }
+        groups.push_back(std::move(g));
+        continue;
+      }
+      if (tok.text == ")" || tok.text == "]") {
+        if (!groups.empty()) groups.pop_back();
+        continue;
+      }
+      if (tok.text != "*") continue;
+
+      // Binary multiply with simple operands on both sides.
+      const Token& lhs = tokens[i - 1];
+      const Token& rhs = tokens[i + 1];
+      const bool lhs_simple =
+          lhs.ident() || lhs.kind == Token::Kind::Number;
+      const bool rhs_simple =
+          rhs.ident() || rhs.kind == Token::Kind::Number;
+      if (!lhs_simple || !rhs_simple) continue;
+      // Member access / qualified names / calls make width unknowable here.
+      if (lhs.ident() && i >= 2 &&
+          (tokens[i - 2].text == "." || tokens[i - 2].text == "->" ||
+           tokens[i - 2].text == "::")) {
+        continue;
+      }
+      if (rhs.ident() &&
+          (tokens[i + 2].text == "." || tokens[i + 2].text == "->" ||
+           tokens[i + 2].text == "::" || tokens[i + 2].text == "(")) {
+        continue;
+      }
+      // Chained multiply `X * a * b`: left-to-right evaluation means the
+      // left factor's width decides — if X is wide the whole chain is wide,
+      // and if X is narrow the earlier `*` already got flagged.
+      if (i >= 2 && tokens[i - 2].text == "*") continue;
+
+      auto operand_narrow = [&](const Token& t) {
+        if (t.kind == Token::Kind::Number) {
+          // Literals with a wide suffix widen the product.
+          const std::string& s = t.text;
+          for (char c : s) {
+            if (c == 'l' || c == 'L') return false;
+          }
+          return true;
+        }
+        return width_of(decls, t.text, i) == Width::Narrow;
+      };
+      const bool lhs_narrow = operand_narrow(lhs);
+      const bool rhs_narrow = operand_narrow(rhs);
+      // Require both operands narrow and at least one declared variable
+      // (two literals never overflow surprisingly at these magnitudes).
+      const bool has_var = (lhs.ident() &&
+                            width_of(decls, lhs.text, i) == Width::Narrow) ||
+                           (rhs.ident() &&
+                            width_of(decls, rhs.text, i) == Width::Narrow);
+      if (!lhs_narrow || !rhs_narrow || !has_var) continue;
+
+      // --- context (c): subscript ---
+      std::string context;
+      if (!groups.empty() && groups.back().open == '[') {
+        context = "array subscript";
+      }
+      // --- context (d): allocation/copy-length argument ---
+      if (context.empty()) {
+        for (auto it = groups.rbegin(); it != groups.rend(); ++it) {
+          if (it->open != '(') break;
+          if (alloc_callees().count(it->callee)) {
+            context = "argument of " + it->callee + "()";
+            break;
+          }
+          if (!it->callee.empty()) break;  // some other call: stop there
+        }
+      }
+      // --- context (b): pointer addition `ptr + a * b` ---
+      if (context.empty() && i >= 3 && tokens[i - 2].text == "+") {
+        const Token& base = tokens[i - 3];
+        const bool ptr_var =
+            base.ident() &&
+            width_of(decls, base.text, i) == Width::Pointer;
+        // `v.data() + a * b` — tokens: ... data ( ) + a * b
+        const bool data_call = base.text == ")" && i >= 6 &&
+                               tokens[i - 5].text == "data" &&
+                               tokens[i - 4].text == "(";
+        if (ptr_var || data_call) context = "pointer offset";
+      }
+      // --- context (a): assigned/initialized into a wide variable ---
+      if (context.empty()) {
+        // Scan back to the statement start looking for a top-level '='.
+        std::size_t j = i - 1;
+        int depth = 0;
+        std::size_t eq = 0;
+        while (j > fn.body_begin) {
+          const std::string& t = tokens[j].text;
+          if (t == ")" || t == "]") ++depth;
+          if (t == "(" || t == "[") {
+            if (depth == 0) break;  // multiply is inside a call argument
+            --depth;
+          }
+          if (is_stmt_boundary(t)) break;
+          if (t == "=" && depth == 0) {
+            eq = j;
+            break;
+          }
+          --j;
+        }
+        if (eq != 0) {
+          // LHS: wide declared variable, or a declaration whose type
+          // tokens contain a wide word.
+          const Token& before_eq = tokens[eq - 1];
+          if (before_eq.ident() &&
+              width_of(decls, before_eq.text, i) == Width::Wide) {
+            context = "assignment to 64-bit '" + before_eq.text + "'";
+          } else {
+            std::size_t k = eq;
+            while (k > fn.body_begin) {
+              --k;
+              const std::string& t = tokens[k].text;
+              if (is_stmt_boundary(t)) break;
+              if (wide_words().count(t)) {
+                context = "initialization of a 64-bit variable";
+                break;
+              }
+            }
+          }
+        }
+      }
+      if (context.empty()) continue;
+      if (sup.allows("narrow-mul", tok.line)) continue;
+
+      Finding f;
+      f.check = "narrow-mul";
+      f.line = tok.line;
+      f.message = "32-bit multiply '" + lhs.text + " * " + rhs.text +
+                  "' feeds a wide context (" + context +
+                  "); the product can overflow before widening";
+      f.hint = "compute in 64 bits first: static_cast<std::int64_t>(" +
+               (lhs.ident() ? lhs.text : rhs.text) + ") * " +
+               (lhs.ident() ? rhs.text : lhs.text) +
+               " (size_t for allocation sizes)";
+      out.push_back(std::move(f));
+    }
+  }
+}
+
+}  // namespace pico::lint

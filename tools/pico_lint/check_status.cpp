@@ -1,0 +1,131 @@
+// unchecked-status: discarded result of a status-returning call.
+//
+// Motivating class: silent failures in worker/transport shutdown paths —
+// POSIX errno-style calls (`::shutdown`, `::close`, `::setsockopt`, ...)
+// whose failure is invisible when the result is dropped on the floor, plus
+// any repo function declared [[nodiscard]] or returning an Error/Status
+// type.  A discard must be explicit: either handle the result, or annotate
+// the line with `// pico-lint: allow(unchecked-status): <reason>` (a
+// leading `(void)` cast is also accepted as an explicit discard).
+#include "checks.hpp"
+
+namespace pico::lint {
+
+namespace {
+
+const std::set<std::string>& posix_status_fns() {
+  static const std::set<std::string> kPosix = {
+      "close",      "shutdown", "setsockopt", "listen",    "bind",
+      "connect",    "fcntl",    "unlink",     "ftruncate", "fsync",
+      "fdatasync",  "fclose",   "fflush",     "chmod",     "kill",
+      "sigaction",  "dup2",     "pipe",       "mkdir",     "rmdir",
+      "rename",     "remove",   "msync",      "munmap",    "chdir",
+  };
+  return kPosix;
+}
+
+}  // namespace
+
+void collect_status_decls(const LexedFile& file,
+                          std::set<std::string>& status_fns) {
+  const std::vector<Token>& tokens = file.tokens;
+  for (std::size_t i = 0; i + 2 < tokens.size(); ++i) {
+    // [[nodiscard]] ... name (
+    if (tokens[i].is("[") && tokens[i + 1].is("[") &&
+        tokens[i + 2].is("nodiscard")) {
+      for (std::size_t j = i + 3; j < std::min(tokens.size(), i + 24); ++j) {
+        if (tokens[j].ident() && j + 1 < tokens.size() &&
+            tokens[j + 1].is("(")) {
+          // Skip attribute-internal or macro-ish all-caps names.
+          status_fns.insert(tokens[j].text);
+          break;
+        }
+        if (tokens[j].is(";") || tokens[j].is("{")) break;
+      }
+    }
+    // Error/Status-returning declaration: `Error name(` / `Status name(`
+    // at a declaration position (not new/throw/return expressions).
+    const std::string& t = tokens[i].text;
+    if ((t == "Error" || t == "Status" || t == "ErrorCode") &&
+        tokens[i + 1].ident() && tokens[i + 2].is("(")) {
+      const std::string& prev = i > 0 ? tokens[i - 1].text : "";
+      if (prev == "new" || prev == "throw" || prev == "return" ||
+          prev == "class" || prev == "struct" || prev == "public" ||
+          prev == "." || prev == "->") {
+        continue;
+      }
+      status_fns.insert(tokens[i + 1].text);
+    }
+  }
+}
+
+void check_status(const LexedFile& file, const FileModel& model,
+                  const Suppressions& sup, const std::string& relpath,
+                  const std::set<std::string>& status_fns,
+                  std::vector<Finding>& out) {
+  (void)relpath;
+  const std::vector<Token>& tokens = file.tokens;
+
+  // Methods this file declares as returning void shadow same-named POSIX
+  // calls when invoked unqualified (`close();` inside a class means
+  // `this->close()`, not `::close(fd)`), so bare calls to them are clean.
+  std::set<std::string> void_fns;
+  for (std::size_t i = 0; i + 2 < tokens.size(); ++i) {
+    if (!tokens[i].is("void") || !tokens[i + 1].ident()) continue;
+    // `void name(` or a qualified definition `void Class::name(`.
+    std::size_t j = i + 1;
+    while (j + 2 < tokens.size() && tokens[j + 1].is("::") &&
+           tokens[j + 2].ident()) {
+      j += 2;
+    }
+    if (j + 1 < tokens.size() && tokens[j + 1].is("(")) {
+      void_fns.insert(tokens[j].text);
+    }
+  }
+
+  for (const FunctionInfo& fn : model.functions) {
+    for (std::size_t i = fn.body_begin + 1; i < fn.body_end; ++i) {
+      // Statement start?
+      const std::string& prev = tokens[i - 1].text;
+      if (!(prev == ";" || prev == "{" || prev == "}")) continue;
+
+      std::size_t j = i;
+      bool qualified = false;
+      if (tokens[j].is("::")) {
+        qualified = true;
+        ++j;
+      }
+      if (!tokens[j].ident()) continue;
+      const std::string callee = tokens[j].text;
+      if (!tokens[j + 1].is("(")) continue;
+      const std::size_t close = match_forward(tokens, j + 1);
+      if (close + 1 >= tokens.size() || !tokens[close + 1].is(";")) {
+        continue;  // not a bare expression-statement call
+      }
+
+      const bool posix_hit =
+          posix_status_fns().count(callee) > 0;  // bare or ::-qualified only
+      const bool repo_hit = status_fns.count(callee) > 0;
+      if (!posix_hit && !repo_hit) continue;
+      // An unqualified call to a name this file declares as a void method
+      // resolves to the member (`close();` == `this->close()`), not POSIX.
+      if (posix_hit && !repo_hit && !qualified && void_fns.count(callee)) {
+        continue;
+      }
+      if (sup.allows("unchecked-status", tokens[j].line)) continue;
+
+      Finding f;
+      f.check = "unchecked-status";
+      f.line = tokens[j].line;
+      f.message = "result of status-returning call '" +
+                  std::string(qualified ? "::" : "") + callee +
+                  "' is discarded";
+      f.hint =
+          "handle the return value, or make the discard explicit with "
+          "`// pico-lint: allow(unchecked-status): <why best-effort>`";
+      out.push_back(std::move(f));
+    }
+  }
+}
+
+}  // namespace pico::lint

@@ -1,0 +1,86 @@
+// pico_lint — check interface and registry.
+//
+// Five checks, each codifying a bug class this repo has actually shipped
+// (see DESIGN.md §12 for the motivating bugs and the suppression syntax):
+//
+//   narrow-mul           int×int extent/stride arithmetic that feeds a wide
+//                        context (64-bit variable, pointer offset, subscript,
+//                        allocation size) — the im2col / bucket_index class.
+//   unchecked-status     discarded result of a status-returning call
+//                        (POSIX errno-style calls, [[nodiscard]] functions,
+//                        Error/Status-returning repo functions).
+//   blocking-under-lock  send/recv/join/sleep-style blocking calls inside a
+//                        MutexLock / lock_guard scope — the class lockdep
+//                        only sees dynamically.
+//   unguarded-member     mutable members of runtime classes lacking
+//                        PICO_GUARDED_BY/atomic/const/exemption (the AST
+//                        promotion of tools/check_guarded.sh).
+//   wire-taint           allocation sizes, loop bounds or indices derived
+//                        from decoded wire bytes used before a bounds check.
+#pragma once
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lexer.hpp"
+#include "model.hpp"
+
+namespace pico::lint {
+
+struct Finding {
+  std::string check;
+  std::string path;     // path as given on the command line
+  std::string relpath;  // repo-relative (used for scoping + fingerprints)
+  int line = 0;
+  std::string message;
+  std::string hint;
+  std::string excerpt;  // whitespace-normalized source line
+};
+
+struct CheckOptions {
+  bool scope_all = false;  // run every check on every file (fixture tests)
+  std::set<std::string> enabled;  // empty = all
+  // Status-returning function names collected from declarations across the
+  // whole input set ([[nodiscard]] / Error-returning), merged with the
+  // builtin POSIX list by the unchecked-status check.
+  std::set<std::string> status_fns;
+};
+
+/// All check ids, in reporting order.
+const std::vector<std::string>& all_check_ids();
+
+/// True if `check` applies to the file at repo-relative path `relpath`.
+bool check_in_scope(const std::string& check, const std::string& relpath);
+
+/// Pre-pass: collect [[nodiscard]] / Error-returning function declarations.
+void collect_status_decls(const LexedFile& file,
+                          std::set<std::string>& status_fns);
+
+/// Run every enabled, in-scope check over one lexed file.
+std::vector<Finding> run_checks(const LexedFile& file,
+                                const std::string& relpath,
+                                const CheckOptions& options);
+
+// Individual checks (exposed for targeted testing).
+void check_narrowing(const LexedFile& file, const FileModel& model,
+                     const Suppressions& sup, const std::string& relpath,
+                     std::vector<Finding>& out);
+void check_status(const LexedFile& file, const FileModel& model,
+                  const Suppressions& sup, const std::string& relpath,
+                  const std::set<std::string>& status_fns,
+                  std::vector<Finding>& out);
+void check_locking(const LexedFile& file, const FileModel& model,
+                   const Suppressions& sup, const std::string& relpath,
+                   std::vector<Finding>& out);
+void check_guarded(const LexedFile& file, const FileModel& model,
+                   const Suppressions& sup, const std::string& relpath,
+                   std::vector<Finding>& out);
+void check_taint(const LexedFile& file, const FileModel& model,
+                 const Suppressions& sup, const std::string& relpath,
+                 std::vector<Finding>& out);
+
+/// Whitespace-normalized text of line `line` (1-based) of `file`.
+std::string line_excerpt(const LexedFile& file, int line);
+
+}  // namespace pico::lint

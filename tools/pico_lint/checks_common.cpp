@@ -1,0 +1,108 @@
+#include <algorithm>
+
+#include "checks.hpp"
+
+namespace pico::lint {
+
+const std::vector<std::string>& all_check_ids() {
+  static const std::vector<std::string> kIds = {
+      "narrow-mul",      "unchecked-status", "blocking-under-lock",
+      "unguarded-member", "wire-taint",
+  };
+  return kIds;
+}
+
+namespace {
+
+bool starts_with(const std::string& s, const std::string& prefix) {
+  return s.size() >= prefix.size() &&
+         s.compare(0, prefix.size(), prefix) == 0;
+}
+
+}  // namespace
+
+bool check_in_scope(const std::string& check, const std::string& relpath) {
+  // Scoping mirrors the bug classes' habitats (ISSUE 6): extent arithmetic
+  // lives in the kernel/tensor/partition math, the guarded-state rule covers
+  // the concurrent runtime headers (same file set as check_guarded.sh), and
+  // the taint check covers the transport decode surface.
+  if (check == "narrow-mul") {
+    return starts_with(relpath, "src/nn/") ||
+           starts_with(relpath, "src/tensor/") ||
+           starts_with(relpath, "src/partition/");
+  }
+  if (check == "unguarded-member") {
+    return (starts_with(relpath, "src/runtime/") &&
+            relpath.size() > 4 &&
+            relpath.compare(relpath.size() - 4, 4, ".hpp") == 0) ||
+           relpath == "src/common/thread_pool.hpp";
+  }
+  if (check == "wire-taint") {
+    return starts_with(relpath, "src/runtime/") ||
+           relpath == "src/obs/remote.cpp";
+  }
+  // unchecked-status, blocking-under-lock: the whole library tree.
+  return starts_with(relpath, "src/");
+}
+
+std::string line_excerpt(const LexedFile& file, int line) {
+  if (line < 1 || static_cast<std::size_t>(line) > file.lines.size()) {
+    return {};
+  }
+  const std::string& raw = file.lines[static_cast<std::size_t>(line - 1)];
+  std::string out;
+  bool in_space = true;
+  for (char c : raw) {
+    if (c == ' ' || c == '\t') {
+      if (!in_space) out += ' ';
+      in_space = true;
+    } else {
+      out += c;
+      in_space = false;
+    }
+  }
+  while (!out.empty() && out.back() == ' ') out.pop_back();
+  return out;
+}
+
+std::vector<Finding> run_checks(const LexedFile& file,
+                                const std::string& relpath,
+                                const CheckOptions& options) {
+  const FileModel model = build_model(file);
+  const Suppressions sup(file);
+  std::vector<Finding> out;
+
+  auto enabled = [&](const std::string& id) {
+    if (!options.enabled.empty() && !options.enabled.count(id)) return false;
+    return options.scope_all || check_in_scope(id, relpath);
+  };
+
+  if (enabled("narrow-mul")) {
+    check_narrowing(file, model, sup, relpath, out);
+  }
+  if (enabled("unchecked-status")) {
+    check_status(file, model, sup, relpath, options.status_fns, out);
+  }
+  if (enabled("blocking-under-lock")) {
+    check_locking(file, model, sup, relpath, out);
+  }
+  if (enabled("unguarded-member")) {
+    check_guarded(file, model, sup, relpath, out);
+  }
+  if (enabled("wire-taint")) {
+    check_taint(file, model, sup, relpath, out);
+  }
+
+  for (Finding& f : out) {
+    f.path = file.path;
+    f.relpath = relpath;
+    f.excerpt = line_excerpt(file, f.line);
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const Finding& a, const Finding& b) {
+                     return a.line < b.line;
+                   });
+  return out;
+}
+
+}  // namespace pico::lint

@@ -1,0 +1,496 @@
+// pico_lint_clang — Clang-AST frontend for the pico_lint check set.
+//
+// Builds only where the Clang development libraries are installed (the CMake
+// target is gated on find_package(Clang)); the self-contained token engine
+// in pico_lint.cpp is the always-available, authoritative gate.  This
+// frontend resolves the same five checks over the real AST, which removes
+// the token engine's heuristics for declaration/width/scope recognition:
+//
+//   narrow-mul           an implicit integral cast to a 64-bit type whose
+//                        operand is a 32-bit multiply, or a 32-bit multiply
+//                        added to a pointer — exact types from Sema.
+//   unchecked-status     a call whose non-void result is an unused
+//                        expression-statement, filtered to the POSIX
+//                        errno-set and Error/Status-returning functions.
+//   blocking-under-lock  a blocking call lexically inside the scope of a
+//                        lock guard variable.
+//   unguarded-member     a mutable field without a guarded_by attribute in
+//                        the concurrent runtime headers.
+//   wire-taint           delegated to the shared intraprocedural token
+//                        engine — the data-flow is identical either way.
+//
+// Reporting, suppression comments, scoping and the baseline format are all
+// shared with the token engine (same Finding/fingerprint code), so the two
+// frontends are drop-in interchangeable in CI.
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "clang/AST/ASTConsumer.h"
+#include "clang/AST/ASTContext.h"
+#include "clang/AST/Attr.h"
+#include "clang/AST/Decl.h"
+#include "clang/AST/Expr.h"
+#include "clang/AST/ExprCXX.h"
+#include "clang/AST/RecursiveASTVisitor.h"
+#include "clang/Basic/SourceManager.h"
+#include "clang/Frontend/CompilerInstance.h"
+#include "clang/Frontend/FrontendAction.h"
+#include "clang/Tooling/CompilationDatabase.h"
+#include "clang/Tooling/JSONCompilationDatabase.h"
+#include "clang/Tooling/Tooling.h"
+
+#include "baseline.hpp"
+#include "checks.hpp"
+#include "lexer.hpp"
+
+namespace fs = std::filesystem;
+using namespace pico::lint;
+
+namespace {
+
+struct ToolConfig {
+  std::string src_root;
+  std::string compdb;
+  std::string baseline_path;
+};
+
+// Findings accumulate across translation units (headers are seen many
+// times); dedup on fingerprint+line.
+struct Sink {
+  std::vector<Finding> findings;
+  std::set<std::string> seen;
+  const ToolConfig* config = nullptr;
+
+  void add(Finding f) {
+    const std::string key = fingerprint(f) + ":" + std::to_string(f.line);
+    if (seen.insert(key).second) findings.push_back(std::move(f));
+  }
+};
+
+const std::set<std::string>& posix_status_fns() {
+  static const std::set<std::string> kPosix = {
+      "close",      "shutdown", "setsockopt", "listen",    "bind",
+      "connect",    "fcntl",    "unlink",     "ftruncate", "fsync",
+      "fdatasync",  "fclose",   "fflush",     "chmod",     "kill",
+      "sigaction",  "dup2",     "pipe",       "mkdir",     "rmdir",
+      "rename",     "remove",   "msync",      "munmap",    "chdir",
+  };
+  return kPosix;
+}
+
+const std::set<std::string>& blocking_calls() {
+  static const std::set<std::string> kBlocking = {
+      "send",     "recv",       "recvfrom",  "sendto",      "accept",
+      "connect",  "join",       "sleep_for", "sleep_until", "usleep",
+      "nanosleep", "sleep",     "poll",      "select",      "epoll_wait",
+      "getaddrinfo", "system",  "popen",     "flock",
+  };
+  return kBlocking;
+}
+
+const std::set<std::string>& guard_types() {
+  static const std::set<std::string> kGuards = {
+      "MutexLock", "lock_guard", "unique_lock", "scoped_lock", "shared_lock",
+  };
+  return kGuards;
+}
+
+bool type_name_contains(const std::string& name, const char* needle) {
+  return name.find(needle) != std::string::npos;
+}
+
+class Visitor : public clang::RecursiveASTVisitor<Visitor> {
+ public:
+  Visitor(clang::ASTContext& ctx, Sink& sink)
+      : ctx_(ctx), sm_(ctx.getSourceManager()), sink_(sink) {}
+
+  // Location helpers ------------------------------------------------------
+
+  /// Repo-relative path for a location, or empty when outside src_root.
+  std::string relpath(clang::SourceLocation loc) {
+    if (loc.isInvalid()) return {};
+    const clang::SourceLocation spelling = sm_.getSpellingLoc(loc);
+    const std::string file = sm_.getFilename(spelling).str();
+    if (file.empty()) return {};
+    std::error_code ec;
+    const fs::path abs = fs::weakly_canonical(file, ec);
+    const fs::path root = fs::weakly_canonical(sink_.config->src_root, ec);
+    const fs::path rel = abs.lexically_relative(root);
+    if (rel.empty() || rel.native().rfind("..", 0) == 0) return {};
+    return rel.generic_string();
+  }
+
+  int line_of(clang::SourceLocation loc) {
+    return static_cast<int>(
+        sm_.getSpellingLineNumber(sm_.getSpellingLoc(loc)));
+  }
+
+  void report(const std::string& check, clang::SourceLocation loc,
+              const std::string& message, const std::string& hint) {
+    const std::string rel = relpath(loc);
+    if (rel.empty() || !check_in_scope(check, rel)) return;
+    const int line = line_of(loc);
+    // Comment suppressions live in the lexed file.
+    const LexedFile* lf = lexed(rel);
+    if (lf != nullptr) {
+      const Suppressions sup(*lf);
+      if (sup.allows(check, line)) return;
+    }
+    Finding f;
+    f.check = check;
+    f.relpath = rel;
+    f.path = rel;
+    f.line = line;
+    f.message = message;
+    f.hint = hint;
+    if (lf != nullptr) f.excerpt = line_excerpt(*lf, line);
+    sink_.add(std::move(f));
+  }
+
+  // narrow-mul ------------------------------------------------------------
+
+  bool is_narrow_int(clang::QualType qt) {
+    return !qt.isNull() && qt->isIntegerType() && !qt->isBooleanType() &&
+           ctx_.getTypeSize(qt) <= 32;
+  }
+
+  const clang::BinaryOperator* narrow_mul_operand(const clang::Expr* e) {
+    if (e == nullptr) return nullptr;
+    const auto* mul =
+        llvm::dyn_cast<clang::BinaryOperator>(e->IgnoreParenImpCasts());
+    if (mul == nullptr || mul->getOpcode() != clang::BO_Mul) return nullptr;
+    if (!is_narrow_int(mul->getType())) return nullptr;
+    return mul;
+  }
+
+  bool VisitImplicitCastExpr(const clang::ImplicitCastExpr* cast) {
+    if (cast->getCastKind() != clang::CK_IntegralCast) return true;
+    const clang::QualType to = cast->getType();
+    if (!to->isIntegerType() || ctx_.getTypeSize(to) < 64) return true;
+    const clang::BinaryOperator* mul = narrow_mul_operand(cast->getSubExpr());
+    if (mul == nullptr) return true;
+    report("narrow-mul", mul->getOperatorLoc(),
+           "32-bit multiply widened to " + to.getAsString() +
+               " after the fact; the product can overflow before widening",
+           "compute in 64 bits first: static_cast<std::int64_t>(lhs) * rhs");
+    return true;
+  }
+
+  bool VisitBinaryOperator(const clang::BinaryOperator* op) {
+    // Pointer offset: `ptr + a * b` with a 32-bit product.
+    if (op->getOpcode() != clang::BO_Add &&
+        op->getOpcode() != clang::BO_Sub) {
+      return true;
+    }
+    const clang::Expr* lhs = op->getLHS();
+    const clang::Expr* rhs = op->getRHS();
+    if (lhs == nullptr || rhs == nullptr) return true;
+    if (!lhs->getType()->isPointerType()) return true;
+    const clang::BinaryOperator* mul = narrow_mul_operand(rhs);
+    if (mul == nullptr) return true;
+    report("narrow-mul", mul->getOperatorLoc(),
+           "32-bit multiply used as a pointer offset; the product can "
+           "overflow before the pointer arithmetic widens it",
+           "compute in 64 bits first: static_cast<std::ptrdiff_t>(lhs) * "
+           "rhs");
+    return true;
+  }
+
+  // unchecked-status ------------------------------------------------------
+
+  bool VisitCompoundStmt(const clang::CompoundStmt* block) {
+    for (const clang::Stmt* stmt : block->body()) {
+      const auto* call = llvm::dyn_cast<clang::CallExpr>(stmt);
+      if (call == nullptr) continue;  // (void)-cast discards don't match
+      const clang::FunctionDecl* callee = call->getDirectCallee();
+      if (callee == nullptr) continue;
+      if (callee->getReturnType()->isVoidType()) continue;
+      const std::string name = callee->getNameAsString();
+      const std::string ret = callee->getReturnType().getAsString();
+      const bool posix_hit = posix_status_fns().count(name) > 0 &&
+                             !llvm::isa<clang::CXXMemberCallExpr>(call);
+      const bool repo_hit = callee->hasAttr<clang::WarnUnusedResultAttr>() ||
+                            type_name_contains(ret, "Error") ||
+                            type_name_contains(ret, "Status");
+      if (!posix_hit && !repo_hit) continue;
+      report("unchecked-status", call->getBeginLoc(),
+             "result of status-returning call '" + name + "' is discarded",
+             "handle the return value, or make the discard explicit with "
+             "`// pico-lint: allow(unchecked-status): <why best-effort>`");
+    }
+    return true;
+  }
+
+  // blocking-under-lock ---------------------------------------------------
+
+  bool VisitFunctionDecl(const clang::FunctionDecl* fn) {
+    if (!fn->hasBody()) return true;
+    const auto* body = llvm::dyn_cast<clang::CompoundStmt>(fn->getBody());
+    if (body == nullptr) return true;
+    scan_lock_scopes(body, /*lock_active=*/false, "");
+    return true;
+  }
+
+  void scan_lock_scopes(const clang::CompoundStmt* block, bool lock_active,
+                        std::string guard_name) {
+    for (const clang::Stmt* stmt : block->body()) {
+      // A guard declaration makes the REST of this block a lock scope.
+      if (const auto* decl_stmt = llvm::dyn_cast<clang::DeclStmt>(stmt)) {
+        for (const clang::Decl* d : decl_stmt->decls()) {
+          const auto* vd = llvm::dyn_cast<clang::VarDecl>(d);
+          if (vd == nullptr) continue;
+          const std::string type_name = vd->getType().getAsString();
+          for (const std::string& guard : guard_types()) {
+            if (type_name_contains(type_name, guard.c_str())) {
+              lock_active = true;
+              guard_name = vd->getNameAsString();
+            }
+          }
+        }
+        continue;
+      }
+      if (lock_active) flag_blocking_calls(stmt, guard_name);
+      // Nested blocks inherit the current lock state.
+      if (const auto* nested = llvm::dyn_cast<clang::CompoundStmt>(stmt)) {
+        scan_lock_scopes(nested, lock_active, guard_name);
+      }
+    }
+  }
+
+  void flag_blocking_calls(const clang::Stmt* stmt,
+                           const std::string& guard_name) {
+    if (stmt == nullptr) return;
+    if (const auto* call = llvm::dyn_cast<clang::CallExpr>(stmt)) {
+      const clang::FunctionDecl* callee = call->getDirectCallee();
+      if (callee != nullptr) {
+        const std::string name = callee->getNameAsString();
+        if (blocking_calls().count(name) > 0) {
+          report("blocking-under-lock", call->getBeginLoc(),
+                 "blocking call '" + name + "' while holding lock '" +
+                     guard_name + "'",
+                 "move the blocking call outside the critical section, or "
+                 "annotate with `// pico-lint: allow(blocking-under-lock): "
+                 "<reason>`");
+        }
+      }
+    }
+    if (llvm::isa<clang::CompoundStmt>(stmt)) return;  // handled by caller
+    for (const clang::Stmt* child : stmt->children()) {
+      flag_blocking_calls(child, guard_name);
+    }
+  }
+
+  // unguarded-member ------------------------------------------------------
+
+  bool VisitFieldDecl(const clang::FieldDecl* field) {
+    const std::string rel = relpath(field->getLocation());
+    if (rel.empty() || !check_in_scope("unguarded-member", rel)) return true;
+    const std::string name = field->getNameAsString();
+    // Policy mirror of tools/check_guarded.sh: only trailing-underscore
+    // members participate.
+    if (name.empty() || name.back() != '_') return true;
+    const clang::QualType qt = field->getType();
+    const std::string type_name = qt.getAsString();
+    if (qt.isConstQualified() || qt->isAtomicType() ||
+        type_name_contains(type_name, "atomic") ||
+        type_name_contains(type_name, "Mutex") ||
+        type_name_contains(type_name, "CondVar") ||
+        type_name_contains(type_name, "mutex") ||
+        type_name_contains(type_name, "condition_variable")) {
+      return true;
+    }
+    if (field->hasAttr<clang::GuardedByAttr>() ||
+        field->hasAttr<clang::PtGuardedByAttr>()) {
+      return true;
+    }
+    const clang::RecordDecl* parent = field->getParent();
+    const std::string cls =
+        parent != nullptr ? parent->getNameAsString() : "";
+    report("unguarded-member", field->getLocation(),
+           "mutable member '" + name + "' of class " + cls + " (type: " +
+               type_name + ") has no concurrency discipline",
+           "annotate PICO_GUARDED_BY(<mutex>), make it std::atomic or "
+           "const, or document why with `// sched-exempt: <reason>`");
+    return true;
+  }
+
+ private:
+  const LexedFile* lexed(const std::string& rel) {
+    auto it = lexed_.find(rel);
+    if (it != lexed_.end()) return it->second.get();
+    const fs::path full = fs::path(sink_.config->src_root) / rel;
+    std::unique_ptr<LexedFile> lf;
+    try {
+      lf = std::make_unique<LexedFile>(lex_file(full.string()));
+    } catch (const std::exception&) {
+      lf = nullptr;
+    }
+    const LexedFile* raw = lf.get();
+    lexed_.emplace(rel, std::move(lf));
+    return raw;
+  }
+
+  clang::ASTContext& ctx_;
+  clang::SourceManager& sm_;
+  Sink& sink_;
+  std::map<std::string, std::unique_ptr<LexedFile>> lexed_;
+};
+
+class Consumer : public clang::ASTConsumer {
+ public:
+  explicit Consumer(Sink& sink) : sink_(sink) {}
+  void HandleTranslationUnit(clang::ASTContext& ctx) override {
+    Visitor visitor(ctx, sink_);
+    visitor.TraverseDecl(ctx.getTranslationUnitDecl());
+  }
+
+ private:
+  Sink& sink_;
+};
+
+class Action : public clang::ASTFrontendAction {
+ public:
+  explicit Action(Sink& sink) : sink_(sink) {}
+  std::unique_ptr<clang::ASTConsumer> CreateASTConsumer(
+      clang::CompilerInstance&, llvm::StringRef) override {
+    return std::make_unique<Consumer>(sink_);
+  }
+
+ private:
+  Sink& sink_;
+};
+
+class ActionFactory : public clang::tooling::FrontendActionFactory {
+ public:
+  explicit ActionFactory(Sink& sink) : sink_(sink) {}
+  std::unique_ptr<clang::FrontendAction> create() override {
+    return std::make_unique<Action>(sink_);
+  }
+
+ private:
+  Sink& sink_;
+};
+
+/// wire-taint runs on the shared token engine — identical data-flow.
+void run_taint_engine(const ToolConfig& config, Sink& sink) {
+  const fs::path src = fs::path(config.src_root) / "src";
+  if (!fs::is_directory(src)) return;
+  for (const auto& entry : fs::recursive_directory_iterator(src)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string ext = entry.path().extension().string();
+    if (ext != ".cpp" && ext != ".hpp") continue;
+    std::error_code ec;
+    const std::string rel =
+        fs::weakly_canonical(entry.path(), ec)
+            .lexically_relative(fs::weakly_canonical(config.src_root, ec))
+            .generic_string();
+    CheckOptions options;
+    options.enabled = {"wire-taint"};
+    try {
+      const LexedFile file = lex_file(entry.path().string());
+      for (Finding& f : run_checks(file, rel, options)) {
+        sink.add(std::move(f));
+      }
+    } catch (const std::exception&) {
+      // Unreadable file: the token engine gate reports it.
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ToolConfig config;
+  std::vector<std::string> files;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&](std::string& into) {
+      if (i + 1 >= argc) {
+        std::cerr << "pico_lint_clang: missing value for " << arg << "\n";
+        std::exit(1);
+      }
+      into = argv[++i];
+    };
+    if (arg == "--src-root") {
+      next(config.src_root);
+    } else if (arg == "--compdb") {
+      next(config.compdb);
+    } else if (arg == "--baseline") {
+      next(config.baseline_path);
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: pico_lint_clang --src-root <repo> --compdb "
+                   "<compile_commands.json> [--baseline <file>] [files...]\n";
+      return 0;
+    } else {
+      files.push_back(arg);
+    }
+  }
+  if (config.src_root.empty() || config.compdb.empty()) {
+    std::cerr << "pico_lint_clang: --src-root and --compdb are required\n";
+    return 1;
+  }
+
+  std::string error;
+  std::unique_ptr<clang::tooling::CompilationDatabase> db =
+      clang::tooling::JSONCompilationDatabase::loadFromFile(
+          config.compdb, error,
+          clang::tooling::JSONCommandLineSyntax::AutoDetect);
+  if (db == nullptr) {
+    std::cerr << "pico_lint_clang: cannot load compdb: " << error << "\n";
+    return 1;
+  }
+  if (files.empty()) {
+    for (const std::string& f : db->getAllFiles()) {
+      // Only lint the repo's own library tree.
+      if (f.find("/src/") != std::string::npos) files.push_back(f);
+    }
+  }
+
+  Sink sink;
+  sink.config = &config;
+  clang::tooling::ClangTool tool(*db, files);
+  ActionFactory factory(sink);
+  if (tool.run(&factory) != 0) {
+    std::cerr << "pico_lint_clang: some translation units failed to parse\n";
+    // Keep going: findings from parsed TUs are still valid.
+  }
+  run_taint_engine(config, sink);
+
+  std::set<std::string> baseline;
+  if (!config.baseline_path.empty()) {
+    bool ok = false;
+    baseline = load_baseline(config.baseline_path, ok);
+    if (!ok) {
+      std::cerr << "pico_lint_clang: cannot read baseline "
+                << config.baseline_path << "\n";
+      return 1;
+    }
+  }
+
+  std::stable_sort(sink.findings.begin(), sink.findings.end(),
+                   [](const Finding& a, const Finding& b) {
+                     if (a.relpath != b.relpath) return a.relpath < b.relpath;
+                     return a.line < b.line;
+                   });
+  std::size_t known = 0, fresh = 0;
+  for (const Finding& f : sink.findings) {
+    if (baseline.count(fingerprint(f))) {
+      ++known;
+      continue;
+    }
+    ++fresh;
+    std::cout << f.relpath << ":" << f.line << ": [" << f.check << "] "
+              << f.message << "\n    " << f.excerpt << "\n    fix: "
+              << f.hint << "\n";
+  }
+  std::cout << "pico_lint_clang: " << fresh << " new finding(s), " << known
+            << " baselined\n";
+  return fresh == 0 ? 0 : 2;
+}

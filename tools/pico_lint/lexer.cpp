@@ -1,0 +1,219 @@
+#include "lexer.hpp"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace pico::lint {
+
+namespace {
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+// Multi-character punctuators, longest first so greedy matching works.
+constexpr const char* kPuncts[] = {
+    "...", "->*", "<<=", ">>=", "<=>", "::", "->", "++", "--", "<<", ">>",
+    "<=", ">=", "==", "!=", "&&", "||", "+=", "-=", "*=", "/=", "%=",
+    "&=", "|=", "^=", ".*",
+};
+
+}  // namespace
+
+LexedFile lex(std::string path, std::string_view content) {
+  LexedFile out;
+  out.path = std::move(path);
+  {
+    std::size_t pos = 0;
+    while (pos <= content.size()) {
+      std::size_t nl = content.find('\n', pos);
+      if (nl == std::string_view::npos) nl = content.size();
+      out.lines.emplace_back(content.substr(pos, nl - pos));
+      if (nl == content.size()) break;
+      pos = nl + 1;
+    }
+  }
+  std::size_t i = 0;
+  const std::size_t n = content.size();
+  int line = 1;
+  // Per-line flag: saw a non-comment token on this line.
+  std::map<int, bool> line_has_code;
+
+  auto record_comment = [&](int at_line, std::string_view text) {
+    std::string& slot = out.comments[at_line];
+    if (!slot.empty()) slot += ' ';
+    slot.append(text);
+  };
+
+  while (i < n) {
+    const char c = content[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // Preprocessor directive: skip to end of line, honoring continuations.
+    if (c == '#' &&
+        (out.tokens.empty() || out.tokens.back().line != line ||
+         !line_has_code[line])) {
+      while (i < n) {
+        if (content[i] == '\\' && i + 1 < n && content[i + 1] == '\n') {
+          ++line;
+          i += 2;
+          continue;
+        }
+        if (content[i] == '\n') break;
+        ++i;
+      }
+      continue;
+    }
+    // Line comment.
+    if (c == '/' && i + 1 < n && content[i + 1] == '/') {
+      const std::size_t start = i;
+      while (i < n && content[i] != '\n') ++i;
+      record_comment(line, content.substr(start, i - start));
+      continue;
+    }
+    // Block comment.
+    if (c == '/' && i + 1 < n && content[i + 1] == '*') {
+      const int start_line = line;
+      const std::size_t start = i;
+      i += 2;
+      while (i + 1 < n && !(content[i] == '*' && content[i + 1] == '/')) {
+        if (content[i] == '\n') ++line;
+        ++i;
+      }
+      i = (i + 1 < n) ? i + 2 : n;
+      // Attribute the whole comment text to every line it spans, so
+      // same-line / previous-line suppression lookups both work.
+      const std::string_view text = content.substr(start, i - start);
+      for (int l = start_line; l <= line; ++l) record_comment(l, text);
+      continue;
+    }
+    // Raw string literal: R"delim( ... )delim".
+    if (c == 'R' && i + 1 < n && content[i + 1] == '"') {
+      std::size_t j = i + 2;
+      std::string delim;
+      while (j < n && content[j] != '(') delim += content[j++];
+      const std::string closer = ")" + delim + "\"";
+      std::size_t end = content.find(closer, j);
+      if (end == std::string_view::npos) end = n;
+      const std::size_t stop = std::min(n, end + closer.size());
+      Token t;
+      t.kind = Token::Kind::String;
+      t.text = std::string(content.substr(i, stop - i));
+      t.line = line;
+      for (std::size_t k = i; k < stop; ++k) {
+        if (content[k] == '\n') ++line;
+      }
+      i = stop;
+      line_has_code[t.line] = true;
+      out.tokens.push_back(std::move(t));
+      continue;
+    }
+    // String / char literal.
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      const std::size_t start = i;
+      ++i;
+      while (i < n && content[i] != quote) {
+        if (content[i] == '\\' && i + 1 < n) ++i;
+        if (content[i] == '\n') ++line;  // unterminated; keep line count sane
+        ++i;
+      }
+      if (i < n) ++i;  // closing quote
+      Token t;
+      t.kind = quote == '"' ? Token::Kind::String : Token::Kind::Char;
+      t.text = std::string(content.substr(start, i - start));
+      t.line = line;
+      line_has_code[line] = true;
+      out.tokens.push_back(std::move(t));
+      continue;
+    }
+    // Identifier / keyword.
+    if (ident_start(c)) {
+      const std::size_t start = i;
+      while (i < n && ident_char(content[i])) ++i;
+      Token t;
+      t.kind = Token::Kind::Ident;
+      t.text = std::string(content.substr(start, i - start));
+      t.line = line;
+      line_has_code[line] = true;
+      out.tokens.push_back(std::move(t));
+      continue;
+    }
+    // Number (accepts hex, digit separators, suffixes, exponents, dots).
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(content[i + 1])))) {
+      const std::size_t start = i;
+      while (i < n && (ident_char(content[i]) || content[i] == '\'' ||
+                       content[i] == '.' ||
+                       ((content[i] == '+' || content[i] == '-') && i > start &&
+                        (content[i - 1] == 'e' || content[i - 1] == 'E' ||
+                         content[i - 1] == 'p' || content[i - 1] == 'P')))) {
+        ++i;
+      }
+      Token t;
+      t.kind = Token::Kind::Number;
+      t.text = std::string(content.substr(start, i - start));
+      t.line = line;
+      line_has_code[line] = true;
+      out.tokens.push_back(std::move(t));
+      continue;
+    }
+    // Punctuator: longest match.
+    {
+      Token t;
+      t.kind = Token::Kind::Punct;
+      t.line = line;
+      std::string_view rest = content.substr(i);
+      std::string matched;
+      for (const char* p : kPuncts) {
+        const std::string_view sv(p);
+        if (rest.substr(0, sv.size()) == sv) {
+          matched = std::string(sv);
+          break;
+        }
+      }
+      if (matched.empty()) matched = std::string(1, c);
+      t.text = matched;
+      i += matched.size();
+      line_has_code[line] = true;
+      out.tokens.push_back(std::move(t));
+      continue;
+    }
+  }
+
+  for (const auto& [l, text] : out.comments) {
+    out.comment_only[l] = !line_has_code.count(l) || !line_has_code[l];
+    (void)text;
+  }
+  Token end;
+  end.kind = Token::Kind::End;
+  end.line = line;
+  out.tokens.push_back(std::move(end));
+  return out;
+}
+
+LexedFile lex_file(const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file.good()) {
+    throw std::runtime_error("pico_lint: cannot read " + path);
+  }
+  std::ostringstream ss;
+  ss << file.rdbuf();
+  const std::string content = ss.str();
+  return lex(path, content);
+}
+
+}  // namespace pico::lint

@@ -1,0 +1,47 @@
+// pico_lint — C++ tokenizer for the fallback (no-clang) analysis engine.
+//
+// Produces a comment-free token stream plus a per-line comment map (the
+// comments carry the `pico-lint: allow(...)` / `sched-exempt` suppression
+// syntax, so they are kept out of band rather than discarded).  This is a
+// *lexer*, not a parser: the micro-AST layer (model.hpp) recovers just
+// enough structure (functions, classes, declarations) for the checks.
+#pragma once
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pico::lint {
+
+struct Token {
+  enum class Kind { Ident, Number, String, Char, Punct, End };
+  Kind kind = Kind::End;
+  std::string text;
+  int line = 0;  // 1-based
+
+  bool is(std::string_view t) const { return text == t; }
+  bool ident() const { return kind == Kind::Ident; }
+};
+
+struct LexedFile {
+  std::string path;           // as passed to lex()
+  std::vector<Token> tokens;  // comments and preprocessor lines stripped
+  // line number -> concatenated comment text appearing on that line.
+  std::map<int, std::string> comments;
+  // lines that contain only comments / whitespace (no code tokens).
+  std::map<int, bool> comment_only;
+  // raw source lines (index 0 = line 1), for excerpts and fingerprints.
+  std::vector<std::string> lines;
+};
+
+/// Tokenize `content`.  Handles //, /* */, string/char literals (with
+/// escapes), raw strings, digit separators, and preprocessor directives
+/// (skipped, including line continuations).
+LexedFile lex(std::string path, std::string_view content);
+
+/// Convenience: read the file at `path` and lex it.  Throws std::runtime_error
+/// if the file cannot be read.
+LexedFile lex_file(const std::string& path);
+
+}  // namespace pico::lint

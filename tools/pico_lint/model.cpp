@@ -1,0 +1,820 @@
+#include "model.hpp"
+
+#include <algorithm>
+#include <cstddef>
+
+namespace pico::lint {
+
+namespace {
+
+const std::set<std::string>& narrow_types() {
+  static const std::set<std::string> kNarrow = {
+      "int",      "signed",   "unsigned", "short",    "char",
+      "int8_t",   "int16_t",  "int32_t",  "uint8_t",  "uint16_t",
+      "uint32_t", "char8_t",  "char16_t", "char32_t", "wchar_t",
+  };
+  return kNarrow;
+}
+
+const std::set<std::string>& wide_types() {
+  static const std::set<std::string> kWide = {
+      "long",      "int64_t",   "uint64_t",  "size_t",    "ptrdiff_t",
+      "ssize_t",   "streamsize", "intptr_t", "uintptr_t", "intmax_t",
+      "uintmax_t", "off_t",
+  };
+  return kWide;
+}
+
+bool is_statement_keyword(const std::string& t) {
+  static const std::set<std::string> kKeywords = {
+      "return", "throw",  "delete",   "if",     "else",    "for",
+      "while",  "do",     "switch",   "case",   "default", "break",
+      "continue", "goto", "new",      "using",  "typedef", "template",
+      "public", "private", "protected", "try",  "catch",   "sizeof",
+      "co_return", "co_yield", "co_await", "static_assert", "friend",
+      "operator", "this", "namespace", "class", "struct",  "union",
+      "enum",
+  };
+  return kKeywords.count(t) > 0;
+}
+
+bool is_qualifier(const std::string& t) {
+  static const std::set<std::string> kQual = {
+      "const", "constexpr", "static", "mutable", "volatile", "register",
+      "thread_local", "inline",
+  };
+  return kQual.count(t) > 0;
+}
+
+bool is_builtin_type_word(const std::string& t) {
+  static const std::set<std::string> kBuiltin = {
+      "unsigned", "signed", "long", "short", "int", "char", "bool",
+      "float", "double", "void", "auto",
+  };
+  return kBuiltin.count(t) > 0;
+}
+
+/// Skip a balanced template-argument list starting at `i` (tokens[i] == "<").
+/// Returns the index just past the matching ">".  Conservative: gives up (and
+/// returns i + 1) if the region does not balance within the statement.
+std::size_t skip_template_args(const std::vector<Token>& tokens,
+                               std::size_t i) {
+  int depth = 0;
+  std::size_t j = i;
+  const std::size_t limit = std::min(tokens.size(), i + 400);
+  while (j < limit) {
+    const std::string& t = tokens[j].text;
+    if (t == "<") {
+      ++depth;
+    } else if (t == ">") {
+      --depth;
+      if (depth == 0) return j + 1;
+    } else if (t == ">>") {
+      depth -= 2;
+      if (depth <= 0) return j + 1;
+    } else if (t == ";" || t == "{") {
+      break;  // clearly not a template argument list
+    }
+    ++j;
+  }
+  return i + 1;
+}
+
+}  // namespace
+
+std::size_t match_forward(const std::vector<Token>& tokens, std::size_t open) {
+  const std::string& o = tokens[open].text;
+  std::string close;
+  if (o == "(") {
+    close = ")";
+  } else if (o == "[") {
+    close = "]";
+  } else if (o == "{") {
+    close = "}";
+  } else {
+    return open;
+  }
+  int depth = 0;
+  for (std::size_t i = open; i < tokens.size(); ++i) {
+    const std::string& t = tokens[i].text;
+    if (t == o) {
+      ++depth;
+    } else if (t == close) {
+      --depth;
+      if (depth == 0) return i;
+    }
+  }
+  return tokens.size() - 1;
+}
+
+Width classify_type(const std::vector<std::string>& type_tokens) {
+  bool saw_narrow = false, saw_wide = false, saw_other = false,
+       saw_auto = false;
+  for (std::size_t i = 0; i < type_tokens.size(); ++i) {
+    const std::string& t = type_tokens[i];
+    if (t == "*") return Width::Pointer;
+    if (t == "&" || t == "&&" || t == "::" || is_qualifier(t)) continue;
+    if (t == "auto") {
+      saw_auto = true;
+      continue;
+    }
+    if (t == "long") {
+      saw_wide = true;  // long and long long are 64-bit on LP64
+      continue;
+    }
+    if (wide_types().count(t)) {
+      saw_wide = true;
+      continue;
+    }
+    if (narrow_types().count(t)) {
+      saw_narrow = true;
+      continue;
+    }
+    if (t == "bool" || t == "float" || t == "double" || t == "void") {
+      saw_other = true;
+      continue;
+    }
+    if (t == "std") continue;
+    // Any other identifier (class types, templates) -> not an integer we
+    // can reason about.
+    saw_other = true;
+  }
+  if (saw_other) return Width::Other;
+  if (saw_wide) return Width::Wide;
+  if (saw_narrow) return Width::Narrow;
+  if (saw_auto) return Width::Unknown;
+  return Width::Unknown;
+}
+
+// ---------------------------------------------------------------------------
+// build_model
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct BraceClass {
+  enum Kind { Namespace, Class, Function, Skip, Transparent } kind;
+  std::string name;          // class or function name when applicable
+  std::size_t params_begin;  // for Function: '(' of the parameter list
+};
+
+/// Classify the '{' at index `open` by scanning backwards.
+BraceClass classify_open_brace(const std::vector<Token>& tokens,
+                               std::size_t open) {
+  // Scan the introducer span: backwards to the previous ';', '{' or '}'.
+  std::size_t span_begin = 0;
+  {
+    int angle = 0;  // tolerate '>' of template parameter lists
+    std::size_t j = open;
+    while (j > 0) {
+      --j;
+      const std::string& t = tokens[j].text;
+      if (t == ">") ++angle;
+      if (t == "<" && angle > 0) --angle;
+      if (t == ";" || t == "{" || t == "}") {
+        span_begin = j + 1;
+        break;
+      }
+      if (t == ")") {
+        // Jump over balanced parens so `for (...;...;...)` semicolons do
+        // not terminate the span scan.
+        int depth = 0;
+        while (j > 0) {
+          const std::string& u = tokens[j].text;
+          if (u == ")") ++depth;
+          if (u == "(") {
+            --depth;
+            if (depth == 0) break;
+          }
+          --j;
+        }
+      }
+    }
+  }
+
+  bool has_namespace = false, has_class = false, has_enum = false;
+  for (std::size_t j = span_begin; j < open; ++j) {
+    const std::string& t = tokens[j].text;
+    if (t == "namespace" || t == "extern") has_namespace = true;
+    if (t == "class" || t == "struct" || t == "union") has_class = true;
+    if (t == "enum") has_enum = true;
+    if (t == "(") {
+      // `class`/`struct` appearing inside parens (a parameter) does not
+      // introduce a class body; stop treating the span as a class head.
+      has_class = false;
+      has_namespace = false;
+    }
+  }
+  if (has_enum) return {BraceClass::Skip, "", 0};
+  if (has_namespace) return {BraceClass::Namespace, "", 0};
+  if (has_class) {
+    // Class name: identifier right after the class/struct keyword.
+    std::string name;
+    for (std::size_t j = span_begin; j + 1 < open; ++j) {
+      const std::string& t = tokens[j].text;
+      if (t == "class" || t == "struct" || t == "union") {
+        if (tokens[j + 1].ident()) name = tokens[j + 1].text;
+        break;
+      }
+    }
+    return {BraceClass::Class, name, 0};
+  }
+
+  // Function body?  Walk back over trailing qualifiers to a ')'.
+  std::size_t j = open;
+  while (j > span_begin) {
+    --j;
+    const std::string& t = tokens[j].text;
+    if (t == "const" || t == "noexcept" || t == "override" || t == "final" ||
+        t == "mutable" || t == "try" || t == "->" || t == "&" || t == "&&" ||
+        tokens[j].ident()) {
+      // `-> Type` trailing return types and PICO_*() qualifier macros pass
+      // through; a bare identifier here is either a trailing return type or
+      // an attribute macro name.
+      if (t == ")" || t == "{") break;
+      continue;
+    }
+    if (t == ")") {
+      // Find the matching '('; handle constructor init lists by walking
+      // further left across `: member(init), member(init)` chains.
+      std::size_t close = j;
+      for (;;) {
+        int depth = 0;
+        std::size_t k = close;
+        while (k > 0) {
+          const std::string& u = tokens[k].text;
+          if (u == ")" || u == "}") ++depth;
+          if (u == "(" || u == "{") {
+            --depth;
+            if (depth == 0) break;
+          }
+          --k;
+        }
+        // Token before the '(' (or '{' of a brace-init in an init list).
+        if (k == 0) return {BraceClass::Skip, "", 0};
+        std::size_t before = k - 1;
+        if (!tokens[before].ident()) {
+          // `if (...) {`, `for (...) {`, lambda `] (...) {`, etc.
+          return {BraceClass::Transparent, "", 0};
+        }
+        const std::string callee = tokens[before].text;
+        if (callee == "if" || callee == "for" || callee == "while" ||
+            callee == "switch" || callee == "catch") {
+          return {BraceClass::Transparent, "", 0};
+        }
+        // Init-list member?  `X::X(...) : member_(init), other_{init} {`
+        // The token before `member_(` is ':' or ','.
+        if (before > 0 &&
+            (tokens[before - 1].text == ":" || tokens[before - 1].text == ",")) {
+          // Walk left past the ':' of the init list to the param list ')'.
+          std::size_t colon = before - 1;
+          while (colon > 0 && tokens[colon].text == ",") {
+            // Skip the previous initializer group: ident ( ... ) or
+            // ident { ... }.
+            std::size_t g = colon - 1;  // should be ')' or '}'
+            int d = 0;
+            while (g > 0) {
+              const std::string& u = tokens[g].text;
+              if (u == ")" || u == "}") ++d;
+              if (u == "(" || u == "{") {
+                --d;
+                if (d == 0) break;
+              }
+              --g;
+            }
+            if (g < 2) return {BraceClass::Skip, "", 0};
+            colon = g - 2;  // before the initializer's identifier
+          }
+          if (tokens[colon].text != ":") return {BraceClass::Skip, "", 0};
+          if (colon == 0 || tokens[colon - 1].text != ")") {
+            return {BraceClass::Skip, "", 0};
+          }
+          close = colon - 1;
+          continue;  // re-run with the real parameter list
+        }
+        return {BraceClass::Function, callee, k};
+      }
+    }
+    break;
+  }
+  return {BraceClass::Skip, "", 0};
+}
+
+}  // namespace
+
+FileModel build_model(const LexedFile& file) {
+  FileModel model;
+  model.file = &file;
+  const std::vector<Token>& tokens = file.tokens;
+  std::vector<BraceClass::Kind> stack;
+
+  for (std::size_t i = 0; i + 1 < tokens.size(); ++i) {
+    const std::string& t = tokens[i].text;
+    if (t == "}") {
+      if (!stack.empty()) stack.pop_back();
+      continue;
+    }
+    if (t != "{") continue;
+
+    // Brace-init / array initializers directly after '=' or an identifier
+    // are data, not scopes: skip them wholesale.
+    if (i > 0 && (tokens[i - 1].text == "=" || tokens[i - 1].text == "return")) {
+      i = match_forward(tokens, i);
+      continue;
+    }
+
+    const BraceClass bc = classify_open_brace(tokens, i);
+    switch (bc.kind) {
+      case BraceClass::Namespace:
+      case BraceClass::Transparent:
+        stack.push_back(bc.kind);
+        break;
+      case BraceClass::Class: {
+        ClassInfo cls;
+        cls.name = bc.name;
+        cls.body_begin = i;
+        cls.body_end = match_forward(tokens, i);
+        cls.line = tokens[i].line;
+        model.classes.push_back(std::move(cls));
+        stack.push_back(bc.kind);
+        break;
+      }
+      case BraceClass::Function: {
+        FunctionInfo fn;
+        fn.name = bc.name;
+        fn.params_begin = bc.params_begin;
+        fn.body_begin = i;
+        fn.body_end = match_forward(tokens, i);
+        fn.line = tokens[i].line;
+        const std::size_t end = fn.body_end;
+        model.functions.push_back(std::move(fn));
+        i = end;  // do not scan inside: locals are handled per-function
+        break;
+      }
+      case BraceClass::Skip:
+        i = match_forward(tokens, i);
+        break;
+    }
+  }
+  return model;
+}
+
+// ---------------------------------------------------------------------------
+// class_members
+// ---------------------------------------------------------------------------
+
+std::vector<MemberDecl> class_members(const LexedFile& file,
+                                      const ClassInfo& cls) {
+  std::vector<MemberDecl> members;
+  const std::vector<Token>& tokens = file.tokens;
+  std::vector<std::size_t> stmt;  // token indices of the current statement
+  bool in_initializer = false;    // after '=' at member depth
+
+  auto flush = [&]() {
+    if (stmt.empty()) return;
+    // Reject non-member statements.
+    const std::string& first = tokens[stmt[0]].text;
+    if (first == "using" || first == "typedef" || first == "friend" ||
+        first == "template" || first == "static_assert" ||
+        first == "operator" || first == "explicit" || first == "virtual" ||
+        first == "enum") {
+      stmt.clear();
+      return;
+    }
+    // Find a declarator: identifier ending in '_' directly followed (in the
+    // collapsed statement) by ';'-end, '=', '{', or a guard macro.
+    for (std::size_t s = 0; s < stmt.size(); ++s) {
+      const Token& tok = tokens[stmt[s]];
+      if (!tok.ident() || tok.text.size() < 2 || tok.text.back() != '_') {
+        continue;
+      }
+      const bool at_end = s + 1 == stmt.size();
+      std::string next = at_end ? ";" : tokens[stmt[s + 1]].text;
+      if (!(next == ";" || next == "=" || next == "{" ||
+            next == "PICO_GUARDED_BY" || next == "GUARDED_BY")) {
+        continue;
+      }
+      MemberDecl m;
+      m.name = tok.text;
+      m.line = tok.line;
+      m.name_index = stmt[s];
+      for (std::size_t q = 0; q < s; ++q) {
+        if (!m.type_text.empty()) m.type_text += ' ';
+        m.type_text += tokens[stmt[q]].text;
+      }
+      for (std::size_t q = 0; q < stmt.size(); ++q) {
+        const std::string& tt = tokens[stmt[q]].text;
+        if (tt == "PICO_GUARDED_BY" || tt == "GUARDED_BY") m.has_guard = true;
+      }
+      const std::string& lead = tokens[stmt[0]].text;
+      m.is_static = lead == "static";
+      m.is_const =
+          lead == "const" || (stmt.size() > 1 && lead == "static" &&
+                              tokens[stmt[1]].text == "const");
+      for (std::size_t q = 0; q < s; ++q) {
+        const std::string& tt = tokens[stmt[q]].text;
+        if (tt == "atomic") m.is_atomic = true;
+        if (tt == "Mutex" || tt == "CondVar" || tt == "mutex" ||
+            tt == "condition_variable" || tt == "shared_mutex") {
+          m.is_mutex_like = true;
+        }
+      }
+      members.push_back(std::move(m));
+      break;
+    }
+    stmt.clear();
+  };
+
+  std::size_t i = cls.body_begin + 1;
+  while (i < cls.body_end) {
+    const std::string& t = tokens[i].text;
+    if (t == ";") {
+      flush();
+      in_initializer = false;
+      ++i;
+      continue;
+    }
+    if (in_initializer) {
+      if (t == "(" || t == "[" || t == "{") {
+        i = match_forward(tokens, i) + 1;
+      } else {
+        ++i;
+      }
+      continue;
+    }
+    if (t == ":") {
+      // Access label (`public:`) — or a constructor init list, but those
+      // only appear after a ')' which resets via the function-body path.
+      if (stmt.size() == 1 &&
+          (tokens[stmt[0]].text == "public" ||
+           tokens[stmt[0]].text == "private" ||
+           tokens[stmt[0]].text == "protected")) {
+        stmt.clear();
+        ++i;
+        continue;
+      }
+      stmt.clear();  // init list or bitfield: not a plain member decl
+      // Skip ahead to the next '{' or ';' at this level.
+      while (i < cls.body_end && tokens[i].text != "{" && tokens[i].text != ";")
+        ++i;
+      continue;
+    }
+    if (t == "=") {
+      in_initializer = true;
+      stmt.push_back(i);
+      ++i;
+      continue;
+    }
+    if (t == "<" && !stmt.empty() && tokens[stmt.back()].ident()) {
+      // Template arguments of the declared type: collapse.
+      const std::size_t past = skip_template_args(tokens, i);
+      // Keep classification keywords (atomic already captured via the
+      // identifier before '<'; inner types matter for mutex detection).
+      for (std::size_t j = i; j < past && j < cls.body_end; ++j) {
+        if (tokens[j].ident()) stmt.push_back(j);
+      }
+      i = past;
+      continue;
+    }
+    if (t == "(") {
+      const std::size_t close = match_forward(tokens, i);
+      stmt.push_back(i);
+      stmt.push_back(close);
+      i = close + 1;
+      continue;
+    }
+    if (t == "{") {
+      // Function body (token before is ')' or qualifier) resets the
+      // statement; nested class bodies were already collected separately
+      // by build_model; brace-init `name_{...}` keeps the statement.
+      const bool brace_init = !stmt.empty() && tokens[stmt.back()].ident() &&
+                              tokens[stmt.back()].text.back() == '_';
+      const std::size_t close = match_forward(tokens, i);
+      if (brace_init) {
+        stmt.push_back(i);
+        stmt.push_back(close);
+      } else {
+        stmt.clear();
+      }
+      i = close + 1;
+      continue;
+    }
+    if (t == "}") {
+      ++i;
+      continue;
+    }
+    stmt.push_back(i);
+    ++i;
+  }
+  flush();
+  return members;
+}
+
+// ---------------------------------------------------------------------------
+// collect_decls
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Parse the parameter list whose '(' is at `open`; append declarations.
+void parse_params(const std::vector<Token>& tokens, std::size_t open,
+                  std::vector<VarDecl>& out) {
+  const std::size_t close = match_forward(tokens, open);
+  std::vector<std::vector<std::size_t>> params(1);
+  int pdepth = 0, adepth = 0;
+  for (std::size_t i = open + 1; i < close; ++i) {
+    const std::string& t = tokens[i].text;
+    if (t == "(" || t == "[" || t == "{") ++pdepth;
+    if (t == ")" || t == "]" || t == "}") --pdepth;
+    if (t == "<") ++adepth;
+    if (t == ">") adepth = std::max(0, adepth - 1);
+    if (t == "," && pdepth == 0 && adepth == 0) {
+      params.emplace_back();
+      continue;
+    }
+    params.back().push_back(i);
+  }
+  for (const auto& p : params) {
+    if (p.size() < 2) continue;
+    // Name: last identifier, or the identifier before '=' (defaulted).
+    std::size_t name_pos = p.size();
+    for (std::size_t i = 0; i < p.size(); ++i) {
+      if (tokens[p[i]].text == "=") {
+        name_pos = i;
+        break;
+      }
+    }
+    if (name_pos == 0) continue;
+    std::size_t last = name_pos == p.size() ? p.size() - 1 : name_pos - 1;
+    if (!tokens[p[last]].ident()) continue;
+    VarDecl d;
+    d.name = tokens[p[last]].text;
+    d.decl_index = p[last];
+    std::vector<std::string> type_tokens;
+    for (std::size_t i = 0; i < last; ++i) {
+      type_tokens.push_back(tokens[p[i]].text);
+      if (!d.type_text.empty()) d.type_text += ' ';
+      d.type_text += tokens[p[i]].text;
+    }
+    if (type_tokens.empty()) continue;
+    d.width = classify_type(type_tokens);
+    out.push_back(std::move(d));
+  }
+}
+
+}  // namespace
+
+std::vector<VarDecl> collect_decls(const LexedFile& file,
+                                   const FunctionInfo& fn) {
+  std::vector<VarDecl> decls;
+  const std::vector<Token>& tokens = file.tokens;
+  if (fn.params_begin > 0) parse_params(tokens, fn.params_begin, decls);
+
+  // Statement starts inside the body: after ';', '{', '}' and after the
+  // '(' of `for (`.
+  std::vector<std::size_t> starts;
+  for (std::size_t i = fn.body_begin; i < fn.body_end; ++i) {
+    const std::string& t = tokens[i].text;
+    if (t == ";" || t == "{" || t == "}") {
+      starts.push_back(i + 1);
+    } else if (t == "(" && i > 0 &&
+               (tokens[i - 1].text == "for" || tokens[i - 1].text == "if" ||
+                tokens[i - 1].text == "while" ||
+                tokens[i - 1].text == "catch")) {
+      starts.push_back(i + 1);
+    } else if (t == "(" && i > 0 && tokens[i - 1].text == "]") {
+      parse_params(tokens, i, decls);  // lambda parameter list
+    }
+  }
+
+  for (std::size_t s : starts) {
+    if (s >= fn.body_end) continue;
+    std::size_t i = s;
+    // Leading qualifiers.
+    while (i < fn.body_end && is_qualifier(tokens[i].text)) ++i;
+    if (i >= fn.body_end || !tokens[i].ident()) continue;
+    if (is_statement_keyword(tokens[i].text) &&
+        !is_builtin_type_word(tokens[i].text)) {
+      continue;
+    }
+    // Type tokens.
+    std::vector<std::string> type_tokens;
+    bool ok = true;
+    while (i < fn.body_end) {
+      const Token& tok = tokens[i];
+      if (tok.ident()) {
+        if (is_statement_keyword(tok.text) &&
+            !is_builtin_type_word(tok.text)) {
+          ok = false;
+          break;
+        }
+        // Is this the declarator name?  Peek at the next token.
+        const std::string& next = tokens[i + 1].text;
+        const bool was_type_so_far = !type_tokens.empty();
+        if (was_type_so_far &&
+            (next == "=" || next == ";" || next == "," || next == "(" ||
+             next == "{" || next == ":" || next == "[")) {
+          break;  // tokens[i] is the name
+        }
+        type_tokens.push_back(tok.text);
+        ++i;
+        continue;
+      }
+      if (tok.text == "::" || tok.text == "*" || tok.text == "&" ||
+          tok.text == "&&") {
+        type_tokens.push_back(tok.text);
+        ++i;
+        continue;
+      }
+      if (tok.text == "<") {
+        const std::size_t past = skip_template_args(tokens, i);
+        if (past == i + 1) {
+          ok = false;  // not a template argument list -> expression
+          break;
+        }
+        type_tokens.push_back("<>");
+        i = past;
+        continue;
+      }
+      ok = false;
+      break;
+    }
+    if (!ok || i >= fn.body_end || !tokens[i].ident() || type_tokens.empty()) {
+      continue;
+    }
+    // Builtin-only check: if no builtin/known word and only one type token,
+    // `a b;` style declarations of unknown classes still count (obs::Span
+    // span(...)), so accept.
+    const Width width = classify_type(type_tokens);
+
+    // First declarator + any comma-separated siblings.
+    for (;;) {
+      if (i >= fn.body_end || !tokens[i].ident()) break;
+      const std::string& next = tokens[i + 1].text;
+      if (!(next == "=" || next == ";" || next == "," || next == "(" ||
+            next == "{" || next == ":" || next == "[")) {
+        break;
+      }
+      VarDecl d;
+      d.name = tokens[i].text;
+      d.decl_index = i;
+      d.width = width;
+      for (const std::string& tt : type_tokens) {
+        if (!d.type_text.empty()) d.type_text += ' ';
+        d.type_text += tt;
+      }
+      decls.push_back(std::move(d));
+      // Skip to the next ',' at depth 0 or end of declaration.
+      std::size_t j = i + 1;
+      int depth = 0;
+      bool more = false;
+      while (j < fn.body_end) {
+        const std::string& t = tokens[j].text;
+        if (t == "(" || t == "[" || t == "{") ++depth;
+        if (t == ")" || t == "]" || t == "}") {
+          if (depth == 0) break;  // end of for-init or enclosing group
+          --depth;
+        }
+        if (t == ";" && depth == 0) break;
+        if (t == "," && depth == 0) {
+          more = true;
+          break;
+        }
+        ++j;
+      }
+      if (!more) break;
+      i = j + 1;
+      // Allow `*`/`&` before the next declarator.
+      while (i < fn.body_end &&
+             (tokens[i].text == "*" || tokens[i].text == "&")) {
+        ++i;
+      }
+    }
+  }
+
+  std::sort(decls.begin(), decls.end(),
+            [](const VarDecl& a, const VarDecl& b) {
+              return a.decl_index < b.decl_index;
+            });
+  return decls;
+}
+
+Width width_of(const std::vector<VarDecl>& decls, const std::string& name,
+               std::size_t at) {
+  Width found = Width::Unknown;
+  for (const VarDecl& d : decls) {
+    if (d.decl_index > at) break;
+    if (d.name == name) found = d.width;
+  }
+  return found;
+}
+
+bool is_declared(const std::vector<VarDecl>& decls, const std::string& name,
+                 std::size_t at) {
+  for (const VarDecl& d : decls) {
+    if (d.decl_index > at) break;
+    if (d.name == name) return true;
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// Suppressions
+// ---------------------------------------------------------------------------
+
+Suppressions::Suppressions(const LexedFile& file) {
+  for (const auto& [line, text] : file.comments) {
+    if (file.comment_only.count(line) && file.comment_only.at(line)) {
+      comment_only_lines_.insert(line);
+    }
+    // Legacy guarded-state syntax (tools/check_guarded.sh compatible).
+    // Block ranges are resolved in a second pass below.
+    if (text.find("sched-exempt:") != std::string::npos) {
+      line_allows_[line].insert("unguarded-member");
+    }
+    // pico-lint: allow(check-a, check-b): reason
+    // pico-lint: allow-file(check): reason
+    std::size_t pos = 0;
+    while ((pos = text.find("pico-lint:", pos)) != std::string::npos) {
+      pos += 10;
+      std::size_t d = text.find_first_not_of(" \t", pos);
+      if (d == std::string::npos) break;
+      bool file_wide = false;
+      if (text.compare(d, 10, "allow-file") == 0) {
+        file_wide = true;
+        d += 10;
+      } else if (text.compare(d, 5, "allow") == 0) {
+        d += 5;
+      } else {
+        continue;
+      }
+      const std::size_t open = text.find('(', d);
+      if (open == std::string::npos) continue;
+      const std::size_t close = text.find(')', open);
+      if (close == std::string::npos) continue;
+      std::string ids = text.substr(open + 1, close - open - 1);
+      std::size_t start = 0;
+      while (start <= ids.size()) {
+        std::size_t comma = ids.find(',', start);
+        if (comma == std::string::npos) comma = ids.size();
+        std::string id = ids.substr(start, comma - start);
+        // trim
+        const std::size_t a = id.find_first_not_of(" \t");
+        const std::size_t b = id.find_last_not_of(" \t");
+        if (a != std::string::npos) {
+          id = id.substr(a, b - a + 1);
+          if (file_wide) {
+            file_allows_.insert(id);
+          } else {
+            line_allows_[line].insert(id);
+          }
+        }
+        start = comma + 1;
+      }
+      pos = close;
+    }
+  }
+
+  // sched-exempt-begin/end blocks: exempt every line between the markers.
+  int block_begin = -1;
+  for (const auto& [line, text] : file.comments) {
+    if (text.find("sched-exempt-begin") != std::string::npos) {
+      block_begin = line;
+    }
+    if (text.find("sched-exempt-end") != std::string::npos &&
+        block_begin >= 0) {
+      for (int l = block_begin; l <= line; ++l) {
+        line_allows_[l].insert("unguarded-member");
+      }
+      block_begin = -1;
+    }
+  }
+  if (block_begin >= 0) {
+    // Unclosed block: exempt to end of file (match the awk behavior).
+    line_allows_[block_begin].insert("unguarded-member");
+    unclosed_block_from_ = block_begin;
+  }
+}
+
+bool Suppressions::allows(const std::string& check, int line) const {
+  if (file_allows_.count(check) || file_allows_.count("all")) return true;
+  if (unclosed_block_from_ >= 0 && check == "unguarded-member" &&
+      line >= unclosed_block_from_) {
+    return true;
+  }
+  auto hit = [&](int l) {
+    auto it = line_allows_.find(l);
+    if (it == line_allows_.end()) return false;
+    return it->second.count(check) > 0 || it->second.count("all") > 0;
+  };
+  if (hit(line)) return true;
+  // A comment-only line directly above covers the next code line.
+  int above = line - 1;
+  while (above > 0 && comment_only_lines_.count(above)) {
+    if (hit(above)) return true;
+    --above;
+  }
+  return false;
+}
+
+}  // namespace pico::lint

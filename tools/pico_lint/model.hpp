@@ -1,0 +1,115 @@
+// pico_lint — micro-AST over the token stream.
+//
+// Recovers exactly the structure the checks need and nothing more:
+//   - function bodies (free, member, including bodies with init lists),
+//   - class/struct bodies and their data-member declarations,
+//   - block-scoped variable/parameter declarations with a coarse width
+//     classification (narrow 32-bit integer, wide 64-bit integer, pointer,
+//     other) driving the narrowing-arithmetic and taint checks,
+//   - per-line suppression comments (`pico-lint: allow(...)`,
+//     `sched-exempt`), resolved the same way tools/check_guarded.sh does.
+//
+// This is intentionally heuristic — the Clang frontend (clang_frontend.cpp,
+// built when Clang dev libraries are found) resolves the same questions with
+// a real AST.  The heuristics are tuned to this repo's style (Google-style
+// trailing-underscore members, braces-on-same-line) and covered by the
+// fixture corpus in tests/pico_lint_fixtures/.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lexer.hpp"
+
+namespace pico::lint {
+
+enum class Width { Narrow, Wide, Pointer, Other, Unknown };
+
+struct FunctionInfo {
+  std::string name;
+  std::size_t params_begin = 0;  // index of '(' of the parameter list
+  std::size_t body_begin = 0;    // index of '{'
+  std::size_t body_end = 0;      // index of matching '}'
+  int line = 0;
+};
+
+struct ClassInfo {
+  std::string name;
+  std::size_t body_begin = 0;  // index of '{'
+  std::size_t body_end = 0;    // index of matching '}'
+  int line = 0;
+};
+
+struct MemberDecl {
+  std::string name;
+  std::string type_text;   // leading tokens up to the declarator name
+  int line = 0;
+  std::size_t name_index = 0;  // token index of the declarator name
+  bool has_guard = false;      // PICO_GUARDED_BY / GUARDED_BY present
+  bool is_static = false;
+  bool is_const = false;
+  bool is_atomic = false;
+  bool is_mutex_like = false;  // Mutex / CondVar / std::mutex / cv
+};
+
+struct VarDecl {
+  std::string name;
+  std::string type_text;
+  Width width = Width::Unknown;
+  std::size_t decl_index = 0;  // token index where the name appears
+};
+
+struct FileModel {
+  const LexedFile* file = nullptr;
+  std::vector<FunctionInfo> functions;
+  std::vector<ClassInfo> classes;
+};
+
+FileModel build_model(const LexedFile& file);
+
+/// Data members of a class (token-level heuristic; see header comment).
+std::vector<MemberDecl> class_members(const LexedFile& file,
+                                      const ClassInfo& cls);
+
+/// Block-scope declarations (locals, for-init, parameters of the function
+/// and of lambdas nested in the body).  Ordered by token index.
+std::vector<VarDecl> collect_decls(const LexedFile& file,
+                                   const FunctionInfo& fn);
+
+/// Coarse width classification of a declaration's type tokens.
+Width classify_type(const std::vector<std::string>& type_tokens);
+
+/// Last declaration of `name` at or before token index `at`, or Unknown.
+Width width_of(const std::vector<VarDecl>& decls, const std::string& name,
+               std::size_t at);
+bool is_declared(const std::vector<VarDecl>& decls, const std::string& name,
+                 std::size_t at);
+
+/// Index of the matching close token for the open token at `open`
+/// (handles (), [], {}).  Returns tokens.size()-1 if unbalanced.
+std::size_t match_forward(const std::vector<Token>& tokens, std::size_t open);
+
+// --- suppressions -----------------------------------------------------------
+
+class Suppressions {
+ public:
+  explicit Suppressions(const LexedFile& file);
+
+  /// True if a finding of `check` on `line` is suppressed by a
+  /// `pico-lint: allow(check)` comment on the same line or on a
+  /// comment-only line directly above, a file-wide
+  /// `pico-lint: allow-file(check)`, or (for check "unguarded-member")
+  /// the legacy `sched-exempt` comment forms.
+  bool allows(const std::string& check, int line) const;
+
+ private:
+  std::map<int, std::set<std::string>> line_allows_;
+  std::set<std::string> file_allows_;
+  std::set<int> comment_only_lines_;
+  int unclosed_block_from_ = -1;
+};
+
+}  // namespace pico::lint

@@ -1,0 +1,300 @@
+// pico_lint — static analyzer codifying this repo's shipped bug classes.
+//
+// Self-contained token/micro-AST engine (no compiler dependency); an
+// optional Clang-AST frontend with the same check set and reporting format
+// builds as `pico_lint_clang` when Clang dev libraries are present (see
+// clang_frontend.cpp and DESIGN.md §12).
+//
+// Usage:
+//   pico_lint --src-root <repo> [files...]        lint files (default: src/)
+//   pico_lint --src-root <repo> --compdb build/compile_commands.json
+//   pico_lint ... --baseline tools/pico_lint/baseline.txt
+//   pico_lint ... --write-baseline <path>         regenerate the baseline
+//   pico_lint ... --check <id>                    run one check (repeatable)
+//   pico_lint ... --scope-all                     ignore path scoping rules
+//   pico_lint ... --json                          machine-readable output
+//   pico_lint --list-checks
+//
+// Exit codes: 0 clean (or all findings baselined), 1 usage/IO error,
+// 2 findings not present in the baseline.
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "baseline.hpp"
+#include "checks.hpp"
+#include "lexer.hpp"
+
+namespace fs = std::filesystem;
+using namespace pico::lint;
+
+namespace {
+
+struct Options {
+  std::string src_root;
+  std::string compdb;
+  std::string baseline_path;
+  std::string write_baseline_path;
+  std::vector<std::string> files;
+  CheckOptions checks;
+  bool json = false;
+  bool list_checks = false;
+};
+
+void usage(std::ostream& out) {
+  out << "usage: pico_lint --src-root <repo> [options] [files...]\n"
+         "  --compdb <file>          enumerate sources from "
+         "compile_commands.json\n"
+         "  --baseline <file>        suppress fingerprints listed in <file>\n"
+         "  --write-baseline <file>  write current findings as the baseline\n"
+         "  --check <id>             run only <id> (repeatable)\n"
+         "  --scope-all              ignore per-check path scoping\n"
+         "  --json                   JSON lines output\n"
+         "  --list-checks            print check ids and exit\n";
+}
+
+bool parse_args(int argc, char** argv, Options& opt) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&](std::string& into) {
+      if (i + 1 >= argc) {
+        std::cerr << "pico_lint: missing value for " << arg << "\n";
+        return false;
+      }
+      into = argv[++i];
+      return true;
+    };
+    if (arg == "--src-root") {
+      if (!next(opt.src_root)) return false;
+    } else if (arg == "--compdb") {
+      if (!next(opt.compdb)) return false;
+    } else if (arg == "--baseline") {
+      if (!next(opt.baseline_path)) return false;
+    } else if (arg == "--write-baseline") {
+      if (!next(opt.write_baseline_path)) return false;
+    } else if (arg == "--check") {
+      std::string id;
+      if (!next(id)) return false;
+      const auto& ids = all_check_ids();
+      if (std::find(ids.begin(), ids.end(), id) == ids.end()) {
+        std::cerr << "pico_lint: unknown check '" << id << "'\n";
+        return false;
+      }
+      opt.checks.enabled.insert(id);
+    } else if (arg == "--scope-all") {
+      opt.checks.scope_all = true;
+    } else if (arg == "--json") {
+      opt.json = true;
+    } else if (arg == "--list-checks") {
+      opt.list_checks = true;
+    } else if (arg == "--help" || arg == "-h") {
+      usage(std::cout);
+      std::exit(0);
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "pico_lint: unknown option " << arg << "\n";
+      return false;
+    } else {
+      opt.files.push_back(arg);
+    }
+  }
+  return true;
+}
+
+bool lintable(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".cpp" || ext == ".hpp" || ext == ".cc" || ext == ".h";
+}
+
+/// Minimal compile_commands.json scan: extract every `"file": "<path>"`.
+std::vector<std::string> compdb_files(const std::string& path, bool& ok) {
+  std::vector<std::string> out;
+  std::ifstream in(path);
+  ok = in.good();
+  if (!ok) return out;
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const std::string text = buf.str();
+  const std::string key = "\"file\"";
+  std::size_t pos = 0;
+  while ((pos = text.find(key, pos)) != std::string::npos) {
+    pos += key.size();
+    pos = text.find('"', text.find(':', pos));
+    if (pos == std::string::npos) break;
+    const std::size_t end = text.find('"', pos + 1);
+    if (end == std::string::npos) break;
+    out.push_back(text.substr(pos + 1, end - pos - 1));
+    pos = end + 1;
+  }
+  return out;
+}
+
+std::string relative_to_root(const fs::path& file, const fs::path& root) {
+  std::error_code ec;
+  const fs::path abs_file = fs::weakly_canonical(file, ec);
+  const fs::path abs_root = fs::weakly_canonical(root, ec);
+  const fs::path rel = abs_file.lexically_relative(abs_root);
+  if (rel.empty() || rel.native().rfind("..", 0) == 0) {
+    return file.generic_string();  // outside the root: use as-is
+  }
+  return rel.generic_string();
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  if (!parse_args(argc, argv, opt)) {
+    usage(std::cerr);
+    return 1;
+  }
+  if (opt.list_checks) {
+    for (const std::string& id : all_check_ids()) std::cout << id << "\n";
+    return 0;
+  }
+  if (opt.src_root.empty()) {
+    std::cerr << "pico_lint: --src-root is required\n";
+    usage(std::cerr);
+    return 1;
+  }
+  const fs::path root = opt.src_root;
+  if (!fs::is_directory(root)) {
+    std::cerr << "pico_lint: src-root '" << opt.src_root
+              << "' is not a directory\n";
+    return 1;
+  }
+
+  // --- enumerate inputs --------------------------------------------------
+  std::vector<std::string> inputs = opt.files;
+  if (!opt.compdb.empty()) {
+    bool ok = false;
+    std::vector<std::string> from_db = compdb_files(opt.compdb, ok);
+    if (!ok) {
+      std::cerr << "pico_lint: cannot read compdb " << opt.compdb << "\n";
+      return 1;
+    }
+    inputs.insert(inputs.end(), from_db.begin(), from_db.end());
+  }
+  if (inputs.empty()) {
+    const fs::path src = root / "src";
+    if (!fs::is_directory(src)) {
+      std::cerr << "pico_lint: no inputs and no src/ under " << root << "\n";
+      return 1;
+    }
+    for (const auto& entry : fs::recursive_directory_iterator(src)) {
+      if (entry.is_regular_file() && lintable(entry.path())) {
+        inputs.push_back(entry.path().string());
+      }
+    }
+  }
+  std::sort(inputs.begin(), inputs.end());
+  inputs.erase(std::unique(inputs.begin(), inputs.end()), inputs.end());
+
+  // --- lex everything, collect status-returning declarations -------------
+  std::vector<LexedFile> lexed;
+  lexed.reserve(inputs.size());
+  for (const std::string& path : inputs) {
+    if (!lintable(fs::path(path))) continue;
+    try {
+      lexed.push_back(lex_file(path));
+    } catch (const std::exception& e) {
+      std::cerr << "pico_lint: " << e.what() << "\n";
+      return 1;
+    }
+  }
+  for (const LexedFile& file : lexed) {
+    collect_status_decls(file, opt.checks.status_fns);
+  }
+
+  // --- run checks --------------------------------------------------------
+  std::vector<Finding> findings;
+  for (const LexedFile& file : lexed) {
+    const std::string rel = relative_to_root(file.path, root);
+    std::vector<Finding> here = run_checks(file, rel, opt.checks);
+    findings.insert(findings.end(), here.begin(), here.end());
+  }
+  std::stable_sort(findings.begin(), findings.end(),
+                   [](const Finding& a, const Finding& b) {
+                     if (a.relpath != b.relpath) return a.relpath < b.relpath;
+                     return a.line < b.line;
+                   });
+
+  // --- write-baseline mode ------------------------------------------------
+  if (!opt.write_baseline_path.empty()) {
+    std::ofstream out(opt.write_baseline_path);
+    if (!out.good()) {
+      std::cerr << "pico_lint: cannot write " << opt.write_baseline_path
+                << "\n";
+      return 1;
+    }
+    out << render_baseline(findings);
+    std::cout << "pico_lint: wrote " << findings.size() << " finding(s) to "
+              << opt.write_baseline_path << "\n";
+    return 0;
+  }
+
+  // --- baseline filtering -------------------------------------------------
+  std::set<std::string> baseline;
+  if (!opt.baseline_path.empty()) {
+    bool ok = false;
+    baseline = load_baseline(opt.baseline_path, ok);
+    if (!ok) {
+      std::cerr << "pico_lint: cannot read baseline " << opt.baseline_path
+                << "\n";
+      return 1;
+    }
+  }
+  std::size_t known = 0;
+  std::vector<const Finding*> fresh;
+  for (const Finding& f : findings) {
+    if (baseline.count(fingerprint(f))) {
+      ++known;
+    } else {
+      fresh.push_back(&f);
+    }
+  }
+
+  // --- report --------------------------------------------------------------
+  for (const Finding* f : fresh) {
+    if (opt.json) {
+      std::cout << "{\"check\":\"" << json_escape(f->check) << "\","
+                << "\"file\":\"" << json_escape(f->relpath) << "\","
+                << "\"line\":" << f->line << ","
+                << "\"message\":\"" << json_escape(f->message) << "\","
+                << "\"hint\":\"" << json_escape(f->hint) << "\","
+                << "\"fingerprint\":\"" << json_escape(fingerprint(*f))
+                << "\"}\n";
+    } else {
+      std::cout << f->relpath << ":" << f->line << ": [" << f->check << "] "
+                << f->message << "\n"
+                << "    " << f->excerpt << "\n"
+                << "    fix: " << f->hint << "\n";
+    }
+  }
+  if (!opt.json) {
+    std::cout << "pico_lint: " << lexed.size() << " file(s), "
+              << fresh.size() << " new finding(s)";
+    if (!opt.baseline_path.empty()) {
+      std::cout << ", " << known << " baselined";
+    }
+    std::cout << "\n";
+  }
+  return fresh.empty() ? 0 : 2;
+}
