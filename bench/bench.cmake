@@ -37,3 +37,7 @@ pico_bench(bench_ablation_straggler)
 pico_bench(bench_zoo_overview)
 pico_bench(bench_ablation_contention)
 pico_bench(bench_ablation_localsearch)
+
+# Cost of the always-on metrics/trace plumbing and the continuous harvest
+# loop (writes BENCH_obs_overhead.json; CI records overhead_live_pct).
+pico_bench(bench_obs_overhead)

@@ -15,7 +15,9 @@
 // to exactly the code below — zero overhead.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
+#include <cstdint>
 #include <mutex>
 
 #include "common/thread_annotations.hpp"
@@ -76,6 +78,29 @@ class CondVar {
     std::unique_lock<std::mutex> lock(mutex.mutex_, std::adopt_lock);
     cv_.wait(lock);
     lock.release();  // caller still owns the mutex
+  }
+
+  /// Timed wait: returns true when notified, false on timeout.  Under
+  /// schedule exploration a timed wait is modeled as an *immediate timeout*
+  /// that yields the schedule token: the explorer has no notion of time, so
+  /// treating the sleep as a pure scheduling point keeps periodic-loop
+  /// models finite, and never parking on the condvar means a forgotten
+  /// notify cannot surface as a false LostWakeup verdict — the timeout path
+  /// is exactly the behavior being modeled.
+  bool wait_for(Mutex& mutex, std::int64_t timeout_ns) PICO_REQUIRES(mutex) {
+#ifdef PICO_SCHED
+    if (sched::under_exploration()) {
+      mutex.unlock();
+      sched::yield("wait_for timeout");
+      mutex.lock();
+      return false;
+    }
+#endif
+    std::unique_lock<std::mutex> lock(mutex.mutex_, std::adopt_lock);
+    const auto status =
+        cv_.wait_for(lock, std::chrono::nanoseconds(timeout_ns));
+    lock.release();  // caller still owns the mutex
+    return status == std::cv_status::no_timeout;
   }
 
   void notify_one() {

@@ -1,0 +1,134 @@
+// Continuous-harvest policy engine: rolling windows, live λ̂, straggler and
+// model-drift detection, health snapshot assembly.
+//
+// The runtime side (runtime/pipeline.cpp) owns the transport mechanics of a
+// harvest round — gating connections, pulling MetricsDump/TraceDump with
+// cursors, merging spans into the tracer.  It then feeds this class: one
+// note_worker() per pulled worker, one complete_round() per round.  The
+// Harvester rolls the windows (obs/window.hpp), refreshes the λ̂ EWMA from
+// the tasks-completed delta, runs the straggler detector and the online
+// model checker (obs/health.hpp), publishes windowed views into the global
+// registry (pico_window_*, pico_lambda_hat_live, pico_straggler_score,
+// pico_model_residual, pico_harvest_rounds_total, pico_health_events_total)
+// and maintains the bounded structured-event log behind HealthSnapshot.
+//
+// Thread-safe: the background harvest thread drives rounds while report /
+// watch threads read snapshot().
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/mutex.hpp"
+#include "obs/health.hpp"
+#include "obs/remote.hpp"
+#include "obs/window.hpp"
+
+namespace pico::obs {
+
+class Harvester {
+ public:
+  struct Options {
+    /// Rounds per rolling window (window duration = rounds × harvest
+    /// period).
+    int window_rounds = 8;
+    /// EWMA weight of the newest per-round arrival-rate sample in λ̂.
+    double lambda_alpha = 0.3;
+    StragglerOptions straggler;
+    ModelChecker::Options model;
+    /// Structured-event log bound (oldest entries drop beyond this).
+    std::size_t max_events = 256;
+  };
+
+  // Both defined in harvester.cpp: a nested Options with member defaults
+  // is not usable as a default argument until the class is complete.
+  Harvester();
+  explicit Harvester(Options options);
+
+  // --- wiring (call before the first round; not safe concurrently with
+  // rounds) ---------------------------------------------------------------
+  /// Per-(stage, device) compute histogram — the straggler signal.
+  void track_stage_compute(int stage, int device, const Histogram* histogram);
+  /// Per-stage critical-path compute histogram — Eq. 6 measured side.
+  void track_stage_compute_critical(int stage, const Histogram* histogram);
+  /// Per-stage service-time histogram — measured-period fallback for
+  /// Thm. 2 when no prediction was injected.
+  void track_stage_service(int stage, const Histogram* histogram);
+  /// Per-(stage, device) wire histograms — Eq. 8 measured side.
+  void track_stage_wire(int stage, int device, const Histogram* request,
+                        const Histogram* reply);
+  /// Entry-queue wait histogram — Thm. 2 measured side.
+  void track_entry_queue_wait(const Histogram* histogram);
+  /// Tasks-completed counter — λ̂'s numerator.
+  void track_tasks_completed(const Counter* counter);
+  /// Inject the plan's Eq. 5–11 predictions (computed by the caller via
+  /// partition::plan_cost; obs cannot link that layer).
+  void set_prediction(const ModelPrediction& prediction);
+
+  // --- per round ----------------------------------------------------------
+  /// Fold in one worker's pull (reachability transitions, span counts,
+  /// cursors).  Call once per worker per round, before complete_round().
+  void note_worker(const WorkerTelemetry& round);
+  /// Close the round: roll windows, refresh λ̂, run detectors, publish
+  /// windowed gauges.  `now_ns` is the coordinator clock (Tracer::now_ns).
+  void complete_round(std::int64_t now_ns);
+
+  // --- read side ----------------------------------------------------------
+  HealthSnapshot snapshot() const;
+  std::int64_t rounds() const;
+  double lambda_hat() const;
+
+ private:
+  struct ComputeTrack {
+    int stage;
+    int device;
+    WindowedSeries series;
+  };
+  struct StageTrack {
+    int stage;
+    WindowedSeries series;
+  };
+  struct WireTrack {
+    int stage;
+    int device;
+    WindowedSeries request;
+    WindowedSeries reply;
+  };
+  struct DeviceStatus {
+    bool reachable = true;
+    bool straggler = false;
+    double score = 0.0;
+    double window_mean = 0.0;
+    std::int64_t spans_total = 0;
+    std::uint64_t cursor = 0;
+    std::int64_t offset_ns = 0;
+    std::int64_t rtt_ns = 0;
+  };
+
+  void push_event(HealthEvent event) PICO_REQUIRES(mutex_);
+  void detect_stragglers_locked(std::int64_t round) PICO_REQUIRES(mutex_);
+  void check_model_locked(std::int64_t round) PICO_REQUIRES(mutex_);
+
+  const Options options_;
+  mutable Mutex mutex_;
+  std::vector<ComputeTrack> compute_ PICO_GUARDED_BY(mutex_);
+  std::vector<StageTrack> compute_critical_ PICO_GUARDED_BY(mutex_);
+  std::vector<StageTrack> service_ PICO_GUARDED_BY(mutex_);
+  std::vector<WireTrack> wire_ PICO_GUARDED_BY(mutex_);
+  std::vector<WindowedSeries> entry_queue_ PICO_GUARDED_BY(mutex_);
+  std::vector<WindowedCounter> tasks_ PICO_GUARDED_BY(mutex_);
+  ModelPrediction prediction_ PICO_GUARDED_BY(mutex_);
+  ModelChecker checker_ PICO_GUARDED_BY(mutex_);
+  std::map<int, DeviceStatus> devices_ PICO_GUARDED_BY(mutex_);
+  std::vector<HealthEvent> events_ PICO_GUARDED_BY(mutex_);
+  std::int64_t rounds_ PICO_GUARDED_BY(mutex_) = 0;
+  std::int64_t last_round_ns_ PICO_GUARDED_BY(mutex_) = 0;
+  double lambda_hat_ PICO_GUARDED_BY(mutex_) = 0.0;
+  bool lambda_primed_ PICO_GUARDED_BY(mutex_) = false;
+  double md1_wait_predicted_ PICO_GUARDED_BY(mutex_) = 0.0;
+  double queue_wait_measured_ PICO_GUARDED_BY(mutex_) = 0.0;
+};
+
+}  // namespace pico::obs

@@ -1,0 +1,159 @@
+#include "obs/health.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+namespace pico::obs {
+
+const char* health_event_kind_name(HealthEventKind kind) {
+  switch (kind) {
+    case HealthEventKind::Straggler: return "straggler";
+    case HealthEventKind::Recovered: return "recovered";
+    case HealthEventKind::ModelDrift: return "model_drift";
+    case HealthEventKind::Unreachable: return "unreachable";
+  }
+  return "unknown";
+}
+
+namespace {
+
+double median_of(std::vector<double> values) {
+  std::sort(values.begin(), values.end());
+  const std::size_t n = values.size();
+  if (n == 0) return 0.0;
+  return n % 2 == 1 ? values[n / 2]
+                    : 0.5 * (values[n / 2 - 1] + values[n / 2]);
+}
+
+}  // namespace
+
+std::vector<StragglerVerdict> detect_stragglers(
+    const std::map<int, double>& device_mean_seconds,
+    const StragglerOptions& options) {
+  std::vector<StragglerVerdict> verdicts;
+  if (device_mean_seconds.size() < 2) {
+    // A single device has no peers to straggle behind.
+    for (const auto& [device, mean] : device_mean_seconds) {
+      verdicts.push_back({device, mean, 0.0, false});
+    }
+    return verdicts;
+  }
+
+  std::vector<double> means;
+  means.reserve(device_mean_seconds.size());
+  for (const auto& [device, mean] : device_mean_seconds) {
+    means.push_back(mean);
+  }
+  const double median = median_of(means);
+  std::vector<double> deviations;
+  deviations.reserve(means.size());
+  for (const double m : means) deviations.push_back(std::abs(m - median));
+  const double mad = median_of(deviations);
+
+  const bool use_zscore =
+      static_cast<int>(means.size()) >= options.min_devices_for_zscore &&
+      mad > 0.0;
+  for (const auto& [device, mean] : device_mean_seconds) {
+    StragglerVerdict verdict;
+    verdict.device = device;
+    verdict.mean_seconds = mean;
+    if (use_zscore) {
+      // Iglewicz–Hoaglin modified z-score; only a *slow* outlier is a
+      // straggler (a fast one got an easy window, not a problem).
+      verdict.score = 0.6745 * (mean - median) / mad;
+      verdict.straggler = verdict.score > options.zscore_threshold;
+    } else {
+      // Tiny stage: compare against the best peer.  With two devices the
+      // median sits between them and MAD cannot separate slow from fast,
+      // so a ratio test is the robust option.
+      double best_peer = std::numeric_limits<double>::infinity();
+      for (const auto& [other, other_mean] : device_mean_seconds) {
+        if (other != device) best_peer = std::min(best_peer, other_mean);
+      }
+      verdict.score = best_peer > 0.0 ? mean / best_peer : 0.0;
+      verdict.straggler = verdict.score > options.ratio_threshold;
+    }
+    verdicts.push_back(verdict);
+  }
+  return verdicts;
+}
+
+double md1_waiting_seconds(double lambda, double period_seconds) {
+  if (lambda <= 0.0 || period_seconds <= 0.0) return 0.0;
+  const double utilization = lambda * period_seconds;
+  if (utilization >= 1.0) return std::numeric_limits<double>::infinity();
+  // Thm. 2: Wq = λp² / (2(1−λp))  (= sim::md1_waiting_time).
+  return lambda * period_seconds * period_seconds /
+         (2.0 * (1.0 - utilization));
+}
+
+std::vector<HealthEvent> ModelChecker::check(
+    std::int64_t round, const std::vector<StageResidual>& measurements) {
+  std::vector<HealthEvent> events;
+  residuals_.clear();
+  for (const StageResidual& m : measurements) {
+    StageResidual entry = m;
+    const double denom = std::max(std::abs(entry.predicted), 1e-9);
+    entry.residual = std::abs(entry.measured - entry.predicted) / denom;
+    if (std::isinf(entry.predicted) || std::isinf(entry.measured)) {
+      // Unstable-queue prediction against a finite measurement (or vice
+      // versa): maximal disagreement, but keep the arithmetic finite.
+      entry.residual = 1e9;
+    }
+
+    std::ostringstream key;
+    key << entry.signal << '/' << entry.stage;
+    SignalState& state = state_[key.str()];
+    if (!state.ewma_primed) {
+      state.ewma = entry.residual;
+      state.ewma_primed = true;
+    } else {
+      state.ewma = options_.residual_alpha * entry.residual +
+                   (1.0 - options_.residual_alpha) * state.ewma;
+    }
+    entry.residual_ewma = state.ewma;
+
+    if (state.ewma > options_.drift_threshold) {
+      ++state.breaches;
+      if (state.breaches >= options_.consecutive_rounds && !state.fired) {
+        state.fired = true;
+        HealthEvent event;
+        event.kind = HealthEventKind::ModelDrift;
+        event.stage = entry.stage;
+        event.signal = entry.signal;
+        event.value = state.ewma;
+        event.threshold = options_.drift_threshold;
+        event.round = round;
+        std::ostringstream detail;
+        detail << entry.signal << " stage " << entry.stage << ": predicted "
+               << entry.predicted << "s, measured " << entry.measured
+               << "s (residual ewma " << state.ewma << ")";
+        event.detail = detail.str();
+        events.push_back(std::move(event));
+      }
+    } else {
+      state.breaches = 0;
+      state.fired = false;  // re-arm once the model fits again
+    }
+    residuals_.push_back(std::move(entry));
+  }
+  return events;
+}
+
+bool HealthSnapshot::healthy() const {
+  for (const DeviceHealth& device : devices) {
+    if (!device.reachable || device.straggler) return false;
+  }
+  return true;
+}
+
+bool HealthSnapshot::drift_seen() const {
+  for (const HealthEvent& event : events) {
+    if (event.kind == HealthEventKind::ModelDrift) return true;
+  }
+  return false;
+}
+
+}  // namespace pico::obs

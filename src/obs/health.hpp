@@ -1,0 +1,188 @@
+// Cluster health model fed by the continuous harvester: structured events,
+// per-device straggler detection and online validation of the paper's
+// latency model (Eq. 5–11, Thm. 2) against live measurements.
+//
+// Straggler detection exploits a property of the partitioner: within one
+// stage every device is sized so its per-task compute *time* is equal
+// (slices are proportional to measured speed), so a device whose windowed
+// compute time pulls away from its stage peers has drifted.  The score is a
+// robust z (median/MAD, z = 0.6745·(x−med)/MAD) for stages with enough
+// peers; tiny stages (2–3 devices, where MAD degenerates) fall back to a
+// ratio-to-best-peer test.
+//
+// The model checker compares the plan's predicted per-stage compute/comm
+// (Eq. 6/8) and the Thm. 2 M/D/1 waiting time — driven by the live λ̂ EWMA —
+// against windowed measurements, tracking a smoothed relative residual per
+// signal and raising a ModelDrift event after `consecutive_rounds` breaches
+// (re-armed when the residual falls back under the threshold).
+//
+// Everything here is plain, lock-free policy code; the Harvester serializes
+// calls and owns the synchronization.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace pico::obs {
+
+enum class HealthEventKind { Straggler, Recovered, ModelDrift, Unreachable };
+
+const char* health_event_kind_name(HealthEventKind kind);
+
+/// One structured health transition, as surfaced through HealthSnapshot
+/// (and, later, consumed by churn-driven replanning).
+struct HealthEvent {
+  HealthEventKind kind = HealthEventKind::Straggler;
+  int device = -1;      ///< -1 = not device-scoped (ModelDrift)
+  int stage = -1;       ///< -1 = cluster-wide signal
+  std::string signal;   ///< ModelDrift: "compute" | "comm" | "md1_wait"
+  double value = 0.0;      ///< measured score / residual
+  double threshold = 0.0;  ///< the limit it crossed
+  std::int64_t round = 0;  ///< harvest round that raised it
+  std::string detail;
+};
+
+// ---------------------------------------------------------------------------
+// Straggler detection
+// ---------------------------------------------------------------------------
+
+struct StragglerOptions {
+  /// Robust-z threshold (0.6745·(x−median)/MAD); 3.5 is the classic
+  /// Iglewicz–Hoaglin outlier cut.
+  double zscore_threshold = 3.5;
+  /// Small-stage fallback: straggler when windowed mean compute exceeds
+  /// ratio_threshold × the best peer's mean.
+  double ratio_threshold = 2.0;
+  /// Use the z-score only with at least this many devices in the stage
+  /// (below, median/MAD over 2–3 points cannot separate the outlier).
+  int min_devices_for_zscore = 4;
+  /// Ignore devices whose window holds fewer observations than this.
+  std::int64_t min_window_count = 3;
+};
+
+struct StragglerVerdict {
+  int device = -1;
+  double mean_seconds = 0.0;  ///< windowed per-task compute mean
+  double score = 0.0;         ///< robust z, or peer ratio in fallback mode
+  bool straggler = false;
+};
+
+/// Judge the devices of one stage by their windowed per-task compute means.
+/// Pure function: no state, no events — transition tracking is the
+/// caller's (Harvester's) job.
+std::vector<StragglerVerdict> detect_stragglers(
+    const std::map<int, double>& device_mean_seconds,
+    const StragglerOptions& options);
+
+// ---------------------------------------------------------------------------
+// Online model checking (Eq. 5–11 + Thm. 2)
+// ---------------------------------------------------------------------------
+
+/// Predicted per-stage costs, plain-struct mirror of partition::StageCost
+/// (obs cannot link the partition layer; callers compute plan_cost() and
+/// inject the numbers).
+struct StagePrediction {
+  double compute_seconds = 0.0;  ///< Eq. 6
+  double comm_seconds = 0.0;     ///< Eq. 8
+};
+
+struct ModelPrediction {
+  std::vector<StagePrediction> stages;
+  double period_seconds = 0.0;   ///< Eq. 10 (pipeline bottleneck period)
+  double latency_seconds = 0.0;  ///< Eq. 11
+  bool valid = false;
+};
+
+/// Thm. 2 M/D/1 mean waiting time Wq = λp² / (2(1−λp)); +inf when the
+/// queue is unstable (λp ≥ 1), 0 for degenerate inputs.  Mirror of
+/// sim::md1_waiting_time — obs cannot link the simulator.
+double md1_waiting_seconds(double lambda, double period_seconds);
+
+/// One predicted-vs-measured comparison the checker tracked this round.
+struct StageResidual {
+  int stage = -1;              ///< -1 = cluster-wide (md1_wait)
+  std::string signal;          ///< "compute" | "comm" | "md1_wait"
+  double predicted = 0.0;
+  double measured = 0.0;
+  double residual = 0.0;       ///< |measured − predicted| / max(predicted, ε)
+  double residual_ewma = 0.0;  ///< smoothed across rounds
+};
+
+class ModelChecker {
+ public:
+  struct Options {
+    /// Relative-residual level that counts as a breach.
+    double drift_threshold = 0.5;
+    /// Breaches in a row before a ModelDrift event fires.
+    int consecutive_rounds = 3;
+    /// EWMA weight of the newest residual.
+    double residual_alpha = 0.5;
+  };
+
+  // Both defined below the class: a nested Options with member defaults is
+  // not usable as a default argument until the enclosing class is complete.
+  ModelChecker();
+  explicit ModelChecker(Options options) : options_(options) {}
+
+  /// Feed one round of (predicted, measured) pairs; returns the ModelDrift
+  /// events that fired this round.  Updates the per-signal residual state
+  /// returned by residuals().
+  std::vector<HealthEvent> check(
+      std::int64_t round,
+      const std::vector<StageResidual>& measurements);
+
+  /// Latest residual per tracked signal (post-EWMA), stable order.
+  const std::vector<StageResidual>& residuals() const { return residuals_; }
+
+ private:
+  struct SignalState {
+    double ewma = 0.0;
+    bool ewma_primed = false;
+    int breaches = 0;
+    bool fired = false;  ///< drift raised; re-armed when residual recovers
+  };
+
+  Options options_;
+  std::map<std::string, SignalState> state_;
+  std::vector<StageResidual> residuals_;
+};
+
+inline ModelChecker::ModelChecker() : ModelChecker(Options()) {}
+
+// ---------------------------------------------------------------------------
+// Snapshot surface
+// ---------------------------------------------------------------------------
+
+struct DeviceHealth {
+  int device = -1;
+  bool reachable = true;
+  double window_compute_mean = 0.0;  ///< worst stage, seconds per task
+  double straggler_score = 0.0;      ///< worst stage's z / ratio
+  bool straggler = false;
+  std::int64_t spans_harvested = 0;  ///< total spans merged so far
+  std::uint64_t trace_cursor = 0;    ///< next span seq to request
+  std::int64_t clock_offset_ns = 0;
+  std::int64_t clock_rtt_ns = 0;
+};
+
+/// Point-in-time cluster health, the API the report tool (and the future
+/// churn/replanning loop) reads.
+struct HealthSnapshot {
+  std::int64_t rounds = 0;         ///< harvest rounds completed
+  double lambda_hat = 0.0;         ///< live arrivals/sec EWMA
+  double md1_wait_predicted = 0.0; ///< Thm. 2 Wq at lambda_hat
+  double queue_wait_measured = 0.0;///< windowed mean entry-queue wait
+  std::vector<DeviceHealth> devices;
+  std::vector<StageResidual> residuals;
+  std::vector<HealthEvent> events;  ///< bounded log, oldest first
+
+  /// No unreachable worker and no active straggler (model drift is
+  /// advisory: it questions the plan, not the cluster).
+  bool healthy() const;
+  /// True if any ModelDrift event is in the log.
+  bool drift_seen() const;
+};
+
+}  // namespace pico::obs

@@ -1,5 +1,6 @@
 #include "obs/metrics.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
 #include <ostream>
@@ -96,6 +97,71 @@ double Histogram::percentile(double q) const {
     cumulative += in_bucket;
   }
   return max_.load(std::memory_order_relaxed);
+}
+
+HistogramSnapshot Histogram::snapshot() const {
+  HistogramSnapshot out;
+  out.buckets.resize(kBucketCount);
+  for (int i = 0; i < kBucketCount; ++i) {
+    out.buckets[static_cast<std::size_t>(i)] =
+        buckets_[i].load(std::memory_order_relaxed);
+  }
+  out.count = count_.load(std::memory_order_relaxed);
+  out.sum = sum_.load(std::memory_order_relaxed);
+  return out;
+}
+
+double HistogramSnapshot::percentile(double q) const {
+  if (count <= 0 || buckets.empty()) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  const double rank = q * static_cast<double>(count - 1) + 1.0;
+  double cumulative = 0.0;
+  double last_nonempty_lower = 0.0;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    const auto in_bucket = static_cast<double>(buckets[i]);
+    if (in_bucket <= 0.0) continue;
+    const int index = static_cast<int>(i);
+    last_nonempty_lower = Histogram::bucket_lower(index);
+    if (cumulative + in_bucket >= rank) {
+      const double fraction = (rank - cumulative) / in_bucket;
+      const double lower = Histogram::bucket_lower(index);
+      // A snapshot has no exact max; the overflow bucket answers with its
+      // lower edge instead of interpolating toward infinity.
+      const double upper = index >= Histogram::kBucketCount - 1
+                               ? lower
+                               : Histogram::bucket_upper(index);
+      return lower + (upper - lower) * fraction;
+    }
+    cumulative += in_bucket;
+  }
+  return last_nonempty_lower;
+}
+
+HistogramSnapshot HistogramSnapshot::delta(
+    const HistogramSnapshot& earlier) const {
+  HistogramSnapshot out;
+  out.buckets.resize(buckets.size());
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    const std::int64_t before =
+        i < earlier.buckets.size() ? earlier.buckets[i] : 0;
+    out.buckets[i] = std::max<std::int64_t>(0, buckets[i] - before);
+    out.count += out.buckets[i];
+  }
+  out.sum = std::max(0.0, sum - earlier.sum);
+  if (out.count == 0) out.sum = 0.0;
+  return out;
+}
+
+void HistogramSnapshot::merge(const HistogramSnapshot& other) {
+  if (buckets.size() < other.buckets.size()) {
+    buckets.resize(other.buckets.size());
+  }
+  for (std::size_t i = 0; i < other.buckets.size(); ++i) {
+    buckets[i] += other.buckets[i];
+  }
+  count += other.count;
+  sum += other.sum;
 }
 
 void Histogram::reset() {

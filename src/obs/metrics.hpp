@@ -52,6 +52,32 @@ class Gauge {
   std::atomic<double> value_{0.0};
 };
 
+class Histogram;
+
+/// Plain-value copy of a histogram's state at one instant.  Two snapshots
+/// of the same histogram subtract (`delta`) into the distribution of just
+/// the observations made between them — the primitive behind the rolling
+/// windows the continuous harvester maintains (obs/window.hpp): cumulative
+/// histograms answer "since start", deltas answer "recently".
+struct HistogramSnapshot {
+  std::vector<std::int64_t> buckets;  ///< Histogram::kBucketCount entries
+  std::int64_t count = 0;
+  double sum = 0.0;
+
+  double mean() const { return count > 0 ? sum / static_cast<double>(count) : 0.0; }
+  /// Quantile estimate over the bucketed counts, q in [0, 1]; 0 when empty.
+  /// Interpolates inside the landing bucket like Histogram::percentile (the
+  /// exact max is not carried in a snapshot, so the top bucket uses its
+  /// lower edge).
+  double percentile(double q) const;
+  /// Distribution of the observations made after `earlier` was taken.
+  /// Counts are clamped at zero so a reset between snapshots degrades to an
+  /// empty window instead of negative counts.
+  HistogramSnapshot delta(const HistogramSnapshot& earlier) const;
+  /// Fold another snapshot's counts into this one (window accumulation).
+  void merge(const HistogramSnapshot& other);
+};
+
 /// Lock-free histogram over non-negative values with geometrically spaced
 /// buckets: kBucketsPerOctave buckets per power of two, spanning
 /// [kMinValue, kMinValue * 2^kOctaves) — 1 ns to ~73 minutes when observing
@@ -75,6 +101,11 @@ class Histogram {
   double max() const;  ///< -inf when empty
   /// Quantile estimate, q in [0, 1]; 0 when empty.
   double percentile(double q) const;
+
+  /// Consistent-enough copy of the current state (each field is read with a
+  /// relaxed load; concurrent observes may straddle the reads, which a
+  /// windowed consumer tolerates by construction).
+  HistogramSnapshot snapshot() const;
 
   void reset();
 

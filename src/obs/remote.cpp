@@ -1,7 +1,10 @@
 #include "obs/remote.hpp"
 
+#include <algorithm>
 #include <cstring>
+#include <iterator>
 #include <sstream>
+#include <utility>
 
 #include "common/error.hpp"
 
@@ -19,7 +22,11 @@ void SpanBuffer::flush_to_tracer() {
 
 namespace {
 
-constexpr std::uint32_t kSpanMagic = 0x50535031;  // "PSP1"
+// v1 lacks the per-span sequence number; v2 adds it.  The encoder always
+// emits v2, the decoder accepts both (v1 spans land with seq = -1) so a
+// new coordinator still reads an old worker's buffer.
+constexpr std::uint32_t kSpanMagicV1 = 0x50535031;  // "PSP1"
+constexpr std::uint32_t kSpanMagicV2 = 0x50535032;  // "PSP2" (adds seq)
 
 template <typename T>
 void put(std::vector<std::uint8_t>& out, T value) {
@@ -58,7 +65,7 @@ std::string take_string(const std::uint8_t*& cursor, const std::uint8_t* end) {
 
 std::vector<std::uint8_t> encode_spans(const std::vector<SpanRecord>& spans) {
   std::vector<std::uint8_t> out;
-  put<std::uint32_t>(out, kSpanMagic);
+  put<std::uint32_t>(out, kSpanMagicV2);
   put<std::uint64_t>(out, spans.size());
   for (const SpanRecord& span : spans) {
     put_string(out, span.name);
@@ -67,6 +74,7 @@ std::vector<std::uint8_t> encode_spans(const std::vector<SpanRecord>& spans) {
     put<std::int64_t>(out, span.start_ns);
     put<std::int64_t>(out, span.duration_ns);
     put<std::int64_t>(out, span.task_id);
+    put<std::int64_t>(out, span.seq);
     put<std::uint32_t>(out, static_cast<std::uint32_t>(span.args.size()));
     for (const auto& [key, value] : span.args) {
       put_string(out, key);
@@ -80,9 +88,11 @@ std::vector<SpanRecord> decode_spans(const std::uint8_t* data,
                                      std::size_t size) {
   const std::uint8_t* cursor = data;
   const std::uint8_t* end = data + size;
-  if (take<std::uint32_t>(cursor, end) != kSpanMagic) {
+  const auto magic = take<std::uint32_t>(cursor, end);
+  if (magic != kSpanMagicV1 && magic != kSpanMagicV2) {
     throw TransportError("bad span buffer magic");
   }
+  const bool has_seq = magic == kSpanMagicV2;
   const auto count = take<std::uint64_t>(cursor, end);
   // Each span costs at least the fixed fields; cheap sanity bound so a
   // corrupt count cannot drive a huge allocation.
@@ -97,6 +107,7 @@ std::vector<SpanRecord> decode_spans(const std::uint8_t* data,
     span.start_ns = take<std::int64_t>(cursor, end);
     span.duration_ns = take<std::int64_t>(cursor, end);
     span.task_id = take<std::int64_t>(cursor, end);
+    if (has_seq) span.seq = take<std::int64_t>(cursor, end);
     const auto args = take<std::uint32_t>(cursor, end);
     // Decoded count: each arg costs at least two length-prefixed strings
     // (8 bytes), so bound it by the bytes actually left in the buffer.
@@ -123,6 +134,8 @@ WorkerTelemetry harvest_worker(const HarvestEndpoint& endpoint,
                                int clock_pings) {
   WorkerTelemetry out;
   out.device = endpoint.device;
+  out.next_cursor = endpoint.trace_cursor;
+  out.rounds = 1;
   ClockOffsetEstimator local_clock;
   ClockOffsetEstimator* clock =
       endpoint.clock != nullptr ? endpoint.clock : &local_clock;
@@ -130,12 +143,36 @@ WorkerTelemetry harvest_worker(const HarvestEndpoint& endpoint,
     if (endpoint.ping) {
       for (int i = 0; i < clock_pings; ++i) clock->update(endpoint.ping());
     }
+    // Trace before metrics: when the worker dies mid-round, spans already
+    // on this side of the wire are kept (rebased below, after the catch)
+    // rather than lost to the exception.
+    if (endpoint.fetch_trace_chunk) {
+      TraceChunk chunk = endpoint.fetch_trace_chunk(endpoint.trace_cursor);
+      out.spans = std::move(chunk.spans);
+      out.next_cursor = chunk.next;
+    } else if (endpoint.fetch_trace) {
+      out.spans = endpoint.fetch_trace();
+    }
     if (endpoint.fetch_metrics) out.metrics_text = endpoint.fetch_metrics();
-    if (endpoint.fetch_trace) out.spans = endpoint.fetch_trace();
     out.reachable = true;
   } catch (const Error&) {
     // Worker gone mid-harvest: report what we have, flagged unreachable.
     out.reachable = false;
+  }
+  // At-least-once delivery: a chunk may re-send spans the coordinator
+  // already merged (reply lost after the worker buffered past the cursor).
+  // Anything below the request cursor is a duplicate by definition.
+  if (endpoint.trace_cursor > 0) {
+    std::vector<SpanRecord> fresh;
+    fresh.reserve(out.spans.size());
+    for (SpanRecord& span : out.spans) {
+      if (span.seq >= 0 &&
+          static_cast<std::uint64_t>(span.seq) < endpoint.trace_cursor) {
+        continue;
+      }
+      fresh.push_back(std::move(span));
+    }
+    out.spans.swap(fresh);
   }
   out.offset_ns = clock->valid() ? clock->offset_ns() : 0;
   out.rtt_ns = clock->rtt_ns();
@@ -151,8 +188,38 @@ WorkerTelemetry harvest_worker(const HarvestEndpoint& endpoint,
 // ClusterTelemetry
 // ---------------------------------------------------------------------------
 
+namespace {
+
+/// Continuous harvest folds many rounds per device into one entry: spans
+/// accumulate (the cursor protocol already deduplicated them), everything
+/// scalar — clock estimate, reachability, the worker's *cumulative* metrics
+/// text, the next cursor — refreshes to the latest round's view.
+void merge_into(WorkerTelemetry& into, WorkerTelemetry&& round) {
+  into.reachable = round.reachable;
+  into.offset_ns = round.offset_ns;
+  into.rtt_ns = round.rtt_ns;
+  into.error_bound_ns = round.error_bound_ns;
+  into.clock_samples = round.clock_samples;
+  if (!round.metrics_text.empty()) {
+    into.metrics_text = std::move(round.metrics_text);
+  }
+  into.spans.insert(into.spans.end(),
+                    std::make_move_iterator(round.spans.begin()),
+                    std::make_move_iterator(round.spans.end()));
+  into.next_cursor = std::max(into.next_cursor, round.next_cursor);
+  into.rounds += round.rounds;
+}
+
+}  // namespace
+
 void ClusterTelemetry::add(WorkerTelemetry telemetry) {
   MutexLock lock(mutex_);
+  for (WorkerTelemetry& existing : workers_) {
+    if (existing.device == telemetry.device) {
+      merge_into(existing, std::move(telemetry));
+      return;
+    }
+  }
   workers_.push_back(std::move(telemetry));
 }
 
@@ -162,8 +229,7 @@ void ClusterTelemetry::merge_from(ClusterTelemetry&& other) {
     MutexLock lock(other.mutex_);
     theirs.swap(other.workers_);
   }
-  MutexLock lock(mutex_);
-  for (WorkerTelemetry& w : theirs) workers_.push_back(std::move(w));
+  for (WorkerTelemetry& w : theirs) add(std::move(w));
 }
 
 std::vector<WorkerTelemetry> ClusterTelemetry::workers() const {

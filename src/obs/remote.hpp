@@ -3,24 +3,34 @@
 // cluster-wide view.
 //
 // The transport itself lives above this module (runtime depends on obs, not
-// the reverse), so the harvester talks through three closures per worker
+// the reverse), so the harvester talks through closures per worker
 // endpoint: `ping` performs one lightweight round trip and returns the
 // timestamp quadruple, `fetch_metrics` pulls the worker's Prometheus text
-// (MetricsDump), and `fetch_trace` drains the worker's span buffer
-// (TraceDump).  harvest_worker() sends a burst of pings to converge the
-// ClockOffsetEstimator, pulls both dumps, and rebases every harvested span
-// onto the local (coordinator) timeline.  ClusterTelemetry accumulates the
-// per-worker results and produces the merged artifacts: one aggregated
-// Prometheus dump and one Chrome-trace span list in which worker compute
-// sits — monotonic and correctly nested — under the coordinator's task
-// spans.
+// (MetricsDump), and `fetch_trace_chunk` pulls the worker's span buffer
+// (TraceDump) from a sequence cursor.  harvest_worker() sends a burst of
+// pings to converge the ClockOffsetEstimator, pulls both dumps, and rebases
+// every harvested span onto the local (coordinator) timeline.
+// ClusterTelemetry accumulates the per-worker results and produces the
+// merged artifacts: one aggregated Prometheus dump and one Chrome-trace
+// span list in which worker compute sits — monotonic and correctly nested —
+// under the coordinator's task spans.
 //
-// SpanBuffer is the worker-side half: a small mutex-guarded span store the
-// serve loop records into, drains into a TraceDump reply, and flushes into
-// the process-global Tracer on graceful shutdown so telemetry from
-// short-lived runs is never silently lost.
+// Cursor protocol (continuous harvest).  SpanBuffer stamps every recorded
+// span with a monotonically increasing sequence number.  A TraceDump
+// request carries the coordinator's cursor C: it acknowledges every span
+// with seq < C (the worker prunes them) and asks for everything from C on.
+// The reply carries the remaining spans plus [base, next): base is the seq
+// of the first span included, next the cursor to present on the following
+// round.  Spans are therefore delivered at-least-once — a reply lost to a
+// dead coordinator is re-sent on the next round — and the coordinator
+// drops any span below its cursor, so repeated mid-run harvests never
+// double-count.  The final Shutdown message carries the last cursor as an
+// ack, so the worker's graceful-shutdown flush into the process-global
+// Tracer only covers spans no harvest round ever delivered.
 #pragma once
 
+#include <algorithm>
+#include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <string>
@@ -33,22 +43,58 @@
 
 namespace pico::obs {
 
+/// One cursor-delimited slice of a worker's span stream (TraceDump reply).
+struct TraceChunk {
+  std::uint64_t base = 0;  ///< seq of the first span included
+  std::uint64_t next = 0;  ///< cursor to request (and ack) next round
+  std::vector<SpanRecord> spans;
+};
+
 /// Worker-side span store.  record() is called by the serve thread;
-/// drain() by the same thread when answering a TraceDump — but the
+/// chunk()/ack() by the same thread when answering TraceDump — but the
 /// annotation-enforced locking keeps it safe if a future worker grows
 /// internal parallelism (ROADMAP: no bare shared state in the runtime).
+///
+/// record() stamps each span with the next sequence number; spans stay in
+/// the buffer until acknowledged (ack / the cursor of the next chunk()
+/// call), giving the harvest loop at-least-once delivery.
 class SpanBuffer {
  public:
   void record(SpanRecord span) {
     MutexLock lock(mutex_);
+    span.seq = static_cast<std::int64_t>(next_seq_++);
     spans_.push_back(std::move(span));
   }
 
-  /// Move out everything recorded so far (the TraceDump reply payload).
+  /// Prune every span with seq < cursor (coordinator acknowledged them).
+  /// The cursor typically arrives off the wire: the prune count is clamped
+  /// to what the buffer actually holds, so a corrupt or hostile cursor can
+  /// at worst over-acknowledge — it can never drive the erase out of range.
+  void ack(std::uint64_t cursor) {
+    MutexLock lock(mutex_);
+    ack_locked(cursor);
+  }
+
+  /// Answer one TraceDump: ack everything below `cursor`, then copy the
+  /// remaining (unacknowledged) spans.  The copies stay buffered until the
+  /// next round's cursor acknowledges them.
+  TraceChunk chunk(std::uint64_t cursor) {
+    MutexLock lock(mutex_);
+    ack_locked(cursor);
+    TraceChunk out;
+    out.base = base_seq_;
+    out.next = next_seq_;
+    out.spans = spans_;
+    return out;
+  }
+
+  /// Move out everything still buffered, acknowledged or not (legacy
+  /// full-drain semantics; the shutdown flush path).
   std::vector<SpanRecord> drain() {
     MutexLock lock(mutex_);
     std::vector<SpanRecord> out;
     out.swap(spans_);
+    base_seq_ = next_seq_;
     return out;
   }
 
@@ -57,18 +103,40 @@ class SpanBuffer {
     return spans_.size();
   }
 
+  /// Sequence number the next recorded span will get.
+  std::uint64_t next_seq() const {
+    MutexLock lock(mutex_);
+    return next_seq_;
+  }
+
   /// Graceful-shutdown drain: move any unharvested spans into the global
   /// Tracer so they survive the serve loop (correct timebase whenever the
   /// worker shares the coordinator's process/clock; a remote process keeps
-  /// them visible in its own tracer for local dumping).
+  /// them visible in its own tracer for local dumping).  Spans a harvest
+  /// round already delivered are acknowledged by the Shutdown message's
+  /// cursor first, so they are not flushed twice.
   void flush_to_tracer();
 
  private:
+  void ack_locked(std::uint64_t cursor) PICO_REQUIRES(mutex_) {
+    if (cursor <= base_seq_) return;
+    const std::uint64_t prune =
+        std::min<std::uint64_t>(cursor - base_seq_, spans_.size());
+    spans_.erase(spans_.begin(),
+                 spans_.begin() + static_cast<std::ptrdiff_t>(prune));
+    base_seq_ += prune;
+  }
+
   mutable Mutex mutex_;
   std::vector<SpanRecord> spans_ PICO_GUARDED_BY(mutex_);
+  std::uint64_t next_seq_ PICO_GUARDED_BY(mutex_) = 0;
+  /// seq of spans_.front() (== next_seq_ when empty).
+  std::uint64_t base_seq_ PICO_GUARDED_BY(mutex_) = 0;
 };
 
-/// Binary encoding of a span list — the TraceDump wire payload.
+/// Binary encoding of a span list — the TraceDump wire payload ("PSP2",
+/// which adds the per-span sequence number; "PSP1" buffers from older
+/// workers still decode, their spans carrying seq = -1).
 /// decode_spans throws TransportError on a malformed buffer.
 std::vector<std::uint8_t> encode_spans(const std::vector<SpanRecord>& spans);
 std::vector<SpanRecord> decode_spans(const std::uint8_t* data,
@@ -85,30 +153,50 @@ struct WorkerTelemetry {
   int clock_samples = 0;        ///< accepted quadruples behind offset_ns
   std::string metrics_text;     ///< worker registry, Prometheus exposition
   std::vector<SpanRecord> spans;  ///< rebased worker spans
+  /// Cursor to present on the next harvest round (acks `spans`); equals the
+  /// request cursor when the trace fetch failed or the peer is pre-cursor.
+  std::uint64_t next_cursor = 0;
+  int rounds = 0;  ///< harvest rounds folded into this entry (see add())
 };
 
 /// One worker endpoint, expressed transport-agnostically.  Any closure may
 /// throw (e.g. TransportError when the worker died); harvest_worker then
-/// returns a WorkerTelemetry with reachable = false.
+/// returns a WorkerTelemetry flagged reachable = false that still carries
+/// everything pulled before the failure, rebased.
 struct HarvestEndpoint {
   int device = -1;
   std::function<ClockSample()> ping;
   std::function<std::string()> fetch_metrics;
+  /// Cursor-aware trace pull: send a TraceDump carrying the given cursor,
+  /// return the decoded chunk.
+  std::function<TraceChunk(std::uint64_t cursor)> fetch_trace_chunk;
+  /// Legacy full-drain pull (pre-cursor peers / simple tests).  Used only
+  /// when fetch_trace_chunk is unset.
   std::function<std::vector<SpanRecord>()> fetch_trace;
   /// Estimator to refine and use for rebasing.  Usually pre-warmed by the
   /// piggybacked quadruples of ordinary WorkResults; null = local-only.
   ClockOffsetEstimator* clock = nullptr;
+  /// First span sequence wanted (and ack of everything below).
+  std::uint64_t trace_cursor = 0;
 };
 
-/// Ping `clock_pings` times, pull both dumps, rebase the spans.
+/// One harvest round: ping `clock_pings` times, pull the trace chunk, pull
+/// the metrics, rebase the spans.  The trace is pulled *before* the metrics
+/// so spans already delivered survive a worker dying mid-round — they are
+/// rebased and returned (reachable = false) instead of dropped.  Spans
+/// below the request cursor (re-delivered after a lost reply) are filtered
+/// out here, so callers may merge `spans` blindly.
 WorkerTelemetry harvest_worker(const HarvestEndpoint& endpoint,
                                int clock_pings = 4);
 
-/// Accumulates WorkerTelemetry across workers (and, for the adaptive
-/// runtime, across plan switches).  Guarded: teardown harvests while other
-/// threads may still read a previous snapshot.
+/// Accumulates WorkerTelemetry across harvest rounds, workers and (for the
+/// adaptive runtime) plan switches.  Guarded: the harvester thread adds
+/// while report/teardown threads read snapshots.
 class ClusterTelemetry {
  public:
+  /// Fold one round's result in.  Results for a device already present are
+  /// merged: spans append, scalar fields (reachability, clocks, cursor,
+  /// metrics text — cumulative on the worker, so latest wins) refresh.
   void add(WorkerTelemetry telemetry);
   void merge_from(ClusterTelemetry&& other);
 

@@ -36,6 +36,11 @@ struct SpanRecord {
   std::int64_t start_ns = 0;    ///< Tracer::now_ns() timebase
   std::int64_t duration_ns = 0;
   std::int64_t task_id = -1;    ///< -1 = not task-scoped
+  /// Per-producer sequence number, assigned by the worker-side SpanBuffer
+  /// (obs/remote.hpp) in record order.  (device, seq) identifies a harvested
+  /// span across repeated TraceDump rounds — the continuous harvester's
+  /// dedup key.  -1 = unsequenced (coordinator-local spans, v1 peers).
+  std::int64_t seq = -1;
   std::vector<std::pair<std::string, std::string>> args;
 };
 

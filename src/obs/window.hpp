@@ -1,0 +1,99 @@
+// Rolling-window views over cumulative metrics.
+//
+// The registry's counters and histograms are cumulative by design (cheap,
+// lock-free, monotone) — good for "since start", useless for "is the
+// cluster drifting *now*".  The continuous harvester closes that gap by
+// snapshotting tracked metrics once per harvest round and keeping the last
+// W per-round deltas in a ring: the merged ring is the distribution (or
+// count) of just the last W rounds, which is what the straggler detector
+// and the online model checker consume.
+//
+// These classes are deliberately plain (no locking): one owner — the
+// Harvester, which serializes rounds under its own mutex — rolls and reads
+// them.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace pico::obs {
+
+/// Rolling window over one histogram: call roll() once per round; window()
+/// is the merged distribution of the observations made during the last
+/// `window_rounds` rounds.
+class WindowedSeries {
+ public:
+  WindowedSeries(const Histogram* source, int window_rounds)
+      : source_(source), capacity_(window_rounds < 1 ? 1 : window_rounds) {
+    last_ = source_->snapshot();
+  }
+
+  void roll() {
+    HistogramSnapshot now = source_->snapshot();
+    HistogramSnapshot delta = now.delta(last_);
+    last_ = std::move(now);
+    if (ring_.size() < static_cast<std::size_t>(capacity_)) {
+      ring_.push_back(std::move(delta));
+    } else {
+      ring_[head_] = std::move(delta);
+    }
+    head_ = (head_ + 1) % static_cast<std::size_t>(capacity_);
+    window_ = HistogramSnapshot{};
+    for (const HistogramSnapshot& slice : ring_) window_.merge(slice);
+  }
+
+  /// Merged distribution of the last `window_rounds` rounds (empty before
+  /// the first roll()).
+  const HistogramSnapshot& window() const { return window_; }
+
+ private:
+  const Histogram* source_;
+  int capacity_;
+  std::vector<HistogramSnapshot> ring_;
+  std::size_t head_ = 0;
+  HistogramSnapshot last_;    ///< cumulative state at the previous roll
+  HistogramSnapshot window_;  ///< cached merge of the ring
+};
+
+/// Rolling window over one counter: window() is the number of increments
+/// during the last `window_rounds` rounds; last_delta() the most recent
+/// round's increment (the live-rate numerator).
+class WindowedCounter {
+ public:
+  WindowedCounter(const Counter* source, int window_rounds)
+      : source_(source),
+        capacity_(window_rounds < 1 ? 1 : window_rounds),
+        last_(source_->value()) {}
+
+  void roll() {
+    const std::int64_t now = source_->value();
+    std::int64_t delta = now - last_;
+    if (delta < 0) delta = 0;  // reset between rounds degrades gracefully
+    last_ = now;
+    last_delta_ = delta;
+    if (ring_.size() < static_cast<std::size_t>(capacity_)) {
+      ring_.push_back(delta);
+    } else {
+      ring_[head_] = delta;
+    }
+    head_ = (head_ + 1) % static_cast<std::size_t>(capacity_);
+    window_ = 0;
+    for (const std::int64_t slice : ring_) window_ += slice;
+  }
+
+  std::int64_t window() const { return window_; }
+  std::int64_t last_delta() const { return last_delta_; }
+
+ private:
+  const Counter* source_;
+  int capacity_;
+  std::vector<std::int64_t> ring_;
+  std::size_t head_ = 0;
+  std::int64_t last_ = 0;
+  std::int64_t last_delta_ = 0;
+  std::int64_t window_ = 0;
+};
+
+}  // namespace pico::obs

@@ -48,6 +48,12 @@ void AdaptiveRuntime::activate(std::size_t candidate_index) {
          active_->cluster_telemetry().workers()) {
       telemetry_.add(std::move(worker));
     }
+    // Keep the epoch's health events: the next runtime's harvester starts
+    // from scratch (new plan, new baselines), but straggler / drift history
+    // should survive the switch in health().
+    const obs::HealthSnapshot epoch_health = active_->health();
+    past_events_.insert(past_events_.end(), epoch_health.events.begin(),
+                        epoch_health.events.end());
     ++switches_;
     obs::Registry& registry = obs::Registry::global();
     registry.counter("pico_adaptive_switches_total").add(1);
@@ -115,6 +121,21 @@ Tensor AdaptiveRuntime::infer(const Tensor& input) {
 
 const std::string& AdaptiveRuntime::current_scheme() const {
   return controller_.candidates()[active_index_].plan.scheme;
+}
+
+bool AdaptiveRuntime::harvest_now() {
+  if (stopped_ || !active_) return false;
+  return active_->harvest_now();
+}
+
+obs::HealthSnapshot AdaptiveRuntime::health() const {
+  obs::HealthSnapshot out;
+  if (active_) out = active_->health();
+  if (!past_events_.empty()) {
+    out.events.insert(out.events.begin(), past_events_.begin(),
+                      past_events_.end());
+  }
+  return out;
 }
 
 void AdaptiveRuntime::shutdown() {

@@ -57,6 +57,18 @@ class AdaptiveRuntime {
     return telemetry_;
   }
 
+  /// Run one synchronous harvest round on the active plan's runtime (see
+  /// PipelineRuntime::harvest_now); the periodic thread — if harvest_ms is
+  /// set — restarts automatically with each plan epoch.  False once
+  /// shutdown has begun.
+  bool harvest_now();
+
+  /// Health snapshot from the active plan's harvest engine.  Structured
+  /// events raised during earlier plan epochs are retained and prepended,
+  /// so the event log spans plan switches (windows and λ̂ restart with each
+  /// epoch — a new plan means new per-stage baselines).
+  obs::HealthSnapshot health() const;
+
   int switches() const { return switches_; }
   double estimated_rate() const { return controller_.estimated_rate(); }
   /// Scheme names in activation order (starts with the initial scheme).
@@ -84,6 +96,8 @@ class AdaptiveRuntime {
   int switches_ = 0;
   std::vector<std::string> history_;
   obs::ClusterTelemetry telemetry_;
+  /// Health events inherited from drained plan epochs (see health()).
+  std::vector<obs::HealthEvent> past_events_;
   bool stopped_ = false;
   // sched-exempt-end
 };

@@ -6,17 +6,24 @@
 // the length-prefixed binary encoding used by the TCP transport (the
 // in-process transport moves Messages directly).
 //
-// Wire format "PIC2" (v2).  v2 extends the v1 frame with distributed
+// Wire format "PIC3" (v3).  v2 extended the v1 frame with distributed
 // observability fields: a propagated trace context (trace_id + parent span)
 // so workers can open real spans under the coordinator's trace, four
 // NTP-style timestamps (t1..t3 on the wire, t4 taken by the receiver) so
 // per-device clock offsets can be estimated from ordinary request/response
 // traffic, worker-side compute start/end instants, and an opaque blob used
-// by the control-plane messages (MetricsDump / TraceDump payloads).  The
-// decoder is version-gated: any frame whose magic is not PIC2 — including a
-// v1 "PIC1" frame from an older build — is rejected with a TransportError
-// naming both the received and the supported version, so a version-skewed
-// peer ends a serve loop gracefully instead of tearing the process down.
+// by the control-plane messages (MetricsDump / TraceDump payloads).  v3
+// adds the continuous-harvest span cursors to the TraceDump exchange
+// (span_cursor / span_cursor_base) so repeated mid-run harvests never
+// double-count a span — see obs/remote.hpp for the protocol.
+//
+// Version gating: the encoder always emits PIC3.  The decoder accepts PIC3
+// *and* PIC2 — a v2 frame simply decodes with both cursors zero, which is
+// exactly the legacy full-drain semantics, so a new coordinator still
+// drives an old worker.  Anything else — including a v1 "PIC1" frame — is
+// rejected with a TransportError naming both the received and the
+// supported versions, so a version-skewed peer ends a serve loop
+// gracefully instead of tearing the process down.
 #pragma once
 
 #include <cstdint>
@@ -72,6 +79,17 @@ struct Message {
   std::int64_t t_compute_start_ns = 0;
   std::int64_t t_compute_end_ns = 0;
 
+  // --- span cursors (v3, continuous harvest) -------------------------------
+  /// TraceDump request: first span sequence wanted — and an ack: the worker
+  /// prunes every buffered span with seq below it.  TraceDump reply: the
+  /// cursor to present next round (seq one past the last span included).
+  /// Shutdown: final ack, so the worker's tracer flush skips everything a
+  /// harvest round already delivered.  0 = legacy full-drain (v2 peer).
+  std::uint64_t span_cursor = 0;
+  /// TraceDump reply: sequence of the first span included (lets the
+  /// coordinator detect a gap — spans lost to an overrun worker buffer).
+  std::uint64_t span_cursor_base = 0;
+
   /// Control-plane payload (MetricsDump: Prometheus text bytes; TraceDump:
   /// obs::encode_spans bytes).  Empty for data-plane messages.
   std::vector<std::uint8_t> blob;
@@ -82,8 +100,10 @@ struct Message {
 };
 
 /// Binary encoding (no framing — the transport adds the length prefix).
+/// Always emits the current version ("PIC3").
 std::vector<std::uint8_t> serialize(const Message& message);
-/// Decodes a PIC2 frame.  Throws TransportError for any other version magic
+/// Decodes a PIC3 frame, or a PIC2 frame from an older peer (cursors then
+/// default to zero).  Throws TransportError for any other version magic
 /// (e.g. a v1 "PIC1" peer) and InvariantError for a truncated/corrupt frame.
 Message deserialize(const std::uint8_t* data, std::size_t size);
 

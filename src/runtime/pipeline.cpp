@@ -1,6 +1,8 @@
 #include "runtime/pipeline.hpp"
 
+#include <algorithm>
 #include <atomic>
+#include <cstdlib>
 #include <cstring>
 #include <map>
 #include <string>
@@ -9,8 +11,10 @@
 
 #include "common/error.hpp"
 #include "common/log.hpp"
+#include "common/mutex.hpp"
 #include "nn/receptive.hpp"
 #include "obs/clock.hpp"
+#include "obs/harvester.hpp"
 #include "obs/metrics.hpp"
 #include "obs/remote.hpp"
 #include "obs/trace.hpp"
@@ -88,6 +92,97 @@ Message expect_reply(Connection& connection, MessageType want) {
   throw TransportError("control-plane reply never arrived");
 }
 
+/// Transport-ownership token for one device connection.  The Connection
+/// contract allows one sender and one receiver thread per endpoint; with a
+/// background harvester issuing control-plane round trips mid-run, the
+/// coordinator and the harvester must alternate instead of interleaving
+/// frames.  The gate is that token: a coordinator holds its stage's gates
+/// from scatter through gather, the harvester holds exactly one gate for
+/// one full round trip.  Deadlock-free by construction — coordinators
+/// acquire gate sets in ascending device order (and, in pipelined plans,
+/// stages own disjoint device sets), while the harvester never holds two
+/// gates at once.
+///
+/// acquire()/release() pair across statements rather than scopes (the
+/// holder performs full scatter/gather exchanges in between), which clang's
+/// scope-based capability analysis cannot express — hence the explicit
+/// opt-outs.  The tsan preset and the sched harvest model cover the
+/// discipline dynamically, and the underlying Mutex still feeds lockdep.
+struct ConnectionGate {
+  Mutex mutex;
+  void acquire() PICO_NO_THREAD_SAFETY_ANALYSIS { mutex.lock(); }
+  void release() PICO_NO_THREAD_SAFETY_ANALYSIS { mutex.unlock(); }
+};
+
+/// RAII single-gate hold (the harvester's one-device round trip).
+class GateLock {
+ public:
+  explicit GateLock(ConnectionGate& gate) : gate_(gate) { gate_.acquire(); }
+  ~GateLock() { gate_.release(); }
+  GateLock(const GateLock&) = delete;
+  GateLock& operator=(const GateLock&) = delete;
+
+ private:
+  ConnectionGate& gate_;
+};
+
+/// RAII hold of every gate one stage's device set needs, acquired in
+/// ascending device order (the global order that keeps multi-gate holders
+/// cycle-free).
+class GateSet {
+ public:
+  GateSet(const std::map<DeviceId, std::unique_ptr<ConnectionGate>>& gates,
+          const partition::Stage& stage) {
+    std::vector<DeviceId> devices;
+    for (const partition::DeviceSlice& slice : stage.assignments) {
+      devices.push_back(slice.device);
+    }
+    std::sort(devices.begin(), devices.end());
+    devices.erase(std::unique(devices.begin(), devices.end()),
+                  devices.end());
+    held_.reserve(devices.size());
+    for (const DeviceId device : devices) {
+      ConnectionGate* gate = gates.at(device).get();
+      gate->acquire();
+      held_.push_back(gate);
+    }
+  }
+  ~GateSet() {
+    for (auto it = held_.rbegin(); it != held_.rend(); ++it) {
+      (*it)->release();
+    }
+  }
+  GateSet(const GateSet&) = delete;
+  GateSet& operator=(const GateSet&) = delete;
+
+ private:
+  std::vector<ConnectionGate*> held_;
+};
+
+/// Continuous-harvest period: the PICO_HARVEST_MS environment variable
+/// overrides the option (0 or a non-number disables, like the default).
+int resolved_harvest_ms(const RuntimeOptions& options) {
+  if (const char* env = std::getenv("PICO_HARVEST_MS")) {
+    char* end = nullptr;
+    const long value = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0') {
+      return value > 0 ? static_cast<int>(std::min<long>(value, 3600000))
+                       : 0;
+    }
+    PICO_LOG(Warn) << "ignoring non-numeric PICO_HARVEST_MS=\"" << env
+                   << "\"";
+  }
+  return std::max(0, options.harvest_ms);
+}
+
+obs::Harvester::Options harvester_options(const RuntimeOptions& options) {
+  obs::Harvester::Options out;
+  out.window_rounds = std::max(1, options.window_rounds);
+  out.straggler = options.straggler;
+  out.model = options.model;
+  return out;
+}
+
 }  // namespace
 
 struct PipelineRuntime::Impl {
@@ -141,11 +236,41 @@ struct PipelineRuntime::Impl {
   /// at start; workers then skip span recording).
   const std::uint64_t trace_id =
       obs::Tracer::global().enabled() ? make_trace_id() : 0;
-  /// Worker telemetry pulled during shutdown (see harvest_all).
+  /// Worker telemetry accumulated across harvest rounds (see
+  /// harvest_round; merged by device).
   obs::ClusterTelemetry telemetry;
 
+  /// Per-device transport-ownership gates (see ConnectionGate).  Built
+  /// alongside `connections` before any thread starts; the map itself is
+  /// const afterwards.
+  std::map<DeviceId, std::unique_ptr<ConnectionGate>> gates;
+  /// Continuous-harvest policy engine (windows, λ̂, detectors) — internally
+  /// locked, fed under round_mutex.
+  obs::Harvester harvester;
+  /// Resolved harvest period (option + PICO_HARVEST_MS override); 0 = no
+  /// background thread.  Set before any thread starts, const afterwards.
+  int harvest_ms = 0;
+  /// Serializes harvest rounds (periodic thread, harvest_now callers and
+  /// the final shutdown round).  A gate, not a data lock: the holder spends
+  /// the round in transport round trips.
+  ConnectionGate round_gate;
+  /// Per-device span cursors (next sequence to request / ack).  Touched
+  /// only briefly, never across I/O.
+  Mutex cursor_mutex;
+  std::map<DeviceId, std::uint64_t> cursors PICO_GUARDED_BY(cursor_mutex);
+  // Background harvest thread lifecycle: the loop sleeps on harvest_cv
+  // between rounds; shutdown sets harvest_stop under the mutex and
+  // notifies, so the thread wakes immediately instead of finishing its nap.
+  Mutex harvest_mutex;
+  CondVar harvest_cv;
+  bool harvest_stop PICO_GUARDED_BY(harvest_mutex) = false;
+  // sched-exempt: written once by start_coordinators, joined by shutdown;
+  // the owner serializes both (documented single-owner API).
+  SchedThread harvest_thread;
+
   Impl(const nn::Graph& g, const partition::Plan& p, RuntimeOptions opts)
-      : graph(g), plan(p), options(opts) {}
+      : graph(g), plan(p), options(opts),
+        harvester(harvester_options(options)) {}
 
   std::vector<DeviceId> plan_devices() const {
     std::vector<DeviceId> device_ids;
@@ -241,12 +366,14 @@ struct PipelineRuntime::Impl {
   void start_coordinators() {
     for (const auto& [device, connection] : connections) {
       clocks.emplace(device, std::make_shared<obs::ClockOffsetEstimator>());
+      gates.emplace(device, std::make_unique<ConnectionGate>());
     }
     // Stage chain: pipelined -> one coordinator per stage; sequential ->
     // one coordinator walking all stages.
     const std::size_t coordinator_count =
         plan.pipelined ? plan.stages.size() : 1;
     init_metrics(coordinator_count);
+    wire_harvester();
     for (std::size_t i = 0; i < coordinator_count; ++i) {
       queues.push_back(
           std::make_unique<BoundedQueue<TaskItem>>(options.queue_capacity));
@@ -255,6 +382,34 @@ struct PipelineRuntime::Impl {
       coordinators.emplace_back([this, i, coordinator_count] {
         coordinate(i, coordinator_count);
       });
+    }
+    harvest_ms = resolved_harvest_ms(options);
+    if (harvest_ms > 0 && options.harvest_telemetry) {
+      harvest_thread = SchedThread([this] { harvest_loop(); });
+    }
+  }
+
+  /// Point the harvest engine at the metric handles init_metrics resolved
+  /// and inject the plan's model predictions.  Runs before any coordinator
+  /// or harvest thread starts.
+  void wire_harvester() {
+    for (std::size_t s = 0; s < plan.stages.size(); ++s) {
+      const int stage = static_cast<int>(s);
+      StageMetrics& metrics = stage_metrics[s];
+      harvester.track_stage_compute_critical(stage, metrics.compute_critical);
+      harvester.track_stage_service(stage, metrics.service);
+      for (const auto& [device, histogram] : metrics.device_compute) {
+        harvester.track_stage_compute(stage, device, histogram);
+      }
+      for (const auto& [device, request] : metrics.device_wire_request) {
+        harvester.track_stage_wire(stage, device, request,
+                                   metrics.device_wire_reply.at(device));
+      }
+    }
+    harvester.track_entry_queue_wait(queue_metrics.front().wait);
+    harvester.track_tasks_completed(tasks_total);
+    if (options.prediction.valid) {
+      harvester.set_prediction(options.prediction);
     }
   }
 
@@ -352,6 +507,9 @@ struct PipelineRuntime::Impl {
     PICO_CHECK(!branches.empty());
     const Shape out_shape = graph.node(stage.last).out_shape;
     StageMetrics& metrics = stage_metrics[stage_index];
+    // Own this stage's connections for the whole scatter/gather exchange so
+    // a concurrent harvest round cannot interleave control-plane frames.
+    GateSet gate(gates, stage);
     const std::int64_t scatter_start = obs::Tracer::now_ns();
 
     struct Sent {
@@ -426,6 +584,9 @@ struct PipelineRuntime::Impl {
     const Shape out_shape = graph.node(stage.last).out_shape;
     StageMetrics& metrics = stage_metrics[stage_index];
     obs::Tracer& tracer = obs::Tracer::global();
+    // Own this stage's connections for the whole scatter/gather exchange so
+    // a concurrent harvest round cannot interleave control-plane frames.
+    GateSet gate(gates, stage);
 
     // Scatter: send each device its (haloed) input piece.
     const std::int64_t scatter_start = obs::Tracer::now_ns();
@@ -553,8 +714,11 @@ struct PipelineRuntime::Impl {
             record_interval(tracer, "task", "task", obs::task_track(),
                             item->id, item->submit_ns, done_ns);
           }
-          item->promise->set_value(std::move(item->tensor));
+          // Count before fulfilling the promise: infer() returns the moment
+          // the future resolves, and tasks_completed() must already cover
+          // that task.
           completed.fetch_add(1, std::memory_order_relaxed);
+          item->promise->set_value(std::move(item->tensor));
         }
       }
     } catch (const std::exception& error) {
@@ -598,13 +762,18 @@ struct PipelineRuntime::Impl {
     }
   }
 
-  /// Pull metrics + trace buffers from every worker over the transport.
-  /// Runs on the shutdown thread after all coordinators have been joined —
-  /// each connection then has exactly one user, so plain request/response
-  /// round trips are race-free.  Harvested spans (already rebased by
-  /// harvest_worker) are injected into the global tracer: a subsequent
-  /// Tracer::snapshot() is the merged cluster-wide trace.
-  void harvest_all() {
+  /// One harvest round: pull metrics + span deltas + clock pings from every
+  /// worker over the transport, feed the health engine, inject rebased
+  /// spans into the global tracer (a subsequent Tracer::snapshot() is the
+  /// merged cluster-wide trace so far) and fold the per-worker results into
+  /// the cluster accumulator.  Safe mid-run: each worker's round trip runs
+  /// under that device's ConnectionGate, so it alternates cleanly with the
+  /// coordinators' scatter/gather exchanges; rounds themselves (periodic
+  /// thread, harvest_now callers, the final shutdown round) are serialized
+  /// by round_gate.  The span cursors carried in the TraceDump exchange
+  /// keep repeated pulls from ever double-counting a span.
+  void harvest_round() {
+    GateLock round(round_gate);
     obs::Registry& registry = obs::Registry::global();
     obs::Tracer& tracer = obs::Tracer::global();
     for (auto& [device, connection] : connections) {
@@ -612,6 +781,10 @@ struct PipelineRuntime::Impl {
       obs::HarvestEndpoint endpoint;
       endpoint.device = device;
       endpoint.clock = clocks.at(device).get();
+      {
+        MutexLock lock(cursor_mutex);
+        endpoint.trace_cursor = cursors[device];
+      }
       endpoint.ping = [conn] {
         Message ping;
         ping.type = MessageType::Ping;
@@ -628,15 +801,27 @@ struct PipelineRuntime::Impl {
         Message reply = expect_reply(*conn, MessageType::MetricsDump);
         return std::string(reply.blob.begin(), reply.blob.end());
       };
-      endpoint.fetch_trace = [conn] {
+      endpoint.fetch_trace_chunk = [conn](std::uint64_t cursor) {
         Message request;
         request.type = MessageType::TraceDump;
+        request.span_cursor = cursor;
         conn->send(request);
         Message reply = expect_reply(*conn, MessageType::TraceDump);
-        return obs::decode_spans(reply.blob.data(), reply.blob.size());
+        obs::TraceChunk chunk;
+        chunk.base = reply.span_cursor_base;
+        chunk.next = reply.span_cursor;
+        chunk.spans = obs::decode_spans(reply.blob.data(),
+                                        reply.blob.size());
+        return chunk;
       };
-      obs::WorkerTelemetry harvested =
-          obs::harvest_worker(endpoint, options.harvest_pings);
+      obs::WorkerTelemetry harvested = [&] {
+        GateLock gate(*gates.at(device));
+        return obs::harvest_worker(endpoint, options.harvest_pings);
+      }();
+      {
+        MutexLock lock(cursor_mutex);
+        cursors[device] = harvested.next_cursor;
+      }
       const std::vector<obs::Label> labels{
           {"device", std::to_string(device)}};
       registry.gauge("pico_clock_offset_ns", labels)
@@ -652,7 +837,28 @@ struct PipelineRuntime::Impl {
           tracer.record(span);
         }
       }
+      harvester.note_worker(harvested);
       telemetry.add(std::move(harvested));
+    }
+    harvester.complete_round(obs::Tracer::now_ns());
+  }
+
+  /// Background periodic-harvest loop: nap for the period (or until
+  /// shutdown pokes the condvar), then run a round.  The flag is re-checked
+  /// after the wait so a shutdown signalled mid-nap skips the final
+  /// loop-driven round — shutdown() runs its own, after the coordinators
+  /// are drained.
+  void harvest_loop() {
+    const std::int64_t period_ns =
+        static_cast<std::int64_t>(harvest_ms) * 1000000;
+    for (;;) {
+      {
+        MutexLock lock(harvest_mutex);
+        if (harvest_stop) return;
+        harvest_cv.wait_for(harvest_mutex, period_ns);
+        if (harvest_stop) return;
+      }
+      harvest_round();
     }
   }
 
@@ -662,10 +868,34 @@ struct PipelineRuntime::Impl {
     for (SchedThread& t : coordinators) {
       if (t.joinable()) t.join();
     }
-    if (options.harvest_telemetry) harvest_all();
+    // Retire the periodic harvester before the final round so rounds and
+    // the Shutdown sends below cannot interleave.
+    {
+      MutexLock lock(harvest_mutex);
+      harvest_stop = true;
+      harvest_cv.notify_all();
+    }
+    if (harvest_thread.joinable()) harvest_thread.join();
+    if (options.harvest_telemetry) harvest_round();
+    // The Shutdown message carries the final span cursor as an ack, so the
+    // worker's graceful flush_to_tracer only covers spans no harvest round
+    // ever delivered.
+    std::map<DeviceId, std::uint64_t> final_cursors;
+    {
+      MutexLock lock(cursor_mutex);
+      final_cursors = cursors;
+    }
     for (auto& [id, connection] : connections) {
       Message bye;
       bye.type = MessageType::Shutdown;
+      const auto it = final_cursors.find(id);
+      if (it != final_cursors.end()) bye.span_cursor = it->second;
+      // Hold the device's gate for the send: a harvest_now() round that
+      // slipped past the stopped check finishes its gated round trip before
+      // the Shutdown frame enters the connection (single gate, never a
+      // second — no ordering constraint with the GateSet holders, which
+      // have all been joined above).
+      GateLock gate(*gates.at(id));
       try {
         connection->send(bye);
       } catch (const std::exception&) {
@@ -719,6 +949,16 @@ void PipelineRuntime::shutdown() { impl_->shutdown(); }
 
 const obs::ClusterTelemetry& PipelineRuntime::cluster_telemetry() const {
   return impl_->telemetry;
+}
+
+bool PipelineRuntime::harvest_now() {
+  if (impl_->stopped.load()) return false;
+  impl_->harvest_round();
+  return true;
+}
+
+obs::HealthSnapshot PipelineRuntime::health() const {
+  return impl_->harvester.snapshot();
 }
 
 long long PipelineRuntime::tasks_completed() const {

@@ -19,6 +19,8 @@
 
 #include "common/types.hpp"
 #include "nn/graph.hpp"
+#include "obs/harvester.hpp"
+#include "obs/health.hpp"
 #include "obs/remote.hpp"
 #include "partition/plan.hpp"
 #include "runtime/transport.hpp"
@@ -31,12 +33,31 @@ struct RuntimeOptions {
   /// Inter-stage queue capacity (back-pressure).
   std::size_t queue_capacity = 8;
   /// Pull worker metrics/trace buffers (MetricsDump/TraceDump, preceded by
-  /// a Ping burst that refreshes the per-device clock offset) during
-  /// shutdown, before the Shutdown message — see cluster_telemetry().
+  /// a Ping burst that refreshes the per-device clock offset) at least once
+  /// per run: continuously when harvest_ms > 0, and always one final round
+  /// during shutdown, before the Shutdown message — see cluster_telemetry().
   bool harvest_telemetry = true;
-  /// Pings per worker in the shutdown harvest (tight clock probes on top of
-  /// the quadruples piggybacked on every WorkResult).
+  /// Pings per worker per harvest round (tight clock probes on top of the
+  /// quadruples piggybacked on every WorkResult).
   int harvest_pings = 4;
+  /// Continuous-harvest period in milliseconds: > 0 starts a background
+  /// thread that pulls every worker's metrics/trace deltas mid-run (span
+  /// cursors prevent double-counting) and feeds the health engine.  0 keeps
+  /// the legacy shutdown-only harvest.  The PICO_HARVEST_MS environment
+  /// variable, when set, overrides this field at construction.
+  int harvest_ms = 0;
+  /// Harvest rounds per rolling metric window (window duration ≈
+  /// window_rounds × harvest period).
+  int window_rounds = 8;
+  /// Straggler-detector thresholds (robust z / peer-ratio fallback).
+  obs::StragglerOptions straggler;
+  /// Online model-checker thresholds (residual EWMA, drift trip count).
+  obs::ModelChecker::Options model;
+  /// Eq. 5–11 predictions for the online model checker, computed by the
+  /// caller via partition::plan_cost (the obs layer cannot link partition).
+  /// Leave invalid to skip predicted-vs-measured checks; the Thm. 2 M/D/1
+  /// check then falls back to the measured stage period.
+  obs::ModelPrediction prediction;
 };
 
 class PipelineRuntime {
@@ -70,9 +91,21 @@ class PipelineRuntime {
   /// Tracer::snapshot() is the merged cluster-wide trace.
   void shutdown();
 
-  /// Telemetry harvested from the workers at shutdown (empty before
-  /// shutdown, or when harvest_telemetry is off).
+  /// Telemetry harvested from the workers (accumulating across continuous
+  /// harvest rounds; empty until the first round — which is the shutdown
+  /// round when harvest_ms is 0 — or when harvest_telemetry is off).
   const obs::ClusterTelemetry& cluster_telemetry() const;
+
+  /// Run one synchronous harvest round right now: every worker is pulled
+  /// (metrics, span deltas, clock pings), the rolling windows advance and
+  /// the straggler/model-drift detectors run.  Independent of the periodic
+  /// thread — rounds are serialized internally.  Returns false once
+  /// shutdown has begun (no round is attempted).
+  bool harvest_now();
+
+  /// Live cluster-health snapshot assembled by the harvest engine (empty —
+  /// zero rounds — until the first harvest round).
+  obs::HealthSnapshot health() const;
 
   long long tasks_completed() const;
 

@@ -1,10 +1,14 @@
 #include "runtime/worker.hpp"
 
+#include <chrono>
+#include <map>
 #include <string>
+#include <thread>
 #include <utility>
 
 #include "common/error.hpp"
 #include "common/log.hpp"
+#include "common/mutex.hpp"
 #include "nn/executor.hpp"
 #include "obs/clock.hpp"
 #include "obs/metrics.hpp"
@@ -12,6 +16,44 @@
 #include "obs/trace.hpp"
 
 namespace pico::runtime {
+
+namespace {
+
+/// Debug compute-delay injections, keyed by device (see worker.hpp).
+struct DebugDelays {
+  Mutex mutex;
+  std::map<DeviceId, double> delay_ms PICO_GUARDED_BY(mutex);
+};
+
+DebugDelays& debug_delays() {
+  static DebugDelays* instance = new DebugDelays();
+  return *instance;
+}
+
+}  // namespace
+
+void set_debug_compute_delay_ms(DeviceId device, double delay_ms) {
+  DebugDelays& delays = debug_delays();
+  MutexLock lock(delays.mutex);
+  if (delay_ms <= 0.0) {
+    delays.delay_ms.erase(device);
+  } else {
+    delays.delay_ms[device] = delay_ms;
+  }
+}
+
+double debug_compute_delay_ms(DeviceId device) {
+  DebugDelays& delays = debug_delays();
+  MutexLock lock(delays.mutex);
+  const auto it = delays.delay_ms.find(device);
+  return it != delays.delay_ms.end() ? it->second : 0.0;
+}
+
+void clear_debug_compute_delays() {
+  DebugDelays& delays = debug_delays();
+  MutexLock lock(delays.mutex);
+  delays.delay_ms.clear();
+}
 
 namespace {
 
@@ -41,6 +83,13 @@ Message serve_request(const nn::Graph& graph, Message request,
       nn::execute_segment(graph, request.first_node, request.last_node,
                           {request.in_region, std::move(request.tensor)},
                           request.out_region, options);
+  // Chaos injection: slow this device inside the timed window so the delay
+  // is indistinguishable from genuinely slower compute downstream.
+  const double delay_ms = debug_compute_delay_ms(device);
+  if (delay_ms > 0.0) {
+    std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+        delay_ms));
+  }
   const std::int64_t end_ns = obs::worker_now_ns();
   result.t_compute_start_ns = start_ns;
   result.t_compute_end_ns = end_ns;
@@ -101,6 +150,10 @@ void serve_loop(const nn::Graph& graph, Connection& connection,
       Message request = connection.recv();
       const std::int64_t recv_ns = obs::worker_now_ns();
       if (request.type == MessageType::Shutdown) {
+        // The Shutdown carries the coordinator's final span cursor: prune
+        // everything a harvest round already delivered so the tracer flush
+        // below cannot duplicate it.
+        spans.ack(request.span_cursor);
         spans.flush_to_tracer();
         break;
       }
@@ -128,7 +181,15 @@ void serve_loop(const nn::Graph& graph, Connection& connection,
         Message reply;
         reply.type = MessageType::TraceDump;
         reply.t_recv_ns = recv_ns;
-        reply.blob = obs::encode_spans(spans.drain());
+        // Cursor exchange (see obs/remote.hpp): the request cursor acks —
+        // and prunes — everything below it; the reply ships the rest and
+        // names the cursor for the next round.  A v2 coordinator sends
+        // cursor 0 every time and so keeps full-drain semantics minus the
+        // pruning (its spans are simply re-sent until shutdown acks them).
+        obs::TraceChunk chunk = spans.chunk(request.span_cursor);
+        reply.span_cursor = chunk.next;
+        reply.span_cursor_base = chunk.base;
+        reply.blob = obs::encode_spans(chunk.spans);
         reply.t_send_ns = obs::worker_now_ns();
         connection.send(reply);
         continue;

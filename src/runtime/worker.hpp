@@ -43,6 +43,16 @@ void serve_blocking(const nn::Graph& graph, Connection& connection,
                     DeviceId device = -1,
                     const nn::ExecOptions& options = {});
 
+/// Test/chaos hook (like obs::set_debug_clock_skew_ns): every WorkRequest
+/// served for `device` is artificially slowed by `delay_ms` inside the
+/// timed compute window, so the delay shows up in compute_seconds, in the
+/// worker's compute spans and — through the windowed views — in the
+/// straggler detector.  0 clears the injection.  Process-global: in-process
+/// loopback clusters share one worker binary.
+void set_debug_compute_delay_ms(DeviceId device, double delay_ms);
+double debug_compute_delay_ms(DeviceId device);
+void clear_debug_compute_delays();
+
 class Worker {
  public:
   /// The worker holds a reference to the (immutable, finalized) graph — in a

@@ -1,12 +1,15 @@
-// Wire-protocol version negotiation (PIC2).
+// Wire-protocol version negotiation (PIC3, reading PIC2).
 //
-// The decoder is version-gated on the leading magic: anything that is not
-// this build's "PIC2" — most importantly a "PIC1" frame from an older build
-// — must be rejected with a TransportError naming both the received and the
-// supported version.  TransportError is the serve loop's graceful-exit
-// signal, so a version-skewed peer ends the session cleanly instead of the
-// worker dying on a garbled frame mid-decode.  Truncation of an otherwise
-// well-versioned frame stays an InvariantError (corruption, not skew).
+// The decoder is version-gated on the leading magic: this build emits
+// "PIC3" (span cursors) and still reads "PIC2" — a v2 frame decodes with
+// both cursors zero, which is exactly the legacy full-drain TraceDump
+// semantics.  Anything else — most importantly a "PIC1" frame from an older
+// build — must be rejected with a TransportError naming both the received
+// and the supported versions.  TransportError is the serve loop's
+// graceful-exit signal, so a version-skewed peer ends the session cleanly
+// instead of the worker dying on a garbled frame mid-decode.  Truncation of
+// an otherwise well-versioned frame stays an InvariantError (corruption,
+// not skew).
 #include <gtest/gtest.h>
 
 #include <arpa/inet.h>
@@ -48,6 +51,8 @@ Message sample_request() {
   m.t_send_ns = 333;
   m.t_compute_start_ns = 444;
   m.t_compute_end_ns = 555;
+  m.span_cursor = 96;
+  m.span_cursor_base = 64;
   m.blob = {1, 2, 3, 250, 251, 252};
   m.tensor = Tensor({1, 4, 8});
   Rng rng(5);
@@ -64,7 +69,23 @@ std::vector<std::uint8_t> with_magic(const Message& message,
   return bytes;
 }
 
-TEST(MessageVersion, RoundTripPreservesV2Fields) {
+/// Byte offset of the v3 span-cursor pair in a serialized frame: the fixed
+/// header before it is magic(4) + type(4) + task(8) + stage/first/last(12)
+/// + compute(8) + trace ctx(16) + five timestamps(40).
+constexpr std::size_t kCursorOffset = 92;
+
+/// Rewrite a serialized PIC3 frame as the PIC2 frame an older build would
+/// have produced: splice out the two span-cursor u64s and patch the magic.
+std::vector<std::uint8_t> as_pic2(std::vector<std::uint8_t> bytes) {
+  EXPECT_GE(bytes.size(), kCursorOffset + 16);
+  bytes.erase(bytes.begin() + kCursorOffset,
+              bytes.begin() + kCursorOffset + 16);
+  const std::uint32_t magic = 0x50494332u;
+  std::memcpy(bytes.data(), &magic, sizeof(magic));
+  return bytes;
+}
+
+TEST(MessageVersion, RoundTripPreservesV2AndV3Fields) {
   const Message original = sample_request();
   const auto bytes = runtime::serialize(original);
   const Message decoded = runtime::deserialize(bytes.data(), bytes.size());
@@ -75,7 +96,28 @@ TEST(MessageVersion, RoundTripPreservesV2Fields) {
   EXPECT_EQ(decoded.t_send_ns, original.t_send_ns);
   EXPECT_EQ(decoded.t_compute_start_ns, original.t_compute_start_ns);
   EXPECT_EQ(decoded.t_compute_end_ns, original.t_compute_end_ns);
+  EXPECT_EQ(decoded.span_cursor, original.span_cursor);
+  EXPECT_EQ(decoded.span_cursor_base, original.span_cursor_base);
   EXPECT_EQ(decoded.blob, original.blob);
+  EXPECT_FLOAT_EQ(Tensor::max_abs_diff(decoded.tensor, original.tensor),
+                  0.0f);
+}
+
+TEST(MessageVersion, Pic2FrameStillDecodesWithZeroCursors) {
+  // Backwards compatibility: a v2 peer's frame (no cursor fields) must
+  // decode into legacy full-drain semantics — both cursors zero — with
+  // every other field intact.
+  const Message original = sample_request();
+  const auto bytes = as_pic2(runtime::serialize(original));
+  const Message decoded = runtime::deserialize(bytes.data(), bytes.size());
+  EXPECT_EQ(decoded.span_cursor, 0u);
+  EXPECT_EQ(decoded.span_cursor_base, 0u);
+  EXPECT_EQ(decoded.task_id, original.task_id);
+  EXPECT_EQ(decoded.trace_id, original.trace_id);
+  EXPECT_EQ(decoded.t_compute_end_ns, original.t_compute_end_ns);
+  EXPECT_EQ(decoded.blob, original.blob);
+  EXPECT_EQ(decoded.in_region, original.in_region);
+  EXPECT_EQ(decoded.out_region, original.out_region);
   EXPECT_FLOAT_EQ(Tensor::max_abs_diff(decoded.tensor, original.tensor),
                   0.0f);
 }
@@ -89,6 +131,7 @@ TEST(MessageVersion, Pic1FrameRejectedNamingBothVersions) {
   } catch (const TransportError& error) {
     const std::string what = error.what();
     EXPECT_NE(what.find("PIC1"), std::string::npos) << what;
+    EXPECT_NE(what.find("PIC3"), std::string::npos) << what;
     EXPECT_NE(what.find("PIC2"), std::string::npos) << what;
   }
 }
@@ -103,7 +146,7 @@ TEST(MessageVersion, ForeignMagicRejectedAsTransportError) {
   } catch (const TransportError& error) {
     const std::string what = error.what();
     EXPECT_NE(what.find("0x"), std::string::npos) << what;
-    EXPECT_NE(what.find("PIC2"), std::string::npos) << what;
+    EXPECT_NE(what.find("PIC3"), std::string::npos) << what;
   }
 }
 

@@ -313,6 +313,51 @@ TEST(SchedRuntime, PipelineSubmitVsShutdownRandom) {
   expect_clean(result, "pipeline");
 }
 
+// Mid-run telemetry harvest racing both submit and shutdown.  harvest_now()
+// serializes whole worker round trips against the coordinators'
+// scatter/gather via the per-device connection gates (and whole rounds via
+// the round gate), and shutdown holds the same gates for its Shutdown
+// sends — so under every interleaving the inferences stay bit-exact and a
+// harvest call lands either as a completed round, a round against already
+// stopped workers (clean TransportError inside, workers flagged
+// unreachable), or a refusal after the stopped flag.  harvest_ms stays 0:
+// rounds are driven by the modeled thread, not a periodic timer.
+void harvest_race_body() {
+  const RuntimeModel& model = RuntimeModel::get();
+  auto* rt = new runtime::PipelineRuntime(
+      model.graph, model.candidates[1].plan,
+      runtime::RuntimeOptions{.harvest_pings = 1});
+  auto futures = new std::vector<std::future<Tensor>>;
+  SchedThread harvester([rt] {
+    rt->harvest_now();
+    rt->harvest_now();
+  });
+  futures->push_back(rt->submit(model.input));
+  futures->push_back(rt->submit(model.input));
+  rt->shutdown();
+  harvester.join();
+  sched::check(!rt->harvest_now(), "harvest after shutdown must refuse");
+  for (std::future<Tensor>& f : *futures) {
+    sched::check(
+        Tensor::max_abs_diff(f.get(), model.reference) == 0.0f,
+        "harvest rounds must never corrupt an in-flight inference");
+  }
+  sched::check(rt->health().rounds >= 1,
+               "the shutdown round itself always completes");
+  delete futures;
+  delete rt;
+}
+
+TEST(SchedRuntime, HarvestVsSubmitVsShutdownRandom) {
+  sched::ExploreOptions options;
+  options.mode = sched::Mode::Random;
+  options.random_schedules = 8;
+  options.seed = 37;
+  options.max_steps = 2000000;
+  sched::ExploreResult result = sched::explore(options, harvest_race_body);
+  expect_clean(result, "harvest-race");
+}
+
 // Plan switching vs in-flight tasks: a nanosecond window forces a
 // re-evaluation on practically every submit, so the drain-then-swap path
 // races the tasks still inside the active PipelineRuntime.

@@ -10,34 +10,52 @@
 // (coordinator exposition followed by each worker's, harvested via
 // MetricsDump) are written as artifacts.
 //
+// With --harvest-ms the run harvests *continuously*: a background thread
+// pulls metric/span deltas from every worker mid-run (span cursors prevent
+// double-counting), feeding rolling windows, a live λ̂, the per-device
+// straggler detector and the online Eq. 5–11 / Thm. 2 model checker.
+// --watch renders the resulting health view once per completed round;
+// --slow-device injects an artificial compute delay on one device (chaos
+// hook) so the straggler path can be demonstrated — and gated — on a
+// loopback host.
+//
 // --skew-ns injects an artificial worker-clock offset (obs debug hook), so a
 // loopback run on one host still exercises the estimator and the rebasing
 // path end to end; --check then turns the report into a CI gate: exit
-// nonzero unless every device was reachable, contributed worker compute
-// spans, and every harvested span lands (rebased) inside the local run
-// window and nests under its serve span.
+// status 2 unless every device was reachable, contributed worker compute
+// spans, every harvested span lands (rebased) inside the local run window
+// and nests under its serve span, and the final health snapshot holds (no
+// unreachable device; with --expect-straggler, exactly the named device
+// flagged).  Exit 1 is reserved for usage/runtime errors, so CI can tell
+// "broken invocation" from "unhealthy cluster".
 //
 // Examples:
 //   pico_cluster_report --model configs/vgg16.cfg --input-size 64 --tasks 8
 //   pico_cluster_report --model configs/vgg16.cfg --input-size 64
 //       --transport tcp --skew-ns 50000000 --check --json
+//   pico_cluster_report --model configs/vgg16.cfg --input-size 64 --tasks 32
+//       --harvest-ms 20 --task-gap-ms 5 --slow-device 1:40 --watch
 #include <algorithm>
+#include <chrono>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <map>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "models/cfg.hpp"
 #include "obs/clock.hpp"
+#include "obs/health.hpp"
 #include "obs/metrics.hpp"
 #include "obs/remote.hpp"
 #include "obs/trace.hpp"
 #include "partition/pico_dp.hpp"
 #include "partition/schemes.hpp"
 #include "runtime/pipeline.hpp"
+#include "runtime/worker.hpp"
 
 namespace {
 
@@ -58,13 +76,30 @@ run:
                          hook; proves the rebasing path on a loopback host)
   --pings <n>            clock probes per worker at harvest (default 4)
 
+continuous harvest:
+  --harvest-ms <n>       pull worker telemetry every n ms mid-run (span
+                         cursors keep repeated pulls duplicate-free); 0 =
+                         shutdown-only harvest (default; the PICO_HARVEST_MS
+                         env var overrides either way)
+  --task-gap-ms <n>      sleep n ms between submissions (spreads the run so
+                         harvest rounds land mid-run; default 0)
+  --slow-device <id>:<ms>  inject an artificial per-request compute delay on
+                         one device (chaos hook; drives the straggler
+                         detector on a loopback host)
+  --watch                render the live health view (λ̂, windowed compute,
+                         straggler scores, drift events) after each
+                         completed harvest round, to stderr
+
 output:
   --json                 emit a JSON report instead of the text tables
   --trace-out <file>     merged Chrome trace (default pico_cluster_trace.json)
   --metrics-out <file>   merged Prometheus dump (default empty = skip)
-  --check                CI gate: exit 1 unless every device is reachable,
-                         produced worker spans, and all harvested spans are
-                         rebased into the run window and nest under "serve"
+  --check                CI gate: exit 2 unless every device is reachable,
+                         produced worker spans, all harvested spans are
+                         rebased into the run window and nest under "serve",
+                         and the final health snapshot holds
+  --expect-straggler <id>  with --check: require that the health engine
+                         flagged exactly this device as a straggler
 )";
 
 struct Args {
@@ -77,8 +112,14 @@ struct Args {
   std::string transport = "inproc";
   long long skew_ns = 0;
   int pings = 4;
+  int harvest_ms = 0;
+  int task_gap_ms = 0;
+  pico::DeviceId slow_device = -1;
+  double slow_ms = 0.0;
+  bool watch = false;
   bool json = false;
   bool check = false;
+  pico::DeviceId expect_straggler = -1;
   std::string trace_out = "pico_cluster_trace.json";
   std::string metrics_out;
 };
@@ -135,6 +176,25 @@ Args parse_args(int argc, char** argv) {
     } else if (flag == "--pings") {
       args.pings = static_cast<int>(parse_double(value(), flag));
       if (args.pings < 1) fail("--pings must be >= 1");
+    } else if (flag == "--harvest-ms") {
+      args.harvest_ms = static_cast<int>(parse_double(value(), flag));
+      if (args.harvest_ms < 0) fail("--harvest-ms must be >= 0");
+    } else if (flag == "--task-gap-ms") {
+      args.task_gap_ms = static_cast<int>(parse_double(value(), flag));
+      if (args.task_gap_ms < 0) fail("--task-gap-ms must be >= 0");
+    } else if (flag == "--slow-device") {
+      const std::string spec = value();
+      const std::size_t colon = spec.find(':');
+      if (colon == std::string::npos) fail("--slow-device <id>:<ms>");
+      args.slow_device = static_cast<pico::DeviceId>(
+          parse_double(spec.substr(0, colon), flag));
+      args.slow_ms = parse_double(spec.substr(colon + 1), flag);
+      if (args.slow_ms <= 0.0) fail("--slow-device delay must be > 0 ms");
+    } else if (flag == "--watch") {
+      args.watch = true;
+    } else if (flag == "--expect-straggler") {
+      args.expect_straggler =
+          static_cast<pico::DeviceId>(parse_double(value(), flag));
     } else if (flag == "--json") {
       args.json = true;
     } else if (flag == "--check") {
@@ -274,6 +334,48 @@ struct DeviceReport {
   SeriesStat worker_queue;     ///< worker recv -> compute start
 };
 
+/// Render one health snapshot as the text view --watch repeats per round
+/// and the final report embeds.
+void print_health(std::FILE* out, const pico::obs::HealthSnapshot& health) {
+  std::fprintf(out,
+               "cluster health: %lld round(s), lambda_hat %.3f/s, "
+               "md1_wait_pred %sus, queue_wait_meas %sus — %s\n",
+               static_cast<long long>(health.rounds), health.lambda_hat,
+               fmt_us(health.md1_wait_predicted).c_str(),
+               fmt_us(health.queue_wait_measured).c_str(),
+               health.healthy() ? "healthy" : "UNHEALTHY");
+  std::fprintf(out, "%8s %6s %15s %8s %10s %8s %8s\n", "device", "reach",
+               "win_compute_us", "score", "straggler", "spans", "cursor");
+  for (const pico::obs::DeviceHealth& device : health.devices) {
+    std::fprintf(out, "%8d %6s %15s %8.2f %10s %8lld %8llu\n", device.device,
+                 device.reachable ? "yes" : "NO",
+                 fmt_us(device.window_compute_mean).c_str(),
+                 device.straggler_score, device.straggler ? "YES" : "-",
+                 static_cast<long long>(device.spans_harvested),
+                 static_cast<unsigned long long>(device.trace_cursor));
+  }
+  for (const pico::obs::StageResidual& residual : health.residuals) {
+    std::fprintf(out,
+                 "  residual %-8s stage %2d: predicted %s, measured %s, "
+                 "ewma %.3f\n",
+                 residual.signal.c_str(), residual.stage,
+                 fmt_us(residual.predicted).c_str(),
+                 fmt_us(residual.measured).c_str(), residual.residual_ewma);
+  }
+  for (const pico::obs::HealthEvent& event : health.events) {
+    std::fprintf(out, "  [round %lld] %s%s%s: %s\n",
+                 static_cast<long long>(event.round),
+                 pico::obs::health_event_kind_name(event.kind),
+                 event.device >= 0
+                     ? (" device " + std::to_string(event.device)).c_str()
+                     : "",
+                 event.stage >= 0
+                     ? (" stage " + std::to_string(event.stage)).c_str()
+                     : "",
+                 event.detail.c_str());
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -301,6 +403,11 @@ int main(int argc, char** argv) {
                             ? runtime::TransportKind::Tcp
                             : runtime::TransportKind::InProcess;
     options.harvest_pings = args.pings;
+    options.harvest_ms = args.harvest_ms;
+    if (args.watch && args.harvest_ms == 0) options.harvest_ms = 50;
+    if (args.slow_device >= 0) {
+      runtime::set_debug_compute_delay_ms(args.slow_device, args.slow_ms);
+    }
 
     const pico::Shape in_shape =
         graph.node(plan.stages.front().first).in_shape;
@@ -310,15 +417,37 @@ int main(int argc, char** argv) {
 
     const std::int64_t run_start_ns = obs::Tracer::now_ns();
     std::vector<obs::WorkerTelemetry> workers;
+    obs::HealthSnapshot health;
     {
       runtime::PipelineRuntime rt(graph, plan, options);
       std::vector<std::future<pico::Tensor>> futures;
       futures.reserve(static_cast<std::size_t>(args.tasks));
-      for (int i = 0; i < args.tasks; ++i) futures.push_back(rt.submit(input));
-      for (auto& f : futures) f.get();
-      rt.shutdown();  // harvests worker telemetry over the transport
+      std::int64_t watched_rounds = 0;
+      auto watch_tick = [&] {
+        if (!args.watch) return;
+        const obs::HealthSnapshot live = rt.health();
+        if (live.rounds > watched_rounds) {
+          watched_rounds = live.rounds;
+          print_health(stderr, live);
+        }
+      };
+      for (int i = 0; i < args.tasks; ++i) {
+        futures.push_back(rt.submit(input));
+        if (args.task_gap_ms > 0) {
+          std::this_thread::sleep_for(
+              std::chrono::milliseconds(args.task_gap_ms));
+        }
+        watch_tick();
+      }
+      for (auto& f : futures) {
+        f.get();
+        watch_tick();
+      }
+      rt.shutdown();  // stops the periodic thread, runs one final harvest
       workers = rt.cluster_telemetry().workers();
+      health = rt.health();
     }
+    runtime::clear_debug_compute_delays();
     const std::int64_t run_end_ns = obs::Tracer::now_ns();
 
     std::vector<pico::DeviceId> devices;
@@ -405,7 +534,40 @@ int main(int argc, char** argv) {
                   << ", \"worker_queue_mean_s\": "
                   << num(row.worker_queue.mean) << "}";
       }
-      std::cout << "\n  ],\n  \"spans\": " << spans.size() << ",\n";
+      std::cout << "\n  ],\n  \"health\": {\n";
+      std::cout << "    \"rounds\": " << health.rounds << ",\n";
+      std::cout << "    \"lambda_hat\": " << num(health.lambda_hat) << ",\n";
+      std::cout << "    \"md1_wait_predicted_s\": "
+                << num(health.md1_wait_predicted) << ",\n";
+      std::cout << "    \"queue_wait_measured_s\": "
+                << num(health.queue_wait_measured) << ",\n";
+      std::cout << "    \"healthy\": " << (health.healthy() ? "true" : "false")
+                << ",\n    \"devices\": [";
+      for (std::size_t i = 0; i < health.devices.size(); ++i) {
+        const obs::DeviceHealth& device = health.devices[i];
+        std::cout << (i ? "," : "") << "\n      {\"device\": "
+                  << device.device << ", \"reachable\": "
+                  << (device.reachable ? "true" : "false")
+                  << ", \"window_compute_mean_s\": "
+                  << num(device.window_compute_mean)
+                  << ", \"straggler_score\": " << num(device.straggler_score)
+                  << ", \"straggler\": "
+                  << (device.straggler ? "true" : "false")
+                  << ", \"spans_harvested\": " << device.spans_harvested
+                  << ", \"trace_cursor\": " << device.trace_cursor << "}";
+      }
+      std::cout << "\n    ],\n    \"events\": [";
+      for (std::size_t i = 0; i < health.events.size(); ++i) {
+        const obs::HealthEvent& event = health.events[i];
+        std::cout << (i ? "," : "") << "\n      {\"round\": " << event.round
+                  << ", \"kind\": \""
+                  << obs::health_event_kind_name(event.kind)
+                  << "\", \"device\": " << event.device
+                  << ", \"stage\": " << event.stage << ", \"value\": "
+                  << num(event.value) << "}";
+      }
+      std::cout << "\n    ]\n  },\n";
+      std::cout << "  \"spans\": " << spans.size() << ",\n";
       std::cout << "  \"trace\": \"" << args.trace_out << "\"\n}\n";
     } else {
       std::printf(
@@ -437,6 +599,8 @@ int main(int argc, char** argv) {
                     fmt_us(row.wire_reply.mean).c_str(),
                     fmt_us(row.worker_queue.mean).c_str());
       }
+      std::printf("\n");
+      print_health(stdout, health);
       std::printf("\nwrote %zu spans (merged cluster trace) to %s\n",
                   spans.size(), args.trace_out.c_str());
       if (!args.metrics_out.empty()) {
@@ -458,6 +622,28 @@ int main(int argc, char** argv) {
         check(row.reachable, dev + " unreachable at harvest");
         check(row.worker_spans > 0, dev + " produced no worker spans");
         check(row.clock_samples > 0, dev + " has no accepted clock samples");
+      }
+      // Health-engine gate: at least one completed round, every device
+      // reachable in the final snapshot, and — when a straggler was
+      // deliberately injected — exactly the expected device flagged.
+      check(health.rounds > 0, "no harvest round completed");
+      for (const obs::DeviceHealth& device : health.devices) {
+        check(device.reachable, "device " + std::to_string(device.device) +
+                                    " unreachable in the health snapshot");
+      }
+      // Straggler flags gate only on request: on a loopback host a
+      // heterogeneous *modeled* cluster runs on identical real cores, so
+      // per-device wall times legitimately diverge from the plan's
+      // equal-time sizing — flags are advisory there.  With an injected
+      // slowdown the expectation is exact: the named device and no other.
+      if (args.expect_straggler >= 0) {
+        for (const obs::DeviceHealth& device : health.devices) {
+          const bool expected = device.device == args.expect_straggler;
+          check(device.straggler == expected,
+                "device " + std::to_string(device.device) +
+                    (expected ? " was not flagged as the straggler"
+                              : " falsely flagged as a straggler"));
+        }
       }
       // Every harvested worker span must have been rebased into the local
       // run window (an unrebased span under injected skew lands far
@@ -495,7 +681,9 @@ int main(int argc, char** argv) {
       if (failures > 0) {
         std::cerr << "pico_cluster_report: " << failures
                   << " check(s) failed\n";
-        return 1;
+        // Exit 2 = the cluster failed its health/observability gate (vs 1
+        // for usage or runtime errors) — machine-readable for CI.
+        return 2;
       }
       // stderr: --json callers own stdout for the report itself.
       std::cerr << "all cluster-observability checks passed\n";
