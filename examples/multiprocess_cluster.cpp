@@ -8,7 +8,12 @@
 // No memory is shared after the fork: every feature map really crosses a
 // socket.
 //
-//   ./examples/multiprocess_cluster [frames]
+//   ./examples/multiprocess_cluster [frames] [host]
+//
+// `host` (default 127.0.0.1) is what each worker dials — resolved via
+// getaddrinfo, so a name works too.  Passing a non-loopback host makes the
+// coordinator bind 0.0.0.0; point real devices at the printed port and the
+// same code spans machines.
 #include <sys/wait.h>
 #include <unistd.h>
 
@@ -16,6 +21,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <map>
+#include <string>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -29,6 +35,7 @@
 int main(int argc, char** argv) {
   using namespace pico;
   const int frames = argc > 1 ? std::atoi(argv[1]) : 4;
+  const std::string host = argc > 2 ? argv[2] : "127.0.0.1";
 
   nn::Graph model = models::toy_mnist();
   Rng rng(77);
@@ -46,7 +53,10 @@ int main(int argc, char** argv) {
     }
   }
 
-  runtime::TcpListener listener;
+  runtime::TcpListener listener(
+      0, host == "127.0.0.1" ? "127.0.0.1" : "0.0.0.0");
+  std::printf("coordinator listening on %s:%u\n", host.c_str(),
+              listener.port());
   std::vector<pid_t> children;
   std::map<DeviceId, std::unique_ptr<runtime::Connection>> connections;
   for (const DeviceId device : devices) {
@@ -55,7 +65,7 @@ int main(int argc, char** argv) {
       // Worker process: connect and serve until shutdown.  The model was
       // inherited copy-on-write by fork; a real device would load it from a
       // weights blob (see examples/edge_deployment).
-      auto connection = runtime::tcp_connect(listener.port());
+      auto connection = runtime::tcp_connect(host, listener.port());
       runtime::serve_blocking(model, *connection);
       _exit(0);
     }

@@ -29,6 +29,21 @@ class TransportError : public Error {
   explicit TransportError(const std::string& what) : Error(what) {}
 };
 
+/// Thrown when a transport operation exceeds its configured deadline.
+/// `mid_frame` distinguishes an idle timeout (no bytes of the next frame
+/// seen — the peer may simply have nothing to say) from a stall in the
+/// middle of a frame (peer wedged; the stream is unrecoverable because
+/// re-synchronizing on the length-prefixed framing is impossible).
+class TimeoutError : public TransportError {
+ public:
+  explicit TimeoutError(const std::string& what, bool mid_frame = false)
+      : TransportError(what), mid_frame_(mid_frame) {}
+  bool mid_frame() const { return mid_frame_; }
+
+ private:
+  bool mid_frame_;
+};
+
 namespace detail {
 [[noreturn]] inline void check_failed(const char* expr, const char* file,
                                       int line, const std::string& msg) {

@@ -100,11 +100,63 @@ void Harvester::note_worker(const WorkerTelemetry& round) {
     event.detail = "worker reachable again";
     push_event(std::move(event));
   }
+  if (round.reachable) {
+    if (!status.alive) {
+      HealthEvent event;
+      event.kind = HealthEventKind::Recovered;
+      event.device = round.device;
+      event.round = rounds_ + 1;
+      event.detail = "device rejoined after being declared down";
+      push_event(std::move(event));
+    }
+    status.alive = true;
+    status.missed_rounds = 0;
+  } else {
+    ++status.missed_rounds;
+    if (status.alive &&
+        status.missed_rounds >= options_.heartbeat_missed_rounds) {
+      status.alive = false;
+      HealthEvent event;
+      event.kind = HealthEventKind::DeviceDown;
+      event.device = round.device;
+      event.value = static_cast<double>(status.missed_rounds);
+      event.threshold = static_cast<double>(options_.heartbeat_missed_rounds);
+      event.round = rounds_ + 1;
+      std::ostringstream detail;
+      detail << "heartbeat: " << status.missed_rounds
+             << " consecutive harvest round trips failed";
+      event.detail = detail.str();
+      push_event(std::move(event));
+    }
+  }
   status.reachable = round.reachable;
   status.spans_total += static_cast<std::int64_t>(round.spans.size());
   status.cursor = std::max(status.cursor, round.next_cursor);
   status.offset_ns = round.offset_ns;
   status.rtt_ns = round.rtt_ns;
+}
+
+void Harvester::note_device_down(int device, const std::string& detail) {
+  MutexLock lock(mutex_);
+  DeviceStatus& status = devices_[device];
+  if (!status.alive) return;
+  status.alive = false;
+  status.reachable = false;
+  HealthEvent event;
+  event.kind = HealthEventKind::DeviceDown;
+  event.device = device;
+  event.round = rounds_ + 1;
+  event.detail = detail;
+  push_event(std::move(event));
+}
+
+std::vector<int> Harvester::down_devices() const {
+  MutexLock lock(mutex_);
+  std::vector<int> down;
+  for (const auto& [device, status] : devices_) {
+    if (!status.alive) down.push_back(device);
+  }
+  return down;
 }
 
 void Harvester::detect_stragglers_locked(std::int64_t round) {
@@ -318,6 +370,8 @@ HealthSnapshot Harvester::snapshot() const {
     DeviceHealth health;
     health.device = device;
     health.reachable = status.reachable;
+    health.alive = status.alive;
+    health.missed_rounds = status.missed_rounds;
     health.window_compute_mean = status.window_mean;
     health.straggler_score = status.score;
     health.straggler = status.straggler;

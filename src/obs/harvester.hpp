@@ -40,6 +40,11 @@ class Harvester {
     ModelChecker::Options model;
     /// Structured-event log bound (oldest entries drop beyond this).
     std::size_t max_events = 256;
+    /// Heartbeat policy: consecutive failed harvest round trips before a
+    /// device is declared dead (DeviceDown).  With the harvester visiting
+    /// every worker once per round, detection latency is bounded by
+    /// heartbeat_missed_rounds × harvest period (+ the transport timeout).
+    int heartbeat_missed_rounds = 2;
   };
 
   // Both defined in harvester.cpp: a nested Options with member defaults
@@ -71,6 +76,12 @@ class Harvester {
   /// Fold in one worker's pull (reachability transitions, span counts,
   /// cursors).  Call once per worker per round, before complete_round().
   void note_worker(const WorkerTelemetry& round);
+  /// Data-plane failure report: declare `device` dead immediately (the
+  /// coordinator saw its connection fail mid-task — no need to wait for
+  /// heartbeat_missed_rounds of silence).  Idempotent per down episode.
+  void note_device_down(int device, const std::string& detail);
+  /// Devices currently declared dead, ascending.
+  std::vector<int> down_devices() const;
   /// Close the round: roll windows, refresh λ̂, run detectors, publish
   /// windowed gauges.  `now_ns` is the coordinator clock (Tracer::now_ns).
   void complete_round(std::int64_t now_ns);
@@ -98,6 +109,8 @@ class Harvester {
   };
   struct DeviceStatus {
     bool reachable = true;
+    bool alive = true;
+    int missed_rounds = 0;
     bool straggler = false;
     double score = 0.0;
     double window_mean = 0.0;

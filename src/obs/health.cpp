@@ -13,6 +13,7 @@ const char* health_event_kind_name(HealthEventKind kind) {
     case HealthEventKind::Recovered: return "recovered";
     case HealthEventKind::ModelDrift: return "model_drift";
     case HealthEventKind::Unreachable: return "unreachable";
+    case HealthEventKind::DeviceDown: return "device_down";
   }
   return "unknown";
 }
@@ -144,9 +145,17 @@ std::vector<HealthEvent> ModelChecker::check(
 
 bool HealthSnapshot::healthy() const {
   for (const DeviceHealth& device : devices) {
-    if (!device.reachable || device.straggler) return false;
+    if (!device.alive || !device.reachable || device.straggler) return false;
   }
   return true;
+}
+
+std::vector<int> HealthSnapshot::down_devices() const {
+  std::vector<int> down;
+  for (const DeviceHealth& device : devices) {
+    if (!device.alive) down.push_back(device.device);
+  }
+  return down;
 }
 
 bool HealthSnapshot::drift_seen() const {

@@ -27,7 +27,14 @@
 
 namespace pico::obs {
 
-enum class HealthEventKind { Straggler, Recovered, ModelDrift, Unreachable };
+enum class HealthEventKind {
+  Straggler,
+  Recovered,
+  ModelDrift,
+  Unreachable,  ///< one failed harvest round trip (may be transient)
+  DeviceDown,   ///< declared dead: heartbeat_missed_rounds consecutive
+                ///< misses, or a data-plane transport failure
+};
 
 const char* health_event_kind_name(HealthEventKind kind);
 
@@ -158,6 +165,11 @@ inline ModelChecker::ModelChecker() : ModelChecker(Options()) {}
 struct DeviceHealth {
   int device = -1;
   bool reachable = true;
+  /// False once the heartbeat policy (or a data-plane failure report)
+  /// declared the device dead; a successful harvest round trip revives it.
+  bool alive = true;
+  /// Consecutive failed harvest round trips (reset on success).
+  int missed_rounds = 0;
   double window_compute_mean = 0.0;  ///< worst stage, seconds per task
   double straggler_score = 0.0;      ///< worst stage's z / ratio
   bool straggler = false;
@@ -178,11 +190,13 @@ struct HealthSnapshot {
   std::vector<StageResidual> residuals;
   std::vector<HealthEvent> events;  ///< bounded log, oldest first
 
-  /// No unreachable worker and no active straggler (model drift is
+  /// No dead or unreachable worker and no active straggler (model drift is
   /// advisory: it questions the plan, not the cluster).
   bool healthy() const;
   /// True if any ModelDrift event is in the log.
   bool drift_seen() const;
+  /// Devices currently declared dead (alive == false), ascending.
+  std::vector<int> down_devices() const;
 };
 
 }  // namespace pico::obs

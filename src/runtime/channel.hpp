@@ -8,7 +8,9 @@
 // TSan-clean; this catches the same class of bug at compile time).
 #pragma once
 
+#include <chrono>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <optional>
 
@@ -41,6 +43,35 @@ class BoundedQueue {
     PICO_SCHED_OP("BoundedQueue::pop");
     MutexLock lock(mutex_);
     while (!closed_ && items_.empty()) not_empty_.wait(mutex_);
+    if (items_.empty()) return std::nullopt;
+    T value = std::move(items_.front());
+    items_.pop_front();
+    not_full_.notify_one();
+    return value;
+  }
+
+  /// pop() with a deadline: blocks at most `timeout_ns` while the queue is
+  /// open and empty.  Returns nullopt either because the queue closed and
+  /// drained (*timed_out = false) or because the deadline passed with no
+  /// item (*timed_out = true).  timeout_ns <= 0 means block forever.
+  std::optional<T> pop_for(std::int64_t timeout_ns, bool* timed_out) {
+    if (timed_out != nullptr) *timed_out = false;
+    if (timeout_ns <= 0) return pop();
+    PICO_SCHED_OP("BoundedQueue::pop_for");
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::nanoseconds(timeout_ns);
+    MutexLock lock(mutex_);
+    while (!closed_ && items_.empty()) {
+      const auto now = std::chrono::steady_clock::now();
+      if (now >= deadline) {
+        if (timed_out != nullptr) *timed_out = true;
+        return std::nullopt;
+      }
+      const std::int64_t remaining_ns =
+          std::chrono::duration_cast<std::chrono::nanoseconds>(deadline - now)
+              .count();
+      not_empty_.wait_for(mutex_, remaining_ns);
+    }
     if (items_.empty()) return std::nullopt;
     T value = std::move(items_.front());
     items_.pop_front();

@@ -78,19 +78,48 @@ std::uint64_t stage_span_id(std::int64_t task_id, std::size_t stage_index) {
          static_cast<std::uint64_t>(stage_index + 1);
 }
 
+}  // namespace
+
 /// recv() skipping any stale data-plane messages (a coordinator that died
-/// mid-task can leave WorkResults queued); throws if `want` never shows up
-/// within a few frames.
+/// mid-task can leave WorkResults queued).  The drain is bounded by the
+/// *stale-frame* count — a cap on junk, not on attempts, so a backlog of
+/// queued WorkResults (a worker that died mid-gather can leave one per
+/// in-flight task) never falsely reports a missing reply — and by the
+/// connection's recv deadline when one is configured.  External linkage so
+/// churn_test can exercise the drain paths directly.
 Message expect_reply(Connection& connection, MessageType want) {
-  for (int attempt = 0; attempt < 8; ++attempt) {
+  // Far above any real backlog (bounded by queue capacity × stages), far
+  // below a runaway peer flooding frames forever.
+  constexpr int kMaxStale = 4096;
+  int stale = 0;
+  std::int64_t first_stale = 0;
+  std::int64_t last_stale = 0;
+  for (;;) {
     Message reply = connection.recv();
-    if (reply.type == want) return reply;
+    if (reply.type == want) {
+      if (stale > 0) {
+        PICO_LOG(Warn) << "drained " << stale
+                       << " stale WorkResult frame(s) (tasks " << first_stale
+                       << ".." << last_stale
+                       << ") while awaiting control-plane reply type "
+                       << static_cast<std::uint32_t>(want);
+      }
+      return reply;
+    }
     PICO_CHECK_MSG(reply.type == MessageType::WorkResult,
                    "unexpected control-plane reply type "
                        << static_cast<std::uint32_t>(reply.type));
+    if (stale == 0) first_stale = reply.task_id;
+    last_stale = reply.task_id;
+    if (++stale >= kMaxStale) {
+      throw TransportError(
+          "control-plane reply never arrived (drained " +
+          std::to_string(stale) + " stale data-plane frames)");
+    }
   }
-  throw TransportError("control-plane reply never arrived");
 }
+
+namespace {
 
 /// Transport-ownership token for one device connection.  The Connection
 /// contract allows one sender and one receiver thread per endpoint; with a
@@ -175,11 +204,30 @@ int resolved_harvest_ms(const RuntimeOptions& options) {
   return std::max(0, options.harvest_ms);
 }
 
+/// Per-operation transport deadline: the PICO_NET_TIMEOUT_MS environment
+/// variable overrides the option (0 or a non-number disables, like the
+/// default).
+std::int64_t resolved_net_timeout_ms(const RuntimeOptions& options) {
+  if (const char* env = std::getenv("PICO_NET_TIMEOUT_MS")) {
+    char* end = nullptr;
+    const long value = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0') {
+      return value > 0 ? static_cast<std::int64_t>(
+                             std::min<long>(value, 3600000))
+                       : 0;
+    }
+    PICO_LOG(Warn) << "ignoring non-numeric PICO_NET_TIMEOUT_MS=\"" << env
+                   << "\"";
+  }
+  return std::max<std::int64_t>(0, options.net_timeout_ms);
+}
+
 obs::Harvester::Options harvester_options(const RuntimeOptions& options) {
   obs::Harvester::Options out;
   out.window_rounds = std::max(1, options.window_rounds);
   out.straggler = options.straggler;
   out.model = options.model;
+  out.heartbeat_missed_rounds = std::max(1, options.heartbeat_missed_rounds);
   return out;
 }
 
@@ -199,6 +247,19 @@ struct PipelineRuntime::Impl {
   std::atomic<std::int64_t> next_task{0};
   std::atomic<long long> completed{0};
   std::atomic<bool> stopped{false};
+
+  /// Resolved per-operation transport deadline (option + PICO_NET_TIMEOUT_MS
+  /// override); applied to every connection before any thread starts, const
+  /// afterwards.  0 = block forever.
+  std::int64_t net_timeout_ms = 0;
+
+  // Failure ledger: first device whose connection failed poisons the whole
+  // runtime (any_failed) — coordinators fail tasks fast instead of touching
+  // a half-dead cluster, and the owner (ResilientRuntime) rebuilds over the
+  // survivors.  The map keeps the first-failure reason per device.
+  mutable Mutex failed_mutex;
+  std::map<DeviceId, std::string> failed PICO_GUARDED_BY(failed_mutex);
+  std::atomic<bool> any_failed{false};
 
   // Per-stage / per-queue metric handles, resolved once against the global
   // registry before the coordinator threads start (read-only afterwards, so
@@ -271,6 +332,92 @@ struct PipelineRuntime::Impl {
   Impl(const nn::Graph& g, const partition::Plan& p, RuntimeOptions opts)
       : graph(g), plan(p), options(opts),
         harvester(harvester_options(options)) {}
+
+  /// Record a device's connection failure (idempotent per device): flips
+  /// the poison flag, feeds the health engine's liveness state, and logs.
+  void note_device_failure(DeviceId device, const std::string& why) {
+    {
+      MutexLock lock(failed_mutex);
+      if (!failed.emplace(device, why).second) return;
+    }
+    any_failed.store(true, std::memory_order_release);
+    PICO_LOG(Error) << "device " << device << " failed: " << why;
+    // Idempotent per down episode on the harvester side, so a device the
+    // heartbeat already declared down raises no duplicate event.
+    harvester.note_device_down(static_cast<int>(device), why);
+  }
+
+  bool is_failed(DeviceId device) const {
+    if (!any_failed.load(std::memory_order_acquire)) return false;
+    MutexLock lock(failed_mutex);
+    return failed.count(device) != 0;
+  }
+
+  std::vector<DeviceId> failed_devices() const {
+    MutexLock lock(failed_mutex);
+    std::vector<DeviceId> out;
+    for (const auto& [device, why] : failed) out.push_back(device);
+    return out;
+  }
+
+  /// Fail fast once the runtime is poisoned: touching the remaining
+  /// connections would only queue frames a rebuild will orphan.
+  void throw_if_degraded() {
+    if (!any_failed.load(std::memory_order_acquire)) return;
+    DeviceId device = -1;
+    std::string why = "device failure pending recovery";
+    {
+      MutexLock lock(failed_mutex);
+      if (!failed.empty()) {
+        device = failed.begin()->first;
+        why = failed.begin()->second;
+      }
+    }
+    throw DeviceFailure(device, "cluster degraded (device " +
+                                    std::to_string(device) + "): " + why);
+  }
+
+  /// send() with failure attribution: any transport error condemns the
+  /// device and resurfaces as DeviceFailure.
+  void guarded_send(DeviceId device, const Message& request) {
+    if (is_failed(device)) {
+      throw DeviceFailure(device, "send to failed device " +
+                                      std::to_string(device));
+    }
+    try {
+      connections.at(device)->send(request);
+    } catch (const TransportError& error) {
+      note_device_failure(device, error.what());
+      throw DeviceFailure(device, "send to device " +
+                                      std::to_string(device) +
+                                      " failed: " + error.what());
+    }
+  }
+
+  /// Gather-side recv() with failure attribution and stale-frame skipping:
+  /// a scatter aborted mid-gather by another device's death leaves queued
+  /// WorkResults from earlier tasks; drop them until this task's result.
+  Message recv_result(DeviceId device, std::int64_t task_id) {
+    if (is_failed(device)) {
+      throw DeviceFailure(device, "recv from failed device " +
+                                      std::to_string(device));
+    }
+    try {
+      for (;;) {
+        Message result = connections.at(device)->recv();
+        PICO_CHECK(result.type == MessageType::WorkResult);
+        if (result.task_id == task_id) return result;
+        PICO_LOG(Warn) << "dropping stale WorkResult for task "
+                       << result.task_id << " from device " << device
+                       << " while gathering task " << task_id;
+      }
+    } catch (const TransportError& error) {
+      note_device_failure(device, error.what());
+      throw DeviceFailure(device, "recv from device " +
+                                      std::to_string(device) +
+                                      " failed: " + error.what());
+    }
+  }
 
   std::vector<DeviceId> plan_devices() const {
     std::vector<DeviceId> device_ids;
@@ -364,7 +511,12 @@ struct PipelineRuntime::Impl {
   }
 
   void start_coordinators() {
+    // Deadline the coordinator side of every connection (worker ends stay
+    // untimed: a worker's recv() idles legitimately between tasks and is
+    // unblocked by close() on shutdown).
+    net_timeout_ms = resolved_net_timeout_ms(options);
     for (const auto& [device, connection] : connections) {
+      if (net_timeout_ms > 0) connection->set_timeout_ms(net_timeout_ms);
       clocks.emplace(device, std::make_shared<obs::ClockOffsetEstimator>());
       gates.emplace(device, std::make_unique<ConnectionGate>());
     }
@@ -534,7 +686,7 @@ struct PipelineRuntime::Impl {
             Region::full(branch_out.height, branch_out.width);
         request.tensor = extract(input, in_region);
         stamp_request(request, task_id, stage_index);
-        connections.at(slice.device)->send(request);
+        guarded_send(slice.device, request);
         sent.push_back({slice.device, &branch});
       }
     }
@@ -547,9 +699,8 @@ struct PipelineRuntime::Impl {
     std::map<DeviceId, bool> device_timestamped;
     Tensor out(out_shape);
     for (const Sent& entry : sent) {
-      Message result = connections.at(entry.device)->recv();
+      Message result = recv_result(entry.device, task_id);
       const std::int64_t t4 = obs::Tracer::now_ns();
-      PICO_CHECK(result.type == MessageType::WorkResult);
       observe_result(stage_index, entry.device, result, t4);
       device_seconds[entry.device] += result.compute_seconds;
       device_timestamped[entry.device] |= result.t_compute_end_ns != 0;
@@ -605,7 +756,7 @@ struct PipelineRuntime::Impl {
       request.out_region = slice.out_region;
       request.tensor = extract(input, in_region);
       stamp_request(request, task_id, stage_index);
-      connections.at(slice.device)->send(request);
+      guarded_send(slice.device, request);
       active.push_back(&slice);
     }
     const std::int64_t gather_start = obs::Tracer::now_ns();
@@ -621,9 +772,8 @@ struct PipelineRuntime::Impl {
     std::vector<Placed> pieces;
     pieces.reserve(active.size());
     for (const partition::DeviceSlice* slice : active) {
-      Message result = connections.at(slice->device)->recv();
+      Message result = recv_result(slice->device, task_id);
       const std::int64_t t4 = obs::Tracer::now_ns();
-      PICO_CHECK(result.type == MessageType::WorkResult);
       PICO_CHECK(result.out_region == slice->out_region);
       observe_result(stage_index, slice->device, result, t4);
       observe_compute(stage_index, slice->device, task_id,
@@ -670,10 +820,15 @@ struct PipelineRuntime::Impl {
 
   void coordinate(std::size_t index, std::size_t coordinator_count) {
     obs::Tracer& tracer = obs::Tracer::global();
-    try {
-      for (;;) {
-        std::optional<TaskItem> item = queues[index]->pop();
-        if (!item) break;  // queue closed and drained
+    for (;;) {
+      std::optional<TaskItem> item = queues[index]->pop();
+      if (!item) break;  // queue closed and drained
+      // A task failure (device death, timeout) condemns that *task*, not
+      // the pipeline: the exception lands in the task's future and the
+      // loop keeps draining — with the runtime poisoned, every queued
+      // task fails fast and the owner gets the whole accepted backlog
+      // back as DeviceFailure futures it can re-execute after replanning.
+      try {
         const std::int64_t popped_ns = obs::Tracer::now_ns();
         queue_metrics[index].wait->observe(
             to_seconds(popped_ns - item->enqueue_ns));
@@ -682,6 +837,7 @@ struct PipelineRuntime::Impl {
                           obs::stage_track(static_cast<int>(index)),
                           item->id, item->enqueue_ns, popped_ns);
         }
+        throw_if_degraded();
         if (plan.pipelined) {
           item->tensor = run_stage(index, plan.stages[index],
                                    std::move(item->tensor), item->id);
@@ -720,12 +876,16 @@ struct PipelineRuntime::Impl {
           completed.fetch_add(1, std::memory_order_relaxed);
           item->promise->set_value(std::move(item->tensor));
         }
+      } catch (const std::exception& error) {
+        PICO_LOG(Error) << "coordinator " << index << " failed task "
+                        << item->id << ": " << error.what();
+        // A throwing downstream push() has already move-consumed the item;
+        // its promise then travels with it (and the push only throws once
+        // that queue is closed, i.e. during teardown).
+        if (item->promise) {
+          item->promise->set_exception(std::current_exception());
+        }
       }
-    } catch (const std::exception& error) {
-      PICO_LOG(Error) << "coordinator " << index
-                      << " failed: " << error.what();
-      // Unblock downstream and any waiting futures.
-      if (index + 1 < coordinator_count) queues[index + 1]->close();
     }
     if (index + 1 < coordinator_count) queues[index + 1]->close();
   }
@@ -777,6 +937,16 @@ struct PipelineRuntime::Impl {
     obs::Registry& registry = obs::Registry::global();
     obs::Tracer& tracer = obs::Tracer::global();
     for (auto& [device, connection] : connections) {
+      // A condemned device gets no more round trips (they would only time
+      // out again under the round gate); feed the health engine a synthetic
+      // miss instead so its missed-round counter and snapshot stay live.
+      if (is_failed(device)) {
+        obs::WorkerTelemetry dead;
+        dead.device = device;
+        dead.reachable = false;
+        harvester.note_worker(dead);
+        continue;
+      }
       Connection* conn = connection.get();
       obs::HarvestEndpoint endpoint;
       endpoint.device = device;
@@ -841,6 +1011,14 @@ struct PipelineRuntime::Impl {
       telemetry.add(std::move(harvested));
     }
     harvester.complete_round(obs::Tracer::now_ns());
+    // Heartbeat verdicts feed back into the data plane: a device the policy
+    // just declared down (heartbeat_missed_rounds consecutive failed round
+    // trips) poisons the runtime exactly like a mid-task transport error,
+    // so a silently hung worker is caught even between submissions.
+    for (const int device : harvester.down_devices()) {
+      note_device_failure(static_cast<DeviceId>(device),
+                          "declared down by heartbeat policy");
+    }
   }
 
   /// Background periodic-harvest loop: nap for the period (or until
@@ -886,6 +1064,9 @@ struct PipelineRuntime::Impl {
       final_cursors = cursors;
     }
     for (auto& [id, connection] : connections) {
+      // A failed device gets no goodbye: the send would at best time out
+      // under the gate and at worst block a no-timeout shutdown forever.
+      if (is_failed(id)) continue;
       Message bye;
       bye.type = MessageType::Shutdown;
       const auto it = final_cursors.find(id);
@@ -963,6 +1144,10 @@ obs::HealthSnapshot PipelineRuntime::health() const {
 
 long long PipelineRuntime::tasks_completed() const {
   return impl_->completed.load(std::memory_order_relaxed);
+}
+
+std::vector<DeviceId> PipelineRuntime::failed_devices() const {
+  return impl_->failed_devices();
 }
 
 }  // namespace pico::runtime

@@ -16,7 +16,10 @@
 #include <future>
 #include <map>
 #include <memory>
+#include <string>
+#include <vector>
 
+#include "common/error.hpp"
 #include "common/types.hpp"
 #include "nn/graph.hpp"
 #include "obs/harvester.hpp"
@@ -27,6 +30,21 @@
 #include "tensor/tensor.hpp"
 
 namespace pico::runtime {
+
+/// A device's connection failed (timeout, EOF, socket error) while the
+/// runtime was using it.  Carries the device so a recovery layer can replan
+/// around it; the first DeviceFailure poisons the runtime — every
+/// subsequent task fails fast with this exception until the owner rebuilds
+/// over the survivors (see ResilientRuntime).
+class DeviceFailure : public TransportError {
+ public:
+  DeviceFailure(DeviceId device, const std::string& what)
+      : TransportError(what), device_(device) {}
+  DeviceId device() const { return device_; }
+
+ private:
+  const DeviceId device_;
+};
 
 struct RuntimeOptions {
   TransportKind transport = TransportKind::InProcess;
@@ -49,6 +67,18 @@ struct RuntimeOptions {
   /// Harvest rounds per rolling metric window (window duration ≈
   /// window_rounds × harvest period).
   int window_rounds = 8;
+  /// Per-operation transport deadline applied to every device connection:
+  /// past it, a blocked send/recv (coordinator scatter/gather, harvester
+  /// round trips) throws TimeoutError instead of hanging on a dead or
+  /// wedged worker.  0 (the default) blocks forever — hang detection then
+  /// rests entirely on the heartbeat's EOF-based signals.  The
+  /// PICO_NET_TIMEOUT_MS environment variable, when set, overrides this
+  /// field at construction.
+  std::int64_t net_timeout_ms = 0;
+  /// Heartbeat policy: consecutive failed harvest round trips before a
+  /// device is declared dead (DeviceDown) — detection latency is bounded by
+  /// heartbeat_missed_rounds × harvest period + net timeout.
+  int heartbeat_missed_rounds = 2;
   /// Straggler-detector thresholds (robust z / peer-ratio fallback).
   obs::StragglerOptions straggler;
   /// Online model-checker thresholds (residual EWMA, drift trip count).
@@ -108,6 +138,12 @@ class PipelineRuntime {
   obs::HealthSnapshot health() const;
 
   long long tasks_completed() const;
+
+  /// Devices whose connection failed mid-run (data-plane error or heartbeat
+  /// DeviceDown promotion), ascending.  Non-empty means the runtime is
+  /// poisoned: in-flight and future tasks fail fast with DeviceFailure and
+  /// the owner should rebuild over the survivors.
+  std::vector<DeviceId> failed_devices() const;
 
  private:
   struct Impl;

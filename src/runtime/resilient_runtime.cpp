@@ -1,0 +1,552 @@
+#include "runtime/resilient_runtime.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <deque>
+#include <exception>
+#include <string>
+#include <utility>
+
+#include "common/error.hpp"
+#include "common/log.hpp"
+#include "common/mutex.hpp"
+#include "obs/metrics.hpp"
+#include "partition/pico_dp.hpp"
+#include "sched/hooks.hpp"
+#ifdef PICO_SCHED
+#include "sched/explorer.hpp"
+#endif
+
+namespace pico::runtime {
+
+namespace {
+
+/// future.get() that stays visible to the schedule explorer: std::future's
+/// internal wait is uninstrumented, so under exploration a blocking get()
+/// would stall the explorer.  Poll-with-yield instead.
+Tensor wait_get(std::future<Tensor>& future) {
+#ifdef PICO_SCHED
+  if (sched::under_exploration()) {
+    while (future.wait_for(std::chrono::seconds(0)) !=
+           std::future_status::ready) {
+      sched::yield("resilient future poll");
+    }
+  }
+#endif
+  return future.get();
+}
+
+}  // namespace
+
+struct ResilientRuntime::Impl {
+  /// One accepted inference.  `input` is a pristine copy so the task can be
+  /// re-submitted to a fresh epoch after the one that held it died.
+  struct Pending {
+    std::int64_t id = 0;
+    Tensor input;
+    std::shared_ptr<std::promise<Tensor>> outer;
+    std::future<Tensor> inner;
+    /// Epoch `inner` was submitted on; null when awaiting (re)submission.
+    std::shared_ptr<PipelineRuntime> epoch;
+    int attempts = 0;
+  };
+
+  Impl(const nn::Graph& g, const Cluster& cluster, ResilientOptions opts)
+      : graph(g), options(std::move(opts)), full_cluster(cluster) {
+    obs::Registry& registry = obs::Registry::global();
+    recovery_seconds = &registry.histogram("pico_recovery_seconds");
+    replans_total = &registry.counter("pico_replans_total");
+    {
+      MutexLock lock(mutex);
+      survivors_ = full_cluster;
+      for (const Device& device : full_cluster.devices()) {
+        survivor_globals_.push_back(device.id);
+      }
+      plan_ = make_plan(survivors_, survivor_globals_);
+      epoch_ = std::make_shared<PipelineRuntime>(graph, plan_, options.runtime);
+    }
+    completer_ = SchedThread([this] { completer_loop(); });
+  }
+
+  /// Cluster construction re-indexes device ids positionally, so a plan
+  /// over the survivor cluster speaks survivor-local ids.  Remap it back to
+  /// full-cluster ids before building the epoch: workers, chaos hooks,
+  /// telemetry labels, failure reports and health events then stay in one
+  /// stable id space across every epoch.  (PipelineRuntime only uses plan
+  /// device ids as map keys — it never indexes a Cluster — so gaps are
+  /// fine.)
+  static partition::Plan to_global_ids(partition::Plan plan,
+                                       const std::vector<DeviceId>& globals) {
+    for (partition::Stage& stage : plan.stages) {
+      for (partition::DeviceSlice& slice : stage.assignments) {
+        slice.device = globals.at(static_cast<std::size_t>(slice.device));
+      }
+    }
+    return plan;
+  }
+
+  partition::Plan make_plan(const Cluster& cluster,
+                            const std::vector<DeviceId>& globals) const {
+    partition::Plan local = options.replan
+                                ? options.replan(graph, cluster)
+                                : partition::pico_plan(graph, cluster,
+                                                       options.network);
+    return to_global_ids(std::move(local), globals);
+  }
+
+  // --- submission ---------------------------------------------------------
+
+  std::future<Tensor> submit(Tensor input) {
+    Pending task;
+    task.input = std::move(input);  // the ledger keeps the pristine copy
+    task.outer = std::make_shared<std::promise<Tensor>>();
+    std::future<Tensor> result = task.outer->get_future();
+
+    std::shared_ptr<PipelineRuntime> target;
+    {
+      MutexLock lock(mutex);
+      PICO_CHECK_MSG(!stopping_, "submit() after shutdown()");
+      if (cluster_lost_) {
+        task.outer->set_exception(std::make_exception_ptr(DeviceFailure(
+            -1, "cluster exhausted: no surviving devices to plan over")));
+        return result;
+      }
+      task.id = next_id_++;
+      // During a recovery window the fresh epoch is not up yet; the task
+      // enters the ledger unsubmitted and recover() resubmits it.
+      if (!recovering_) target = epoch_;
+    }
+    if (target != nullptr) {
+      try {
+        task.inner = target->submit(task.input);
+        task.epoch = target;
+      } catch (const std::exception& e) {
+        // Poisoned epoch — the completer will notice and recover; the task
+        // just waits in the ledger unsubmitted.
+        PICO_LOG(Warn) << "resilient submit deferred (task " << task.id
+                       << "): " << e.what();
+        task.epoch = nullptr;
+      }
+    }
+    {
+      MutexLock lock(mutex);
+      ledger_.push_back(std::move(task));
+      cv.notify_all();
+    }
+    return result;
+  }
+
+  // --- completer ----------------------------------------------------------
+
+  void completer_loop() {
+    for (;;) {
+      Pending task;
+      bool have_task = false;
+      bool need_recovery = false;
+      std::shared_ptr<PipelineRuntime> current;
+      {
+        MutexLock lock(mutex);
+        while (!stopping_ && ledger_.empty() && !membership_dirty_) {
+          if (options.liveness_poll_ms > 0) {
+            cv.wait_for(mutex, static_cast<std::int64_t>(
+                                   options.liveness_poll_ms) *
+                                   1'000'000);
+            break;  // wake to probe the epoch for heartbeat deaths
+          }
+          cv.wait(mutex);
+        }
+        if (membership_dirty_) {
+          need_recovery = true;
+        } else if (!ledger_.empty()) {
+          task = std::move(ledger_.front());
+          ledger_.pop_front();
+          have_task = true;
+        } else if (stopping_) {
+          return;  // ledger drained — every accepted task is resolved
+        }
+        current = epoch_;
+      }
+
+      if (!have_task && !need_recovery) {
+        // Idle poll: a heartbeat DeviceDown with no in-flight work still
+        // needs a replan so the next submit lands on a healthy epoch.
+        if (current != nullptr && !current->failed_devices().empty()) {
+          recover({});
+        }
+        continue;
+      }
+      if (need_recovery) {
+        if (have_task) {  // impossible by construction, but keep it safe
+          MutexLock lock(mutex);
+          ledger_.push_front(std::move(task));
+        }
+        recover({});
+        continue;
+      }
+
+      // Late (re)submission for tasks accepted while an epoch was down.
+      if (task.epoch == nullptr) {
+        if (current == nullptr) {
+          fail_task(task, std::make_exception_ptr(DeviceFailure(
+                              -1, "cluster exhausted: no surviving devices")));
+          continue;
+        }
+        try {
+          task.inner = current->submit(task.input);
+          task.epoch = current;
+        } catch (const std::exception&) {
+          task.attempts++;
+          recover_one(std::move(task));
+          continue;
+        }
+      }
+
+      try {
+        Tensor output = wait_get(task.inner);
+        completed_.fetch_add(1, std::memory_order_relaxed);
+        task.outer->set_value(std::move(output));
+      } catch (const std::exception& e) {
+        PICO_LOG(Warn) << "resilient task " << task.id
+                       << " failed (attempt " << task.attempts + 1
+                       << "): " << e.what();
+        task.attempts++;
+        task.epoch = nullptr;
+        recover_one(std::move(task));
+      }
+    }
+  }
+
+  void recover_one(Pending task) {
+    std::deque<Pending> redo;
+    redo.push_back(std::move(task));
+    recover(std::move(redo));
+  }
+
+  void fail_task(Pending& task, std::exception_ptr error) {
+    if (task.outer) task.outer->set_exception(std::move(error));
+  }
+
+  // --- recovery -----------------------------------------------------------
+
+  /// Drain the poisoned epoch, shrink membership, replan over the
+  /// survivors, rebuild, resubmit.  `redo` seeds the redo list with tasks
+  /// whose failure triggered this recovery.  Runs on the completer thread
+  /// only; all blocking work happens outside the mutex.
+  void recover(std::deque<Pending> redo) {
+    const auto t0 = std::chrono::steady_clock::now();
+    std::shared_ptr<PipelineRuntime> old;
+    std::deque<Pending> stolen;
+    {
+      MutexLock lock(mutex);
+      recovering_ = true;
+      membership_dirty_ = false;
+      old = epoch_;
+      stolen.swap(ledger_);
+    }
+
+    // Harvest whatever the dying epoch still resolves: tasks that finished
+    // before the failure deliver normally, the rest join the redo list.
+    for (Pending& task : stolen) {
+      if (task.epoch == nullptr || !task.inner.valid()) {
+        redo.push_back(std::move(task));
+        continue;
+      }
+      try {
+        Tensor output = wait_get(task.inner);
+        completed_.fetch_add(1, std::memory_order_relaxed);
+        task.outer->set_value(std::move(output));
+      } catch (const std::exception&) {
+        task.attempts++;
+        task.epoch = nullptr;
+        redo.push_back(std::move(task));
+      }
+    }
+
+    // Tasks over the attempt budget get their terminal error now.
+    std::deque<Pending> retry;
+    for (Pending& task : redo) {
+      if (task.attempts >= options.max_task_attempts) {
+        PICO_LOG(Error) << "resilient task " << task.id << " dropped after "
+                        << task.attempts << " attempts";
+        fail_task(task,
+                  std::make_exception_ptr(DeviceFailure(
+                      -1, "task failed on " + std::to_string(task.attempts) +
+                              " consecutive epochs")));
+      } else {
+        retry.push_back(std::move(task));
+      }
+    }
+
+    std::vector<DeviceId> newly_dead;
+    if (old != nullptr) {
+      newly_dead = old->failed_devices();
+      old->shutdown();
+      // Fold the retired epoch's telemetry and health history into the
+      // accumulators (the AdaptiveRuntime epoch idiom) so DeviceDown events
+      // survive the rebuild.
+      for (obs::WorkerTelemetry& worker : old->cluster_telemetry().workers()) {
+        telemetry_.add(std::move(worker));
+      }
+      obs::HealthSnapshot history = old->health();
+      MutexLock lock(mutex);
+      past_events_.insert(past_events_.end(), history.events.begin(),
+                          history.events.end());
+    }
+
+    // Shrink membership.  A recovery triggered with no observed device
+    // failure (rejoin(), or a pure future failure) keeps the current view.
+    Cluster survivors;
+    std::vector<DeviceId> globals;
+    {
+      MutexLock lock(mutex);
+      for (const DeviceId device : newly_dead) {
+        if (std::find(dead_.begin(), dead_.end(), device) == dead_.end()) {
+          dead_.push_back(device);
+        }
+      }
+      std::sort(dead_.begin(), dead_.end());
+      std::vector<Device> kept;
+      std::vector<DeviceId> kept_globals;
+      for (const Device& device : full_cluster.devices()) {
+        if (std::find(dead_.begin(), dead_.end(), device.id) == dead_.end()) {
+          kept_globals.push_back(device.id);
+          kept.push_back(device);
+        }
+      }
+      survivors_ = Cluster(std::move(kept));
+      survivor_globals_ = std::move(kept_globals);
+      survivors = survivors_;
+      globals = survivor_globals_;
+    }
+
+    // Replan + rebuild over the survivors (blocking; outside the mutex).
+    std::shared_ptr<PipelineRuntime> fresh;
+    partition::Plan plan;
+    std::exception_ptr planning_error;
+    if (survivors.size() > 0) {
+      try {
+        plan = make_plan(survivors, globals);
+        fresh = std::make_shared<PipelineRuntime>(graph, plan,
+                                                  options.runtime);
+      } catch (const std::exception& e) {
+        PICO_LOG(Error) << "replan over " << survivors.size()
+                        << " survivor(s) failed: " << e.what();
+        planning_error = std::current_exception();
+      }
+    }
+
+    {
+      MutexLock lock(mutex);
+      if (fresh == nullptr) {
+        cluster_lost_ = true;
+        epoch_ = nullptr;
+        recovering_ = false;
+        for (Pending& task : retry) {
+          fail_task(task, planning_error
+                              ? planning_error
+                              : std::make_exception_ptr(DeviceFailure(
+                                    -1,
+                                    "cluster exhausted: no surviving "
+                                    "devices to plan over")));
+        }
+        // Tasks submitted during the recovery window fail on dequeue (the
+        // completer sees epoch_ == nullptr).
+        cv.notify_all();
+        PICO_LOG(Error) << "cluster lost: resilient runtime is terminal";
+        return;
+      }
+      epoch_ = fresh;
+      plan_ = plan;
+      recovering_ = false;
+      // Redo tasks go to the FRONT in submission order: they were accepted
+      // before anything queued during the recovery window.
+      for (auto it = retry.rbegin(); it != retry.rend(); ++it) {
+        ledger_.push_front(std::move(*it));
+      }
+      cv.notify_all();
+    }
+    replans_.fetch_add(1, std::memory_order_relaxed);
+    replans_total->add(1);
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    recovery_seconds->observe(seconds);
+    PICO_LOG(Warn) << "recovered over " << survivors.size()
+                   << " survivor(s) in " << seconds << " s (plan "
+                   << plan.scheme << ", " << retry.size()
+                   << " task(s) re-queued)";
+  }
+
+  // --- teardown / read side ----------------------------------------------
+
+  void shutdown() {
+    if (shutdown_done_.exchange(true)) return;
+    {
+      MutexLock lock(mutex);
+      stopping_ = true;
+      cv.notify_all();
+    }
+    if (completer_.joinable()) completer_.join();
+    std::shared_ptr<PipelineRuntime> last;
+    {
+      MutexLock lock(mutex);
+      last = epoch_;
+      epoch_ = nullptr;
+    }
+    if (last != nullptr) {
+      last->shutdown();
+      for (obs::WorkerTelemetry& worker :
+           last->cluster_telemetry().workers()) {
+        telemetry_.add(std::move(worker));
+      }
+      // Keep the final epoch's full snapshot (rounds, device rows, ...) so
+      // health() stays meaningful after shutdown — callers read it for the
+      // post-run report.  The accumulated history is merged in exactly once.
+      obs::HealthSnapshot final_snapshot = last->health();
+      MutexLock lock(mutex);
+      final_snapshot.events.insert(final_snapshot.events.begin(),
+                                   past_events_.begin(), past_events_.end());
+      past_events_ = final_snapshot.events;
+      final_health_ = std::move(final_snapshot);
+      have_final_health_ = true;
+    }
+  }
+
+  void rejoin(DeviceId device) {
+    MutexLock lock(mutex);
+    auto it = std::find(dead_.begin(), dead_.end(), device);
+    if (it == dead_.end()) return;
+    dead_.erase(it);
+    obs::HealthEvent event;
+    event.kind = obs::HealthEventKind::Recovered;
+    event.device = device;
+    event.detail = "device re-admitted via rejoin()";
+    past_events_.push_back(event);
+    membership_dirty_ = true;  // completer replans over the wider cluster
+    cv.notify_all();
+  }
+
+  obs::HealthSnapshot health() const {
+    std::shared_ptr<PipelineRuntime> current;
+    std::vector<obs::HealthEvent> history;
+    {
+      MutexLock lock(mutex);
+      if (have_final_health_) return final_health_;
+      current = epoch_;
+      history = past_events_;
+    }
+    obs::HealthSnapshot out;
+    if (current != nullptr) out = current->health();
+    out.events.insert(out.events.begin(), history.begin(), history.end());
+    return out;
+  }
+
+  bool harvest_now() {
+    std::shared_ptr<PipelineRuntime> current;
+    {
+      MutexLock lock(mutex);
+      if (stopping_ || recovering_) return false;
+      current = epoch_;
+    }
+    if (current == nullptr) return false;
+    return current->harvest_now();
+  }
+
+  std::vector<DeviceId> dead_devices() const {
+    MutexLock lock(mutex);
+    return dead_;
+  }
+
+  Cluster survivors() const {
+    MutexLock lock(mutex);
+    return survivors_;
+  }
+
+  partition::Plan plan() const {
+    MutexLock lock(mutex);
+    return plan_;
+  }
+
+  const nn::Graph& graph;
+  const ResilientOptions options;
+  const Cluster full_cluster;
+
+  mutable Mutex mutex;
+  CondVar cv;
+  Cluster survivors_ PICO_GUARDED_BY(mutex);
+  /// survivors_ position -> full-cluster device id (see to_global_ids).
+  std::vector<DeviceId> survivor_globals_ PICO_GUARDED_BY(mutex);
+  std::vector<DeviceId> dead_ PICO_GUARDED_BY(mutex);
+  partition::Plan plan_ PICO_GUARDED_BY(mutex);
+  std::shared_ptr<PipelineRuntime> epoch_ PICO_GUARDED_BY(mutex);
+  std::deque<Pending> ledger_ PICO_GUARDED_BY(mutex);
+  bool stopping_ PICO_GUARDED_BY(mutex) = false;
+  bool recovering_ PICO_GUARDED_BY(mutex) = false;
+  bool membership_dirty_ PICO_GUARDED_BY(mutex) = false;
+  bool cluster_lost_ PICO_GUARDED_BY(mutex) = false;
+  std::int64_t next_id_ PICO_GUARDED_BY(mutex) = 0;
+  std::vector<obs::HealthEvent> past_events_ PICO_GUARDED_BY(mutex);
+  /// The last epoch's health snapshot, captured at shutdown() with the full
+  /// event history merged in; health() returns it once the epochs are gone.
+  obs::HealthSnapshot final_health_ PICO_GUARDED_BY(mutex);
+  bool have_final_health_ PICO_GUARDED_BY(mutex) = false;
+
+  obs::ClusterTelemetry telemetry_;  // internally locked
+  std::atomic<long long> completed_{0};
+  std::atomic<int> replans_{0};
+  std::atomic<bool> shutdown_done_{false};
+
+  obs::Histogram* recovery_seconds = nullptr;  // set once in ctor
+  obs::Counter* replans_total = nullptr;       // set once in ctor
+
+  // sched-exempt: started by the constructor, joined exactly once by
+  // shutdown(); no concurrent access to the handle itself.
+  SchedThread completer_;
+};
+
+ResilientRuntime::ResilientRuntime(const nn::Graph& graph,
+                                   const Cluster& cluster,
+                                   ResilientOptions options)
+    : impl_(std::make_unique<Impl>(graph, cluster, std::move(options))) {}
+
+ResilientRuntime::~ResilientRuntime() { shutdown(); }
+
+std::future<Tensor> ResilientRuntime::submit(Tensor input) {
+  return impl_->submit(std::move(input));
+}
+
+Tensor ResilientRuntime::infer(const Tensor& input) {
+  std::future<Tensor> result = impl_->submit(input);
+  return wait_get(result);
+}
+
+void ResilientRuntime::shutdown() { impl_->shutdown(); }
+
+void ResilientRuntime::rejoin(DeviceId device) { impl_->rejoin(device); }
+
+obs::HealthSnapshot ResilientRuntime::health() const { return impl_->health(); }
+
+bool ResilientRuntime::harvest_now() { return impl_->harvest_now(); }
+
+const obs::ClusterTelemetry& ResilientRuntime::cluster_telemetry() const {
+  return impl_->telemetry_;
+}
+
+long long ResilientRuntime::tasks_completed() const {
+  return impl_->completed_.load(std::memory_order_relaxed);
+}
+
+int ResilientRuntime::replans() const {
+  return impl_->replans_.load(std::memory_order_relaxed);
+}
+
+std::vector<DeviceId> ResilientRuntime::dead_devices() const {
+  return impl_->dead_devices();
+}
+
+Cluster ResilientRuntime::survivors() const { return impl_->survivors(); }
+
+partition::Plan ResilientRuntime::plan() const { return impl_->plan(); }
+
+}  // namespace pico::runtime

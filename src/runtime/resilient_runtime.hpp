@@ -1,0 +1,129 @@
+// Churn-surviving runtime: a PipelineRuntime wrapped in an accepted-task
+// ledger and an online re-adaptation loop.
+//
+// The PipelineRuntime fails fast on device death (DeviceFailure poisons it;
+// see pipeline.hpp) but cannot shrink itself — its plan is fixed at
+// construction.  This layer owns the membership view: every accepted task
+// keeps a pristine copy of its input, a completer thread watches the inner
+// futures, and on the first failure it
+//   1. drains the in-flight ledger off the poisoned runtime (fulfilled
+//      results are delivered, failures join the redo list),
+//   2. removes the dead devices from the surviving cluster,
+//   3. re-runs the scheme planner — Alg. 1 DP + Alg. 2 greedy adaptation —
+//      over the survivors (weights re-distribute implicitly: each new
+//      worker owns its segment of the shared graph),
+//   4. builds a fresh PipelineRuntime on the new plan, and
+//   5. re-executes every unfinished accepted task in submission order.
+// No accepted inference is dropped while at least one device survives and
+// the task stays under max_task_attempts.  Telemetry and health events of
+// retired runtimes fold into the accumulators (the AdaptiveRuntime epoch
+// idiom), so DeviceDown history survives the rebuild.
+//
+// Exactly-once caveat: promise resolution is exactly-once, worker compute
+// is at-least-once — a re-executed task may have partially (or even fully)
+// computed on the dead epoch.  Inference is idempotent, so this is
+// invisible in the outputs.
+//
+// Hang recovery (a wedged-but-connected worker) additionally needs
+// RuntimeOptions::net_timeout_ms / PICO_NET_TIMEOUT_MS > 0; without a
+// deadline only EOF-detectable deaths (crash, close) are recoverable.
+#pragma once
+
+#include <functional>
+#include <future>
+#include <memory>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "common/types.hpp"
+#include "nn/graph.hpp"
+#include "obs/health.hpp"
+#include "obs/remote.hpp"
+#include "partition/plan.hpp"
+#include "runtime/pipeline.hpp"
+#include "tensor/tensor.hpp"
+
+namespace pico::runtime {
+
+struct ResilientOptions {
+  /// Options for each inner PipelineRuntime epoch (transport, harvest
+  /// cadence, net timeout, heartbeat policy...).
+  RuntimeOptions runtime;
+  /// Network model fed to the default replanner.
+  NetworkModel network;
+  /// Replanner invoked over the survivors after every membership change.
+  /// Default (unset): partition::pico_plan — homogenize, Alg. 1 DP,
+  /// Alg. 2 greedy adaptation.  Must throw if no feasible plan exists.
+  std::function<partition::Plan(const nn::Graph&, const Cluster&)> replan;
+  /// Idle-completer poll period for failures that strike *between* tasks
+  /// (heartbeat DeviceDown with an empty ledger).  0 disables polling (the
+  /// completer then only reacts to task traffic and shutdown — what the
+  /// sched models use to stay free of modeled-timeout spins).
+  int liveness_poll_ms = 50;
+  /// A task failing this many times (each on a freshly planned epoch) gets
+  /// its last failure delivered instead of another retry.
+  int max_task_attempts = 4;
+};
+
+/// Drop-in PipelineRuntime replacement that survives worker death.
+/// Thread-compatible like the inner runtime: one submitter thread; the
+/// internal completer thread is invisible to callers.
+class ResilientRuntime {
+ public:
+  ResilientRuntime(const nn::Graph& graph, const Cluster& cluster,
+                   ResilientOptions options = {});
+  ~ResilientRuntime();
+
+  ResilientRuntime(const ResilientRuntime&) = delete;
+  ResilientRuntime& operator=(const ResilientRuntime&) = delete;
+
+  /// Enqueue one inference.  The future resolves with the final feature map
+  /// — possibly computed by a later epoch than the one that accepted it —
+  /// or with the terminal error (cluster exhausted / attempts exceeded).
+  std::future<Tensor> submit(Tensor input);
+
+  /// Synchronous convenience wrapper around submit().
+  Tensor infer(const Tensor& input);
+
+  /// Drain every accepted task (recovering if needed), then stop
+  /// (idempotent; also run by the destructor).
+  void shutdown();
+
+  /// Re-admit a device previously declared dead: membership is rebuilt and
+  /// the planner re-run at the next completer step (asynchronous).  Unknown
+  /// or live devices are ignored.
+  void rejoin(DeviceId device);
+
+  /// Health snapshot of the current epoch with the full retired-epoch event
+  /// history (DeviceDown, Recovered, ...) prepended.
+  obs::HealthSnapshot health() const;
+  /// One synchronous harvest round on the current epoch (false once
+  /// shutdown began or the cluster is lost).
+  bool harvest_now();
+
+  /// Worker telemetry accumulated across all epochs so far (retired epochs
+  /// folded in; the live epoch's telemetry joins on shutdown()).
+  const obs::ClusterTelemetry& cluster_telemetry() const;
+
+  long long tasks_completed() const;
+  /// Completed replans (== retired epochs).
+  int replans() const;
+  /// Devices currently considered dead (full-cluster ids), ascending.
+  std::vector<DeviceId> dead_devices() const;
+  /// Current surviving-member view of the cluster.  Note: Cluster
+  /// construction re-indexes positionally, so this cluster's own device ids
+  /// are 0..size()-1, not full-cluster ids.
+  Cluster survivors() const;
+  /// The active epoch's plan, remapped into full-cluster device ids — the
+  /// one id space every epoch, chaos hook, metric label and health event
+  /// shares.
+  partition::Plan plan() const;
+
+ private:
+  struct Impl;
+  // sched-exempt: set once by the constructor; the pointer itself is never
+  // reseated.  Impl's own mutable state is guarded internally.
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace pico::runtime

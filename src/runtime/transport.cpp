@@ -1,13 +1,16 @@
 #include "runtime/transport.hpp"
 
 #include <arpa/inet.h>
+#include <netdb.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
 #include <atomic>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 
 #include "common/error.hpp"
@@ -59,8 +62,16 @@ class InProcConnection : public Connection {
   }
 
   Message recv() override {
-    std::optional<Message> message = rx_->pop();
-    if (!message) throw TransportError("in-process peer closed");
+    const std::int64_t timeout_ms =
+        timeout_ms_.load(std::memory_order_relaxed);
+    bool timed_out = false;
+    std::optional<Message> message =
+        rx_->pop_for(timeout_ms * 1'000'000, &timed_out);
+    if (!message) {
+      // In-process frames arrive whole, so a timeout is never mid-frame.
+      if (timed_out) throw TimeoutError("in-process recv timed out");
+      throw TransportError("in-process peer closed");
+    }
     frames_received_.fetch_add(1, std::memory_order_relaxed);
     bytes_received_.fetch_add(wire_size(*message),
                               std::memory_order_relaxed);
@@ -71,6 +82,12 @@ class InProcConnection : public Connection {
     tx_->close();
     rx_->close();
   }
+
+  void set_timeout_ms(std::int64_t timeout_ms) override {
+    timeout_ms_.store(timeout_ms, std::memory_order_relaxed);
+  }
+
+  bool closed() const override { return tx_->closed(); }
 
   ConnectionStats stats() const override {
     ConnectionStats out;
@@ -84,6 +101,7 @@ class InProcConnection : public Connection {
  private:
   std::shared_ptr<BoundedQueue<Message>> tx_;
   std::shared_ptr<BoundedQueue<Message>> rx_;
+  std::atomic<std::int64_t> timeout_ms_{0};
   std::atomic<std::int64_t> frames_sent_{0};
   std::atomic<std::int64_t> frames_received_{0};
   std::atomic<std::int64_t> bytes_sent_{0};
@@ -94,24 +112,82 @@ class InProcConnection : public Connection {
 // TCP transport
 // ---------------------------------------------------------------------------
 
-void write_all(int fd, const void* data, std::size_t size) {
+using SteadyClock = std::chrono::steady_clock;
+
+/// Milliseconds left until `deadline`, clamped to [0, INT_MAX] for poll().
+int remaining_ms(SteadyClock::time_point deadline) {
+  const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                        deadline - SteadyClock::now())
+                        .count();
+  if (left <= 0) return 0;
+  if (left > 2'000'000'000) return 2'000'000'000;
+  return static_cast<int>(left);
+}
+
+/// Blocks until `fd` is ready for `events` (POLLIN/POLLOUT) or the deadline
+/// passes.  Returns false on deadline.  EINTR retries with the remaining
+/// budget.  POLLERR/POLLHUP count as ready — the following send/recv
+/// surfaces the actual socket error or EOF.
+bool wait_ready(int fd, short events, SteadyClock::time_point deadline) {
+  for (;;) {
+    pollfd pfd{};
+    pfd.fd = fd;
+    pfd.events = events;
+    const int budget = remaining_ms(deadline);
+    const int rc = ::poll(&pfd, 1, budget);
+    if (rc > 0) return true;
+    if (rc == 0) {
+      if (budget == 0 && SteadyClock::now() < deadline) continue;
+      return false;
+    }
+    if (errno == EINTR) continue;
+    throw_errno("poll");
+  }
+}
+
+/// Writes exactly `size` bytes.  With timeout_ms > 0, each stalled write
+/// waits at most until the per-operation deadline and then throws
+/// TimeoutError; `frame_started` marks whether earlier bytes of the same
+/// frame already went out (a mid-frame timeout leaves the stream
+/// unframeable).
+void write_all(int fd, const void* data, std::size_t size,
+               std::int64_t timeout_ms = 0, bool frame_started = false) {
   const auto* bytes = static_cast<const std::uint8_t*>(data);
+  const auto deadline =
+      SteadyClock::now() + std::chrono::milliseconds(timeout_ms);
   std::size_t sent = 0;
   while (sent < size) {
-    const ssize_t n = ::send(fd, bytes + sent, size - sent, MSG_NOSIGNAL);
+    const ssize_t n = ::send(fd, bytes + sent, size - sent,
+                             MSG_NOSIGNAL | (timeout_ms > 0 ? MSG_DONTWAIT : 0));
     if (n < 0) {
       if (errno == EINTR) continue;
+      if (timeout_ms > 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+        if (!wait_ready(fd, POLLOUT, deadline)) {
+          throw TimeoutError("send timed out", frame_started || sent > 0);
+        }
+        continue;
+      }
       throw_errno("send");
     }
     sent += static_cast<std::size_t>(n);
   }
 }
 
-/// Returns false on clean EOF at a frame boundary.
-bool read_all(int fd, void* data, std::size_t size) {
+/// Reads exactly `size` bytes.  Returns false on clean EOF before the first
+/// byte.  With timeout_ms > 0, throws TimeoutError once the per-operation
+/// deadline passes; `frame_started` marks whether earlier bytes of the same
+/// frame were already consumed (mid-frame timeouts are unrecoverable — the
+/// length-prefixed stream cannot re-synchronize).
+bool read_all(int fd, void* data, std::size_t size, std::int64_t timeout_ms = 0,
+              bool frame_started = false) {
   auto* bytes = static_cast<std::uint8_t*>(data);
+  const auto deadline =
+      SteadyClock::now() + std::chrono::milliseconds(timeout_ms);
   std::size_t received = 0;
   while (received < size) {
+    if (timeout_ms > 0 && !wait_ready(fd, POLLIN, deadline)) {
+      throw TimeoutError("recv timed out", frame_started || received > 0);
+    }
     const ssize_t n = ::recv(fd, bytes + received, size - received, 0);
     if (n < 0) {
       if (errno == EINTR) continue;
@@ -151,10 +227,12 @@ class TcpConnection : public Connection {
     }
     obs::Span span("send", "net", obs::net_track(), message.task_id);
     const std::int64_t start_ns = obs::Tracer::now_ns();
+    const std::int64_t timeout_ms =
+        timeout_ms_.load(std::memory_order_relaxed);
     const std::vector<std::uint8_t> payload = serialize(message);
     const std::uint64_t length = payload.size();
-    write_all(fd_, &length, sizeof(length));
-    write_all(fd_, payload.data(), payload.size());
+    write_all(fd_, &length, sizeof(length), timeout_ms, false);
+    write_all(fd_, payload.data(), payload.size(), timeout_ms, true);
     const std::int64_t frame_bytes =
         static_cast<std::int64_t>(sizeof(length) + payload.size());
     frames_sent_.fetch_add(1, std::memory_order_relaxed);
@@ -170,13 +248,15 @@ class TcpConnection : public Connection {
       throw TransportError("recv on closed connection");
     }
     const std::int64_t start_ns = obs::Tracer::now_ns();
+    const std::int64_t timeout_ms =
+        timeout_ms_.load(std::memory_order_relaxed);
     std::uint64_t length = 0;
-    if (!read_all(fd_, &length, sizeof(length))) {
+    if (!read_all(fd_, &length, sizeof(length), timeout_ms, false)) {
       throw TransportError("tcp peer closed");
     }
     PICO_CHECK_MSG(length <= (1ull << 32), "oversized frame");
     std::vector<std::uint8_t> payload(static_cast<std::size_t>(length));
-    if (!read_all(fd_, payload.data(), payload.size())) {
+    if (!read_all(fd_, payload.data(), payload.size(), timeout_ms, true)) {
       throw TransportError("tcp peer closed mid-frame");
     }
     frames_received_.fetch_add(1, std::memory_order_relaxed);
@@ -215,9 +295,18 @@ class TcpConnection : public Connection {
     return out;
   }
 
+  void set_timeout_ms(std::int64_t timeout_ms) override {
+    timeout_ms_.store(timeout_ms, std::memory_order_relaxed);
+  }
+
+  bool closed() const override {
+    return closed_.load(std::memory_order_acquire);
+  }
+
  private:
   const int fd_;
   std::atomic<bool> closed_{false};
+  std::atomic<std::int64_t> timeout_ms_{0};
   std::atomic<std::int64_t> frames_sent_{0};
   std::atomic<std::int64_t> frames_received_{0};
   std::atomic<std::int64_t> bytes_sent_{0};
@@ -236,7 +325,7 @@ make_inproc_pair() {
           std::make_unique<InProcConnection>(b_to_a, a_to_b)};
 }
 
-TcpListener::TcpListener(std::uint16_t port) {
+TcpListener::TcpListener(std::uint16_t port, const std::string& bind_host) {
   fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd_ < 0) throw_errno("socket");
   const int one = 1;
@@ -245,7 +334,14 @@ TcpListener::TcpListener(std::uint16_t port) {
   ::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::inet_pton(AF_INET, bind_host.c_str(), &addr.sin_addr) != 1) {
+    // pico-lint: allow(unchecked-status): cleanup on the constructor error
+    // path; the bad-address failure is what gets reported
+    ::close(fd_);
+    fd_ = -1;
+    throw TransportError("bind host is not a valid IPv4 address: " +
+                         bind_host);
+  }
   addr.sin_port = htons(port);
   if (::bind(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
     throw_errno("bind");
@@ -263,25 +359,80 @@ TcpListener::~TcpListener() {
 }
 
 std::unique_ptr<Connection> TcpListener::accept() {
-  const int fd = ::accept(fd_, nullptr, nullptr);
-  if (fd < 0) throw_errno("accept");
-  return std::make_unique<TcpConnection>(fd);
+  for (;;) {
+    const int fd = ::accept(fd_, nullptr, nullptr);
+    if (fd >= 0) return std::make_unique<TcpConnection>(fd);
+    // accept() is the one blocking call a signal lands on most often
+    // (profilers, timers, forked children exiting) — retry like
+    // write_all/read_all do instead of tearing the listener down.
+    if (errno == EINTR) continue;
+    throw_errno("accept");
+  }
 }
 
+namespace {
+
+/// connect() interrupted by a signal keeps connecting in the background
+/// (POSIX leaves the socket in progress) — finish the handshake with
+/// poll(POLLOUT) and read the final status from SO_ERROR.
+void finish_interrupted_connect(int fd) {
+  for (;;) {
+    pollfd pfd{};
+    pfd.fd = fd;
+    pfd.events = POLLOUT;
+    const int rc = ::poll(&pfd, 1, -1);
+    if (rc > 0) break;
+    if (rc < 0 && errno == EINTR) continue;
+    throw_errno("poll(connect)");
+  }
+  int status = 0;
+  socklen_t len = sizeof(status);
+  if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &status, &len) < 0) {
+    throw_errno("getsockopt(SO_ERROR)");
+  }
+  if (status != 0) {
+    errno = status;
+    throw_errno("connect");
+  }
+}
+
+}  // namespace
+
 std::unique_ptr<Connection> tcp_connect(std::uint16_t port) {
+  return tcp_connect("127.0.0.1", port);
+}
+
+std::unique_ptr<Connection> tcp_connect(const std::string& host,
+                                        std::uint16_t port) {
+  addrinfo hints{};
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* resolved = nullptr;
+  const int gai = ::getaddrinfo(host.c_str(), nullptr, &hints, &resolved);
+  if (gai != 0) {
+    throw TransportError("getaddrinfo(" + host +
+                         "): " + ::gai_strerror(gai));
+  }
+  sockaddr_in addr{};
+  std::memcpy(&addr, resolved->ai_addr, sizeof(addr));
+  ::freeaddrinfo(resolved);
+  addr.sin_port = htons(port);
+
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) throw_errno("socket");
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  addr.sin_port = htons(port);
-  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
-    const int saved = errno;
+  try {
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+      if (errno == EINTR) {
+        finish_interrupted_connect(fd);
+      } else {
+        throw_errno("connect");
+      }
+    }
+  } catch (...) {
     // pico-lint: allow(unchecked-status): cleanup on the connect error path;
     // the connect failure is what gets reported
     ::close(fd);
-    errno = saved;
-    throw_errno("connect");
+    throw;
   }
   return std::make_unique<TcpConnection>(fd);
 }

@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <utility>
 
 #include "runtime/channel.hpp"
@@ -43,16 +44,28 @@ class Connection {
   virtual void close() = 0;
   /// Transfer totals so far; safe to call concurrently with send/recv.
   virtual ConnectionStats stats() const { return {}; }
+  /// Per-operation deadline for send()/recv(); past it they throw
+  /// TimeoutError instead of blocking.  0 (the default) blocks forever.
+  /// Safe to call concurrently with send/recv; applies from the next
+  /// operation on.
+  virtual void set_timeout_ms(std::int64_t /*timeout_ms*/) {}
+  /// True once close() has been called on this endpoint (or, for the
+  /// in-process transport, on the peer).  Advisory: a racing recv() may
+  /// still complete.
+  virtual bool closed() const { return false; }
 };
 
 /// Two connected in-process endpoints.
 std::pair<std::unique_ptr<Connection>, std::unique_ptr<Connection>>
 make_inproc_pair();
 
-/// Listening TCP socket on 127.0.0.1 (port 0 = ephemeral).
+/// Listening TCP socket (port 0 = ephemeral).  Binds 127.0.0.1 by default;
+/// pass "0.0.0.0" (or a specific interface address) to accept connections
+/// from other machines.
 class TcpListener {
  public:
-  explicit TcpListener(std::uint16_t port = 0);
+  explicit TcpListener(std::uint16_t port = 0,
+                       const std::string& bind_host = "127.0.0.1");
   ~TcpListener();
   TcpListener(const TcpListener&) = delete;
   TcpListener& operator=(const TcpListener&) = delete;
@@ -69,8 +82,13 @@ class TcpListener {
   std::uint16_t port_ = 0;
 };
 
-/// Connect to a listener on 127.0.0.1.
+/// Connect to a listener on 127.0.0.1 (loopback default for tests).
 std::unique_ptr<Connection> tcp_connect(std::uint16_t port);
+
+/// Connect to a listener on `host` (name or numeric address, resolved via
+/// getaddrinfo) — how a worker on another machine joins the cluster.
+std::unique_ptr<Connection> tcp_connect(const std::string& host,
+                                        std::uint16_t port);
 
 enum class TransportKind { InProcess, Tcp };
 

@@ -30,6 +30,37 @@ DebugDelays& debug_delays() {
   return *instance;
 }
 
+/// Debug fault injections (crash / hang), keyed by device (see worker.hpp).
+struct DebugFaults {
+  Mutex mutex;
+  std::map<DeviceId, long long> kill_after PICO_GUARDED_BY(mutex);
+  std::map<DeviceId, bool> stall PICO_GUARDED_BY(mutex);
+};
+
+DebugFaults& debug_faults() {
+  static DebugFaults* instance = new DebugFaults();
+  return *instance;
+}
+
+/// Counts down the kill-after budget for one received WorkRequest; true
+/// means the worker should die now instead of serving it.
+bool debug_worker_consume_kill(DeviceId device) {
+  DebugFaults& faults = debug_faults();
+  MutexLock lock(faults.mutex);
+  const auto it = faults.kill_after.find(device);
+  if (it == faults.kill_after.end()) return false;
+  if (--it->second > 0) return false;
+  faults.kill_after.erase(it);
+  return true;
+}
+
+bool debug_worker_stalled(DeviceId device) {
+  DebugFaults& faults = debug_faults();
+  MutexLock lock(faults.mutex);
+  const auto it = faults.stall.find(device);
+  return it != faults.stall.end() && it->second;
+}
+
 }  // namespace
 
 void set_debug_compute_delay_ms(DeviceId device, double delay_ms) {
@@ -53,6 +84,33 @@ void clear_debug_compute_delays() {
   DebugDelays& delays = debug_delays();
   MutexLock lock(delays.mutex);
   delays.delay_ms.clear();
+}
+
+void set_debug_worker_kill_after(DeviceId device, long long requests) {
+  DebugFaults& faults = debug_faults();
+  MutexLock lock(faults.mutex);
+  if (requests <= 0) {
+    faults.kill_after.erase(device);
+  } else {
+    faults.kill_after[device] = requests;
+  }
+}
+
+void set_debug_worker_stall(DeviceId device, bool stalled) {
+  DebugFaults& faults = debug_faults();
+  MutexLock lock(faults.mutex);
+  if (stalled) {
+    faults.stall[device] = true;
+  } else {
+    faults.stall.erase(device);
+  }
+}
+
+void clear_debug_worker_faults() {
+  DebugFaults& faults = debug_faults();
+  MutexLock lock(faults.mutex);
+  faults.kill_after.clear();
+  faults.stall.clear();
 }
 
 namespace {
@@ -196,11 +254,36 @@ void serve_loop(const nn::Graph& graph, Connection& connection,
       }
       PICO_CHECK_MSG(request.type == MessageType::WorkRequest,
                      "worker got unexpected message type");
+      // Chaos injection: crash simulation.  Dying on receipt — request
+      // accepted, never answered — is the worst case for the coordinator:
+      // it is left blocked in the gather recv until the close() below
+      // surfaces as an EOF on its end of the connection.
+      if (debug_worker_consume_kill(device)) {
+        PICO_LOG(Warn) << "worker (device " << device
+                       << ") debug kill: dropping connection mid-task "
+                       << request.task_id;
+        connection.close();
+        spans.flush_to_tracer();
+        return;
+      }
       Message result = serve_request(graph, std::move(request), device,
                                      options, recv_ns, spans);
       requests.add();
       if (served != nullptr) {
         served->fetch_add(1, std::memory_order_relaxed);
+      }
+      // Chaos injection: hang simulation.  Wedge the reply leg — the
+      // coordinator sees silence, not EOF, so only a recv deadline can
+      // unblock it.  Sliced sleep keeps the worker responsive to its own
+      // stop() (close() flips closed()) and a hard cap keeps a forgotten
+      // flag from leaking a stuck thread past the test.
+      if (debug_worker_stalled(device)) {
+        const auto stall_start = std::chrono::steady_clock::now();
+        while (debug_worker_stalled(device) && !connection.closed() &&
+               std::chrono::steady_clock::now() - stall_start <
+                   std::chrono::seconds(60)) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        }
       }
       result.t_send_ns = obs::worker_now_ns();
       connection.send(std::move(result));

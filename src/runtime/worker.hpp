@@ -53,6 +53,22 @@ void set_debug_compute_delay_ms(DeviceId device, double delay_ms);
 double debug_compute_delay_ms(DeviceId device);
 void clear_debug_compute_delays();
 
+/// Chaos hook — crash simulation: the worker for `device` drops its
+/// connection (close, no reply, loop exit) on receipt of its `requests`-th
+/// subsequent WorkRequest, exactly like a process that died mid-task.
+/// requests <= 0 clears the injection.  Process-global, like the delay hook.
+void set_debug_worker_kill_after(DeviceId device, long long requests);
+
+/// Chaos hook — hang simulation: while set, the worker for `device` wedges
+/// its reply leg (computes, then sleeps in 1 ms slices before sending), so
+/// the coordinator observes silence rather than EOF.  The stall breaks when
+/// the flag clears, the worker's own connection is closed (stop()), or a
+/// 60 s hard cap expires.
+void set_debug_worker_stall(DeviceId device, bool stalled);
+
+/// Clears every kill/stall injection (the delay hook has its own clear).
+void clear_debug_worker_faults();
+
 class Worker {
  public:
   /// The worker holds a reference to the (immutable, finalized) graph — in a

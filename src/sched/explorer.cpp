@@ -225,6 +225,13 @@ class Exploration : public std::enable_shared_from_this<Exploration> {
   void model_yield(ThreadRec* rec, const char* label) {
     std::unique_lock<std::mutex> lk(mu_);
     rec->label = label;
+    // An explicit yield is a fairness hint.  In PCT random mode, demote the
+    // yielder below every other thread — otherwise a poll-with-yield loop
+    // (future polls, wait_for retry loops) on the highest-priority thread
+    // spins to the step limit without ever letting the progress it waits on
+    // run.  Exhaustive mode ignores priorities; prescribed replays ignore
+    // this entirely.
+    if (random_) rec->priority = low_priority_--;
     yield_point(lk, rec);
   }
 

@@ -25,6 +25,7 @@
 #include "runtime/channel.hpp"
 #include "runtime/message.hpp"
 #include "runtime/pipeline.hpp"
+#include "runtime/resilient_runtime.hpp"
 #include "runtime/transport.hpp"
 #include "runtime/worker.hpp"
 #include "sched/explorer.hpp"
@@ -388,6 +389,54 @@ TEST(SchedRuntime, AdaptiveSwitchVsInFlightRandom) {
   options.max_steps = 2000000;
   sched::ExploreResult result = sched::explore(options, adaptive_body);
   expect_clean(result, "adaptive");
+}
+
+// --- worker death vs live traffic --------------------------------------
+
+// A chaos thread arms a hard kill on the plan's first device at an
+// arbitrary schedule point while two inferences flow.  Depending on the
+// interleaving the kill lands before, between, or after the tasks — or
+// never fires — and under every schedule the resilient layer must deliver
+// both results bit-exactly: recovery replans over the survivors and no
+// accepted inference is dropped or corrupted.  No transport deadlines and
+// liveness_poll_ms = 0 (under exploration CondVar::wait_for models an
+// immediate timeout, so a polling completer would spin); the death is
+// EOF-detected, which needs no clock.
+void churn_body() {
+  const RuntimeModel& model = RuntimeModel::get();
+  runtime::clear_debug_worker_faults();
+  runtime::ResilientOptions options;
+  options.network = test_network();
+  options.runtime = runtime::RuntimeOptions{.harvest_pings = 1};
+  options.liveness_poll_ms = 0;
+  auto* rt = new runtime::ResilientRuntime(
+      model.graph, Cluster::raspberry_pi({1.2, 0.8}), options);
+  const DeviceId victim =
+      rt->plan().stages.front().assignments.front().device;
+  SchedThread killer(
+      [victim] { runtime::set_debug_worker_kill_after(victim, 1); });
+  auto futures = new std::vector<std::future<Tensor>>;
+  futures->push_back(rt->submit(model.input));
+  futures->push_back(rt->submit(model.input));
+  killer.join();
+  rt->shutdown();
+  for (std::future<Tensor>& f : *futures) {
+    sched::check(Tensor::max_abs_diff(f.get(), model.reference) == 0.0f,
+                 "churn must never corrupt or drop an accepted inference");
+  }
+  runtime::clear_debug_worker_faults();
+  delete futures;
+  delete rt;
+}
+
+TEST(SchedRuntime, WorkerDeathVsTrafficRandom) {
+  sched::ExploreOptions options;
+  options.mode = sched::Mode::Random;
+  options.random_schedules = 6;
+  options.seed = 41;
+  options.max_steps = 2000000;
+  sched::ExploreResult result = sched::explore(options, churn_body);
+  expect_clean(result, "worker-death");
 }
 
 // --- pinned schedules --------------------------------------------------

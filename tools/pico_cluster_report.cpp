@@ -29,6 +29,14 @@
 // flagged).  Exit 1 is reserved for usage/runtime errors, so CI can tell
 // "broken invocation" from "unhealthy cluster".
 //
+// --kill-device drops one worker's connection mid-run (chaos hook) and
+// switches the run onto the resilient runtime: the death is detected,
+// recovery replans over the survivors, and every accepted task is still
+// delivered.  --expect-device-down gates that path the same way
+// --expect-straggler gates the straggler detector: exit 2 unless exactly
+// the named device was declared down, a DeviceDown event was recorded, and
+// at least one replan happened.
+//
 // Examples:
 //   pico_cluster_report --model configs/vgg16.cfg --input-size 64 --tasks 8
 //   pico_cluster_report --model configs/vgg16.cfg --input-size 64
@@ -55,6 +63,7 @@
 #include "partition/pico_dp.hpp"
 #include "partition/schemes.hpp"
 #include "runtime/pipeline.hpp"
+#include "runtime/resilient_runtime.hpp"
 #include "runtime/worker.hpp"
 
 namespace {
@@ -90,6 +99,20 @@ continuous harvest:
                          straggler scores, drift events) after each
                          completed harvest round, to stderr
 
+churn:
+  --kill-device <id>:<n>  drop device <id>'s connection on its n-th request
+                         (chaos hook).  The run then uses the resilient
+                         runtime: the death is detected, recovery replans
+                         over the survivors and every accepted task is
+                         re-executed — no inference is dropped
+  --net-timeout-ms <n>   per-operation transport deadline on every device
+                         connection (0 = block forever, default; the
+                         PICO_NET_TIMEOUT_MS env var overrides)
+  --expect-device-down <id>  with --check: require that exactly this device
+                         was declared down (DeviceDown event + dead list),
+                         that recovery replanned at least once, and that
+                         the surviving devices stayed healthy
+
 output:
   --json                 emit a JSON report instead of the text tables
   --trace-out <file>     merged Chrome trace (default pico_cluster_trace.json)
@@ -116,10 +139,14 @@ struct Args {
   int task_gap_ms = 0;
   pico::DeviceId slow_device = -1;
   double slow_ms = 0.0;
+  pico::DeviceId kill_device = -1;
+  int kill_after = 0;
+  long long net_timeout_ms = 0;
   bool watch = false;
   bool json = false;
   bool check = false;
   pico::DeviceId expect_straggler = -1;
+  pico::DeviceId expect_down = -1;
   std::string trace_out = "pico_cluster_trace.json";
   std::string metrics_out;
 };
@@ -190,8 +217,24 @@ Args parse_args(int argc, char** argv) {
           parse_double(spec.substr(0, colon), flag));
       args.slow_ms = parse_double(spec.substr(colon + 1), flag);
       if (args.slow_ms <= 0.0) fail("--slow-device delay must be > 0 ms");
+    } else if (flag == "--kill-device") {
+      const std::string spec = value();
+      const std::size_t colon = spec.find(':');
+      if (colon == std::string::npos) fail("--kill-device <id>:<after_tasks>");
+      args.kill_device = static_cast<pico::DeviceId>(
+          parse_double(spec.substr(0, colon), flag));
+      args.kill_after =
+          static_cast<int>(parse_double(spec.substr(colon + 1), flag));
+      if (args.kill_after < 1) fail("--kill-device count must be >= 1");
+    } else if (flag == "--net-timeout-ms") {
+      args.net_timeout_ms =
+          static_cast<long long>(parse_double(value(), flag));
+      if (args.net_timeout_ms < 0) fail("--net-timeout-ms must be >= 0");
     } else if (flag == "--watch") {
       args.watch = true;
+    } else if (flag == "--expect-device-down") {
+      args.expect_down =
+          static_cast<pico::DeviceId>(parse_double(value(), flag));
     } else if (flag == "--expect-straggler") {
       args.expect_straggler =
           static_cast<pico::DeviceId>(parse_double(value(), flag));
@@ -404,6 +447,7 @@ int main(int argc, char** argv) {
                             : runtime::TransportKind::InProcess;
     options.harvest_pings = args.pings;
     options.harvest_ms = args.harvest_ms;
+    options.net_timeout_ms = args.net_timeout_ms;
     if (args.watch && args.harvest_ms == 0) options.harvest_ms = 50;
     if (args.slow_device >= 0) {
       runtime::set_debug_compute_delay_ms(args.slow_device, args.slow_ms);
@@ -418,8 +462,11 @@ int main(int argc, char** argv) {
     const std::int64_t run_start_ns = obs::Tracer::now_ns();
     std::vector<obs::WorkerTelemetry> workers;
     obs::HealthSnapshot health;
-    {
-      runtime::PipelineRuntime rt(graph, plan, options);
+    std::vector<pico::DeviceId> dead;
+    int replans = 0;
+    // Submit/await/shutdown loop shared by the plain and the resilient
+    // runtimes (both expose submit/health/shutdown/cluster_telemetry).
+    auto run_tasks = [&](auto& rt) {
       std::vector<std::future<pico::Tensor>> futures;
       futures.reserve(static_cast<std::size_t>(args.tasks));
       std::int64_t watched_rounds = 0;
@@ -446,6 +493,27 @@ int main(int argc, char** argv) {
       rt.shutdown();  // stops the periodic thread, runs one final harvest
       workers = rt.cluster_telemetry().workers();
       health = rt.health();
+    };
+    if (args.kill_device >= 0) {
+      // Churn mode: arm the chaos hook and run under the resilient runtime
+      // so the death is detected, survivors replanned, and every accepted
+      // task still completes.  Device ids stay in the full-cluster space.
+      runtime::set_debug_worker_kill_after(args.kill_device, args.kill_after);
+      runtime::ResilientOptions resilient;
+      resilient.runtime = options;
+      resilient.network = network;
+      resilient.replan = [&args, &network](const pico::nn::Graph& g,
+                                           const pico::Cluster& survivors) {
+        return make_plan(args, g, survivors, network);
+      };
+      runtime::ResilientRuntime rt(graph, cluster, resilient);
+      run_tasks(rt);
+      dead = rt.dead_devices();
+      replans = rt.replans();
+      runtime::clear_debug_worker_faults();
+    } else {
+      runtime::PipelineRuntime rt(graph, plan, options);
+      run_tasks(rt);
     }
     runtime::clear_debug_compute_delays();
     const std::int64_t run_end_ns = obs::Tracer::now_ns();
@@ -567,6 +635,11 @@ int main(int argc, char** argv) {
                   << num(event.value) << "}";
       }
       std::cout << "\n    ]\n  },\n";
+      std::cout << "  \"recovery\": {\"dead_devices\": [";
+      for (std::size_t i = 0; i < dead.size(); ++i) {
+        std::cout << (i ? ", " : "") << dead[i];
+      }
+      std::cout << "], \"replans\": " << replans << "},\n";
       std::cout << "  \"spans\": " << spans.size() << ",\n";
       std::cout << "  \"trace\": \"" << args.trace_out << "\"\n}\n";
     } else {
@@ -601,6 +674,12 @@ int main(int argc, char** argv) {
       }
       std::printf("\n");
       print_health(stdout, health);
+      if (args.kill_device >= 0) {
+        std::printf("\nrecovery: %d replan(s), dead devices:", replans);
+        if (dead.empty()) std::printf(" none");
+        for (const pico::DeviceId id : dead) std::printf(" %d", id);
+        std::printf("\n");
+      }
       std::printf("\nwrote %zu spans (merged cluster trace) to %s\n",
                   spans.size(), args.trace_out.c_str());
       if (!args.metrics_out.empty()) {
@@ -617,19 +696,52 @@ int main(int argc, char** argv) {
           ++failures;
         }
       };
+      // A deliberately killed device is exempt from the liveness rows (it
+      // legitimately ends the run unreachable); its own gate is below.
+      auto is_dead = [&dead](pico::DeviceId id) {
+        return std::find(dead.begin(), dead.end(), id) != dead.end();
+      };
       for (const DeviceReport& row : report) {
+        if (is_dead(row.device)) continue;
         const std::string dev = "device " + std::to_string(row.device);
         check(row.reachable, dev + " unreachable at harvest");
         check(row.worker_spans > 0, dev + " produced no worker spans");
         check(row.clock_samples > 0, dev + " has no accepted clock samples");
       }
-      // Health-engine gate: at least one completed round, every device
-      // reachable in the final snapshot, and — when a straggler was
+      // Health-engine gate: at least one completed round, every surviving
+      // device reachable in the final snapshot, and — when a straggler was
       // deliberately injected — exactly the expected device flagged.
       check(health.rounds > 0, "no harvest round completed");
       for (const obs::DeviceHealth& device : health.devices) {
+        if (is_dead(device.device)) continue;
         check(device.reachable, "device " + std::to_string(device.device) +
                                     " unreachable in the health snapshot");
+      }
+      // Death-recovery gate (mirror of the straggler gate): with an
+      // injected kill the expectation is exact — the named device and no
+      // other was declared down, the DeviceDown event survived the epoch
+      // swap, and recovery actually replanned.
+      if (args.expect_down >= 0) {
+        check(args.kill_device >= 0,
+              "--expect-device-down needs --kill-device to inject a death");
+        check(is_dead(args.expect_down),
+              "device " + std::to_string(args.expect_down) +
+                  " was not declared down");
+        check(dead.size() <= 1, "more than one device was declared down");
+        check(replans >= 1, "the device death did not trigger a replan");
+        bool down_event = false;
+        bool other_down = false;
+        for (const obs::HealthEvent& event : health.events) {
+          if (event.kind != obs::HealthEventKind::DeviceDown) continue;
+          if (event.device == args.expect_down) {
+            down_event = true;
+          } else {
+            other_down = true;
+          }
+        }
+        check(down_event, "no DeviceDown health event for device " +
+                              std::to_string(args.expect_down));
+        check(!other_down, "DeviceDown health event for an unexpected device");
       }
       // Straggler flags gate only on request: on a loopback host a
       // heterogeneous *modeled* cluster runs on identical real cores, so
