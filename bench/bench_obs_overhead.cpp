@@ -1,18 +1,24 @@
-// Observability overhead: what the always-on metrics/trace plumbing and
-// the continuous harvest loop cost the serving path.
+// Observability overhead: what the always-on metrics/trace plumbing, the
+// flight recorder and the continuous harvest loop cost the serving path.
 //
-// Three configurations of the same loopback two-worker EFL pipeline:
-//   off      — tracer disabled, no telemetry harvest at all;
-//   shutdown — metrics + tracer on, one harvest round at shutdown only
-//              (the pre-continuous-harvest default);
-//   live     — metrics + tracer on, background harvester pulling every
-//              worker's metrics/trace deltas mid-run (PICO_HARVEST_MS
-//              equivalent: harvest_ms = 5).
+// Four configurations of the same loopback two-worker EFL pipeline:
+//   off      — tracer disabled, flight recorder disabled, no harvest;
+//   recorder — flight recorder ON, everything else still off: isolates the
+//              always-on black box (the ≤1% budget this PR gates);
+//   shutdown — metrics + tracer + recorder on, one harvest round at
+//              shutdown only (the pre-continuous-harvest default);
+//   live     — metrics + tracer + recorder on, background harvester pulling
+//              every worker's metrics/trace/event deltas mid-run
+//              (PICO_HARVEST_MS equivalent: harvest_ms = 5).
 // Records per-inference wall time for each and writes
-// BENCH_obs_overhead.json; CI reads overhead_live_pct to keep the live
-// harvest loop honest (the cursor protocol and connection gates should
-// keep it in the low single digits — the harvester round trips ride
-// between scatter/gather exchanges, not inside them).
+// BENCH_obs_overhead.json.  Wall-clock deltas on a 40-task run are noisy,
+// so the recorder gate is budget-based: a tight record() micro-loop prices
+// one journal write (ns_per_event), the run counts how many events one
+// inference actually journals (events_per_task), and
+//   recorder_budget_pct = 100 × events_per_task × ns_per_event / infer_ns
+// must stay under 1 — CI reads that key.  overhead_live_pct still keeps the
+// harvest loop honest (cursor protocol + connection gates should hold it in
+// the low single digits).
 #include <chrono>
 #include <cstdio>
 #include <limits>
@@ -21,6 +27,7 @@
 #include "bench_util.hpp"
 #include "common/rng.hpp"
 #include "models/zoo.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "partition/schemes.hpp"
@@ -33,16 +40,20 @@ using namespace pico;
 struct Config {
   const char* name;
   bool tracer;
+  bool recorder;
   bool harvest;
   int harvest_ms;
 };
 
 double run_config(const nn::Graph& graph, const partition::Plan& plan,
                   const Tensor& input, const Config& config, int tasks,
-                  bench::BenchJson& json) {
+                  bench::BenchJson& json, double* events_per_task) {
   obs::Registry::global().reset_values();
   obs::Tracer::global().clear();
   obs::Tracer::global().set_enabled(config.tracer);
+  obs::FlightRecorder& recorder = obs::FlightRecorder::global();
+  recorder.clear();
+  recorder.set_enabled(config.recorder);
 
   runtime::RuntimeOptions options;
   options.harvest_telemetry = config.harvest;
@@ -50,6 +61,7 @@ double run_config(const nn::Graph& graph, const partition::Plan& plan,
   runtime::PipelineRuntime rt(graph, plan, options);
   rt.infer(input);  // warm-up: first task pays thread/queue start-up
 
+  const std::uint64_t seq_before = recorder.next_seq();
   double total = 0.0;
   for (int i = 0; i < tasks; ++i) {
     const auto start = std::chrono::steady_clock::now();
@@ -60,6 +72,11 @@ double run_config(const nn::Graph& graph, const partition::Plan& plan,
     json.sample(std::string("infer_seconds_") + config.name, elapsed);
     total += elapsed;
   }
+  if (events_per_task != nullptr) {
+    // Steady-state journal rate (shutdown/teardown events excluded).
+    *events_per_task =
+        static_cast<double>(recorder.next_seq() - seq_before) / tasks;
+  }
   rt.shutdown();
   if (config.harvest_ms > 0) {
     json.sample("harvest_rounds_live",
@@ -67,7 +84,30 @@ double run_config(const nn::Graph& graph, const partition::Plan& plan,
   }
   obs::Tracer::global().set_enabled(false);
   obs::Tracer::global().clear();
+  recorder.set_enabled(true);
   return total / tasks;
+}
+
+/// Price one journal write with a tight loop (enabled, ring wrapping —
+/// the steady-state path).
+double measure_ns_per_event() {
+  obs::FlightRecorder& recorder = obs::FlightRecorder::global();
+  recorder.clear();
+  recorder.set_enabled(true);
+  constexpr int kWarm = 10'000;
+  constexpr int kIters = 400'000;
+  for (int i = 0; i < kWarm; ++i) {
+    obs::record_event(obs::EventCode::TaskAccept, i);
+  }
+  const auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < kIters; ++i) {
+    obs::record_event(obs::EventCode::TaskAccept, i, i, i);
+  }
+  const double seconds = std::chrono::duration<double>(
+                             std::chrono::steady_clock::now() - start)
+                             .count();
+  recorder.clear();
+  return seconds * 1e9 / kIters;
 }
 
 }  // namespace
@@ -89,19 +129,27 @@ int main() {
   json.param("tasks", static_cast<double>(kTasks));
   json.param("harvest_ms_live", 5.0);
 
+  const double ns_per_event = measure_ns_per_event();
+  json.sample("ns_per_event", ns_per_event);
+
   const Config configs[] = {
-      {"off", false, false, 0},
-      {"shutdown", true, true, 0},
-      {"live", true, true, 5},
+      {"off", false, false, false, 0},
+      {"recorder", false, true, false, 0},
+      {"shutdown", true, true, true, 0},
+      {"live", true, true, true, 5},
   };
 
   bench::print_header(
       "Observability overhead — loopback 2-worker EFL, toy_mnist@48");
+  std::printf("journal write: %.1f ns/event\n", ns_per_event);
   bench::print_row({"config", "mean_ms", "overhead"});
   double baseline = std::numeric_limits<double>::quiet_NaN();
+  double events_per_task = 0.0;
   for (const Config& config : configs) {
+    const bool is_recorder = config.name == std::string("recorder");
     const double mean =
-        run_config(graph, plan, input, config, kTasks, json);
+        run_config(graph, plan, input, config, kTasks, json,
+                   is_recorder ? &events_per_task : nullptr);
     if (config.name == std::string("off")) baseline = mean;
     const double overhead = mean / baseline - 1.0;
     json.sample(std::string("mean_seconds_") + config.name, mean);
@@ -112,11 +160,28 @@ int main() {
     bench::print_row({config.name, bench::fmt(mean * 1e3, 3),
                       bench::fmt_pct(overhead, 1)});
   }
+
+  // The deterministic gate: journal writes per inference × cost per write,
+  // as a share of the baseline inference itself.
+  const double budget_pct =
+      baseline > 0.0
+          ? 100.0 * events_per_task * ns_per_event / (baseline * 1e9)
+          : 0.0;
+  json.sample("events_per_task", events_per_task);
+  json.sample("recorder_budget_pct", budget_pct);
   std::printf(
-      "\nReading: 'shutdown' prices the always-on counters/histograms and\n"
-      "span recording; 'live' adds the mid-run harvest loop (pings +\n"
-      "MetricsDump/TraceDump every 5 ms — far more aggressive than a real\n"
-      "deployment would run).  The delta between the two is the price of\n"
-      "continuous cluster health, paid outside the compute critical path.\n");
+      "\nflight recorder: %.1f event(s)/task x %.1f ns = %.4f%% of one "
+      "inference (budget: 1%%)\n",
+      events_per_task, ns_per_event, budget_pct);
+
+  std::printf(
+      "\nReading: 'recorder' prices the always-on flight recorder alone\n"
+      "(CI gates recorder_budget_pct <= 1, computed from the ns/event\n"
+      "micro-loop — wall-clock deltas at this scale are noise); 'shutdown'\n"
+      "adds counters/histograms and span recording; 'live' adds the mid-run\n"
+      "harvest loop (pings + MetricsDump/TraceDump/EventDump every 5 ms —\n"
+      "far more aggressive than a real deployment).  The shutdown->live\n"
+      "delta is the price of continuous cluster health, paid outside the\n"
+      "compute critical path.\n");
   return 0;
 }

@@ -5,6 +5,7 @@
 // invariants, not hot inner loops).
 #pragma once
 
+#include <atomic>
 #include <sstream>
 #include <stdexcept>
 #include <string>
@@ -45,8 +46,21 @@ class TimeoutError : public TransportError {
 };
 
 namespace detail {
+
+/// Observation seam: the flight recorder (obs/flight_recorder.cpp) installs
+/// a journaling hook here at startup so every PICO_CHECK failure — caught or
+/// not — lands in the crash-readable event ring.  A raw function pointer
+/// keeps common free of any obs dependency; the hook must not throw or
+/// allocate unboundedly (it runs on the failure path).
+using CheckFailedHook = void (*)(const char* expr, const char* file, int line);
+inline std::atomic<CheckFailedHook> check_failed_hook{nullptr};
+
 [[noreturn]] inline void check_failed(const char* expr, const char* file,
                                       int line, const std::string& msg) {
+  if (CheckFailedHook hook =
+          check_failed_hook.load(std::memory_order_acquire)) {
+    hook(expr, file, line);
+  }
   std::ostringstream os;
   os << "PICO_CHECK failed: (" << expr << ") at " << file << ":" << line;
   if (!msg.empty()) os << " — " << msg;

@@ -1,11 +1,33 @@
 #include "common/thread_pool.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <cstdlib>
+
+#if defined(__linux__)
+#include <pthread.h>
+#endif
 
 #include "common/error.hpp"
 
 namespace pico {
+
+namespace {
+
+/// OS-level thread name (common/ sits below obs/, so the richer
+/// obs::set_current_thread_name is out of reach here; debuggers, TSan
+/// reports and /proc/<pid>/task still see the name).
+void name_current_thread(int lane) {
+#if defined(__linux__)
+  char name[16];  // pthread limit: 15 chars + NUL
+  std::snprintf(name, sizeof(name), "pico-pool-%d", lane);
+  pthread_setname_np(pthread_self(), name);
+#else
+  (void)lane;
+#endif
+}
+
+}  // namespace
 
 ThreadPool::ThreadPool(int parallelism) {
   PICO_CHECK_MSG(parallelism >= 1 && parallelism <= kMaxThreads,
@@ -14,7 +36,10 @@ ThreadPool::ThreadPool(int parallelism) {
                                             << "]");
   workers_.reserve(static_cast<std::size_t>(parallelism - 1));
   for (int i = 1; i < parallelism; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] {
+      name_current_thread(i);
+      worker_loop();
+    });
   }
 }
 

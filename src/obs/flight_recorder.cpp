@@ -1,0 +1,554 @@
+#include "obs/flight_recorder.hpp"
+
+#include <pthread.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "common/error.hpp"
+#include "obs/trace.hpp"
+
+namespace pico::obs {
+
+// ---------------------------------------------------------------------------
+// Event vocabulary
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct CodeInfo {
+  EventCode code;
+  EventCategory category;
+  const char* name;
+};
+
+constexpr CodeInfo kCodes[] = {
+    {EventCode::None, EventCategory::Lifecycle, "none"},
+    {EventCode::ThreadStart, EventCategory::Lifecycle, "thread_start"},
+    {EventCode::PlanSwitch, EventCategory::Lifecycle, "plan_switch"},
+    {EventCode::EpochStart, EventCategory::Lifecycle, "epoch_start"},
+    {EventCode::EpochRetire, EventCategory::Lifecycle, "epoch_retire"},
+    {EventCode::TaskAccept, EventCategory::Task, "task_accept"},
+    {EventCode::TaskRetry, EventCategory::Task, "task_retry"},
+    {EventCode::TaskComplete, EventCategory::Task, "task_complete"},
+    {EventCode::TaskFail, EventCategory::Task, "task_fail"},
+    {EventCode::QueueHighWater, EventCategory::Task, "queue_highwater"},
+    {EventCode::HarvestRound, EventCategory::Harvest, "harvest_round"},
+    {EventCode::HealthStraggler, EventCategory::Health, "health_straggler"},
+    {EventCode::HealthRecovered, EventCategory::Health, "health_recovered"},
+    {EventCode::HealthModelDrift, EventCategory::Health, "health_model_drift"},
+    {EventCode::HealthUnreachable, EventCategory::Health,
+     "health_unreachable"},
+    {EventCode::HealthDeviceDown, EventCategory::Health, "health_device_down"},
+    {EventCode::TransportConnect, EventCategory::Transport,
+     "transport_connect"},
+    {EventCode::TransportTimeout, EventCategory::Transport,
+     "transport_timeout"},
+    {EventCode::TransportClose, EventCategory::Transport, "transport_close"},
+    {EventCode::WorkerServe, EventCategory::Worker, "worker_serve"},
+    {EventCode::WorkerReply, EventCategory::Worker, "worker_reply"},
+    {EventCode::WorkerShutdown, EventCategory::Worker, "worker_shutdown"},
+    {EventCode::CheckFailed, EventCategory::Check, "check_failed"},
+    {EventCode::DeviceFailure, EventCategory::Health, "device_failure"},
+    {EventCode::Postmortem, EventCategory::Check, "postmortem"},
+};
+
+constexpr const char* kCategoryNames[] = {
+    "lifecycle", "task", "harvest", "health", "transport", "worker", "check",
+};
+
+const CodeInfo* code_info(EventCode code) {
+  for (const CodeInfo& info : kCodes) {
+    if (info.code == code) return &info;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+const char* event_code_name(EventCode code) {
+  const CodeInfo* info = code_info(code);
+  return info != nullptr ? info->name : "?";
+}
+
+EventCode event_code_from_name(const char* name) {
+  if (name == nullptr) return EventCode::None;
+  for (const CodeInfo& info : kCodes) {
+    if (std::strcmp(info.name, name) == 0) return info.code;
+  }
+  return EventCode::None;
+}
+
+EventCategory event_category(EventCode code) {
+  const CodeInfo* info = code_info(code);
+  return info != nullptr ? info->category : EventCategory::Lifecycle;
+}
+
+const char* event_category_name(EventCategory category) {
+  const auto index = static_cast<std::size_t>(category);
+  if (index >= sizeof(kCategoryNames) / sizeof(kCategoryNames[0])) return "?";
+  return kCategoryNames[index];
+}
+
+// ---------------------------------------------------------------------------
+// FlightRecorder
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// Published by global() for the crash handler: reading a plain atomic is
+// async-signal-safe, running a function-local static's init guard is not.
+std::atomic<FlightRecorder*> g_recorder{nullptr};
+
+// The calling thread's display name, pointing into the recorder's
+// process-lifetime name table ("" before set_thread_name).  A plain
+// thread_local const char* is trivially destructible, so recording from TLS
+// destructors during thread teardown stays safe (the PR 5 lesson).
+thread_local const char* t_thread_name = "";
+
+void check_failed_flight_hook(const char* /*expr*/, const char* file,
+                              int line) {
+  FlightRecorder* recorder = FlightRecorder::crash_instance();
+  if (recorder == nullptr) return;
+  const char* basename = file;
+  for (const char* p = file; *p != '\0'; ++p) {
+    if (*p == '/') basename = p + 1;
+  }
+  recorder->record(EventCode::CheckFailed, line, recorder->intern(basename));
+}
+
+}  // namespace
+
+FlightRecorder::FlightRecorder() {
+  strings_[0].text[0] = '\0';  // index 0 = "" (also the overflow sentinel)
+}
+
+FlightRecorder& FlightRecorder::global() {
+  static FlightRecorder* instance = [] {
+    auto* recorder = new FlightRecorder();  // never destroyed: threads and
+    // TLS destructors may record during static teardown
+    if (const char* env = std::getenv("PICO_EVENTS");
+        env != nullptr && env[0] != '\0') {
+      const std::string value = env;
+      if (value == "0" || value == "false" || value == "off") {
+        recorder->set_enabled(false);
+      }
+    }
+    g_recorder.store(recorder, std::memory_order_release);
+    // PICO_CHECK failures are part of the causal record whether or not the
+    // throw is caught upstream (caught ones are routine wire validation —
+    // cheap to journal, interesting in hindsight).
+    detail::check_failed_hook.store(&check_failed_flight_hook,
+                                    std::memory_order_release);
+    return recorder;
+  }();
+  return *instance;
+}
+
+FlightRecorder* FlightRecorder::crash_instance() {
+  return g_recorder.load(std::memory_order_acquire);
+}
+
+FlightRecorder::ThreadRing* FlightRecorder::local_ring() {
+  // The handle claims a ring on first use and releases it (contents kept —
+  // a dead thread's final events are exactly what a postmortem wants) when
+  // the thread exits.  It touches only this never-destroyed object, so the
+  // destructor is safe at any teardown stage.
+  struct Handle {
+    FlightRecorder* owner = nullptr;
+    ThreadRing* ring = nullptr;
+    ~Handle() {
+      if (ring != nullptr) ring->owner.store(0, std::memory_order_release);
+    }
+  };
+  thread_local Handle handle;
+  if (handle.ring != nullptr && handle.owner == this) return handle.ring;
+  for (int i = 0; i < kMaxThreads; ++i) {
+    std::uint32_t expected = 0;
+    if (rings_[i].owner.compare_exchange_strong(expected, 1,
+                                                std::memory_order_acq_rel)) {
+      const std::uint32_t tid =
+          next_tid_.fetch_add(1, std::memory_order_relaxed);
+      rings_[i].tid.store(tid, std::memory_order_relaxed);
+      handle.owner = this;
+      handle.ring = &rings_[i];
+      return handle.ring;
+    }
+  }
+  return nullptr;
+}
+
+void FlightRecorder::record(EventCode code, std::int64_t a0, std::int64_t a1,
+                            std::int64_t a2, std::int64_t a3) {
+  if (!enabled_.load(std::memory_order_relaxed)) return;
+  ThreadRing* ring = local_ring();
+  if (ring == nullptr) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  const std::uint64_t seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
+  const std::uint32_t index =
+      ring->head.fetch_add(1, std::memory_order_relaxed) &
+      static_cast<std::uint32_t>(kRingSize - 1);
+  Slot& slot = ring->slots[index];
+  // Per-slot seqlock: invalidate, write payload, commit.  Readers accept a
+  // slot only when the commit word is nonzero and stable across their copy.
+  slot.seq.store(0, std::memory_order_release);
+  slot.t_ns.store(Tracer::now_ns(), std::memory_order_relaxed);
+  slot.tid.store(ring->tid.load(std::memory_order_relaxed),
+                 std::memory_order_relaxed);
+  slot.category.store(static_cast<std::uint16_t>(event_category(code)),
+                      std::memory_order_relaxed);
+  slot.code.store(static_cast<std::uint16_t>(code), std::memory_order_relaxed);
+  slot.args[0].store(a0, std::memory_order_relaxed);
+  slot.args[1].store(a1, std::memory_order_relaxed);
+  slot.args[2].store(a2, std::memory_order_relaxed);
+  slot.args[3].store(a3, std::memory_order_relaxed);
+  slot.seq.store(seq, std::memory_order_release);
+}
+
+bool FlightRecorder::read_slot(int ring, int slot, EventRecord* out) const {
+  if (ring < 0 || ring >= kMaxThreads || slot < 0 || slot >= kRingSize) {
+    return false;
+  }
+  const Slot& s = rings_[ring].slots[slot];
+  const std::uint64_t before = s.seq.load(std::memory_order_acquire);
+  if (before == 0) return false;
+  // Acquire payload loads keep the validation re-read below from being
+  // reordered before any of them (a later load cannot move ahead of an
+  // acquire load) — the fence-free seqlock reader; an overwrite racing
+  // this copy changes the commit word and the copy is discarded.
+  // (atomic_thread_fence would also work but trips gcc's -Wtsan.)
+  out->t_ns = s.t_ns.load(std::memory_order_acquire);
+  out->tid = s.tid.load(std::memory_order_acquire);
+  out->category = s.category.load(std::memory_order_acquire);
+  out->code = s.code.load(std::memory_order_acquire);
+  for (int a = 0; a < 4; ++a) {
+    out->args[a] = s.args[a].load(std::memory_order_acquire);
+  }
+  const std::uint64_t after = s.seq.load(std::memory_order_relaxed);
+  if (after != before) return false;
+  out->seq = before;
+  return true;
+}
+
+EventChunk FlightRecorder::chunk(std::uint64_t cursor) const {
+  EventChunk out;
+  out.base = cursor;
+  out.next = cursor;
+  for (int ring = 0; ring < kMaxThreads; ++ring) {
+    for (int slot = 0; slot < kRingSize; ++slot) {
+      EventRecord record;
+      if (!read_slot(ring, slot, &record)) continue;
+      if (record.seq <= cursor) continue;
+      out.events.push_back(record);
+    }
+  }
+  std::sort(out.events.begin(), out.events.end(),
+            [](const EventRecord& a, const EventRecord& b) {
+              return a.seq < b.seq;
+            });
+  if (!out.events.empty()) {
+    out.base = out.events.front().seq;
+    out.next = out.events.back().seq;
+  }
+  return out;
+}
+
+void FlightRecorder::clear() {
+  for (ThreadRing& ring : rings_) {
+    for (Slot& slot : ring.slots) {
+      slot.seq.store(0, std::memory_order_release);
+    }
+  }
+  dropped_.store(0, std::memory_order_relaxed);
+}
+
+std::uint16_t FlightRecorder::intern(const char* text) {
+  if (text == nullptr || text[0] == '\0') return 0;
+  char bounded[kStringBytes];
+  std::strncpy(bounded, text, kStringBytes - 1);
+  bounded[kStringBytes - 1] = '\0';
+  for (;;) {
+    const int count = string_count_.load(std::memory_order_acquire);
+    for (int i = 0; i < count; ++i) {
+      if (std::strcmp(strings_[i].text, bounded) == 0) {
+        return static_cast<std::uint16_t>(i);
+      }
+    }
+    if (count >= kMaxStrings) return 0;  // table full: degrade to ""
+    int expected = count;
+    // Reserve the slot first; losers rescan (the winner may have interned
+    // the same string).
+    if (!string_count_.compare_exchange_strong(expected, count + 1,
+                                               std::memory_order_acq_rel)) {
+      continue;
+    }
+    std::memcpy(strings_[count].text, bounded, kStringBytes);
+    return static_cast<std::uint16_t>(count);
+  }
+}
+
+const char* FlightRecorder::string_at(std::uint16_t index) const {
+  if (index >= static_cast<std::uint16_t>(
+                   string_count_.load(std::memory_order_acquire))) {
+    return "";
+  }
+  return strings_[index].text;
+}
+
+void FlightRecorder::set_thread_name(const char* name) {
+  char bounded[kNameBytes];
+  std::strncpy(bounded, name != nullptr ? name : "", kNameBytes - 1);
+  bounded[kNameBytes - 1] = '\0';
+  // pico-lint: allow(unchecked-status): naming is cosmetic; a too-long or
+  // unsupported name must not fail the thread being named
+  pthread_setname_np(pthread_self(), bounded);
+  const std::uint32_t tid = current_tid();
+  const int index = name_count_.fetch_add(1, std::memory_order_acq_rel);
+  if (index < kMaxThreadNames) {
+    std::memcpy(names_[index].name, bounded, kNameBytes);
+    names_[index].tid.store(tid, std::memory_order_release);
+    t_thread_name = names_[index].name;
+  } else {
+    name_count_.store(kMaxThreadNames, std::memory_order_relaxed);
+  }
+  record(EventCode::ThreadStart, tid);
+}
+
+std::uint32_t FlightRecorder::current_tid() {
+  ThreadRing* ring = local_ring();
+  return ring != nullptr ? ring->tid.load(std::memory_order_relaxed) : 0;
+}
+
+const char* FlightRecorder::current_thread_name() { return t_thread_name; }
+
+std::vector<FlightRecorder::ThreadName> FlightRecorder::thread_names() const {
+  std::vector<ThreadName> out;
+  const int count =
+      std::min(name_count_.load(std::memory_order_acquire), kMaxThreadNames);
+  for (int i = 0; i < count; ++i) {
+    ThreadName entry;
+    entry.tid = names_[i].tid.load(std::memory_order_acquire);
+    if (entry.tid == 0) continue;  // claimed but not yet committed
+    std::memcpy(entry.name, names_[i].name, kNameBytes);
+    out.push_back(entry);
+  }
+  return out;
+}
+
+int FlightRecorder::thread_names_raw(ThreadName* out, int cap) const {
+  const int count =
+      std::min(name_count_.load(std::memory_order_acquire), kMaxThreadNames);
+  int copied = 0;
+  for (int i = 0; i < count && copied < cap; ++i) {
+    const std::uint32_t tid = names_[i].tid.load(std::memory_order_acquire);
+    if (tid == 0) continue;
+    out[copied].tid = tid;
+    std::memcpy(out[copied].name, names_[i].name, kNameBytes);
+    ++copied;
+  }
+  return copied;
+}
+
+void set_current_thread_name(const char* name) {
+  FlightRecorder::global().set_thread_name(name);
+}
+
+// ---------------------------------------------------------------------------
+// Event wire codec (EventDump payload)
+// ---------------------------------------------------------------------------
+
+namespace {
+
+constexpr std::uint32_t kEventMagicV1 = 0x50455631;  // "PEV1"
+
+template <typename T>
+void put(std::vector<std::uint8_t>& out, T value) {
+  const auto offset = out.size();
+  out.resize(offset + sizeof(T));
+  std::memcpy(out.data() + offset, &value, sizeof(T));
+}
+
+void put_string(std::vector<std::uint8_t>& out, const std::string& text) {
+  put<std::uint32_t>(out, static_cast<std::uint32_t>(text.size()));
+  const auto offset = out.size();
+  out.resize(offset + text.size());
+  if (!text.empty()) std::memcpy(out.data() + offset, text.data(), text.size());
+}
+
+template <typename T>
+T take(const std::uint8_t*& cursor, const std::uint8_t* end) {
+  if (cursor + sizeof(T) > end) {
+    throw TransportError("event buffer truncated");
+  }
+  T value;
+  std::memcpy(&value, cursor, sizeof(T));
+  cursor += sizeof(T);
+  return value;
+}
+
+std::string take_string(const std::uint8_t*& cursor, const std::uint8_t* end) {
+  const auto size = take<std::uint32_t>(cursor, end);
+  if (size > static_cast<std::size_t>(end - cursor)) {
+    throw TransportError("event buffer truncated");
+  }
+  std::string text(reinterpret_cast<const char*>(cursor), size);
+  cursor += size;
+  return text;
+}
+
+/// Fixed wire cost of one EventRecord (seq + t_ns + tid + cat + code + args).
+constexpr std::size_t kEventWireBytes = 8 + 8 + 4 + 2 + 2 + 4 * 8;
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_events(const EventChunk& chunk) {
+  std::vector<std::uint8_t> out;
+  put<std::uint32_t>(out, kEventMagicV1);
+  put<std::uint64_t>(out, chunk.base);
+  put<std::uint64_t>(out, chunk.next);
+  put<std::uint32_t>(out, static_cast<std::uint32_t>(chunk.events.size()));
+  for (const EventRecord& event : chunk.events) {
+    put<std::uint64_t>(out, event.seq);
+    put<std::int64_t>(out, event.t_ns);
+    put<std::uint32_t>(out, event.tid);
+    put<std::uint16_t>(out, event.category);
+    put<std::uint16_t>(out, event.code);
+    for (const std::int64_t arg : event.args) put<std::int64_t>(out, arg);
+  }
+  // Thread-name and string tables travel with the events so a harvested
+  // ring renders (and a retained black box replays) without the worker.
+  const FlightRecorder& recorder = FlightRecorder::global();
+  const auto names = recorder.thread_names();
+  put<std::uint32_t>(out, static_cast<std::uint32_t>(names.size()));
+  for (const auto& name : names) {
+    put<std::uint32_t>(out, name.tid);
+    put_string(out, name.name);
+  }
+  const int strings = recorder.string_count();
+  put<std::uint32_t>(out, static_cast<std::uint32_t>(strings));
+  for (int i = 0; i < strings; ++i) {
+    put_string(out, recorder.string_at(static_cast<std::uint16_t>(i)));
+  }
+  return out;
+}
+
+EventChunk decode_events(const std::uint8_t* data, std::size_t size) {
+  const std::uint8_t* cursor = data;
+  const std::uint8_t* end = data + size;
+  const auto magic = take<std::uint32_t>(cursor, end);
+  if (magic != kEventMagicV1) {
+    throw TransportError("bad event buffer magic");
+  }
+  EventChunk chunk;
+  chunk.base = take<std::uint64_t>(cursor, end);
+  chunk.next = take<std::uint64_t>(cursor, end);
+  const auto count = take<std::uint32_t>(cursor, end);
+  // Wire-taint bound: each record costs exactly kEventWireBytes, so a count
+  // the remaining bytes cannot hold is corruption, not data.
+  if (count > static_cast<std::size_t>(end - cursor) / kEventWireBytes) {
+    throw TransportError("event count implausible");
+  }
+  chunk.events.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    EventRecord event;
+    event.seq = take<std::uint64_t>(cursor, end);
+    event.t_ns = take<std::int64_t>(cursor, end);
+    event.tid = take<std::uint32_t>(cursor, end);
+    event.category = take<std::uint16_t>(cursor, end);
+    event.code = take<std::uint16_t>(cursor, end);
+    for (int a = 0; a < 4; ++a) event.args[a] = take<std::int64_t>(cursor, end);
+    chunk.events.push_back(event);
+  }
+  // The tables are decoded for validation (and future use by callers that
+  // want remote names); the chunk itself carries only events.  Each table
+  // entry costs at least its length prefix, bounding both counts.
+  const auto names = take<std::uint32_t>(cursor, end);
+  if (names > static_cast<std::size_t>(end - cursor) / 8) {
+    throw TransportError("event thread-name count implausible");
+  }
+  for (std::uint32_t i = 0; i < names; ++i) {
+    take<std::uint32_t>(cursor, end);  // tid
+    take_string(cursor, end);
+  }
+  const auto strings = take<std::uint32_t>(cursor, end);
+  if (strings > static_cast<std::size_t>(end - cursor) / 4 + 1) {
+    throw TransportError("event string count implausible");
+  }
+  for (std::uint32_t i = 0; i < strings; ++i) take_string(cursor, end);
+  if (cursor != end) throw TransportError("event buffer trailing bytes");
+  return chunk;
+}
+
+// ---------------------------------------------------------------------------
+// PendingSpanTable
+// ---------------------------------------------------------------------------
+
+PendingSpanTable& PendingSpanTable::global() {
+  static PendingSpanTable* instance = new PendingSpanTable();  // never
+  return *instance;  // destroyed: spans may close during static teardown
+}
+
+int PendingSpanTable::claim(const Entry& entry) {
+  const std::uint32_t hint = FlightRecorder::global().current_tid();
+  for (int probe = 0; probe < kSlots; ++probe) {
+    const int index = static_cast<int>((hint + probe) % kSlots);
+    Slot& slot = slots_[index];
+    std::uint32_t expected = 0;
+    if (!slot.state.compare_exchange_strong(expected, 1,
+                                            std::memory_order_acq_rel)) {
+      continue;
+    }
+    std::uint64_t words[3] = {0, 0, 0};
+    std::memcpy(words, entry.name,
+                std::min(sizeof(words), sizeof(entry.name)));
+    for (int w = 0; w < 3; ++w) {
+      slot.name_words[w].store(words[w], std::memory_order_relaxed);
+    }
+    slot.start_ns.store(entry.start_ns, std::memory_order_relaxed);
+    slot.track.store(entry.track, std::memory_order_relaxed);
+    slot.task_id.store(entry.task_id, std::memory_order_relaxed);
+    slot.tid.store(entry.tid, std::memory_order_relaxed);
+    slot.state.store(2, std::memory_order_release);
+    return index;
+  }
+  return -1;
+}
+
+void PendingSpanTable::release(int slot) {
+  if (slot < 0 || slot >= kSlots) return;
+  slots_[slot].state.store(0, std::memory_order_release);
+}
+
+bool PendingSpanTable::read_slot(int slot, Entry* out) const {
+  if (slot < 0 || slot >= kSlots) return false;
+  const Slot& s = slots_[slot];
+  if (s.state.load(std::memory_order_acquire) != 2) return false;
+  // Acquire payload loads order the validation re-read after the copy
+  // (fence-free seqlock reader; atomic_thread_fence trips gcc's -Wtsan).
+  std::uint64_t words[3];
+  for (int w = 0; w < 3; ++w) {
+    words[w] = s.name_words[w].load(std::memory_order_acquire);
+  }
+  std::memcpy(out->name, words, sizeof(out->name));
+  out->name[kNameBytes - 1] = '\0';
+  out->start_ns = s.start_ns.load(std::memory_order_acquire);
+  out->track = s.track.load(std::memory_order_acquire);
+  out->task_id = s.task_id.load(std::memory_order_acquire);
+  out->tid = s.tid.load(std::memory_order_acquire);
+  return s.state.load(std::memory_order_relaxed) == 2;
+}
+
+std::vector<PendingSpanTable::Entry> PendingSpanTable::snapshot() const {
+  std::vector<Entry> out;
+  for (int i = 0; i < kSlots; ++i) {
+    Entry entry;
+    if (read_slot(i, &entry)) out.push_back(entry);
+  }
+  return out;
+}
+
+}  // namespace pico::obs

@@ -1,0 +1,309 @@
+// Flight recorder: the cluster's always-on black box.
+//
+// A bounded, lock-free, per-thread ring journal of structured control-plane
+// events — plan switches, epoch transitions, task accept/retry/complete,
+// queue highwater, harvest rounds, health verdicts, transport
+// connect/timeout/close.  It completes the observability stack's third leg:
+// metrics answer "how much", traces answer "how long", the flight recorder
+// answers "what did the runtime decide, in what order" — and, because the
+// rings are crash-readable, it still answers after a SIGSEGV (see
+// obs/postmortem.hpp).
+//
+// Design constraints, in priority order:
+//   1. Always on.  record() must be cheap enough (≲100 ns) to leave enabled
+//      in production: one global relaxed fetch_add for the merge order, one
+//      per-thread ring index bump, eleven relaxed atomic stores.  No locks,
+//      no allocation, ever.  PICO_EVENTS=0 reduces it to one relaxed load.
+//   2. Crash-readable.  All storage is reachable from a raw pointer
+//      published before any handler can run; the dump path in postmortem.cpp
+//      walks it with the *_raw accessors below — no locks, no allocation,
+//      async-signal-safe.  Records commit via a per-slot seqlock (payload
+//      stores bracketed by release stores of the sequence word), so a torn
+//      in-progress record is detected and skipped rather than mis-parsed.
+//   3. TSan-clean.  Every cross-thread-visible field of a ring slot is a
+//      relaxed atomic; the seqlock commit word carries the release/acquire
+//      edge.  No bare shared state (the repo's standing requirement).
+//
+// Events carry up to four integer args; rare strings (scheme names, file
+// names) go through a small append-only intern table and travel as indices.
+// Thread identity is a claim-ordered small integer (tid) mapped to a
+// human-readable name by set_thread_name(), which also names the OS thread
+// (pthread_setname_np) so TSan reports and debuggers agree with the journal.
+//
+// The coordinator pulls worker rings over the control plane (EventDump verb,
+// message.hpp) with the span-cursor protocol: chunk(cursor) returns every
+// committed event with seq > cursor plus [base, next].  Unlike SpanBuffer
+// the storage is a ring — old events are overwritten, never retained for
+// re-delivery — so base > cursor + 1 signals a gap (the overwritten span of
+// history), which the harvester tolerates by design.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+namespace pico::obs {
+
+/// What happened.  Codes are wire-stable: append only, never renumber.
+enum class EventCode : std::uint16_t {
+  None = 0,
+  ThreadStart = 1,       ///< a0 = tid (name in the thread table)
+  PlanSwitch = 2,        ///< a0/a1 = from/to scheme (string idx), a2 = epoch
+  EpochStart = 3,        ///< a0 = epoch, a1 = devices
+  EpochRetire = 4,       ///< a0 = epoch, a1 = first dead device (-1 none)
+  TaskAccept = 5,        ///< a0 = task
+  TaskRetry = 6,         ///< a0 = task, a1 = attempt, a2 = epoch
+  TaskComplete = 7,      ///< a0 = task
+  TaskFail = 8,          ///< a0 = task, a1 = attempts
+  QueueHighWater = 9,    ///< a0 = in-flight tasks (new admission highwater)
+  HarvestRound = 10,     ///< a0 = round, a1 = reachable, a2 = devices
+  HealthStraggler = 11,  ///< a0 = device, a1 = stage
+  HealthRecovered = 12,  ///< a0 = device
+  HealthModelDrift = 13, ///< a0 = stage
+  HealthUnreachable = 14,///< a0 = device
+  HealthDeviceDown = 15, ///< a0 = device, a1 = round
+  TransportConnect = 16, ///< a0 = port (tcp) or 0 (in-process)
+  TransportTimeout = 17, ///< a0 = mid_frame (0/1)
+  TransportClose = 18,   ///< a0 = fd (tcp) or 0
+  WorkerServe = 19,      ///< a0 = task, a1 = first layer, a2 = device
+  WorkerReply = 20,      ///< a0 = task, a1 = device
+  WorkerShutdown = 21,   ///< a0 = device
+  CheckFailed = 22,      ///< a0 = line, a1 = file basename (string idx)
+  DeviceFailure = 23,    ///< a0 = device, a1 = stage (-1 = heartbeat)
+  Postmortem = 24,       ///< a0 = signal number (0 = terminate/manual)
+};
+
+/// Coarse grouping for filters and rendering.
+enum class EventCategory : std::uint16_t {
+  Lifecycle = 0,
+  Task = 1,
+  Harvest = 2,
+  Health = 3,
+  Transport = 4,
+  Worker = 5,
+  Check = 6,
+};
+
+/// Stable lowercase identifier ("task_accept"); "?" for unknown codes.
+const char* event_code_name(EventCode code);
+/// Inverse of event_code_name; EventCode::None when unknown.
+EventCode event_code_from_name(const char* name);
+EventCategory event_category(EventCode code);
+const char* event_category_name(EventCategory category);
+
+/// One committed journal entry — plain data, trivially copyable, the unit
+/// the wire codec and the postmortem dump both move verbatim.
+struct EventRecord {
+  std::uint64_t seq = 0;   ///< global merge order (1-based; 0 = empty slot)
+  std::int64_t t_ns = 0;   ///< Tracer::now_ns() at record time (local clock)
+  std::uint32_t tid = 0;   ///< recorder thread id (claim order, 1-based)
+  std::uint16_t category = 0;  ///< EventCategory
+  std::uint16_t code = 0;      ///< EventCode
+  std::int64_t args[4] = {0, 0, 0, 0};
+};
+
+/// One cursor-delimited slice of the merged journal (EventDump reply).
+/// base > cursor + 1 means events (cursor, base) were overwritten before
+/// this pull — the ring's bounded-history contract, not an error.
+struct EventChunk {
+  std::uint64_t base = 0;  ///< seq of the first event included (cursor if none)
+  std::uint64_t next = 0;  ///< cursor to present next round
+  std::vector<EventRecord> events;  ///< sorted by seq, all > request cursor
+};
+
+class FlightRecorder {
+ public:
+  static constexpr int kMaxThreads = 64;       ///< concurrent recording threads
+  static constexpr int kRingSize = 256;        ///< events kept per thread
+  static constexpr int kMaxStrings = 128;      ///< intern table capacity
+  static constexpr int kStringBytes = 48;      ///< max interned length (w/ NUL)
+  static constexpr int kMaxThreadNames = 128;  ///< thread-name log capacity
+  static constexpr int kNameBytes = 16;        ///< pthread name limit (w/ NUL)
+
+  /// Process-wide instance, allocated once and never destroyed (worker and
+  /// TLS-destructor paths may record during static teardown).  First call
+  /// reads PICO_EVENTS (unset/non-zero = on, "0" = off).
+  static FlightRecorder& global();
+
+  /// The instance pointer if global() has run, else nullptr.  The crash
+  /// handler reads this instead of calling global(): a function-local
+  /// static's init guard is not async-signal-safe.
+  static FlightRecorder* crash_instance();
+
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  void set_enabled(bool enabled) {
+    enabled_.store(enabled, std::memory_order_relaxed);
+  }
+
+  /// Append one event to the calling thread's ring.  Lock-free, allocation
+  /// free; drops (counted) if more than kMaxThreads threads record at once.
+  void record(EventCode code, std::int64_t a0 = 0, std::int64_t a1 = 0,
+              std::int64_t a2 = 0, std::int64_t a3 = 0);
+
+  /// Intern a short string, returning its stable table index (0 = the empty
+  /// string, also the overflow sentinel).  Linear-scan dedup — call on rare
+  /// paths only (plan switches, check failures), never per task.
+  std::uint16_t intern(const char* text);
+  /// Table lookup; "" for out-of-range indices.
+  const char* string_at(std::uint16_t index) const;
+  int string_count() const {
+    return string_count_.load(std::memory_order_acquire);
+  }
+
+  /// Name the calling thread: sets the OS thread name (pthread_setname_np,
+  /// truncated to 15 chars), logs {tid, name} in the thread table, and
+  /// records a ThreadStart event.
+  void set_thread_name(const char* name);
+  /// Recorder tid of the calling thread (claims a ring if needed); 0 if the
+  /// ring table is exhausted.
+  std::uint32_t current_tid();
+  /// The calling thread's name as set by set_thread_name ("" before).
+  /// Pointer valid for the process lifetime.
+  const char* current_thread_name();
+
+  struct ThreadName {
+    std::uint32_t tid = 0;
+    char name[kNameBytes] = {};
+  };
+  std::vector<ThreadName> thread_names() const;
+
+  /// Every committed event, merged across rings and sorted by seq.
+  std::vector<EventRecord> snapshot() const { return chunk(0).events; }
+  /// Events with seq > cursor, sorted; see EventChunk for gap semantics.
+  EventChunk chunk(std::uint64_t cursor) const;
+  /// Sequence the next record() will take.
+  std::uint64_t next_seq() const {
+    return next_seq_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t dropped() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+
+  /// Empty every ring (sequence numbers stay monotone — cursors held by
+  /// harvesters remain valid).  Test isolation only.
+  void clear();
+
+  // -- crash-path raw accessors (async-signal-safe: no locks, no allocation,
+  //    bounded work; see postmortem.cpp for the full signal-safety argument)
+
+  int ring_count() const { return kMaxThreads; }
+  int ring_size() const { return kRingSize; }
+  /// Seqlock-read one slot into `out`; false when empty or torn (a record
+  /// being overwritten concurrently — skip it, the journal is best-effort
+  /// by design at the crash boundary).
+  bool read_slot(int ring, int slot, EventRecord* out) const;
+  /// Copy up to `cap` thread-name entries; returns the count copied.
+  int thread_names_raw(ThreadName* out, int cap) const;
+  /// Raw intern-table row (NUL-terminated, process-lifetime storage).
+  const char* string_raw(int index) const { return strings_[index].text; }
+
+ private:
+  FlightRecorder();
+
+  struct Slot {
+    std::atomic<std::uint64_t> seq{0};  ///< commit word, 0 = empty/in-progress
+    std::atomic<std::int64_t> t_ns{0};
+    std::atomic<std::uint32_t> tid{0};
+    std::atomic<std::uint16_t> category{0};
+    std::atomic<std::uint16_t> code{0};
+    std::atomic<std::int64_t> args[4];
+  };
+
+  struct ThreadRing {
+    std::atomic<std::uint32_t> owner{0};  ///< 0 = free, 1 = claimed
+    std::atomic<std::uint32_t> tid{0};    ///< claim-ordered id of the owner
+    std::atomic<std::uint32_t> head{0};   ///< next write position (monotone)
+    Slot slots[kRingSize];
+  };
+
+  struct InternedString {
+    char text[kStringBytes] = {};
+  };
+
+  struct NameEntry {
+    std::atomic<std::uint32_t> tid{0};
+    char name[kNameBytes] = {};
+  };
+
+  /// The calling thread's ring, claimed on first use and released (contents
+  /// retained) when the thread exits; nullptr when all rings are taken.
+  ThreadRing* local_ring();
+
+  std::atomic<bool> enabled_{true};
+  std::atomic<std::uint64_t> next_seq_{1};
+  std::atomic<std::uint64_t> dropped_{0};
+  std::atomic<std::uint32_t> next_tid_{1};
+  ThreadRing rings_[kMaxThreads];
+  InternedString strings_[kMaxStrings];
+  std::atomic<int> string_count_{1};  ///< slot 0 = ""
+  NameEntry names_[kMaxThreadNames];
+  std::atomic<int> name_count_{0};
+};
+
+/// Convenience: FlightRecorder::global().record(...) — the one-liner every
+/// instrumentation site uses.
+inline void record_event(EventCode code, std::int64_t a0 = 0,
+                         std::int64_t a1 = 0, std::int64_t a2 = 0,
+                         std::int64_t a3 = 0) {
+  FlightRecorder::global().record(code, a0, a1, a2, a3);
+}
+
+/// Name the calling thread everywhere at once (OS, recorder, spans).
+void set_current_thread_name(const char* name);
+
+/// Binary encoding of an event chunk — the EventDump wire payload ("PEV1":
+/// header, fixed-width records, then the thread-name and string tables so a
+/// harvested ring renders without the worker process).  decode_events
+/// throws TransportError on a malformed buffer (wire-taint: every count is
+/// bounds-checked against the remaining bytes before use).
+std::vector<std::uint8_t> encode_events(const EventChunk& chunk);
+EventChunk decode_events(const std::uint8_t* data, std::size_t size);
+
+// -- pending-span table ------------------------------------------------------
+
+/// Crash-visible registry of the spans currently *open* (obs::Span objects
+/// alive right now).  A fixed slot table of POD copies with a per-slot
+/// state word: the Span constructor claims a slot and commits a copy of the
+/// identifying fields, the destructor releases it.  The postmortem dump
+/// walks committed slots — "what was the process in the middle of" — which
+/// the completed-span trace cannot answer (a span interrupted by SIGSEGV is
+/// never recorded).  Only engaged while tracing is enabled, so the recorder
+/// ≤1% budget is unaffected.
+class PendingSpanTable {
+ public:
+  static constexpr int kSlots = 128;
+  static constexpr int kNameBytes = 24;
+
+  struct Entry {
+    char name[kNameBytes] = {};
+    std::int64_t start_ns = 0;
+    std::int64_t track = 0;
+    std::int64_t task_id = -1;
+    std::uint32_t tid = 0;
+  };
+
+  static PendingSpanTable& global();
+
+  /// Claim a slot and commit `entry`; -1 when full (span goes untracked).
+  int claim(const Entry& entry);
+  void release(int slot);
+
+  int slot_count() const { return kSlots; }
+  /// Seqlock-read one slot; false when free or mid-transition.
+  bool read_slot(int slot, Entry* out) const;
+  /// All committed entries (test/report convenience; allocates).
+  std::vector<Entry> snapshot() const;
+
+ private:
+  struct Slot {
+    std::atomic<std::uint32_t> state{0};  ///< 0 free, 1 claiming, 2 committed
+    std::atomic<std::uint64_t> name_words[3];  ///< packed kNameBytes
+    std::atomic<std::int64_t> start_ns{0};
+    std::atomic<std::int64_t> track{0};
+    std::atomic<std::int64_t> task_id{0};
+    std::atomic<std::uint32_t> tid{0};
+  };
+  Slot slots_[kSlots];
+};
+
+}  // namespace pico::obs

@@ -73,6 +73,26 @@ void Harvester::push_event(HealthEvent event) {
       .counter("pico_health_events_total",
                {{"kind", health_event_kind_name(event.kind)}})
       .add(1);
+  // Mirror every health verdict into the flight recorder so a postmortem —
+  // or a harvested black box — carries the cluster's judgement inline with
+  // the task and transport events it judged.
+  switch (event.kind) {
+    case HealthEventKind::Straggler:
+      record_event(EventCode::HealthStraggler, event.device, event.stage);
+      break;
+    case HealthEventKind::Recovered:
+      record_event(EventCode::HealthRecovered, event.device);
+      break;
+    case HealthEventKind::ModelDrift:
+      record_event(EventCode::HealthModelDrift, event.stage);
+      break;
+    case HealthEventKind::Unreachable:
+      record_event(EventCode::HealthUnreachable, event.device);
+      break;
+    case HealthEventKind::DeviceDown:
+      record_event(EventCode::HealthDeviceDown, event.device, event.round);
+      break;
+  }
   events_.push_back(std::move(event));
   if (events_.size() > options_.max_events) {
     events_.erase(events_.begin(),
@@ -126,6 +146,7 @@ void Harvester::note_worker(const WorkerTelemetry& round) {
       detail << "heartbeat: " << status.missed_rounds
              << " consecutive harvest round trips failed";
       event.detail = detail.str();
+      event.blackbox = status.blackbox;  // last known flight recording
       push_event(std::move(event));
     }
   }
@@ -134,6 +155,20 @@ void Harvester::note_worker(const WorkerTelemetry& round) {
   status.cursor = std::max(status.cursor, round.next_cursor);
   status.offset_ns = round.offset_ns;
   status.rtt_ns = round.rtt_ns;
+  // Retain the device's flight recording, bounded: keep the newest
+  // kMaxBlackboxEvents — the tail is what explains a death.
+  if (!round.events.empty()) {
+    constexpr std::size_t kMaxBlackboxEvents = 1024;
+    status.blackbox.insert(status.blackbox.end(), round.events.begin(),
+                           round.events.end());
+    if (status.blackbox.size() > kMaxBlackboxEvents) {
+      status.blackbox.erase(
+          status.blackbox.begin(),
+          status.blackbox.begin() +
+              static_cast<std::ptrdiff_t>(status.blackbox.size() -
+                                          kMaxBlackboxEvents));
+    }
+  }
 }
 
 void Harvester::note_device_down(int device, const std::string& detail) {
@@ -147,6 +182,7 @@ void Harvester::note_device_down(int device, const std::string& detail) {
   event.device = device;
   event.round = rounds_ + 1;
   event.detail = detail;
+  event.blackbox = status.blackbox;  // last known flight recording
   push_event(std::move(event));
 }
 

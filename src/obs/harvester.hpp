@@ -118,6 +118,10 @@ class Harvester {
     std::uint64_t cursor = 0;
     std::int64_t offset_ns = 0;
     std::int64_t rtt_ns = 0;
+    /// Last harvested flight-recorder events (bounded; newest kept).  This
+    /// is the black box retained for the device: when it is declared dead,
+    /// a copy rides on the DeviceDown HealthEvent.
+    std::vector<EventRecord> blackbox;
   };
 
   void push_event(HealthEvent event) PICO_REQUIRES(mutex_);

@@ -25,6 +25,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/flight_recorder.hpp"
+
 namespace pico::obs {
 
 enum class HealthEventKind {
@@ -49,6 +51,10 @@ struct HealthEvent {
   double threshold = 0.0;  ///< the limit it crossed
   std::int64_t round = 0;  ///< harvest round that raised it
   std::string detail;
+  /// DeviceDown only: the device's last harvested flight recording (its
+  /// black box) — timestamps already rebased onto the coordinator clock.
+  /// Empty for every other kind, and when no EventDump ever succeeded.
+  std::vector<EventRecord> blackbox;
 };
 
 // ---------------------------------------------------------------------------

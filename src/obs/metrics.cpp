@@ -213,13 +213,52 @@ Registry::Slot& Registry::slot(const std::string& name,
   return *it->second;
 }
 
+void Registry::publish_crash_slot(const Slot& slot) {
+  // Called under mutex_ right after the slot's kind pointer is set: from
+  // here on the Slot is immutable apart from its metric values (relaxed
+  // atomics), so the lock-free crash reader sees a consistent series.
+  const int index = crash_count_.load(std::memory_order_relaxed);
+  if (index >= kCrashSlotCap) return;
+  crash_slots_[index].store(&slot, std::memory_order_release);
+  crash_count_.store(index + 1, std::memory_order_release);
+}
+
+bool Registry::crash_metric(int index, CrashMetricView* out) const {
+  if (index < 0 || index >= crash_count_.load(std::memory_order_acquire)) {
+    return false;
+  }
+  const Slot* slot = crash_slots_[index].load(std::memory_order_acquire);
+  if (slot == nullptr) return false;
+  out->name = slot->name.c_str();
+  out->labels = slot->labels_text.c_str();
+  if (slot->counter) {
+    out->kind = 0;
+    out->count = slot->counter->value();
+    out->value = 0.0;
+  } else if (slot->gauge) {
+    out->kind = 1;
+    out->count = 0;
+    out->value = slot->gauge->value();
+  } else if (slot->histogram) {
+    out->kind = 2;
+    out->count = slot->histogram->count();
+    out->value = slot->histogram->sum();
+  } else {
+    return false;
+  }
+  return true;
+}
+
 Counter& Registry::counter(const std::string& name,
                            const std::vector<Label>& labels) {
   MutexLock lock(mutex_);
   Slot& s = slot(name, labels);
   PICO_CHECK_MSG(!s.gauge && !s.histogram,
                  "metric " << name << " already registered with another kind");
-  if (!s.counter) s.counter = std::make_unique<Counter>();
+  if (!s.counter) {
+    s.counter = std::make_unique<Counter>();
+    publish_crash_slot(s);
+  }
   return *s.counter;
 }
 
@@ -229,7 +268,10 @@ Gauge& Registry::gauge(const std::string& name,
   Slot& s = slot(name, labels);
   PICO_CHECK_MSG(!s.counter && !s.histogram,
                  "metric " << name << " already registered with another kind");
-  if (!s.gauge) s.gauge = std::make_unique<Gauge>();
+  if (!s.gauge) {
+    s.gauge = std::make_unique<Gauge>();
+    publish_crash_slot(s);
+  }
   return *s.gauge;
 }
 
@@ -239,7 +281,10 @@ Histogram& Registry::histogram(const std::string& name,
   Slot& s = slot(name, labels);
   PICO_CHECK_MSG(!s.counter && !s.gauge,
                  "metric " << name << " already registered with another kind");
-  if (!s.histogram) s.histogram = std::make_unique<Histogram>();
+  if (!s.histogram) {
+    s.histogram = std::make_unique<Histogram>();
+    publish_crash_slot(s);
+  }
   return *s.histogram;
 }
 

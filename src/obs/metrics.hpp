@@ -150,6 +150,33 @@ class Registry {
   /// remain valid — this is how tools isolate consecutive runs.
   void reset_values();
 
+  // -- crash-path view --------------------------------------------------
+  // The postmortem dump (obs/postmortem.cpp) must read the registry from a
+  // signal handler: no locks (the crashing thread may hold mutex_), no
+  // allocation.  Registration therefore also publishes each slot into a
+  // fixed append-only pointer array — release-stored *after* the slot's
+  // kind is final, so a published Slot is immutable apart from its metric
+  // values (relaxed atomics, safe to read at any instant).
+
+  /// Upper bound on crash-visible metric series; later registrations still
+  /// work, they are just absent from postmortems.
+  static constexpr int kCrashSlotCap = 512;
+
+  struct CrashMetricView {
+    const char* name = "";    ///< process-lifetime storage
+    const char* labels = "";  ///< rendered `{k="v",...}` or ""
+    int kind = 0;             ///< 0 counter, 1 gauge, 2 histogram
+    std::int64_t count = 0;   ///< counter value / histogram count
+    double value = 0.0;       ///< gauge value / histogram sum
+  };
+
+  /// Published series so far (async-signal-safe).
+  int crash_metric_count() const {
+    return crash_count_.load(std::memory_order_acquire);
+  }
+  /// Read one published series (async-signal-safe); false out of range.
+  bool crash_metric(int index, CrashMetricView* out) const;
+
  private:
   struct Slot {
     std::string name;
@@ -161,11 +188,15 @@ class Registry {
 
   Slot& slot(const std::string& name, const std::vector<Label>& labels)
       PICO_REQUIRES(mutex_);
+  void publish_crash_slot(const Slot& slot) PICO_REQUIRES(mutex_);
 
   mutable Mutex mutex_;
   // Keyed by name + rendered labels; std::map keeps the dump sorted so all
   // series of one metric family are adjacent.
   std::map<std::string, std::unique_ptr<Slot>> slots_ PICO_GUARDED_BY(mutex_);
+  // Crash-path view: written under mutex_ (registration), read lock-free.
+  std::atomic<int> crash_count_{0};
+  std::atomic<const Slot*> crash_slots_[kCrashSlotCap] = {};
 };
 
 }  // namespace pico::obs

@@ -1,0 +1,712 @@
+#include "obs/postmortem.hpp"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <exception>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace pico::obs {
+
+// ---------------------------------------------------------------------------
+// Dump path (async-signal-safe)
+// ---------------------------------------------------------------------------
+
+namespace {
+
+std::atomic<bool> g_installed{false};
+std::atomic<bool> g_dumped{false};
+std::atomic<int> g_dirfd{-1};
+char g_dir[256] = ".";
+char g_path[320] = "";  // display path for the *current* process
+
+/// Buffered raw writer: write(2) only, EINTR-retried, fixed stack buffer.
+/// Every formatter below is a plain loop — no snprintf, no locale, no
+/// allocation — keeping the whole dump path on the async-signal-safe list.
+class RawWriter {
+ public:
+  explicit RawWriter(int fd) : fd_(fd) {}
+  ~RawWriter() { flush(); }
+
+  void ch(char c) {
+    if (len_ == sizeof(buf_)) flush();
+    buf_[len_++] = c;
+  }
+
+  void lit(const char* text) {
+    for (const char* p = text; *p != '\0'; ++p) ch(*p);
+  }
+
+  /// JSON string with escaping, bounded by max_len (our tables are
+  /// NUL-terminated fixed buffers, but belt and braces in a handler).
+  void json_string(const char* text, int max_len = 1 << 16) {
+    ch('"');
+    for (int i = 0; text[i] != '\0' && i < max_len; ++i) {
+      const char c = text[i];
+      if (c == '"' || c == '\\') {
+        ch('\\');
+        ch(c);
+      } else if (static_cast<unsigned char>(c) < 0x20) {
+        ch(' ');  // control chars cannot appear in our tables; neutralize
+      } else {
+        ch(c);
+      }
+    }
+    ch('"');
+  }
+
+  void i64(long long value) {
+    if (value < 0) {
+      ch('-');
+      // Negate digit by digit to survive LLONG_MIN.
+      u64_digits(static_cast<unsigned long long>(-(value + 1)) + 1);
+      return;
+    }
+    u64_digits(static_cast<unsigned long long>(value));
+  }
+
+  void u64(unsigned long long value) { u64_digits(value); }
+
+  /// Fixed-point double: sign, integer part, 9 fractional digits.  Good
+  /// enough for metric sums/gauges; NaN/inf degrade to 0.
+  void dbl(double value) {
+    if (!(value == value) || value > 1e18 || value < -1e18) {
+      lit("0");
+      return;
+    }
+    if (value < 0) {
+      ch('-');
+      value = -value;
+    }
+    const auto whole = static_cast<unsigned long long>(value);
+    u64_digits(whole);
+    ch('.');
+    double frac = value - static_cast<double>(whole);
+    for (int i = 0; i < 9; ++i) {
+      frac *= 10.0;
+      const int digit = static_cast<int>(frac);
+      ch(static_cast<char>('0' + (digit < 0 ? 0 : digit > 9 ? 9 : digit)));
+      frac -= digit;
+    }
+  }
+
+  void flush() {
+    int offset = 0;
+    while (offset < len_) {
+      const ssize_t n = ::write(fd_, buf_ + offset, static_cast<std::size_t>(len_ - offset));
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        break;  // nothing a handler can do; keep the partial artifact
+      }
+      offset += static_cast<int>(n);
+    }
+    len_ = 0;
+  }
+
+ private:
+  void u64_digits(unsigned long long value) {
+    char digits[24];
+    int count = 0;
+    do {
+      digits[count++] = static_cast<char>('0' + value % 10);
+      value /= 10;
+    } while (value != 0);
+    while (count > 0) ch(digits[--count]);
+  }
+
+  int fd_;
+  char buf_[512];
+  int len_ = 0;
+};
+
+/// Format "pico_postmortem_<pid>.json" for the *calling* process — pid is
+/// read at dump time, so handlers inherited across fork() still write a
+/// per-process artifact.
+void format_file_name(char* out, int cap) {
+  const char* prefix = "pico_postmortem_";
+  int len = 0;
+  for (const char* p = prefix; *p != '\0' && len < cap - 1; ++p) {
+    out[len++] = *p;
+  }
+  long long pid = static_cast<long long>(::getpid());
+  char digits[24];
+  int count = 0;
+  do {
+    digits[count++] = static_cast<char>('0' + pid % 10);
+    pid /= 10;
+  } while (pid != 0);
+  while (count > 0 && len < cap - 1) out[len++] = digits[--count];
+  const char* suffix = ".json";
+  for (const char* p = suffix; *p != '\0' && len < cap - 1; ++p) {
+    out[len++] = *p;
+  }
+  out[len] = '\0';
+}
+
+const char* signal_name(int signal_number) {
+  switch (signal_number) {
+    case SIGSEGV: return "SIGSEGV";
+    case SIGBUS: return "SIGBUS";
+    case SIGABRT: return "SIGABRT";
+    case SIGFPE: return "SIGFPE";
+    case SIGILL: return "SIGILL";
+    default: return "signal";
+  }
+}
+
+/// The dump itself.  Async-signal-safe: openat/write/close, seqlock ring
+/// reads, published-pointer metric reads, loop-based formatting.  Events
+/// are emitted per-ring, unsorted — sorting needs no signal safety, so the
+/// readers do it.
+void write_postmortem(const char* reason, int signal_number) {
+  const int dirfd = g_dirfd.load(std::memory_order_acquire);
+  if (dirfd < 0) return;
+  char name[64];
+  format_file_name(name, sizeof(name));
+  const int fd = ::openat(dirfd, name, O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return;
+  {
+    RawWriter out(fd);
+    out.lit("{\"pico_postmortem\":1,\"pid\":");
+    out.i64(static_cast<long long>(::getpid()));
+    out.lit(",\"reason\":");
+    out.json_string(reason);
+    out.lit(",\"signal\":");
+    out.i64(signal_number);
+
+    FlightRecorder* recorder = FlightRecorder::crash_instance();
+    out.lit(",\"threads\":[");
+    if (recorder != nullptr) {
+      bool first = true;
+      FlightRecorder::ThreadName names[FlightRecorder::kMaxThreadNames];
+      const int count =
+          recorder->thread_names_raw(names, FlightRecorder::kMaxThreadNames);
+      for (int i = 0; i < count; ++i) {
+        if (!first) out.ch(',');
+        first = false;
+        out.lit("{\"tid\":");
+        out.u64(names[i].tid);
+        out.lit(",\"name\":");
+        out.json_string(names[i].name, FlightRecorder::kNameBytes);
+        out.ch('}');
+      }
+    }
+    out.lit("],\"strings\":[");
+    if (recorder != nullptr) {
+      const int count = recorder->string_count();
+      for (int i = 0; i < count; ++i) {
+        if (i > 0) out.ch(',');
+        out.json_string(recorder->string_raw(i),
+                        FlightRecorder::kStringBytes);
+      }
+    } else {
+      out.lit("\"\"");
+    }
+    out.lit("],\"events\":[");
+    if (recorder != nullptr) {
+      bool first = true;
+      EventRecord record;
+      for (int ring = 0; ring < recorder->ring_count(); ++ring) {
+        for (int slot = 0; slot < recorder->ring_size(); ++slot) {
+          if (!recorder->read_slot(ring, slot, &record)) continue;
+          if (!first) out.ch(',');
+          first = false;
+          out.lit("{\"seq\":");
+          out.u64(record.seq);
+          out.lit(",\"t_ns\":");
+          out.i64(record.t_ns);
+          out.lit(",\"tid\":");
+          out.u64(record.tid);
+          out.lit(",\"cat\":");
+          out.u64(record.category);
+          out.lit(",\"code\":");
+          out.u64(record.code);
+          out.lit(",\"name\":");
+          out.json_string(
+              event_code_name(static_cast<EventCode>(record.code)));
+          out.lit(",\"args\":[");
+          for (int a = 0; a < 4; ++a) {
+            if (a > 0) out.ch(',');
+            out.i64(record.args[a]);
+          }
+          out.lit("]}");
+        }
+      }
+    }
+    out.lit("],\"spans\":[");
+    {
+      PendingSpanTable& table = PendingSpanTable::global();
+      bool first = true;
+      PendingSpanTable::Entry entry;
+      for (int i = 0; i < table.slot_count(); ++i) {
+        if (!table.read_slot(i, &entry)) continue;
+        if (!first) out.ch(',');
+        first = false;
+        out.lit("{\"name\":");
+        out.json_string(entry.name, PendingSpanTable::kNameBytes);
+        out.lit(",\"start_ns\":");
+        out.i64(entry.start_ns);
+        out.lit(",\"track\":");
+        out.i64(entry.track);
+        out.lit(",\"task\":");
+        out.i64(entry.task_id);
+        out.lit(",\"tid\":");
+        out.u64(entry.tid);
+        out.ch('}');
+      }
+    }
+    out.lit("],\"metrics\":[");
+    {
+      Registry& registry = Registry::global();
+      Registry::CrashMetricView view;
+      bool first = true;
+      const int count = registry.crash_metric_count();
+      for (int i = 0; i < count; ++i) {
+        if (!registry.crash_metric(i, &view)) continue;
+        if (!first) out.ch(',');
+        first = false;
+        out.lit("{\"name\":");
+        out.json_string(view.name);
+        out.lit(",\"labels\":");
+        out.json_string(view.labels);
+        out.lit(",\"kind\":");
+        out.i64(view.kind);
+        out.lit(",\"count\":");
+        out.i64(view.count);
+        out.lit(",\"value\":");
+        out.dbl(view.value);
+        out.ch('}');
+      }
+    }
+    out.lit("]}\n");
+    out.flush();
+  }
+  // pico-lint: allow(unchecked-status): best-effort close on the crash path
+  ::close(fd);
+}
+
+extern "C" void postmortem_signal_handler(int signal_number) {
+  // Dump exactly once; a second fatal signal (e.g. the abort() that follows
+  // the terminate-path dump) falls straight through to the default action
+  // restored by SA_RESETHAND.
+  if (!g_dumped.exchange(true, std::memory_order_acq_rel)) {
+    write_postmortem(signal_name(signal_number), signal_number);
+  }
+  // SA_RESETHAND restored the default disposition; re-deliver so the
+  // process dies with the honest wait status (core / signal exit).
+  // pico-lint: allow(unchecked-status): nothing to do if raise fails here
+  ::raise(signal_number);
+}
+
+std::terminate_handler g_previous_terminate = nullptr;
+
+[[noreturn]] void postmortem_terminate_handler() {
+  if (!g_dumped.exchange(true, std::memory_order_acq_rel)) {
+    write_postmortem("terminate", 0);
+  }
+  if (g_previous_terminate != nullptr &&
+      g_previous_terminate != &postmortem_terminate_handler) {
+    g_previous_terminate();
+  }
+  std::abort();
+}
+
+/// Resolve the target directory and open the pre-dump directory fd.  Safe
+/// only in normal (non-handler) context; both entry points run it before
+/// any dump can happen.
+bool ensure_target() {
+  if (g_dirfd.load(std::memory_order_acquire) >= 0) return true;
+  const char* dir = std::getenv("PICO_POSTMORTEM_DIR");
+  if (dir == nullptr || dir[0] == '\0') dir = ".";
+  std::strncpy(g_dir, dir, sizeof(g_dir) - 1);
+  g_dir[sizeof(g_dir) - 1] = '\0';
+  const int dirfd = ::open(g_dir, O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (dirfd < 0) return false;
+  int expected = -1;
+  if (!g_dirfd.compare_exchange_strong(expected, dirfd,
+                                       std::memory_order_acq_rel)) {
+    // pico-lint: allow(unchecked-status): lost the race; ours is redundant
+    ::close(dirfd);
+  }
+  return true;
+}
+
+}  // namespace
+
+void install_postmortem_handlers() {
+  if (g_installed.exchange(true, std::memory_order_acq_rel)) return;
+  // Force every lock-free structure the handler reads into existence now —
+  // a function-local static's init guard is not async-signal-safe — and
+  // initialize the trace clock's epoch.
+  FlightRecorder::global();
+  PendingSpanTable::global();
+  Registry::global();
+  Tracer::now_ns();
+  if (!ensure_target()) return;
+
+  struct sigaction action;
+  std::memset(&action, 0, sizeof(action));
+  action.sa_handler = &postmortem_signal_handler;
+  sigemptyset(&action.sa_mask);
+  // SA_RESETHAND: one shot — after the dump the default disposition takes
+  // over, so the re-raise terminates and a crash *inside* the handler
+  // cannot recurse.
+  action.sa_flags = SA_RESETHAND;
+  for (const int signal_number :
+       {SIGSEGV, SIGBUS, SIGABRT, SIGFPE, SIGILL}) {
+    // pico-lint: allow(unchecked-status): best-effort arming; a signal we
+    // cannot hook simply keeps its previous disposition
+    ::sigaction(signal_number, &action, nullptr);
+  }
+  g_previous_terminate = std::set_terminate(&postmortem_terminate_handler);
+}
+
+const char* postmortem_path() {
+  if (g_dirfd.load(std::memory_order_acquire) < 0) return "";
+  char name[64];
+  format_file_name(name, sizeof(name));
+  std::size_t len = 0;
+  for (; g_dir[len] != '\0' && len < sizeof(g_path) - 2; ++len) {
+    g_path[len] = g_dir[len];
+  }
+  g_path[len++] = '/';
+  for (std::size_t i = 0; name[i] != '\0' && len < sizeof(g_path) - 1; ++i) {
+    g_path[len++] = name[i];
+  }
+  g_path[len] = '\0';
+  return g_path;
+}
+
+bool write_postmortem_now(const char* reason) {
+  FlightRecorder::global();  // handler-grade structures must exist
+  PendingSpanTable::global();
+  Registry::global();
+  Tracer::now_ns();
+  if (!ensure_target()) return false;
+  record_event(EventCode::Postmortem, 0);
+  write_postmortem(reason != nullptr ? reason : "manual", 0);
+  // openat-based write leaves no easy error channel; verify existence.
+  char name[64];
+  format_file_name(name, sizeof(name));
+  return ::faccessat(g_dirfd.load(std::memory_order_acquire), name, R_OK,
+                     0) == 0;
+}
+
+// ---------------------------------------------------------------------------
+// Parse-back (normal context: allocation allowed)
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Minimal JSON DOM — just enough for the machine-written postmortem format
+/// (objects, arrays, strings, integer/real numbers, literals).
+struct JsonValue {
+  enum class Kind { Null, Bool, Int, Real, Str, Arr, Obj };
+  Kind kind = Kind::Null;
+  bool boolean = false;
+  long long integer = 0;
+  double real = 0.0;
+  std::string text;
+  std::vector<JsonValue> items;
+  std::map<std::string, JsonValue> fields;
+
+  const JsonValue* find(const char* key) const {
+    const auto it = fields.find(key);
+    return it != fields.end() ? &it->second : nullptr;
+  }
+  long long as_int(long long fallback = 0) const {
+    if (kind == Kind::Int) return integer;
+    if (kind == Kind::Real) return static_cast<long long>(real);
+    return fallback;
+  }
+  double as_real(double fallback = 0.0) const {
+    if (kind == Kind::Real) return real;
+    if (kind == Kind::Int) return static_cast<double>(integer);
+    return fallback;
+  }
+};
+
+class JsonParser {
+ public:
+  JsonParser(const char* data, std::size_t size)
+      : cursor_(data), end_(data + size) {}
+
+  JsonValue parse() {
+    JsonValue value = parse_value();
+    skip_space();
+    if (cursor_ != end_) fail("trailing content");
+    return value;
+  }
+
+ private:
+  [[noreturn]] void fail(const char* what) {
+    std::ostringstream os;
+    os << "postmortem JSON: " << what << " at offset " << (cursor_ - begin_);
+    throw Error(os.str());
+  }
+
+  void skip_space() {
+    while (cursor_ != end_ &&
+           (*cursor_ == ' ' || *cursor_ == '\n' || *cursor_ == '\t' ||
+            *cursor_ == '\r')) {
+      ++cursor_;
+    }
+  }
+
+  char peek() {
+    skip_space();
+    if (cursor_ == end_) fail("unexpected end");
+    return *cursor_;
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail("unexpected character");
+    ++cursor_;
+  }
+
+  JsonValue parse_value() {
+    const char c = peek();
+    if (c == '{') return parse_object();
+    if (c == '[') return parse_array();
+    if (c == '"') {
+      JsonValue value;
+      value.kind = JsonValue::Kind::Str;
+      value.text = parse_string();
+      return value;
+    }
+    if (c == 't' || c == 'f') return parse_literal(c == 't');
+    if (c == 'n') {
+      consume_word("null");
+      return JsonValue{};
+    }
+    return parse_number();
+  }
+
+  void consume_word(const char* word) {
+    for (const char* p = word; *p != '\0'; ++p) {
+      if (cursor_ == end_ || *cursor_ != *p) fail("bad literal");
+      ++cursor_;
+    }
+  }
+
+  JsonValue parse_literal(bool value) {
+    consume_word(value ? "true" : "false");
+    JsonValue out;
+    out.kind = JsonValue::Kind::Bool;
+    out.boolean = value;
+    return out;
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (cursor_ != end_ && *cursor_ != '"') {
+      char c = *cursor_++;
+      if (c == '\\') {
+        if (cursor_ == end_) fail("bad escape");
+        const char escape = *cursor_++;
+        switch (escape) {
+          case '"': c = '"'; break;
+          case '\\': c = '\\'; break;
+          case '/': c = '/'; break;
+          case 'n': c = '\n'; break;
+          case 't': c = '\t'; break;
+          case 'r': c = '\r'; break;
+          case 'u':
+            // Our writer never emits \u; tolerate by skipping 4 hex chars.
+            for (int i = 0; i < 4 && cursor_ != end_; ++i) ++cursor_;
+            c = '?';
+            break;
+          default: fail("bad escape");
+        }
+      }
+      out.push_back(c);
+    }
+    if (cursor_ == end_) fail("unterminated string");
+    ++cursor_;  // closing quote
+    return out;
+  }
+
+  JsonValue parse_number() {
+    const char* start = cursor_;
+    bool real = false;
+    if (cursor_ != end_ && *cursor_ == '-') ++cursor_;
+    while (cursor_ != end_ &&
+           ((*cursor_ >= '0' && *cursor_ <= '9') || *cursor_ == '.' ||
+            *cursor_ == 'e' || *cursor_ == 'E' || *cursor_ == '+' ||
+            *cursor_ == '-')) {
+      if (*cursor_ == '.' || *cursor_ == 'e' || *cursor_ == 'E') real = true;
+      ++cursor_;
+    }
+    if (cursor_ == start) fail("bad number");
+    const std::string text(start, static_cast<std::size_t>(cursor_ - start));
+    JsonValue out;
+    if (real) {
+      out.kind = JsonValue::Kind::Real;
+      out.real = std::strtod(text.c_str(), nullptr);
+    } else {
+      out.kind = JsonValue::Kind::Int;
+      out.integer = std::strtoll(text.c_str(), nullptr, 10);
+    }
+    return out;
+  }
+
+  JsonValue parse_array() {
+    expect('[');
+    JsonValue out;
+    out.kind = JsonValue::Kind::Arr;
+    if (peek() == ']') {
+      ++cursor_;
+      return out;
+    }
+    for (;;) {
+      out.items.push_back(parse_value());
+      const char c = peek();
+      ++cursor_;
+      if (c == ']') return out;
+      if (c != ',') fail("expected , or ]");
+    }
+  }
+
+  JsonValue parse_object() {
+    expect('{');
+    JsonValue out;
+    out.kind = JsonValue::Kind::Obj;
+    if (peek() == '}') {
+      ++cursor_;
+      return out;
+    }
+    for (;;) {
+      std::string key = parse_string();
+      expect(':');
+      out.fields.emplace(std::move(key), parse_value());
+      const char c = peek();
+      ++cursor_;
+      if (c == '}') return out;
+      if (c != ',') fail("expected , or }");
+    }
+  }
+
+  const char* cursor_;
+  const char* end_;
+  const char* begin_ = cursor_;
+};
+
+}  // namespace
+
+std::string Postmortem::thread_name(std::uint32_t tid) const {
+  for (const PostmortemThread& thread : threads) {
+    if (thread.tid == tid) return thread.name;
+  }
+  return "";
+}
+
+Postmortem load_postmortem(const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file.good()) throw Error("cannot read postmortem file: " + path);
+  std::stringstream buffer;
+  buffer << file.rdbuf();
+  const std::string text = buffer.str();
+  JsonParser parser(text.data(), text.size());
+  const JsonValue root = parser.parse();
+  if (root.kind != JsonValue::Kind::Obj ||
+      root.find("pico_postmortem") == nullptr) {
+    throw Error("not a pico postmortem file: " + path);
+  }
+  Postmortem out;
+  if (const JsonValue* pid = root.find("pid")) {
+    out.pid = static_cast<int>(pid->as_int());
+  }
+  if (const JsonValue* reason = root.find("reason")) out.reason = reason->text;
+  if (const JsonValue* sig = root.find("signal")) {
+    out.signal_number = static_cast<int>(sig->as_int());
+  }
+  if (const JsonValue* threads = root.find("threads")) {
+    for (const JsonValue& item : threads->items) {
+      PostmortemThread thread;
+      if (const JsonValue* tid = item.find("tid")) {
+        thread.tid = static_cast<std::uint32_t>(tid->as_int());
+      }
+      if (const JsonValue* name = item.find("name")) thread.name = name->text;
+      out.threads.push_back(std::move(thread));
+    }
+  }
+  if (const JsonValue* strings = root.find("strings")) {
+    for (const JsonValue& item : strings->items) {
+      out.strings.push_back(item.text);
+    }
+  }
+  if (const JsonValue* events = root.find("events")) {
+    for (const JsonValue& item : events->items) {
+      PostmortemEvent event;
+      if (const JsonValue* v = item.find("seq")) {
+        event.seq = static_cast<std::uint64_t>(v->as_int());
+      }
+      if (const JsonValue* v = item.find("t_ns")) event.t_ns = v->as_int();
+      if (const JsonValue* v = item.find("tid")) {
+        event.tid = static_cast<std::uint32_t>(v->as_int());
+      }
+      if (const JsonValue* v = item.find("cat")) {
+        event.category = static_cast<std::uint16_t>(v->as_int());
+      }
+      if (const JsonValue* v = item.find("code")) {
+        event.code = static_cast<std::uint16_t>(v->as_int());
+      }
+      if (const JsonValue* v = item.find("name")) event.name = v->text;
+      if (const JsonValue* v = item.find("args")) {
+        for (std::size_t a = 0; a < 4 && a < v->items.size(); ++a) {
+          event.args[a] = v->items[a].as_int();
+        }
+      }
+      out.events.push_back(std::move(event));
+    }
+  }
+  if (const JsonValue* spans = root.find("spans")) {
+    for (const JsonValue& item : spans->items) {
+      PostmortemSpan span;
+      if (const JsonValue* v = item.find("name")) span.name = v->text;
+      if (const JsonValue* v = item.find("start_ns")) {
+        span.start_ns = v->as_int();
+      }
+      if (const JsonValue* v = item.find("track")) span.track = v->as_int();
+      if (const JsonValue* v = item.find("task")) span.task_id = v->as_int();
+      if (const JsonValue* v = item.find("tid")) {
+        span.tid = static_cast<std::uint32_t>(v->as_int());
+      }
+      out.spans.push_back(std::move(span));
+    }
+  }
+  if (const JsonValue* metrics = root.find("metrics")) {
+    for (const JsonValue& item : metrics->items) {
+      PostmortemMetric metric;
+      if (const JsonValue* v = item.find("name")) metric.name = v->text;
+      if (const JsonValue* v = item.find("labels")) metric.labels = v->text;
+      if (const JsonValue* v = item.find("kind")) {
+        metric.kind = static_cast<int>(v->as_int());
+      }
+      if (const JsonValue* v = item.find("count")) metric.count = v->as_int();
+      if (const JsonValue* v = item.find("value")) {
+        metric.value = v->as_real();
+      }
+      out.metrics.push_back(std::move(metric));
+    }
+  }
+  std::sort(out.events.begin(), out.events.end(),
+            [](const PostmortemEvent& a, const PostmortemEvent& b) {
+              return a.seq < b.seq;
+            });
+  return out;
+}
+
+}  // namespace pico::obs

@@ -135,6 +135,7 @@ WorkerTelemetry harvest_worker(const HarvestEndpoint& endpoint,
   WorkerTelemetry out;
   out.device = endpoint.device;
   out.next_cursor = endpoint.trace_cursor;
+  out.next_event_cursor = endpoint.event_cursor;
   out.rounds = 1;
   ClockOffsetEstimator local_clock;
   ClockOffsetEstimator* clock =
@@ -152,6 +153,13 @@ WorkerTelemetry harvest_worker(const HarvestEndpoint& endpoint,
       out.next_cursor = chunk.next;
     } else if (endpoint.fetch_trace) {
       out.spans = endpoint.fetch_trace();
+    }
+    // Black box right after the trace, same rationale: the last EventDump
+    // to succeed before a death is exactly the retained flight recording.
+    if (endpoint.fetch_event_chunk) {
+      EventChunk chunk = endpoint.fetch_event_chunk(endpoint.event_cursor);
+      out.events = std::move(chunk.events);
+      out.next_event_cursor = chunk.next;
     }
     if (endpoint.fetch_metrics) out.metrics_text = endpoint.fetch_metrics();
     out.reachable = true;
@@ -174,12 +182,26 @@ WorkerTelemetry harvest_worker(const HarvestEndpoint& endpoint,
     }
     out.spans.swap(fresh);
   }
+  // The EventDump chunk never re-delivers below the request cursor (the
+  // worker filters by seq), but a gap is possible: drop defensively anyway.
+  if (endpoint.event_cursor > 0 && !out.events.empty()) {
+    std::vector<EventRecord> fresh;
+    fresh.reserve(out.events.size());
+    for (EventRecord& event : out.events) {
+      if (event.seq <= endpoint.event_cursor) continue;
+      fresh.push_back(event);
+    }
+    out.events.swap(fresh);
+  }
   out.offset_ns = clock->valid() ? clock->offset_ns() : 0;
   out.rtt_ns = clock->rtt_ns();
   out.error_bound_ns = clock->error_bound_ns();
   out.clock_samples = clock->accepted();
   for (SpanRecord& span : out.spans) {
     span.start_ns -= out.offset_ns;  // durations need no correction
+  }
+  for (EventRecord& event : out.events) {
+    event.t_ns -= out.offset_ns;  // same rebase as spans
   }
   return out;
 }
@@ -207,6 +229,11 @@ void merge_into(WorkerTelemetry& into, WorkerTelemetry&& round) {
                     std::make_move_iterator(round.spans.begin()),
                     std::make_move_iterator(round.spans.end()));
   into.next_cursor = std::max(into.next_cursor, round.next_cursor);
+  into.events.insert(into.events.end(),
+                     std::make_move_iterator(round.events.begin()),
+                     std::make_move_iterator(round.events.end()));
+  into.next_event_cursor =
+      std::max(into.next_event_cursor, round.next_event_cursor);
   into.rounds += round.rounds;
 }
 

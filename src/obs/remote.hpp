@@ -39,6 +39,7 @@
 
 #include "common/mutex.hpp"
 #include "obs/clock.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/trace.hpp"
 
 namespace pico::obs {
@@ -156,6 +157,13 @@ struct WorkerTelemetry {
   /// Cursor to present on the next harvest round (acks `spans`); equals the
   /// request cursor when the trace fetch failed or the peer is pre-cursor.
   std::uint64_t next_cursor = 0;
+  /// Flight-recorder events pulled this round (EventDump), timestamps
+  /// rebased like spans.  The continuously refreshed copy is the black box
+  /// the harvester retains for a device that later dies.
+  std::vector<EventRecord> events;
+  /// Event cursor for the next round; request cursor when the fetch failed
+  /// or the peer predates EventDump (PIC3 and older).
+  std::uint64_t next_event_cursor = 0;
   int rounds = 0;  ///< harvest rounds folded into this entry (see add())
 };
 
@@ -173,11 +181,16 @@ struct HarvestEndpoint {
   /// Legacy full-drain pull (pre-cursor peers / simple tests).  Used only
   /// when fetch_trace_chunk is unset.
   std::function<std::vector<SpanRecord>()> fetch_trace;
+  /// Cursor-aware black-box pull: send an EventDump carrying the cursor,
+  /// return the decoded chunk.  Unset = peer without the verb (no events).
+  std::function<EventChunk(std::uint64_t cursor)> fetch_event_chunk;
   /// Estimator to refine and use for rebasing.  Usually pre-warmed by the
   /// piggybacked quadruples of ordinary WorkResults; null = local-only.
   ClockOffsetEstimator* clock = nullptr;
   /// First span sequence wanted (and ack of everything below).
   std::uint64_t trace_cursor = 0;
+  /// First event sequence wanted (events below are already harvested).
+  std::uint64_t event_cursor = 0;
 };
 
 /// One harvest round: ping `clock_pings` times, pull the trace chunk, pull

@@ -3,10 +3,12 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <ostream>
 
 #include "common/error.hpp"
+#include "obs/flight_recorder.hpp"
 
 namespace pico::obs {
 
@@ -89,11 +91,22 @@ Span::Span(const char* name, const char* category, std::int64_t track,
       category_(category),
       track_(track),
       task_id_(task_id) {
-  if (active_) start_ns_ = Tracer::now_ns();
+  if (!active_) return;
+  start_ns_ = Tracer::now_ns();
+  // Publish the open span so a crash postmortem can dump what was
+  // in flight.  Claim failure (table full) just leaves it untracked.
+  PendingSpanTable::Entry entry;
+  std::strncpy(entry.name, name_, sizeof(entry.name) - 1);
+  entry.start_ns = start_ns_;
+  entry.track = track_;
+  entry.task_id = task_id_;
+  entry.tid = FlightRecorder::global().current_tid();
+  pending_slot_ = PendingSpanTable::global().claim(entry);
 }
 
 Span::~Span() {
   if (!active_) return;
+  if (pending_slot_ >= 0) PendingSpanTable::global().release(pending_slot_);
   SpanRecord record;
   record.name = name_;
   record.category = category_;

@@ -120,6 +120,10 @@ class Span {
   std::int64_t track_;
   std::int64_t task_id_;
   std::int64_t start_ns_ = 0;
+  /// PendingSpanTable slot while open (-1 when untracked): a crash
+  /// postmortem dumps every still-open span so the black box names what the
+  /// process was in the middle of.
+  int pending_slot_ = -1;
   std::vector<std::pair<std::string, std::string>> args_;
 };
 

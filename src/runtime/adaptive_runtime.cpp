@@ -2,6 +2,7 @@
 
 #include "common/error.hpp"
 #include "common/log.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -55,6 +56,10 @@ void AdaptiveRuntime::activate(std::size_t candidate_index) {
     past_events_.insert(past_events_.end(), epoch_health.events.begin(),
                         epoch_health.events.end());
     ++switches_;
+    obs::record_event(obs::EventCode::PlanSwitch,
+                      obs::FlightRecorder::global().intern(from_scheme.c_str()),
+                      obs::FlightRecorder::global().intern(next_scheme.c_str()),
+                      static_cast<std::int64_t>(switches_));
     obs::Registry& registry = obs::Registry::global();
     registry.counter("pico_adaptive_switches_total").add(1);
     registry.histogram("pico_adaptive_drain_seconds")

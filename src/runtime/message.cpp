@@ -14,6 +14,7 @@ namespace {
 constexpr std::uint32_t kMagicV1 = 0x50494331;  // "PIC1" (compute_seconds)
 constexpr std::uint32_t kMagicV2 = 0x50494332;  // "PIC2" (trace ctx + clocks)
 constexpr std::uint32_t kMagicV3 = 0x50494333;  // "PIC3" (span cursors)
+constexpr std::uint32_t kMagicV4 = 0x50494334;  // "PIC4" (EventDump verb)
 
 /// Render a magic word the way it appears as ASCII on the wire
 /// (little-endian byte order), falling back to hex for unprintable bytes.
@@ -72,7 +73,7 @@ std::vector<std::uint8_t> serialize(const Message& message) {
   const Shape shape = message.tensor.shape();
   out.reserve(128 + message.blob.size() +
               static_cast<std::size_t>(shape.elements()) * 4);
-  put<std::uint32_t>(out, kMagicV3);
+  put<std::uint32_t>(out, kMagicV4);
   put<std::uint32_t>(out, static_cast<std::uint32_t>(message.type));
   put<std::int64_t>(out, message.task_id);
   put<std::int32_t>(out, message.stage_index);
@@ -113,14 +114,15 @@ Message deserialize(const std::uint8_t* data, std::size_t size) {
   const std::uint8_t* cursor = data;
   const std::uint8_t* end = data + size;
   const auto magic = get<std::uint32_t>(cursor, end);
-  if (magic != kMagicV3 && magic != kMagicV2) {
+  if (magic != kMagicV4 && magic != kMagicV3 && magic != kMagicV2) {
     // Version skew (e.g. a "PIC1" build on the other end) is a transport
     // condition the serve loop handles gracefully, not a fatal invariant.
     const char* hint = magic == kMagicV1 ? " (v1 peer?)" : "";
     throw TransportError("unsupported message version \"" +
                          magic_name(magic) + "\"" + hint +
-                         "; this build speaks \"" + magic_name(kMagicV3) +
-                         "\" (and reads \"" + magic_name(kMagicV2) + "\")");
+                         "; this build speaks \"" + magic_name(kMagicV4) +
+                         "\" (and reads \"" + magic_name(kMagicV3) +
+                         "\" and \"" + magic_name(kMagicV2) + "\")");
   }
   Message message;
   message.type = static_cast<MessageType>(get<std::uint32_t>(cursor, end));
@@ -136,7 +138,7 @@ Message deserialize(const std::uint8_t* data, std::size_t size) {
   message.t_send_ns = get<std::int64_t>(cursor, end);
   message.t_compute_start_ns = get<std::int64_t>(cursor, end);
   message.t_compute_end_ns = get<std::int64_t>(cursor, end);
-  if (magic == kMagicV3) {
+  if (magic == kMagicV4 || magic == kMagicV3) {
     // The cursors are wire-controlled but used only for comparison and
     // clamped pruning (SpanBuffer::ack bounds the erase by the buffer
     // size), never as an allocation size or subscript.

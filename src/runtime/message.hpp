@@ -6,19 +6,23 @@
 // the length-prefixed binary encoding used by the TCP transport (the
 // in-process transport moves Messages directly).
 //
-// Wire format "PIC3" (v3).  v2 extended the v1 frame with distributed
+// Wire format "PIC4" (v4).  v2 extended the v1 frame with distributed
 // observability fields: a propagated trace context (trace_id + parent span)
 // so workers can open real spans under the coordinator's trace, four
 // NTP-style timestamps (t1..t3 on the wire, t4 taken by the receiver) so
 // per-device clock offsets can be estimated from ordinary request/response
 // traffic, worker-side compute start/end instants, and an opaque blob used
 // by the control-plane messages (MetricsDump / TraceDump payloads).  v3
-// adds the continuous-harvest span cursors to the TraceDump exchange
+// added the continuous-harvest span cursors to the TraceDump exchange
 // (span_cursor / span_cursor_base) so repeated mid-run harvests never
-// double-count a span — see obs/remote.hpp for the protocol.
+// double-count a span — see obs/remote.hpp for the protocol.  v4 adds the
+// EventDump verb (flight-recorder black-box harvest, obs/flight_recorder.hpp)
+// reusing the same cursor fields as event cursors; the frame layout is
+// byte-identical to v3, the magic bump only announces the new verb.
 //
-// Version gating: the encoder always emits PIC3.  The decoder accepts PIC3
-// *and* PIC2 — a v2 frame simply decodes with both cursors zero, which is
+// Version gating: the encoder always emits PIC4.  The decoder accepts PIC4,
+// PIC3 and PIC2 — a v3 frame decodes identically (it just never carries an
+// EventDump), and a v2 frame decodes with both cursors zero, which is
 // exactly the legacy full-drain semantics, so a new coordinator still
 // drives an old worker.  Anything else — including a v1 "PIC1" frame — is
 // rejected with a TransportError naming both the received and the
@@ -44,6 +48,7 @@ enum class MessageType : std::uint32_t {
   Pong = 5,         ///< clock reply: echoes t1, adds t2/t3 (worker clock)
   MetricsDump = 6,  ///< reply blob: worker registry, Prometheus text
   TraceDump = 7,    ///< reply blob: worker span buffer (encode_spans)
+  EventDump = 8,    ///< reply blob: worker flight recorder (encode_events, v4)
 };
 
 struct Message {
@@ -85,9 +90,12 @@ struct Message {
   /// cursor to present next round (seq one past the last span included).
   /// Shutdown: final ack, so the worker's tracer flush skips everything a
   /// harvest round already delivered.  0 = legacy full-drain (v2 peer).
+  /// EventDump (v4) reuses the pair as *event* cursors: the request carries
+  /// the last seen event seq, the reply the chunk's `next` cursor.
   std::uint64_t span_cursor = 0;
   /// TraceDump reply: sequence of the first span included (lets the
   /// coordinator detect a gap — spans lost to an overrun worker buffer).
+  /// EventDump reply: the chunk's `base` (gap = ring overwrote history).
   std::uint64_t span_cursor_base = 0;
 
   /// Control-plane payload (MetricsDump: Prometheus text bytes; TraceDump:
@@ -100,11 +108,12 @@ struct Message {
 };
 
 /// Binary encoding (no framing — the transport adds the length prefix).
-/// Always emits the current version ("PIC3").
+/// Always emits the current version ("PIC4").
 std::vector<std::uint8_t> serialize(const Message& message);
-/// Decodes a PIC3 frame, or a PIC2 frame from an older peer (cursors then
-/// default to zero).  Throws TransportError for any other version magic
-/// (e.g. a v1 "PIC1" peer) and InvariantError for a truncated/corrupt frame.
+/// Decodes a PIC4 or PIC3 frame (identical layout), or a PIC2 frame from an
+/// older peer (cursors then default to zero).  Throws TransportError for any
+/// other version magic (e.g. a v1 "PIC1" peer) and InvariantError for a
+/// truncated/corrupt frame.
 Message deserialize(const std::uint8_t* data, std::size_t size);
 
 }  // namespace pico::runtime

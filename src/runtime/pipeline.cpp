@@ -14,6 +14,7 @@
 #include "common/mutex.hpp"
 #include "nn/receptive.hpp"
 #include "obs/clock.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/harvester.hpp"
 #include "obs/metrics.hpp"
 #include "obs/remote.hpp"
@@ -248,6 +249,29 @@ struct PipelineRuntime::Impl {
   std::atomic<long long> completed{0};
   std::atomic<bool> stopped{false};
 
+  // Admission ledger for the QueueHighWater journal event: tasks accepted
+  // by submit() and not yet resolved (value or exception).  The highwater
+  // CAS loop records only on a new maximum, so a steady-state run journals
+  // nothing here.
+  std::atomic<std::int64_t> in_flight{0};
+  std::atomic<std::int64_t> in_flight_highwater{0};
+
+  void note_task_admitted() {
+    const std::int64_t now = in_flight.fetch_add(1, std::memory_order_relaxed) + 1;
+    std::int64_t high = in_flight_highwater.load(std::memory_order_relaxed);
+    while (now > high) {
+      if (in_flight_highwater.compare_exchange_weak(
+              high, now, std::memory_order_relaxed)) {
+        obs::record_event(obs::EventCode::QueueHighWater, now);
+        break;
+      }
+    }
+  }
+
+  void note_task_resolved() {
+    in_flight.fetch_sub(1, std::memory_order_relaxed);
+  }
+
   /// Resolved per-operation transport deadline (option + PICO_NET_TIMEOUT_MS
   /// override); applied to every connection before any thread starts, const
   /// afterwards.  0 = block forever.
@@ -319,6 +343,8 @@ struct PipelineRuntime::Impl {
   /// only briefly, never across I/O.
   Mutex cursor_mutex;
   std::map<DeviceId, std::uint64_t> cursors PICO_GUARDED_BY(cursor_mutex);
+  /// Per-device flight-recorder event cursors (EventDump protocol).
+  std::map<DeviceId, std::uint64_t> event_cursors PICO_GUARDED_BY(cursor_mutex);
   // Background harvest thread lifecycle: the loop sleeps on harvest_cv
   // between rounds; shutdown sets harvest_stop under the mutex and
   // notifies, so the thread wakes immediately instead of finishing its nap.
@@ -342,6 +368,7 @@ struct PipelineRuntime::Impl {
     }
     any_failed.store(true, std::memory_order_release);
     PICO_LOG(Error) << "device " << device << " failed: " << why;
+    obs::record_event(obs::EventCode::DeviceFailure, device);
     // Idempotent per down episode on the harvester side, so a device the
     // heartbeat already declared down raises no duplicate event.
     harvester.note_device_down(static_cast<int>(device), why);
@@ -532,12 +559,17 @@ struct PipelineRuntime::Impl {
     }
     for (std::size_t i = 0; i < coordinator_count; ++i) {
       coordinators.emplace_back([this, i, coordinator_count] {
+        const std::string name = "pico-coord-" + std::to_string(i);
+        obs::set_current_thread_name(name.c_str());
         coordinate(i, coordinator_count);
       });
     }
     harvest_ms = resolved_harvest_ms(options);
     if (harvest_ms > 0 && options.harvest_telemetry) {
-      harvest_thread = SchedThread([this] { harvest_loop(); });
+      harvest_thread = SchedThread([this] {
+        obs::set_current_thread_name("pico-harvest");
+        harvest_loop();
+      });
     }
   }
 
@@ -874,6 +906,8 @@ struct PipelineRuntime::Impl {
           // the future resolves, and tasks_completed() must already cover
           // that task.
           completed.fetch_add(1, std::memory_order_relaxed);
+          obs::record_event(obs::EventCode::TaskComplete, item->id);
+          note_task_resolved();
           item->promise->set_value(std::move(item->tensor));
         }
       } catch (const std::exception& error) {
@@ -883,6 +917,8 @@ struct PipelineRuntime::Impl {
         // its promise then travels with it (and the push only throws once
         // that queue is closed, i.e. during teardown).
         if (item->promise) {
+          obs::record_event(obs::EventCode::TaskFail, item->id);
+          note_task_resolved();
           item->promise->set_exception(std::current_exception());
         }
       }
@@ -954,6 +990,7 @@ struct PipelineRuntime::Impl {
       {
         MutexLock lock(cursor_mutex);
         endpoint.trace_cursor = cursors[device];
+        endpoint.event_cursor = event_cursors[device];
       }
       endpoint.ping = [conn] {
         Message ping;
@@ -984,6 +1021,20 @@ struct PipelineRuntime::Impl {
                                         reply.blob.size());
         return chunk;
       };
+      endpoint.fetch_event_chunk = [conn](std::uint64_t cursor) {
+        Message request;
+        request.type = MessageType::EventDump;
+        request.span_cursor = cursor;  // event cursor rides the same field
+        conn->send(request);
+        Message reply = expect_reply(*conn, MessageType::EventDump);
+        obs::EventChunk chunk =
+            obs::decode_events(reply.blob.data(), reply.blob.size());
+        // Trust the frame-level cursors over the blob header (same values
+        // from a well-behaved worker; the frame is what the protocol acks).
+        chunk.base = reply.span_cursor_base;
+        chunk.next = reply.span_cursor;
+        return chunk;
+      };
       obs::WorkerTelemetry harvested = [&] {
         GateLock gate(*gates.at(device));
         return obs::harvest_worker(endpoint, options.harvest_pings);
@@ -991,6 +1042,7 @@ struct PipelineRuntime::Impl {
       {
         MutexLock lock(cursor_mutex);
         cursors[device] = harvested.next_cursor;
+        event_cursors[device] = harvested.next_event_cursor;
       }
       const std::vector<obs::Label> labels{
           {"device", std::to_string(device)}};
@@ -1011,6 +1063,18 @@ struct PipelineRuntime::Impl {
       telemetry.add(std::move(harvested));
     }
     harvester.complete_round(obs::Tracer::now_ns());
+    {
+      // Journal the round: round number, how many devices answered, how
+      // many the plan uses — a postmortem shows at a glance whether the
+      // cluster was whole when it died.
+      std::int64_t reachable = 0;
+      for (const auto& [device, connection] : connections) {
+        if (!is_failed(device)) ++reachable;
+      }
+      obs::record_event(obs::EventCode::HarvestRound, harvester.rounds(),
+                        reachable,
+                        static_cast<std::int64_t>(connections.size()));
+    }
     // Heartbeat verdicts feed back into the data plane: a device the policy
     // just declared down (heartbeat_missed_rounds consecutive failed round
     // trips) poisons the runtime exactly like a mid-task transport error,
@@ -1118,6 +1182,8 @@ std::future<Tensor> PipelineRuntime::submit(Tensor input) {
   item.submit_ns = obs::Tracer::now_ns();
   item.enqueue_ns = item.submit_ns;
   std::future<Tensor> future = item.promise->get_future();
+  obs::record_event(obs::EventCode::TaskAccept, item.id);
+  impl_->note_task_admitted();
   impl_->queues.front()->push(std::move(item));
   return future;
 }

@@ -80,14 +80,14 @@ struct RuntimeOptions {
   /// heartbeat_missed_rounds × harvest period + net timeout.
   int heartbeat_missed_rounds = 2;
   /// Straggler-detector thresholds (robust z / peer-ratio fallback).
-  obs::StragglerOptions straggler;
+  obs::StragglerOptions straggler{};
   /// Online model-checker thresholds (residual EWMA, drift trip count).
-  obs::ModelChecker::Options model;
+  obs::ModelChecker::Options model{};
   /// Eq. 5–11 predictions for the online model checker, computed by the
   /// caller via partition::plan_cost (the obs layer cannot link partition).
   /// Leave invalid to skip predicted-vs-measured checks; the Thm. 2 M/D/1
   /// check then falls back to the measured stage period.
-  obs::ModelPrediction prediction;
+  obs::ModelPrediction prediction{};
 };
 
 class PipelineRuntime {

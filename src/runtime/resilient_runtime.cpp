@@ -11,6 +11,7 @@
 #include "common/error.hpp"
 #include "common/log.hpp"
 #include "common/mutex.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
 #include "partition/pico_dp.hpp"
 #include "sched/hooks.hpp"
@@ -66,6 +67,8 @@ struct ResilientRuntime::Impl {
       plan_ = make_plan(survivors_, survivor_globals_);
       epoch_ = std::make_shared<PipelineRuntime>(graph, plan_, options.runtime);
     }
+    obs::record_event(obs::EventCode::EpochStart, /*epoch=*/0,
+                      static_cast<std::int64_t>(full_cluster.size()));
     completer_ = SchedThread([this] { completer_loop(); });
   }
 
@@ -140,6 +143,7 @@ struct ResilientRuntime::Impl {
   // --- completer ----------------------------------------------------------
 
   void completer_loop() {
+    obs::set_current_thread_name("pico-complete");
     for (;;) {
       Pending task;
       bool have_task = false;
@@ -197,6 +201,8 @@ struct ResilientRuntime::Impl {
           task.epoch = current;
         } catch (const std::exception&) {
           task.attempts++;
+          obs::record_event(obs::EventCode::TaskRetry, task.id, task.attempts,
+                            replans_.load(std::memory_order_relaxed));
           recover_one(std::move(task));
           continue;
         }
@@ -212,6 +218,8 @@ struct ResilientRuntime::Impl {
                        << "): " << e.what();
         task.attempts++;
         task.epoch = nullptr;
+        obs::record_event(obs::EventCode::TaskRetry, task.id, task.attempts,
+                          replans_.load(std::memory_order_relaxed));
         recover_one(std::move(task));
       }
     }
@@ -259,6 +267,8 @@ struct ResilientRuntime::Impl {
       } catch (const std::exception&) {
         task.attempts++;
         task.epoch = nullptr;
+        obs::record_event(obs::EventCode::TaskRetry, task.id, task.attempts,
+                          replans_.load(std::memory_order_relaxed));
         redo.push_back(std::move(task));
       }
     }
@@ -281,6 +291,9 @@ struct ResilientRuntime::Impl {
     std::vector<DeviceId> newly_dead;
     if (old != nullptr) {
       newly_dead = old->failed_devices();
+      obs::record_event(obs::EventCode::EpochRetire,
+                        replans_.load(std::memory_order_relaxed),
+                        static_cast<std::int64_t>(newly_dead.size()));
       old->shutdown();
       // Fold the retired epoch's telemetry and health history into the
       // accumulators (the AdaptiveRuntime epoch idiom) so DeviceDown events
@@ -366,7 +379,9 @@ struct ResilientRuntime::Impl {
       }
       cv.notify_all();
     }
-    replans_.fetch_add(1, std::memory_order_relaxed);
+    const int epoch_seq = replans_.fetch_add(1, std::memory_order_relaxed) + 1;
+    obs::record_event(obs::EventCode::EpochStart, epoch_seq,
+                      static_cast<std::int64_t>(survivors.size()));
     replans_total->add(1);
     const double seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)

@@ -14,6 +14,7 @@
 #include <cstring>
 
 #include "common/error.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/trace.hpp"
 
 namespace pico::runtime {
@@ -69,7 +70,10 @@ class InProcConnection : public Connection {
         rx_->pop_for(timeout_ms * 1'000'000, &timed_out);
     if (!message) {
       // In-process frames arrive whole, so a timeout is never mid-frame.
-      if (timed_out) throw TimeoutError("in-process recv timed out");
+      if (timed_out) {
+        obs::record_event(obs::EventCode::TransportTimeout, 0);
+        throw TimeoutError("in-process recv timed out");
+      }
       throw TransportError("in-process peer closed");
     }
     frames_received_.fetch_add(1, std::memory_order_relaxed);
@@ -163,7 +167,10 @@ void write_all(int fd, const void* data, std::size_t size,
       if (errno == EINTR) continue;
       if (timeout_ms > 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
         if (!wait_ready(fd, POLLOUT, deadline)) {
-          throw TimeoutError("send timed out", frame_started || sent > 0);
+          const bool mid_frame = frame_started || sent > 0;
+          obs::record_event(obs::EventCode::TransportTimeout,
+                            mid_frame ? 1 : 0);
+          throw TimeoutError("send timed out", mid_frame);
         }
         continue;
       }
@@ -186,7 +193,9 @@ bool read_all(int fd, void* data, std::size_t size, std::int64_t timeout_ms = 0,
   std::size_t received = 0;
   while (received < size) {
     if (timeout_ms > 0 && !wait_ready(fd, POLLIN, deadline)) {
-      throw TimeoutError("recv timed out", frame_started || received > 0);
+      const bool mid_frame = frame_started || received > 0;
+      obs::record_event(obs::EventCode::TransportTimeout, mid_frame ? 1 : 0);
+      throw TimeoutError("recv timed out", mid_frame);
     }
     const ssize_t n = ::recv(fd, bytes + received, size - received, 0);
     if (n < 0) {
@@ -278,6 +287,7 @@ class TcpConnection : public Connection {
   // close() calls harmless.
   void close() override {
     if (!closed_.exchange(true, std::memory_order_acq_rel)) {
+      obs::record_event(obs::EventCode::TransportClose, fd_);
       // pico-lint: allow(unchecked-status): best-effort peer wakeup; failure
       // means the socket is already disconnected, which is the goal state
       ::shutdown(fd_, SHUT_RDWR);
@@ -434,6 +444,7 @@ std::unique_ptr<Connection> tcp_connect(const std::string& host,
     ::close(fd);
     throw;
   }
+  obs::record_event(obs::EventCode::TransportConnect, port);
   return std::make_unique<TcpConnection>(fd);
 }
 

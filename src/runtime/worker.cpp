@@ -1,5 +1,7 @@
 #include "runtime/worker.hpp"
 
+#include <signal.h>
+
 #include <chrono>
 #include <map>
 #include <string>
@@ -11,6 +13,7 @@
 #include "common/mutex.hpp"
 #include "nn/executor.hpp"
 #include "obs/clock.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
 #include "obs/remote.hpp"
 #include "obs/trace.hpp"
@@ -35,6 +38,7 @@ struct DebugFaults {
   Mutex mutex;
   std::map<DeviceId, long long> kill_after PICO_GUARDED_BY(mutex);
   std::map<DeviceId, bool> stall PICO_GUARDED_BY(mutex);
+  std::map<DeviceId, long long> segv_after PICO_GUARDED_BY(mutex);
 };
 
 DebugFaults& debug_faults() {
@@ -59,6 +63,17 @@ bool debug_worker_stalled(DeviceId device) {
   MutexLock lock(faults.mutex);
   const auto it = faults.stall.find(device);
   return it != faults.stall.end() && it->second;
+}
+
+/// Counts down the segv-after budget; true means raise SIGSEGV now.
+bool debug_worker_consume_segv(DeviceId device) {
+  DebugFaults& faults = debug_faults();
+  MutexLock lock(faults.mutex);
+  const auto it = faults.segv_after.find(device);
+  if (it == faults.segv_after.end()) return false;
+  if (--it->second > 0) return false;
+  faults.segv_after.erase(it);
+  return true;
 }
 
 }  // namespace
@@ -106,11 +121,22 @@ void set_debug_worker_stall(DeviceId device, bool stalled) {
   }
 }
 
+void set_debug_worker_segv_after(DeviceId device, long long requests) {
+  DebugFaults& faults = debug_faults();
+  MutexLock lock(faults.mutex);
+  if (requests <= 0) {
+    faults.segv_after.erase(device);
+  } else {
+    faults.segv_after[device] = requests;
+  }
+}
+
 void clear_debug_worker_faults() {
   DebugFaults& faults = debug_faults();
   MutexLock lock(faults.mutex);
   faults.kill_after.clear();
   faults.stall.clear();
+  faults.segv_after.clear();
 }
 
 namespace {
@@ -181,6 +207,12 @@ Message serve_request(const nn::Graph& graph, Message request,
     serve.start_ns = recv_ns;
     serve.duration_ns = obs::worker_now_ns() - recv_ns;
     serve.args = {{"stage", stage}, {"trace", trace}, {"parent", parent}};
+    // Carry the serving thread's name so harvested spans and TSan reports
+    // agree on who did the work.
+    const char* thread_name = obs::FlightRecorder::global().current_thread_name();
+    if (thread_name[0] != '\0') {
+      serve.args.push_back({"thread", thread_name});
+    }
     spans.record(std::move(compute));
     spans.record(std::move(serve));
   }
@@ -211,6 +243,7 @@ void serve_loop(const nn::Graph& graph, Connection& connection,
         // The Shutdown carries the coordinator's final span cursor: prune
         // everything a harvest round already delivered so the tracer flush
         // below cannot duplicate it.
+        obs::record_event(obs::EventCode::WorkerShutdown, device);
         spans.ack(request.span_cursor);
         spans.flush_to_tracer();
         break;
@@ -252,8 +285,29 @@ void serve_loop(const nn::Graph& graph, Connection& connection,
         connection.send(reply);
         continue;
       }
+      if (request.type == MessageType::EventDump) {
+        // Black-box harvest (v4): ship every flight-recorder event with
+        // seq > cursor.  Unlike TraceDump nothing is pruned — the ring
+        // overwrites itself — so the reply's base > cursor + 1 tells the
+        // harvester history was lost to wraparound (tolerated by design).
+        Message reply;
+        reply.type = MessageType::EventDump;
+        reply.t_recv_ns = recv_ns;
+        const obs::EventChunk chunk =
+            obs::FlightRecorder::global().chunk(request.span_cursor);
+        reply.span_cursor = chunk.next;
+        reply.span_cursor_base = chunk.base;
+        reply.blob = obs::encode_events(chunk);
+        reply.t_send_ns = obs::worker_now_ns();
+        connection.send(reply);
+        continue;
+      }
       PICO_CHECK_MSG(request.type == MessageType::WorkRequest,
                      "worker got unexpected message type");
+      // Journal the accept before any chaos can kill us: a postmortem must
+      // name the in-flight task.
+      obs::record_event(obs::EventCode::WorkerServe, request.task_id,
+                        request.first_node, device);
       // Chaos injection: crash simulation.  Dying on receipt — request
       // accepted, never answered — is the worst case for the coordinator:
       // it is left blocked in the gather recv until the close() below
@@ -265,6 +319,16 @@ void serve_loop(const nn::Graph& graph, Connection& connection,
         connection.close();
         spans.flush_to_tracer();
         return;
+      }
+      // Chaos injection: real crash.  raise(SIGSEGV) (not a wild store —
+      // no UB) exercises the full postmortem path: handler, black-box
+      // dump, default-disposition death the parent observes via waitpid.
+      if (debug_worker_consume_segv(device)) {
+        PICO_LOG(Warn) << "worker (device " << device
+                       << ") debug segv: crashing mid-task "
+                       << request.task_id;
+        // pico-lint: allow(unchecked-status): the process is gone either way
+        ::raise(SIGSEGV);
       }
       Message result = serve_request(graph, std::move(request), device,
                                      options, recv_ns, spans);
@@ -285,8 +349,10 @@ void serve_loop(const nn::Graph& graph, Connection& connection,
           std::this_thread::sleep_for(std::chrono::milliseconds(1));
         }
       }
+      const std::int64_t reply_task = result.task_id;
       result.t_send_ns = obs::worker_now_ns();
       connection.send(std::move(result));
+      obs::record_event(obs::EventCode::WorkerReply, reply_task, device);
     }
   } catch (const TransportError&) {
     // Peer closed (or spoke another protocol version): normal shutdown
@@ -303,6 +369,9 @@ void serve_loop(const nn::Graph& graph, Connection& connection,
 
 void serve_blocking(const nn::Graph& graph, Connection& connection,
                     DeviceId device, const nn::ExecOptions& options) {
+  const std::string name =
+      device >= 0 ? "pico-srv-d" + std::to_string(device) : "pico-srv";
+  obs::set_current_thread_name(name.c_str());
   serve_loop(graph, connection, device, options, nullptr);
 }
 
@@ -329,6 +398,8 @@ void Worker::stop() {
 }
 
 void Worker::run() {
+  const std::string name = "pico-wrk-d" + std::to_string(device_);
+  obs::set_current_thread_name(name.c_str());
   serve_loop(graph_, *connection_, device_, options_, &requests_);
 }
 

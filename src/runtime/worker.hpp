@@ -66,7 +66,15 @@ void set_debug_worker_kill_after(DeviceId device, long long requests);
 /// 60 s hard cap expires.
 void set_debug_worker_stall(DeviceId device, bool stalled);
 
-/// Clears every kill/stall injection (the delay hook has its own clear).
+/// Chaos hook — real crash: the worker for `device` raises SIGSEGV on
+/// receipt of its `requests`-th subsequent WorkRequest (after journaling the
+/// accept), exercising the postmortem capture path end to end.  Only
+/// meaningful when the worker runs in its own process (multiprocess
+/// clusters); in-process it would take the whole test down.  requests <= 0
+/// clears the injection.
+void set_debug_worker_segv_after(DeviceId device, long long requests);
+
+/// Clears every kill/stall/segv injection (the delay hook has its own clear).
 void clear_debug_worker_faults();
 
 class Worker {

@@ -14,6 +14,7 @@
 #include <future>
 #include <map>
 #include <memory>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -21,6 +22,7 @@
 #include "common/rng.hpp"
 #include "models/zoo.hpp"
 #include "nn/executor.hpp"
+#include "obs/flight_recorder.hpp"
 #include "partition/pico_dp.hpp"
 #include "runtime/message.hpp"
 #include "runtime/pipeline.hpp"
@@ -242,6 +244,78 @@ TEST(Heartbeat, IdleDeathDetectedAndPromotedToDeviceFailure) {
     if (event.kind == obs::HealthEventKind::DeviceDown &&
         event.device == victim) {
       saw_down = true;
+    }
+  }
+  EXPECT_TRUE(saw_down);
+  rt.shutdown();
+}
+
+TEST(Heartbeat, DeviceDownEventCarriesHarvestedBlackBox) {
+  // Both workers live long enough for harvest rounds to pull their flight
+  // recorder (EventDump); then the victim dies *between* tasks.  The
+  // DeviceDown health event must carry the last harvested journal — the
+  // cluster keeps a black box for a device that can no longer dump one.
+  nn::Graph graph = models::synthetic_chain(3, 32, 8);
+  Rng rng(12);
+  graph.randomize_weights(rng);
+  const Cluster cluster = Cluster::paper_homogeneous(2, 1.0);
+  const partition::Plan plan =
+      partition::pico_plan(graph, cluster, test_network());
+
+  std::map<DeviceId, std::unique_ptr<runtime::Connection>> connections;
+  std::vector<std::unique_ptr<runtime::Worker>> workers;
+  std::vector<DeviceId> devices;
+  for (const auto& stage : plan.stages) {
+    for (const auto& slice : stage.assignments) {
+      if (connections.count(slice.device) != 0) continue;
+      devices.push_back(slice.device);
+      auto [coordinator_end, worker_end] = runtime::make_inproc_pair();
+      workers.push_back(std::make_unique<runtime::Worker>(
+          graph, std::move(worker_end), slice.device));
+      workers.back()->start();
+      connections.emplace(slice.device, std::move(coordinator_end));
+    }
+  }
+  ASSERT_GE(devices.size(), 2u) << "plan must span both devices";
+  const DeviceId victim = devices[1];
+
+  runtime::RuntimeOptions options;
+  options.harvest_ms = 30;
+  options.heartbeat_missed_rounds = 2;
+  runtime::PipelineRuntime rt(graph, plan, std::move(connections), options);
+
+  // Let at least two rounds succeed so the harvester has retained a ring.
+  const auto t0 = Clock::now();
+  while (rt.health().rounds < 2 && Clock::now() - t0 < 5s) {
+    std::this_thread::sleep_for(10ms);
+  }
+  ASSERT_GE(rt.health().rounds, 2) << "harvest rounds never completed";
+
+  workers[1]->stop();  // idle death: only the heartbeat can notice
+  std::vector<DeviceId> failed;
+  const auto t1 = Clock::now();
+  while (Clock::now() - t1 < 5s) {
+    failed = rt.failed_devices();
+    if (!failed.empty()) break;
+    std::this_thread::sleep_for(10ms);
+  }
+  ASSERT_EQ(failed, std::vector<DeviceId>{victim});
+
+  const obs::HealthSnapshot health = rt.health();
+  bool saw_down = false;
+  for (const obs::HealthEvent& event : health.events) {
+    if (event.kind != obs::HealthEventKind::DeviceDown ||
+        event.device != victim) {
+      continue;
+    }
+    saw_down = true;
+    EXPECT_FALSE(event.blackbox.empty())
+        << "DeviceDown must carry the device's last harvested journal";
+    for (const obs::EventRecord& record : event.blackbox) {
+      EXPECT_GT(record.seq, 0u);
+      EXPECT_NE(obs::event_code_name(
+                    static_cast<obs::EventCode>(record.code)),
+                std::string("?"));
     }
   }
   EXPECT_TRUE(saw_down);

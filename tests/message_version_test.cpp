@@ -1,8 +1,9 @@
-// Wire-protocol version negotiation (PIC3, reading PIC2).
+// Wire-protocol version negotiation (PIC4, reading PIC3 and PIC2).
 //
 // The decoder is version-gated on the leading magic: this build emits
-// "PIC3" (span cursors) and still reads "PIC2" — a v2 frame decodes with
-// both cursors zero, which is exactly the legacy full-drain TraceDump
+// "PIC4" (adds the EventDump verb; frame layout identical to v3) and still
+// reads "PIC3" (span cursors) and "PIC2" — a v2 frame decodes with both
+// cursors zero, which is exactly the legacy full-drain TraceDump
 // semantics.  Anything else — most importantly a "PIC1" frame from an older
 // build — must be rejected with a TransportError naming both the received
 // and the supported versions.  TransportError is the serve loop's
@@ -74,13 +75,20 @@ std::vector<std::uint8_t> with_magic(const Message& message,
 /// + compute(8) + trace ctx(16) + five timestamps(40).
 constexpr std::size_t kCursorOffset = 92;
 
-/// Rewrite a serialized PIC3 frame as the PIC2 frame an older build would
+/// Rewrite a serialized PIC4 frame as the PIC2 frame an older build would
 /// have produced: splice out the two span-cursor u64s and patch the magic.
 std::vector<std::uint8_t> as_pic2(std::vector<std::uint8_t> bytes) {
   EXPECT_GE(bytes.size(), kCursorOffset + 16);
   bytes.erase(bytes.begin() + kCursorOffset,
               bytes.begin() + kCursorOffset + 16);
   const std::uint32_t magic = 0x50494332u;
+  std::memcpy(bytes.data(), &magic, sizeof(magic));
+  return bytes;
+}
+
+/// A PIC3 frame is byte-identical to PIC4 apart from the magic: patch only.
+std::vector<std::uint8_t> as_pic3(std::vector<std::uint8_t> bytes) {
+  const std::uint32_t magic = 0x50494333u;
   std::memcpy(bytes.data(), &magic, sizeof(magic));
   return bytes;
 }
@@ -101,6 +109,60 @@ TEST(MessageVersion, RoundTripPreservesV2AndV3Fields) {
   EXPECT_EQ(decoded.blob, original.blob);
   EXPECT_FLOAT_EQ(Tensor::max_abs_diff(decoded.tensor, original.tensor),
                   0.0f);
+}
+
+TEST(MessageVersion, EmitsPic4Magic) {
+  const auto bytes = runtime::serialize(sample_request());
+  ASSERT_GE(bytes.size(), 4u);
+  std::uint32_t magic = 0;
+  std::memcpy(&magic, bytes.data(), sizeof(magic));
+  EXPECT_EQ(magic, 0x50494334u);  // 'P','I','C','4' little-endian
+}
+
+TEST(MessageVersion, Pic3FrameDecodesWithCursorsIntact) {
+  // A v3 peer (span cursors, no EventDump verb) shares the v4 frame layout;
+  // its frames must keep decoding untouched.
+  const Message original = sample_request();
+  const auto bytes = as_pic3(runtime::serialize(original));
+  const Message decoded = runtime::deserialize(bytes.data(), bytes.size());
+  EXPECT_EQ(decoded.span_cursor, original.span_cursor);
+  EXPECT_EQ(decoded.span_cursor_base, original.span_cursor_base);
+  EXPECT_EQ(decoded.task_id, original.task_id);
+  EXPECT_EQ(decoded.blob, original.blob);
+  EXPECT_FLOAT_EQ(Tensor::max_abs_diff(decoded.tensor, original.tensor),
+                  0.0f);
+}
+
+TEST(MessageVersion, EventDumpCursorsRoundTrip) {
+  // EventDump (new in v4) reuses the span-cursor fields as event-journal
+  // cursors; the frame must survive the wire with type and cursors exact.
+  Message request;
+  request.type = MessageType::EventDump;
+  request.span_cursor = 12345;       // event cursor: "give me seq > 12345"
+  request.span_cursor_base = 777;    // base echoed by the worker
+  request.blob = {9, 8, 7};          // encoded PEV1 chunk rides in the blob
+  const auto bytes = runtime::serialize(request);
+  const Message decoded = runtime::deserialize(bytes.data(), bytes.size());
+  EXPECT_EQ(decoded.type, MessageType::EventDump);
+  EXPECT_EQ(decoded.span_cursor, 12345u);
+  EXPECT_EQ(decoded.span_cursor_base, 777u);
+  EXPECT_EQ(decoded.blob, request.blob);
+  // The cursor pair sits at the documented fixed offset (the skew matrix
+  // below splices there, so the layout is load-bearing for the tests too).
+  std::uint64_t at_offset = 0;
+  std::memcpy(&at_offset, bytes.data() + kCursorOffset, sizeof(at_offset));
+  EXPECT_EQ(at_offset, 12345u);
+}
+
+TEST(MessageVersion, Pic1RejectionNamesPic4Too) {
+  const auto bytes = with_magic(sample_request(), 0x50494331u);
+  try {
+    runtime::deserialize(bytes.data(), bytes.size());
+    FAIL() << "PIC1 frame was accepted";
+  } catch (const TransportError& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("PIC4"), std::string::npos) << what;
+  }
 }
 
 TEST(MessageVersion, Pic2FrameStillDecodesWithZeroCursors) {

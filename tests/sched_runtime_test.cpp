@@ -21,6 +21,7 @@
 #include "core/planner.hpp"
 #include "models/zoo.hpp"
 #include "nn/executor.hpp"
+#include "obs/flight_recorder.hpp"
 #include "runtime/adaptive_runtime.hpp"
 #include "runtime/channel.hpp"
 #include "runtime/message.hpp"
@@ -238,6 +239,90 @@ TEST(SchedRuntime, WorkerShutdownVsHarvestRandom) {
   sched::ExploreResult result = sched::explore(options,
                                                worker_shutdown_body);
   expect_clean(result, "worker-shutdown");
+}
+
+// --- flight recorder: writes vs crash dump vs black-box harvest --------
+
+// Three consumers of the same seqlock ring race: a writer journaling
+// events, a "dumper" taking the full-ring merge the crash handler uses,
+// and a harvester pulling EventDump chunks through a live worker while
+// the owner stops it.  Under every interleaving the merge must stay a
+// consistent, strictly-ordered sequence (no torn slot ever surfaces), a
+// chunk must carry only events past its cursor, and the reply cursor
+// must never regress.
+void event_harvest_body() {
+  obs::FlightRecorder& recorder = obs::FlightRecorder::global();
+  recorder.clear();
+  // next_seq() is the seq the NEXT record takes (seqs keep counting across
+  // clear()); every event journaled by this body is therefore > floor.
+  const std::uint64_t seq_floor = recorder.next_seq() - 1;
+  auto [coordinator_end, worker_end] = runtime::make_inproc_pair();
+  auto* worker = new runtime::Worker(worker_graph(),
+                                     std::move(worker_end), 0);
+  auto* harvester_end =
+      new std::unique_ptr<runtime::Connection>(std::move(coordinator_end));
+  worker->start();
+  SchedThread writer([] {
+    for (int i = 0; i < 6; ++i) {
+      obs::record_event(obs::EventCode::TaskAccept, i);
+    }
+  });
+  SchedThread dumper([seq_floor] {
+    // The crash handler's read path: a full merge at an arbitrary point.
+    const std::vector<obs::EventRecord> events =
+        obs::FlightRecorder::global().snapshot();
+    std::uint64_t previous = seq_floor;
+    for (const obs::EventRecord& event : events) {
+      sched::check(event.seq > previous,
+                   "snapshot must be a strictly-ordered merge (no tears)");
+      previous = event.seq;
+    }
+  });
+  SchedThread harvester([harvester_end, seq_floor] {
+    try {
+      std::uint64_t cursor = seq_floor;
+      for (int round = 0; round < 2; ++round) {
+        Message request;
+        request.type = MessageType::EventDump;
+        request.span_cursor = cursor;
+        (*harvester_end)->send(request);
+        Message reply = (*harvester_end)->recv();
+        sched::check(reply.type == MessageType::EventDump,
+                     "EventDump must be answered in kind");
+        sched::check(reply.span_cursor >= cursor,
+                     "event cursor must never move backwards");
+        const obs::EventChunk chunk =
+            obs::decode_events(reply.blob.data(), reply.blob.size());
+        sched::check(chunk.next == reply.span_cursor,
+                     "wire cursor must match the encoded chunk");
+        std::uint64_t previous = cursor;
+        for (const obs::EventRecord& event : chunk.events) {
+          sched::check(event.seq > previous,
+                       "a chunk carries only newer events, in order");
+          previous = event.seq;
+        }
+        cursor = reply.span_cursor;
+      }
+    } catch (const TransportError&) {
+      // The worker shut down mid-harvest; expected.
+    }
+  });
+  writer.join();
+  dumper.join();
+  worker->stop();  // close + join races against the harvest
+  harvester.join();
+  delete worker;
+  delete harvester_end;
+}
+
+TEST(SchedRuntime, RecorderWriteVsDumpVsHarvestRandom) {
+  sched::ExploreOptions options;
+  options.mode = sched::Mode::Random;
+  options.random_schedules = 40;
+  options.seed = 13;
+  options.max_steps = 100000;
+  sched::ExploreResult result = sched::explore(options, event_harvest_body);
+  expect_clean(result, "recorder-harvest");
 }
 
 // --- Pipeline / adaptive runtime ---------------------------------------

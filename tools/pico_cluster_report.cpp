@@ -56,8 +56,10 @@
 
 #include "models/cfg.hpp"
 #include "obs/clock.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/health.hpp"
 #include "obs/metrics.hpp"
+#include "obs/postmortem.hpp"
 #include "obs/remote.hpp"
 #include "obs/trace.hpp"
 #include "partition/pico_dp.hpp"
@@ -113,6 +115,16 @@ churn:
                          that recovery replanned at least once, and that
                          the surviving devices stayed healthy
 
+postmortem (standalone mode; --model not required):
+  --postmortem <file>    load a pico_postmortem_<pid>.json crash artifact and
+                         render it (text tables, or JSON with --json) instead
+                         of running a cluster
+  --expect-event <code>  with --postmortem: gate on the artifact containing
+                         at least one event with this stable code name (e.g.
+                         worker_serve, check_failed; repeatable — all must be
+                         present).  Exit 2 when missing, 1 on a bad file, 0
+                         when every expected event is found
+
 output:
   --json                 emit a JSON report instead of the text tables
   --trace-out <file>     merged Chrome trace (default pico_cluster_trace.json)
@@ -149,6 +161,8 @@ struct Args {
   pico::DeviceId expect_down = -1;
   std::string trace_out = "pico_cluster_trace.json";
   std::string metrics_out;
+  std::string postmortem;
+  std::vector<std::string> expect_events;
 };
 
 [[noreturn]] void fail(const std::string& message) {
@@ -246,6 +260,15 @@ Args parse_args(int argc, char** argv) {
       args.trace_out = value();
     } else if (flag == "--metrics-out") {
       args.metrics_out = value();
+    } else if (flag == "--postmortem") {
+      args.postmortem = value();
+    } else if (flag == "--expect-event") {
+      const std::string name = value();
+      if (pico::obs::event_code_from_name(name.c_str()) ==
+          pico::obs::EventCode::None) {
+        fail("--expect-event: unknown event code name '" + name + "'");
+      }
+      args.expect_events.push_back(name);
     } else if (flag == "--help" || flag == "-h") {
       std::cout << kUsage;
       std::exit(0);
@@ -253,7 +276,10 @@ Args parse_args(int argc, char** argv) {
       fail("unknown flag '" + flag + "'\n" + kUsage);
     }
   }
-  if (args.model.empty()) {
+  if (!args.expect_events.empty() && args.postmortem.empty()) {
+    fail("--expect-event needs --postmortem");
+  }
+  if (args.model.empty() && args.postmortem.empty()) {
     fail(std::string("--model is required\n") + kUsage);
   }
   return args;
@@ -406,7 +432,7 @@ void print_health(std::FILE* out, const pico::obs::HealthSnapshot& health) {
                  fmt_us(residual.measured).c_str(), residual.residual_ewma);
   }
   for (const pico::obs::HealthEvent& event : health.events) {
-    std::fprintf(out, "  [round %lld] %s%s%s: %s\n",
+    std::fprintf(out, "  [round %lld] %s%s%s: %s%s\n",
                  static_cast<long long>(event.round),
                  pico::obs::health_event_kind_name(event.kind),
                  event.device >= 0
@@ -415,14 +441,104 @@ void print_health(std::FILE* out, const pico::obs::HealthSnapshot& health) {
                  event.stage >= 0
                      ? (" stage " + std::to_string(event.stage)).c_str()
                      : "",
-                 event.detail.c_str());
+                 event.detail.c_str(),
+                 event.blackbox.empty()
+                     ? ""
+                     : (" [black box: " +
+                        std::to_string(event.blackbox.size()) + " event(s)]")
+                           .c_str());
   }
+}
+
+/// Standalone --postmortem mode: render a crash artifact and gate on the
+/// expected event codes.  Exit 0 = rendered (and every --expect-event code
+/// present), 2 = a gate failed, 1 = the file is unreadable or malformed.
+int postmortem_mode(const Args& args) {
+  namespace obs = pico::obs;
+  obs::Postmortem pm;
+  try {
+    pm = obs::load_postmortem(args.postmortem);
+  } catch (const std::exception& error) {
+    std::cerr << "pico_cluster_report: " << error.what() << "\n";
+    return 1;
+  }
+
+  if (args.json) {
+    std::cout << "{\n  \"postmortem\": \"" << args.postmortem << "\",\n"
+              << "  \"pid\": " << pm.pid << ",\n  \"reason\": \"" << pm.reason
+              << "\",\n  \"signal\": " << pm.signal_number
+              << ",\n  \"threads\": " << pm.threads.size()
+              << ",\n  \"pending_spans\": " << pm.spans.size()
+              << ",\n  \"metrics\": " << pm.metrics.size()
+              << ",\n  \"events\": [";
+    for (std::size_t i = 0; i < pm.events.size(); ++i) {
+      const obs::PostmortemEvent& event = pm.events[i];
+      std::cout << (i ? "," : "") << "\n    {\"seq\": " << event.seq
+                << ", \"t_ns\": " << event.t_ns << ", \"tid\": " << event.tid
+                << ", \"thread\": \"" << pm.thread_name(event.tid)
+                << "\", \"name\": \"" << event.name << "\", \"args\": ["
+                << event.args[0] << ", " << event.args[1] << ", "
+                << event.args[2] << ", " << event.args[3] << "]}";
+    }
+    std::cout << "\n  ]\n}\n";
+  } else {
+    std::printf("postmortem %s: pid %d, reason %s", args.postmortem.c_str(),
+                pm.pid, pm.reason.c_str());
+    if (pm.signal_number != 0) std::printf(" (signal %d)", pm.signal_number);
+    std::printf("\n%zu thread(s), %zu journal event(s), %zu open span(s), "
+                "%zu metric(s)\n\n",
+                pm.threads.size(), pm.events.size(), pm.spans.size(),
+                pm.metrics.size());
+    std::printf("%8s %14s %-14s %-18s args\n", "seq", "t_ns", "thread",
+                "event");
+    for (const obs::PostmortemEvent& event : pm.events) {
+      const std::string thread = pm.thread_name(event.tid);
+      std::printf("%8llu %14lld %-14s %-18s %lld %lld %lld %lld\n",
+                  static_cast<unsigned long long>(event.seq),
+                  static_cast<long long>(event.t_ns),
+                  thread.empty() ? ("tid " + std::to_string(event.tid)).c_str()
+                                 : thread.c_str(),
+                  event.name.c_str(), static_cast<long long>(event.args[0]),
+                  static_cast<long long>(event.args[1]),
+                  static_cast<long long>(event.args[2]),
+                  static_cast<long long>(event.args[3]));
+    }
+    if (!pm.spans.empty()) {
+      std::printf("\nspans still open at dump time:\n");
+      for (const obs::PostmortemSpan& span : pm.spans) {
+        std::printf("  %-14s start %lld ns, track %lld, task %lld (%s)\n",
+                    span.name.c_str(), static_cast<long long>(span.start_ns),
+                    static_cast<long long>(span.track),
+                    static_cast<long long>(span.task_id),
+                    pm.thread_name(span.tid).c_str());
+      }
+    }
+  }
+
+  int failures = 0;
+  for (const std::string& expected : args.expect_events) {
+    bool found = false;
+    for (const obs::PostmortemEvent& event : pm.events) {
+      found |= event.name == expected;
+    }
+    if (!found) {
+      std::cerr << "pico_cluster_report: CHECK FAILED: postmortem has no '"
+                << expected << "' event\n";
+      ++failures;
+    }
+  }
+  if (failures > 0) return 2;
+  if (!args.expect_events.empty()) {
+    std::cerr << "all postmortem event checks passed\n";
+  }
+  return 0;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   const Args args = parse_args(argc, argv);
+  if (!args.postmortem.empty()) return postmortem_mode(args);
   try {
     namespace obs = pico::obs;
     namespace runtime = pico::runtime;
@@ -632,7 +748,8 @@ int main(int argc, char** argv) {
                   << obs::health_event_kind_name(event.kind)
                   << "\", \"device\": " << event.device
                   << ", \"stage\": " << event.stage << ", \"value\": "
-                  << num(event.value) << "}";
+                  << num(event.value)
+                  << ", \"blackbox_events\": " << event.blackbox.size() << "}";
       }
       std::cout << "\n    ]\n  },\n";
       std::cout << "  \"recovery\": {\"dead_devices\": [";

@@ -1,0 +1,283 @@
+// pico_postmortem — render a flight-recorder crash artifact
+// (pico_postmortem_<pid>.json, written by the signal/terminate handlers or
+// write_postmortem_now) as a causal timeline: every journal event in seq
+// order with wall-clock deltas, thread names, decoded args, the spans that
+// were still open when the process died, and the crash-slot metrics
+// snapshot.
+//
+// With --trace the journal is additionally merged into an existing Chrome
+// trace (the pico_cluster_report / PICO_TRACE artifact): each event becomes
+// a "ph":"i" instant on a dedicated "flight recorder" track, so the crash
+// record and the span timeline line up in one viewer.  Worker-side
+// postmortems carry worker-clock timestamps; --offset-ns subtracts the
+// harvest-estimated clock offset first (the same rebasing harvest applies
+// to spans), so cross-machine artifacts land on the coordinator timeline.
+//
+// Examples:
+//   pico_postmortem pico_postmortem_12345.json
+//   pico_postmortem pico_postmortem_12345.json --offset-ns 48123456
+//       --trace pico_cluster_trace.json --out merged_trace.json
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/flight_recorder.hpp"
+#include "obs/postmortem.hpp"
+
+namespace {
+
+constexpr const char* kUsage =
+    R"(usage: pico_postmortem <postmortem.json> [options]
+
+  --offset-ns <n>   subtract n from every event timestamp before rendering
+                    (rebase a worker-clock artifact onto the coordinator
+                    timeline, mirroring the harvest span rebasing)
+  --trace <file>    merge the journal into this Chrome trace as "ph":"i"
+                    instant events on a "flight recorder" track
+  --out <file>      merged trace destination (default
+                    pico_postmortem_trace.json; requires --trace)
+  --json            machine-readable timeline on stdout instead of text
+)";
+
+struct Args {
+  std::string postmortem;
+  std::string trace;
+  std::string out = "pico_postmortem_trace.json";
+  long long offset_ns = 0;
+  bool json = false;
+};
+
+[[noreturn]] void fail(const std::string& message) {
+  std::cerr << "pico_postmortem: " << message << "\n";
+  std::exit(1);
+}
+
+Args parse_args(int argc, char** argv) {
+  Args args;
+  std::vector<std::string> tokens(argv + 1, argv + argc);
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    const std::string& flag = tokens[i];
+    auto value = [&]() -> const std::string& {
+      if (i + 1 >= tokens.size()) fail("missing value for " + flag);
+      return tokens[++i];
+    };
+    if (flag == "--offset-ns") {
+      try {
+        args.offset_ns = std::stoll(value());
+      } catch (const std::exception&) {
+        fail("bad value for --offset-ns");
+      }
+    } else if (flag == "--trace") {
+      args.trace = value();
+    } else if (flag == "--out") {
+      args.out = value();
+    } else if (flag == "--json") {
+      args.json = true;
+    } else if (flag == "--help" || flag == "-h") {
+      std::cout << kUsage;
+      std::exit(0);
+    } else if (!flag.empty() && flag[0] == '-') {
+      fail("unknown flag '" + flag + "'\n" + kUsage);
+    } else if (args.postmortem.empty()) {
+      args.postmortem = flag;
+    } else {
+      fail("more than one postmortem file given\n" + std::string(kUsage));
+    }
+  }
+  if (args.postmortem.empty()) fail(std::string(kUsage));
+  return args;
+}
+
+void json_escape(std::ostream& os, const std::string& text) {
+  os << '"';
+  for (const char c : text) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      case '\r': os << "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          const char* hex = "0123456789abcdef";
+          os << "\\u00" << hex[(c >> 4) & 0xf] << hex[c & 0xf];
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+/// Decode the string-table-indexed args (check_failed files, plan_switch
+/// scheme names) back to text where the code is known to intern.
+std::string describe_args(const pico::obs::Postmortem& pm,
+                          const pico::obs::PostmortemEvent& event) {
+  namespace obs = pico::obs;
+  auto interned = [&pm](std::int64_t index) -> std::string {
+    if (index >= 0 && static_cast<std::size_t>(index) < pm.strings.size()) {
+      return pm.strings[static_cast<std::size_t>(index)];
+    }
+    return "?";
+  };
+  const auto code = static_cast<obs::EventCode>(event.code);
+  std::ostringstream os;
+  if (code == obs::EventCode::PlanSwitch) {
+    os << interned(event.args[0]) << " -> " << interned(event.args[1])
+       << " (switch " << event.args[2] << ")";
+  } else if (code == obs::EventCode::CheckFailed) {
+    os << interned(event.args[1]) << ":" << event.args[0];
+  } else {
+    os << event.args[0] << " " << event.args[1] << " " << event.args[2] << " "
+       << event.args[3];
+  }
+  return os.str();
+}
+
+/// Splice instant events into an existing Chrome trace file: everything up
+/// to the final ']' is kept verbatim, the journal rides in after it.
+void merge_into_trace(const Args& args, const pico::obs::Postmortem& pm) {
+  std::ifstream in(args.trace);
+  if (!in.good()) fail("cannot read " + args.trace);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  std::string text = buffer.str();
+  const std::size_t end = text.rfind(']');
+  if (end == std::string::npos) {
+    fail(args.trace + " does not look like a Chrome trace (no ']')");
+  }
+  const bool empty_array = [&] {
+    for (std::size_t i = end; i-- > 0;) {
+      if (text[i] == '[') return true;
+      if (!std::isspace(static_cast<unsigned char>(text[i]))) return false;
+    }
+    return true;
+  }();
+
+  // The recorder gets its own viewer row, far from the span tracks.
+  constexpr long long kRecorderTrack = 990000;
+  std::ostringstream os;
+  os << text.substr(0, end);
+  if (!empty_array) os << ',';
+  os << "{\"ph\":\"M\",\"pid\":0,\"tid\":" << kRecorderTrack
+     << ",\"name\":\"thread_name\",\"args\":{\"name\":\"flight recorder (pid "
+     << pm.pid << ")\"}}";
+  os.precision(15);
+  for (const pico::obs::PostmortemEvent& event : pm.events) {
+    os << ",{\"ph\":\"i\",\"pid\":0,\"tid\":" << kRecorderTrack
+       << ",\"s\":\"t\",\"name\":";
+    json_escape(os, event.name);
+    os << ",\"cat\":\"recorder\",\"ts\":"
+       << static_cast<double>(event.t_ns) / 1e3 << ",\"args\":{\"seq\":"
+       << event.seq << ",\"thread\":";
+    json_escape(os, pm.thread_name(event.tid));
+    os << ",\"detail\":";
+    json_escape(os, describe_args(pm, event));
+    os << "}}";
+  }
+  os << text.substr(end);
+
+  std::ofstream out(args.out, std::ios::trunc);
+  if (!out.good()) fail("cannot write " + args.out);
+  out << os.str();
+  if (!out.good()) fail("write to " + args.out + " failed");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args = parse_args(argc, argv);
+  namespace obs = pico::obs;
+  obs::Postmortem pm;
+  try {
+    pm = obs::load_postmortem(args.postmortem);
+  } catch (const std::exception& error) {
+    fail(error.what());
+  }
+  // Rebase (and keep events seq-sorted: load_postmortem sorted them, and a
+  // uniform shift preserves that order on the time axis too).
+  for (obs::PostmortemEvent& event : pm.events) event.t_ns -= args.offset_ns;
+  for (obs::PostmortemSpan& span : pm.spans) span.start_ns -= args.offset_ns;
+
+  if (args.json) {
+    std::ostringstream os;
+    os << "{\n  \"pid\": " << pm.pid << ",\n  \"reason\": ";
+    json_escape(os, pm.reason);
+    os << ",\n  \"signal\": " << pm.signal_number << ",\n  \"events\": [";
+    for (std::size_t i = 0; i < pm.events.size(); ++i) {
+      const obs::PostmortemEvent& event = pm.events[i];
+      os << (i ? "," : "") << "\n    {\"seq\": " << event.seq
+         << ", \"t_ns\": " << event.t_ns << ", \"thread\": ";
+      json_escape(os, pm.thread_name(event.tid));
+      os << ", \"name\": ";
+      json_escape(os, event.name);
+      os << ", \"detail\": ";
+      json_escape(os, describe_args(pm, event));
+      os << "}";
+    }
+    os << "\n  ],\n  \"open_spans\": [";
+    for (std::size_t i = 0; i < pm.spans.size(); ++i) {
+      const obs::PostmortemSpan& span = pm.spans[i];
+      os << (i ? "," : "") << "\n    {\"name\": ";
+      json_escape(os, span.name);
+      os << ", \"start_ns\": " << span.start_ns << ", \"task\": "
+         << span.task_id << ", \"thread\": ";
+      json_escape(os, pm.thread_name(span.tid));
+      os << "}";
+    }
+    os << "\n  ]\n}\n";
+    std::cout << os.str();
+  } else {
+    std::printf("postmortem of pid %d — %s", pm.pid, pm.reason.c_str());
+    if (pm.signal_number != 0) std::printf(" (signal %d)", pm.signal_number);
+    if (args.offset_ns != 0) {
+      std::printf(", rebased by -%lld ns", args.offset_ns);
+    }
+    std::printf("\n\ncausal timeline (%zu event(s)):\n", pm.events.size());
+    std::int64_t last_ns = pm.events.empty() ? 0 : pm.events.front().t_ns;
+    for (const obs::PostmortemEvent& event : pm.events) {
+      const std::string thread = pm.thread_name(event.tid);
+      std::printf("  %8llu  %14lld ns  %+10lld  %-14s %-18s %s\n",
+                  static_cast<unsigned long long>(event.seq),
+                  static_cast<long long>(event.t_ns),
+                  static_cast<long long>(event.t_ns - last_ns),
+                  thread.empty() ? ("tid " + std::to_string(event.tid)).c_str()
+                                 : thread.c_str(),
+                  event.name.c_str(), describe_args(pm, event).c_str());
+      last_ns = event.t_ns;
+    }
+    if (!pm.spans.empty()) {
+      std::printf("\nin flight at death (%zu open span(s)):\n",
+                  pm.spans.size());
+      for (const obs::PostmortemSpan& span : pm.spans) {
+        std::printf("  %-14s started %lld ns, task %lld, thread %s\n",
+                    span.name.c_str(), static_cast<long long>(span.start_ns),
+                    static_cast<long long>(span.task_id),
+                    pm.thread_name(span.tid).c_str());
+      }
+    }
+    if (!pm.metrics.empty()) {
+      std::printf("\nmetrics snapshot (%zu):\n", pm.metrics.size());
+      for (const obs::PostmortemMetric& metric : pm.metrics) {
+        std::printf("  %-36s%s count %lld value %.9g\n", metric.name.c_str(),
+                    metric.labels.empty()
+                        ? ""
+                        : ("{" + metric.labels + "}").c_str(),
+                    static_cast<long long>(metric.count), metric.value);
+      }
+    }
+  }
+
+  if (!args.trace.empty()) {
+    merge_into_trace(args, pm);
+    std::fprintf(stderr, "pico_postmortem: merged %zu event(s) into %s\n",
+                 pm.events.size(), args.out.c_str());
+  }
+  return 0;
+}
