@@ -108,6 +108,7 @@ std::atomic<FlightRecorder*> g_recorder{nullptr};
 // destructors during thread teardown stays safe (the PR 5 lesson).
 thread_local const char* t_thread_name = "";
 
+// pico-lint: signal-root
 void check_failed_flight_hook(const char* /*expr*/, const char* file,
                               int line) {
   FlightRecorder* recorder = FlightRecorder::crash_instance();
@@ -487,9 +488,23 @@ EventChunk decode_events(const std::uint8_t* data, std::size_t size) {
 // PendingSpanTable
 // ---------------------------------------------------------------------------
 
+namespace {
+// Published by global() for the crash handler (see crash_instance()).
+std::atomic<PendingSpanTable*> g_span_table{nullptr};
+}  // namespace
+
 PendingSpanTable& PendingSpanTable::global() {
-  static PendingSpanTable* instance = new PendingSpanTable();  // never
-  return *instance;  // destroyed: spans may close during static teardown
+  static PendingSpanTable* instance = [] {
+    auto* table = new PendingSpanTable();  // never destroyed: spans may
+    // close during static teardown
+    g_span_table.store(table, std::memory_order_release);
+    return table;
+  }();
+  return *instance;
+}
+
+PendingSpanTable* PendingSpanTable::crash_instance() {
+  return g_span_table.load(std::memory_order_acquire);
 }
 
 int PendingSpanTable::claim(const Entry& entry) {

@@ -284,6 +284,12 @@ class PendingSpanTable {
 
   static PendingSpanTable& global();
 
+  /// The instance pointer if global() has run, else nullptr.  The crash
+  /// handler reads this instead of calling global(): a function-local
+  /// static's init guard (and the `new` behind it) is not
+  /// async-signal-safe.
+  static PendingSpanTable* crash_instance();
+
   /// Claim a slot and commit `entry`; -1 when full (span goes untracked).
   int claim(const Entry& entry);
   void release(int slot);

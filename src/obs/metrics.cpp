@@ -194,11 +194,23 @@ std::string render_labels(const std::vector<Label>& labels) {
   return out;
 }
 
+// Published by global() for the crash handler (see crash_instance()).
+std::atomic<Registry*> g_crash_registry{nullptr};
+
 }  // namespace
 
 Registry& Registry::global() {
-  static Registry* instance = new Registry();  // never destroyed: metric
-  return *instance;  // pointers must outlive static-teardown users
+  static Registry* instance = [] {
+    auto* registry = new Registry();  // never destroyed: metric
+    // pointers must outlive static-teardown users
+    g_crash_registry.store(registry, std::memory_order_release);
+    return registry;
+  }();
+  return *instance;
+}
+
+Registry* Registry::crash_instance() {
+  return g_crash_registry.load(std::memory_order_acquire);
 }
 
 Registry::Slot& Registry::slot(const std::string& name,

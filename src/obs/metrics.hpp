@@ -137,6 +137,12 @@ class Registry {
  public:
   static Registry& global();
 
+  /// The instance pointer if global() has run, else nullptr.  The crash
+  /// handler reads this instead of calling global(): a function-local
+  /// static's init guard (and the `new` behind it) is not
+  /// async-signal-safe.
+  static Registry* crash_instance();
+
   Counter& counter(const std::string& name, const std::vector<Label>& labels = {});
   Gauge& gauge(const std::string& name, const std::vector<Label>& labels = {});
   Histogram& histogram(const std::string& name,

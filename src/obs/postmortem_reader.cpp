@@ -1,0 +1,322 @@
+// Postmortem parse-back: load_postmortem() and its minimal JSON DOM.
+//
+// Deliberately a separate translation unit from postmortem.cpp: the reader
+// runs in normal context (allocation, iostreams and exceptions are fine),
+// while postmortem.cpp holds the async-signal-safe DUMP path whose object
+// file is audited symbol-by-symbol by tools/check_postmortem_syms.sh — the
+// link-time backstop to pico_lint's signal-unsafe call-graph proof.  Code
+// that needs malloc/stdio belongs here, never in postmortem.cpp.
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "obs/postmortem.hpp"
+
+namespace pico::obs {
+
+namespace {
+
+/// Minimal JSON DOM — just enough for the machine-written postmortem format
+/// (objects, arrays, strings, integer/real numbers, literals).
+struct JsonValue {
+  enum class Kind { Null, Bool, Int, Real, Str, Arr, Obj };
+  Kind kind = Kind::Null;
+  bool boolean = false;
+  long long integer = 0;
+  double real = 0.0;
+  std::string text;
+  std::vector<JsonValue> items;
+  std::map<std::string, JsonValue> fields;
+
+  const JsonValue* find(const char* key) const {
+    const auto it = fields.find(key);
+    return it != fields.end() ? &it->second : nullptr;
+  }
+  long long as_int(long long fallback = 0) const {
+    if (kind == Kind::Int) return integer;
+    if (kind == Kind::Real) return static_cast<long long>(real);
+    return fallback;
+  }
+  double as_real(double fallback = 0.0) const {
+    if (kind == Kind::Real) return real;
+    if (kind == Kind::Int) return static_cast<double>(integer);
+    return fallback;
+  }
+};
+
+class JsonParser {
+ public:
+  JsonParser(const char* data, std::size_t size)
+      : cursor_(data), end_(data + size) {}
+
+  JsonValue parse() {
+    JsonValue value = parse_value();
+    skip_space();
+    if (cursor_ != end_) fail("trailing content");
+    return value;
+  }
+
+ private:
+  [[noreturn]] void fail(const char* what) {
+    std::ostringstream os;
+    os << "postmortem JSON: " << what << " at offset " << (cursor_ - begin_);
+    throw Error(os.str());
+  }
+
+  void skip_space() {
+    while (cursor_ != end_ &&
+           (*cursor_ == ' ' || *cursor_ == '\n' || *cursor_ == '\t' ||
+            *cursor_ == '\r')) {
+      ++cursor_;
+    }
+  }
+
+  char peek() {
+    skip_space();
+    if (cursor_ == end_) fail("unexpected end");
+    return *cursor_;
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail("unexpected character");
+    ++cursor_;
+  }
+
+  JsonValue parse_value() {
+    const char c = peek();
+    if (c == '{') return parse_object();
+    if (c == '[') return parse_array();
+    if (c == '"') {
+      JsonValue value;
+      value.kind = JsonValue::Kind::Str;
+      value.text = parse_string();
+      return value;
+    }
+    if (c == 't' || c == 'f') return parse_literal(c == 't');
+    if (c == 'n') {
+      consume_word("null");
+      return JsonValue{};
+    }
+    return parse_number();
+  }
+
+  void consume_word(const char* word) {
+    for (const char* p = word; *p != '\0'; ++p) {
+      if (cursor_ == end_ || *cursor_ != *p) fail("bad literal");
+      ++cursor_;
+    }
+  }
+
+  JsonValue parse_literal(bool value) {
+    consume_word(value ? "true" : "false");
+    JsonValue out;
+    out.kind = JsonValue::Kind::Bool;
+    out.boolean = value;
+    return out;
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (cursor_ != end_ && *cursor_ != '"') {
+      char c = *cursor_++;
+      if (c == '\\') {
+        if (cursor_ == end_) fail("bad escape");
+        const char escape = *cursor_++;
+        switch (escape) {
+          case '"': c = '"'; break;
+          case '\\': c = '\\'; break;
+          case '/': c = '/'; break;
+          case 'n': c = '\n'; break;
+          case 't': c = '\t'; break;
+          case 'r': c = '\r'; break;
+          case 'u':
+            // Our writer never emits \u; tolerate by skipping 4 hex chars.
+            for (int i = 0; i < 4 && cursor_ != end_; ++i) ++cursor_;
+            c = '?';
+            break;
+          default: fail("bad escape");
+        }
+      }
+      out.push_back(c);
+    }
+    if (cursor_ == end_) fail("unterminated string");
+    ++cursor_;  // closing quote
+    return out;
+  }
+
+  JsonValue parse_number() {
+    const char* start = cursor_;
+    bool real = false;
+    if (cursor_ != end_ && *cursor_ == '-') ++cursor_;
+    while (cursor_ != end_ &&
+           ((*cursor_ >= '0' && *cursor_ <= '9') || *cursor_ == '.' ||
+            *cursor_ == 'e' || *cursor_ == 'E' || *cursor_ == '+' ||
+            *cursor_ == '-')) {
+      if (*cursor_ == '.' || *cursor_ == 'e' || *cursor_ == 'E') real = true;
+      ++cursor_;
+    }
+    if (cursor_ == start) fail("bad number");
+    const std::string text(start, static_cast<std::size_t>(cursor_ - start));
+    JsonValue out;
+    if (real) {
+      out.kind = JsonValue::Kind::Real;
+      out.real = std::strtod(text.c_str(), nullptr);
+    } else {
+      out.kind = JsonValue::Kind::Int;
+      out.integer = std::strtoll(text.c_str(), nullptr, 10);
+    }
+    return out;
+  }
+
+  JsonValue parse_array() {
+    expect('[');
+    JsonValue out;
+    out.kind = JsonValue::Kind::Arr;
+    if (peek() == ']') {
+      ++cursor_;
+      return out;
+    }
+    for (;;) {
+      out.items.push_back(parse_value());
+      const char c = peek();
+      ++cursor_;
+      if (c == ']') return out;
+      if (c != ',') fail("expected , or ]");
+    }
+  }
+
+  JsonValue parse_object() {
+    expect('{');
+    JsonValue out;
+    out.kind = JsonValue::Kind::Obj;
+    if (peek() == '}') {
+      ++cursor_;
+      return out;
+    }
+    for (;;) {
+      std::string key = parse_string();
+      expect(':');
+      out.fields.emplace(std::move(key), parse_value());
+      const char c = peek();
+      ++cursor_;
+      if (c == '}') return out;
+      if (c != ',') fail("expected , or }");
+    }
+  }
+
+  const char* cursor_;
+  const char* end_;
+  const char* begin_ = cursor_;
+};
+
+}  // namespace
+
+std::string Postmortem::thread_name(std::uint32_t tid) const {
+  for (const PostmortemThread& thread : threads) {
+    if (thread.tid == tid) return thread.name;
+  }
+  return "";
+}
+
+Postmortem load_postmortem(const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file.good()) throw Error("cannot read postmortem file: " + path);
+  std::stringstream buffer;
+  buffer << file.rdbuf();
+  const std::string text = buffer.str();
+  JsonParser parser(text.data(), text.size());
+  const JsonValue root = parser.parse();
+  if (root.kind != JsonValue::Kind::Obj ||
+      root.find("pico_postmortem") == nullptr) {
+    throw Error("not a pico postmortem file: " + path);
+  }
+  Postmortem out;
+  if (const JsonValue* pid = root.find("pid")) {
+    out.pid = static_cast<int>(pid->as_int());
+  }
+  if (const JsonValue* reason = root.find("reason")) out.reason = reason->text;
+  if (const JsonValue* sig = root.find("signal")) {
+    out.signal_number = static_cast<int>(sig->as_int());
+  }
+  if (const JsonValue* threads = root.find("threads")) {
+    for (const JsonValue& item : threads->items) {
+      PostmortemThread thread;
+      if (const JsonValue* tid = item.find("tid")) {
+        thread.tid = static_cast<std::uint32_t>(tid->as_int());
+      }
+      if (const JsonValue* name = item.find("name")) thread.name = name->text;
+      out.threads.push_back(std::move(thread));
+    }
+  }
+  if (const JsonValue* strings = root.find("strings")) {
+    for (const JsonValue& item : strings->items) {
+      out.strings.push_back(item.text);
+    }
+  }
+  if (const JsonValue* events = root.find("events")) {
+    for (const JsonValue& item : events->items) {
+      PostmortemEvent event;
+      if (const JsonValue* v = item.find("seq")) {
+        event.seq = static_cast<std::uint64_t>(v->as_int());
+      }
+      if (const JsonValue* v = item.find("t_ns")) event.t_ns = v->as_int();
+      if (const JsonValue* v = item.find("tid")) {
+        event.tid = static_cast<std::uint32_t>(v->as_int());
+      }
+      if (const JsonValue* v = item.find("cat")) {
+        event.category = static_cast<std::uint16_t>(v->as_int());
+      }
+      if (const JsonValue* v = item.find("code")) {
+        event.code = static_cast<std::uint16_t>(v->as_int());
+      }
+      if (const JsonValue* v = item.find("name")) event.name = v->text;
+      if (const JsonValue* v = item.find("args")) {
+        for (std::size_t a = 0; a < 4 && a < v->items.size(); ++a) {
+          event.args[a] = v->items[a].as_int();
+        }
+      }
+      out.events.push_back(std::move(event));
+    }
+  }
+  if (const JsonValue* spans = root.find("spans")) {
+    for (const JsonValue& item : spans->items) {
+      PostmortemSpan span;
+      if (const JsonValue* v = item.find("name")) span.name = v->text;
+      if (const JsonValue* v = item.find("start_ns")) {
+        span.start_ns = v->as_int();
+      }
+      if (const JsonValue* v = item.find("track")) span.track = v->as_int();
+      if (const JsonValue* v = item.find("task")) span.task_id = v->as_int();
+      if (const JsonValue* v = item.find("tid")) {
+        span.tid = static_cast<std::uint32_t>(v->as_int());
+      }
+      out.spans.push_back(std::move(span));
+    }
+  }
+  if (const JsonValue* metrics = root.find("metrics")) {
+    for (const JsonValue& item : metrics->items) {
+      PostmortemMetric metric;
+      if (const JsonValue* v = item.find("name")) metric.name = v->text;
+      if (const JsonValue* v = item.find("labels")) metric.labels = v->text;
+      if (const JsonValue* v = item.find("kind")) {
+        metric.kind = static_cast<int>(v->as_int());
+      }
+      if (const JsonValue* v = item.find("count")) metric.count = v->as_int();
+      if (const JsonValue* v = item.find("value")) {
+        metric.value = v->as_real();
+      }
+      out.metrics.push_back(std::move(metric));
+    }
+  }
+  std::sort(out.events.begin(), out.events.end(),
+            [](const PostmortemEvent& a, const PostmortemEvent& b) {
+              return a.seq < b.seq;
+            });
+  return out;
+}
+
+}  // namespace pico::obs

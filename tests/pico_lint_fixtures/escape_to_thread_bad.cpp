@@ -1,0 +1,53 @@
+// Fixture: escape-to-thread MUST fire.  Lint-only — never compiled.
+//
+// Each case encodes a lifetime escape this repo actually shipped:
+//   plan_switch    the simulator use-after-free — a local captured by
+//                  reference into a member thread that outlives the call,
+//   tls_teardown   the TLS-destruction-order UAF — `this` captured into a
+//                  detached thread that can outrun the object,
+//   fd_race        the TcpConnection fd race — `[&]` default capture handed
+//                  to a pool with no drain before scope exit.
+// pico-lint: allow-file(unguarded-member)
+namespace fixture {
+
+struct SchedThread {
+  void join();
+};
+struct Pool {
+  template <typename F>
+  void submit(F&& task);
+};
+struct Simulator {
+  int step();
+};
+
+struct Runtime {
+  SchedThread worker_;
+  Pool pool_;
+
+  void plan_switch() {
+    Simulator simulator;
+    // VIOLATION: `&simulator` escapes into a member thread; this frame
+    // returns (and `simulator` dies) while worker_ is still running.
+    worker_ = SchedThread([&simulator] { simulator.step(); });
+  }
+
+  void tls_teardown() {
+    // VIOLATION: `this` captured into a detached thread — the object can be
+    // destroyed (or its thread_locals torn down) before the thread runs.
+    std::thread reaper([this] { cleanup(); });
+    reaper.detach();
+  }
+
+  void fd_race(int fd) {
+    int retries = 3;
+    // VIOLATION: `[&]` default capture into a pool task; `retries` and `fd`
+    // are dead the moment this function returns.
+    pool_.submit([&] { retry(fd, retries); });
+  }
+
+  void cleanup();
+  void retry(int fd, int count);
+};
+
+}  // namespace fixture

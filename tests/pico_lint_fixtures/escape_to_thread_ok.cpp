@@ -1,0 +1,56 @@
+// Fixture: escape-to-thread must stay quiet.  Lint-only — never compiled.
+//
+// The safe twins of escape_to_thread_bad.cpp: a reference capture bounded
+// by a join before scope exit, `this` landing in a member thread the
+// destructor joins (the SchedThread contract), value captures into a
+// detached thread, and `[&]` into parallel_for (which blocks until done).
+// pico-lint: allow-file(unguarded-member)
+namespace fixture {
+
+struct SchedThread {
+  void join();
+};
+struct Pool {
+  template <typename F>
+  void submit(F&& task);
+  template <typename F>
+  void parallel_for(int count, F&& body);
+};
+
+struct Runtime {
+  SchedThread worker_;
+  Pool pool_;
+
+  void joined_before_exit(int* totals, int count) {
+    int sum = 0;
+    // OK: `&sum` escapes, but the join below bounds the thread inside this
+    // scope — the capture can never dangle.
+    std::thread accumulator([&sum, totals, count] {
+      for (int i = 0; i < count; ++i) sum += totals[i];
+    });
+    accumulator.join();
+  }
+
+  void start() {
+    // OK: `this` into a member thread — the owning object's destructor
+    // joins worker_, so the thread never outlives *this.
+    worker_ = SchedThread([this] { run(); });
+  }
+
+  void fire_and_forget(int fd) {
+    // OK: value captures only — the task owns copies.
+    std::thread logger([fd] { log_close(fd); });
+    logger.detach();
+  }
+
+  void fan_out(int* strips, int count) {
+    // OK: parallel_for blocks until every strip completes; `[&]` cannot
+    // outlive this frame.
+    pool_.parallel_for(count, [&](int s) { strips[s] += 1; });
+  }
+
+  void run();
+  static void log_close(int fd);
+};
+
+}  // namespace fixture

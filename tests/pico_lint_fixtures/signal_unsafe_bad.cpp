@@ -1,0 +1,46 @@
+// Fixture: signal-unsafe MUST fire.  Lint-only — never compiled.
+//
+// A signal-root handler reaches malloc three helpers deep, constructs a
+// dynamic container, and throws — each a distinct violation with the call
+// chain in the diagnostic.
+// pico-lint: allow-file(unchecked-status)
+namespace fixture {
+
+struct Event {
+  int code;
+};
+
+void* malloc(unsigned long size);
+
+// Deep helper: the allocation is nowhere near the handler textually.
+char* format_event(const Event& event) {
+  // VIOLATION: malloc on the handler path (root -> dump_state ->
+  // render_events -> format_event).
+  char* buffer = static_cast<char*>(malloc(64));
+  buffer[0] = static_cast<char>('0' + event.code % 10);
+  return buffer;
+}
+
+void render_events(const Event* events, int count) {
+  for (int i = 0; i < count; ++i) {
+    format_event(events[i]);
+  }
+}
+
+void dump_state(const Event* events, int count) {
+  // VIOLATION: dynamic container constructed on the handler path.
+  std::string header = "events";
+  render_events(events, count);
+  if (count < 0) {
+    // VIOLATION: throw unwinds (and allocates the exception object).
+    throw header;
+  }
+}
+
+// pico-lint: signal-root
+void crash_handler(int signal_number) {
+  static Event events[8];
+  dump_state(events, signal_number);
+}
+
+}  // namespace fixture

@@ -1,0 +1,45 @@
+// Fixture: signal-unsafe must stay quiet.  Lint-only — never compiled.
+//
+// The same handler shape as signal_unsafe_bad.cpp done right: whitelisted
+// syscall leaves (openat/write/close), a hand-rolled formatter, and fixed
+// stack buffers — everything the dump path is allowed to be made of.
+// pico-lint: allow-file(unchecked-status)
+namespace fixture {
+
+int openat(int dirfd, const char* path, int flags);
+long write(int fd, const void* data, unsigned long size);
+int close(int fd);
+
+// Hand-rolled leaf formatter: loops and a fixed buffer only.
+int format_u32(char* out, unsigned value) {
+  int length = 0;
+  char reversed[16];
+  do {
+    reversed[length++] = static_cast<char>('0' + value % 10);
+    value /= 10;
+  } while (value != 0 && length < 15);
+  for (int i = 0; i < length; ++i) {
+    out[i] = reversed[length - 1 - i];
+  }
+  return length;
+}
+
+void dump_counters(int fd, const unsigned* counters, int count) {
+  char buffer[16];
+  for (int i = 0; i < count; ++i) {
+    const int length = format_u32(buffer, counters[i]);
+    write(fd, buffer, static_cast<unsigned long>(length));
+  }
+}
+
+// pico-lint: signal-root
+void safe_crash_handler(int signal_number) {
+  static unsigned counters[4];
+  const int fd = openat(0, "postmortem.json", 1);
+  if (fd < 0) return;
+  counters[0] = static_cast<unsigned>(signal_number);
+  dump_counters(fd, counters, 4);
+  close(fd);
+}
+
+}  // namespace fixture

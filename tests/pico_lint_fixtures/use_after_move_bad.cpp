@@ -1,0 +1,25 @@
+// Fixture: use-after-move MUST fire.  Lint-only — never compiled.
+// pico-lint: allow-file(unguarded-member)
+namespace fixture {
+
+struct Plan {
+  int stage_count();
+};
+void install(Plan plan);
+void announce(Plan plan);
+
+int reuse_after_handoff() {
+  Plan plan;
+  install(std::move(plan));
+  // VIOLATION: `plan` is moved-from; stage_count() reads unspecified state.
+  return plan.stage_count();
+}
+
+void double_handoff() {
+  Plan plan;
+  install(std::move(plan));
+  // VIOLATION: passing the moved-from value to a second consumer.
+  announce(plan);
+}
+
+}  // namespace fixture

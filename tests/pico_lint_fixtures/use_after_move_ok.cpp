@@ -1,0 +1,58 @@
+// Fixture: use-after-move must stay quiet.  Lint-only — never compiled.
+//
+// The benign shapes around std::move the check must not flag: reassignment
+// and .clear()-style reinitialization, a conditional move that expires with
+// its block, the `[fn = std::move(fn)]` init-capture idiom (the name inside
+// the lambda body is the capture, not the moved-from local), and out-param
+// refills via `&x`.
+// pico-lint: allow-file(unguarded-member)
+// pico-lint: allow-file(escape-to-thread)
+namespace fixture {
+
+struct Plan {
+  int stage_count();
+  void clear();
+};
+void install(Plan plan);
+bool should_install(const Plan& plan);
+void refill(Plan* out);
+
+int moved_then_reassigned(Plan replacement) {
+  Plan plan;
+  install(std::move(plan));
+  plan = replacement;  // OK: reassigned before any read
+  return plan.stage_count();
+}
+
+int moved_then_cleared() {
+  Plan plan;
+  install(std::move(plan));
+  plan.clear();  // OK: reinitialized in place
+  return plan.stage_count();
+}
+
+int conditional_move(bool urgent) {
+  Plan plan;
+  if (urgent) {
+    install(std::move(plan));
+    return 0;
+  }
+  // OK: on this path the move never ran.
+  return plan.stage_count();
+}
+
+void capture_rebind(Plan plan, void (*spawn)(void (*)())) {
+  auto task = [plan = std::move(plan)]() mutable {
+    install(std::move(plan));  // OK: this `plan` is the init-capture
+  };
+  task();
+}
+
+int out_param_refill() {
+  Plan plan;
+  install(std::move(plan));
+  refill(&plan);  // OK: `&plan` hands it out for reinitialization
+  return plan.stage_count();
+}
+
+}  // namespace fixture

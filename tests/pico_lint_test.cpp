@@ -6,10 +6,12 @@
 #include <cstdlib>
 #include <fstream>
 #include <set>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "baseline.hpp"
+#include "callgraph.hpp"
 #include "checks.hpp"
 #include "lexer.hpp"
 
@@ -40,6 +42,30 @@ std::set<std::string> check_ids(const std::vector<Finding>& findings) {
   std::set<std::string> ids;
   for (const Finding& f : findings) ids.insert(f.check);
   return ids;
+}
+
+// signal-unsafe is project-level: build the call graph over the input and
+// run the closure walk directly (the CLI wires this up the same way).
+std::vector<Finding> lint_signal_files(std::vector<LexedFile> files,
+                                       std::vector<std::string> relpaths,
+                                       std::string* report = nullptr) {
+  const CallGraph graph = build_callgraph(files, relpaths);
+  std::vector<Finding> out;
+  check_signal_safety(graph, files, out, report);
+  return out;
+}
+
+std::vector<Finding> lint_signal_fixture(const std::string& name,
+                                         std::string* report = nullptr) {
+  std::vector<LexedFile> files;
+  files.push_back(lex_file(fixture_path(name)));
+  return lint_signal_files(std::move(files), {name}, report);
+}
+
+std::vector<Finding> lint_signal_snippet(const std::string& content) {
+  std::vector<LexedFile> files;
+  files.push_back(lex("snippet.cpp", content));
+  return lint_signal_files(std::move(files), {"snippet.cpp"});
 }
 
 // --- per-check: violation fires, compliant twin is quiet -------------------
@@ -93,6 +119,80 @@ TEST(PicoLint, WireTaintFiresOnViolations) {
 
 TEST(PicoLint, WireTaintQuietOnCompliantTwin) {
   EXPECT_TRUE(lint_fixture("wire_taint_ok.cpp").empty());
+}
+
+TEST(PicoLint, EscapeToThreadFiresOnViolations) {
+  const auto findings = lint_fixture("escape_to_thread_bad.cpp");
+  ASSERT_EQ(findings.size(), 3u) << "&simulator, this-detach, [&]-submit";
+  EXPECT_EQ(check_ids(findings), std::set<std::string>{"escape-to-thread"});
+}
+
+TEST(PicoLint, EscapeToThreadQuietOnCompliantTwin) {
+  EXPECT_TRUE(lint_fixture("escape_to_thread_ok.cpp").empty());
+}
+
+TEST(PicoLint, UseAfterMoveFiresOnViolations) {
+  const auto findings = lint_fixture("use_after_move_bad.cpp");
+  ASSERT_EQ(findings.size(), 2u) << "reuse_after_handoff, double_handoff";
+  EXPECT_EQ(check_ids(findings), std::set<std::string>{"use-after-move"});
+}
+
+TEST(PicoLint, UseAfterMoveQuietOnCompliantTwin) {
+  EXPECT_TRUE(lint_fixture("use_after_move_ok.cpp").empty());
+}
+
+// --- signal-unsafe (project-level, call-graph driven) ----------------------
+
+TEST(PicoLint, SignalUnsafeFiresOnViolations) {
+  std::string report;
+  const auto findings = lint_signal_fixture("signal_unsafe_bad.cpp", &report);
+  ASSERT_EQ(findings.size(), 3u) << "malloc, std::string local, throw";
+  EXPECT_EQ(check_ids(findings), std::set<std::string>{"signal-unsafe"});
+
+  // The diagnostic must carry the full offending chain from the root, not
+  // just the leaf site — that is what makes the finding actionable.
+  bool chain_seen = false;
+  for (const Finding& f : findings) {
+    if (f.message.find(
+            "crash_handler -> dump_state -> render_events -> format_event") !=
+        std::string::npos) {
+      chain_seen = true;
+    }
+  }
+  EXPECT_TRUE(chain_seen) << "no finding carried the malloc call chain";
+  EXPECT_NE(report.find("verdict: UNSAFE"), std::string::npos);
+}
+
+TEST(PicoLint, SignalUnsafeProvesCompliantTwinClean) {
+  std::string report;
+  const auto findings = lint_signal_fixture("signal_unsafe_ok.cpp", &report);
+  EXPECT_TRUE(findings.empty());
+  EXPECT_NE(report.find("PROOF-OK"), std::string::npos);
+  // The whitelisted syscall leaves must be reported, so a reviewer can audit
+  // exactly which externals the proof leans on.
+  EXPECT_NE(report.find("openat"), std::string::npos);
+  EXPECT_NE(report.find("write"), std::string::npos);
+}
+
+TEST(PicoLint, SignalUnsafeHonorsAllowSuppression) {
+  const std::string bare =
+      "// pico-lint: signal-root\n"
+      "void handler(int sig) { helper(); }\n"
+      "void helper() {\n"
+      "  char* p = new char[64];\n"
+      "  p[0] = 0;\n"
+      "}\n";
+  ASSERT_EQ(lint_signal_snippet(bare).size(), 1u);
+
+  const std::string allowed =
+      "// pico-lint: signal-root\n"
+      "void handler(int sig) { helper(); }\n"
+      "void helper() {\n"
+      "  // pico-lint: allow(signal-unsafe): bounded one-shot arena\n"
+      "  char* p = new char[64];\n"
+      "  p[0] = 0;\n"
+      "}\n";
+  EXPECT_TRUE(lint_signal_snippet(allowed).empty());
 }
 
 // --- suppressions ----------------------------------------------------------
@@ -217,6 +317,32 @@ TEST(PicoLint, CliCleanTreeAgainstCommittedBaseline) {
                           "/tools/pico_lint/baseline.txt > /dev/null";
   const int status = std::system(cmd.c_str());
   EXPECT_EQ(WEXITSTATUS(status), 0) << "src/ has findings not in baseline";
+}
+
+TEST(PicoLint, CliCallGraphReportProvesPostmortemPath) {
+  const std::string report_path =
+      ::testing::TempDir() + "pico_lint_callgraph_report.txt";
+  const std::string cmd = std::string(PICO_LINT_BIN) + " --src-root " +
+                          PICO_REPO_DIR + " --baseline " + PICO_REPO_DIR +
+                          "/tools/pico_lint/baseline.txt --callgraph-report " +
+                          report_path + " > /dev/null";
+  const int status = std::system(cmd.c_str());
+  ASSERT_EQ(WEXITSTATUS(status), 0);
+
+  std::ifstream in(report_path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string report = buffer.str();
+  std::remove(report_path.c_str());
+
+  // The committed tree must carry a machine-checked proof that the crash
+  // dump path is async-signal-safe: all three roots present, clean verdict.
+  EXPECT_NE(report.find("postmortem_signal_handler"), std::string::npos);
+  EXPECT_NE(report.find("postmortem_terminate_handler"), std::string::npos);
+  EXPECT_NE(report.find("check_failed_flight_hook"), std::string::npos);
+  EXPECT_NE(report.find("verdict: PROOF-OK"), std::string::npos)
+      << "signal-safety proof regressed:\n"
+      << report;
 }
 
 }  // namespace

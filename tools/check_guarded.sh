@@ -1,75 +1,57 @@
 #!/usr/bin/env bash
 # Guarded-state lint: every mutable data member of the concurrent runtime
-# classes must carry an explicit concurrency discipline.  A member
-# declaration (trailing-underscore name) in the scanned headers passes iff
-# the line
+# classes must carry an explicit concurrency discipline (PICO_GUARDED_BY,
+# std::atomic, const/static, a synchronization primitive, or a documented
+# `// sched-exempt: <reason>`).
 #
-#   - is annotated PICO_GUARDED_BY(...) (clang -Wthread-safety checks it), or
-#   - is a std::atomic, or
-#   - is const / static / a Mutex / a CondVar (synchronization primitives
-#     and immutable state need no guard), or
-#   - carries `// sched-exempt: <reason>` on the same or preceding line, or
-#   - sits inside a `// sched-exempt-begin: <reason>` ... `// sched-exempt-end`
-#     block (for classes whose whole private section shares one discipline).
-#
-# Anything else is an unguarded mutable member — the class of state the
-# PICO_SCHED explorer exists to catch races on — and fails the lint.
-#
-# Pure bash + awk (no clang needed), so unlike the format/tidy gates this
-# one never SKIPs.
+# This used to be a standalone awk scanner.  The same policy now lives in
+# pico_lint's `unguarded-member` check (tools/pico_lint/check_guarded.cpp),
+# which parses real declarations instead of regex-matching lines — so this
+# script is a thin wrapper: find (or build) the pico_lint binary and run
+# just that check.  Path scoping inside pico_lint pins the check to the
+# concurrency habitats (src/runtime/*.hpp, src/common/thread_pool.hpp, ...),
+# matching what the awk version scanned.
 #
 # usage: tools/check_guarded.sh
 set -u -o pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 
-files=("$repo_root"/src/runtime/*.hpp "$repo_root"/src/common/thread_pool.hpp)
-
-echo "check_guarded: ${#files[@]} file(s)"
-
-fail=0
-for file in "${files[@]}"; do
-  out="$(awk '
-    # Track sched-exempt block scopes.
-    /\/\/ *sched-exempt-begin:/ { in_block = 1 }
-    /\/\/ *sched-exempt-end/    { in_block = 0 }
-
-    {
-      line = $0
-      # A sched-exempt comment covers the next code line, carrying across
-      # the rest of a multi-line comment.
-      if (line ~ /^[ \t]*\/\//) {
-        if (line ~ /\/\/ *sched-exempt:/) pending = 1
-        prev_exempt = 0
-      } else {
-        prev_exempt = pending
-        pending = 0
-      }
-    }
-
-    # A member declaration: optional indentation, a type, then an
-    # identifier ending in `_` followed by an initializer, annotation, or
-    # semicolon.  Locals never have trailing underscores in this codebase
-    # (Google style), so headers only match real members.
-    /^[ \t]+[A-Za-z_][A-Za-z0-9_:<>,&* \t()]*[ \t][A-Za-z_][A-Za-z0-9_]*_[ \t]*([;={]|PICO_GUARDED_BY)/ {
-      if (in_block) next
-      if (prev_exempt) next
-      if (line ~ /\/\/ *sched-exempt:/) next
-      if (line ~ /PICO_GUARDED_BY/) next
-      if (line ~ /std::atomic/) next
-      if (line ~ /^[ \t]*(static|const)[ \t]/) next
-      if (line ~ /^[ \t]*(mutable[ \t]+)?(pico::)?(Mutex|CondVar)[ \t]/) next
-      if (line ~ /^[ \t]*(using|typedef|return|throw|delete|new)[ \t]/) next
-      printf "%s:%d: unguarded mutable member: %s\n", FILENAME, FNR, line
-    }
-  ' "$file")"
-  if [ -n "$out" ]; then
-    echo "$out"
-    fail=1
+# Prefer an already-built binary (any build tree); else compile the lint
+# sources directly — they are dependency-free C++17, so a plain compiler
+# invocation works without CMake.
+pico_lint=""
+for candidate in "$repo_root"/build*/tools/pico_lint/pico_lint; do
+  if [ -x "$candidate" ]; then
+    pico_lint="$candidate"
+    break
   fi
 done
 
-if [ "$fail" -ne 0 ]; then
+if [ -z "$pico_lint" ]; then
+  cxx="${CXX:-c++}"
+  cache_dir="${TMPDIR:-/tmp}/pico_lint_wrapper"
+  mkdir -p "$cache_dir"
+  pico_lint="$cache_dir/pico_lint"
+  echo "check_guarded: building pico_lint with $cxx ..."
+  # Everything except clang_frontend.cpp (which needs Clang dev headers).
+  sources=()
+  for src in "$repo_root"/tools/pico_lint/*.cpp; do
+    case "$src" in
+      */clang_frontend.cpp) ;;
+      *) sources+=("$src") ;;
+    esac
+  done
+  if ! "$cxx" -std=c++17 -O1 -I "$repo_root/tools/pico_lint" \
+      "${sources[@]}" -o "$pico_lint"; then
+    echo "check_guarded: FAIL — could not build pico_lint"
+    exit 1
+  fi
+fi
+
+echo "check_guarded: using $pico_lint"
+if ! "$pico_lint" --src-root "$repo_root" --check unguarded-member \
+    --baseline "$repo_root/tools/pico_lint/baseline.txt"; then
   echo "check_guarded: FAIL — annotate with PICO_GUARDED_BY(...), make the"
   echo "member std::atomic/const, or document why it needs neither with"
   echo "'// sched-exempt: <reason>'."

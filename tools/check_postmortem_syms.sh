@@ -1,0 +1,65 @@
+#!/usr/bin/env bash
+# Link-time backstop for the postmortem dump path's async-signal-safety.
+#
+# pico_lint's signal-unsafe check proves at the SOURCE level that nothing
+# reachable from the crash handlers allocates, locks or touches stdio.  This
+# script cross-validates that proof at the SYMBOL level: it inspects the
+# undefined symbols of postmortem.cpp's object file (the dump-path-only
+# translation unit — the allocating parse-back lives in
+# postmortem_reader.cpp) and fails if any forbidden primitive is referenced.
+# The two gates fail independently: a malloc smuggled in through a macro or
+# an inlined header still shows up here even if the token-level analyzer
+# misses it.
+#
+# Usage: check_postmortem_syms.sh <postmortem.cpp.o>
+set -u
+
+obj="${1:-}"
+if [[ -z "$obj" || ! -f "$obj" ]]; then
+    echo "usage: $0 <postmortem-object-file>" >&2
+    echo "check_postmortem_syms: object file not found: '$obj'" >&2
+    exit 1
+fi
+
+NM="${NM:-nm}"
+if ! command -v "$NM" >/dev/null 2>&1; then
+    echo "check_postmortem_syms: nm not available" >&2
+    exit 1
+fi
+
+# Undefined symbols = everything this TU expects other code to provide.
+# -C demangles so operator new / std::mutex members are matchable by name.
+undef="$("$NM" -u -C "$obj")" || {
+    echo "check_postmortem_syms: nm failed on $obj" >&2
+    exit 1
+}
+
+# Forbidden reference patterns (extended regex, matched per symbol line):
+#   heap        malloc/calloc/realloc/free, every operator new flavor
+#   stdio       printf family, puts/fwrite/fopen, C++ iostreams (std::cout
+#               and the ostream inserters)
+#   locks       pthread mutex/condvar ops, std::mutex lock/unlock
+#   unwinding   __cxa_throw / __cxa_allocate_exception
+forbidden='(^|[^a-zA-Z0-9_])(malloc|calloc|realloc|free|strdup)($|[^a-zA-Z0-9_])'
+forbidden+='|operator new'
+forbidden+='|(^|[^a-zA-Z0-9_])(printf|fprintf|sprintf|snprintf|vfprintf|puts|fputs|fwrite|fopen|fclose|fflush|perror)($|[^a-zA-Z0-9_])'
+forbidden+='|std::basic_ostream|std::cout|std::cerr|std::basic_stringstream|std::basic_ostringstream'
+forbidden+='|pthread_mutex_lock|pthread_mutex_unlock|pthread_cond_wait|pthread_cond_signal|pthread_cond_broadcast'
+forbidden+='|std::mutex::lock|std::mutex::unlock|std::condition_variable'
+forbidden+='|__cxa_throw|__cxa_allocate_exception'
+
+hits="$(printf '%s\n' "$undef" | grep -E "$forbidden" || true)"
+
+if [[ -n "$hits" ]]; then
+    echo "check_postmortem_syms: FORBIDDEN symbols referenced from the dump path ($obj):" >&2
+    printf '%s\n' "$hits" >&2
+    echo "" >&2
+    echo "The postmortem dump must stay async-signal-safe: no allocation," >&2
+    echo "stdio, locks or throws.  Move the offending code out of" >&2
+    echo "postmortem.cpp (parse-back belongs in postmortem_reader.cpp)." >&2
+    exit 1
+fi
+
+count="$(printf '%s\n' "$undef" | grep -c . || true)"
+echo "check_postmortem_syms: OK — $count undefined symbol(s) in $(basename "$obj"), none forbidden"
+exit 0

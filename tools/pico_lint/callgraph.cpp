@@ -1,0 +1,324 @@
+#include "callgraph.hpp"
+
+#include <algorithm>
+
+namespace pico::lint {
+
+namespace {
+
+bool is_call_excluded_keyword(const std::string& t) {
+  static const std::set<std::string> kNotCallees = {
+      "if",          "for",         "while",      "switch",
+      "catch",       "return",      "sizeof",     "alignof",
+      "decltype",    "static_cast", "const_cast", "dynamic_cast",
+      "reinterpret_cast", "typeid", "noexcept",   "alignas",
+      "static_assert", "defined",   "co_await",   "co_yield",
+      "co_return",   "throw",       "new",        "delete",
+      "case",        "default",     "assert",
+  };
+  return kNotCallees.count(t) > 0;
+}
+
+/// Top-level comma count inside the group opened at `open` -> argument
+/// count (0 for an empty list).
+int count_args(const std::vector<Token>& tokens, std::size_t open) {
+  const std::size_t close = match_forward(tokens, open);
+  if (close == open + 1) return 0;
+  int args = 1, depth = 0;
+  for (std::size_t i = open + 1; i < close; ++i) {
+    const std::string& t = tokens[i].text;
+    if (t == "(" || t == "[" || t == "{") ++depth;
+    if (t == ")" || t == "]" || t == "}") --depth;
+    if (t == "," && depth == 0) ++args;
+  }
+  return args;
+}
+
+/// First line of the definition whose parameter list opens at
+/// `params_begin`: walk back to the previous statement/scope boundary.
+int definition_first_line(const std::vector<Token>& tokens,
+                          std::size_t params_begin) {
+  std::size_t j = params_begin;
+  while (j > 0) {
+    --j;
+    const std::string& t = tokens[j].text;
+    if (t == ";" || t == "{" || t == "}") return tokens[j + 1].line;
+  }
+  return tokens[0].line;
+}
+
+/// `// pico-lint: signal-root` on any line of the definition's introducer
+/// span, or on comment-only lines directly above it.
+bool has_signal_root_annotation(const LexedFile& file, int first_line,
+                                int brace_line) {
+  auto contains = [&](int line) {
+    const auto it = file.comments.find(line);
+    return it != file.comments.end() &&
+           it->second.find("pico-lint: signal-root") != std::string::npos;
+  };
+  for (int l = first_line; l <= brace_line; ++l) {
+    if (contains(l)) return true;
+  }
+  int above = first_line - 1;
+  while (above > 0 && file.comment_only.count(above) &&
+         file.comment_only.at(above)) {
+    if (contains(above)) return true;
+    --above;
+  }
+  return false;
+}
+
+/// Last class-like identifier of a declaration's recorded type text
+/// ("FlightRecorder *" -> FlightRecorder, "std :: shared_ptr < ThreadBuffer
+/// >" -> ThreadBuffer — right for `->` access through smart pointers).
+/// Empty when the type has no project-class-shaped (uppercase) token.
+std::string class_token_of(const std::string& type_text) {
+  static const std::set<std::string> kNotClasses = {
+      "T", "U", "V",  // common template parameter names
+  };
+  std::string word, last;
+  for (char c : type_text + " ") {
+    if (c == ' ') {
+      if (!word.empty() && word[0] >= 'A' && word[0] <= 'Z' &&
+          !kNotClasses.count(word)) {
+        last = word;
+      }
+      word.clear();
+    } else {
+      word += c;
+    }
+  }
+  return last;
+}
+
+/// Record the direct calls inside [begin, end): `callee(`, `.method(`,
+/// `Type name(ctor-args)`, `f<T>(`, plus `new` and `throw` pseudo-calls.
+void scan_calls(const std::vector<Token>& tokens, std::size_t begin,
+                std::size_t end, const std::vector<VarDecl>& decls,
+                std::vector<CallSite>& out) {
+  for (std::size_t i = begin; i < end; ++i) {
+    const Token& tok = tokens[i];
+    if (tok.is("new")) {
+      // `new T(...)` / `new T[n]` — allocation regardless of what follows.
+      CallSite c;
+      c.callee = "new";
+      c.line = tok.line;
+      c.token = i;
+      out.push_back(std::move(c));
+      continue;
+    }
+    if (tok.is("throw")) {
+      CallSite c;
+      c.callee = "throw";
+      c.line = tok.line;
+      c.token = i;
+      out.push_back(std::move(c));
+      continue;
+    }
+    if (i + 1 >= end || !tokens[i + 1].is("(")) continue;
+
+    std::size_t callee_index = i;
+    if (tok.is(">")) {
+      // `f<T>(...)`: walk back over the template argument list.
+      int depth = 0;
+      std::size_t j = i;
+      while (j > begin) {
+        const std::string& t = tokens[j].text;
+        if (t == ">") ++depth;
+        if (t == "<") {
+          --depth;
+          if (depth == 0) break;
+        }
+        if (t == ";" || t == "{" || t == "}") break;
+        --j;
+      }
+      if (j == begin || !tokens[j].is("<") || !tokens[j - 1].ident()) {
+        continue;
+      }
+      callee_index = j - 1;
+    } else if (!tok.ident()) {
+      continue;
+    }
+
+    const Token& callee = tokens[callee_index];
+    if (is_call_excluded_keyword(callee.text)) continue;
+
+    CallSite c;
+    c.line = callee.line;
+    c.token = callee_index;
+    c.arg_count = count_args(tokens, i + 1);
+    const std::string prev =
+        callee_index > 0 ? tokens[callee_index - 1].text : "";
+    c.is_method = prev == "." || prev == "->";
+    if (c.is_method && callee_index >= 2 && tokens[callee_index - 2].ident()) {
+      // `recv.method(` / `recv->method(`: when `recv` is a declared local,
+      // its type narrows resolution to that class's definitions (keeps
+      // `recorder->record(...)` from merging with every `record` method in
+      // the project).
+      const std::string& recv = tokens[callee_index - 2].text;
+      for (const VarDecl& d : decls) {
+        if (d.decl_index >= callee_index) break;
+        if (d.name != recv) continue;
+        const std::string cls = class_token_of(d.type_text);
+        if (!cls.empty()) c.qualifier = cls;
+      }
+    }
+    if (callee_index > 0 && !c.is_method && prev != "::" &&
+        tokens[callee_index - 1].ident() &&
+        !is_call_excluded_keyword(prev)) {
+      // `Type name(args)` — a declaration with paren init: the executed
+      // code is Type's constructor, not a function named `name`.
+      c.callee = prev;
+    } else {
+      c.callee = callee.text;
+      if (prev == "::") {
+        if (callee_index >= 2 && tokens[callee_index - 2].ident() &&
+            tokens[callee_index - 2].text != "std") {
+          c.qualifier = tokens[callee_index - 2].text;
+        } else if (callee_index < 2 || !tokens[callee_index - 2].ident()) {
+          // `::close(fd)` — explicit global scope: the libc function, never
+          // a member (keeps `::close` from merging with Cls::close).
+          c.qualifier = "::";
+        }
+      }
+    }
+    // Indirect: a call through a variable whose declared type mentions
+    // `function` (std::function / move_only_function).
+    for (const VarDecl& d : decls) {
+      if (d.decl_index >= c.token) break;
+      if (d.name == c.callee &&
+          d.type_text.find("function") != std::string::npos) {
+        c.via_function_var = true;
+      }
+    }
+    out.push_back(std::move(c));
+  }
+}
+
+}  // namespace
+
+std::vector<LambdaExpr> find_lambdas(const std::vector<Token>& tokens,
+                                     std::size_t begin, std::size_t end) {
+  std::vector<LambdaExpr> out;
+  for (std::size_t i = begin; i < end; ++i) {
+    if (!tokens[i].is("[")) continue;
+    if (i == 0) continue;
+    const std::string& prev = tokens[i - 1].text;
+    const bool expr_position =
+        prev == "(" || prev == "," || prev == "=" || prev == "return" ||
+        prev == ";" || prev == "{" || prev == "&&" || prev == "||" ||
+        prev == "!" || prev == "?" || prev == ":";
+    if (!expr_position) continue;
+    const std::size_t close = match_forward(tokens, i);
+    if (close <= i || close + 1 >= end) continue;
+    LambdaExpr lambda;
+    lambda.capture_begin = i;
+    lambda.capture_end = close;
+    lambda.line = tokens[i].line;
+    std::size_t j = close + 1;
+    if (j < end && tokens[j].is("(")) {
+      lambda.param_count = count_args(tokens, j);
+      j = match_forward(tokens, j) + 1;
+    }
+    // Skip specifiers: mutable, noexcept(...), -> Type.
+    while (j < end && (tokens[j].is("mutable") || tokens[j].is("noexcept") ||
+                       tokens[j].is("->") || tokens[j].is("constexpr") ||
+                       tokens[j].ident() || tokens[j].is("::") ||
+                       tokens[j].is("<") || tokens[j].is(">") ||
+                       tokens[j].is("*") || tokens[j].is("&"))) {
+      if (tokens[j].is("noexcept") && j + 1 < end && tokens[j + 1].is("(")) {
+        j = match_forward(tokens, j + 1) + 1;
+        continue;
+      }
+      ++j;
+    }
+    if (j >= end || !tokens[j].is("{")) continue;
+    lambda.body_begin = j;
+    lambda.body_end = match_forward(tokens, j);
+    out.push_back(lambda);
+  }
+  return out;
+}
+
+CallGraph build_callgraph(const std::vector<LexedFile>& files,
+                          const std::vector<std::string>& relpaths) {
+  CallGraph graph;
+  graph.files = &files;
+  graph.relpaths = relpaths;
+
+  for (std::size_t fi = 0; fi < files.size(); ++fi) {
+    const LexedFile& file = files[fi];
+    const std::vector<Token>& tokens = file.tokens;
+    const FileModel model = build_model(file);
+
+    for (const FunctionInfo& fn : model.functions) {
+      FunctionNode node;
+      node.name = fn.name;
+      node.relpath = fi < relpaths.size() ? relpaths[fi] : file.path;
+      node.file_index = static_cast<int>(fi);
+      node.line = fn.line;
+      node.body_begin = fn.body_begin;
+      node.body_end = fn.body_end;
+      node.param_count =
+          fn.params_begin > 0 ? count_args(tokens, fn.params_begin) : 0;
+      node.decls = collect_decls(file, fn);
+
+      // Qualifier: `Cls :: fn (` out-of-line, else the enclosing class of
+      // an in-class definition.
+      if (fn.params_begin >= 3 && tokens[fn.params_begin - 2].is("::") &&
+          tokens[fn.params_begin - 3].ident()) {
+        node.qualifier = tokens[fn.params_begin - 3].text;
+      } else {
+        for (const ClassInfo& cls : model.classes) {
+          if (cls.body_begin < fn.body_begin && fn.body_end < cls.body_end) {
+            node.qualifier = cls.name;  // innermost wins (later classes
+                                        // in the list are nested deeper)
+          }
+        }
+      }
+
+      const int first_line =
+          fn.params_begin > 0 ? definition_first_line(tokens, fn.params_begin)
+                              : fn.line;
+      node.signal_root =
+          has_signal_root_annotation(file, first_line, fn.line);
+
+      scan_calls(tokens, fn.body_begin + 1, fn.body_end, node.decls,
+                 node.calls);
+
+      const std::size_t index = graph.nodes.size();
+      graph.by_name.emplace(node.name, index);
+      graph.nodes.push_back(std::move(node));
+
+      // Lambdas become pseudo-functions keyed by arity, the targets of the
+      // std::function indirect-call approximation.  Their bodies are also
+      // part of the enclosing function's token range (scan_calls above
+      // already covered them) — that double-count is deliberate: a lambda
+      // defined inside a reachable function is conservatively assumed to
+      // run there.
+      for (const LambdaExpr& lambda :
+           find_lambdas(tokens, fn.body_begin + 1, fn.body_end)) {
+        FunctionNode ln;
+        ln.name = "<lambda " +
+                  (fi < relpaths.size() ? relpaths[fi] : file.path) + ":" +
+                  std::to_string(lambda.line) + ">";
+        ln.relpath = fi < relpaths.size() ? relpaths[fi] : file.path;
+        ln.file_index = static_cast<int>(fi);
+        ln.line = lambda.line;
+        ln.body_begin = lambda.body_begin;
+        ln.body_end = lambda.body_end;
+        ln.param_count = lambda.param_count;
+        ln.is_lambda = true;
+        ln.decls = graph.nodes[index].decls;  // share the encloser's scope
+        scan_calls(tokens, lambda.body_begin + 1, lambda.body_end, ln.decls,
+                   ln.calls);
+        const std::size_t lambda_index = graph.nodes.size();
+        graph.lambdas_by_arity.emplace(lambda.param_count, lambda_index);
+        graph.nodes.push_back(std::move(ln));
+      }
+    }
+  }
+  return graph;
+}
+
+}  // namespace pico::lint

@@ -1,0 +1,102 @@
+// pico_lint — project-wide symbol table and call graph.
+//
+// Built once over the whole lexed input set (every file the driver was
+// given), on top of the per-file micro-AST (model.hpp).  Nodes are function
+// definitions — free functions, member functions (with the `Cls::fn` /
+// in-class qualifier recovered when present), and lambda expressions, which
+// become pseudo-functions named `<lambda relpath:line>`.  Edges are direct
+// calls matched by simple name (overloads conservatively merge into one
+// name bucket) plus an indirect-call approximation: a call through a
+// variable or member whose declared type mentions `function` (std::function
+// and friends) fans out to every lambda in the project with a matching
+// parameter count.
+//
+// The graph intentionally over-approximates: a name-matched edge may join
+// two unrelated functions that happen to share a method name.  For the
+// consumers here (the signal-safety closure walk) over-approximation is the
+// sound direction — a path we walk that cannot happen at runtime costs a
+// whitelist entry, a path we miss costs a crashing crash handler.
+//
+// The `// pico-lint: signal-root` annotation (on the definition's first
+// line, or on comment-only lines directly above it) marks a function as an
+// entry point of the async-signal-safe world; check_signal_safety.cpp walks
+// the closure of every root.  See DESIGN.md §12.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lexer.hpp"
+#include "model.hpp"
+
+namespace pico::lint {
+
+struct CallSite {
+  std::string callee;   // simple (unqualified) name; "new" / "throw" for
+                        // the operator-new and throw pseudo-calls
+  std::string qualifier;  // `Cls` of a `Cls::fn(...)` call site — narrows
+                          // resolution to same-qualifier definitions
+  int line = 0;
+  std::size_t token = 0;  // index of the callee token in its file
+  int arg_count = 0;      // top-level comma count + 1 (0 for `()`)
+  bool via_function_var = false;  // call through a std::function-typed
+                                  // variable/member (indirect)
+  bool is_method = false;         // preceded by `.` / `->`
+};
+
+struct FunctionNode {
+  std::string name;       // simple name; lambdas get "<lambda file:line>"
+  std::string qualifier;  // `Cls` of an out-of-line `Cls::fn` definition
+  std::string relpath;
+  int file_index = 0;  // into the file list given to build_callgraph
+  int line = 0;        // line of the definition's opening brace
+  std::size_t body_begin = 0;
+  std::size_t body_end = 0;
+  int param_count = 0;
+  bool is_lambda = false;
+  bool signal_root = false;
+  std::vector<CallSite> calls;
+  // Block-scope declarations (locals + params) of this function's body —
+  // shared with the interprocedural checks so they are collected once.
+  std::vector<VarDecl> decls;
+};
+
+struct CallGraph {
+  std::vector<FunctionNode> nodes;
+  // simple name -> node indices (all same-named definitions project-wide)
+  std::multimap<std::string, std::size_t> by_name;
+  // param count -> lambda node indices (signature buckets for the
+  // std::function indirect-call approximation)
+  std::multimap<int, std::size_t> lambdas_by_arity;
+  const std::vector<LexedFile>* files = nullptr;
+  std::vector<std::string> relpaths;
+
+  const LexedFile& file_of(const FunctionNode& node) const {
+    return (*files)[static_cast<std::size_t>(node.file_index)];
+  }
+};
+
+/// Build the project call graph.  `files` and `relpaths` are parallel.
+/// The returned graph borrows `files` — keep it alive.
+CallGraph build_callgraph(const std::vector<LexedFile>& files,
+                          const std::vector<std::string>& relpaths);
+
+/// Lambda expressions of one function body, for checks that inspect
+/// captures: token index of '[', of the matching ']', and of the lambda
+/// body's '{' / matching '}'.  Detected at expression positions only
+/// (after `( , = return ; && || ! { ? :`), so subscripts don't match.
+struct LambdaExpr {
+  std::size_t capture_begin = 0;  // '['
+  std::size_t capture_end = 0;    // matching ']'
+  std::size_t body_begin = 0;     // '{'
+  std::size_t body_end = 0;       // matching '}'
+  int param_count = 0;
+  int line = 0;
+};
+std::vector<LambdaExpr> find_lambdas(const std::vector<Token>& tokens,
+                                     std::size_t begin, std::size_t end);
+
+}  // namespace pico::lint

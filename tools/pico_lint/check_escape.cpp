@@ -1,0 +1,291 @@
+// escape-to-thread: lambda captures that outlive the captured object.
+//
+// All three of this repo's worst shipped bugs were the same shape: a lambda
+// capturing by reference (or capturing `this`) handed to another thread,
+// where the captured object's lifetime could end before the thread stopped
+// using it — the simulator use-after-free across a plan switch, the
+// TLS-destruction-order UAF in the telemetry harvester, and the
+// TcpConnection fd race.  The sched explorer (PR 5) finds these only on
+// explored schedules; this check finds the shape statically on every path.
+//
+// For each lambda handed to a spawn site we classify the captures and ask
+// whether anything proves the thread stops before the captured scope ends:
+//
+//   spawn sites   std::thread / std::jthread / SchedThread / ManagedThread
+//                 constructors; submit/enqueue/post/spawn/async/defer/
+//                 dispatch calls (thread pools, executors, callback queues).
+//                 parallel_for is excluded — it blocks until completion, so
+//                 `[&]` captures cannot escape it.
+//
+//   containment   thread object stored in a LOCAL and `.join()`ed anywhere
+//                 later in the same function: safe (the join bounds the
+//                 thread inside the captured scope).  Stored in a MEMBER
+//                 (`thread_` / `this->thread_`): `this` is safe — the
+//                 owning object joins in its destructor, the PR 8
+//                 SchedThread contract — but a by-reference capture of a
+//                 function LOCAL is flagged: the member thread outlives the
+//                 call frame.  `.detach()`, a temporary, or a pool submit:
+//                 nothing bounds the thread, reference captures and `this`
+//                 (for detached) are flagged.
+//
+//   captures      flagged: `&` default, `&local`; plus `this` when nothing
+//                 contains the thread.  Value captures are safe.  Init
+//                 captures (`x = expr`) are skipped — rebinding is usually
+//                 the deliberate fix for exactly this bug.
+#include "callgraph.hpp"
+#include "checks.hpp"
+
+namespace pico::lint {
+
+namespace {
+
+bool is_thread_ctor(const std::string& name) {
+  static const std::set<std::string> kThreadTypes = {
+      "thread", "jthread", "SchedThread", "ManagedThread",
+  };
+  return kThreadTypes.count(name) > 0;
+}
+
+bool is_submit_call(const std::string& name) {
+  static const std::set<std::string> kSubmits = {
+      "submit", "enqueue", "post", "spawn", "async", "defer", "dispatch",
+  };
+  return kSubmits.count(name) > 0;
+}
+
+struct Capture {
+  std::string name;  // empty for the `&` / `=` defaults and `this`
+  bool by_ref = false;
+  bool is_this = false;
+  bool is_default_ref = false;  // `[&]`
+  int line = 0;
+};
+
+/// Parse the capture list between '[' at `open` and its matching ']'.
+/// Init captures (`name = expr`, `&name = expr`) are dropped.
+std::vector<Capture> parse_captures(const std::vector<Token>& tokens,
+                                    std::size_t open, std::size_t close) {
+  std::vector<Capture> out;
+  std::size_t i = open + 1;
+  while (i < close) {
+    Capture c;
+    c.line = tokens[i].line;
+    if (tokens[i].is("&")) {
+      c.by_ref = true;
+      ++i;
+      if (i < close && tokens[i].ident()) {
+        c.name = tokens[i].text;
+        ++i;
+      } else {
+        c.is_default_ref = true;  // bare `&`
+      }
+    } else if (tokens[i].is("=")) {
+      ++i;  // `[=]` value default: safe
+      while (i < close && !tokens[i].is(",")) ++i;
+      if (i < close) ++i;
+      continue;
+    } else if (tokens[i].is("this")) {
+      c.is_this = true;
+      ++i;
+    } else if (tokens[i].is("*") && i + 1 < close &&
+               tokens[i + 1].is("this")) {
+      i += 2;  // `*this` copies: safe
+      while (i < close && !tokens[i].is(",")) ++i;
+      if (i < close) ++i;
+      continue;
+    } else if (tokens[i].ident()) {
+      c.name = tokens[i].text;  // value capture
+      ++i;
+    } else {
+      ++i;
+      continue;
+    }
+    // Init capture? (`x = expr` / `&x = expr`): skip to the next top-level
+    // comma and drop the capture.
+    if (i < close && tokens[i].is("=")) {
+      int depth = 0;
+      while (i < close) {
+        const std::string& t = tokens[i].text;
+        if (t == "(" || t == "[" || t == "{" || t == "<") ++depth;
+        if (t == ")" || t == "]" || t == "}" || t == ">") --depth;
+        if (t == "," && depth == 0) break;
+        ++i;
+      }
+      if (i < close) ++i;
+      continue;
+    }
+    if (c.by_ref || c.is_this || c.is_default_ref) out.push_back(c);
+    if (i < close && tokens[i].is(",")) ++i;
+  }
+  return out;
+}
+
+enum class SpawnKind { None, ThreadCtor, Submit };
+
+struct Spawn {
+  SpawnKind kind = SpawnKind::None;
+  std::string receiver;    // local/member the thread lands in ("" = temp)
+  bool member_receiver = false;
+  bool detached = false;
+};
+
+/// Walk back from the lambda's '[' to the call it is an argument of and
+/// classify the spawn.  Returns kind None when the enclosing call is not a
+/// spawn site (or the lambda is not a call argument at all).
+Spawn classify_spawn(const std::vector<Token>& tokens, std::size_t body_begin,
+                     std::size_t capture_begin) {
+  Spawn spawn;
+  // Find the '(' this lambda's argument list belongs to.
+  int depth = 0;
+  std::size_t j = capture_begin;
+  std::size_t open = 0;
+  bool found = false;
+  while (j > body_begin) {
+    --j;
+    const std::string& t = tokens[j].text;
+    if (t == ")" || t == "]" || t == "}") ++depth;
+    if (t == "(" || t == "[" || t == "{") {
+      if (depth == 0 && t == "(") {
+        open = j;
+        found = true;
+        break;
+      }
+      --depth;
+    }
+    if (depth == 0 && (t == ";")) break;
+  }
+  if (!found || open == 0) return spawn;
+  const Token& callee = tokens[open - 1];
+  if (!callee.ident()) return spawn;
+
+  if (callee.text == "parallel_for") return spawn;  // blocks: contained
+
+  if (is_submit_call(callee.text)) {
+    spawn.kind = SpawnKind::Submit;
+    return spawn;
+  }
+  if (is_thread_ctor(callee.text)) {
+    // `Type(lambda)` temporary, or `name = Type(lambda)` assignment.
+    spawn.kind = SpawnKind::ThreadCtor;
+    std::size_t k = open - 1;  // the ctor type token
+    // Skip a `std ::` qualifier backwards.
+    while (k >= 2 && tokens[k - 1].is("::") && tokens[k - 2].ident()) k -= 2;
+    if (k >= 2 && tokens[k - 1].is("=") && tokens[k - 2].ident()) {
+      spawn.receiver = tokens[k - 2].text;
+      if (k >= 4 && tokens[k - 3].is("->") && tokens[k - 4].is("this")) {
+        spawn.member_receiver = true;
+      }
+    }
+  } else if (open >= 2 && tokens[open - 2].ident() &&
+             is_thread_ctor(tokens[open - 2].text)) {
+    // `Type name(lambda)` declaration with paren init: callee is the
+    // declared NAME, the type precedes it (possibly `std :: thread name (`,
+    // where tokens[open-2] is still the type token).
+    spawn.kind = SpawnKind::ThreadCtor;
+    spawn.receiver = callee.text;
+  }
+  if (!spawn.receiver.empty() && spawn.receiver.back() == '_') {
+    spawn.member_receiver = true;  // trailing-underscore member convention
+  }
+  return spawn;
+}
+
+/// `recv . join ( )` / `recv . detach ( )` anywhere in [from, to).
+bool method_called_on(const std::vector<Token>& tokens, std::size_t from,
+                      std::size_t to, const std::string& recv,
+                      const std::string& method) {
+  for (std::size_t i = from; i + 3 < to; ++i) {
+    if (tokens[i].ident() && tokens[i].text == recv &&
+        (tokens[i + 1].is(".") || tokens[i + 1].is("->")) &&
+        tokens[i + 2].is(method) && tokens[i + 3].is("(")) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+void check_escape(const LexedFile& file, const FileModel& model,
+                  const Suppressions& sup, const std::string& relpath,
+                  std::vector<Finding>& out) {
+  (void)relpath;
+  const std::vector<Token>& tokens = file.tokens;
+  for (const FunctionInfo& fn : model.functions) {
+    const std::vector<VarDecl> decls = collect_decls(file, fn);
+    for (const LambdaExpr& lambda :
+         find_lambdas(tokens, fn.body_begin + 1, fn.body_end)) {
+      Spawn spawn = classify_spawn(tokens, fn.body_begin, lambda.capture_begin);
+      if (spawn.kind == SpawnKind::None) continue;
+
+      const std::vector<Capture> captures =
+          parse_captures(tokens, lambda.capture_begin, lambda.capture_end);
+      if (captures.empty()) continue;
+
+      // Containment: a local receiver joined later in this function bounds
+      // the thread inside every captured scope.
+      bool joined = false;
+      if (spawn.kind == SpawnKind::ThreadCtor && !spawn.receiver.empty() &&
+          !spawn.member_receiver) {
+        joined = method_called_on(tokens, lambda.body_end, fn.body_end,
+                                  spawn.receiver, "join");
+        spawn.detached = method_called_on(tokens, lambda.body_end,
+                                          fn.body_end, spawn.receiver,
+                                          "detach");
+      }
+      if (joined) continue;
+
+      const bool detached_or_temp =
+          spawn.detached ||
+          (spawn.kind == SpawnKind::ThreadCtor && spawn.receiver.empty());
+
+      for (const Capture& c : captures) {
+        std::string what;
+        if (c.is_default_ref) {
+          what = "`[&]` default reference capture";
+        } else if (c.is_this) {
+          // `this` is safe when the thread lands in a member of the same
+          // object: the owner's destructor joins it (SchedThread contract).
+          if (spawn.member_receiver && !spawn.detached) continue;
+          if (spawn.kind == SpawnKind::Submit) continue;
+          if (!detached_or_temp) continue;
+          what = "`this` captured into a detached/unowned thread";
+        } else if (c.by_ref) {
+          // Only locals of this function can dangle; a by-ref capture of a
+          // name we can't resolve to a local is left to the clang frontend.
+          if (!is_declared(decls, c.name, lambda.capture_begin)) continue;
+          what = "`&" + c.name + "` captures a local by reference";
+        } else {
+          continue;
+        }
+        if (sup.allows("escape-to-thread", c.line)) continue;
+        Finding f;
+        f.check = "escape-to-thread";
+        f.line = c.line;
+        std::string where;
+        switch (spawn.kind) {
+          case SpawnKind::ThreadCtor:
+            where = spawn.member_receiver
+                        ? "a member thread that outlives this call frame"
+                        : (detached_or_temp
+                               ? "a detached/unowned thread"
+                               : "a thread not joined in this scope");
+            break;
+          case SpawnKind::Submit:
+            where = "a pool/executor task with no drain before scope exit";
+            break;
+          case SpawnKind::None:
+            break;
+        }
+        f.message = what + " escapes to " + where;
+        f.hint =
+            "capture by value (or init-capture a copy/shared_ptr), join the "
+            "thread before the captured scope ends, or annotate with "
+            "`// pico-lint: allow(escape-to-thread): <lifetime argument>`";
+        out.push_back(std::move(f));
+      }
+    }
+  }
+}
+
+}  // namespace pico::lint

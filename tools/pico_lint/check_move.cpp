@@ -1,0 +1,177 @@
+// use-after-move: moved-from locals read before reassignment.
+//
+// `std::move(x)` leaves `x` in a valid-but-unspecified state; the only
+// operations this repo's style permits afterwards are reassignment and the
+// state-resetting members (clear / reset / assign / swap / operator=).
+// Reading a moved-from value — `x.size()`, passing `x` to a function,
+// returning it — is the bug.  The token-level state machine here tracks
+// block-scope locals only (members and globals are the clang frontend's
+// job) and is built to stay quiet on the common benign shapes:
+//
+//   - a move inside a conditional block expires when the block closes (the
+//     branch may not have run),
+//   - a brace-less `if (...) consume(std::move(x));` expires at the `;`,
+//   - `x = ...`, `x.clear()`, `x.reset(...)`, `x.assign(...)`, `x.swap(...)`
+//     and `&x` (out-parameter reinitialization) all clear the moved state,
+//   - the move expression's own tokens are not counted as a use,
+//   - a name declared in a lambda's capture list shadows the local inside
+//     that lambda's body (`[fn = std::move(fn)] { fn(); }` is the idiom,
+//     not a bug — the inner `fn` is the capture).
+#include "callgraph.hpp"
+#include "checks.hpp"
+
+namespace pico::lint {
+
+namespace {
+
+bool is_reinit_method(const std::string& name) {
+  static const std::set<std::string> kReinit = {
+      "clear", "reset", "assign", "swap", "emplace",
+  };
+  return kReinit.count(name) > 0;
+}
+
+}  // namespace
+
+void check_move(const LexedFile& file, const FileModel& model,
+                const Suppressions& sup, const std::string& relpath,
+                std::vector<Finding>& out) {
+  (void)relpath;
+  const std::vector<Token>& tokens = file.tokens;
+  for (const FunctionInfo& fn : model.functions) {
+    const std::vector<VarDecl> decls = collect_decls(file, fn);
+    const std::vector<LambdaExpr> lambdas =
+        find_lambdas(tokens, fn.body_begin + 1, fn.body_end);
+    // Inside a lambda body, a name its capture list declares refers to the
+    // capture, not the enclosing local.  (Collecting every ident in the
+    // capture range over-approximates — init-capture initializers can name
+    // other locals — which only costs missed findings, never false ones.)
+    auto shadowed = [&](std::size_t at, const std::string& name) {
+      for (const LambdaExpr& lambda : lambdas) {
+        if (at <= lambda.body_begin || at >= lambda.body_end) continue;
+        for (std::size_t c = lambda.capture_begin + 1;
+             c < lambda.capture_end; ++c) {
+          if (tokens[c].ident() && tokens[c].text == name) return true;
+        }
+      }
+      return false;
+    };
+
+    struct Moved {
+      int line = 0;       // line of the move
+      int depth = 0;      // brace depth at the move
+      bool braceless_if = false;  // expires at the next ';'
+    };
+    std::map<std::string, Moved> moved;
+    int depth = 0;
+    // Depth of each brace-less `if`/`else` statement currently open is not
+    // tracked structurally; instead a move recorded while `pending_if` is
+    // set expires at the next `;`.
+    bool pending_if = false;
+
+    for (std::size_t i = fn.body_begin + 1; i < fn.body_end; ++i) {
+      const Token& tok = tokens[i];
+
+      if (tok.is("{")) {
+        ++depth;
+        pending_if = false;
+        continue;
+      }
+      if (tok.is("}")) {
+        // Conditional moves die with their block: the branch that moved
+        // may not have executed on the path that reads the name later.
+        for (auto it = moved.begin(); it != moved.end();) {
+          if (it->second.depth >= depth) {
+            it = moved.erase(it);
+          } else {
+            ++it;
+          }
+        }
+        --depth;
+        continue;
+      }
+      if (tok.is(";")) {
+        pending_if = false;
+        for (auto it = moved.begin(); it != moved.end();) {
+          if (it->second.braceless_if) {
+            it = moved.erase(it);
+          } else {
+            ++it;
+          }
+        }
+        continue;
+      }
+      if (tok.is("if") || tok.is("else")) {
+        // `if (...)` without `{` → the next statement is conditional.
+        std::size_t j = i + 1;
+        if (j < fn.body_end && tokens[j].is("(")) {
+          j = match_forward(tokens, j) + 1;
+        }
+        if (j < fn.body_end && !tokens[j].is("{")) pending_if = true;
+        continue;
+      }
+
+      // `std :: move ( name )` / bare `move ( name )` (not `.move(`).
+      if (tok.is("move") && i + 3 < fn.body_end && tokens[i + 1].is("(") &&
+          tokens[i + 2].ident() && tokens[i + 3].is(")") &&
+          (i == 0 || (!tokens[i - 1].is(".") && !tokens[i - 1].is("->")))) {
+        const std::string& name = tokens[i + 2].text;
+        if (is_declared(decls, name, i)) {
+          // (`x = std::move(y)` clears x via the generic `=` rule when the
+          // scan visited the LHS token, before reaching `move` here.)
+          Moved m;
+          m.line = tokens[i + 2].line;
+          m.depth = depth;
+          m.braceless_if = pending_if;
+          moved[name] = m;
+        }
+        i += 3;  // skip `( name )` so the argument isn't counted as a use
+        continue;
+      }
+
+      if (!tok.ident()) continue;
+      auto it = moved.find(tok.text);
+      if (it == moved.end()) continue;
+      if (shadowed(i, tok.text)) continue;
+
+      const std::string next = i + 1 < fn.body_end ? tokens[i + 1].text : "";
+      const std::string prev = i > 0 ? tokens[i - 1].text : "";
+
+      // Reassignment / reinitialization clears the moved state.
+      if (next == "=" && (i + 2 >= fn.body_end || !tokens[i + 2].is("="))) {
+        moved.erase(it);
+        continue;
+      }
+      if (prev == "&" || prev == ">>") {
+        // `&x` out-param reinit; `cin >> x`-style reads refill the value.
+        moved.erase(it);
+        continue;
+      }
+      if ((next == "." || next == "->") && i + 2 < fn.body_end &&
+          is_reinit_method(tokens[i + 2].text)) {
+        moved.erase(it);
+        continue;
+      }
+      if (prev == "." || prev == "->" || prev == "::") {
+        continue;  // a member/namespace named like the local, not the local
+      }
+
+      if (sup.allows("use-after-move", tok.line)) {
+        moved.erase(it);
+        continue;
+      }
+      Finding f;
+      f.check = "use-after-move";
+      f.line = tok.line;
+      f.message = "'" + tok.text + "' read after being moved from (moved on "
+                  "line " + std::to_string(it->second.line) + ")";
+      f.hint =
+          "reassign or .clear()/.reset() before reuse, move later, or "
+          "annotate with `// pico-lint: allow(use-after-move): <why valid>`";
+      out.push_back(std::move(f));
+      moved.erase(it);  // one diagnostic per move
+    }
+  }
+}
+
+}  // namespace pico::lint

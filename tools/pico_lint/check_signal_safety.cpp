@@ -1,0 +1,366 @@
+// signal-unsafe: call-graph proof that the crash postmortem path stays
+// async-signal-safe.
+//
+// PR 9 built the crash dump (obs/postmortem.cpp) on a convention: nothing
+// transitively reachable from the fatal-signal handler, the PICO_CHECK
+// failure hook, or the terminate handler may allocate, touch stdio/iostream,
+// take a lock, throw, or construct a dynamic container.  That held by code
+// review only.  This check turns the convention into an enforced proof:
+//
+//   roots      functions annotated `// pico-lint: signal-root`
+//   walk       BFS over the project call graph (callgraph.hpp), following
+//              name-matched direct calls, qualified `Cls::fn` calls narrowed
+//              to same-qualifier definitions, and std::function indirect
+//              calls approximated by lambda arity
+//   violation  any reachable function that calls an allocating / stdio /
+//              locking primitive, uses `new` / `throw`, declares a lock
+//              guard or a dynamic container local, or touches cout/cerr
+//   leaves     a small whitelist of async-signal-safe syscalls (openat,
+//              write, raise, ...) — everything the dump path is allowed to
+//              end in; unresolved external callees outside both lists are
+//              assumed safe and listed in the report for audit
+//
+// The diagnostic prints the offending call chain from the root, so a
+// `malloc` smuggled three helpers deep reads as
+// `postmortem_signal_handler -> write_postmortem -> helper: calls malloc`.
+// A second, independent gate cross-validates the proof at link level:
+// tools/check_postmortem_syms.sh rejects forbidden undefined symbols in the
+// dump-path object file.
+#include <algorithm>
+#include <map>
+
+#include "callgraph.hpp"
+#include "checks.hpp"
+
+namespace pico::lint {
+
+namespace {
+
+/// Calls that are forbidden on the signal path even when a project
+/// function shadows the name (a reachable `lock`/`wait` is a violation no
+/// matter whose it is).
+const std::set<std::string>& forbidden_calls() {
+  static const std::set<std::string> kForbidden = {
+      // allocation
+      "malloc", "calloc", "realloc", "free", "strdup", "aligned_alloc",
+      "posix_memalign", "make_unique", "make_shared", "to_string",
+      // stdio / iostream plumbing
+      "printf", "fprintf", "sprintf", "snprintf", "vsnprintf", "vprintf",
+      "vfprintf", "puts", "fputs", "putc", "putchar", "fwrite", "fread",
+      "fopen", "fclose", "fflush", "fgets", "perror", "syslog",
+      // locks and condition variables
+      "lock", "unlock", "try_lock", "wait", "wait_for", "wait_until",
+      "notify_one", "notify_all", "pthread_mutex_lock",
+      "pthread_mutex_unlock", "pthread_cond_wait", "pthread_cond_signal",
+      "pthread_cond_broadcast", "sem_wait",
+      // dynamic containers growing
+      "push_back", "emplace_back", "emplace", "resize", "reserve", "insert",
+      "append", "substr",
+      // process / environment machinery that is not async-signal-safe
+      "getenv", "setenv", "exit", "atexit", "quick_exit", "dlopen",
+      // PICO_CHECK throws (and formats through an ostringstream)
+      "PICO_CHECK", "PICO_CHECK_MSG",
+  };
+  return kForbidden;
+}
+
+/// Async-signal-safe leaves the dump path may call (POSIX 2017 list,
+/// trimmed to what the repo uses, plus the string.h pure functions).
+const std::set<std::string>& whitelisted_leaves() {
+  static const std::set<std::string> kSafe = {
+      "write",    "read",        "open",     "openat",   "close",
+      "lseek",    "fsync",       "fdatasync", "unlink",  "faccessat",
+      "fstat",    "stat",        "readlink", "getpid",   "getppid",
+      "gettid",   "raise",       "kill",     "sigaction", "signal",
+      "sigemptyset", "sigfillset", "sigaddset", "sigprocmask",
+      "clock_gettime", "time",   "abort",    "_exit",    "_Exit",
+      "memset",   "memcpy",      "memmove",  "memchr",   "strlen",
+      "strcmp",   "strncmp",     "strcpy",   "strncpy",  "strchr",
+      "strrchr",  "waitpid",     "dup",      "dup2",
+  };
+  return kSafe;
+}
+
+/// Lock-guard types whose mere construction acquires a mutex.
+const std::set<std::string>& guard_type_names() {
+  static const std::set<std::string> kGuards = {
+      "MutexLock", "lock_guard", "unique_lock", "scoped_lock", "shared_lock",
+  };
+  return kGuards;
+}
+
+/// Dynamic-container type tokens whose local construction allocates.
+const std::set<std::string>& container_type_names() {
+  static const std::set<std::string> kContainers = {
+      "vector", "string", "wstring", "map", "multimap", "set", "multiset",
+      "deque", "list", "unordered_map", "unordered_set", "ostringstream",
+      "istringstream", "stringstream", "function",
+  };
+  return kContainers;
+}
+
+/// Stream objects whose use means iostream.
+const std::set<std::string>& stream_idents() {
+  static const std::set<std::string> kStreams = {
+      "cout", "cerr", "clog", "wcout", "wcerr",
+  };
+  return kStreams;
+}
+
+std::string node_label(const FunctionNode& node) {
+  std::string label =
+      node.qualifier.empty() ? node.name : node.qualifier + "::" + node.name;
+  return label + " (" + node.relpath + ":" + std::to_string(node.line) + ")";
+}
+
+}  // namespace
+
+void check_signal_safety(const CallGraph& graph,
+                         const std::vector<LexedFile>& files,
+                         std::vector<Finding>& out,
+                         std::string* report_out) {
+  // --- roots ---------------------------------------------------------------
+  std::vector<std::size_t> roots;
+  for (std::size_t i = 0; i < graph.nodes.size(); ++i) {
+    if (graph.nodes[i].signal_root) roots.push_back(i);
+  }
+
+  // --- BFS closure with parent links for chain printing --------------------
+  struct Visit {
+    std::size_t parent = SIZE_MAX;  // node we came from (SIZE_MAX = root)
+    std::size_t root = 0;
+  };
+  std::map<std::size_t, Visit> visited;
+  std::vector<std::size_t> queue;
+  for (std::size_t r : roots) {
+    visited.emplace(r, Visit{SIZE_MAX, r});
+    queue.push_back(r);
+  }
+  std::set<std::string> safe_leaves_hit;
+  std::set<std::string> unknown_leaves_hit;
+  while (!queue.empty()) {
+    const std::size_t current = queue.back();
+    queue.pop_back();
+    const FunctionNode& node = graph.nodes[current];
+    for (const CallSite& call : node.calls) {
+      if (call.callee == "new" || call.callee == "throw") continue;
+      if (forbidden_calls().count(call.callee)) continue;  // flagged below
+      bool resolved = false;
+      auto [first, last] = graph.by_name.equal_range(call.callee);
+      // Resolution narrowing (each rule prunes a real false-chain class):
+      //   `::fn(` global-scope calls never hit members,
+      //   `obj.fn(` method calls never hit free functions,
+      //   `Cls::fn(` prefers same-qualifier definitions when any exist.
+      bool has_qualified_match = false;
+      if (!call.qualifier.empty() && call.qualifier != "::") {
+        for (auto it = first; it != last; ++it) {
+          if (graph.nodes[it->second].qualifier == call.qualifier) {
+            has_qualified_match = true;
+            break;
+          }
+        }
+      }
+      for (auto it = first; it != last; ++it) {
+        const FunctionNode& candidate = graph.nodes[it->second];
+        if (call.qualifier == "::" && !candidate.qualifier.empty()) continue;
+        if (call.is_method && candidate.qualifier.empty() &&
+            !candidate.is_lambda) {
+          continue;
+        }
+        if (has_qualified_match && candidate.qualifier != call.qualifier) {
+          continue;
+        }
+        resolved = true;
+        if (visited.emplace(it->second, Visit{current, visited[current].root})
+                .second) {
+          queue.push_back(it->second);
+        }
+      }
+      if (call.via_function_var) {
+        auto [lf, ll] = graph.lambdas_by_arity.equal_range(call.arg_count);
+        for (auto it = lf; it != ll; ++it) {
+          resolved = true;
+          if (visited
+                  .emplace(it->second, Visit{current, visited[current].root})
+                  .second) {
+            queue.push_back(it->second);
+          }
+        }
+      }
+      if (!resolved) {
+        if (whitelisted_leaves().count(call.callee)) {
+          safe_leaves_hit.insert(call.callee);
+        } else {
+          unknown_leaves_hit.insert(call.callee);
+        }
+      }
+    }
+  }
+
+  // --- flag forbidden primitives inside the closure ------------------------
+  auto chain_text = [&](std::size_t node_index) {
+    std::vector<std::string> parts;
+    for (std::size_t n = node_index; n != SIZE_MAX;
+         n = visited.at(n).parent) {
+      const FunctionNode& node = graph.nodes[n];
+      parts.push_back(node.qualifier.empty()
+                          ? node.name
+                          : node.qualifier + "::" + node.name);
+      if (visited.at(n).parent == SIZE_MAX) break;
+    }
+    std::reverse(parts.begin(), parts.end());
+    std::string text;
+    for (const std::string& p : parts) {
+      if (!text.empty()) text += " -> ";
+      text += p;
+    }
+    return text;
+  };
+
+  std::size_t finding_count = 0;
+  std::map<std::size_t, Suppressions> sups;  // file index -> suppressions
+  auto sup_for = [&](int file_index) -> const Suppressions& {
+    const auto key = static_cast<std::size_t>(file_index);
+    auto it = sups.find(key);
+    if (it == sups.end()) {
+      it = sups.emplace(key, Suppressions(files[key])).first;
+    }
+    return it->second;
+  };
+
+  auto report_violation = [&](const FunctionNode& node, std::size_t index,
+                              int line, const std::string& what) {
+    if (sup_for(node.file_index).allows("signal-unsafe", line)) return;
+    const LexedFile& file = graph.file_of(node);
+    Finding f;
+    f.check = "signal-unsafe";
+    f.path = file.path;
+    f.relpath = node.relpath;
+    f.line = line;
+    f.excerpt = line_excerpt(file, line);
+    f.message = what + " on the async-signal path: " + chain_text(index);
+    f.hint =
+        "the crash/postmortem path may only use openat/write-style "
+        "syscalls and hand-rolled formatting; hoist the work out of the "
+        "handler closure, or annotate with `// pico-lint: "
+        "allow(signal-unsafe): <why safe>`";
+    out.push_back(std::move(f));
+    ++finding_count;
+  };
+
+  for (const auto& [index, visit] : visited) {
+    (void)visit;
+    const FunctionNode& node = graph.nodes[index];
+    const LexedFile& file = graph.file_of(node);
+    const std::vector<Token>& tokens = file.tokens;
+
+    for (const CallSite& call : node.calls) {
+      if (call.callee == "new") {
+        report_violation(node, index, call.line, "heap allocation via 'new'");
+      } else if (call.callee == "throw") {
+        report_violation(node, index, call.line,
+                         "'throw' (unwinding allocates and may terminate)");
+      } else if (forbidden_calls().count(call.callee)) {
+        report_violation(node, index, call.line,
+                         "call to '" + call.callee + "'");
+      }
+    }
+    // Lock guards and dynamic-container locals constructed in the body.
+    for (const VarDecl& d : node.decls) {
+      if (d.decl_index <= node.body_begin || d.decl_index >= node.body_end) {
+        continue;  // parameters don't construct
+      }
+      if (d.type_text.find('&') != std::string::npos ||
+          d.type_text.find('*') != std::string::npos) {
+        continue;  // references/pointers to containers don't allocate
+      }
+      const int line = tokens[d.decl_index].line;
+      // Tokenize the recorded type text on spaces for exact-word matching
+      // (`string_view` must not match `string`).
+      std::string word;
+      std::vector<std::string> words;
+      for (char c : d.type_text + " ") {
+        if (c == ' ') {
+          if (!word.empty()) words.push_back(word);
+          word.clear();
+        } else {
+          word += c;
+        }
+      }
+      for (const std::string& w : words) {
+        if (guard_type_names().count(w)) {
+          report_violation(node, index, line,
+                           "lock guard '" + w + "' constructed");
+          break;
+        }
+        if (container_type_names().count(w)) {
+          report_violation(
+              node, index, line,
+              "dynamic container '" + w + "' ('" + d.name + "') constructed");
+          break;
+        }
+      }
+    }
+    // iostream globals used anywhere in the body.
+    for (std::size_t i = node.body_begin + 1; i < node.body_end; ++i) {
+      if (tokens[i].ident() && stream_idents().count(tokens[i].text)) {
+        report_violation(node, index, tokens[i].line,
+                         "iostream object '" + tokens[i].text + "' used");
+      }
+    }
+  }
+
+  // --- report --------------------------------------------------------------
+  if (report_out != nullptr) {
+    std::string& r = *report_out;
+    r += "# pico_lint signal-safety call-graph report\n";
+    std::size_t lambda_count = 0;
+    for (const FunctionNode& n : graph.nodes) {
+      if (n.is_lambda) ++lambda_count;
+    }
+    r += "functions: " + std::to_string(graph.nodes.size()) + " (" +
+         std::to_string(lambda_count) + " lambdas) across " +
+         std::to_string(files.size()) + " file(s)\n";
+    r += "signal roots: " + std::to_string(roots.size()) + "\n";
+    for (std::size_t root : roots) {
+      r += "  root " + node_label(graph.nodes[root]) + "\n";
+    }
+    r += "reachable closure: " + std::to_string(visited.size()) +
+         " function(s)\n";
+    std::vector<std::string> labels;
+    for (const auto& [index, visit] : visited) {
+      (void)visit;
+      labels.push_back("  " + node_label(graph.nodes[index]));
+    }
+    std::sort(labels.begin(), labels.end());
+    for (const std::string& label : labels) r += label + "\n";
+    r += "whitelisted leaves called: ";
+    bool first = true;
+    for (const std::string& leaf : safe_leaves_hit) {
+      if (!first) r += ", ";
+      first = false;
+      r += leaf;
+    }
+    r += first ? "(none)\n" : "\n";
+    r += "unresolved external callees (assumed safe — audit): ";
+    first = true;
+    for (const std::string& leaf : unknown_leaves_hit) {
+      if (!first) r += ", ";
+      first = false;
+      r += leaf;
+    }
+    r += first ? "(none)\n" : "\n";
+    r += "findings: " + std::to_string(finding_count) + "\n";
+    if (roots.empty()) {
+      r += "verdict: NO-ROOTS (annotate handlers with `// pico-lint: "
+           "signal-root`)\n";
+    } else if (finding_count == 0) {
+      r += "verdict: PROOF-OK — no signal-unsafe call reachable from any "
+           "root\n";
+    } else {
+      r += "verdict: UNSAFE\n";
+    }
+  }
+}
+
+}  // namespace pico::lint

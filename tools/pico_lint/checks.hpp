@@ -1,6 +1,6 @@
 // pico_lint — check interface and registry.
 //
-// Five checks, each codifying a bug class this repo has actually shipped
+// Eight checks, each codifying a bug class this repo has actually shipped
 // (see DESIGN.md §12 for the motivating bugs and the suppression syntax):
 //
 //   narrow-mul           int×int extent/stride arithmetic that feeds a wide
@@ -17,6 +17,14 @@
 //                        promotion of tools/check_guarded.sh).
 //   wire-taint           allocation sizes, loop bounds or indices derived
 //                        from decoded wire bytes used before a bounds check.
+//   signal-unsafe        interprocedural: anything reachable from a
+//                        `// pico-lint: signal-root` function (the crash
+//                        postmortem path) that allocates, locks, throws or
+//                        touches stdio — see check_signal_safety.cpp.
+//   escape-to-thread     reference/`this` lambda captures escaping into a
+//                        thread/pool task that can outlive the captured
+//                        scope — the shape of the repo's three worst UAFs.
+//   use-after-move       moved-from locals read before reassignment.
 #pragma once
 
 #include <set>
@@ -79,6 +87,23 @@ void check_guarded(const LexedFile& file, const FileModel& model,
 void check_taint(const LexedFile& file, const FileModel& model,
                  const Suppressions& sup, const std::string& relpath,
                  std::vector<Finding>& out);
+void check_escape(const LexedFile& file, const FileModel& model,
+                  const Suppressions& sup, const std::string& relpath,
+                  std::vector<Finding>& out);
+void check_move(const LexedFile& file, const FileModel& model,
+                const Suppressions& sup, const std::string& relpath,
+                std::vector<Finding>& out);
+
+// Project-level check: needs the whole-input call graph, so it runs once
+// after the per-file passes (the driver builds the graph with
+// build_callgraph and hands it here).  Findings get path/relpath/excerpt
+// filled in by the check itself.  When `report_out` is non-null, a
+// human-readable call-graph report (roots, reachable closure, leaves,
+// verdict) is appended to it.
+struct CallGraph;
+void check_signal_safety(const CallGraph& graph,
+                         const std::vector<LexedFile>& files,
+                         std::vector<Finding>& out, std::string* report_out);
 
 /// Whitespace-normalized text of line `line` (1-based) of `file`.
 std::string line_excerpt(const LexedFile& file, int line);

@@ -6,8 +6,9 @@ namespace pico::lint {
 
 const std::vector<std::string>& all_check_ids() {
   static const std::vector<std::string> kIds = {
-      "narrow-mul",      "unchecked-status", "blocking-under-lock",
-      "unguarded-member", "wire-taint",
+      "narrow-mul",       "unchecked-status", "blocking-under-lock",
+      "unguarded-member", "wire-taint",       "signal-unsafe",
+      "escape-to-thread", "use-after-move",
   };
   return kIds;
 }
@@ -41,7 +42,8 @@ bool check_in_scope(const std::string& check, const std::string& relpath) {
     return starts_with(relpath, "src/runtime/") ||
            relpath == "src/obs/remote.cpp";
   }
-  // unchecked-status, blocking-under-lock: the whole library tree.
+  // unchecked-status, blocking-under-lock, signal-unsafe, escape-to-thread,
+  // use-after-move: the whole library tree.
   return starts_with(relpath, "src/");
 }
 
@@ -92,6 +94,14 @@ std::vector<Finding> run_checks(const LexedFile& file,
   if (enabled("wire-taint")) {
     check_taint(file, model, sup, relpath, out);
   }
+  if (enabled("escape-to-thread")) {
+    check_escape(file, model, sup, relpath, out);
+  }
+  if (enabled("use-after-move")) {
+    check_move(file, model, sup, relpath, out);
+  }
+  // signal-unsafe is project-level (needs the cross-file call graph); the
+  // driver runs it via check_signal_safety after the per-file passes.
 
   for (Finding& f : out) {
     f.path = file.path;

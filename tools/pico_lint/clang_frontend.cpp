@@ -3,8 +3,9 @@
 // Builds only where the Clang development libraries are installed (the CMake
 // target is gated on find_package(Clang)); the self-contained token engine
 // in pico_lint.cpp is the always-available, authoritative gate.  This
-// frontend resolves the same five checks over the real AST, which removes
-// the token engine's heuristics for declaration/width/scope recognition:
+// frontend resolves the same eight checks, using the real AST where it
+// removes the token engine's heuristics for declaration/width/scope
+// recognition and delegating to the shared engine where it wouldn't:
 //
 //   narrow-mul           an implicit integral cast to a 64-bit type whose
 //                        operand is a 32-bit multiply, or a 32-bit multiply
@@ -18,6 +19,12 @@
 //                        the concurrent runtime headers.
 //   wire-taint           delegated to the shared intraprocedural token
 //                        engine — the data-flow is identical either way.
+//   escape-to-thread     delegated to the token engine: lambda-capture
+//   use-after-move       lifetime and moved-from tracking are token-level
+//                        analyses the AST adds nothing to.
+//   signal-unsafe        delegated to the token engine's project-wide call
+//                        graph (callgraph.hpp) — the closure walk needs all
+//                        files at once, which per-TU AST traversal can't see.
 //
 // Reporting, suppression comments, scoping and the baseline format are all
 // shared with the token engine (same Finding/fingerprint code), so the two
@@ -47,6 +54,7 @@
 #include "clang/Tooling/Tooling.h"
 
 #include "baseline.hpp"
+#include "callgraph.hpp"
 #include "checks.hpp"
 #include "lexer.hpp"
 
@@ -378,10 +386,14 @@ class ActionFactory : public clang::tooling::FrontendActionFactory {
   Sink& sink_;
 };
 
-/// wire-taint runs on the shared token engine — identical data-flow.
-void run_taint_engine(const ToolConfig& config, Sink& sink) {
+/// wire-taint, escape-to-thread and use-after-move run per-file on the
+/// shared token engine; signal-unsafe runs once over the project call graph
+/// built from the same lexed files.  Identical analyses to the token CLI.
+void run_token_engine(const ToolConfig& config, Sink& sink) {
   const fs::path src = fs::path(config.src_root) / "src";
   if (!fs::is_directory(src)) return;
+  std::vector<LexedFile> lexed;
+  std::vector<std::string> relpaths;
   for (const auto& entry : fs::recursive_directory_iterator(src)) {
     if (!entry.is_regular_file()) continue;
     const std::string ext = entry.path().extension().string();
@@ -392,15 +404,24 @@ void run_taint_engine(const ToolConfig& config, Sink& sink) {
             .lexically_relative(fs::weakly_canonical(config.src_root, ec))
             .generic_string();
     CheckOptions options;
-    options.enabled = {"wire-taint"};
+    options.enabled = {"wire-taint", "escape-to-thread", "use-after-move"};
     try {
-      const LexedFile file = lex_file(entry.path().string());
+      LexedFile file = lex_file(entry.path().string());
       for (Finding& f : run_checks(file, rel, options)) {
         sink.add(std::move(f));
       }
+      lexed.push_back(std::move(file));
+      relpaths.push_back(rel);
     } catch (const std::exception&) {
       // Unreadable file: the token engine gate reports it.
     }
+  }
+  // Project-level signal-safety proof over everything just lexed.
+  const CallGraph graph = build_callgraph(lexed, relpaths);
+  std::vector<Finding> project;
+  check_signal_safety(graph, lexed, project, nullptr);
+  for (Finding& f : project) {
+    if (check_in_scope(f.check, f.relpath)) sink.add(std::move(f));
   }
 }
 
@@ -461,7 +482,7 @@ int main(int argc, char** argv) {
     std::cerr << "pico_lint_clang: some translation units failed to parse\n";
     // Keep going: findings from parsed TUs are still valid.
   }
-  run_taint_engine(config, sink);
+  run_token_engine(config, sink);
 
   std::set<std::string> baseline;
   if (!config.baseline_path.empty()) {

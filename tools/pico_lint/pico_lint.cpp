@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "baseline.hpp"
+#include "callgraph.hpp"
 #include "checks.hpp"
 #include "lexer.hpp"
 
@@ -39,6 +40,7 @@ struct Options {
   std::string compdb;
   std::string baseline_path;
   std::string write_baseline_path;
+  std::string callgraph_report_path;  // "-" = stdout
   std::vector<std::string> files;
   CheckOptions checks;
   bool json = false;
@@ -52,6 +54,8 @@ void usage(std::ostream& out) {
          "  --baseline <file>        suppress fingerprints listed in <file>\n"
          "  --write-baseline <file>  write current findings as the baseline\n"
          "  --check <id>             run only <id> (repeatable)\n"
+         "  --callgraph-report <f>   write the signal-safety call-graph\n"
+         "                           report to <f> ('-' = stdout)\n"
          "  --scope-all              ignore per-check path scoping\n"
          "  --json                   JSON lines output\n"
          "  --list-checks            print check ids and exit\n";
@@ -76,6 +80,8 @@ bool parse_args(int argc, char** argv, Options& opt) {
       if (!next(opt.baseline_path)) return false;
     } else if (arg == "--write-baseline") {
       if (!next(opt.write_baseline_path)) return false;
+    } else if (arg == "--callgraph-report") {
+      if (!next(opt.callgraph_report_path)) return false;
     } else if (arg == "--check") {
       std::string id;
       if (!next(id)) return false;
@@ -225,10 +231,44 @@ int main(int argc, char** argv) {
 
   // --- run checks --------------------------------------------------------
   std::vector<Finding> findings;
+  std::vector<std::string> relpaths;
+  relpaths.reserve(lexed.size());
   for (const LexedFile& file : lexed) {
     const std::string rel = relative_to_root(file.path, root);
+    relpaths.push_back(rel);
     std::vector<Finding> here = run_checks(file, rel, opt.checks);
     findings.insert(findings.end(), here.begin(), here.end());
+  }
+
+  // Project-level pass: the signal-safety closure walk needs the whole-input
+  // call graph, so it runs once over everything the per-file loop lexed.
+  const bool signal_enabled =
+      opt.checks.enabled.empty() || opt.checks.enabled.count("signal-unsafe");
+  if (signal_enabled) {
+    const CallGraph graph = build_callgraph(lexed, relpaths);
+    std::string report;
+    std::vector<Finding> project;
+    check_signal_safety(graph, lexed, project,
+                        opt.callgraph_report_path.empty() ? nullptr
+                                                          : &report);
+    for (Finding& f : project) {
+      if (opt.checks.scope_all || check_in_scope(f.check, f.relpath)) {
+        findings.push_back(std::move(f));
+      }
+    }
+    if (!opt.callgraph_report_path.empty()) {
+      if (opt.callgraph_report_path == "-") {
+        std::cout << report;
+      } else {
+        std::ofstream rout(opt.callgraph_report_path);
+        if (!rout.good()) {
+          std::cerr << "pico_lint: cannot write "
+                    << opt.callgraph_report_path << "\n";
+          return 1;
+        }
+        rout << report;
+      }
+    }
   }
   std::stable_sort(findings.begin(), findings.end(),
                    [](const Finding& a, const Finding& b) {
